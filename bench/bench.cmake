@@ -1,0 +1,27 @@
+# Benchmark binaries: one per paper table/figure plus microbenchmarks.
+# Declared from the top level so ${CMAKE_BINARY_DIR}/bench holds only the
+# executables (the standard run loop is `for b in build/bench/*; do $b; done`).
+set(HIC_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(hic_add_bench name)
+  add_executable(${name} ${CMAKE_CURRENT_LIST_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE hic_apps hic_runtime hic_compiler)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${HIC_BENCH_DIR})
+endfunction()
+
+hic_add_bench(bench_table1_patterns)
+hic_add_bench(bench_storage_overhead)
+hic_add_bench(bench_fig9_intra_time)
+hic_add_bench(bench_fig10_intra_traffic)
+hic_add_bench(bench_fig11_global_ops)
+hic_add_bench(bench_fig12_inter_time)
+hic_add_bench(bench_ablation_hier_reduction)
+hic_add_bench(bench_ablation_buffers)
+hic_add_bench(bench_ablation_slack)
+hic_add_bench(bench_energy)
+hic_add_bench(bench_scaling)
+
+# Microbenchmarks (google-benchmark): primitive-cost ablations.
+add_executable(bench_micro_primitives ${CMAKE_CURRENT_LIST_DIR}/bench_micro_primitives.cpp)
+target_link_libraries(bench_micro_primitives PRIVATE hic_apps hic_runtime hic_compiler benchmark::benchmark)
+set_target_properties(bench_micro_primitives PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${HIC_BENCH_DIR})

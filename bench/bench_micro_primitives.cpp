@@ -1,0 +1,194 @@
+// Microbenchmark ablations (google-benchmark): the per-primitive costs the
+// paper's design choices trade against each other. These are not paper
+// figures; they expose the cost model behind them:
+//   - WB ALL vs the MEB-directed writeback, as a function of dirty lines
+//   - INV ALL vs the IEB's lazy refreshes, as a function of reads per epoch
+//   - read miss latency: incoherent vs MESI with a remote dirty owner
+//   - MEB/IEB sizing sweeps (the ablation behind Table III's 16/4 entries)
+#include <benchmark/benchmark.h>
+
+#include "core/incoherent.hpp"
+#include "hierarchy/mesi.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace hic;
+
+struct Fixture {
+  MachineConfig mc = MachineConfig::intra_block();
+  GlobalMemory gmem;
+  SimStats stats{16};
+  Fixture() { mc.validate(); }
+};
+
+/// Simulated-cycle cost of a WB ALL after writing `dirty_lines` lines,
+/// reported as the "cycles" counter (wall time of the model code is mostly
+/// irrelevant; the interesting output is the simulated cost).
+void BM_WbAllCost(benchmark::State& state) {
+  const auto dirty_lines = static_cast<std::uint64_t>(state.range(0));
+  const bool use_meb = state.range(1) != 0;
+  Fixture f;
+  IncoherentOptions opts;
+  opts.use_meb = use_meb;
+  double cycles = 0;
+  for (auto _ : state) {
+    IncoherentHierarchy h(f.mc, f.gmem, f.stats, opts);
+    const Addr base = f.gmem.alloc(64 * 1024, "buf");
+    h.cs_enter(0);
+    std::uint32_t v = 1;
+    for (std::uint64_t l = 0; l < dirty_lines; ++l)
+      h.write(0, base + l * 64, 4, &v);
+    cycles = static_cast<double>(h.cs_exit(0));
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles"] = cycles;
+}
+BENCHMARK(BM_WbAllCost)
+    ->ArgsProduct({{1, 4, 16, 64, 256}, {0, 1}})
+    ->ArgNames({"dirty_lines", "meb"});
+
+/// INV ALL vs IEB: simulated cost of the INV side of a critical section
+/// that then reads `reads` distinct lines.
+void BM_InvSideCost(benchmark::State& state) {
+  const auto reads = static_cast<std::uint64_t>(state.range(0));
+  const bool use_ieb = state.range(1) != 0;
+  Fixture f;
+  IncoherentOptions opts;
+  opts.use_ieb = use_ieb;
+  double cycles = 0;
+  for (auto _ : state) {
+    IncoherentHierarchy h(f.mc, f.gmem, f.stats, opts);
+    const Addr base = f.gmem.alloc(64 * 1024, "buf");
+    // Warm the cache so the INV side has something to do.
+    std::uint32_t v = 0;
+    for (std::uint64_t l = 0; l < reads; ++l) h.read(0, base + l * 64, 4, &v);
+    Cycle c = h.cs_enter(0);
+    for (std::uint64_t l = 0; l < reads; ++l) {
+      c += h.read(0, base + l * 64, 4, &v).latency;
+    }
+    c += h.cs_exit(0);
+    cycles = static_cast<double>(c);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles"] = cycles;
+}
+BENCHMARK(BM_InvSideCost)
+    ->ArgsProduct({{1, 2, 4, 8, 32}, {0, 1}})
+    ->ArgNames({"reads", "ieb"});
+
+/// Read-miss service latency: incoherent fetch vs MESI fetch with the line
+/// modified in another core's L1 (owner forwarding).
+void BM_ReadMissLatency(benchmark::State& state) {
+  const bool coherent = state.range(0) != 0;
+  Fixture f;
+  double cycles = 0;
+  for (auto _ : state) {
+    std::unique_ptr<HierarchyBase> h;
+    if (coherent) {
+      h = std::make_unique<MesiHierarchy>(f.mc, f.gmem, f.stats);
+    } else {
+      h = std::make_unique<IncoherentHierarchy>(f.mc, f.gmem, f.stats);
+    }
+    const Addr a = f.gmem.alloc(64, "line");
+    std::uint32_t v = 7;
+    h->write(1, a, 4, &v);          // core 1 owns the line modified
+    h->wb_range(1, {a, 4}, Level::L2);  // (no-op under MESI)
+    cycles = static_cast<double>(h->read(0, a, 4, &v).latency);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles"] = cycles;
+}
+BENCHMARK(BM_ReadMissLatency)->Arg(0)->Arg(1)->ArgName("mesi");
+
+/// MEB capacity sweep: how often a 24-line critical section overflows.
+void BM_MebCapacity(benchmark::State& state) {
+  Fixture f;
+  f.mc.meb_entries = static_cast<int>(state.range(0));
+  IncoherentOptions opts;
+  opts.use_meb = true;
+  double cycles = 0;
+  for (auto _ : state) {
+    IncoherentHierarchy h(f.mc, f.gmem, f.stats, opts);
+    const Addr base = f.gmem.alloc(64 * 64, "buf");
+    h.cs_enter(0);
+    std::uint32_t v = 1;
+    for (int l = 0; l < 24; ++l) h.write(0, base + l * 64u, 4, &v);
+    cycles = static_cast<double>(h.cs_exit(0));
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles"] = cycles;
+  state.counters["overflows"] =
+      static_cast<double>(f.stats.ops().meb_overflows);
+}
+BENCHMARK(BM_MebCapacity)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->ArgName("entries");
+
+/// IEB capacity sweep: re-reads under a working set larger than the buffer.
+void BM_IebCapacity(benchmark::State& state) {
+  Fixture f;
+  f.mc.ieb_entries = static_cast<int>(state.range(0));
+  IncoherentOptions opts;
+  opts.use_ieb = true;
+  double cycles = 0;
+  for (auto _ : state) {
+    IncoherentHierarchy h(f.mc, f.gmem, f.stats, opts);
+    const Addr base = f.gmem.alloc(64 * 16, "buf");
+    std::uint32_t v = 0;
+    for (int l = 0; l < 8; ++l) h.read(0, base + l * 64u, 4, &v);
+    h.cs_enter(0);
+    Cycle c = 0;
+    for (int rep = 0; rep < 4; ++rep)
+      for (int l = 0; l < 8; ++l)
+        c += h.read(0, base + l * 64u, 4, &v).latency;
+    h.cs_exit(0);
+    cycles = static_cast<double>(c);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles"] = cycles;
+  state.counters["ieb_evictions"] =
+      static_cast<double>(f.stats.ops().ieb_evictions);
+}
+BENCHMARK(BM_IebCapacity)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->ArgName("entries");
+
+/// Host-side simulator throughput: simulated memory operations per second
+/// of wall time, across the full engine path (threads, write buffers,
+/// hierarchy). The figure to watch when optimizing the simulator itself.
+void BM_EngineThroughput(benchmark::State& state) {
+  const auto cores = static_cast<int>(state.range(0));
+  std::uint64_t total_ops = 0;
+  for (auto _ : state) {
+    MachineConfig mc = MachineConfig::intra_block();
+    GlobalMemory gmem;
+    SimStats stats(mc.total_cores());
+    IncoherentHierarchy h(mc, gmem, stats);
+    SyncController sync(mc.total_cores());
+    Engine eng(h, sync, mc.sim_slack_cycles);
+    const Addr base = gmem.alloc(64 * 1024, "buf");
+    constexpr int kOpsPerCore = 20000;
+    std::vector<Engine::CoreBody> bodies;
+    for (int c = 0; c < cores; ++c) {
+      bodies.push_back([&, c](CoreServices& s) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < kOpsPerCore; ++i) {
+          const Addr a = base + ((static_cast<Addr>(c) * kOpsPerCore + i) *
+                                 64) % (64 * 1024);
+          if (i % 4 == 0) {
+            s.store(a, 4, &v);
+          } else {
+            s.load(a, 4, &v);
+          }
+        }
+      });
+    }
+    eng.run(std::move(bodies));
+    total_ops += static_cast<std::uint64_t>(cores) * kOpsPerCore;
+  }
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineThroughput)->Arg(1)->Arg(4)->Arg(16)->ArgName("cores")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

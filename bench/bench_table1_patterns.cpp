@@ -1,0 +1,35 @@
+// Reproduces paper Table I: the communication patterns observed in the
+// intra-block applications. The declared classification comes from each
+// workload; the observed columns count the annotation events the runtime
+// actually executed (barrier / critical-section / flag / OCC / enforced
+// data-race annotations).
+#include "bench_util.hpp"
+
+using namespace hic;
+using namespace hic::bench;
+
+int main() {
+  std::printf("== Paper Table I: communication patterns (intra-block) ==\n\n");
+  TextTable table({"app", "declared main", "declared other", "barriers",
+                   "criticals", "flags", "occ", "racy"});
+
+  for (const auto& app : intra_workload_names()) {
+    auto w = make_workload(app);
+    Machine m(MachineConfig::intra_block(), Config::Base);
+    run_workload(*w, m, 16);
+    const OpCounts& ops = m.stats().ops();
+    table.add_row({app, w->main_patterns(), w->other_patterns(),
+                   std::to_string(ops.anno_barriers),
+                   std::to_string(ops.anno_critical),
+                   std::to_string(ops.anno_flag),
+                   std::to_string(ops.anno_occ),
+                   std::to_string(ops.anno_racy)});
+  }
+  print_table(table);
+  std::printf(
+      "Paper Table I: FFT/LU barrier; Cholesky outside-critical (+barrier,\n"
+      "critical, flag); Barnes barrier+outside-critical (+critical);\n"
+      "Raytrace critical (+barrier, data race); Volrend barrier+outside-\n"
+      "critical; Ocean and Water barrier+critical.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "stats/text_table.hpp"
+
+namespace hic::bench {
+
+/// Everything a single (app, config) simulation produces.
+struct RunSnapshot {
+  std::string app;
+  Config config = Config::Hcc;
+  Cycle exec_cycles = 0;
+  Cycle stall[kStallKinds] = {};
+  std::uint64_t traffic[kTrafficKinds] = {};
+  OpCounts ops;
+};
+
+inline RunSnapshot run(const std::string& app, Config config) {
+  auto w = make_workload(app);
+  const MachineConfig mc = is_inter_block(config)
+                               ? MachineConfig::inter_block()
+                               : MachineConfig::intra_block();
+  Machine m(mc, config);
+  RunSnapshot s;
+  s.app = app;
+  s.config = config;
+  s.exec_cycles = run_workload(*w, m, mc.total_cores());
+  for (std::size_t k = 0; k < kStallKinds; ++k)
+    s.stall[k] = m.stats().total_stall(static_cast<StallKind>(k));
+  for (std::size_t k = 0; k < kTrafficKinds; ++k)
+    s.traffic[k] = m.stats().traffic().get(static_cast<TrafficKind>(k));
+  s.ops = m.stats().ops();
+  const WorkloadResult r = w->verify(m);
+  if (!r.ok) {
+    std::fprintf(stderr, "WARNING: %s under %s failed verification: %s\n",
+                 app.c_str(), to_string(config).c_str(), r.detail.c_str());
+  }
+  return s;
+}
+
+/// Geometric-mean-free "average" bar as the paper plots it: the arithmetic
+/// mean of the per-app normalized values.
+inline double mean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+/// Prints a result table; set HIC_BENCH_CSV=1 for machine-readable output.
+inline void print_table(const TextTable& t) {
+  const char* csv = std::getenv("HIC_BENCH_CSV");
+  if (csv != nullptr && csv[0] == '1') {
+    std::fputs(t.render_csv().c_str(), stdout);
+  } else {
+    std::printf("%s\n", t.render().c_str());
+  }
+}
+
+}  // namespace hic::bench

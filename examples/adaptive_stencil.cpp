@@ -1,0 +1,121 @@
+// Level-adaptive halo exchange (paper §V): a 1D three-point stencil over 32
+// threads on a 4-block machine. The compiler analysis names each halo's
+// producer and consumer; WB_CONS / INV_PROD then keep intra-block exchanges
+// at the L2 and only cross-block halos travel through the L3.
+//
+//   $ ./adaptive_stencil
+#include <cstdio>
+
+#include "apps/workload.hpp"
+#include "compiler/analysis.hpp"
+
+using namespace hic;
+
+namespace {
+
+constexpr std::int64_t kN = 4096;
+constexpr int kIters = 6;  // even: results end in array 0
+
+struct Result {
+  Cycle cycles;
+  std::uint64_t local_ops, global_ops;
+  bool ok;
+};
+
+Result run_once(Config cfg) {
+  Machine m(MachineConfig::inter_block(), cfg);
+  Addr arr[2] = {m.mem().alloc_array<double>(kN, "a0"),
+                 m.mem().alloc_array<double>(kN, "a1")};
+  for (std::int64_t i = 0; i < kN; ++i) {
+    const double v = (i == 0 || i == kN - 1) ? 100.0 : 0.0;
+    m.mem().init(arr[0] + static_cast<Addr>(i) * 8, v);
+    m.mem().init(arr[1] + static_cast<Addr>(i) * 8, v);
+  }
+  const auto bar = m.make_barrier(32);
+
+  // Build the loop IR and run the producer-consumer analysis.
+  ProgramGraph prog;
+  const int a0 = prog.add_array("a0", arr[0], 8, kN);
+  const int a1 = prog.add_array("a1", arr[1], 8, kN);
+  auto mk = [&](int dst, int src) {
+    LoopNode l;
+    l.lb = 1;
+    l.ub = kN - 1;
+    l.refs = {{dst, {1, 0}, RefKind::Def, false},
+              {src, {1, -1}, RefKind::Use, false},
+              {src, {1, 1}, RefKind::Use, false}};
+    return prog.add_loop(l);
+  };
+  const int loops[2] = {mk(a1, a0), mk(a0, a1)};
+  prog.add_edge(loops[0], loops[1]);
+  prog.add_edge(loops[1], loops[0]);
+  const EpochPlan plan = analyze_producer_consumer(prog, 32);
+
+  m.run(32, [&](Thread& t) {
+    const auto [f, l] = chunk_range(kN - 2, 32, t.tid());
+    t.epoch_barrier(bar);
+    for (int it = 0; it < kIters; ++it) {
+      const Addr src = arr[it % 2];
+      const Addr dst = arr[1 - it % 2];
+      for (std::int64_t r = f; r < l; ++r) {
+        const std::int64_t i = r + 1;
+        const double v = 0.5 * (t.load<double>(src + (i - 1) * 8) +
+                                t.load<double>(src + (i + 1) * 8));
+        t.store(dst + static_cast<Addr>(i) * 8, v);
+        t.compute(4);
+      }
+      t.epoch_barrier(bar, plan.wb_for(loops[it % 2], t.tid()),
+                      plan.inv_for(loops[(it + 1) % 2], t.tid()));
+    }
+    // Output epoch for the verification read.
+    const WbDirective out{
+        {arr[0] + static_cast<Addr>(f + 1) * 8,
+         static_cast<std::uint64_t>(l - f) * 8},
+        kUnknownThread};
+    t.epoch_barrier(bar, {&out, 1}, {});
+  });
+
+  // Serial reference.
+  std::vector<double> ref(kN, 0.0), tmp(kN, 0.0);
+  ref[0] = ref[kN - 1] = tmp[0] = tmp[kN - 1] = 100.0;
+  for (int it = 0; it < kIters; ++it) {
+    auto& s = (it % 2 == 0) ? ref : tmp;
+    auto& d = (it % 2 == 0) ? tmp : ref;
+    for (std::int64_t i = 1; i < kN - 1; ++i)
+      d[static_cast<std::size_t>(i)] =
+          0.5 * (s[static_cast<std::size_t>(i - 1)] +
+                 s[static_cast<std::size_t>(i + 1)]);
+  }
+  VerifyReader rd(m);
+  bool ok = true;
+  for (std::int64_t i = 0; i < kN && ok; ++i)
+    ok = rd.read<double>(arr[0] + static_cast<Addr>(i) * 8) ==
+         ref[static_cast<std::size_t>(i)];
+
+  const auto& ops = m.stats().ops();
+  return {m.exec_cycles(), ops.adaptive_local_wb + ops.adaptive_local_inv,
+          ops.adaptive_global_wb + ops.adaptive_global_inv, ok};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("level-adaptive 1D stencil, 32 threads on 4 blocks:\n\n");
+  std::printf("  %-8s %12s %10s %10s  %s\n", "config", "cycles",
+              "local ops", "global ops", "result");
+  for (Config cfg : {Config::InterHcc, Config::InterBase, Config::InterAddr,
+                     Config::InterAddrL}) {
+    const auto r = run_once(cfg);
+    std::printf("  %-8s %12llu %10llu %10llu  %s\n", to_string(cfg).c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.local_ops),
+                static_cast<unsigned long long>(r.global_ops),
+                r.ok ? "ok" : "WRONG");
+    if (!r.ok) return 1;
+  }
+  std::printf(
+      "\nUnder Addr+L the ThreadMap resolves intra-block neighbors, so most\n"
+      "halo WB/INVs become local L2 operations; only the three chunk\n"
+      "boundaries that straddle blocks stay global.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Paper Figure 6: data-race communication on an incoherent hierarchy.
+//
+// (a) A store/spin-loop pair that communicates fine under MESI simply never
+//     communicates on the hardware-incoherent machine: the consumer's cached
+//     copy is never refreshed and the producer's store is never published.
+// (b) Pairing each racy access with its own word-granularity WB/INV makes
+//     the handoff work — at the cost of a miss per spin.
+//
+//   $ ./data_race_demo
+#include <cstdio>
+
+#include "runtime/thread.hpp"
+
+using namespace hic;
+
+namespace {
+
+/// Returns the number of spins until the consumer saw the flag, or -1 if it
+/// gave up after `budget` spins.
+int run_race(Config cfg, bool enforce) {
+  Machine m(MachineConfig::intra_block(), cfg);
+  const Addr flag = m.mem().alloc_array<std::uint32_t>(1, "flag");
+  const Addr data = m.mem().alloc_array<std::uint32_t>(1, "data");
+  m.mem().init(flag, std::uint32_t{0});
+  m.mem().init(data, std::uint32_t{0});
+  const auto start = m.make_barrier(2);
+  const auto done = m.make_barrier(2);
+  int spins = -1;
+  constexpr int kBudget = 2000;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.barrier(start);
+      t.compute(1000);
+      if (enforce) {
+        t.racy_store<std::uint32_t>(data, 42);
+        t.racy_store<std::uint32_t>(flag, 1);
+      } else {
+        t.store<std::uint32_t>(data, 42);
+        t.store<std::uint32_t>(flag, 1);
+      }
+      t.compute(200000);  // keep working; no publishing sync point
+      t.barrier(done);
+    } else {
+      t.barrier(start);
+      (void)t.load<std::uint32_t>(flag);  // warm a cached copy of 0
+      for (int i = 0; i < kBudget; ++i) {
+        const auto v = enforce ? t.racy_load<std::uint32_t>(flag)
+                               : t.load<std::uint32_t>(flag);
+        if (v != 0) {
+          spins = i;
+          break;
+        }
+        t.compute(50);
+      }
+      t.barrier(done);
+    }
+  });
+  return spins;
+}
+
+const char* describe(int spins) {
+  static char buf[64];
+  if (spins < 0) return "NEVER (gave up after 2000 spins)";
+  std::snprintf(buf, sizeof buf, "seen after %d spins", spins);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6a — plain volatile-style spin on `flag`:\n");
+  std::printf("  HCC (MESI):          %s\n",
+              describe(run_race(Config::Hcc, false)));
+  const int inc_plain = run_race(Config::Base, false);
+  std::printf("  incoherent (Base):   %s\n", describe(inc_plain));
+  std::printf("\nFigure 6b — each racy access paired with WB/INV:\n");
+  const int inc_enforced = run_race(Config::Base, true);
+  std::printf("  incoherent (Base):   %s\n", describe(inc_enforced));
+  std::printf(
+      "\nWithout explicit writeback and self-invalidation, the update is\n"
+      "invisible forever; with them, the race communicates (each spin now\n"
+      "pays an invalidation + refetch). The better fix, per the paper, is\n"
+      "restructuring the code around real synchronization.\n");
+  return (inc_plain < 0 && inc_enforced >= 0) ? 0 : 1;
+}

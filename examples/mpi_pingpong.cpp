@@ -1,0 +1,46 @@
+// MPI-lite ping-pong (programming model 1 across blocks, paper §IV):
+// measures message latency and effective bandwidth between two cores in
+// different blocks, communicating through an on-chip uncacheable buffer.
+//
+//   $ ./mpi_pingpong
+#include <cstdio>
+
+#include "runtime/mpi_lite.hpp"
+
+using namespace hic;
+
+int main() {
+  std::printf("MPI-lite ping-pong between block 0 (rank 0) and block 1+ "
+              "(rank 9):\n\n");
+  std::printf("  %8s %14s %16s\n", "bytes", "rt cycles", "bytes/kcycle");
+  for (std::uint32_t size : {8u, 64u, 256u, 1024u, 4096u}) {
+    Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+    MpiComm comm(m, 10, 4096);
+    constexpr int kReps = 20;
+    std::vector<std::byte> buf(size);
+    Cycle t0 = 0, t1 = 0;
+    m.run(10, [&](Thread& t) {
+      if (t.tid() == 0) {
+        t0 = t.now();
+        for (int i = 0; i < kReps; ++i) {
+          comm.send(t, 9, buf);
+          comm.recv(t, 9, buf);
+        }
+        t1 = t.now();
+      } else if (t.tid() == 9) {
+        for (int i = 0; i < kReps; ++i) {
+          comm.recv(t, 0, buf);
+          comm.send(t, 0, buf);
+        }
+      }
+    });
+    const double rt = static_cast<double>(t1 - t0) / kReps;
+    std::printf("  %8u %14.0f %16.1f\n", size, rt,
+                2.0 * size / rt * 1000.0);
+  }
+  std::printf(
+      "\nSender and receiver share the chip's address space, so a \"message\"\n"
+      "is one uncacheable write plus one uncacheable read — no copies, no\n"
+      "coherence traffic; flow control rides the hardware sync flags.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Task queue with outside-critical-section communication (paper Figure 4d):
+// producers publish task payloads written *outside* the critical section,
+// consumers pop task indices under a lock and read the payloads afterwards.
+//
+// Run across the Table II configurations to see what the MEB and IEB buy on
+// short critical sections:
+//
+//   $ ./task_queue
+#include <cstdio>
+
+#include "runtime/thread.hpp"
+
+using namespace hic;
+
+namespace {
+
+constexpr int kTasks = 256;
+constexpr int kPayloadDoubles = 16;
+
+struct Result {
+  Cycle cycles;
+  bool ok;
+};
+
+Result run_once(Config cfg) {
+  Machine m(MachineConfig::intra_block(), cfg);
+  const Addr payload =
+      m.mem().alloc_array<double>(kTasks * kPayloadDoubles, "payload");
+  const Addr next = m.mem().alloc_array<std::int32_t>(1, "next");
+  const Addr sum_out = m.mem().alloc_array<double>(16, "sums");
+  for (int i = 0; i < kTasks * kPayloadDoubles; ++i)
+    m.mem().init(payload + static_cast<Addr>(i) * 8, 0.0);
+  m.mem().init(next, std::int32_t{0});
+  for (int i = 0; i < 16; ++i) m.mem().init(sum_out + i * 8, 0.0);
+
+  const auto qlock = m.make_lock(/*occ=*/true);  // OCC: payload flows around it
+  const auto ready = m.make_flag(0);
+  const auto done = m.make_barrier(16);
+
+  m.run(16, [&](Thread& t) {
+    if (t.tid() == 0) {
+      // Producer: write each payload outside the CS, then publish the task
+      // count through the flag.
+      for (int task = 0; task < kTasks; ++task) {
+        for (int w = 0; w < kPayloadDoubles; ++w)
+          t.store<double>(
+              payload + (static_cast<Addr>(task) * kPayloadDoubles + w) * 8,
+              task + 0.5);
+        t.compute(50);
+      }
+      t.flag_set(ready, 1);
+    }
+    if (t.tid() != 0) t.flag_wait(ready, 1);
+
+    // Everyone consumes: tiny critical sections pop indices.
+    double local_sum = 0;
+    for (;;) {
+      t.lock(qlock);
+      const auto task = t.load<std::int32_t>(next);
+      if (task < kTasks) t.store<std::int32_t>(next, task + 1);
+      t.unlock(qlock);
+      if (task >= kTasks) break;
+      for (int w = 0; w < kPayloadDoubles; ++w)
+        local_sum += t.load<double>(
+            payload + (static_cast<Addr>(task) * kPayloadDoubles + w) * 8);
+      t.compute(120);
+    }
+    t.store<double>(sum_out + static_cast<Addr>(t.tid()) * 8, local_sum);
+    t.barrier(done);
+  });
+
+  VerifyReader rd(m);
+  double total = 0;
+  for (int i = 0; i < 16; ++i) total += rd.read<double>(sum_out + i * 8);
+  double expected = 0;
+  for (int task = 0; task < kTasks; ++task)
+    expected += (task + 0.5) * kPayloadDoubles;
+  return {m.exec_cycles(), total == expected};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("OCC task queue, 16 threads, %d tasks:\n\n", kTasks);
+  std::printf("  %-8s %12s  %s\n", "config", "cycles", "result");
+  Cycle hcc = 0;
+  for (Config cfg : {Config::Hcc, Config::Base, Config::BaseMeb,
+                     Config::BaseIeb, Config::BaseMebIeb}) {
+    const Result r = run_once(cfg);
+    if (cfg == Config::Hcc) hcc = r.cycles;
+    std::printf("  %-8s %12llu  %-5s (%.2fx HCC)\n",
+                to_string(cfg).c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                r.ok ? "ok" : "WRONG",
+                static_cast<double>(r.cycles) / static_cast<double>(hcc));
+    if (!r.ok) return 1;
+  }
+  std::printf(
+      "\nThe MEB trims the WB ALL at each critical-section exit to the few\n"
+      "lines actually written; the IEB replaces the INV ALL at entry with\n"
+      "lazy per-read invalidation (paper §IV-B).\n");
+  return 0;
+}

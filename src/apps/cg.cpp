@@ -1,0 +1,307 @@
+// CG (NAS miniature): conjugate gradient on a symmetric banded sparse
+// matrix, the paper's irregular inter-block application. The SpMV reads
+// p[col[j]] through an index array, so the static analysis marks the loop
+// inspector-driven: an inspector (paper Fig. 8) computes each read's
+// producing thread once, and the per-read INV_PROD directives it emits are
+// what the level-adaptive configuration localizes. The writes of p[] are
+// published whole to the L3, as the paper does ("to eliminate global WBs
+// requires a more complicated compiler analysis").
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "compiler/analysis.hpp"
+#include "compiler/inspector.hpp"
+
+namespace hic {
+
+namespace {
+
+constexpr std::int64_t kN = 8192;
+constexpr std::int64_t kNnzPerRow = 7;
+constexpr int kIters = 8;
+constexpr double kDiag = 4.0;
+constexpr double kOff = -0.05;
+
+// Off-diagonal distances in units of thread chunks (32 threads): +-1 element
+// (same chunk or next), +-3 chunks (sometimes the same block), +-8 chunks
+// (always a different block).
+constexpr std::int64_t kOffNear = 3 * kN / 32;
+constexpr std::int64_t kOffFar = 8 * kN / 32;
+
+/// Column indices of row i (padded with the diagonal when clipped).
+std::array<std::int64_t, kNnzPerRow> row_cols(std::int64_t i) {
+  std::array<std::int64_t, kNnzPerRow> c{};
+  const std::int64_t raw[kNnzPerRow] = {i - kOffFar, i - kOffNear, i - 1, i,
+                                        i + 1,       i + kOffNear, i + kOffFar};
+  for (std::int64_t k = 0; k < kNnzPerRow; ++k)
+    c[static_cast<std::size_t>(k)] =
+        (raw[k] >= 0 && raw[k] < kN) ? raw[k] : i;
+  return c;
+}
+double entry_val(std::int64_t i, std::int64_t col) {
+  return col == i ? kDiag : kOff;
+}
+
+class CgWorkload final : public Workload {
+ public:
+  std::string name() const override { return "cg"; }
+  std::string main_patterns() const override {
+    return "barrier + inspector (model 2, irregular)";
+  }
+  bool inter_block() const override { return true; }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    p_ = m.mem().alloc_array<double>(kN, "cg.p");
+    q_ = m.mem().alloc_array<double>(kN, "cg.q");
+    r_ = m.mem().alloc_array<double>(kN, "cg.r");
+    x_ = m.mem().alloc_array<double>(kN, "cg.x");
+    col_ = m.mem().alloc_array<std::int32_t>(kN * kNnzPerRow, "cg.col");
+    val_ = m.mem().alloc_array<double>(kN * kNnzPerRow, "cg.val");
+    // Write-once reduction slots: pq of iteration `it` at [it], r.r at
+    // [kIters+it]. Avoids a reset write that would need its own publish.
+    scal_ = m.mem().alloc_array<double>(2 * kIters, "cg.scal");
+    bar_ = m.make_barrier(nthreads);
+    // The dot-product critical sections touch only the scalar slots.
+    red_lock_ = m.make_lock(
+        false, {scal_, static_cast<std::uint64_t>(2 * kIters) * 8});
+
+    b_host_.resize(static_cast<std::size_t>(kN));
+    Rng rng(0xc6);
+    double rho0 = 0.0;
+    for (std::int64_t i = 0; i < kN; ++i) {
+      const double b = rng.next_double();
+      b_host_[static_cast<std::size_t>(i)] = b;
+      m.mem().init(p_ + static_cast<Addr>(i) * 8, b);  // p = r = b, x = 0
+      m.mem().init(r_ + static_cast<Addr>(i) * 8, b);
+      m.mem().init(x_ + static_cast<Addr>(i) * 8, 0.0);
+      m.mem().init(q_ + static_cast<Addr>(i) * 8, 0.0);
+      rho0 += b * b;
+      const auto cols = row_cols(i);
+      for (std::int64_t k = 0; k < kNnzPerRow; ++k) {
+        m.mem().init(col_ + static_cast<Addr>(i * kNnzPerRow + k) * 4,
+                     static_cast<std::int32_t>(cols[static_cast<std::size_t>(k)]));
+        m.mem().init(val_ + static_cast<Addr>(i * kNnzPerRow + k) * 8,
+                     entry_val(i, cols[static_cast<std::size_t>(k)]));
+      }
+    }
+    rho0_ = rho0;
+    for (std::int64_t s = 0; s < 2 * kIters; ++s)
+      m.mem().init(scal_ + static_cast<Addr>(s) * 8, 0.0);
+
+    // --- Loop IR ------------------------------------------------------------
+    ProgramGraph prog;
+    const int ap = prog.add_array("p", p_, 8, kN);
+    const int aq = prog.add_array("q", q_, 8, kN);
+    const int ar = prog.add_array("r", r_, 8, kN);
+    const int ax = prog.add_array("x", x_, 8, kN);
+    const int as = prog.add_array("scal", scal_, 8, 2 * kIters);
+
+    LoopNode spmv;  // q[i] = sum val[i,k] * p[col[i,k]]
+    spmv.lb = 0;
+    spmv.ub = kN;
+    spmv.refs = {{aq, {1, 0}, RefKind::Def, false},
+                 {ap, {1, 0}, RefKind::Use, /*indirect=*/true}};
+    loop_spmv_ = prog.add_loop(spmv);
+
+    LoopNode dot_pq;  // scal[0] = p . q (lock-protected reduction)
+    dot_pq.lb = 0;
+    dot_pq.ub = kN;
+    dot_pq.refs = {{as, {0, 0}, RefKind::ReductionDef, false},
+                   {ap, {1, 0}, RefKind::Use, false},
+                   {aq, {1, 0}, RefKind::Use, false}};
+    loop_dot_pq_ = prog.add_loop(dot_pq);
+
+    LoopNode axpy;  // x += alpha p ; r -= alpha q ; alpha from scal[0..1]
+    axpy.lb = 0;
+    axpy.ub = kN;
+    // The scalar reads are through iteration-dependent slots; marked
+    // indirect so consumers refresh the whole (tiny) scalar array.
+    axpy.refs = {{ax, {1, 0}, RefKind::Def, false},
+                 {ar, {1, 0}, RefKind::Def, false},
+                 {ap, {1, 0}, RefKind::Use, false},
+                 {aq, {1, 0}, RefKind::Use, false},
+                 {as, {0, 0}, RefKind::Use, /*indirect=*/true}};
+    loop_axpy_ = prog.add_loop(axpy);
+
+    LoopNode dot_rho;  // scal[1] = r . r
+    dot_rho.lb = 0;
+    dot_rho.ub = kN;
+    dot_rho.refs = {{as, {0, 1}, RefKind::ReductionDef, false},
+                    {ar, {1, 0}, RefKind::Use, false}};
+    loop_dot_rho_ = prog.add_loop(dot_rho);
+
+    LoopNode upd_p;  // p = r + beta p
+    upd_p.lb = 0;
+    upd_p.ub = kN;
+    upd_p.refs = {{ap, {1, 0}, RefKind::Def, false},
+                  {ar, {1, 0}, RefKind::Use, false},
+                  {as, {0, 0}, RefKind::Use, /*indirect=*/true}};
+    loop_upd_p_ = prog.add_loop(upd_p);
+
+    prog.add_edge(loop_spmv_, loop_dot_pq_);
+    prog.add_edge(loop_dot_pq_, loop_axpy_);
+    prog.add_edge(loop_axpy_, loop_dot_rho_);
+    prog.add_edge(loop_dot_rho_, loop_upd_p_);
+    prog.add_edge(loop_upd_p_, loop_spmv_);
+    plan_.emplace(analyze_producer_consumer(prog, nthreads));
+    HIC_CHECK(plan_->needs_inspector(loop_spmv_));
+
+    // --- Inspector (runs once; the access pattern is iteration-invariant) --
+    const LoopNode& producer = prog.loop(loop_upd_p_);
+    const ArrayRef p_def = producer.refs[0];
+    const ArrayInfo p_info = prog.array(ap);
+    inspector_dirs_.assign(static_cast<std::size_t>(nthreads), {});
+    for (ThreadId t = 0; t < nthreads; ++t) {
+      const auto [rf, rl] = chunk_range(kN, nthreads, t);
+      std::vector<std::int64_t> reads;
+      for (std::int64_t i = rf; i < rl; ++i) {
+        for (auto c : row_cols(i)) reads.push_back(c);
+      }
+      std::sort(reads.begin(), reads.end());
+      reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+      const auto conflict =
+          build_conflict_array(producer, p_def, reads, nthreads);
+      inspector_dirs_[static_cast<std::size_t>(t)] =
+          inspector_inv_directives(p_info, reads, conflict, t);
+    }
+  }
+
+  void body(Thread& t) override {
+    const auto [rf, rl] = chunk_range(kN, nthreads_, t.tid());
+    const auto& my_inv = inspector_dirs_[static_cast<std::size_t>(t.tid())];
+    t.epoch_barrier(bar_);
+
+    for (int it = 0; it < kIters; ++it) {
+      // --- SpMV: q = A p. p was refreshed by the inspector's INV_PRODs.
+      t.epoch_consume(my_inv);
+      double local_pq = 0.0;
+      for (std::int64_t i = rf; i < rl; ++i) {
+        double acc = 0.0;
+        for (std::int64_t k = 0; k < kNnzPerRow; ++k) {
+          const auto c = t.load<std::int32_t>(
+              col_ + static_cast<Addr>(i * kNnzPerRow + k) * 4);
+          const double v = t.load<double>(
+              val_ + static_cast<Addr>(i * kNnzPerRow + k) * 8);
+          acc += v * t.load<double>(p_ + static_cast<Addr>(c) * 8);
+        }
+        t.store(q_ + static_cast<Addr>(i) * 8, acc);
+        local_pq += acc * t.load<double>(p_ + static_cast<Addr>(i) * 8);
+        t.compute(static_cast<Cycle>(2 * kNnzPerRow));
+      }
+      // --- Reduce p.q into this iteration's slot.
+      const Addr pq_slot = scal_ + static_cast<Addr>(it) * 8;
+      const Addr rho_slot = scal_ + static_cast<Addr>(kIters + it) * 8;
+      t.epoch_barrier(bar_, plan_->wb_for(loop_spmv_, t.tid()), {});
+      t.lock(red_lock_);
+      t.store(pq_slot, t.load<double>(pq_slot) + local_pq);
+      t.unlock(red_lock_);
+      t.epoch_barrier(bar_, plan_->wb_for(loop_dot_pq_, t.tid()),
+                      plan_->inv_for(loop_axpy_, t.tid()));
+
+      // --- axpy: x += alpha p, r -= alpha q.
+      const double rho =
+          it == 0 ? rho0_
+                  : t.load<double>(scal_ + static_cast<Addr>(kIters + it - 1) * 8);
+      const double pq = t.load<double>(pq_slot);
+      const double alpha = rho / pq;
+      double local_rho1 = 0.0;
+      for (std::int64_t i = rf; i < rl; ++i) {
+        t.store(x_ + static_cast<Addr>(i) * 8,
+                t.load<double>(x_ + static_cast<Addr>(i) * 8) +
+                    alpha * t.load<double>(p_ + static_cast<Addr>(i) * 8));
+        const double nr = t.load<double>(r_ + static_cast<Addr>(i) * 8) -
+                          alpha * t.load<double>(q_ + static_cast<Addr>(i) * 8);
+        t.store(r_ + static_cast<Addr>(i) * 8, nr);
+        local_rho1 += nr * nr;
+        t.compute(6);
+      }
+      // --- Reduce r.r into this iteration's slot.
+      t.epoch_barrier(bar_, plan_->wb_for(loop_axpy_, t.tid()), {});
+      t.lock(red_lock_);
+      t.store(rho_slot, t.load<double>(rho_slot) + local_rho1);
+      t.unlock(red_lock_);
+      t.epoch_barrier(bar_, plan_->wb_for(loop_dot_rho_, t.tid()),
+                      plan_->inv_for(loop_upd_p_, t.tid()));
+
+      // --- p = r + beta p.
+      const double beta = t.load<double>(rho_slot) / rho;
+      for (std::int64_t i = rf; i < rl; ++i) {
+        t.store(p_ + static_cast<Addr>(i) * 8,
+                t.load<double>(r_ + static_cast<Addr>(i) * 8) +
+                    beta * t.load<double>(p_ + static_cast<Addr>(i) * 8));
+        t.compute(4);
+      }
+      // Publish p for the next SpMV (whole chunk, to L3; the inspector INVs
+      // at the top of the loop refresh the consumers).
+      t.epoch_barrier(bar_, plan_->wb_for(loop_upd_p_, t.tid()), {});
+    }
+    // Output epoch: publish the solution chunk for the verification pass
+    // (the analysis only writes back data consumed by later loops).
+    const WbDirective out{
+        {x_ + static_cast<Addr>(rf) * 8,
+         static_cast<std::uint64_t>(rl - rf) * 8},
+        kUnknownThread};
+    t.epoch_barrier(bar_, {&out, 1}, {});
+  }
+
+  WorkloadResult verify(Machine& m) override {
+    // Serial CG, identical iteration structure.
+    std::vector<double> p = b_host_, r = b_host_,
+                        x(static_cast<std::size_t>(kN), 0.0),
+                        q(static_cast<std::size_t>(kN), 0.0);
+    double rho = 0.0;
+    for (double b : b_host_) rho += b * b;
+    for (int it = 0; it < kIters; ++it) {
+      double pq = 0.0;
+      for (std::int64_t i = 0; i < kN; ++i) {
+        double acc = 0.0;
+        for (auto c : row_cols(i))
+          acc += entry_val(i, c) * p[static_cast<std::size_t>(c)];
+        q[static_cast<std::size_t>(i)] = acc;
+        pq += acc * p[static_cast<std::size_t>(i)];
+      }
+      const double alpha = rho / pq;
+      double rho1 = 0.0;
+      for (std::int64_t i = 0; i < kN; ++i) {
+        x[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+        r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+        rho1 += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+      }
+      const double beta = rho1 / rho;
+      rho = rho1;
+      for (std::int64_t i = 0; i < kN; ++i)
+        p[static_cast<std::size_t>(i)] =
+            r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    }
+    VerifyReader rd(m);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      const double v = rd.read<double>(x_ + static_cast<Addr>(i) * 8);
+      if (!close_enough(v, x[static_cast<std::size_t>(i)], 1e-5))
+        return {false, "cg: x[" + std::to_string(i) + "] mismatch"};
+    }
+    return {true, ""};
+  }
+
+ private:
+  int nthreads_ = 0;
+  Addr p_ = 0, q_ = 0, r_ = 0, x_ = 0, col_ = 0, val_ = 0, scal_ = 0;
+  Machine::Barrier bar_;
+  Machine::Lock red_lock_;
+  int loop_spmv_ = 0, loop_dot_pq_ = 0, loop_axpy_ = 0, loop_dot_rho_ = 0,
+      loop_upd_p_ = 0;
+  std::optional<EpochPlan> plan_;
+  std::vector<std::vector<InvDirective>> inspector_dirs_;
+  std::vector<double> b_host_;
+  double rho0_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cg() {
+  return std::make_unique<CgWorkload>();
+}
+
+}  // namespace hic

@@ -1,0 +1,210 @@
+// Cholesky (SPLASH-2 miniature): task-DAG sparse factorization.
+//
+// The real tk15.O run factors supernodes whose readiness is tracked through
+// a lock-protected task queue; the panel data itself is produced and
+// consumed *outside* the critical sections — the paper's prototypical
+// Outside-Critical-section Communication (OCC) pattern (Table I: outside
+// critical (main); barrier, critical, flag (other)).
+//
+// The miniature keeps exactly that structure: a DAG of column tasks, each
+// depending on a few earlier columns; a thread pops a ready task, reads its
+// dependencies' column data (written by other threads outside their critical
+// sections), computes the task's column, sets the task's completion flag,
+// and enqueues newly-ready dependents under the queue lock.
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+
+namespace {
+
+constexpr std::int64_t kTasks = 128;
+constexpr std::int64_t kColElems = 256;  // doubles per supernode column
+constexpr int kMaxDeps = 3;
+
+class CholeskyWorkload final : public Workload {
+ public:
+  std::string name() const override { return "cholesky"; }
+  std::string main_patterns() const override { return "outside critical"; }
+  std::string other_patterns() const override {
+    return "barrier, critical, flag";
+  }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    data_ = m.mem().alloc_array<double>(kTasks * kColElems, "chol.cols");
+    queue_ = m.mem().alloc_array<std::int32_t>(kTasks + 4, "chol.queue");
+    pending_ = m.mem().alloc_array<std::int32_t>(kTasks, "chol.pending");
+    bar_ = m.make_barrier(nthreads);
+    // The queue lock sees OCC: column data flows around it.
+    qlock_ = m.make_lock(/*occ=*/true);
+    done_count_ = m.make_flag(0);
+    done_flags_.clear();
+    for (std::int64_t i = 0; i < kTasks; ++i)
+      done_flags_.push_back(m.make_flag(0));
+
+    // Build a deterministic DAG: task i depends on up to kMaxDeps earlier
+    // tasks. Also build the reverse edges (dependents).
+    Rng rng(0xc0de);
+    deps_.assign(static_cast<std::size_t>(kTasks), {});
+    dependents_.assign(static_cast<std::size_t>(kTasks), {});
+    for (std::int64_t i = 1; i < kTasks; ++i) {
+      const int ndeps = static_cast<int>(rng.next_below(kMaxDeps + 1));
+      for (int d = 0; d < ndeps; ++d) {
+        const auto dep = static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::uint64_t>(i)));
+        auto& v = deps_[static_cast<std::size_t>(i)];
+        if (std::find(v.begin(), v.end(), dep) == v.end()) {
+          v.push_back(dep);
+          dependents_[static_cast<std::size_t>(dep)].push_back(i);
+        }
+      }
+    }
+    // Initial data and queue: dependency-free tasks seeded, head/tail at
+    // queue_[kTasks] (head) and queue_[kTasks+1] (tail).
+    std::int32_t tail = 0;
+    for (std::int64_t i = 0; i < kTasks; ++i) {
+      m.mem().init(pending_ + static_cast<Addr>(i) * 4,
+                   static_cast<std::int32_t>(
+                       deps_[static_cast<std::size_t>(i)].size()));
+      if (deps_[static_cast<std::size_t>(i)].empty()) {
+        m.mem().init(queue_ + static_cast<Addr>(tail) * 4,
+                     static_cast<std::int32_t>(i));
+        ++tail;
+      }
+      for (std::int64_t e = 0; e < kColElems; ++e) {
+        const double v =
+            0.5 + static_cast<double>((i * 131 + e * 7) % 100) * 0.01;
+        m.mem().init(col_elem(i, e), v);
+        // keep a host copy of the initial data for the reference
+        init_.push_back(v);
+      }
+    }
+    m.mem().init(head_addr(), std::int32_t{0});
+    m.mem().init(tail_addr(), tail);
+  }
+
+  void body(Thread& t) override {
+    t.barrier(bar_);
+    for (;;) {
+      // Pop a ready task (critical section over the queue).
+      t.lock(qlock_);
+      const std::int32_t head = t.load<std::int32_t>(head_addr());
+      const std::int32_t tail = t.load<std::int32_t>(tail_addr());
+      std::int64_t task = -1;
+      if (head < tail) {
+        task = t.load<std::int32_t>(queue_ + static_cast<Addr>(head) * 4);
+        t.store(head_addr(), head + 1);
+      }
+      t.unlock(qlock_);
+
+      if (task < 0) {
+        if (t.services().engine().sync().flag_value(done_count_.id) >=
+            static_cast<std::uint64_t>(kTasks))
+          break;
+        t.compute(200);  // back off and re-poll the queue
+        continue;
+      }
+
+      process_task(t, task);
+
+      // Publish completion: flag set (with its WB annotation) then update
+      // dependents' pending counts in the critical section.
+      t.flag_set(done_flags_[static_cast<std::size_t>(task)], 1);
+      t.lock(qlock_);
+      for (std::int64_t dep : dependents_[static_cast<std::size_t>(task)]) {
+        const std::int32_t left =
+            t.load<std::int32_t>(pending_ + static_cast<Addr>(dep) * 4) - 1;
+        t.store(pending_ + static_cast<Addr>(dep) * 4, left);
+        if (left == 0) {
+          const std::int32_t tl = t.load<std::int32_t>(tail_addr());
+          t.store(queue_ + static_cast<Addr>(tl) * 4,
+                  static_cast<std::int32_t>(dep));
+          t.store(tail_addr(), tl + 1);
+        }
+      }
+      t.unlock(qlock_);
+      t.flag_add(done_count_, 1);
+    }
+    t.barrier(bar_);
+  }
+
+  WorkloadResult verify(Machine& m) override {
+    // Topological-order reference: the task function is associative-free
+    // (fixed dependency order), so any valid schedule produces this result.
+    std::vector<double> ref = init_;
+    std::vector<bool> done(static_cast<std::size_t>(kTasks), false);
+    for (std::int64_t processed = 0; processed < kTasks;) {
+      for (std::int64_t i = 0; i < kTasks; ++i) {
+        if (done[static_cast<std::size_t>(i)]) continue;
+        bool ready = true;
+        for (std::int64_t d : deps_[static_cast<std::size_t>(i)])
+          ready = ready && done[static_cast<std::size_t>(d)];
+        if (!ready) continue;
+        for (std::int64_t e = 0; e < kColElems; ++e) {
+          double acc = ref[static_cast<std::size_t>(i * kColElems + e)];
+          for (std::int64_t d : deps_[static_cast<std::size_t>(i)])
+            acc += 0.25 * ref[static_cast<std::size_t>(d * kColElems + e)];
+          ref[static_cast<std::size_t>(i * kColElems + e)] = acc * 0.5;
+        }
+        done[static_cast<std::size_t>(i)] = true;
+        ++processed;
+      }
+    }
+    VerifyReader rd(m);
+    for (std::int64_t i = 0; i < kTasks; ++i) {
+      for (std::int64_t e = 0; e < kColElems; ++e) {
+        const double v = rd.read<double>(col_elem(i, e));
+        if (!close_enough(v, ref[static_cast<std::size_t>(i * kColElems + e)],
+                          1e-9)) {
+          return {false, "cholesky: column " + std::to_string(i) +
+                             " elem " + std::to_string(e) + " mismatch"};
+        }
+      }
+    }
+    return {true, ""};
+  }
+
+ private:
+  [[nodiscard]] Addr col_elem(std::int64_t task, std::int64_t e) const {
+    return data_ + static_cast<Addr>(task * kColElems + e) * 8;
+  }
+  [[nodiscard]] Addr head_addr() const {
+    return queue_ + static_cast<Addr>(kTasks) * 4;
+  }
+  [[nodiscard]] Addr tail_addr() const {
+    return queue_ + static_cast<Addr>(kTasks + 1) * 4;
+  }
+
+  void process_task(Thread& t, std::int64_t task) {
+    // Read dependency columns (produced by other threads outside their
+    // critical sections — OCC) and update this task's column, outside any
+    // critical section.
+    for (std::int64_t e = 0; e < kColElems; ++e) {
+      double acc = t.load<double>(col_elem(task, e));
+      for (std::int64_t d : deps_[static_cast<std::size_t>(task)])
+        acc += 0.25 * t.load<double>(col_elem(d, e));
+      t.store(col_elem(task, e), acc * 0.5);
+    }
+    t.compute(2400);
+  }
+
+  int nthreads_ = 0;
+  Addr data_ = 0, queue_ = 0, pending_ = 0;
+  Machine::Barrier bar_;
+  Machine::Lock qlock_;
+  Machine::Flag done_count_;
+  std::vector<Machine::Flag> done_flags_;
+  std::vector<std::vector<std::int64_t>> deps_;
+  std::vector<std::vector<std::int64_t>> dependents_;
+  std::vector<double> init_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cholesky() {
+  return std::make_unique<CholeskyWorkload>();
+}
+
+}  // namespace hic

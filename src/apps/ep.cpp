@@ -1,0 +1,287 @@
+// EP (NAS miniature): embarrassingly parallel random-pair generation with a
+// final global histogram reduction. The paper's point: the only
+// communication is a reduction, which has no producer-consumer order, so
+// level-adaptive WB/INV cannot help — Addr and Addr+L behave like Base
+// (Figure 11/12, EP bars).
+//
+// The `ep-hier` variant implements the paper's suggested rewrite ("one
+// could re-write the code to have hierarchical reductions, which reduce
+// first inside the block and then globally"): threads accumulate into a
+// per-block partial under a block-local lock (whose CS annotations never
+// leave the L2), and one leader per block merges the partials globally.
+#include <cmath>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "compiler/analysis.hpp"
+
+namespace hic {
+
+namespace {
+
+constexpr std::int64_t kSamplesPerThread = 4096;
+constexpr std::int64_t kBins = 10;
+
+class EpWorkload final : public Workload {
+ public:
+  explicit EpWorkload(bool hierarchical) : hier_(hierarchical) {}
+
+  std::string name() const override { return hier_ ? "ep-hier" : "ep"; }
+  std::string main_patterns() const override {
+    return hier_ ? "hierarchical reduction (model 2)" : "reduction (model 2)";
+  }
+  bool inter_block() const override { return true; }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    hist_local_ = m.mem().alloc_array<std::int64_t>(
+        static_cast<std::int64_t>(nthreads) * kBins, "ep.hist_local");
+    q_ = m.mem().alloc_array<std::int64_t>(kBins, "ep.q");
+    sums_ = m.mem().alloc_array<double>(2, "ep.sums");
+    out_ = m.mem().alloc_array<double>(kBins + 2, "ep.out");
+    bar_ = m.make_barrier(nthreads);
+    // The critical section accesses q and sums; the compiler can name them,
+    // so the CS annotations operate on that range only (they are adjacent).
+    red_lock_ = m.make_lock(false, {q_, (sums_ + 16) - q_});
+
+    if (hier_) {
+      const auto& mc = m.machine_config();
+      nblocks_ = mc.blocks;
+      tpb_ = mc.cores_per_block;
+      // Per-block partials: one (kBins + 2)-slot row per block, row-aligned
+      // so a block's partial never shares lines with another block's.
+      const std::int64_t row = kBins + 2;
+      qblk_ = m.mem().alloc(
+          static_cast<std::uint64_t>(nblocks_) * align_up(row * 8, 64),
+          "ep.qblk", 64);
+      qblk_stride_ = align_up(static_cast<std::uint64_t>(row) * 8, 64);
+      for (int b = 0; b < nblocks_; ++b) {
+        for (std::int64_t s = 0; s < row; ++s)
+          m.mem().init(qblk_ + b * qblk_stride_ + static_cast<Addr>(s) * 8,
+                       std::int64_t{0});
+        // Block-local lock: all takers run in block b, so the CS stays at
+        // the L2 (the paper's "reduce first inside the block").
+        block_locks_.push_back(m.make_lock(
+            false, {qblk_ + b * qblk_stride_, qblk_stride_},
+            /*block_local=*/true));
+      }
+    }
+
+    for (std::int64_t i = 0; i < nthreads * kBins; ++i)
+      m.mem().init(hist_local_ + static_cast<Addr>(i) * 8, std::int64_t{0});
+    for (std::int64_t b = 0; b < kBins; ++b)
+      m.mem().init(q_ + static_cast<Addr>(b) * 8, std::int64_t{0});
+    m.mem().init(sums_ + 0, 0.0);
+    m.mem().init(sums_ + 8, 0.0);
+    for (std::int64_t i = 0; i < kBins + 2; ++i)
+      m.mem().init(out_ + static_cast<Addr>(i) * 8, 0.0);
+
+    // Loop IR: generate (per-thread rows of hist_local), reduce (reduction
+    // into q and sums), output (serial read of q/sums).
+    ProgramGraph prog;
+    const int ah = prog.add_array("hist_local", hist_local_, 8,
+                                  static_cast<std::int64_t>(nthreads) * kBins);
+    const int aq2 = prog.add_array("q", q_, 8, kBins);
+    const int asums = prog.add_array("sums", sums_, 8, 2);
+    const int aout = prog.add_array("out", out_, 8, kBins + 2);
+
+    LoopNode gen;
+    gen.lb = 0;
+    gen.ub = static_cast<std::int64_t>(nthreads) * kBins;
+    gen.refs = {{ah, {1, 0}, RefKind::Def, false}};
+    loop_gen_ = prog.add_loop(gen);
+
+    LoopNode red;
+    red.lb = 0;
+    red.ub = nthreads;
+    red.refs = {{aq2, {0, 0}, RefKind::ReductionDef, false},
+                {asums, {0, 0}, RefKind::ReductionDef, false},
+                {ah, {static_cast<std::int64_t>(kBins), 0}, RefKind::Use,
+                 false}};
+    loop_red_ = prog.add_loop(red);
+
+    LoopNode outl;
+    outl.lb = 0;
+    outl.ub = kBins + 2;
+    outl.serial = true;
+    outl.refs = {{aout, {1, 0}, RefKind::Def, false},
+                 {aq2, {0, 0}, RefKind::Use, /*indirect=*/true},
+                 {asums, {0, 0}, RefKind::Use, /*indirect=*/true}};
+    loop_out_ = prog.add_loop(outl);
+
+    prog.add_edge(loop_gen_, loop_red_);
+    prog.add_edge(loop_red_, loop_out_);
+    plan_.emplace(analyze_producer_consumer(prog, nthreads));
+  }
+
+  /// The per-sample transform: a Marsaglia-style acceptance test.
+  static bool sample(Rng& rng, double* sx, double* sy, std::int64_t* bin) {
+    const double x = 2.0 * rng.next_double() - 1.0;
+    const double y = 2.0 * rng.next_double() - 1.0;
+    const double t2 = x * x + y * y;
+    if (t2 > 1.0 || t2 == 0.0) return false;
+    const double f = std::sqrt(-2.0 * std::log(t2) / t2);
+    const double gx = x * f;
+    const double gy = y * f;
+    *sx = gx;
+    *sy = gy;
+    const double mx = std::max(std::fabs(gx), std::fabs(gy));
+    *bin = std::min<std::int64_t>(kBins - 1, static_cast<std::int64_t>(mx));
+    return true;
+  }
+
+  void body(Thread& t) override {
+    t.epoch_barrier(bar_);
+    // Generate: accumulate into this thread's hist_local row (in simulated
+    // memory — these are real stores) and host-local partial sums.
+    Rng rng(0xe9 + static_cast<std::uint64_t>(t.tid()) * 7919);
+    double lsx = 0.0;
+    double lsy = 0.0;
+    const Addr row =
+        hist_local_ + static_cast<Addr>(t.tid()) * kBins * 8;
+    for (std::int64_t s = 0; s < kSamplesPerThread; ++s) {
+      double gx = 0.0, gy = 0.0;
+      std::int64_t bin = 0;
+      t.compute(40);
+      if (!sample(rng, &gx, &gy, &bin)) continue;
+      lsx += gx;
+      lsy += gy;
+      t.store(row + static_cast<Addr>(bin) * 8,
+              t.load<std::int64_t>(row + static_cast<Addr>(bin) * 8) + 1);
+    }
+    t.epoch_barrier(bar_, plan_->wb_for(loop_gen_, t.tid()),
+                    plan_->inv_for(loop_red_, t.tid()));
+    if (!hier_) {
+      // Flat reduction into the global bins under one lock (the reduction
+      // the paper says defeats producer-consumer analysis).
+      t.lock(red_lock_);
+      for (std::int64_t b = 0; b < kBins; ++b) {
+        const auto mine =
+            t.load<std::int64_t>(row + static_cast<Addr>(b) * 8);
+        const auto cur = t.load<std::int64_t>(q_ + static_cast<Addr>(b) * 8);
+        t.store(q_ + static_cast<Addr>(b) * 8, cur + mine);
+      }
+      t.store(sums_ + 0, t.load<double>(sums_ + 0) + lsx);
+      t.store(sums_ + 8, t.load<double>(sums_ + 8) + lsy);
+      t.unlock(red_lock_);
+    } else {
+      // Hierarchical phase A: accumulate into this block's partial under
+      // the block-local lock — WB/INV stay at the L2.
+      const int blk = t.tid() / tpb_;
+      const Addr part = qblk_ + blk * qblk_stride_;
+      auto& blk_lock = block_locks_[static_cast<std::size_t>(blk)];
+      t.lock(blk_lock);
+      for (std::int64_t b = 0; b < kBins; ++b) {
+        const auto mine =
+            t.load<std::int64_t>(row + static_cast<Addr>(b) * 8);
+        const auto cur =
+            t.load<std::int64_t>(part + static_cast<Addr>(b) * 8);
+        t.store(part + static_cast<Addr>(b) * 8, cur + mine);
+      }
+      t.store(part + static_cast<Addr>(kBins) * 8,
+              t.load<double>(part + static_cast<Addr>(kBins) * 8) + lsx);
+      t.store(part + static_cast<Addr>(kBins + 1) * 8,
+              t.load<double>(part + static_cast<Addr>(kBins + 1) * 8) + lsy);
+      t.unlock(blk_lock);
+      t.epoch_barrier(bar_);
+      // Phase B: one leader per block merges the partials globally.
+      if (t.tid() % tpb_ == 0) {
+        // The partial was produced by block-mates: a known in-block
+        // producer makes this INV local under Addr+L.
+        const InvDirective fresh{{part, qblk_stride_},
+                                 static_cast<ThreadId>(blk * tpb_ + 1)};
+        t.epoch_consume({&fresh, 1});
+        t.lock(red_lock_);
+        for (std::int64_t b = 0; b < kBins; ++b) {
+          const auto mine =
+              t.load<std::int64_t>(part + static_cast<Addr>(b) * 8);
+          const auto cur =
+              t.load<std::int64_t>(q_ + static_cast<Addr>(b) * 8);
+          t.store(q_ + static_cast<Addr>(b) * 8, cur + mine);
+        }
+        t.store(sums_ + 0,
+                t.load<double>(sums_ + 0) +
+                    t.load<double>(part + static_cast<Addr>(kBins) * 8));
+        t.store(sums_ + 8,
+                t.load<double>(sums_ + 8) +
+                    t.load<double>(part + static_cast<Addr>(kBins + 1) * 8));
+        t.unlock(red_lock_);
+      }
+    }
+    t.epoch_barrier(bar_, plan_->wb_for(loop_red_, t.tid()),
+                    plan_->inv_for(loop_out_, t.tid()));
+
+    // Serial output epoch.
+    if (t.tid() == 0) {
+      for (std::int64_t b = 0; b < kBins; ++b) {
+        t.store(out_ + static_cast<Addr>(b) * 8,
+                static_cast<double>(
+                    t.load<std::int64_t>(q_ + static_cast<Addr>(b) * 8)));
+      }
+      t.store(out_ + static_cast<Addr>(kBins) * 8, t.load<double>(sums_ + 0));
+      t.store(out_ + static_cast<Addr>(kBins + 1) * 8,
+              t.load<double>(sums_ + 8));
+    }
+    // The serial section's result is written back by WB to the global cache
+    // (paper §V-A1); out_ has no later in-program consumer, so the output
+    // epoch publishes it explicitly for the verification pass.
+    const WbDirective fin{
+        {out_, static_cast<std::uint64_t>(kBins + 2) * 8}, kUnknownThread};
+    if (t.tid() == 0) {
+      t.epoch_barrier(bar_, {&fin, 1}, {});
+    } else {
+      t.epoch_barrier(bar_);
+    }
+  }
+
+  WorkloadResult verify(Machine& m) override {
+    std::vector<std::int64_t> ref_q(static_cast<std::size_t>(kBins), 0);
+    double sx = 0.0, sy = 0.0;
+    for (int tid = 0; tid < nthreads_; ++tid) {
+      Rng rng(0xe9 + static_cast<std::uint64_t>(tid) * 7919);
+      for (std::int64_t s = 0; s < kSamplesPerThread; ++s) {
+        double gx = 0.0, gy = 0.0;
+        std::int64_t bin = 0;
+        if (!sample(rng, &gx, &gy, &bin)) continue;
+        sx += gx;
+        sy += gy;
+        ++ref_q[static_cast<std::size_t>(bin)];
+      }
+    }
+    VerifyReader rd(m);
+    for (std::int64_t b = 0; b < kBins; ++b) {
+      const auto v =
+          rd.read<double>(out_ + static_cast<Addr>(b) * 8);
+      if (v != static_cast<double>(ref_q[static_cast<std::size_t>(b)]))
+        return {false, "ep: bin " + std::to_string(b) + " mismatch"};
+    }
+    if (!close_enough(rd.read<double>(out_ + static_cast<Addr>(kBins) * 8),
+                      sx, 1e-6) ||
+        !close_enough(
+            rd.read<double>(out_ + static_cast<Addr>(kBins + 1) * 8), sy,
+            1e-6)) {
+      return {false, "ep: gaussian sums mismatch"};
+    }
+    return {true, ""};
+  }
+
+ private:
+  bool hier_;
+  int nthreads_ = 0;
+  int nblocks_ = 0, tpb_ = 0;
+  Addr hist_local_ = 0, q_ = 0, sums_ = 0, out_ = 0, qblk_ = 0;
+  std::uint64_t qblk_stride_ = 0;
+  Machine::Barrier bar_;
+  Machine::Lock red_lock_;
+  std::vector<Machine::Lock> block_locks_;
+  int loop_gen_ = 0, loop_red_ = 0, loop_out_ = 0;
+  std::optional<EpochPlan> plan_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ep(bool hierarchical) {
+  return std::make_unique<EpWorkload>(hierarchical);
+}
+
+}  // namespace hic

@@ -1,0 +1,259 @@
+// IS (NAS miniature): integer counting sort. Keys are generated and counted
+// locally per thread; the per-thread histograms are merged into the global
+// histogram through a lock-protected reduction; a serial scan produces the
+// bucket offsets; bucket owners then emit the sorted output. As in the
+// paper, the dominating communication is the reduction, so level-adaptive
+// instructions give (almost) no benefit.
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "compiler/analysis.hpp"
+
+namespace hic {
+
+namespace {
+
+constexpr std::int64_t kKeys = 65536;
+constexpr std::int64_t kBuckets = 512;
+constexpr int kRounds = 2;
+
+std::int32_t key_of(std::int64_t i, int round) {
+  // Deterministic pseudo-random key stream, different per round.
+  std::uint64_t z = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL +
+                    static_cast<std::uint64_t>(round) * 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 29;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 32;
+  return static_cast<std::int32_t>(z % kBuckets);
+}
+
+class IsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "is"; }
+  std::string main_patterns() const override { return "reduction (model 2)"; }
+  bool inter_block() const override { return true; }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    keys_ = m.mem().alloc_array<std::int32_t>(kKeys, "is.keys");
+    hist_local_ = m.mem().alloc_array<std::int32_t>(
+        static_cast<std::int64_t>(nthreads) * kBuckets, "is.hist_local");
+    ghist_ = m.mem().alloc_array<std::int32_t>(kBuckets, "is.ghist");
+    offsets_ = m.mem().alloc_array<std::int32_t>(kBuckets + 1, "is.offsets");
+    sorted_ = m.mem().alloc_array<std::int32_t>(kKeys, "is.sorted");
+    bar_ = m.make_barrier(nthreads);
+    // The reduction critical section touches only the global histogram.
+    red_lock_ =
+        m.make_lock(false, {ghist_, static_cast<std::uint64_t>(kBuckets) * 4});
+
+    for (std::int64_t i = 0; i < kKeys; ++i) {
+      m.mem().init(keys_ + static_cast<Addr>(i) * 4, std::int32_t{0});
+      m.mem().init(sorted_ + static_cast<Addr>(i) * 4, std::int32_t{-1});
+    }
+    for (std::int64_t i = 0; i < nthreads * kBuckets; ++i)
+      m.mem().init(hist_local_ + static_cast<Addr>(i) * 4, std::int32_t{0});
+    for (std::int64_t b = 0; b <= kBuckets; ++b) {
+      if (b < kBuckets)
+        m.mem().init(ghist_ + static_cast<Addr>(b) * 4, std::int32_t{0});
+      m.mem().init(offsets_ + static_cast<Addr>(b) * 4, std::int32_t{0});
+    }
+
+    // Loop IR.
+    ProgramGraph prog;
+    const int ak = prog.add_array("keys", keys_, 4, kKeys);
+    const int ah = prog.add_array("hist_local", hist_local_, 4,
+                                  static_cast<std::int64_t>(nthreads) *
+                                      kBuckets);
+    const int ag = prog.add_array("ghist", ghist_, 4, kBuckets);
+    const int ao = prog.add_array("offsets", offsets_, 4, kBuckets + 1);
+    const int asorted = prog.add_array("sorted", sorted_, 4, kKeys);
+
+    LoopNode gen;  // keys[i] = f(i, round)
+    gen.lb = 0;
+    gen.ub = kKeys;
+    gen.refs = {{ak, {1, 0}, RefKind::Def, false}};
+    loop_gen_ = prog.add_loop(gen);
+
+    LoopNode hist;  // own hist row from own keys
+    hist.lb = 0;
+    hist.ub = static_cast<std::int64_t>(nthreads) * kBuckets;
+    hist.refs = {{ah, {1, 0}, RefKind::Def, false},
+                 {ak, {kKeys / (static_cast<std::int64_t>(nthreads) *
+                                kBuckets),
+                       0},
+                  RefKind::Use, false}};
+    loop_hist_ = prog.add_loop(hist);
+
+    LoopNode red;  // ghist += own row (lock-protected reduction)
+    red.lb = 0;
+    red.ub = nthreads;
+    red.refs = {{ag, {0, 0}, RefKind::ReductionDef, false},
+                {ah, {static_cast<std::int64_t>(kBuckets), 0}, RefKind::Use,
+                 false}};
+    loop_red_ = prog.add_loop(red);
+
+    LoopNode scan;  // serial prefix sum
+    scan.lb = 0;
+    scan.ub = kBuckets + 1;
+    scan.serial = true;
+    scan.refs = {{ao, {1, 0}, RefKind::Def, false},
+                 {ag, {1, 0}, RefKind::Use, false}};
+    loop_scan_ = prog.add_loop(scan);
+
+    LoopNode rank;  // bucket owners fill the output
+    rank.lb = 0;
+    rank.ub = kBuckets;
+    rank.refs = {{asorted, {0, 0}, RefKind::Def, /*indirect=*/false},
+                 {ag, {1, 0}, RefKind::Use, false},
+                 {ao, {1, 0}, RefKind::Use, false}};
+    // The sorted-output positions are runtime values (offsets): treat the
+    // def as a reduction-style whole-array publish.
+    rank.refs[0].kind = RefKind::ReductionDef;
+    loop_rank_ = prog.add_loop(rank);
+
+    LoopNode check;  // a final parallel pass reads sorted[i-1] and sorted[i]
+    check.lb = 0;
+    check.ub = kKeys;
+    check.refs = {{asorted, {1, 0}, RefKind::Use, false},
+                  {asorted, {1, -1}, RefKind::Use, false}};
+    loop_check_ = prog.add_loop(check);
+
+    prog.add_edge(loop_gen_, loop_hist_);
+    prog.add_edge(loop_hist_, loop_red_);
+    prog.add_edge(loop_red_, loop_scan_);
+    prog.add_edge(loop_scan_, loop_rank_);
+    prog.add_edge(loop_rank_, loop_check_);
+    prog.add_edge(loop_check_, loop_gen_);  // next round
+    plan_.emplace(analyze_producer_consumer(prog, nthreads));
+  }
+
+  void body(Thread& t) override {
+    const auto [kf, kl] = chunk_range(kKeys, nthreads_, t.tid());
+    const auto [bf, bl] = chunk_range(kBuckets, nthreads_, t.tid());
+    const Addr row =
+        hist_local_ + static_cast<Addr>(t.tid()) * kBuckets * 4;
+    t.epoch_barrier(bar_);
+
+    for (int round = 0; round < kRounds; ++round) {
+      // Generate own keys.
+      for (std::int64_t i = kf; i < kl; ++i) {
+        t.store(keys_ + static_cast<Addr>(i) * 4, key_of(i, round));
+        t.compute(2);
+      }
+      t.epoch_barrier(bar_, plan_->wb_for(loop_gen_, t.tid()),
+                      plan_->inv_for(loop_hist_, t.tid()));
+
+      // Local histogram (reset + count own keys).
+      for (std::int64_t b = 0; b < kBuckets; ++b)
+        t.store(row + static_cast<Addr>(b) * 4, std::int32_t{0});
+      for (std::int64_t i = kf; i < kl; ++i) {
+        const auto k = t.load<std::int32_t>(keys_ + static_cast<Addr>(i) * 4);
+        t.store(row + static_cast<Addr>(k) * 4,
+                t.load<std::int32_t>(row + static_cast<Addr>(k) * 4) + 1);
+      }
+      t.epoch_barrier(bar_, plan_->wb_for(loop_hist_, t.tid()),
+                      plan_->inv_for(loop_red_, t.tid()));
+
+      // Reduction: merge own row into the global histogram. All ghist
+      // accesses are lock-ordered, so visibility flows through the
+      // critical-section WB/INV annotations.
+      t.lock(red_lock_);
+      for (std::int64_t b = 0; b < kBuckets; ++b) {
+        const auto mine = t.load<std::int32_t>(row + static_cast<Addr>(b) * 4);
+        if (mine == 0) continue;
+        const Addr g = ghist_ + static_cast<Addr>(b) * 4;
+        t.store(g, t.load<std::int32_t>(g) + mine);
+      }
+      t.unlock(red_lock_);
+      t.epoch_barrier(bar_, plan_->wb_for(loop_red_, t.tid()),
+                      plan_->inv_for(loop_scan_, t.tid()));
+
+      // Serial scan by thread 0.
+      if (t.tid() == 0) {
+        std::int32_t acc = 0;
+        for (std::int64_t b = 0; b < kBuckets; ++b) {
+          t.store(offsets_ + static_cast<Addr>(b) * 4, acc);
+          acc += t.load<std::int32_t>(ghist_ + static_cast<Addr>(b) * 4);
+        }
+        t.store(offsets_ + static_cast<Addr>(kBuckets) * 4, acc);
+      }
+      t.epoch_barrier(bar_, plan_->wb_for(loop_scan_, t.tid()),
+                      plan_->inv_for(loop_rank_, t.tid()));
+
+      // Rank/permute: bucket owners write the output run for each bucket.
+      for (std::int64_t b = bf; b < bl; ++b) {
+        const auto start =
+            t.load<std::int32_t>(offsets_ + static_cast<Addr>(b) * 4);
+        const auto n = t.load<std::int32_t>(ghist_ + static_cast<Addr>(b) * 4);
+        for (std::int32_t k = 0; k < n; ++k) {
+          t.store(sorted_ + static_cast<Addr>(start + k) * 4,
+                  static_cast<std::int32_t>(b));
+        }
+        t.compute(4);
+      }
+      t.epoch_barrier(bar_, plan_->wb_for(loop_rank_, t.tid()),
+                      plan_->inv_for(loop_check_, t.tid()));
+
+      // Check epoch: every thread verifies its slice is sorted (a real
+      // consumer of the permuted output, as in NAS IS's partial check).
+      for (std::int64_t i = std::max<std::int64_t>(kf, 1); i < kl; ++i) {
+        const auto a =
+            t.load<std::int32_t>(sorted_ + static_cast<Addr>(i - 1) * 4);
+        const auto b2 =
+            t.load<std::int32_t>(sorted_ + static_cast<Addr>(i) * 4);
+        HIC_CHECK_MSG(a <= b2, "is: output not sorted during check epoch");
+      }
+
+      // Reset ghist for the next round under the lock (lock-ordered with
+      // all other ghist accesses).
+      if (round + 1 < kRounds) {
+        if (t.tid() == 0) {
+          t.lock(red_lock_);
+          for (std::int64_t b = 0; b < kBuckets; ++b)
+            t.store(ghist_ + static_cast<Addr>(b) * 4, std::int32_t{0});
+          t.unlock(red_lock_);
+        }
+        t.epoch_barrier(bar_);
+      }
+    }
+    t.epoch_barrier(bar_);
+  }
+
+  WorkloadResult verify(Machine& m) override {
+    // Reference: counting sort of the last round's keys.
+    std::vector<std::int32_t> ref_hist(static_cast<std::size_t>(kBuckets), 0);
+    for (std::int64_t i = 0; i < kKeys; ++i)
+      ++ref_hist[static_cast<std::size_t>(key_of(i, kRounds - 1))];
+    VerifyReader rd(m);
+    std::int64_t pos = 0;
+    for (std::int64_t b = 0; b < kBuckets; ++b) {
+      for (std::int32_t k = 0; k < ref_hist[static_cast<std::size_t>(b)];
+           ++k, ++pos) {
+        const auto v =
+            rd.read<std::int32_t>(sorted_ + static_cast<Addr>(pos) * 4);
+        if (v != static_cast<std::int32_t>(b))
+          return {false, "is: sorted[" + std::to_string(pos) + "] = " +
+                             std::to_string(v) + ", want " +
+                             std::to_string(b)};
+      }
+    }
+    return {true, ""};
+  }
+
+ private:
+  int nthreads_ = 0;
+  Addr keys_ = 0, hist_local_ = 0, ghist_ = 0, offsets_ = 0, sorted_ = 0;
+  Machine::Barrier bar_;
+  Machine::Lock red_lock_;
+  int loop_gen_ = 0, loop_hist_ = 0, loop_red_ = 0, loop_scan_ = 0,
+      loop_rank_ = 0, loop_check_ = 0;
+  std::optional<EpochPlan> plan_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_is() {
+  return std::make_unique<IsWorkload>();
+}
+
+}  // namespace hic

@@ -1,0 +1,150 @@
+// LU (SPLASH-2 miniature): dense LU factorization without pivoting on a
+// diagonally-dominant matrix, rows distributed across threads, one barrier
+// per elimination step (Table I: barriers only).
+//
+// Two data layouts, as in the paper:
+//   contiguous      ("LU cont"):     block row distribution, line-aligned
+//                                    row stride — a thread's data stays in
+//                                    its own cache lines;
+//   non-contiguous  ("LU non-cont"): cyclic row distribution with a row
+//                                    stride that is not a multiple of the
+//                                    line size, so rows owned by different
+//                                    threads share cache lines (false
+//                                    sharing — harmless under per-word dirty
+//                                    bits, ping-pong under MESI).
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+
+namespace {
+
+// 256x256 puts each thread's row set at the L1 capacity (16 rows x 2KB),
+// the regime of the paper's 512x512 runs. Only the first kSteps elimination
+// steps run — enough to exercise every communication epoch while keeping
+// simulations fast; the serial reference factors the same prefix.
+constexpr std::int64_t kN = 256;
+constexpr std::int64_t kSteps = 64;
+
+class LuWorkload final : public Workload {
+ public:
+  explicit LuWorkload(bool contiguous) : contiguous_(contiguous) {}
+
+  std::string name() const override {
+    return contiguous_ ? "lu-cont" : "lu-noncont";
+  }
+  std::string main_patterns() const override { return "barrier"; }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    // Row stride: line-aligned for cont; deliberately line-misaligned for
+    // non-cont so consecutive rows share a cache line.
+    row_stride_ = contiguous_ ? align_up(kN * 8, 64) : kN * 8 + 8;
+    base_ = m.mem().alloc(static_cast<std::uint64_t>(kN) * row_stride_,
+                          "lu.A");
+    bar_ = m.make_barrier(nthreads);
+
+    Rng rng(0x10);
+    init_.assign(static_cast<std::size_t>(kN * kN), 0.0);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      for (std::int64_t j = 0; j < kN; ++j) {
+        double v = rng.next_double() - 0.5;
+        if (i == j) v += static_cast<double>(kN);  // diagonal dominance
+        init_[static_cast<std::size_t>(i * kN + j)] = v;
+        m.mem().init(elem(i, j), v);
+      }
+    }
+  }
+
+  void body(Thread& t) override {
+    // A thread reuses its own rows across barriers as if they were private
+    // (paper §IV-A refinement): each barrier self-invalidates only the
+    // upcoming pivot row — the epoch's exposed reads.
+    const auto pivot_row = [this](std::int64_t k) {
+      return AddrRange{elem(k, 0), static_cast<std::uint64_t>(kN) * 8};
+    };
+    {
+      const AddrRange first = pivot_row(0);
+      t.barrier_refined(bar_, {}, {&first, 1});
+    }
+    for (std::int64_t k = 0; k < kSteps; ++k) {
+      // Row k is final after the preceding barrier; eliminate below it.
+      const double pivot = t.load<double>(elem(k, k));
+      for (std::int64_t i = k + 1; i < kN; ++i) {
+        if (owner(i) != t.tid()) continue;
+        const double l = t.load<double>(elem(i, k)) / pivot;
+        t.store(elem(i, k), l);
+        for (std::int64_t j = k + 1; j < kN; ++j) {
+          const double akj = t.load<double>(elem(k, j));
+          const double aij = t.load<double>(elem(i, j));
+          t.store(elem(i, j), aij - l * akj);
+        }
+        t.compute(2 * static_cast<Cycle>(kN - k));
+      }
+      // Only the next pivot row is consumed by other threads; its owner
+      // writes it back, everyone self-invalidates it.
+      const AddrRange next = pivot_row(std::min(k + 1, kN - 1));
+      if (owner(k + 1) == t.tid()) {
+        t.barrier_refined(bar_, {&next, 1}, {&next, 1});
+      } else {
+        t.barrier_refined(bar_, {}, {&next, 1});
+      }
+    }
+    // Final barrier: publish the factor for the verification pass.
+    t.barrier(bar_);
+  }
+
+  WorkloadResult verify(Machine& m) override {
+    std::vector<double> ref = init_;
+    for (std::int64_t k = 0; k < kSteps; ++k) {
+      const double pivot = ref[static_cast<std::size_t>(k * kN + k)];
+      for (std::int64_t i = k + 1; i < kN; ++i) {
+        const double l = ref[static_cast<std::size_t>(i * kN + k)] / pivot;
+        ref[static_cast<std::size_t>(i * kN + k)] = l;
+        for (std::int64_t j = k + 1; j < kN; ++j)
+          ref[static_cast<std::size_t>(i * kN + j)] -=
+              l * ref[static_cast<std::size_t>(k * kN + j)];
+      }
+    }
+    VerifyReader rd(m);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      for (std::int64_t j = 0; j < kN; ++j) {
+        const double v = rd.read<double>(elem(i, j));
+        if (!close_enough(v, ref[static_cast<std::size_t>(i * kN + j)],
+                          1e-9)) {
+          return {false, name() + ": mismatch at (" + std::to_string(i) +
+                             "," + std::to_string(j) + ")"};
+        }
+      }
+    }
+    return {true, ""};
+  }
+
+ private:
+  [[nodiscard]] Addr elem(std::int64_t i, std::int64_t j) const {
+    return base_ + static_cast<Addr>(i) * row_stride_ +
+           static_cast<Addr>(j) * 8;
+  }
+  [[nodiscard]] int owner(std::int64_t row) const {
+    // Block-cyclic for load balance (as SPLASH LU distributes blocks):
+    // contiguous deals 4-row blocks, non-contiguous single rows.
+    if (contiguous_) return static_cast<int>((row / 4) % nthreads_);
+    return static_cast<int>(row % nthreads_);
+  }
+
+  bool contiguous_;
+  int nthreads_ = 0;
+  std::uint64_t row_stride_ = 0;
+  Addr base_ = 0;
+  Machine::Barrier bar_;
+  std::vector<double> init_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_lu(bool contiguous) {
+  return std::make_unique<LuWorkload>(contiguous);
+}
+
+}  // namespace hic

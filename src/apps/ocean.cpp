@@ -1,0 +1,157 @@
+// Ocean (SPLASH-2 miniature): red-black Gauss-Seidel relaxation on a 2D
+// grid with a lock-protected global residual reduction each iteration
+// (Table I: barrier + critical).
+//
+// Layouts: contiguous pads each row to a whole number of cache lines;
+// non-contiguous uses a misaligned row stride, so rows at thread-partition
+// boundaries share lines (SPLASH's pointer-based 2D arrays behave likewise).
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+
+namespace {
+
+// The paper's grid size: 258x258, which puts each thread's row block at the
+// L1 capacity.
+constexpr std::int64_t kG = 258;
+constexpr int kIters = 5;
+
+class OceanWorkload final : public Workload {
+ public:
+  explicit OceanWorkload(bool contiguous) : contiguous_(contiguous) {}
+
+  std::string name() const override {
+    return contiguous_ ? "ocean-cont" : "ocean-noncont";
+  }
+  std::string main_patterns() const override { return "barrier, critical"; }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    row_stride_ = contiguous_ ? align_up(kG * 8, 64) : kG * 8 + 8;
+    base_ = m.mem().alloc(static_cast<std::uint64_t>(kG) * row_stride_,
+                          "ocean.u");
+    residual_ = m.mem().alloc_array<double>(1, "ocean.residual");
+    bar_ = m.make_barrier(nthreads);
+    lock_ = m.make_lock(/*occ=*/false);
+
+    init_.assign(static_cast<std::size_t>(kG * kG), 0.0);
+    for (std::int64_t i = 0; i < kG; ++i) {
+      for (std::int64_t j = 0; j < kG; ++j) {
+        double v = 0.0;
+        if (i == 0 || i == kG - 1 || j == 0 || j == kG - 1) {
+          v = 1.0 + 0.5 * static_cast<double>((i * 7 + j * 13) % 17);
+        }
+        init_[static_cast<std::size_t>(i * kG + j)] = v;
+        m.mem().init(elem(i, j), v);
+      }
+    }
+    m.mem().init(residual_, 0.0);
+  }
+
+  void body(Thread& t) override {
+    const auto [rf, rl] = chunk_range(kG - 2, nthreads_, t.tid());
+    // Paper §IV-A refinement: a thread's own rows are reused across
+    // barriers as if private; only the neighbor boundary rows it reads are
+    // self-invalidated.
+    const AddrRange consumed[2] = {
+        {elem(rf, 0), static_cast<std::uint64_t>(kG) * 8},
+        {elem(rl + 1, 0), static_cast<std::uint64_t>(kG) * 8},
+    };
+    // ... and writes back only its own boundary rows — the rows the
+    // neighbor threads read.
+    const AddrRange produced[2] = {
+        {elem(rf + 1, 0), static_cast<std::uint64_t>(kG) * 8},
+        {elem(rl, 0), static_cast<std::uint64_t>(kG) * 8},
+    };
+    t.barrier_refined(bar_, produced, consumed);
+    for (int it = 0; it < kIters; ++it) {
+      double local_res = 0.0;
+      for (int color = 0; color < 2; ++color) {
+        for (std::int64_t r = rf; r < rl; ++r) {
+          const std::int64_t i = r + 1;
+          for (std::int64_t j = 1; j < kG - 1; ++j) {
+            if ((i + j) % 2 != color) continue;
+            const double up = t.load<double>(elem(i - 1, j));
+            const double dn = t.load<double>(elem(i + 1, j));
+            const double lf = t.load<double>(elem(i, j - 1));
+            const double rt = t.load<double>(elem(i, j + 1));
+            const double old = t.load<double>(elem(i, j));
+            const double nv = 0.25 * (up + dn + lf + rt);
+            local_res += (nv - old) * (nv - old);
+            t.store(elem(i, j), nv);
+            t.compute(6);
+          }
+        }
+        t.barrier_refined(bar_, produced, consumed);
+      }
+      // Global residual: lock-protected accumulation (critical section).
+      t.lock(lock_);
+      const double g = t.load<double>(residual_);
+      t.store(residual_, g + local_res);
+      t.unlock(lock_);
+      t.barrier_refined(bar_, produced, consumed);
+    }
+    // Final barrier: publish the grid for the verification pass.
+    t.barrier(bar_);
+  }
+
+  WorkloadResult verify(Machine& m) override {
+    std::vector<double> ref = init_;
+    double ref_res = 0.0;
+    auto at = [&](std::int64_t i, std::int64_t j) -> double& {
+      return ref[static_cast<std::size_t>(i * kG + j)];
+    };
+    for (int it = 0; it < kIters; ++it) {
+      for (int color = 0; color < 2; ++color) {
+        for (std::int64_t i = 1; i < kG - 1; ++i) {
+          for (std::int64_t j = 1; j < kG - 1; ++j) {
+            if ((i + j) % 2 != color) continue;
+            const double nv =
+                0.25 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) +
+                        at(i, j + 1));
+            ref_res += (nv - at(i, j)) * (nv - at(i, j));
+            at(i, j) = nv;
+          }
+        }
+      }
+    }
+    VerifyReader rd(m);
+    for (std::int64_t i = 0; i < kG; ++i) {
+      for (std::int64_t j = 0; j < kG; ++j) {
+        if (!close_enough(rd.read<double>(elem(i, j)), at(i, j), 1e-9)) {
+          return {false, name() + ": grid mismatch at (" + std::to_string(i) +
+                             "," + std::to_string(j) + ")"};
+        }
+      }
+    }
+    const double res = rd.read<double>(residual_);
+    if (!close_enough(res, ref_res, 1e-6))
+      return {false, name() + ": residual mismatch"};
+    return {true, ""};
+  }
+
+ private:
+  [[nodiscard]] Addr elem(std::int64_t i, std::int64_t j) const {
+    return base_ + static_cast<Addr>(i) * row_stride_ +
+           static_cast<Addr>(j) * 8;
+  }
+
+  bool contiguous_;
+  int nthreads_ = 0;
+  std::uint64_t row_stride_ = 0;
+  Addr base_ = 0;
+  Addr residual_ = 0;
+  Machine::Barrier bar_;
+  Machine::Lock lock_;
+  std::vector<double> init_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ocean(bool contiguous) {
+  return std::make_unique<OceanWorkload>(contiguous);
+}
+
+}  // namespace hic

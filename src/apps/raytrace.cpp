@@ -1,0 +1,195 @@
+// Raytrace (SPLASH-2 miniature): ray casting with fine-grained job queues.
+//
+// The paper singles raytrace out: "frequent lock accesses in a set of job
+// queues; its fine-grain structure is the reason for the large overhead."
+// The miniature keeps a set of per-thread-group job queues with work
+// stealing, tiny critical sections (pop one tile index), a read-only shared
+// scene, and a deliberately racy global ray counter handled with the
+// enforced data-race pattern of Figure 6b (Table I: critical (main);
+// barrier, data race (other)).
+#include <cmath>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+
+namespace {
+
+// Small tiles keep the job queues hot (the paper: "frequent lock accesses
+// in a set of job queues; its fine-grain structure is the reason for the
+// large overhead"), and a multi-line scene makes the INV ALL before each
+// acquire cost real refetches — so the MEB alone cannot rescue raytrace,
+// only B+M+I does, as in the paper.
+constexpr int kQueues = 4;
+constexpr std::int64_t kTiles = 2048;
+constexpr std::int64_t kTilePixels = 4;
+constexpr std::int64_t kSpheres = 16;
+/// Read-only shading texture streamed per ray (scattered lines, larger than
+/// the L1) — the bulk data traffic the paper's full scenes generate.
+constexpr std::int64_t kTexWords = 16384;  // 128KB of doubles
+
+class RaytraceWorkload final : public Workload {
+ public:
+  std::string name() const override { return "raytrace"; }
+  std::string main_patterns() const override { return "critical"; }
+  std::string other_patterns() const override { return "barrier, data race"; }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    scene_ = m.mem().alloc_array<double>(kSpheres * 4, "ray.scene");
+    texture_ = m.mem().alloc_array<double>(kTexWords, "ray.texture");
+    image_ = m.mem().alloc_array<double>(kTiles * kTilePixels, "ray.image");
+    // Per-queue cursor: next tile index to hand out in that queue's stripe.
+    cursors_ = m.mem().alloc_array<std::int32_t>(kQueues, "ray.cursors");
+    rays_traced_ = m.mem().alloc_array<std::int64_t>(1, "ray.count");
+    bar_ = m.make_barrier(nthreads);
+    for (int q = 0; q < kQueues; ++q) locks_.push_back(m.make_lock(false));
+
+    Rng rng(0x7ace);
+    scene_host_.resize(static_cast<std::size_t>(kSpheres) * 4);
+    for (std::int64_t s = 0; s < kSpheres * 4; ++s) {
+      scene_host_[static_cast<std::size_t>(s)] = rng.next_double();
+      m.mem().init(scene_ + static_cast<Addr>(s) * 8,
+                   scene_host_[static_cast<std::size_t>(s)]);
+    }
+    tex_host_.resize(static_cast<std::size_t>(kTexWords));
+    for (std::int64_t i = 0; i < kTexWords; ++i) {
+      tex_host_[static_cast<std::size_t>(i)] = rng.next_double();
+      m.mem().init(texture_ + static_cast<Addr>(i) * 8,
+                   tex_host_[static_cast<std::size_t>(i)]);
+    }
+    for (int q = 0; q < kQueues; ++q)
+      m.mem().init(cursors_ + static_cast<Addr>(q) * 4, std::int32_t{0});
+    m.mem().init(rays_traced_, std::int64_t{0});
+  }
+
+  /// Texture words a ray samples (scattered lines).
+  static std::int64_t tex_index(std::int64_t pixel, int k) {
+    return (pixel * 131 + k * 977) % kTexWords;
+  }
+
+  /// Deterministic per-pixel result: nearest "sphere" along a ray derived
+  /// from the pixel index, shaded by two texture samples.
+  static double render_pixel(std::span<const double> scene,
+                             std::span<const double> tex, std::int64_t pixel) {
+    const double ox = 0.1 * static_cast<double>(pixel % 97);
+    const double oy = 0.05 * static_cast<double>(pixel % 53);
+    double best = 1e9;
+    for (std::int64_t s = 0; s < kSpheres; ++s) {
+      const double cx = scene[static_cast<std::size_t>(s * 4 + 0)];
+      const double cy = scene[static_cast<std::size_t>(s * 4 + 1)];
+      const double cz = scene[static_cast<std::size_t>(s * 4 + 2)];
+      const double r = 0.1 + scene[static_cast<std::size_t>(s * 4 + 3)];
+      const double d =
+          std::sqrt((cx - ox) * (cx - ox) + (cy - oy) * (cy - oy) + cz * cz) -
+          r;
+      best = std::min(best, d);
+    }
+    return best + 0.5 * tex[static_cast<std::size_t>(tex_index(pixel, 0))] +
+           0.25 * tex[static_cast<std::size_t>(tex_index(pixel, 1))];
+  }
+
+  void body(Thread& t) override {
+    t.barrier(bar_);
+    const std::int64_t per_queue = kTiles / kQueues;
+    const int home = t.tid() % kQueues;
+    std::vector<double> scene_local(static_cast<std::size_t>(kSpheres) * 4);
+
+    int q = home;
+    int empty_queues = 0;
+    while (empty_queues < kQueues) {
+      // Tiny critical section: pop one tile index from queue q.
+      auto& lk = locks_[static_cast<std::size_t>(q)];
+      t.lock(lk);
+      const auto cur =
+          t.load<std::int32_t>(cursors_ + static_cast<Addr>(q) * 4);
+      std::int64_t tile = -1;
+      if (cur < per_queue) {
+        tile = static_cast<std::int64_t>(q) * per_queue + cur;
+        t.store(cursors_ + static_cast<Addr>(q) * 4, cur + 1);
+      }
+      t.unlock(lk);
+
+      if (tile < 0) {
+        // Steal from the next queue.
+        q = (q + 1) % kQueues;
+        ++empty_queues;
+        continue;
+      }
+      empty_queues = 0;
+
+      // Render the tile: stream the scene and per-ray texture samples
+      // through the cache.
+      for (std::int64_t s = 0; s < kSpheres * 4; ++s)
+        scene_local[static_cast<std::size_t>(s)] =
+            t.load<double>(scene_ + static_cast<Addr>(s) * 8);
+      for (std::int64_t p = 0; p < kTilePixels; ++p) {
+        const std::int64_t pixel = tile * kTilePixels + p;
+        const double ox = 0.1 * static_cast<double>(pixel % 97);
+        const double oy = 0.05 * static_cast<double>(pixel % 53);
+        double best = 1e9;
+        for (std::int64_t s = 0; s < kSpheres; ++s) {
+          const double cx = scene_local[static_cast<std::size_t>(s * 4 + 0)];
+          const double cy = scene_local[static_cast<std::size_t>(s * 4 + 1)];
+          const double cz = scene_local[static_cast<std::size_t>(s * 4 + 2)];
+          const double r =
+              0.1 + scene_local[static_cast<std::size_t>(s * 4 + 3)];
+          const double d = std::sqrt((cx - ox) * (cx - ox) +
+                                     (cy - oy) * (cy - oy) + cz * cz) -
+                           r;
+          best = std::min(best, d);
+        }
+        const double t0 = t.load<double>(
+            texture_ + static_cast<Addr>(tex_index(pixel, 0)) * 8);
+        const double t1 = t.load<double>(
+            texture_ + static_cast<Addr>(tex_index(pixel, 1)) * 8);
+        t.store(image_ + static_cast<Addr>(pixel) * 8,
+                best + 0.5 * t0 + 0.25 * t1);
+        t.compute(40);
+      }
+      // Racy global ray counter (Figure 6b: each racy access is paired with
+      // its own WB/INV so updates are visible, though lost updates remain
+      // possible — exactly the data-race semantics of the original).
+      const auto c = t.racy_load<std::int64_t>(rays_traced_);
+      t.racy_store<std::int64_t>(rays_traced_, c + kTilePixels);
+    }
+    t.barrier(bar_);
+  }
+
+  WorkloadResult verify(Machine& m) override {
+    VerifyReader rd(m);
+    for (std::int64_t pixel = 0; pixel < kTiles * kTilePixels; ++pixel) {
+      const double v = rd.read<double>(image_ + static_cast<Addr>(pixel) * 8);
+      const double ref = render_pixel(scene_host_, tex_host_, pixel);
+      if (!close_enough(v, ref, 1e-9))
+        return {false, "raytrace: pixel " + std::to_string(pixel) +
+                           " mismatch"};
+    }
+    // The counter is racy by construction: updates may be lost, but every
+    // surviving value must be a multiple of the tile size and positive.
+    const auto count = rd.read<std::int64_t>(rays_traced_);
+    if (count <= 0 || count > kTiles * kTilePixels ||
+        count % kTilePixels != 0) {
+      return {false, "raytrace: racy counter out of range: " +
+                         std::to_string(count)};
+    }
+    return {true, ""};
+  }
+
+ private:
+  int nthreads_ = 0;
+  Addr scene_ = 0, texture_ = 0, image_ = 0, cursors_ = 0, rays_traced_ = 0;
+  Machine::Barrier bar_;
+  std::vector<Machine::Lock> locks_;
+  std::vector<double> scene_host_;
+  std::vector<double> tex_host_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_raytrace() {
+  return std::make_unique<RaytraceWorkload>();
+}
+
+}  // namespace hic

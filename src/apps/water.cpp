@@ -1,0 +1,338 @@
+// Water (SPLASH-2 miniature): short-range molecular dynamics.
+//
+//   water-nsq:     all-pairs (O(n^2)) force evaluation; every thread
+//                  contributes to every molecule's force, merged through
+//                  lock-protected accumulations — many short critical
+//                  sections per step (Table I: barrier + critical, finer
+//                  synchronization class).
+//   water-spatial: cell lists; a thread computes its own molecules' forces
+//                  from neighbor cells and only the global potential-energy
+//                  reduction takes a lock — coarse synchronization class.
+#include <cmath>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+
+namespace {
+
+constexpr std::int64_t kMol = 128;
+constexpr int kSteps = 3;
+constexpr int kLocks = 16;
+constexpr int kCells = 4;       // kCells x kCells spatial grid
+constexpr double kDt = 1e-3;
+constexpr double kCut = 0.51;   // > cell edge so neighbor cells suffice
+
+struct Vec2 {
+  double x = 0, y = 0;
+};
+
+double pair_force(double dx, double dy, Vec2* f) {
+  const double r2 = dx * dx + dy * dy + 1e-3;
+  const double inv = 1.0 / (r2 * std::sqrt(r2));
+  f->x = dx * inv;
+  f->y = dy * inv;
+  return inv;  // "potential" contribution
+}
+
+class WaterWorkload final : public Workload {
+ public:
+  explicit WaterWorkload(bool nsquared) : nsq_(nsquared) {}
+
+  std::string name() const override {
+    return nsq_ ? "water-nsq" : "water-spatial";
+  }
+  std::string main_patterns() const override { return "barrier, critical"; }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    px_ = m.mem().alloc_array<double>(kMol, "water.px");
+    py_ = m.mem().alloc_array<double>(kMol, "water.py");
+    fx_ = m.mem().alloc_array<double>(kMol, "water.fx");
+    fy_ = m.mem().alloc_array<double>(kMol, "water.fy");
+    energy_ = m.mem().alloc_array<double>(1, "water.energy");
+    bar_ = m.make_barrier(nthreads);
+    for (int i = 0; i < kLocks; ++i) locks_.push_back(m.make_lock(false));
+    energy_lock_ = m.make_lock(false);
+
+    Rng rng(0x3a7e);
+    init_x_.resize(kMol);
+    init_y_.resize(kMol);
+    for (std::int64_t i = 0; i < kMol; ++i) {
+      init_x_[static_cast<std::size_t>(i)] = rng.next_double();
+      init_y_[static_cast<std::size_t>(i)] = rng.next_double();
+      m.mem().init(px_ + static_cast<Addr>(i) * 8,
+                   init_x_[static_cast<std::size_t>(i)]);
+      m.mem().init(py_ + static_cast<Addr>(i) * 8,
+                   init_y_[static_cast<std::size_t>(i)]);
+      m.mem().init(fx_ + static_cast<Addr>(i) * 8, 0.0);
+      m.mem().init(fy_ + static_cast<Addr>(i) * 8, 0.0);
+    }
+    m.mem().init(energy_, 0.0);
+  }
+
+  void body(Thread& t) override {
+    if (nsq_) {
+      body_nsq(t);
+    } else {
+      body_spatial(t);
+    }
+  }
+
+  WorkloadResult verify(Machine& m) override;
+
+ private:
+  // --- shared helpers -------------------------------------------------------
+  [[nodiscard]] Addr ax(Addr base, std::int64_t i) const {
+    return base + static_cast<Addr>(i) * 8;
+  }
+  static int cell_of(double x, double y) {
+    auto clampc = [](int c) { return std::min(std::max(c, 0), kCells - 1); };
+    const int cx = clampc(static_cast<int>(x * kCells));
+    const int cy = clampc(static_cast<int>(y * kCells));
+    return cy * kCells + cx;
+  }
+
+  void zero_own_forces(Thread& t) {
+    const auto [f, l] = chunk_range(kMol, nthreads_, t.tid());
+    for (std::int64_t i = f; i < l; ++i) {
+      t.store(ax(fx_, i), 0.0);
+      t.store(ax(fy_, i), 0.0);
+    }
+  }
+
+  void integrate_own(Thread& t) {
+    const auto [f, l] = chunk_range(kMol, nthreads_, t.tid());
+    for (std::int64_t i = f; i < l; ++i) {
+      t.store(ax(px_, i),
+              t.load<double>(ax(px_, i)) + kDt * t.load<double>(ax(fx_, i)));
+      t.store(ax(py_, i),
+              t.load<double>(ax(py_, i)) + kDt * t.load<double>(ax(fy_, i)));
+      t.compute(4);
+    }
+  }
+
+  // --- n^2 variant ----------------------------------------------------------
+  void body_nsq(Thread& t) {
+    const std::int64_t pairs = kMol * (kMol - 1) / 2;
+    t.barrier(bar_);
+    for (int step = 0; step < kSteps; ++step) {
+      zero_own_forces(t);
+      t.barrier(bar_);
+
+      // Accumulate this thread's pair contributions locally first.
+      std::vector<double> lfx(static_cast<std::size_t>(kMol), 0.0);
+      std::vector<double> lfy(static_cast<std::size_t>(kMol), 0.0);
+      double lpot = 0.0;
+      const auto [pf, pl] = chunk_range(pairs, nthreads_, t.tid());
+      std::int64_t p = 0;
+      for (std::int64_t i = 0; i < kMol && p < pl; ++i) {
+        for (std::int64_t j = i + 1; j < kMol && p < pl; ++j, ++p) {
+          if (p < pf) continue;
+          const double dx = t.load<double>(ax(px_, i)) -
+                            t.load<double>(ax(px_, j));
+          const double dy = t.load<double>(ax(py_, i)) -
+                            t.load<double>(ax(py_, j));
+          Vec2 f;
+          lpot += pair_force(dx, dy, &f);
+          lfx[static_cast<std::size_t>(i)] += f.x;
+          lfy[static_cast<std::size_t>(i)] += f.y;
+          lfx[static_cast<std::size_t>(j)] -= f.x;
+          lfy[static_cast<std::size_t>(j)] -= f.y;
+          t.compute(20);
+        }
+      }
+      // Merge into the shared force arrays under per-group locks: many
+      // short critical sections. Groups are contiguous molecule blocks so
+      // each critical section touches a couple of cache lines.
+      const std::int64_t per_group = kMol / kLocks;
+      for (int g = 0; g < kLocks; ++g) {
+        t.lock(locks_[static_cast<std::size_t>(g)]);
+        for (std::int64_t i = g * per_group; i < (g + 1) * per_group; ++i) {
+          if (lfx[static_cast<std::size_t>(i)] != 0.0 ||
+              lfy[static_cast<std::size_t>(i)] != 0.0) {
+            t.store(ax(fx_, i), t.load<double>(ax(fx_, i)) +
+                                    lfx[static_cast<std::size_t>(i)]);
+            t.store(ax(fy_, i), t.load<double>(ax(fy_, i)) +
+                                    lfy[static_cast<std::size_t>(i)]);
+          }
+        }
+        t.unlock(locks_[static_cast<std::size_t>(g)]);
+      }
+      t.lock(energy_lock_);
+      t.store(energy_, t.load<double>(energy_) + lpot);
+      t.unlock(energy_lock_);
+      t.barrier(bar_);
+
+      integrate_own(t);
+      t.barrier(bar_);
+    }
+  }
+
+  // --- spatial variant -------------------------------------------------------
+  void body_spatial(Thread& t) {
+    // §IV-A refinement: forces and own positions are thread-private across
+    // barriers; only the other threads' positions are consumed.
+    const AddrRange consumed_pos[2] = {
+        {px_, static_cast<std::uint64_t>(kMol) * 8},
+        {py_, static_cast<std::uint64_t>(kMol) * 8},
+    };
+    t.barrier(bar_);
+    for (int step = 0; step < kSteps; ++step) {
+      double lpot = 0.0;
+      const auto [mf, ml] = chunk_range(kMol, nthreads_, t.tid());
+      for (std::int64_t i = mf; i < ml; ++i) {
+        const double xi = t.load<double>(ax(px_, i));
+        const double yi = t.load<double>(ax(py_, i));
+        double fx = 0.0;
+        double fy = 0.0;
+        const int ci = cell_of(xi, yi);
+        // Scan neighbor cells' molecules (cell membership recomputed from
+        // positions — positions are published by the step barrier).
+        for (std::int64_t j = 0; j < kMol; ++j) {
+          if (j == i) continue;
+          const double xj = t.load<double>(ax(px_, j));
+          const double yj = t.load<double>(ax(py_, j));
+          const int cj = cell_of(xj, yj);
+          const int dx_c = std::abs(ci % kCells - cj % kCells);
+          const int dy_c = std::abs(ci / kCells - cj / kCells);
+          if (dx_c > 1 || dy_c > 1) continue;
+          const double dx = xi - xj;
+          const double dy = yi - yj;
+          if (dx * dx + dy * dy > kCut * kCut) continue;
+          Vec2 f;
+          lpot += 0.5 * pair_force(dx, dy, &f);
+          fx += f.x;
+          fy += f.y;
+          t.compute(20);
+        }
+        t.store(ax(fx_, i), fx);
+        t.store(ax(fy_, i), fy);
+      }
+      // One coarse critical section per step: the energy reduction.
+      t.lock(energy_lock_);
+      t.store(energy_, t.load<double>(energy_) + lpot);
+      t.unlock(energy_lock_);
+      // Integration reads only this thread's own forces and positions.
+      t.barrier_refined(bar_, {}, {});
+
+      integrate_own(t);
+      // The next force phase reads every thread's positions; this thread
+      // produced its own slice of them.
+      const auto [mf2, ml2] = chunk_range(kMol, nthreads_, t.tid());
+      const AddrRange produced_pos[2] = {
+          {ax(px_, mf2), static_cast<std::uint64_t>(ml2 - mf2) * 8},
+          {ax(py_, mf2), static_cast<std::uint64_t>(ml2 - mf2) * 8},
+      };
+      t.barrier_refined(bar_, produced_pos, consumed_pos);
+    }
+    // Final barrier: publish forces and energy for the verification pass.
+    t.barrier(bar_);
+  }
+
+  bool nsq_;
+  int nthreads_ = 0;
+  Addr px_ = 0, py_ = 0, fx_ = 0, fy_ = 0, energy_ = 0;
+  Machine::Barrier bar_;
+  std::vector<Machine::Lock> locks_;
+  Machine::Lock energy_lock_;
+  std::vector<double> init_x_, init_y_;
+
+  friend struct WaterRef;
+};
+
+/// Serial reference shared by both variants.
+struct WaterRef {
+  std::vector<double> px, py, fx, fy;
+  double energy = 0.0;
+
+  void run(const WaterWorkload& w, bool nsq);
+};
+
+void WaterRef::run(const WaterWorkload& w, bool nsq) {
+  px = w.init_x_;
+  py = w.init_y_;
+  fx.assign(static_cast<std::size_t>(kMol), 0.0);
+  fy.assign(static_cast<std::size_t>(kMol), 0.0);
+  energy = 0.0;
+  for (int step = 0; step < kSteps; ++step) {
+    std::fill(fx.begin(), fx.end(), 0.0);
+    std::fill(fy.begin(), fy.end(), 0.0);
+    if (nsq) {
+      for (std::int64_t i = 0; i < kMol; ++i) {
+        for (std::int64_t j = i + 1; j < kMol; ++j) {
+          Vec2 f;
+          energy += pair_force(px[static_cast<std::size_t>(i)] -
+                                   px[static_cast<std::size_t>(j)],
+                               py[static_cast<std::size_t>(i)] -
+                                   py[static_cast<std::size_t>(j)],
+                               &f);
+          fx[static_cast<std::size_t>(i)] += f.x;
+          fy[static_cast<std::size_t>(i)] += f.y;
+          fx[static_cast<std::size_t>(j)] -= f.x;
+          fy[static_cast<std::size_t>(j)] -= f.y;
+        }
+      }
+    } else {
+      auto cell_of = [](double x, double y) {
+        auto clampc = [](int c) {
+          return std::min(std::max(c, 0), kCells - 1);
+        };
+        return clampc(static_cast<int>(y * kCells)) * kCells +
+               clampc(static_cast<int>(x * kCells));
+      };
+      for (std::int64_t i = 0; i < kMol; ++i) {
+        const int ci = cell_of(px[static_cast<std::size_t>(i)],
+                               py[static_cast<std::size_t>(i)]);
+        for (std::int64_t j = 0; j < kMol; ++j) {
+          if (j == i) continue;
+          const int cj = cell_of(px[static_cast<std::size_t>(j)],
+                                 py[static_cast<std::size_t>(j)]);
+          if (std::abs(ci % kCells - cj % kCells) > 1 ||
+              std::abs(ci / kCells - cj / kCells) > 1)
+            continue;
+          const double dx = px[static_cast<std::size_t>(i)] -
+                            px[static_cast<std::size_t>(j)];
+          const double dy = py[static_cast<std::size_t>(i)] -
+                            py[static_cast<std::size_t>(j)];
+          if (dx * dx + dy * dy > kCut * kCut) continue;
+          Vec2 f;
+          energy += 0.5 * pair_force(dx, dy, &f);
+          fx[static_cast<std::size_t>(i)] += f.x;
+          fy[static_cast<std::size_t>(i)] += f.y;
+        }
+      }
+    }
+    for (std::int64_t i = 0; i < kMol; ++i) {
+      px[static_cast<std::size_t>(i)] += kDt * fx[static_cast<std::size_t>(i)];
+      py[static_cast<std::size_t>(i)] += kDt * fy[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+WorkloadResult WaterWorkload::verify(Machine& m) {
+  WaterRef ref;
+  ref.run(*this, nsq_);
+  VerifyReader rd(m);
+  for (std::int64_t i = 0; i < kMol; ++i) {
+    if (!close_enough(rd.read<double>(ax(px_, i)),
+                      ref.px[static_cast<std::size_t>(i)], 1e-6) ||
+        !close_enough(rd.read<double>(ax(py_, i)),
+                      ref.py[static_cast<std::size_t>(i)], 1e-6)) {
+      return {false, name() + ": position mismatch at molecule " +
+                         std::to_string(i)};
+    }
+  }
+  if (!close_enough(rd.read<double>(energy_), ref.energy, 1e-6))
+    return {false, name() + ": energy mismatch"};
+  return {true, ""};
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> make_water(bool nsquared) {
+  return std::make_unique<WaterWorkload>(nsquared);
+}
+
+}  // namespace hic

@@ -1,0 +1,73 @@
+#include "apps/workload.hpp"
+
+#include <cmath>
+
+namespace hic {
+
+std::unique_ptr<Workload> make_fft();
+std::unique_ptr<Workload> make_lu(bool contiguous);
+std::unique_ptr<Workload> make_cholesky();
+std::unique_ptr<Workload> make_barnes();
+std::unique_ptr<Workload> make_raytrace();
+std::unique_ptr<Workload> make_volrend();
+std::unique_ptr<Workload> make_ocean(bool contiguous);
+std::unique_ptr<Workload> make_water(bool nsquared);
+std::unique_ptr<Workload> make_ep(bool hierarchical);
+std::unique_ptr<Workload> make_is();
+std::unique_ptr<Workload> make_cg();
+std::unique_ptr<Workload> make_jacobi();
+
+std::vector<std::string> intra_workload_names() {
+  return {"fft",      "lu-cont",  "lu-noncont",  "cholesky",
+          "barnes",   "raytrace", "volrend",     "ocean-cont",
+          "ocean-noncont", "water-nsq", "water-spatial"};
+}
+
+std::vector<std::string> inter_workload_names() {
+  return {"ep", "is", "cg", "jacobi"};
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  if (name == "fft") return make_fft();
+  if (name == "lu-cont") return make_lu(true);
+  if (name == "lu-noncont") return make_lu(false);
+  if (name == "cholesky") return make_cholesky();
+  if (name == "barnes") return make_barnes();
+  if (name == "raytrace") return make_raytrace();
+  if (name == "volrend") return make_volrend();
+  if (name == "ocean-cont") return make_ocean(true);
+  if (name == "ocean-noncont") return make_ocean(false);
+  if (name == "water-nsq") return make_water(true);
+  if (name == "water-spatial") return make_water(false);
+  if (name == "ep") return make_ep(false);
+  // The paper's suggested rewrite of EP with block-then-global reductions
+  // (§VII-C); not part of the Figure 11/12 app set.
+  if (name == "ep-hier") return make_ep(true);
+  if (name == "is") return make_is();
+  if (name == "cg") return make_cg();
+  if (name == "jacobi") return make_jacobi();
+  HIC_CHECK_MSG(false, "unknown workload '" << name << "'");
+  return nullptr;
+}
+
+Cycle run_workload(Workload& w, Machine& m, int nthreads) {
+  w.setup(m, nthreads);
+  m.run(nthreads, [&w](Thread& t) { w.body(t); });
+  return m.exec_cycles();
+}
+
+ChunkRange chunk_range(std::int64_t n, int nthreads, int tid) {
+  HIC_CHECK(nthreads > 0 && tid >= 0 && tid < nthreads);
+  const std::int64_t chunk = (n + nthreads - 1) / nthreads;
+  const std::int64_t first = std::min<std::int64_t>(n, tid * chunk);
+  const std::int64_t last = std::min<std::int64_t>(n, first + chunk);
+  return {first, last};
+}
+
+bool close_enough(double a, double b, double tol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return diff <= tol * scale;
+}
+
+}  // namespace hic

@@ -1,0 +1,49 @@
+// Precondition / invariant checking helpers.
+//
+// HIC_CHECK is always on and throws, so tests can assert misuse is rejected;
+// HIC_DCHECK compiles away in release builds and guards hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hic {
+
+/// Thrown when a precondition or internal invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace hic
+
+#define HIC_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::hic::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HIC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream hic_os_;                                      \
+      hic_os_ << msg;                                                  \
+      ::hic::detail::check_failed(#expr, __FILE__, __LINE__, hic_os_.str()); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define HIC_DCHECK(expr) ((void)0)
+#else
+#define HIC_DCHECK(expr) HIC_CHECK(expr)
+#endif

@@ -1,0 +1,30 @@
+// Epoch communication directives for programming model 2 (paper §V).
+//
+// The compiler analysis (src/compiler) emits, for each (parallel loop,
+// thread) pair, the address ranges that thread produces for a known consumer
+// (WB_CONS) and the ranges it consumes from a known producer (INV_PROD). A
+// thread ID of kUnknownThread means the analysis could not pin a single
+// peer (multiple consumers, reductions, imprecise dataflow); the runtime
+// then falls back to the global cache level, exactly as the paper does.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hic {
+
+/// Producer/consumer could not be determined: operate globally (via L3).
+inline constexpr ThreadId kUnknownThread = -1;
+
+struct WbDirective {
+  AddrRange range;
+  ThreadId consumer = kUnknownThread;
+  constexpr bool operator==(const WbDirective&) const = default;
+};
+
+struct InvDirective {
+  AddrRange range;
+  ThreadId producer = kUnknownThread;
+  constexpr bool operator==(const InvDirective&) const = default;
+};
+
+}  // namespace hic

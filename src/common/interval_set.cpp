@@ -1,0 +1,97 @@
+#include "common/interval_set.hpp"
+
+#include "common/check.hpp"
+
+namespace hic {
+
+void IntervalSet::insert(Addr base, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  Addr end = base + bytes;
+  HIC_CHECK_MSG(end > base, "address range wraps around");
+
+  // Find the first run that could coalesce: any run with run.end >= base,
+  // i.e. starting from the run before the insertion point.
+  auto it = runs_.lower_bound(base);
+  if (it != runs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= base) it = prev;
+  }
+  while (it != runs_.end() && it->first <= end) {
+    base = std::min(base, it->first);
+    end = std::max(end, it->second);
+    it = runs_.erase(it);
+  }
+  runs_.emplace(base, end);
+}
+
+void IntervalSet::erase(Addr base, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const Addr end = base + bytes;
+  HIC_CHECK_MSG(end > base, "address range wraps around");
+
+  auto it = runs_.lower_bound(base);
+  if (it != runs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > base) it = prev;
+  }
+  while (it != runs_.end() && it->first < end) {
+    const Addr run_base = it->first;
+    const Addr run_end = it->second;
+    it = runs_.erase(it);
+    if (run_base < base) runs_.emplace(run_base, base);
+    if (run_end > end) {
+      runs_.emplace(end, run_end);
+      break;
+    }
+  }
+}
+
+bool IntervalSet::contains(Addr a) const {
+  auto it = runs_.upper_bound(a);
+  if (it == runs_.begin()) return false;
+  --it;
+  return a < it->second;
+}
+
+bool IntervalSet::overlaps(const AddrRange& r) const {
+  if (r.empty()) return false;
+  auto it = runs_.lower_bound(r.base);
+  if (it != runs_.end() && it->first < r.end()) return true;
+  if (it != runs_.begin()) {
+    --it;
+    if (it->second > r.base) return true;
+  }
+  return false;
+}
+
+std::uint64_t IntervalSet::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [base, end] : runs_) total += end - base;
+  return total;
+}
+
+std::vector<AddrRange> IntervalSet::ranges() const {
+  std::vector<AddrRange> out;
+  out.reserve(runs_.size());
+  for (const auto& [base, end] : runs_) out.push_back({base, end - base});
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  auto a = runs_.begin();
+  auto b = other.runs_.begin();
+  while (a != runs_.end() && b != other.runs_.end()) {
+    const Addr lo = std::max(a->first, b->first);
+    const Addr hi = std::min(a->second, b->second);
+    if (lo < hi) out.insert(lo, hi - lo);
+    if (a->second < b->second) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return out;
+}
+
+}  // namespace hic

@@ -1,0 +1,50 @@
+// A set of disjoint half-open address intervals.
+//
+// Used by the runtime to track the shared addresses written in an epoch (the
+// "WB of all the shared variables written since the last barrier" sets of
+// paper §IV-A) and by the compiler substrate to represent per-thread
+// produced/consumed array sections.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hic {
+
+class IntervalSet {
+ public:
+  /// Inserts [base, base+bytes), coalescing with adjacent/overlapping runs.
+  void insert(Addr base, std::uint64_t bytes);
+  void insert(const AddrRange& r) { insert(r.base, r.bytes); }
+
+  /// Removes [base, base+bytes), splitting runs as needed.
+  void erase(Addr base, std::uint64_t bytes);
+
+  void clear() { runs_.clear(); }
+
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+  [[nodiscard]] bool contains(Addr a) const;
+  [[nodiscard]] bool overlaps(const AddrRange& r) const;
+
+  /// Total bytes covered.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Number of disjoint runs.
+  [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
+
+  /// The disjoint runs in ascending address order.
+  [[nodiscard]] std::vector<AddrRange> ranges() const;
+
+  /// The intersection of this set with another.
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+
+  bool operator==(const IntervalSet&) const = default;
+
+ private:
+  // base -> end (half-open); invariant: runs disjoint and non-adjacent.
+  std::map<Addr, Addr> runs_;
+};
+
+}  // namespace hic

@@ -1,0 +1,49 @@
+#include "common/machine_config.hpp"
+
+#include "common/check.hpp"
+
+namespace hic {
+
+namespace {
+void validate_cache(const CacheParams& p) {
+  HIC_CHECK(p.size_bytes > 0 && p.ways > 0 && p.line_bytes > 0);
+  HIC_CHECK(is_pow2(p.line_bytes));
+  HIC_CHECK(p.line_bytes % kWordBytes == 0);
+  HIC_CHECK(p.size_bytes % (p.line_bytes * p.ways) == 0);
+  HIC_CHECK(is_pow2(p.num_sets()));
+}
+}  // namespace
+
+void MachineConfig::validate() const {
+  HIC_CHECK(blocks > 0 && cores_per_block > 0);
+  validate_cache(l1);
+  validate_cache(l2_bank);
+  if (multi_block()) {
+    validate_cache(l3_bank);
+    HIC_CHECK(l3_banks > 0);
+  }
+  HIC_CHECK(meb_entries > 0 && ieb_entries > 0);
+  HIC_CHECK(link_bits % 8 == 0);
+  HIC_CHECK(write_buffer_entries > 0);
+  // All levels must share a line size: WB/INV expand to line boundaries once.
+  HIC_CHECK(l1.line_bytes == l2_bank.line_bytes);
+  if (multi_block()) HIC_CHECK(l1.line_bytes == l3_bank.line_bytes);
+}
+
+MachineConfig MachineConfig::intra_block() {
+  MachineConfig cfg;
+  cfg.blocks = 1;
+  cfg.cores_per_block = 16;
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig MachineConfig::inter_block() {
+  MachineConfig cfg;
+  cfg.blocks = 4;
+  cfg.cores_per_block = 8;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace hic

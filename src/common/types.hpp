@@ -1,0 +1,83 @@
+// Fundamental types shared by every hicsim module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace hic {
+
+/// A simulated physical address in the chip's single shared address space.
+using Addr = std::uint64_t;
+
+/// A simulated clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Identifies a core (0-based, globally unique across blocks).
+using CoreId = int;
+
+/// Identifies a software thread (the paper assumes a fixed 1:1 thread-to-core
+/// mapping with no migration, but ThreadId and CoreId are distinct concepts:
+/// the inter-block model reasons about *thread* producer/consumer IDs while
+/// the ThreadMap hardware table resolves them to blocks at run time).
+using ThreadId = int;
+
+/// Identifies a block (cluster of cores sharing an L2).
+using BlockId = int;
+
+inline constexpr CoreId kInvalidCore = -1;
+inline constexpr ThreadId kInvalidThread = -1;
+
+/// The finest sharing grain assumed throughout the paper: a 4-byte word.
+/// Per-word dirty bits are kept at this granularity.
+inline constexpr std::uint32_t kWordBytes = 4;
+
+/// Cache levels in the hierarchy.
+enum class Level : std::uint8_t { L1 = 1, L2 = 2, L3 = 3, Memory = 4 };
+
+inline constexpr const char* to_string(Level lv) {
+  switch (lv) {
+    case Level::L1: return "L1";
+    case Level::L2: return "L2";
+    case Level::L3: return "L3";
+    case Level::Memory: return "Memory";
+  }
+  return "?";
+}
+
+/// A half-open address range [base, base+bytes).
+struct AddrRange {
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] constexpr Addr end() const { return base + bytes; }
+  [[nodiscard]] constexpr bool empty() const { return bytes == 0; }
+  [[nodiscard]] constexpr bool contains(Addr a) const {
+    return a >= base && a < end();
+  }
+  [[nodiscard]] constexpr bool overlaps(const AddrRange& o) const {
+    return base < o.end() && o.base < end();
+  }
+  constexpr bool operator==(const AddrRange&) const = default;
+};
+
+/// Rounds v down/up to a multiple of `align` (align must be a power of two).
+constexpr Addr align_down(Addr v, std::uint64_t align) {
+  return v & ~(align - 1);
+}
+constexpr Addr align_up(Addr v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr unsigned log2u(std::uint64_t v) {
+  unsigned r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace hic

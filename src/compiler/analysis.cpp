@@ -1,0 +1,196 @@
+#include "compiler/analysis.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+EpochPlan::EpochPlan(int num_loops, int nthreads)
+    : num_loops_(num_loops), nthreads_(nthreads) {
+  HIC_CHECK(num_loops_ >= 0 && nthreads_ > 0);
+  wb_.resize(static_cast<std::size_t>(num_loops_) *
+             static_cast<std::size_t>(nthreads_));
+  inv_.resize(wb_.size());
+  inspector_.assign(static_cast<std::size_t>(num_loops_), false);
+}
+
+std::span<const WbDirective> EpochPlan::wb_for(int loop, ThreadId t) const {
+  HIC_CHECK(loop >= 0 && loop < num_loops_ && t >= 0 && t < nthreads_);
+  const auto& v = wb_[static_cast<std::size_t>(loop) *
+                          static_cast<std::size_t>(nthreads_) +
+                      static_cast<std::size_t>(t)];
+  return {v.data(), v.size()};
+}
+
+std::span<const InvDirective> EpochPlan::inv_for(int loop, ThreadId t) const {
+  HIC_CHECK(loop >= 0 && loop < num_loops_ && t >= 0 && t < nthreads_);
+  const auto& v = inv_[static_cast<std::size_t>(loop) *
+                           static_cast<std::size_t>(nthreads_) +
+                       static_cast<std::size_t>(t)];
+  return {v.data(), v.size()};
+}
+
+bool EpochPlan::needs_inspector(int loop) const {
+  HIC_CHECK(loop >= 0 && loop < num_loops_);
+  return inspector_[static_cast<std::size_t>(loop)];
+}
+
+void EpochPlan::add_wb(int loop, ThreadId t, WbDirective d) {
+  if (d.range.empty()) return;
+  auto& v = wb_[static_cast<std::size_t>(loop) *
+                    static_cast<std::size_t>(nthreads_) +
+                static_cast<std::size_t>(t)];
+  if (std::find(v.begin(), v.end(), d) == v.end()) v.push_back(d);
+}
+
+void EpochPlan::add_inv(int loop, ThreadId t, InvDirective d) {
+  if (d.range.empty()) return;
+  auto& v = inv_[static_cast<std::size_t>(loop) *
+                     static_cast<std::size_t>(nthreads_) +
+                 static_cast<std::size_t>(t)];
+  if (std::find(v.begin(), v.end(), d) == v.end()) v.push_back(d);
+}
+
+void EpochPlan::set_wb(int loop, ThreadId t, std::vector<WbDirective> v) {
+  HIC_CHECK(loop >= 0 && loop < num_loops_ && t >= 0 && t < nthreads_);
+  wb_[static_cast<std::size_t>(loop) * static_cast<std::size_t>(nthreads_) +
+      static_cast<std::size_t>(t)] = std::move(v);
+}
+
+void EpochPlan::mark_inspector(int loop) {
+  inspector_[static_cast<std::size_t>(loop)] = true;
+}
+
+std::size_t EpochPlan::total_wb_directives() const {
+  std::size_t n = 0;
+  for (const auto& v : wb_) n += v.size();
+  return n;
+}
+
+std::size_t EpochPlan::total_inv_directives() const {
+  std::size_t n = 0;
+  for (const auto& v : inv_) n += v.size();
+  return n;
+}
+
+namespace {
+
+/// Clamp an element interval to the array's bounds.
+ElemInterval clamp_to(const ArrayInfo& a, ElemInterval iv) {
+  return iv.intersect({0, a.length - 1});
+}
+
+/// After emitting per-(producer, consumer) directives, a producer range
+/// consumed by several threads cannot be expressed by one WB_CONS(addr, id):
+/// the paper's compiler publishes such data globally. Demote to unknown any
+/// WB directive overlapping another with a different consumer.
+void demote_multi_consumer(std::vector<WbDirective>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t j = i + 1; j < v.size(); ++j) {
+      if (v[i].consumer != v[j].consumer &&
+          v[i].range.overlaps(v[j].range)) {
+        v[i].consumer = kUnknownThread;
+        v[j].consumer = kUnknownThread;
+      }
+    }
+  }
+  std::sort(v.begin(), v.end(), [](const WbDirective& a, const WbDirective& b) {
+    if (a.range.base != b.range.base) return a.range.base < b.range.base;
+    if (a.range.bytes != b.range.bytes) return a.range.bytes < b.range.bytes;
+    return a.consumer < b.consumer;
+  });
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+EpochPlan analyze_producer_consumer(const ProgramGraph& prog, int nthreads) {
+  EpochPlan plan(prog.num_loops(), nthreads);
+
+  for (int p = 0; p < prog.num_loops(); ++p) {
+    const LoopNode& prod = prog.loop(p);
+    const std::vector<int> reach = prog.reachable_from(p);
+
+    for (const ArrayRef& def : prod.refs) {
+      if (def.kind == RefKind::Use) continue;
+      const ArrayInfo& arr = prog.array(def.array);
+
+      for (int c : reach) {
+        const LoopNode& cons = prog.loop(c);
+        for (const ArrayRef& use : cons.refs) {
+          if (use.array != def.array || use.kind != RefKind::Use) continue;
+
+          if (def.kind == RefKind::ReductionDef) {
+            // A reduction has no ordering: producer-consumer pairs cannot
+            // be determined (paper: EP/IS). Every participating thread may
+            // have touched any element of the target, so each publishes the
+            // whole array globally; consumers refresh globally.
+            const ElemInterval whole{0, arr.length - 1};
+            for (ThreadId t = 0; t < nthreads; ++t) {
+              const ElemInterval ch = chunk_of(prod, nthreads, t);
+              if (ch.empty()) continue;
+              plan.add_wb(p, t, {arr.byte_range(whole), kUnknownThread});
+            }
+            for (ThreadId u = 0; u < nthreads; ++u) {
+              const ElemInterval ch = chunk_of(cons, nthreads, u);
+              if (ch.empty()) continue;
+              ElemInterval img =
+                  use.indirect
+                      ? ElemInterval{0, arr.length - 1}
+                      : clamp_to(arr, affine_image(use.index, ch.lo, ch.hi));
+              plan.add_inv(c, u, {arr.byte_range(img), kUnknownThread});
+            }
+            continue;
+          }
+
+          if (use.indirect) {
+            // The read pattern is runtime data: the consumer loop needs an
+            // inspector; the producer writes its whole section back to the
+            // last-level cache (paper: "we write everything to L3").
+            plan.mark_inspector(c);
+            for (ThreadId t = 0; t < nthreads; ++t) {
+              const ElemInterval ch = chunk_of(prod, nthreads, t);
+              if (ch.empty()) continue;
+              const ElemInterval img =
+                  clamp_to(arr, affine_image(def.index, ch.lo, ch.hi));
+              plan.add_wb(p, t, {arr.byte_range(img), kUnknownThread});
+            }
+            continue;
+          }
+
+          // Affine def, affine use: intersect per-thread sections.
+          for (ThreadId t = 0; t < nthreads; ++t) {
+            const ElemInterval pch = chunk_of(prod, nthreads, t);
+            if (pch.empty()) continue;
+            const ElemInterval dimg =
+                clamp_to(arr, affine_image(def.index, pch.lo, pch.hi));
+            if (dimg.empty()) continue;
+            for (ThreadId u = 0; u < nthreads; ++u) {
+              if (u == t) continue;  // same core keeps its own data
+              const ElemInterval cch = chunk_of(cons, nthreads, u);
+              if (cch.empty()) continue;
+              const ElemInterval uimg =
+                  clamp_to(arr, affine_image(use.index, cch.lo, cch.hi));
+              const ElemInterval shared = dimg.intersect(uimg);
+              if (shared.empty()) continue;
+              plan.add_wb(p, t, {arr.byte_range(shared), u});
+              plan.add_inv(c, u, {arr.byte_range(shared), t});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Resolve single-WB / multi-consumer conflicts per (loop, thread).
+  for (int p = 0; p < prog.num_loops(); ++p) {
+    for (ThreadId t = 0; t < nthreads; ++t) {
+      auto span = plan.wb_for(p, t);
+      std::vector<WbDirective> v(span.begin(), span.end());
+      demote_multi_consumer(v);
+      plan.set_wb(p, t, std::move(v));
+    }
+  }
+  return plan;
+}
+
+}  // namespace hic

@@ -1,0 +1,58 @@
+// Producer-consumer extraction (paper §V-A1): emits WB_CONS / INV_PROD
+// directives for each (loop, thread) from DEF-USE dataflow over the program
+// graph under static chunk scheduling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/directives.hpp"
+#include "compiler/loop_ir.hpp"
+
+namespace hic {
+
+/// The instrumentation the analysis produces: per loop, per thread, the WB
+/// directives placed at the loop's end (producer epoch) and the INV
+/// directives placed at the loop's start (consumer epoch).
+class EpochPlan {
+ public:
+  EpochPlan(int num_loops, int nthreads);
+
+  [[nodiscard]] std::span<const WbDirective> wb_for(int loop,
+                                                    ThreadId t) const;
+  [[nodiscard]] std::span<const InvDirective> inv_for(int loop,
+                                                      ThreadId t) const;
+  /// True if the loop has indirect uses that static analysis could not
+  /// resolve: the application must run an inspector (paper Fig. 8).
+  [[nodiscard]] bool needs_inspector(int loop) const;
+
+  void add_wb(int loop, ThreadId t, WbDirective d);
+  void add_inv(int loop, ThreadId t, InvDirective d);
+  void set_wb(int loop, ThreadId t, std::vector<WbDirective> v);
+  void mark_inspector(int loop);
+
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+  [[nodiscard]] std::size_t total_wb_directives() const;
+  [[nodiscard]] std::size_t total_inv_directives() const;
+
+ private:
+  int num_loops_;
+  int nthreads_;
+  std::vector<std::vector<WbDirective>> wb_;    ///< [loop*T + t]
+  std::vector<std::vector<InvDirective>> inv_;  ///< [loop*T + t]
+  std::vector<bool> inspector_;
+};
+
+/// Runs the paper's algorithm:
+///   1. interprocedural CFG reachability finds loop pairs (P, C) where C is
+///      reachable from P;
+///   2. DEF-USE: arrays defined in P and used in C;
+///   3. under static chunk scheduling, intersect producer-thread def ranges
+///      with consumer-thread use ranges; each non-empty cross-thread
+///      intersection yields WB_CONS in P (end) and INV_PROD in C (start);
+///   4. reductions and multi-consumer defs publish with an unknown consumer
+///      (WB to the last-level cache); indirect uses mark the consumer loop
+///      as inspector-driven and publish defs globally.
+EpochPlan analyze_producer_consumer(const ProgramGraph& prog, int nthreads);
+
+}  // namespace hic

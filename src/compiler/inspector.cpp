@@ -1,0 +1,51 @@
+#include "compiler/inspector.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+std::vector<ThreadId> build_conflict_array(const LoopNode& producer,
+                                           const ArrayRef& def,
+                                           std::span<const std::int64_t> idx,
+                                           int nthreads) {
+  HIC_CHECK(def.kind == RefKind::Def);
+  HIC_CHECK(def.index.scale != 0);
+  std::vector<ThreadId> conflict(idx.size(), kUnknownThread);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const std::int64_t elem = idx[k];
+    const std::int64_t num = elem - def.index.offset;
+    if (num % def.index.scale != 0) continue;  // element never written
+    const std::int64_t iter = num / def.index.scale;
+    conflict[k] = owner_of_iteration(producer, nthreads, iter);
+    if (conflict[k] == kInvalidThread) conflict[k] = kUnknownThread;
+  }
+  return conflict;
+}
+
+std::vector<InvDirective> inspector_inv_directives(
+    const ArrayInfo& array, std::span<const std::int64_t> idx,
+    std::span<const ThreadId> conflict, ThreadId self) {
+  HIC_CHECK(idx.size() == conflict.size());
+  std::vector<InvDirective> dirs;
+  std::size_t k = 0;
+  while (k < idx.size()) {
+    if (conflict[k] == self) {
+      ++k;
+      continue;
+    }
+    // Coalesce a run of consecutive elements with the same producer.
+    const ThreadId prod = conflict[k];
+    std::int64_t lo = idx[k];
+    std::int64_t hi = idx[k];
+    std::size_t j = k + 1;
+    while (j < idx.size() && conflict[j] == prod && idx[j] == hi + 1) {
+      hi = idx[j];
+      ++j;
+    }
+    dirs.push_back({array.byte_range({lo, hi}), prod});
+    k = j;
+  }
+  return dirs;
+}
+
+}  // namespace hic

@@ -1,0 +1,35 @@
+// Inspector-executor support for irregular accesses (paper §V-A2, Fig. 8).
+//
+// Iterative sparse codes (e.g. conjugate gradient) read arrays through
+// runtime index arrays (p[col[j]]). The static analysis cannot name the
+// producer, so an inspector loop runs once, before the iterations, and
+// computes for every read the ID of the thread that produces the value —
+// the `conflict` array of Figure 8. Reads whose producer is the reader
+// itself need no INV; the rest become INV_PROD(addr, conflict[j]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/directives.hpp"
+#include "compiler/loop_ir.hpp"
+
+namespace hic {
+
+/// Builds the conflict array: conflict[k] is the thread that produces
+/// element idx[k] of the array written by `producer`'s def `def` (static
+/// chunk scheduling over nthreads). Elements nobody writes get
+/// kUnknownThread.
+std::vector<ThreadId> build_conflict_array(const LoopNode& producer,
+                                           const ArrayRef& def,
+                                           std::span<const std::int64_t> idx,
+                                           int nthreads);
+
+/// Turns the inspector's result into INV_PROD directives for reader `self`:
+/// one directive per read element whose producer differs from the reader,
+/// with runs of consecutive elements from the same producer coalesced.
+std::vector<InvDirective> inspector_inv_directives(
+    const ArrayInfo& array, std::span<const std::int64_t> idx,
+    std::span<const ThreadId> conflict, ThreadId self);
+
+}  // namespace hic

@@ -1,0 +1,104 @@
+#include "compiler/loop_ir.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+ElemInterval affine_image(const AffineExpr& e, std::int64_t first,
+                          std::int64_t last) {
+  if (first > last) return {};
+  const std::int64_t a = e.eval(first);
+  const std::int64_t b = e.eval(last);
+  return {std::min(a, b), std::max(a, b)};
+}
+
+ElemInterval chunk_of(const LoopNode& loop, int nthreads, ThreadId t) {
+  HIC_CHECK(nthreads > 0 && t >= 0 && t < nthreads);
+  const std::int64_t n = loop.ub - loop.lb;
+  if (n <= 0) return {};
+  if (loop.serial) {
+    if (t != 0) return {};
+    return {loop.lb, loop.ub - 1};
+  }
+  const std::int64_t chunk = (n + nthreads - 1) / nthreads;
+  const std::int64_t first = loop.lb + static_cast<std::int64_t>(t) * chunk;
+  const std::int64_t last = std::min(first + chunk, loop.ub) - 1;
+  if (first > last) return {};
+  return {first, last};
+}
+
+ThreadId owner_of_iteration(const LoopNode& loop, int nthreads,
+                            std::int64_t i) {
+  if (i < loop.lb || i >= loop.ub) return kInvalidThread;
+  if (loop.serial) return 0;
+  const std::int64_t n = loop.ub - loop.lb;
+  const std::int64_t chunk = (n + nthreads - 1) / nthreads;
+  return static_cast<ThreadId>((i - loop.lb) / chunk);
+}
+
+int ProgramGraph::add_array(std::string name, Addr base,
+                            std::uint32_t elem_bytes, std::int64_t length) {
+  HIC_CHECK(elem_bytes > 0 && length > 0);
+  arrays_.push_back({std::move(name), base, elem_bytes, length});
+  return static_cast<int>(arrays_.size() - 1);
+}
+
+int ProgramGraph::add_loop(LoopNode node) {
+  node.id = static_cast<int>(loops_.size());
+  for (const auto& r : node.refs)
+    HIC_CHECK_MSG(r.array >= 0 && r.array < num_arrays(),
+                  "loop references unknown array");
+  loops_.push_back(std::move(node));
+  edges_.emplace_back();
+  return static_cast<int>(loops_.size() - 1);
+}
+
+void ProgramGraph::add_edge(int from, int to) {
+  HIC_CHECK(from >= 0 && from < num_loops());
+  HIC_CHECK(to >= 0 && to < num_loops());
+  edges_[static_cast<std::size_t>(from)].push_back(to);
+}
+
+const ArrayInfo& ProgramGraph::array(int id) const {
+  HIC_CHECK(id >= 0 && id < num_arrays());
+  return arrays_[static_cast<std::size_t>(id)];
+}
+
+const LoopNode& ProgramGraph::loop(int id) const {
+  HIC_CHECK(id >= 0 && id < num_loops());
+  return loops_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& ProgramGraph::successors(int loop_id) const {
+  HIC_CHECK(loop_id >= 0 && loop_id < num_loops());
+  return edges_[static_cast<std::size_t>(loop_id)];
+}
+
+std::vector<int> ProgramGraph::reachable_from(int from) const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_loops()), false);
+  std::vector<int> stack;
+  // Seed with successors (>= 1 edge required, so a loop is reachable from
+  // itself only through a cycle).
+  for (int s : successors(from)) {
+    if (!seen[static_cast<std::size_t>(s)]) {
+      seen[static_cast<std::size_t>(s)] = true;
+      stack.push_back(s);
+    }
+  }
+  std::vector<int> out;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    for (int s : successors(v)) {
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hic

@@ -1,0 +1,120 @@
+// Loop-nest IR for the compiler analysis of programming model 2 (paper §V-A).
+//
+// The paper instruments OpenMP programs with ROSE; this substrate captures
+// exactly the program class that analysis handles — statically-scheduled
+// parallel `for` loops over affine array subscripts, serial sections,
+// reductions, and subscripts through runtime index arrays (irregular) —
+// and runs the same algorithm: interprocedural CFG reachability, then
+// DEF-USE dataflow between loop pairs, intersecting per-thread index ranges
+// under static chunk scheduling to name producer and consumer thread IDs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+/// index = scale * i + offset, in array elements.
+struct AffineExpr {
+  std::int64_t scale = 1;
+  std::int64_t offset = 0;
+
+  [[nodiscard]] std::int64_t eval(std::int64_t i) const {
+    return scale * i + offset;
+  }
+  constexpr bool operator==(const AffineExpr&) const = default;
+};
+
+/// A closed integer interval [lo, hi]; empty when lo > hi.
+struct ElemInterval {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+
+  [[nodiscard]] bool empty() const { return lo > hi; }
+  [[nodiscard]] ElemInterval intersect(const ElemInterval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+  constexpr bool operator==(const ElemInterval&) const = default;
+};
+
+/// Image of [first, last] under an affine map.
+ElemInterval affine_image(const AffineExpr& e, std::int64_t first,
+                          std::int64_t last);
+
+enum class RefKind : std::uint8_t {
+  Use,           ///< read
+  Def,           ///< write, one writer per element under the schedule
+  ReductionDef,  ///< commutative accumulation: no producer-consumer order
+};
+
+struct ArrayRef {
+  int array = -1;
+  AffineExpr index;
+  RefKind kind = RefKind::Use;
+  /// Subscript goes through a runtime index array (A[idx[j]]): the static
+  /// analysis cannot resolve it; an inspector must run (paper Fig. 8).
+  bool indirect = false;
+};
+
+struct ArrayInfo {
+  std::string name;
+  Addr base = 0;
+  std::uint32_t elem_bytes = 0;
+  std::int64_t length = 0;
+
+  [[nodiscard]] AddrRange byte_range(const ElemInterval& iv) const {
+    if (iv.empty()) return {};
+    return {base + static_cast<Addr>(iv.lo) * elem_bytes,
+            static_cast<std::uint64_t>(iv.hi - iv.lo + 1) * elem_bytes};
+  }
+};
+
+struct LoopNode {
+  int id = -1;
+  std::int64_t lb = 0;  ///< iterates [lb, ub)
+  std::int64_t ub = 0;
+  /// Serial section: every iteration executes on thread 0 (paper: "our
+  /// approach executes the serial section in only one thread").
+  bool serial = false;
+  std::vector<ArrayRef> refs;
+};
+
+/// Static chunk scheduling: iterations split into nthreads contiguous
+/// chunks; returns thread t's iteration range [first, last] (empty if none).
+ElemInterval chunk_of(const LoopNode& loop, int nthreads, ThreadId t);
+/// The thread executing iteration `i` of the loop.
+ThreadId owner_of_iteration(const LoopNode& loop, int nthreads,
+                            std::int64_t i);
+
+class ProgramGraph {
+ public:
+  int add_array(std::string name, Addr base, std::uint32_t elem_bytes,
+                std::int64_t length);
+  int add_loop(LoopNode node);
+  /// Control-flow successor edge (may form cycles for iterative programs).
+  void add_edge(int from, int to);
+
+  [[nodiscard]] const ArrayInfo& array(int id) const;
+  [[nodiscard]] const LoopNode& loop(int id) const;
+  [[nodiscard]] int num_arrays() const {
+    return static_cast<int>(arrays_.size());
+  }
+  [[nodiscard]] int num_loops() const {
+    return static_cast<int>(loops_.size());
+  }
+  [[nodiscard]] const std::vector<int>& successors(int loop_id) const;
+
+  /// All loops reachable from `from` by following >= 1 CFG edges.
+  [[nodiscard]] std::vector<int> reachable_from(int from) const;
+
+ private:
+  std::vector<ArrayInfo> arrays_;
+  std::vector<LoopNode> loops_;
+  std::vector<std::vector<int>> edges_;
+};
+
+}  // namespace hic

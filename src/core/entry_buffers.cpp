@@ -1,0 +1,51 @@
+#include "core/entry_buffers.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+ModifiedEntryBuffer::ModifiedEntryBuffer(int capacity) : capacity_(capacity) {
+  HIC_CHECK(capacity_ > 0);
+  slots_.reserve(static_cast<std::size_t>(capacity_));
+}
+
+void ModifiedEntryBuffer::reset() {
+  slots_.clear();
+  overflowed_ = false;
+}
+
+void ModifiedEntryBuffer::record(std::uint32_t slot) {
+  if (overflowed_) return;
+  if (std::find(slots_.begin(), slots_.end(), slot) != slots_.end()) return;
+  if (slots_.size() == static_cast<std::size_t>(capacity_)) {
+    overflowed_ = true;
+    return;
+  }
+  slots_.push_back(slot);
+}
+
+InvalidatedEntryBuffer::InvalidatedEntryBuffer(int capacity)
+    : capacity_(capacity) {
+  HIC_CHECK(capacity_ > 0);
+  entries_.reserve(static_cast<std::size_t>(capacity_));
+}
+
+void InvalidatedEntryBuffer::reset() { entries_.clear(); }
+
+bool InvalidatedEntryBuffer::contains(Addr line_addr) const {
+  return std::find(entries_.begin(), entries_.end(), line_addr) !=
+         entries_.end();
+}
+
+bool InvalidatedEntryBuffer::insert(Addr line_addr) {
+  HIC_DCHECK(!contains(line_addr));
+  bool evicted = false;
+  if (entries_.size() == static_cast<std::size_t>(capacity_)) {
+    entries_.erase(entries_.begin());
+    evicted = true;
+  }
+  entries_.push_back(line_addr);
+  return evicted;
+}
+
+}  // namespace hic

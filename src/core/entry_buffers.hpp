@@ -1,0 +1,72 @@
+// The two small hardware buffers next to the L1 cache (paper §IV-B).
+//
+// MEB — Modified Entry Buffer: accumulates the *physical line IDs* (slot
+// indices, 9 bits for a 32KB/64B cache) of lines written during the epoch,
+// so the end-of-critical-section WB ALL can walk 16 entries instead of the
+// whole tag array. Entries can go stale (the slot gets re-used by a line
+// that is never written); stale entries are not removed — the WB simply
+// skips slots that are not dirty. On overflow the buffer is useless for the
+// epoch and WB ALL executes normally.
+//
+// IEB — Invalidated Entry Buffer: collects the *addresses* of lines that do
+// NOT need invalidation on a future read this epoch (they were already
+// refreshed by an earlier read). It holds exact information, starts the
+// epoch empty, and is FIFO-evicted when full; an evicted entry costs one
+// unnecessary re-invalidation if its line is read again.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+class ModifiedEntryBuffer {
+ public:
+  explicit ModifiedEntryBuffer(int capacity);
+
+  /// Epoch start: empties the buffer and clears the overflow flag.
+  void reset();
+
+  /// Records that a clean word of the line in physical slot `slot` was
+  /// written. Inserts the slot if absent; sets the overflow flag when full.
+  void record(std::uint32_t slot);
+
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+  [[nodiscard]] std::span<const std::uint32_t> slots() const {
+    return {slots_.data(), slots_.size()};
+  }
+  [[nodiscard]] int capacity() const { return capacity_; }
+
+ private:
+  int capacity_;
+  std::vector<std::uint32_t> slots_;
+  bool overflowed_ = false;
+};
+
+class InvalidatedEntryBuffer {
+ public:
+  explicit InvalidatedEntryBuffer(int capacity);
+
+  /// Epoch start: empties the buffer.
+  void reset();
+
+  /// True if `line_addr` is known to need no invalidation on read.
+  [[nodiscard]] bool contains(Addr line_addr) const;
+
+  /// Inserts a line address, FIFO-evicting the oldest entry when full.
+  /// Returns true if an entry was evicted.
+  bool insert(Addr line_addr);
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  int capacity_;
+  std::vector<Addr> entries_;  ///< oldest first
+};
+
+}  // namespace hic

@@ -1,0 +1,38 @@
+// The ThreadMap hardware table (paper §V-B).
+//
+// Each block's L2 cache controller holds the list of thread IDs mapped to
+// run on that block, filled by the runtime when threads are spawned. The
+// level-adaptive WB_CONS / INV_PROD instructions consult it to decide
+// whether the named consumer/producer is local (same block) — in which case
+// communication can stay at the L2 — or remote — in which case writebacks
+// must reach the L3 and invalidations must clear the L2 as well.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+class ThreadMap {
+ public:
+  void add(ThreadId t) {
+    HIC_CHECK(t >= 0);
+    if (!contains(t)) threads_.push_back(t);
+  }
+
+  [[nodiscard]] bool contains(ThreadId t) const {
+    for (ThreadId x : threads_)
+      if (x == t) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+  void clear() { threads_.clear(); }
+
+ private:
+  std::vector<ThreadId> threads_;
+};
+
+}  // namespace hic

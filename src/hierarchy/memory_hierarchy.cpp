@@ -1,0 +1,33 @@
+#include "hierarchy/memory_hierarchy.hpp"
+
+namespace hic {
+
+HierarchyBase::HierarchyBase(const MachineConfig& cfg, GlobalMemory& gmem,
+                             SimStats& stats)
+    : cfg_(cfg), topo_(cfg), gmem_(&gmem), stats_(&stats) {
+  HIC_CHECK(stats.num_cores() >= cfg.total_cores());
+}
+
+void HierarchyBase::map_thread(ThreadId t, CoreId c) {
+  HIC_CHECK(t >= 0);
+  HIC_CHECK(c >= 0 && c < cfg_.total_cores());
+  if (static_cast<std::size_t>(t) >= thread_to_core_.size())
+    thread_to_core_.resize(static_cast<std::size_t>(t) + 1, kInvalidCore);
+  thread_to_core_[static_cast<std::size_t>(t)] = c;
+}
+
+CoreId HierarchyBase::core_of_thread(ThreadId t) const {
+  if (t < 0 || static_cast<std::size_t>(t) >= thread_to_core_.size())
+    return kInvalidCore;
+  return thread_to_core_[static_cast<std::size_t>(t)];
+}
+
+void HierarchyBase::check_access(Addr a, std::uint32_t bytes) const {
+  HIC_CHECK_MSG(bytes > 0 && bytes <= cfg_.l1.line_bytes,
+                "access size " << bytes << " invalid");
+  HIC_CHECK_MSG(align_down(a, cfg_.l1.line_bytes) ==
+                    align_down(a + bytes - 1, cfg_.l1.line_bytes),
+                "access crosses a cache-line boundary");
+}
+
+}  // namespace hic

@@ -1,0 +1,520 @@
+#include "hierarchy/mesi.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+namespace {
+constexpr std::uint64_t kAllDirty = ~0ULL;
+
+std::uint32_t bit(int i) { return 1u << i; }
+}  // namespace
+
+MesiHierarchy::MesiHierarchy(const MachineConfig& cfg, GlobalMemory& gmem,
+                             SimStats& stats)
+    : HierarchyBase(cfg, gmem, stats) {
+  l1_.reserve(static_cast<std::size_t>(cfg_.total_cores()));
+  for (int c = 0; c < cfg_.total_cores(); ++c)
+    l1_.emplace_back(cfg_.l1, /*with_data=*/false);
+
+  // The block's shared L2 is modeled as one logical cache aggregating the
+  // per-core banks; banking affects placement/latency via the topology.
+  CacheParams l2 = cfg_.l2_bank;
+  l2.size_bytes *= static_cast<std::uint32_t>(cfg_.cores_per_block);
+  l2_dir_.resize(static_cast<std::size_t>(cfg_.blocks));
+  l2_.reserve(static_cast<std::size_t>(cfg_.blocks));
+  for (int b = 0; b < cfg_.blocks; ++b) l2_.emplace_back(l2, false);
+
+  if (cfg_.multi_block()) {
+    CacheParams l3 = cfg_.l3_bank;
+    l3.size_bytes *= static_cast<std::uint32_t>(cfg_.l3_banks);
+    l3_.emplace(l3, false);
+  }
+}
+
+// --- Introspection -----------------------------------------------------------
+
+MesiState MesiHierarchy::l1_state(CoreId core, Addr a) const {
+  const Addr line = align_down(a, cfg_.l1.line_bytes);
+  const CacheLine* l = l1_[static_cast<std::size_t>(core)].find(line);
+  return l == nullptr ? MesiState::Invalid : l->mesi;
+}
+
+MesiState MesiHierarchy::l2_state(BlockId block, Addr a) const {
+  const Addr line = align_down(a, cfg_.l1.line_bytes);
+  const CacheLine* l = l2_[static_cast<std::size_t>(block)].find(line);
+  return l == nullptr ? MesiState::Invalid : l->mesi;
+}
+
+std::uint32_t MesiHierarchy::l2_sharers(BlockId block, Addr a) const {
+  const DirEntry* d =
+      find_dir(block, align_down(a, cfg_.l1.line_bytes));
+  return d == nullptr ? 0 : d->sharers;
+}
+
+CoreId MesiHierarchy::l2_owner(BlockId block, Addr a) const {
+  const DirEntry* d =
+      find_dir(block, align_down(a, cfg_.l1.line_bytes));
+  return d == nullptr ? kInvalidCore : d->owner;
+}
+
+// --- Directory helpers -------------------------------------------------------
+
+MesiHierarchy::DirEntry& MesiHierarchy::dir_of(BlockId block, Addr line) {
+  return l2_dir_[static_cast<std::size_t>(block)][line];
+}
+
+const MesiHierarchy::DirEntry* MesiHierarchy::find_dir(BlockId block,
+                                                       Addr line) const {
+  const auto& dir = l2_dir_[static_cast<std::size_t>(block)];
+  auto it = dir.find(line);
+  return it == dir.end() ? nullptr : &it->second;
+}
+
+// --- Read ---------------------------------------------------------------------
+
+AccessOutcome MesiHierarchy::read(CoreId core, Addr a, std::uint32_t bytes,
+                                  void* out) {
+  check_access(a, bytes);
+  const Addr line = align_down(a, cfg_.l1.line_bytes);
+  ++stats_->ops().loads;
+
+  Cycle lat = cfg_.l1.rt_cycles;
+  CacheLine* l = l1_[static_cast<std::size_t>(core)].touch(line);
+  const bool hit = l != nullptr;
+  if (hit) {
+    ++stats_->ops().l1_hits;
+  } else {
+    ++stats_->ops().l1_misses;
+    const BlockId block = cfg_.block_of(core);
+    const NodeId bank = l2_node(block, line);
+    lat += topo_.round_trip(topo_.core_node(core), bank) +
+           cfg_.l2_bank.rt_cycles;
+    add_traffic(TrafficKind::Linefill, topo_.control_flits());
+
+    lat += ensure_l2(block, line, /*exclusive=*/false);
+    DirEntry& d = dir_of(block, line);
+    if (d.owner == core) d.owner = kInvalidCore;  // stale after silent evict
+    lat += downgrade_local_owner(block, line, core);
+
+    MesiState st;
+    if (d.sharers == 0 && d.owner == kInvalidCore) {
+      d.owner = core;
+      st = MesiState::Exclusive;
+    } else {
+      d.sharers |= bit(local_index(core));
+      st = MesiState::Shared;
+    }
+    fill_l1(core, line, st);
+    add_traffic(TrafficKind::Linefill, line_flits());
+  }
+  gmem_->shadow_read_raw(a, out, bytes);
+  return {lat, hit, false};
+}
+
+// --- Write --------------------------------------------------------------------
+
+AccessOutcome MesiHierarchy::write(CoreId core, Addr a, std::uint32_t bytes,
+                                   const void* in) {
+  check_access(a, bytes);
+  const Addr line = align_down(a, cfg_.l1.line_bytes);
+  ++stats_->ops().stores;
+
+  Cycle lat = cfg_.l1.rt_cycles;
+  Cache& l1 = l1_[static_cast<std::size_t>(core)];
+  CacheLine* l = l1.touch(line);
+  const BlockId block = cfg_.block_of(core);
+
+  if (l != nullptr && l->mesi == MesiState::Modified) {
+    ++stats_->ops().l1_hits;
+  } else if (l != nullptr && l->mesi == MesiState::Exclusive) {
+    ++stats_->ops().l1_hits;  // silent E->M upgrade
+    l->mesi = MesiState::Modified;
+    if (cfg_.multi_block()) {
+      if (CacheLine* l2l = l2_[static_cast<std::size_t>(block)].find(line))
+        l2l->mesi = MesiState::Modified;
+    }
+  } else {
+    // Upgrade from S, or outright miss: go to the L2 home bank.
+    if (l != nullptr) {
+      ++stats_->ops().l1_hits;
+    } else {
+      ++stats_->ops().l1_misses;
+    }
+    const NodeId bank = l2_node(block, line);
+    lat += topo_.round_trip(topo_.core_node(core), bank) +
+           cfg_.l2_bank.rt_cycles;
+    add_traffic(TrafficKind::Linefill, topo_.control_flits());
+
+    lat += ensure_l2(block, line, /*exclusive=*/true);
+    DirEntry& d = dir_of(block, line);
+    if (d.owner == core && l == nullptr)
+      d.owner = kInvalidCore;  // stale after silent evict
+
+    if (d.owner != kInvalidCore && d.owner != core) {
+      // Fetch the modified line from its owner and invalidate it there.
+      const CoreId owner = d.owner;
+      lat += topo_.round_trip(bank, topo_.core_node(owner)) +
+             cfg_.l1.rt_cycles;
+      add_traffic(TrafficKind::Invalidation, topo_.control_flits());
+      ++stats_->ops().dir_invalidations_sent;
+      Cache& owner_l1 = l1_[static_cast<std::size_t>(owner)];
+      if (CacheLine* ol = owner_l1.find(line)) {
+        if (ol->mesi == MesiState::Modified) {
+          add_traffic(TrafficKind::Writeback, line_flits());
+          if (CacheLine* l2l =
+                  l2_[static_cast<std::size_t>(block)].find(line))
+            l2l->dirty_mask = kAllDirty;
+        }
+        owner_l1.invalidate(*ol);
+      }
+      d.owner = kInvalidCore;
+    }
+    lat += invalidate_local_sharers(block, line, core);
+
+    if (l == nullptr) {
+      fill_l1(core, line, MesiState::Modified);
+      add_traffic(TrafficKind::Linefill, line_flits());
+      l = l1.find(line);
+    } else {
+      l->mesi = MesiState::Modified;
+    }
+    d.owner = core;
+    d.sharers = 0;
+    if (cfg_.multi_block()) {
+      if (CacheLine* l2l = l2_[static_cast<std::size_t>(block)].find(line))
+        l2l->mesi = MesiState::Modified;
+    }
+  }
+  HIC_DCHECK(l != nullptr);
+  l->dirty_mask |= l1.word_mask(a, bytes);
+  gmem_->shadow_write_raw(a, in, bytes);
+  return {lat, true, false};
+}
+
+// --- Local (intra-block) protocol actions --------------------------------------
+
+Cycle MesiHierarchy::downgrade_local_owner(BlockId block, Addr line,
+                                           CoreId requester) {
+  DirEntry& d = dir_of(block, line);
+  if (d.owner == kInvalidCore || d.owner == requester) return 0;
+  const CoreId owner = d.owner;
+  const NodeId bank = l2_node(block, line);
+  Cycle lat = topo_.round_trip(bank, topo_.core_node(owner)) +
+              cfg_.l1.rt_cycles;
+  add_traffic(TrafficKind::Invalidation, topo_.control_flits());  // probe
+  Cache& owner_l1 = l1_[static_cast<std::size_t>(owner)];
+  if (CacheLine* ol = owner_l1.find(line)) {
+    if (ol->mesi == MesiState::Modified) {
+      add_traffic(TrafficKind::Writeback, line_flits());
+      if (CacheLine* l2l = l2_[static_cast<std::size_t>(block)].find(line))
+        l2l->dirty_mask = kAllDirty;
+    }
+    ol->mesi = MesiState::Shared;
+    d.sharers |= bit(local_index(owner));
+  }
+  d.owner = kInvalidCore;
+  return lat;
+}
+
+Cycle MesiHierarchy::invalidate_local_sharers(BlockId block, Addr line,
+                                              CoreId requester) {
+  DirEntry& d = dir_of(block, line);
+  const NodeId bank = l2_node(block, line);
+  Cycle lat = 0;
+  for (int i = 0; i < cfg_.cores_per_block; ++i) {
+    if ((d.sharers & bit(i)) == 0) continue;
+    const CoreId target = block * cfg_.cores_per_block + i;
+    if (target == requester) continue;
+    // Invalidations to all sharers go out in parallel; latency is the
+    // farthest round trip. Each costs an invalidate + ack control flit.
+    lat = std::max(lat, topo_.round_trip(bank, topo_.core_node(target)));
+    add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
+    ++stats_->ops().dir_invalidations_sent;
+    Cache& t_l1 = l1_[static_cast<std::size_t>(target)];
+    if (CacheLine* tl = t_l1.find(line)) t_l1.invalidate(*tl);
+  }
+  d.sharers = requester == kInvalidCore
+                  ? 0
+                  : d.sharers & bit(local_index(requester));
+  return lat;
+}
+
+// --- Fills and evictions --------------------------------------------------------
+
+void MesiHierarchy::fill_l1(CoreId core, Addr line, MesiState state) {
+  Cache& l1 = l1_[static_cast<std::size_t>(core)];
+  std::optional<EvictedLine> ev;
+  CacheLine& nl = l1.allocate(line, ev);
+  nl.mesi = state;
+  if (ev.has_value()) {
+    // Find the victim's state via the directory: M victims write back and
+    // notify; clean victims evict silently (directory entries go stale and
+    // are reconciled on the next probe).
+    const BlockId block = cfg_.block_of(core);
+    DirEntry& d = dir_of(block, ev->line_addr);
+    if (d.owner == core && ev->dirty_mask != 0) {
+      add_traffic(TrafficKind::Writeback, line_flits());
+      d.owner = kInvalidCore;
+      if (CacheLine* l2l =
+              l2_[static_cast<std::size_t>(block)].find(ev->line_addr))
+        l2l->dirty_mask = kAllDirty;
+    }
+  }
+}
+
+void MesiHierarchy::fill_l2(BlockId block, Addr line, MesiState block_state) {
+  Cache& l2 = l2_[static_cast<std::size_t>(block)];
+  std::optional<EvictedLine> ev;
+  CacheLine& nl = l2.allocate(line, ev);
+  nl.mesi = block_state;
+  if (!ev.has_value()) return;
+
+  // Inclusion: recall the victim from the block's L1s.
+  const Addr victim = ev->line_addr;
+  DirEntry& d = dir_of(block, victim);
+  bool dirty = ev->dirty_mask != 0;
+  if (d.owner != kInvalidCore) {
+    Cache& owner_l1 = l1_[static_cast<std::size_t>(d.owner)];
+    if (CacheLine* ol = owner_l1.find(victim)) {
+      if (ol->mesi == MesiState::Modified) {
+        add_traffic(TrafficKind::Writeback, line_flits());
+        dirty = true;
+      }
+      owner_l1.invalidate(*ol);
+    }
+    add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
+    ++stats_->ops().dir_invalidations_sent;
+  }
+  for (int i = 0; i < cfg_.cores_per_block; ++i) {
+    if ((d.sharers & bit(i)) == 0) continue;
+    const CoreId target = block * cfg_.cores_per_block + i;
+    Cache& t_l1 = l1_[static_cast<std::size_t>(target)];
+    if (CacheLine* tl = t_l1.find(victim)) t_l1.invalidate(*tl);
+    add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
+    ++stats_->ops().dir_invalidations_sent;
+  }
+  l2_dir_[static_cast<std::size_t>(block)].erase(victim);
+
+  // Dirty victims write back toward the next level.
+  if (dirty) {
+    if (cfg_.multi_block()) {
+      add_traffic(TrafficKind::Writeback, line_flits());
+      if (CacheLine* l3l = l3_->find(victim)) l3l->dirty_mask = kAllDirty;
+    } else {
+      add_traffic(TrafficKind::Memory, line_flits());
+    }
+  }
+  if (cfg_.multi_block()) {
+    auto it = l3_dir_.find(victim);
+    if (it != l3_dir_.end()) {
+      it->second.block_sharers &= ~bit(block);
+      if (it->second.owner_block == block) it->second.owner_block = -1;
+    }
+  }
+}
+
+void MesiHierarchy::fill_l3(Addr line) {
+  HIC_DCHECK(l3_.has_value());
+  std::optional<EvictedLine> ev;
+  l3_->allocate(line, ev);
+  if (!ev.has_value()) return;
+  const Addr victim = ev->line_addr;
+  auto it = l3_dir_.find(victim);
+  if (it != l3_dir_.end()) {
+    // Inclusion over blocks: recall everywhere.
+    for (int b = 0; b < cfg_.blocks; ++b) {
+      const bool sharer = (it->second.block_sharers & bit(b)) != 0 ||
+                          it->second.owner_block == b;
+      if (sharer) recall_block(b, victim, /*invalidate=*/true);
+    }
+    l3_dir_.erase(it);
+  }
+  if (ev->dirty_mask != 0) add_traffic(TrafficKind::Memory, line_flits());
+}
+
+// --- Chip-level (inter-block) protocol ------------------------------------------
+
+Cycle MesiHierarchy::ensure_l2(BlockId block, Addr line, bool exclusive) {
+  Cache& l2 = l2_[static_cast<std::size_t>(block)];
+  CacheLine* l2l = l2.touch(line);
+
+  if (!cfg_.multi_block()) {
+    if (l2l != nullptr) {
+      ++stats_->ops().l2_hits;
+      return 0;
+    }
+    ++stats_->ops().l2_misses;
+    const Cycle lat = memory_fetch(l2_node(block, line), line);
+    fill_l2(block, line, MesiState::Exclusive);
+    return lat;
+  }
+
+  if (l2l != nullptr &&
+      (!exclusive || l2l->mesi == MesiState::Exclusive ||
+       l2l->mesi == MesiState::Modified)) {
+    ++stats_->ops().l2_hits;
+    return 0;
+  }
+  if (l2l != nullptr) {
+    ++stats_->ops().l2_hits;  // present but needs a chip-level upgrade
+  } else {
+    ++stats_->ops().l2_misses;
+  }
+
+  const NodeId bank = l2_node(block, line);
+  const NodeId l3n = l3_node(line);
+  Cycle lat = topo_.round_trip(bank, l3n) + cfg_.l3_bank.rt_cycles;
+  add_traffic(TrafficKind::Linefill, topo_.control_flits());
+  lat += l3_acquire(block, line, exclusive);
+  if (l2l == nullptr) {
+    fill_l2(block, line,
+            exclusive ? MesiState::Exclusive : MesiState::Shared);
+    add_traffic(TrafficKind::Linefill, line_flits());
+  } else {
+    l2l->mesi = MesiState::Exclusive;
+  }
+  return lat;
+}
+
+Cycle MesiHierarchy::l3_acquire(BlockId block, Addr line, bool exclusive) {
+  Cycle lat = 0;
+  CacheLine* l3l = l3_->touch(line);
+  if (l3l != nullptr) {
+    ++stats_->ops().l3_hits;
+  } else {
+    ++stats_->ops().l3_misses;
+    lat += memory_fetch(l3_node(line), line);
+    fill_l3(line);
+  }
+  L3DirEntry& d3 = l3_dir_[line];
+  if (exclusive) {
+    Cycle farthest = 0;
+    for (int b = 0; b < cfg_.blocks; ++b) {
+      if (b == block) continue;
+      const bool present =
+          (d3.block_sharers & bit(b)) != 0 || d3.owner_block == b;
+      if (present)
+        farthest = std::max(farthest,
+                            recall_block(b, line, /*invalidate=*/true));
+    }
+    lat += farthest;
+    d3.block_sharers = bit(block);
+    d3.owner_block = block;
+  } else {
+    if (d3.owner_block >= 0 && d3.owner_block != block)
+      lat += recall_block(d3.owner_block, line, /*invalidate=*/false);
+    if (d3.owner_block != block) d3.owner_block = -1;
+    d3.block_sharers |= bit(block);
+  }
+  return lat;
+}
+
+Cycle MesiHierarchy::recall_block(BlockId block, Addr line, bool invalidate) {
+  const NodeId l3n = l3_node(line);
+  const NodeId bank = l2_node(block, line);
+  Cycle lat = topo_.round_trip(l3n, bank) + cfg_.l2_bank.rt_cycles;
+  add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
+  ++stats_->ops().dir_invalidations_sent;
+
+  Cache& l2 = l2_[static_cast<std::size_t>(block)];
+  CacheLine* l2l = l2.find(line);
+  if (l2l == nullptr) return lat;
+
+  // Pull any modified data out of the block's L1 owner first.
+  lat += downgrade_local_owner(block, line, kInvalidCore);
+
+  const bool dirty = l2l->dirty_mask != 0 || l2l->mesi == MesiState::Modified;
+  if (invalidate) {
+    DirEntry& d = dir_of(block, line);
+    for (int i = 0; i < cfg_.cores_per_block; ++i) {
+      if ((d.sharers & bit(i)) == 0) continue;
+      const CoreId target = block * cfg_.cores_per_block + i;
+      Cache& t_l1 = l1_[static_cast<std::size_t>(target)];
+      if (CacheLine* tl = t_l1.find(line)) t_l1.invalidate(*tl);
+      add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
+      ++stats_->ops().dir_invalidations_sent;
+    }
+    l2_dir_[static_cast<std::size_t>(block)].erase(line);
+    if (dirty) {
+      add_traffic(TrafficKind::Writeback, line_flits());
+      if (CacheLine* l3l = l3_->find(line)) l3l->dirty_mask = kAllDirty;
+    }
+    l2.invalidate(*l2l);
+  } else {
+    if (dirty) {
+      add_traffic(TrafficKind::Writeback, line_flits());
+      if (CacheLine* l3l = l3_->find(line)) l3l->dirty_mask = kAllDirty;
+      l2l->dirty_mask = 0;
+    }
+    l2l->mesi = MesiState::Shared;
+  }
+  return lat;
+}
+
+Cycle MesiHierarchy::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
+                              Addr dst, std::uint64_t bytes) {
+  HIC_CHECK(src_block >= 0 && src_block < cfg_.blocks);
+  HIC_CHECK(dst_block >= 0 && dst_block < cfg_.blocks);
+  HIC_CHECK_MSG(src % kWordBytes == 0 && dst % kWordBytes == 0 &&
+                    bytes % kWordBytes == 0 && bytes > 0,
+                "DMA transfers are word-granular");
+  // Coherent DMA: copy the data and invalidate every cached copy of the
+  // destination so subsequent reads see the fresh values.
+  std::vector<std::byte> buf(bytes);
+  gmem_->shadow_read_raw(src, buf.data(), buf.size());
+  gmem_->shadow_write_raw(dst, buf.data(), buf.size());
+
+  const Addr first = align_down(dst, cfg_.l1.line_bytes);
+  const Addr last = align_down(dst + bytes - 1, cfg_.l1.line_bytes);
+  Cycle inval_lat = 0;
+  for (Addr line = first; line <= last; line += cfg_.l1.line_bytes) {
+    if (cfg_.multi_block()) {
+      auto it = l3_dir_.find(line);
+      if (it != l3_dir_.end()) {
+        for (int b = 0; b < cfg_.blocks; ++b) {
+          const bool present =
+              (it->second.block_sharers & (1u << b)) != 0 ||
+              it->second.owner_block == b;
+          if (present)
+            inval_lat = std::max(
+                inval_lat, recall_block(b, line, /*invalidate=*/true));
+        }
+        l3_dir_.erase(it);
+      }
+      if (CacheLine* l3l = l3_->find(line)) l3_->invalidate(*l3l);
+    } else {
+      const BlockId block = 0;
+      DirEntry& d = dir_of(block, line);
+      if (d.owner != kInvalidCore) {
+        Cache& owner_l1 = l1_[static_cast<std::size_t>(d.owner)];
+        if (CacheLine* ol = owner_l1.find(line)) owner_l1.invalidate(*ol);
+        add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
+        d.owner = kInvalidCore;
+      }
+      inval_lat = std::max(inval_lat,
+                           invalidate_local_sharers(block, line, kInvalidCore));
+      if (CacheLine* l2l = l2_[0].find(line)) l2_[0].invalidate(*l2l);
+      l2_dir_[0].erase(line);
+    }
+  }
+
+  const NodeId src_node =
+      topo_.l2_bank_node(src_block, topo_.l2_bank_of(align_down(src, 64)));
+  const NodeId dst_node =
+      topo_.l2_bank_node(dst_block, topo_.l2_bank_of(align_down(dst, 64)));
+  const std::uint64_t flits =
+      topo_.flits_for(static_cast<std::uint32_t>(bytes));
+  add_traffic(TrafficKind::Sync, flits);
+  return cfg_.costs.op_fixed_cycles + topo_.round_trip(src_node, dst_node) +
+         static_cast<Cycle>(flits) + inval_lat;
+}
+
+Cycle MesiHierarchy::memory_fetch(NodeId at, Addr line) {
+  (void)line;
+  const NodeId mem = topo_.memory_node_near(at);
+  add_traffic(TrafficKind::Memory, topo_.control_flits() + line_flits());
+  return topo_.round_trip(at, mem) + cfg_.memory_rt_cycles;
+}
+
+}  // namespace hic

@@ -1,0 +1,113 @@
+// The hardware-coherent baseline (HCC): a full-map directory-based MESI
+// protocol (paper §VI), in two shapes selected by the machine config:
+//   - one block:    2-level (private L1s + shared banked L2 + memory)
+//   - multi-block:  3-level hierarchical (per-block full-map directory at the
+//                   L2 tracking L1 sharers; chip-level full-map directory at
+//                   the L3 tracking block sharers)
+//
+// Values are always coherent, so functional reads/writes go straight to the
+// instantly-coherent shadow memory; the caches track tags, MESI states and
+// directory content for timing and traffic.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarchy/memory_hierarchy.hpp"
+#include "mem/cache.hpp"
+
+namespace hic {
+
+class MesiHierarchy final : public HierarchyBase {
+ public:
+  MesiHierarchy(const MachineConfig& cfg, GlobalMemory& gmem, SimStats& stats);
+
+  AccessOutcome read(CoreId core, Addr a, std::uint32_t bytes,
+                     void* out) override;
+  AccessOutcome write(CoreId core, Addr a, std::uint32_t bytes,
+                      const void* in) override;
+
+  // Coherence-management instructions are not needed (and free) under HCC.
+  Cycle wb_range(CoreId, AddrRange, Level) override { return 0; }
+  Cycle wb_all(CoreId, Level) override { return 0; }
+  Cycle inv_range(CoreId, AddrRange, Level) override { return 0; }
+  Cycle inv_all(CoreId, Level) override { return 0; }
+  Cycle wb_cons(CoreId, AddrRange, ThreadId) override { return 0; }
+  Cycle wb_cons_all(CoreId, ThreadId) override { return 0; }
+  Cycle inv_prod(CoreId, AddrRange, ThreadId) override { return 0; }
+  Cycle inv_prod_all(CoreId, ThreadId) override { return 0; }
+  Cycle cs_enter(CoreId) override { return 0; }
+  Cycle cs_exit(CoreId) override { return 0; }
+
+  Cycle dma_copy(BlockId src_block, Addr src, BlockId dst_block, Addr dst,
+                 std::uint64_t bytes) override;
+
+  [[nodiscard]] bool coherent() const override { return true; }
+
+  // --- Introspection (tests) ----------------------------------------------
+  [[nodiscard]] MesiState l1_state(CoreId core, Addr a) const;
+  [[nodiscard]] MesiState l2_state(BlockId block, Addr a) const;
+  [[nodiscard]] std::uint32_t l2_sharers(BlockId block, Addr a) const;
+  [[nodiscard]] CoreId l2_owner(BlockId block, Addr a) const;
+
+ private:
+  /// Full-map directory entry at a block's L2: which of the block's cores
+  /// hold the line in S, or which single core holds it in E/M.
+  struct DirEntry {
+    std::uint32_t sharers = 0;      ///< bitmask over local core indices
+    CoreId owner = kInvalidCore;    ///< global core id holding E/M
+  };
+  /// Chip-level directory entry at the L3.
+  struct L3DirEntry {
+    std::uint32_t block_sharers = 0;  ///< bitmask over blocks
+    BlockId owner_block = -1;         ///< block holding the line exclusively
+  };
+
+  [[nodiscard]] NodeId l2_node(BlockId block, Addr line) const {
+    return topo_.l2_bank_node(block, topo_.l2_bank_of(line));
+  }
+  [[nodiscard]] NodeId l3_node(Addr line) const {
+    return topo_.l3_bank_node(topo_.l3_bank_of(line));
+  }
+  [[nodiscard]] int local_index(CoreId c) const {
+    return c % cfg_.cores_per_block;
+  }
+
+  DirEntry& dir_of(BlockId block, Addr line);
+  [[nodiscard]] const DirEntry* find_dir(BlockId block, Addr line) const;
+
+  /// Ensures `line` is present in the block's L2 with at least (exclusive ?
+  /// E : S) rights relative to the chip. Returns added latency.
+  Cycle ensure_l2(BlockId block, Addr line, bool exclusive);
+
+  /// 3-level only: chip-level transitions at the L3 home.
+  Cycle l3_acquire(BlockId block, Addr line, bool exclusive);
+  /// Recalls modified data from (or invalidates) a block's L2 + L1s.
+  Cycle recall_block(BlockId block, Addr line, bool invalidate);
+
+  /// If another local L1 owns the line modified, writes it back to L2.
+  Cycle downgrade_local_owner(BlockId block, Addr line, CoreId requester);
+  /// Invalidates every local L1 sharer except `requester`.
+  Cycle invalidate_local_sharers(BlockId block, Addr line, CoreId requester);
+
+  /// Allocates in L1, handling the victim (M lines write back and notify
+  /// the directory; clean lines evict silently).
+  void fill_l1(CoreId core, Addr line, MesiState state);
+  /// Allocates in a block L2, enforcing inclusion over the block's L1s and
+  /// writing back dirty victims toward L3/memory.
+  void fill_l2(BlockId block, Addr line, MesiState block_state);
+  /// Allocates in the L3, enforcing inclusion over all blocks.
+  void fill_l3(Addr line);
+
+  /// Fetch latency and traffic for bringing a line from memory to a node.
+  Cycle memory_fetch(NodeId at, Addr line);
+
+  std::vector<Cache> l1_;                 ///< per core
+  std::vector<Cache> l2_;                 ///< per block (logical, banked)
+  std::optional<Cache> l3_;               ///< multi-block only (logical)
+  std::vector<std::unordered_map<Addr, DirEntry>> l2_dir_;  ///< per block
+  std::unordered_map<Addr, L3DirEntry> l3_dir_;
+};
+
+}  // namespace hic

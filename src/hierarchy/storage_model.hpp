@@ -1,0 +1,52 @@
+// Analytic control/storage-overhead model of paper §VII-A.
+//
+// Compares the storage the coherent hierarchy needs (full-map hierarchical
+// directory + 4-bit MESI state per L1/L2 line) against what the incoherent
+// hierarchy needs (valid bit + per-word dirty bits per L1/L2 line, per-core
+// MEB and IEB, per-block ThreadMap). The L3 is identical in both systems and
+// excluded, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/machine_config.hpp"
+
+namespace hic {
+
+struct StorageBreakdown {
+  // Coherent (HCC) side, bits.
+  std::uint64_t hcc_l1_state_bits = 0;
+  std::uint64_t hcc_l2_state_bits = 0;
+  std::uint64_t hcc_l2_directory_bits = 0;  ///< presence + dirty per L2 line
+  std::uint64_t hcc_l3_directory_bits = 0;  ///< per-block presence + dirty
+  // Incoherent side, bits.
+  std::uint64_t inc_l1_line_bits = 0;  ///< valid + per-word dirty
+  std::uint64_t inc_l2_line_bits = 0;
+  std::uint64_t inc_meb_bits = 0;
+  std::uint64_t inc_ieb_bits = 0;
+  std::uint64_t inc_threadmap_bits = 0;
+
+  [[nodiscard]] std::uint64_t hcc_total_bits() const {
+    return hcc_l1_state_bits + hcc_l2_state_bits + hcc_l2_directory_bits +
+           hcc_l3_directory_bits;
+  }
+  [[nodiscard]] std::uint64_t inc_total_bits() const {
+    return inc_l1_line_bits + inc_l2_line_bits + inc_meb_bits + inc_ieb_bits +
+           inc_threadmap_bits;
+  }
+  /// Storage the incoherent hierarchy saves, in bytes (paper: ~102KB for the
+  /// 4-block x 8-core machine).
+  [[nodiscard]] std::int64_t savings_bytes() const {
+    return (static_cast<std::int64_t>(hcc_total_bits()) -
+            static_cast<std::int64_t>(inc_total_bits())) /
+           8;
+  }
+
+  [[nodiscard]] std::string report() const;
+};
+
+/// Computes the breakdown for a machine configuration.
+StorageBreakdown compute_storage_overhead(const MachineConfig& cfg);
+
+}  // namespace hic

@@ -1,0 +1,144 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+const char* to_string(MesiState s) {
+  switch (s) {
+    case MesiState::Invalid: return "I";
+    case MesiState::Shared: return "S";
+    case MesiState::Exclusive: return "E";
+    case MesiState::Modified: return "M";
+  }
+  return "?";
+}
+
+Cache::Cache(const CacheParams& params, bool with_data)
+    : params_(params), with_data_(with_data) {
+  HIC_CHECK(is_pow2(params_.num_sets()));
+  HIC_CHECK_MSG(params_.words_per_line() <= 64,
+                "dirty mask is 64 bits; line too long");
+  lines_.resize(params_.num_lines());
+  if (with_data_) {
+    data_.resize(static_cast<std::size_t>(params_.num_lines()) *
+                 params_.line_bytes);
+  }
+}
+
+std::uint64_t Cache::word_mask(Addr a, std::uint32_t bytes) const {
+  HIC_CHECK(bytes > 0);
+  HIC_CHECK_MSG(line_addr_of(a) == line_addr_of(a + bytes - 1),
+                "access crosses a line boundary");
+  const std::uint32_t first = word_index(a);
+  const std::uint32_t last = word_index(a + bytes - 1);
+  const std::uint32_t count = last - first + 1;
+  const std::uint64_t ones =
+      count >= 64 ? ~0ULL : ((1ULL << count) - 1);
+  return ones << first;
+}
+
+CacheLine* Cache::find(Addr line_addr) {
+  HIC_DCHECK(line_addr == line_addr_of(line_addr));
+  for (auto& line : set_span(set_of(line_addr)))
+    if (line.valid && line.line_addr == line_addr) return &line;
+  return nullptr;
+}
+
+const CacheLine* Cache::find(Addr line_addr) const {
+  return const_cast<Cache*>(this)->find(line_addr);
+}
+
+CacheLine* Cache::touch(Addr line_addr) {
+  CacheLine* line = find(line_addr);
+  if (line != nullptr) line->lru_stamp = ++lru_clock_;
+  return line;
+}
+
+CacheLine& Cache::allocate(Addr line_addr,
+                           std::optional<EvictedLine>& evicted) {
+  HIC_CHECK(line_addr == line_addr_of(line_addr));
+  HIC_CHECK_MSG(find(line_addr) == nullptr, "line already present");
+  evicted.reset();
+
+  auto set = set_span(set_of(line_addr));
+  CacheLine* victim = nullptr;
+  for (auto& line : set) {
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru_stamp < victim->lru_stamp)
+      victim = &line;
+  }
+  HIC_DCHECK(victim != nullptr);
+
+  if (victim->valid) {
+    EvictedLine ev;
+    ev.line_addr = victim->line_addr;
+    ev.dirty_mask = victim->dirty_mask;
+    if (with_data_) {
+      auto src = data_of(*victim);
+      ev.data.assign(src.begin(), src.end());
+    }
+    evicted = std::move(ev);
+  }
+
+  victim->line_addr = line_addr;
+  victim->valid = true;
+  victim->dirty_mask = 0;
+  victim->mesi = MesiState::Invalid;
+  victim->lru_stamp = ++lru_clock_;
+  return *victim;
+}
+
+void Cache::invalidate(CacheLine& line) {
+  line.valid = false;
+  line.dirty_mask = 0;
+  line.mesi = MesiState::Invalid;
+}
+
+void Cache::invalidate_all() {
+  for (auto& line : lines_) invalidate(line);
+}
+
+std::uint32_t Cache::valid_count() const {
+  std::uint32_t n = 0;
+  for (const auto& line : lines_)
+    if (line.valid) ++n;
+  return n;
+}
+
+std::uint32_t Cache::dirty_line_count() const {
+  std::uint32_t n = 0;
+  for (const auto& line : lines_)
+    if (line.valid && line.dirty()) ++n;
+  return n;
+}
+
+std::uint32_t Cache::slot_of(const CacheLine& line) const {
+  const auto idx = static_cast<std::size_t>(&line - lines_.data());
+  HIC_DCHECK(idx < lines_.size());
+  return static_cast<std::uint32_t>(idx);
+}
+
+CacheLine& Cache::line_in_slot(std::uint32_t slot) {
+  HIC_CHECK(slot < lines_.size());
+  return lines_[slot];
+}
+
+std::span<std::byte> Cache::data_of(CacheLine& line) {
+  HIC_CHECK_MSG(with_data_, "cache built without functional data");
+  return {data_.data() + static_cast<std::size_t>(slot_of(line)) *
+                             params_.line_bytes,
+          params_.line_bytes};
+}
+
+std::span<const std::byte> Cache::data_of(const CacheLine& line) const {
+  HIC_CHECK_MSG(with_data_, "cache built without functional data");
+  return {data_.data() +
+              static_cast<std::size_t>(slot_of(line)) * params_.line_bytes,
+          params_.line_bytes};
+}
+
+}  // namespace hic

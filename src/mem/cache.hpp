@@ -1,0 +1,126 @@
+// Set-associative writeback cache with the paper's line format:
+// one Valid bit per line, per-word Dirty bits (§III-B), and a 4-bit MESI
+// state used only by the hardware-coherent baseline.
+//
+// The cache optionally carries functional line data so the incoherent
+// hierarchy can return genuinely stale values; timing-only runs skip the
+// data copies.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/machine_config.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+/// MESI stable states (HCC baseline only; the incoherent hierarchy leaves
+/// this at Invalid and uses just valid + dirty bits).
+enum class MesiState : std::uint8_t { Invalid = 0, Shared, Exclusive, Modified };
+
+const char* to_string(MesiState s);
+
+struct CacheLine {
+  Addr line_addr = 0;        ///< address of first byte (line-aligned)
+  bool valid = false;
+  std::uint64_t dirty_mask = 0;  ///< bit i => word i modified locally
+  MesiState mesi = MesiState::Invalid;
+  std::uint64_t lru_stamp = 0;
+
+  [[nodiscard]] bool dirty() const { return dirty_mask != 0; }
+};
+
+/// Data removed from the cache by an allocation (the replacement victim).
+struct EvictedLine {
+  Addr line_addr = 0;
+  std::uint64_t dirty_mask = 0;
+  std::vector<std::byte> data;  ///< full line contents (functional mode)
+};
+
+class Cache {
+ public:
+  Cache(const CacheParams& params, bool with_data);
+
+  [[nodiscard]] const CacheParams& params() const { return params_; }
+  [[nodiscard]] bool has_data() const { return with_data_; }
+
+  // --- Geometry -----------------------------------------------------------
+  [[nodiscard]] Addr line_addr_of(Addr a) const {
+    return align_down(a, params_.line_bytes);
+  }
+  [[nodiscard]] std::uint32_t set_of(Addr line_addr) const {
+    return static_cast<std::uint32_t>((line_addr / params_.line_bytes) &
+                                      (params_.num_sets() - 1));
+  }
+  /// First word index within the line covered by [a, a+bytes).
+  [[nodiscard]] std::uint32_t word_index(Addr a) const {
+    return static_cast<std::uint32_t>((a % params_.line_bytes) / kWordBytes);
+  }
+  /// Dirty-mask bits covered by [a, a+bytes); the range must lie in one line.
+  [[nodiscard]] std::uint64_t word_mask(Addr a, std::uint32_t bytes) const;
+
+  // --- Lookup -------------------------------------------------------------
+  /// Finds a valid line; nullptr on miss. Does not update LRU.
+  [[nodiscard]] CacheLine* find(Addr line_addr);
+  [[nodiscard]] const CacheLine* find(Addr line_addr) const;
+  /// Finds and marks most-recently-used.
+  CacheLine* touch(Addr line_addr);
+
+  // --- Mutation -----------------------------------------------------------
+  /// Allocates a frame for `line_addr` (which must not be present), evicting
+  /// the LRU way of the set if necessary. Returns the new (valid, clean)
+  /// line; if a valid line was displaced, its contents land in `evicted`.
+  CacheLine& allocate(Addr line_addr, std::optional<EvictedLine>& evicted);
+
+  /// Invalidates one line (caller handles any dirty data beforehand).
+  void invalidate(CacheLine& line);
+
+  /// Invalidates every line. Dirty data is dropped — callers that must not
+  /// lose updates write back first (the WB-before-INV rule of §III-B).
+  void invalidate_all();
+
+  // --- Iteration ----------------------------------------------------------
+  /// Visits every valid line.
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
+    for (auto& line : lines_)
+      if (line.valid) fn(line);
+  }
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) const {
+    for (const auto& line : lines_)
+      if (line.valid) fn(line);
+  }
+
+  [[nodiscard]] std::uint32_t valid_count() const;
+  [[nodiscard]] std::uint32_t dirty_line_count() const;
+
+  // --- Physical slots (for the MEB, which stores 9-bit line IDs) ----------
+  /// Physical slot index (set * ways + way) of a resident line.
+  [[nodiscard]] std::uint32_t slot_of(const CacheLine& line) const;
+  /// The line in a physical slot (may be invalid).
+  [[nodiscard]] CacheLine& line_in_slot(std::uint32_t slot);
+
+  // --- Functional data ----------------------------------------------------
+  /// The line's data block (functional mode only).
+  [[nodiscard]] std::span<std::byte> data_of(CacheLine& line);
+  [[nodiscard]] std::span<const std::byte> data_of(const CacheLine& line) const;
+
+ private:
+  [[nodiscard]] std::span<CacheLine> set_span(std::uint32_t set) {
+    return {lines_.data() + static_cast<std::size_t>(set) * params_.ways,
+            params_.ways};
+  }
+
+  CacheParams params_;
+  bool with_data_;
+  std::vector<CacheLine> lines_;     ///< sets * ways, set-major
+  std::vector<std::byte> data_;      ///< functional storage, line-major
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace hic

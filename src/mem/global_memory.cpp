@@ -1,0 +1,59 @@
+#include "mem/global_memory.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+GlobalMemory::GlobalMemory(std::uint64_t capacity) : capacity_(capacity) {
+  HIC_CHECK(capacity_ > 0);
+}
+
+Addr GlobalMemory::alloc(std::uint64_t bytes, std::string label,
+                         std::uint64_t align) {
+  HIC_CHECK(bytes > 0);
+  HIC_CHECK(is_pow2(align));
+  const Addr a = align_up(next_, align);
+  HIC_CHECK_MSG(a + bytes - kBase <= capacity_,
+                "GlobalMemory capacity exhausted allocating '" << label << "'");
+  next_ = a + bytes;
+  // Pad to a line boundary so line-granular fetches never run off the end.
+  const std::size_t needed =
+      static_cast<std::size_t>(align_up(next_, 64) - kBase);
+  if (dram_.size() < needed) {
+    dram_.resize(needed);
+    shadow_.resize(needed);
+  }
+  regions_.emplace_back(std::move(label), AddrRange{a, bytes});
+  return a;
+}
+
+AddrRange GlobalMemory::region(const std::string& label) const {
+  for (const auto& [name, range] : regions_)
+    if (name == label) return range;
+  HIC_CHECK_MSG(false, "no region named '" << label << "'");
+  return {};
+}
+
+void GlobalMemory::dram_read(Addr a, std::span<std::byte> out) const {
+  read_bytes(dram_, a, out.data(), out.size());
+}
+
+void GlobalMemory::dram_write(Addr a, std::span<const std::byte> in) {
+  write_bytes(dram_, a, in.data(), in.size());
+}
+
+void GlobalMemory::read_bytes(const std::vector<std::byte>& arr, Addr a,
+                              void* out, std::size_t n) const {
+  HIC_CHECK_MSG(in_bounds(a, n), "read outside allocated memory @0x"
+                                     << std::hex << a << std::dec << " +" << n);
+  std::memcpy(out, arr.data() + (a - kBase), n);
+}
+
+void GlobalMemory::write_bytes(std::vector<std::byte>& arr, Addr a,
+                               const void* in, std::size_t n) {
+  HIC_CHECK_MSG(in_bounds(a, n), "write outside allocated memory @0x"
+                                     << std::hex << a << std::dec << " +" << n);
+  std::memcpy(arr.data() + (a - kBase), in, n);
+}
+
+}  // namespace hic

@@ -1,0 +1,99 @@
+// The simulated single shared address space (paper §II: "all cores share
+// memory and a single address space").
+//
+// Two byte arrays back each address:
+//   - dram():   off-chip memory contents. Updated only when writebacks reach
+//               the memory level; this is what an L3 miss reads. A value a
+//               core never wrote back is genuinely invisible here.
+//   - shadow(): the instantly-coherent reference — every store by any core
+//               updates it immediately. The hardware-coherent baseline reads
+//               and writes only the shadow (MESI keeps values coherent by
+//               construction), and the staleness monitor compares cached
+//               words against it.
+//
+// Allocation is a simple bump allocator with named regions for diagnostics.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+class GlobalMemory {
+ public:
+  /// `capacity` bounds the total allocatable bytes.
+  explicit GlobalMemory(std::uint64_t capacity = 256ULL * 1024 * 1024);
+
+  /// Allocates `bytes` aligned to `align` (power of two, >= 64 by default so
+  /// distinct allocations never share a cache line unless requested).
+  Addr alloc(std::uint64_t bytes, std::string label,
+             std::uint64_t align = 64);
+
+  /// Convenience: allocates an array of T.
+  template <typename T>
+  Addr alloc_array(std::uint64_t count, std::string label) {
+    return alloc(count * sizeof(T), std::move(label),
+                 std::max<std::uint64_t>(64, alignof(T)));
+  }
+
+  [[nodiscard]] std::uint64_t bytes_allocated() const { return next_ - base_; }
+  [[nodiscard]] AddrRange region(const std::string& label) const;
+
+  // --- Initialization (host-side, pre-run): writes both dram and shadow ---
+  template <typename T>
+  void init(Addr a, const T& v) {
+    write_bytes(dram_, a, &v, sizeof(T));
+    write_bytes(shadow_, a, &v, sizeof(T));
+  }
+
+  // --- DRAM side (used by the memory level of the hierarchy) --------------
+  void dram_read(Addr a, std::span<std::byte> out) const;
+  void dram_write(Addr a, std::span<const std::byte> in);
+
+  // --- Shadow side (coherent reference) ------------------------------------
+  template <typename T>
+  [[nodiscard]] T shadow_read(Addr a) const {
+    T v;
+    read_bytes(shadow_, a, &v, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void shadow_write(Addr a, const T& v) {
+    write_bytes(shadow_, a, &v, sizeof(T));
+  }
+  void shadow_read_raw(Addr a, void* out, std::size_t n) const {
+    read_bytes(shadow_, a, out, n);
+  }
+  void shadow_write_raw(Addr a, const void* in, std::size_t n) {
+    write_bytes(shadow_, a, in, n);
+  }
+
+  /// True iff [a, a+n) falls inside backed memory. The backing arrays are
+  /// padded to cache-line boundaries so whole-line fetches of the last
+  /// allocation stay in bounds.
+  [[nodiscard]] bool in_bounds(Addr a, std::size_t n) const {
+    return a >= base_ && a + n - kBase <= dram_.size();
+  }
+
+ private:
+  void read_bytes(const std::vector<std::byte>& arr, Addr a, void* out,
+                  std::size_t n) const;
+  void write_bytes(std::vector<std::byte>& arr, Addr a, const void* in,
+                   std::size_t n);
+
+  // Simulated addresses start away from 0 so that address 0 is never valid.
+  static constexpr Addr kBase = 0x10000;
+  Addr base_ = kBase;
+  Addr next_ = kBase;
+  std::uint64_t capacity_;
+  std::vector<std::byte> dram_;
+  std::vector<std::byte> shadow_;
+  std::vector<std::pair<std::string, AddrRange>> regions_;
+};
+
+}  // namespace hic

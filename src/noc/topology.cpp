@@ -1,0 +1,87 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace hic {
+
+namespace {
+/// Width of one block's tile of cores: the largest power of two not
+/// exceeding sqrt(cores_per_block). 16 cores -> 4x4; 8 cores -> 2x4.
+int block_tile_cols(int cores_per_block) {
+  int w = 1;
+  while ((w * 2) * (w * 2) <= cores_per_block) w *= 2;
+  return w;
+}
+}  // namespace
+
+ChipTopology::ChipTopology(const MachineConfig& cfg)
+    : cfg_(cfg),
+      hop_cycles_(cfg.mesh_hop_cycles),
+      link_bytes_(cfg.link_bits / 8) {
+  cfg_.validate();
+  const int tile_cols = block_tile_cols(cfg_.cores_per_block);
+  HIC_CHECK_MSG(cfg_.cores_per_block % tile_cols == 0,
+                "cores per block must tile a rectangle");
+  cols_ = cfg_.blocks * tile_cols;
+  rows_ = cfg_.cores_per_block / tile_cols;
+}
+
+int ChipTopology::hops(NodeId a, NodeId b) const {
+  return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+}
+
+std::uint64_t ChipTopology::flits_for(std::uint32_t payload_bytes) const {
+  const std::uint64_t data =
+      (payload_bytes + link_bytes_ - 1) / link_bytes_;
+  return 1 + data;  // header + payload
+}
+
+NodeId ChipTopology::core_node(CoreId c) const {
+  HIC_CHECK(c >= 0 && c < cfg_.total_cores());
+  const int tile_cols = cols_ / cfg_.blocks;
+  const BlockId block = cfg_.block_of(c);
+  const int local = c % cfg_.cores_per_block;
+  const int x = block * tile_cols + local % tile_cols;
+  const int y = local / tile_cols;
+  return node_at(x, y);
+}
+
+int ChipTopology::l2_bank_of(Addr line_addr) const {
+  return static_cast<int>((line_addr / cfg_.l1.line_bytes) %
+                          static_cast<std::uint64_t>(cfg_.cores_per_block));
+}
+
+NodeId ChipTopology::l2_bank_node(BlockId block, int bank) const {
+  HIC_CHECK(block >= 0 && block < cfg_.blocks);
+  HIC_CHECK(bank >= 0 && bank < cfg_.cores_per_block);
+  // Each L2 bank is co-located with one core of the block.
+  return core_node(block * cfg_.cores_per_block + bank);
+}
+
+int ChipTopology::l3_bank_of(Addr line_addr) const {
+  HIC_CHECK(cfg_.multi_block());
+  return static_cast<int>((line_addr / cfg_.l1.line_bytes) %
+                          static_cast<std::uint64_t>(cfg_.l3_banks));
+}
+
+NodeId ChipTopology::l3_bank_node(int bank) const {
+  HIC_CHECK(cfg_.multi_block());
+  HIC_CHECK(bank >= 0 && bank < cfg_.l3_banks);
+  // One L3 bank sits at the center of each block's tile (banks cycle over
+  // blocks if there are more banks than blocks).
+  const int block = bank % cfg_.blocks;
+  return core_node(block * cfg_.cores_per_block + cfg_.cores_per_block / 2);
+}
+
+NodeId ChipTopology::memory_node_near(NodeId n) const {
+  const NodeId corners[4] = {node_at(0, 0), node_at(cols_ - 1, 0),
+                             node_at(0, rows_ - 1),
+                             node_at(cols_ - 1, rows_ - 1)};
+  NodeId best = corners[0];
+  for (NodeId c : corners)
+    if (hops(n, c) < hops(n, best)) best = c;
+  return best;
+}
+
+}  // namespace hic

@@ -1,0 +1,78 @@
+// On-chip network model: a 2D mesh with dimension-order routing,
+// 4 cycles/hop and 128-bit links (paper Table III), plus the placement of
+// cores, L2/L3 banks, and the corner memory controllers.
+//
+// The model is latency+traffic oriented: messages pay Manhattan-distance hop
+// latency and are accounted in flits; link contention is approximated by the
+// per-line injection occupancy charged by the cache-op cost model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/machine_config.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+/// A node index on the mesh (row-major).
+using NodeId = int;
+
+class ChipTopology {
+ public:
+  explicit ChipTopology(const MachineConfig& cfg);
+
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int num_nodes() const { return cols_ * rows_; }
+
+  [[nodiscard]] NodeId node_at(int x, int y) const {
+    HIC_DCHECK(x >= 0 && x < cols_ && y >= 0 && y < rows_);
+    return y * cols_ + x;
+  }
+  [[nodiscard]] int x_of(NodeId n) const { return n % cols_; }
+  [[nodiscard]] int y_of(NodeId n) const { return n / cols_; }
+
+  /// Manhattan hop count between two nodes.
+  [[nodiscard]] int hops(NodeId a, NodeId b) const;
+
+  /// One-way latency in cycles between two nodes.
+  [[nodiscard]] Cycle latency(NodeId a, NodeId b) const {
+    return static_cast<Cycle>(hops(a, b)) * hop_cycles_;
+  }
+  [[nodiscard]] Cycle round_trip(NodeId a, NodeId b) const {
+    return 2 * latency(a, b);
+  }
+
+  /// Flits needed for a payload of `bytes` (one header flit + data flits).
+  [[nodiscard]] std::uint64_t flits_for(std::uint32_t payload_bytes) const;
+  /// Flits of a control message (header only).
+  [[nodiscard]] std::uint64_t control_flits() const { return 1; }
+
+  // --- Placement -----------------------------------------------------------
+  /// The mesh node hosting a core (its L1 and its local L2 bank).
+  [[nodiscard]] NodeId core_node(CoreId c) const;
+
+  /// The L2 bank index serving a line address within a block, and its node.
+  /// Intra-block: 16 banks (one per core); inter-block: 8 banks per block.
+  [[nodiscard]] int l2_bank_of(Addr line_addr) const;
+  [[nodiscard]] NodeId l2_bank_node(BlockId block, int bank) const;
+
+  /// The L3 bank serving a line address (multi-block configs only).
+  [[nodiscard]] int l3_bank_of(Addr line_addr) const;
+  [[nodiscard]] NodeId l3_bank_node(int bank) const;
+
+  /// Nearest corner memory controller to a node.
+  [[nodiscard]] NodeId memory_node_near(NodeId n) const;
+
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+
+ private:
+  MachineConfig cfg_;
+  int cols_;
+  int rows_;
+  Cycle hop_cycles_;
+  std::uint32_t link_bytes_;
+};
+
+}  // namespace hic

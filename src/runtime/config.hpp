@@ -1,0 +1,72 @@
+// Experiment configurations (paper Table II).
+#pragma once
+
+#include <string>
+
+#include "core/incoherent.hpp"
+
+namespace hic {
+
+enum class Config {
+  // Intra-block experiments (upper Table II).
+  Hcc,         ///< hardware cache coherence (directory MESI)
+  Base,        ///< WB ALL and INV ALL at every annotation
+  BaseMeb,     ///< Base plus the MEB (B+M)
+  BaseIeb,     ///< Base plus the IEB (B+I)
+  BaseMebIeb,  ///< Base plus both buffers (B+M+I)
+  // Inter-block experiments (lower Table II).
+  InterHcc,    ///< hierarchical directory MESI
+  InterBase,   ///< WB ALL to L3; INV ALL from L2
+  InterAddr,   ///< WB/INV of specific addresses, always global
+  InterAddrL,  ///< level-adaptive WB_CONS / INV_PROD (Addr+L)
+};
+
+[[nodiscard]] constexpr bool is_coherent(Config c) {
+  return c == Config::Hcc || c == Config::InterHcc;
+}
+
+[[nodiscard]] constexpr bool is_inter_block(Config c) {
+  return c == Config::InterHcc || c == Config::InterBase ||
+         c == Config::InterAddr || c == Config::InterAddrL;
+}
+
+[[nodiscard]] constexpr IncoherentOptions buffer_options(Config c) {
+  IncoherentOptions o;
+  o.use_meb = c == Config::BaseMeb || c == Config::BaseMebIeb;
+  o.use_ieb = c == Config::BaseIeb || c == Config::BaseMebIeb;
+  return o;
+}
+
+/// How Model-2 epoch directives translate into instructions.
+enum class InterPolicy {
+  NotApplicable,  ///< coherent machine: no instructions at all
+  AllGlobal,      ///< InterBase: WB ALL to L3 / INV ALL from L2
+  AddrGlobal,     ///< InterAddr: address ranges, always global
+  AddrAdaptive,   ///< InterAddrL: WB_CONS / INV_PROD via the ThreadMap
+};
+
+[[nodiscard]] constexpr InterPolicy inter_policy(Config c) {
+  switch (c) {
+    case Config::InterBase: return InterPolicy::AllGlobal;
+    case Config::InterAddr: return InterPolicy::AddrGlobal;
+    case Config::InterAddrL: return InterPolicy::AddrAdaptive;
+    default: return InterPolicy::NotApplicable;
+  }
+}
+
+[[nodiscard]] inline std::string to_string(Config c) {
+  switch (c) {
+    case Config::Hcc: return "HCC";
+    case Config::Base: return "Base";
+    case Config::BaseMeb: return "B+M";
+    case Config::BaseIeb: return "B+I";
+    case Config::BaseMebIeb: return "B+M+I";
+    case Config::InterHcc: return "HCC";
+    case Config::InterBase: return "Base";
+    case Config::InterAddr: return "Addr";
+    case Config::InterAddrL: return "Addr+L";
+  }
+  return "?";
+}
+
+}  // namespace hic

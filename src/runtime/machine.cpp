@@ -1,0 +1,79 @@
+#include "runtime/machine.hpp"
+
+#include "hierarchy/mesi.hpp"
+#include "runtime/thread.hpp"
+
+namespace hic {
+
+namespace {
+std::unique_ptr<HierarchyBase> build_hierarchy(const MachineConfig& mc,
+                                               Config cfg, GlobalMemory& gmem,
+                                               SimStats& stats) {
+  if (is_coherent(cfg))
+    return std::make_unique<MesiHierarchy>(mc, gmem, stats);
+  return std::make_unique<IncoherentHierarchy>(mc, gmem, stats,
+                                               buffer_options(cfg));
+}
+}  // namespace
+
+Machine::Machine(const MachineConfig& mc, Config cfg)
+    : mc_(mc),
+      cfg_(cfg),
+      stats_(mc.total_cores()),
+      hier_(build_hierarchy(mc, cfg, gmem_, stats_)),
+      sync_(mc.total_cores()),
+      engine_(*hier_, sync_, mc.sim_slack_cycles) {
+  HIC_CHECK_MSG(is_inter_block(cfg) == mc.multi_block(),
+                "config " << to_string(cfg)
+                          << " does not match the machine's block count");
+}
+
+IncoherentHierarchy* Machine::incoherent() {
+  return dynamic_cast<IncoherentHierarchy*>(hier_.get());
+}
+
+NodeId Machine::next_sync_home() {
+  const auto& topo = hier_->topology();
+  const int k = sync_homes_issued_++;
+  // Sync variables live in shared-cache controllers: the L3 banks on a
+  // multi-block machine, the L2 banks otherwise.
+  if (mc_.multi_block()) return topo.l3_bank_node(k % mc_.l3_banks);
+  return topo.l2_bank_node(0, k % mc_.cores_per_block);
+}
+
+Machine::Barrier Machine::make_barrier(int participants) {
+  return Barrier{sync_.declare_barrier(participants, next_sync_home())};
+}
+
+Machine::Lock Machine::make_lock(bool outside_cs_communication,
+                                 AddrRange protected_data, bool block_local) {
+  return Lock{sync_.declare_lock(next_sync_home()), outside_cs_communication,
+              protected_data, block_local};
+}
+
+Machine::Flag Machine::make_flag(std::uint64_t initial) {
+  return Flag{sync_.declare_flag(next_sync_home(), initial)};
+}
+
+void Machine::run(int nthreads, const std::function<void(Thread&)>& body) {
+  HIC_CHECK(nthreads > 0 && nthreads <= mc_.total_cores());
+  for (ThreadId t = 0; t < nthreads; ++t)
+    hier_->map_thread(t, static_cast<CoreId>(t));
+
+  std::vector<Engine::CoreBody> bodies;
+  bodies.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) {
+    bodies.push_back([this, nthreads, &body](CoreServices& svc) {
+      Thread t(*this, svc, nthreads);
+      body(t);
+    });
+  }
+  engine_.run(std::move(bodies));
+}
+
+VerifyReader::VerifyReader(Machine& m) : m_(&m) {
+  m_->hierarchy().inv_all(
+      0, m.machine_config().multi_block() ? Level::L2 : Level::L1);
+}
+
+}  // namespace hic

@@ -1,0 +1,103 @@
+// Machine: one fully-assembled simulated system — global memory, the chosen
+// hierarchy (incoherent with the configured buffers, or the MESI baseline),
+// the synchronization controller, and the execution engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mem/global_memory.hpp"
+#include "runtime/config.hpp"
+#include "sim/engine.hpp"
+#include "sync/sync_controller.hpp"
+
+namespace hic {
+
+class Thread;
+
+class Machine {
+ public:
+  /// Handles to declared synchronization variables (sync-table entries).
+  struct Barrier {
+    SyncId id = -1;
+  };
+  struct Lock {
+    SyncId id = -1;
+    /// Outside-critical-section communication (paper §IV-A1, Figure 4d):
+    /// the annotator adds a full WB before acquire and a full INV after
+    /// release unless the programmer states there is no OCC.
+    bool occ = false;
+    /// Inter-block only: the shared data the critical section accesses.
+    /// Model 2's compiler analysis names the variables inside a critical
+    /// section, so the CS annotations can use address-ranged WB/INV instead
+    /// of whole-cache operations; empty means unknown (fall back to ALL).
+    AddrRange data{};
+    /// Inter-block only: every thread that ever takes this lock runs in one
+    /// block (e.g. the per-block phase of a hierarchical reduction), so the
+    /// CS annotations can stay at the block level: INV of the private L1
+    /// and WB to the shared L2, never touching the L3.
+    bool block_local = false;
+  };
+  struct Flag {
+    SyncId id = -1;
+  };
+
+  Machine(const MachineConfig& mc, Config cfg);
+
+  [[nodiscard]] const MachineConfig& machine_config() const { return mc_; }
+  [[nodiscard]] Config config() const { return cfg_; }
+  [[nodiscard]] GlobalMemory& mem() { return gmem_; }
+  [[nodiscard]] SimStats& stats() { return stats_; }
+  [[nodiscard]] HierarchyBase& hierarchy() { return *hier_; }
+  [[nodiscard]] SyncController& sync() { return sync_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+  /// The incoherent hierarchy, or nullptr under HCC.
+  [[nodiscard]] IncoherentHierarchy* incoherent();
+
+  Barrier make_barrier(int participants);
+  Lock make_lock(bool outside_cs_communication = false,
+                 AddrRange protected_data = {}, bool block_local = false);
+  Flag make_flag(std::uint64_t initial = 0);
+
+  /// Runs `nthreads` copies of `body`, thread i pinned to core i (the paper
+  /// assumes a fixed 1:1 mapping with no migration). Fills the ThreadMap.
+  void run(int nthreads, const std::function<void(Thread&)>& body);
+
+  /// Execution time of the last run (slowest core's finishing cycle).
+  [[nodiscard]] Cycle exec_cycles() const { return engine_.finish_time(); }
+
+ private:
+  [[nodiscard]] NodeId next_sync_home();
+
+  MachineConfig mc_;
+  Config cfg_;
+  GlobalMemory gmem_;
+  SimStats stats_;
+  std::unique_ptr<HierarchyBase> hier_;
+  SyncController sync_;
+  Engine engine_;
+  int sync_homes_issued_ = 0;
+};
+
+/// Reads results through the hierarchy after a run, the way a verification
+/// pass on the real machine would: self-invalidate core 0's private cache
+/// (and its block L2 on multi-block machines), then read — values must have
+/// been written back by the application's final annotated barrier. On the
+/// coherent baseline the invalidation is a no-op and reads are coherent.
+class VerifyReader {
+ public:
+  explicit VerifyReader(Machine& m);
+
+  template <typename T>
+  [[nodiscard]] T read(Addr a) {
+    T v{};
+    m_->hierarchy().read(0, a, sizeof(T), &v);
+    return v;
+  }
+
+ private:
+  Machine* m_;
+};
+
+}  // namespace hic

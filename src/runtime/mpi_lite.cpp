@@ -1,0 +1,172 @@
+#include "runtime/mpi_lite.hpp"
+
+namespace hic {
+
+MpiComm::MpiComm(Machine& m, int ranks, std::uint32_t max_msg_bytes)
+    : m_(&m), ranks_(ranks), max_msg_bytes_(max_msg_bytes) {
+  HIC_CHECK(ranks > 1 && ranks <= m.machine_config().total_cores());
+  channels_.resize(static_cast<std::size_t>(ranks) *
+                   static_cast<std::size_t>(ranks));
+  send_seq_.assign(channels_.size(), 0);
+  recv_seq_.assign(channels_.size(), 0);
+  for (int s = 0; s < ranks; ++s) {
+    for (int d = 0; d < ranks; ++d) {
+      if (s == d) continue;
+      Channel& ch = channel(s, d);
+      ch.buf = m.mem().alloc(max_msg_bytes_, "mpi.ch", 64);
+      ch.ready = m.make_flag(0);
+      ch.done = m.make_flag(0);
+    }
+  }
+  bcast_buf_.resize(static_cast<std::size_t>(ranks));
+  bcast_seq_.assign(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    bcast_buf_[static_cast<std::size_t>(r)] =
+        m.mem().alloc(max_msg_bytes_, "mpi.bcast", 64);
+    bcast_ready_.push_back(m.make_flag(0));
+    bcast_ack_.push_back(m.make_flag(0));
+  }
+}
+
+void MpiComm::uncached_xfer(Thread& t, Addr a, std::uint32_t bytes) {
+  const auto& topo = t.machine().hierarchy().topology();
+  const auto& mc = t.machine().machine_config();
+  const Addr line = align_down(a, mc.l1.line_bytes);
+  // The buffer lives in the shared cache: L3 on multi-block machines.
+  NodeId home;
+  Cycle bank_rt;
+  if (mc.multi_block()) {
+    home = topo.l3_bank_node(topo.l3_bank_of(line));
+    bank_rt = mc.l3_bank.rt_cycles;
+  } else {
+    home = topo.l2_bank_node(0, topo.l2_bank_of(line));
+    bank_rt = mc.l2_bank.rt_cycles;
+  }
+  const std::uint64_t flits = topo.flits_for(bytes);
+  t.compute(topo.round_trip(topo.core_node(t.tid()), home) + bank_rt + flits);
+  t.machine().stats().traffic().add(TrafficKind::Sync, flits);
+}
+
+void MpiComm::send(Thread& t, int dst, std::span<const std::byte> data) {
+  HIC_CHECK(t.tid() < ranks_ && dst < ranks_ && dst != t.tid());
+  HIC_CHECK_MSG(data.size() <= max_msg_bytes_, "message exceeds channel size");
+  const int src = t.tid();
+  Channel& ch = channel(src, dst);
+  std::uint64_t& seq = send_seq_[static_cast<std::size_t>(src) *
+                                     static_cast<std::size_t>(ranks_) +
+                                 static_cast<std::size_t>(dst)];
+  ++seq;
+  // Flow control: wait until the receiver has drained the previous message.
+  if (seq > 1) t.services().flag_wait(ch.done.id, seq - 1);
+  // Uncacheable write of the payload.
+  m_->mem().shadow_write_raw(ch.buf, data.data(), data.size());
+  uncached_xfer(t, ch.buf, static_cast<std::uint32_t>(data.size()));
+  t.services().flag_set(ch.ready.id, seq);
+}
+
+void MpiComm::recv(Thread& t, int src, std::span<std::byte> out) {
+  HIC_CHECK(t.tid() < ranks_ && src < ranks_ && src != t.tid());
+  const int dst = t.tid();
+  Channel& ch = channel(src, dst);
+  std::uint64_t& seq = recv_seq_[static_cast<std::size_t>(src) *
+                                     static_cast<std::size_t>(ranks_) +
+                                 static_cast<std::size_t>(dst)];
+  ++seq;
+  t.services().flag_wait(ch.ready.id, seq);
+  uncached_xfer(t, ch.buf, static_cast<std::uint32_t>(out.size()));
+  m_->mem().shadow_read_raw(ch.buf, out.data(), out.size());
+  t.services().flag_set(ch.done.id, seq);
+}
+
+MpiComm::Request MpiComm::isend(Thread& t, int dst,
+                                std::span<const std::byte> data) {
+  HIC_CHECK(t.tid() < ranks_ && dst < ranks_ && dst != t.tid());
+  HIC_CHECK_MSG(data.size() <= max_msg_bytes_, "message exceeds channel size");
+  Request req;
+  req.is_send = true;
+  req.peer = dst;
+  req.send_data = data;
+  const int src = t.tid();
+  std::uint64_t& seq = send_seq_[static_cast<std::size_t>(src) *
+                                     static_cast<std::size_t>(ranks_) +
+                                 static_cast<std::size_t>(dst)];
+  req.seq = ++seq;
+  (void)test(t, req);  // start immediately if the channel is free
+  return req;
+}
+
+MpiComm::Request MpiComm::irecv(Thread& t, int src,
+                                std::span<std::byte> out) {
+  HIC_CHECK(t.tid() < ranks_ && src < ranks_ && src != t.tid());
+  Request req;
+  req.is_send = false;
+  req.peer = src;
+  req.recv_data = out;
+  const int dst = t.tid();
+  std::uint64_t& seq = recv_seq_[static_cast<std::size_t>(src) *
+                                     static_cast<std::size_t>(ranks_) +
+                                 static_cast<std::size_t>(dst)];
+  req.seq = ++seq;
+  (void)test(t, req);
+  return req;
+}
+
+bool MpiComm::test(Thread& t, Request& req) {
+  if (req.completed) return true;
+  const auto& sync = t.machine().sync();
+  if (req.is_send) {
+    Channel& ch = channel(t.tid(), req.peer);
+    // Channel free once the receiver has drained the previous message.
+    if (req.seq > 1 && sync.flag_value(ch.done.id) < req.seq - 1)
+      return false;
+    m_->mem().shadow_write_raw(ch.buf, req.send_data.data(),
+                               req.send_data.size());
+    uncached_xfer(t, ch.buf, static_cast<std::uint32_t>(req.send_data.size()));
+    t.services().flag_set(ch.ready.id, req.seq);
+  } else {
+    Channel& ch = channel(req.peer, t.tid());
+    if (sync.flag_value(ch.ready.id) < req.seq) return false;
+    uncached_xfer(t, ch.buf, static_cast<std::uint32_t>(req.recv_data.size()));
+    m_->mem().shadow_read_raw(ch.buf, req.recv_data.data(),
+                              req.recv_data.size());
+    t.services().flag_set(ch.done.id, req.seq);
+  }
+  req.completed = true;
+  return true;
+}
+
+void MpiComm::wait(Thread& t, Request& req) {
+  if (req.completed) return;
+  if (req.is_send) {
+    Channel& ch = channel(t.tid(), req.peer);
+    if (req.seq > 1) t.services().flag_wait(ch.done.id, req.seq - 1);
+  } else {
+    Channel& ch = channel(req.peer, t.tid());
+    t.services().flag_wait(ch.ready.id, req.seq);
+  }
+  const bool done = test(t, req);
+  HIC_CHECK_MSG(done, "request not completable after its flag fired");
+}
+
+void MpiComm::bcast(Thread& t, int root, std::span<std::byte> data) {
+  HIC_CHECK(t.tid() < ranks_ && root < ranks_);
+  HIC_CHECK_MSG(data.size() <= max_msg_bytes_, "message exceeds channel size");
+  const auto r = static_cast<std::size_t>(root);
+  const std::uint64_t seq = ++bcast_seq_[static_cast<std::size_t>(t.tid())];
+  if (t.tid() == root) {
+    // One write serves every receiver (no per-recipient copies).
+    if (seq > 1)
+      t.services().flag_wait(bcast_ack_[r].id,
+                             (seq - 1) * static_cast<std::uint64_t>(ranks_ - 1));
+    m_->mem().shadow_write_raw(bcast_buf_[r], data.data(), data.size());
+    uncached_xfer(t, bcast_buf_[r], static_cast<std::uint32_t>(data.size()));
+    t.services().flag_set(bcast_ready_[r].id, seq);
+  } else {
+    t.services().flag_wait(bcast_ready_[r].id, seq);
+    uncached_xfer(t, bcast_buf_[r], static_cast<std::uint32_t>(data.size()));
+    m_->mem().shadow_read_raw(bcast_buf_[r], data.data(), data.size());
+    t.services().flag_add(bcast_ack_[r].id, 1);
+  }
+}
+
+}  // namespace hic

@@ -1,0 +1,99 @@
+// MPI-lite: the message-passing half of programming model 1 (paper §IV).
+//
+// Across blocks, model 1 uses MPI; MPI_Send / MPI_Recv are implemented
+// cheaply on this machine because sender and receiver share the chip's
+// address space: they communicate through an on-chip *uncacheable* shared
+// buffer and synchronize through the hardware sync controller. Broadcasts
+// need no per-recipient copies — the root writes once and every receiver
+// reads the same location.
+//
+// Uncacheable accesses bypass the cache hierarchy entirely (no WB/INV
+// needed); they pay the mesh round trip to the home shared-cache bank plus
+// the serialization of the payload over 128-bit links.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "runtime/thread.hpp"
+
+namespace hic {
+
+class MpiComm {
+ public:
+  /// Declares channels and flags for `ranks` participants. Must be created
+  /// before Machine::run. Rank i must be driven by thread i.
+  MpiComm(Machine& m, int ranks, std::uint32_t max_msg_bytes = 4096);
+
+  [[nodiscard]] int ranks() const { return ranks_; }
+
+  /// Blocking ready-send / receive (rendezvous through flags).
+  void send(Thread& t, int dst, std::span<const std::byte> data);
+  void recv(Thread& t, int src, std::span<std::byte> out);
+
+  /// Nonblocking variants (paper §IV mentions MPI_Isend/MPI_Irecv). The
+  /// operation starts immediately when the channel allows it and otherwise
+  /// completes inside wait(); test(t) polls without blocking. One
+  /// outstanding request per (peer, direction) at a time.
+  struct Request {
+    bool completed = false;
+    bool is_send = false;
+    int peer = -1;
+    std::uint64_t seq = 0;
+    std::span<const std::byte> send_data{};
+    std::span<std::byte> recv_data{};
+  };
+  [[nodiscard]] Request isend(Thread& t, int dst,
+                              std::span<const std::byte> data);
+  [[nodiscard]] Request irecv(Thread& t, int src, std::span<std::byte> out);
+  /// True if the request can complete without blocking (completes it).
+  bool test(Thread& t, Request& req);
+  /// Blocks until the request completes.
+  void wait(Thread& t, Request& req);
+
+  /// Broadcast: the root writes the buffer once; every other rank reads the
+  /// same location. `data` is input at the root, output elsewhere.
+  void bcast(Thread& t, int root, std::span<std::byte> data);
+
+  /// Convenience for typed scalars.
+  template <typename T>
+  void send_value(Thread& t, int dst, const T& v) {
+    send(t, dst, std::as_bytes(std::span(&v, 1)));
+  }
+  template <typename T>
+  [[nodiscard]] T recv_value(Thread& t, int src) {
+    T v{};
+    recv(t, src, std::as_writable_bytes(std::span(&v, 1)));
+    return v;
+  }
+
+ private:
+  struct Channel {
+    Addr buf = 0;
+    Machine::Flag ready;  ///< sender posts sequence number
+    Machine::Flag done;   ///< receiver acknowledges sequence number
+  };
+
+  [[nodiscard]] Channel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(ranks_) +
+                     static_cast<std::size_t>(dst)];
+  }
+  /// Timed uncacheable transfer of `bytes` at address `a`.
+  void uncached_xfer(Thread& t, Addr a, std::uint32_t bytes);
+
+  Machine* m_;
+  int ranks_;
+  std::uint32_t max_msg_bytes_;
+  std::vector<Channel> channels_;
+  std::vector<std::uint64_t> send_seq_;  ///< written only by the sender rank
+  std::vector<std::uint64_t> recv_seq_;  ///< written only by the receiver rank
+  // Broadcast state (one slot per root).
+  std::vector<Addr> bcast_buf_;
+  std::vector<Machine::Flag> bcast_ready_;
+  std::vector<Machine::Flag> bcast_ack_;
+  std::vector<std::uint64_t> bcast_seq_;  ///< per rank, local progress
+};
+
+}  // namespace hic

@@ -1,0 +1,216 @@
+#include "runtime/thread.hpp"
+
+namespace hic {
+
+Thread::Thread(Machine& m, CoreServices& svc, int nthreads)
+    : m_(&m),
+      svc_(&svc),
+      nthreads_(nthreads),
+      coherent_(is_coherent(m.config())),
+      inter_(is_inter_block(m.config())),
+      policy_(inter_policy(m.config())),
+      wb_level_(is_inter_block(m.config()) ? Level::L3 : Level::L2),
+      inv_level_(is_inter_block(m.config()) ? Level::L2 : Level::L1),
+      rng_(0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(svc.core()) + 1)) {}
+
+void Thread::barrier(Machine::Barrier b) {
+  ++m_->stats().ops().anno_barriers;
+  if (!coherent_) svc_->wb_all(wb_level_);
+  svc_->barrier(b.id);
+  if (!coherent_) svc_->inv_all(inv_level_);
+}
+
+void Thread::barrier_block(Machine::Barrier b) {
+  ++m_->stats().ops().anno_barriers;
+  if (!coherent_) svc_->wb_all(Level::L2);
+  svc_->barrier(b.id);
+  if (!coherent_) svc_->inv_all(Level::L1);
+}
+
+void Thread::barrier_refined(Machine::Barrier b,
+                             std::span<const AddrRange> consumed) {
+  ++m_->stats().ops().anno_barriers;
+  if (!coherent_) svc_->wb_all(wb_level_);
+  svc_->barrier(b.id);
+  if (!coherent_) {
+    for (const AddrRange& r : consumed) {
+      if (!r.empty()) svc_->inv_range(r, inv_level_);
+    }
+  }
+}
+
+void Thread::barrier_refined(Machine::Barrier b,
+                             std::span<const AddrRange> produced,
+                             std::span<const AddrRange> consumed) {
+  ++m_->stats().ops().anno_barriers;
+  if (!coherent_) {
+    for (const AddrRange& r : produced) {
+      if (!r.empty()) svc_->wb_range(r, wb_level_);
+    }
+  }
+  svc_->barrier(b.id);
+  if (!coherent_) {
+    for (const AddrRange& r : consumed) {
+      if (!r.empty()) svc_->inv_range(r, inv_level_);
+    }
+  }
+}
+
+void Thread::lock(Machine::Lock l) {
+  ++m_->stats().ops().anno_critical;
+  if (!coherent_) {
+    if (l.occ) {
+      // OCC (§IV-A1): data produced before the critical section may be
+      // consumed by a later lock holder after it leaves the critical
+      // section — publish everything written so far.
+      ++m_->stats().ops().anno_occ;
+      svc_->wb_all(wb_level_);
+    }
+    // Intra-block: the INV side sits immediately *before* the acquire so it
+    // does not lengthen the critical section (paper §IV-A1). That is safe
+    // only because it touches the *private* L1, whose state cannot change
+    // while this core waits. With the IEB enabled this merely arms lazy
+    // per-read invalidation.
+    if (!inter_) svc_->cs_enter();
+  }
+  svc_->lock(l.id);
+  if (!coherent_ && inter_) {
+    // Inter-block: the critical section's data may sit stale in the
+    // *shared* block L2, which other cores refill while this core waits for
+    // the lock — so the invalidation must follow the acquire. When the
+    // compiler named the protected data, invalidate just that; when every
+    // participant is block-local, the previous holder published to this
+    // block's L2, so only the private L1 needs invalidating.
+    const Level from = l.block_local ? Level::L1 : Level::L2;
+    if (l.data.empty()) {
+      svc_->inv_all(from);
+    } else {
+      svc_->inv_range(l.data, from);
+    }
+  }
+}
+
+void Thread::unlock(Machine::Lock l) {
+  if (!coherent_) {
+    // WB of the critical section's writes (MEB-directed or WB ALL); across
+    // blocks the next holder may be anywhere, so publish to the L3 — just
+    // the protected data when the compiler named it, and only to the block
+    // L2 when every participant is block-local.
+    if (!inter_) {
+      svc_->cs_exit();
+    } else {
+      const Level to = l.block_local ? Level::L2 : Level::L3;
+      if (l.data.empty()) {
+        svc_->wb_all(to);
+      } else {
+        svc_->wb_range(l.data, to);
+      }
+    }
+  }
+  svc_->unlock(l.id);
+  if (!coherent_ && l.occ) {
+    // OCC: data produced by earlier lock holders outside their critical
+    // sections may now be consumed — refresh our view.
+    svc_->inv_all(inv_level_);
+  }
+}
+
+void Thread::flag_set(Machine::Flag f, std::uint64_t value) {
+  ++m_->stats().ops().anno_flag;
+  if (!coherent_) svc_->wb_all(wb_level_);
+  svc_->flag_set(f.id, value);
+}
+
+void Thread::flag_wait(Machine::Flag f, std::uint64_t expect) {
+  ++m_->stats().ops().anno_flag;
+  svc_->flag_wait(f.id, expect);
+  if (!coherent_) svc_->inv_all(inv_level_);
+}
+
+std::uint64_t Thread::flag_add(Machine::Flag f, std::uint64_t delta) {
+  ++m_->stats().ops().anno_flag;
+  if (!coherent_) svc_->wb_all(wb_level_);
+  return svc_->flag_add(f.id, delta);
+}
+
+void Thread::epoch_produce(std::span<const WbDirective> dirs) {
+  switch (policy_) {
+    case InterPolicy::NotApplicable:
+      return;
+    case InterPolicy::AllGlobal:
+      svc_->wb_all(Level::L3);
+      return;
+    case InterPolicy::AddrGlobal:
+      for (const auto& d : dirs) svc_->wb_range(d.range, Level::L3);
+      return;
+    case InterPolicy::AddrAdaptive:
+      for (const auto& d : dirs) {
+        if (d.consumer == kUnknownThread) {
+          svc_->wb_range(d.range, Level::L3);
+        } else {
+          svc_->wb_cons(d.range, d.consumer);
+        }
+      }
+      return;
+  }
+}
+
+void Thread::epoch_consume(std::span<const InvDirective> dirs) {
+  switch (policy_) {
+    case InterPolicy::NotApplicable:
+      return;
+    case InterPolicy::AllGlobal:
+      svc_->inv_all(Level::L2);
+      return;
+    case InterPolicy::AddrGlobal:
+      for (const auto& d : dirs) svc_->inv_range(d.range, Level::L2);
+      return;
+    case InterPolicy::AddrAdaptive:
+      for (const auto& d : dirs) {
+        if (d.producer == kUnknownThread) {
+          svc_->inv_range(d.range, Level::L2);
+        } else {
+          svc_->inv_prod(d.range, d.producer);
+        }
+      }
+      return;
+  }
+}
+
+void Thread::epoch_produce_all(ThreadId consumer) {
+  switch (policy_) {
+    case InterPolicy::NotApplicable:
+      return;
+    case InterPolicy::AllGlobal:
+    case InterPolicy::AddrGlobal:
+      svc_->wb_all(Level::L3);
+      return;
+    case InterPolicy::AddrAdaptive:
+      svc_->wb_cons_all(consumer);
+      return;
+  }
+}
+
+void Thread::epoch_consume_all(ThreadId producer) {
+  switch (policy_) {
+    case InterPolicy::NotApplicable:
+      return;
+    case InterPolicy::AllGlobal:
+    case InterPolicy::AddrGlobal:
+      svc_->inv_all(Level::L2);
+      return;
+    case InterPolicy::AddrAdaptive:
+      svc_->inv_prod_all(producer);
+      return;
+  }
+}
+
+void Thread::epoch_barrier(Machine::Barrier b,
+                           std::span<const WbDirective> wb,
+                           std::span<const InvDirective> inv) {
+  epoch_produce(wb);
+  svc_->barrier(b.id);
+  epoch_consume(inv);
+}
+
+}  // namespace hic

@@ -1,0 +1,161 @@
+// Thread: the per-thread programming interface the workloads run against.
+//
+// It implements both of the paper's programming approaches on top of the
+// engine's CoreServices:
+//
+// Programming model 1 (§IV, intra-block shared memory): synchronization
+// operations carry the WB/INV annotations of Figure 4 —
+//   barrier     : WB(all written) before, INV(exposed reads) after; the
+//                 baseline uses WB ALL / INV ALL;
+//   critical    : INV immediately before acquire (or the IEB's lazy scheme),
+//                 WB immediately before release (or the MEB-directed WB);
+//   flag        : WB ALL before set, INV ALL after a successful wait;
+//   OCC         : WB ALL before acquire / INV ALL after release when
+//                 outside-critical-section communication may exist;
+//   data race   : racy_store/racy_load pair each racy access with a
+//                 word-granularity WB/INV (Figure 6b).
+// Under HCC all annotations disappear, so the identical workload code runs
+// on the coherent baseline.
+//
+// Programming model 2 (§V, inter-block shared memory): epoch_produce /
+// epoch_consume translate compiler-emitted directives into the configured
+// instruction flavor (Table II: Base -> ALL-global, Addr -> ranges-global,
+// Addr+L -> level-adaptive WB_CONS / INV_PROD).
+#pragma once
+
+#include <span>
+
+#include "common/directives.hpp"
+#include "common/rng.hpp"
+#include "runtime/machine.hpp"
+
+namespace hic {
+
+class Thread {
+ public:
+  Thread(Machine& m, CoreServices& svc, int nthreads);
+
+  [[nodiscard]] ThreadId tid() const { return svc_->core(); }
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+  [[nodiscard]] Cycle now() const { return svc_->now(); }
+  [[nodiscard]] Machine& machine() { return *m_; }
+  [[nodiscard]] CoreServices& services() { return *svc_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Advances this core's clock by `cycles` of pure computation.
+  void compute(Cycle cycles) { svc_->compute(cycles); }
+
+  // --- Typed memory accesses (through the cache hierarchy) -----------------
+  template <typename T>
+  [[nodiscard]] T load(Addr a) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    T v{};
+    svc_->load(a, sizeof(T), &v);
+    return v;
+  }
+  template <typename T>
+  void store(Addr a, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    svc_->store(a, sizeof(T), &v);
+  }
+
+  // --- Model 1: annotated synchronization ----------------------------------
+  void barrier(Machine::Barrier b);
+  /// Model 1 on a multi-block machine (§IV): a barrier among the threads of
+  /// ONE block. Communication stays inside the block, so the annotations
+  /// are the intra-block ones — WB ALL to the block L2, INV ALL of the
+  /// private L1 — regardless of the machine's block count. Inter-block
+  /// communication goes through MPI-lite instead.
+  void barrier_block(Machine::Barrier b);
+  /// Barrier with the paper's §IV-A refinement: when a thread owns part of
+  /// the shared space and reuses it across barriers "as if it was private",
+  /// the annotation skips the INV ALL and self-invalidates only the ranges
+  /// the next epoch actually consumes from other threads (the exposed
+  /// reads). The WB side stays WB ALL — it writes back only dirty lines and
+  /// leaves them valid-clean, so it never destroys reuse.
+  void barrier_refined(Machine::Barrier b,
+                       std::span<const AddrRange> consumed);
+  /// Fully refined barrier: additionally narrows the WB side to the ranges
+  /// this thread produced *for other threads* ("a WB for all the shared
+  /// variables written ... that may be needed by other threads", §III-A) —
+  /// data rewritten privately every epoch is not written back. The final
+  /// barrier of a program must remain unrefined (or produce everything) so
+  /// results are published.
+  void barrier_refined(Machine::Barrier b, std::span<const AddrRange> produced,
+                       std::span<const AddrRange> consumed);
+  void lock(Machine::Lock l);
+  void unlock(Machine::Lock l);
+  void flag_set(Machine::Flag f, std::uint64_t value);
+  void flag_wait(Machine::Flag f, std::uint64_t expect);
+  std::uint64_t flag_add(Machine::Flag f, std::uint64_t delta);
+
+  /// Operand-granularity WB/INV (paper §III-B: "byte, half word, word,
+  /// double word, or quad word ... they take as an argument the address of
+  /// the operand"). Internally line-granular, like all flavors.
+  template <typename T>
+  void wb_operand(Addr a) {
+    static_assert(sizeof(T) <= 16);
+    svc_->wb_range({a, sizeof(T)}, wb_level_);
+  }
+  template <typename T>
+  void inv_operand(Addr a) {
+    static_assert(sizeof(T) <= 16);
+    svc_->inv_range({a, sizeof(T)}, inv_level_);
+  }
+
+  /// DMA transfer between block L2s (Runnemede's inter-block mechanism,
+  /// paper §VIII). The producer publishes the source range to its block L2
+  /// (e.g. via a block barrier) before the transfer; consumers in the
+  /// destination block self-invalidate their L1 before reading, as after
+  /// any handoff. Synchronous: this thread waits for completion.
+  void dma_copy(BlockId src_block, Addr src, BlockId dst_block, Addr dst,
+                std::uint64_t bytes) {
+    svc_->dma_copy(src_block, src, dst_block, dst, bytes);
+  }
+
+  /// Data-race communication with enforced visibility (Figure 6b).
+  template <typename T>
+  void racy_store(Addr a, const T& v) {
+    store(a, v);
+    ++m_->stats().ops().anno_racy;
+    if (!coherent_) svc_->wb_range({a, sizeof(T)}, wb_level_);
+  }
+  template <typename T>
+  [[nodiscard]] T racy_load(Addr a) {
+    ++m_->stats().ops().anno_racy;
+    if (!coherent_) svc_->inv_range({a, sizeof(T)}, inv_level_);
+    return load<T>(a);
+  }
+
+  // --- Model 2: epoch boundaries with compiler directives ------------------
+  /// End of a producing epoch: issues the configured WB flavor.
+  void epoch_produce(std::span<const WbDirective> dirs);
+  /// Start of a consuming epoch: issues the configured INV flavor.
+  void epoch_consume(std::span<const InvDirective> dirs);
+  /// Whole-cache epoch ops with a known peer (paper §V-B: "WB_CONS ALL
+  /// (ConsID)" / "INV_PROD ALL (ProdID)") — used when an epoch is too long
+  /// or irregular to enumerate addresses but the peer thread is known.
+  void epoch_produce_all(ThreadId consumer);
+  void epoch_consume_all(ThreadId producer);
+
+  /// produce -> barrier -> consume, the standard loop-boundary sequence.
+  void epoch_barrier(Machine::Barrier b, std::span<const WbDirective> wb,
+                     std::span<const InvDirective> inv);
+  /// Barrier-only epoch boundary (no analyzable communication).
+  void epoch_barrier(Machine::Barrier b) {
+    epoch_barrier(b, {}, {});
+  }
+
+ private:
+  Machine* m_;
+  CoreServices* svc_;
+  int nthreads_;
+  bool coherent_;
+  bool inter_;
+  InterPolicy policy_;
+  Level wb_level_;   ///< shared level WBs must reach (L2 intra, L3 inter)
+  Level inv_level_;  ///< level INVs must clear (L1 intra, L2 inter)
+  Rng rng_;
+};
+
+}  // namespace hic

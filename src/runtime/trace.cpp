@@ -1,0 +1,161 @@
+#include "runtime/trace.hpp"
+
+#include <sstream>
+
+namespace hic {
+
+namespace {
+
+Level parse_level(const std::string& s, int line_no) {
+  if (s == "L1") return Level::L1;
+  if (s == "L2") return Level::L2;
+  if (s == "L3") return Level::L3;
+  HIC_CHECK_MSG(false, "trace line " << line_no << ": bad level '" << s
+                                     << "'");
+  return Level::L2;
+}
+
+}  // namespace
+
+TraceProgram TraceProgram::parse(std::istream& in) {
+  TraceProgram prog;
+  std::string line;
+  int line_no = 0;
+  std::uint64_t write_seq = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    ThreadId tid;
+    std::string op;
+    if (!(ls >> tid >> op)) continue;  // blank / comment-only line
+    HIC_CHECK_MSG(tid >= 0 && tid < 1024,
+                  "trace line " << line_no << ": bad thread id " << tid);
+    TraceEvent e;
+    e.tid = tid;
+    auto need_addr = [&](bool with_size) {
+      HIC_CHECK_MSG(static_cast<bool>(ls >> e.addr),
+                    "trace line " << line_no << ": missing address");
+      if (with_size) {
+        HIC_CHECK_MSG(static_cast<bool>(ls >> e.bytes) && e.bytes > 0,
+                      "trace line " << line_no << ": missing/zero size");
+      }
+      prog.region_bytes_ =
+          std::max(prog.region_bytes_,
+                   e.addr + std::max<std::uint64_t>(e.bytes, 1));
+    };
+    if (op == "R") {
+      e.kind = TraceEvent::Kind::Read;
+      need_addr(true);
+      HIC_CHECK_MSG(e.bytes <= 8 && is_pow2(e.bytes) && e.addr % e.bytes == 0,
+                    "trace line " << line_no
+                                  << ": accesses must be naturally aligned "
+                                     "and at most 8 bytes");
+    } else if (op == "W") {
+      e.kind = TraceEvent::Kind::Write;
+      need_addr(true);
+      HIC_CHECK_MSG(e.bytes <= 8 && is_pow2(e.bytes) && e.addr % e.bytes == 0,
+                    "trace line " << line_no
+                                  << ": accesses must be naturally aligned "
+                                     "and at most 8 bytes");
+      e.value = ++write_seq;
+    } else if (op == "C") {
+      e.kind = TraceEvent::Kind::Compute;
+      HIC_CHECK_MSG(static_cast<bool>(ls >> e.cycles),
+                    "trace line " << line_no << ": missing cycle count");
+    } else if (op == "B") {
+      e.kind = TraceEvent::Kind::Barrier;
+      HIC_CHECK_MSG(static_cast<bool>(ls >> e.sync_id) && e.sync_id >= 0,
+                    "trace line " << line_no << ": missing barrier id");
+      prog.num_barriers_ = std::max(prog.num_barriers_, e.sync_id + 1);
+    } else if (op == "L" || op == "U") {
+      e.kind = op == "L" ? TraceEvent::Kind::Lock : TraceEvent::Kind::Unlock;
+      HIC_CHECK_MSG(static_cast<bool>(ls >> e.sync_id) && e.sync_id >= 0,
+                    "trace line " << line_no << ": missing lock id");
+      prog.num_locks_ = std::max(prog.num_locks_, e.sync_id + 1);
+    } else if (op == "WB" || op == "INV") {
+      e.kind = op == "WB" ? TraceEvent::Kind::Wb : TraceEvent::Kind::Inv;
+      need_addr(true);
+      std::string lvl;
+      if (ls >> lvl) {
+        e.level = parse_level(lvl, line_no);
+      } else {
+        e.level = op == "WB" ? Level::L2 : Level::L1;
+      }
+    } else {
+      HIC_CHECK_MSG(false,
+                    "trace line " << line_no << ": unknown op '" << op << "'");
+    }
+    prog.num_threads_ = std::max(prog.num_threads_, tid + 1);
+    prog.events_.push_back(e);
+  }
+  HIC_CHECK_MSG(!prog.events_.empty(), "empty trace");
+  return prog;
+}
+
+TraceProgram TraceProgram::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+Cycle TraceProgram::replay(Machine& m, Addr* region_base) const {
+  HIC_CHECK_MSG(num_threads_ <= m.machine_config().total_cores(),
+                "trace uses more threads than the machine has cores");
+  const Addr base = m.mem().alloc(std::max<std::uint64_t>(region_bytes_, 8),
+                                  "trace.region", 64);
+  if (region_base != nullptr) *region_base = base;
+  for (Addr off = 0; off < region_bytes_; off += 8) {
+    m.mem().init(base + off, std::uint64_t{0});
+  }
+
+  std::vector<Machine::Barrier> barriers;
+  for (int b = 0; b < num_barriers_; ++b)
+    barriers.push_back(m.make_barrier(num_threads_));
+  std::vector<Machine::Lock> locks;
+  for (int l = 0; l < num_locks_; ++l) locks.push_back(m.make_lock());
+
+  // Pre-split the event stream per thread (replay order within a thread is
+  // trace order).
+  std::vector<std::vector<const TraceEvent*>> per_thread(
+      static_cast<std::size_t>(num_threads_));
+  for (const TraceEvent& e : events_)
+    per_thread[static_cast<std::size_t>(e.tid)].push_back(&e);
+
+  m.run(num_threads_, [&](Thread& t) {
+    for (const TraceEvent* e :
+         per_thread[static_cast<std::size_t>(t.tid())]) {
+      switch (e->kind) {
+        case TraceEvent::Kind::Read: {
+          std::uint64_t buf = 0;
+          t.services().load(base + e->addr, e->bytes, &buf);
+          break;
+        }
+        case TraceEvent::Kind::Write:
+          t.services().store(base + e->addr, e->bytes, &e->value);
+          break;
+        case TraceEvent::Kind::Compute:
+          t.compute(e->cycles);
+          break;
+        case TraceEvent::Kind::Barrier:
+          t.barrier(barriers[static_cast<std::size_t>(e->sync_id)]);
+          break;
+        case TraceEvent::Kind::Lock:
+          t.lock(locks[static_cast<std::size_t>(e->sync_id)]);
+          break;
+        case TraceEvent::Kind::Unlock:
+          t.unlock(locks[static_cast<std::size_t>(e->sync_id)]);
+          break;
+        case TraceEvent::Kind::Wb:
+          t.services().wb_range({base + e->addr, e->bytes}, e->level);
+          break;
+        case TraceEvent::Kind::Inv:
+          t.services().inv_range({base + e->addr, e->bytes}, e->level);
+          break;
+      }
+    }
+  });
+  return m.exec_cycles();
+}
+
+}  // namespace hic

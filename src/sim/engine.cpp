@@ -1,0 +1,397 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hic {
+
+namespace {
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+}
+
+// ============================ Engine =========================================
+
+Engine::Engine(HierarchyBase& hier, SyncController& sync, Cycle slack)
+    : hier_(&hier), sync_(&sync), slack_(slack) {}
+
+void Engine::run(std::vector<CoreBody> bodies) {
+  HIC_CHECK(!bodies.empty());
+  HIC_CHECK_MSG(static_cast<int>(bodies.size()) <=
+                    hier_->config().total_cores(),
+                "more bodies than cores");
+  const auto& cfg = hier_->config();
+  ctxs_.clear();
+  abort_ = false;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    ctxs_.push_back(std::make_unique<CoreCtx>(
+        static_cast<CoreId>(i), cfg.write_buffer_entries,
+        cfg.write_buffer_drain_cycles));
+    CoreCtx& c = *ctxs_.back();
+    c.svc.eng_ = this;
+    c.svc.id_ = c.id;
+  }
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    CoreCtx& c = *ctxs_[i];
+    CoreBody body = std::move(bodies[i]);
+    c.thr = std::thread([this, &c, body = std::move(body)]() {
+      c.go.acquire();
+      if (!abort_) {
+        try {
+          body(c.svc);
+        } catch (const AbortRun&) {
+          // engine-initiated teardown
+        } catch (...) {
+          // A failure inside a simulated core (e.g. a sync-misuse check)
+          // must fail the run, not terminate the process. Abort the other
+          // cores and hand the exception to run().
+          c.error = std::current_exception();
+          abort_ = true;
+        }
+      }
+      c.state = CoreCtx::St::Finished;
+      engine_sem_.release();
+    });
+  }
+
+  bool deadlock = false;
+  for (;;) {
+    if (abort_) break;  // a core's body threw: tear everything down
+    CoreCtx* best = nullptr;
+    Cycle second = kNever;
+    int unfinished = 0;
+    for (auto& up : ctxs_) {
+      CoreCtx& c = *up;
+      if (c.state == CoreCtx::St::Finished) continue;
+      ++unfinished;
+      if (c.state != CoreCtx::St::Ready) continue;
+      if (best == nullptr || c.time < best->time) {
+        if (best != nullptr) second = std::min(second, best->time);
+        best = &c;
+      } else {
+        second = std::min(second, c.time);
+      }
+    }
+    if (unfinished == 0) break;
+    if (best == nullptr) {
+      deadlock = true;
+      break;
+    }
+    best->run_until =
+        second == kNever ? kNever : second + slack_;
+    running_ = best;
+    best->go.release();
+    engine_sem_.acquire();
+    running_ = nullptr;
+  }
+
+  if (deadlock || abort_) {
+    abort_ = true;
+    // Release every parked thread so it can observe abort_ and exit.
+    for (auto& up : ctxs_) {
+      if (up->state != CoreCtx::St::Finished) up->go.release();
+    }
+  }
+  for (auto& up : ctxs_) {
+    if (up->thr.joinable()) up->thr.join();
+  }
+  finish_time_ = 0;
+  for (auto& up : ctxs_) finish_time_ = std::max(finish_time_, up->time);
+  // A workload failure outranks the deadlock report (it usually caused it).
+  for (auto& up : ctxs_) {
+    if (up->error) std::rethrow_exception(up->error);
+  }
+  HIC_CHECK_MSG(!deadlock,
+                "simulation deadlock: cores blocked with no runnable core");
+}
+
+void Engine::charge(CoreCtx& c, StallKind k, Cycle cycles) {
+  if (cycles == 0) return;
+  c.time += cycles;
+  stats().stalls(c.id).add(k, cycles);
+}
+
+void Engine::yield(CoreCtx& c) {
+  engine_sem_.release();
+  c.go.acquire();
+  if (abort_) throw AbortRun{};
+}
+
+void Engine::maybe_yield(CoreCtx& c) {
+  if (c.time >= c.run_until) yield(c);
+}
+
+void Engine::block(CoreCtx& c, StallKind k) {
+  c.state = CoreCtx::St::Blocked;
+  c.block_start = c.time;
+  c.block_kind = k;
+  yield(c);
+  HIC_DCHECK(c.state == CoreCtx::St::Ready);
+  stats().stalls(c.id).add(k, c.time - c.block_start);
+}
+
+void Engine::wake(CoreId target, Cycle at) {
+  CoreCtx& t = ctx(target);
+  HIC_CHECK_MSG(t.state == CoreCtx::St::Blocked,
+                "woke core " << target << " that is not blocked");
+  t.state = CoreCtx::St::Ready;
+  t.time = std::max(t.time, at);
+  // The waker's quantum was computed while `target` was blocked; shrink it
+  // so the newly runnable core gets scheduled at the right time instead of
+  // the waker running arbitrarily far ahead.
+  if (running_ != nullptr && t.time + slack_ < running_->run_until)
+    running_->run_until = t.time + slack_;
+}
+
+void Engine::drain(CoreCtx& c) {
+  const auto wait = c.wbuf.drain_wait(c.time);
+  charge(c, StallKind::WbStall, wait.wb_wait);
+  charge(c, StallKind::InvStall, wait.inv_wait);
+  c.wbuf.retire_until(c.time);
+}
+
+Cycle Engine::sync_latency(const CoreCtx& c, SyncId id) const {
+  const auto& topo = hier_->topology();
+  return topo.round_trip(topo.core_node(c.id), sync_->home_of(id)) +
+         SyncController::kServiceCycles;
+}
+
+void Engine::count_sync_traffic() {
+  stats().traffic().add(TrafficKind::Sync,
+                        2 * hier_->topology().control_flits());
+}
+
+// ======================== CoreServices ========================================
+
+Cycle CoreServices::now() const { return eng_->ctx(id_).time; }
+
+HierarchyBase& CoreServices::hierarchy() { return eng_->hierarchy(); }
+SimStats& CoreServices::stats() { return eng_->stats(); }
+
+void CoreServices::compute(Cycle cycles) {
+  auto& c = eng_->ctx(id_);
+  eng_->charge(c, StallKind::Rest, cycles);
+  eng_->maybe_yield(c);
+}
+
+AccessOutcome CoreServices::load(Addr a, std::uint32_t bytes, void* out) {
+  auto& c = eng_->ctx(id_);
+  const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
+  c.wbuf.retire_until(c.time);
+  // Loads never bypass a pending INV to the same line (§III-C).
+  eng_->charge(c, StallKind::InvStall, c.wbuf.inv_wait(c.time, line));
+  const AccessOutcome r = eng_->hierarchy().read(id_, a, bytes, out);
+  eng_->charge(c, StallKind::Rest, r.latency - r.inv_penalty);
+  eng_->charge(c, StallKind::InvStall, r.inv_penalty);
+  eng_->maybe_yield(c);
+  return r;
+}
+
+AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
+                                  const void* in) {
+  auto& c = eng_->ctx(id_);
+  const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
+  const AccessOutcome r = eng_->hierarchy().write(id_, a, bytes, in);
+  // The store retires into the write buffer: the core pays one issue cycle
+  // (plus a full-buffer stall); the service time drains in the background.
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Store, line,
+      r.l1_hit ? eng_->hierarchy().config().write_buffer_drain_cycles
+               : r.latency);
+  eng_->charge(c, StallKind::Rest, 1 + stall);
+  eng_->maybe_yield(c);
+  return r;
+}
+
+void CoreServices::wb_range(AddrRange r, Level to) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().wb_range(id_, r, to);
+  const Cycle stall =
+      c.wbuf.issue(c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines,
+                   service);
+  eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::wb_all(Level to) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().wb_all(id_, to);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::inv_range(AddrRange r, Level from) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().inv_range(id_, r, from);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::inv_all(Level from) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().inv_all(id_, from);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().wb_cons(id_, r, consumer);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::wb_cons_all(ThreadId consumer) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().wb_cons_all(id_, consumer);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().inv_prod(id_, r, producer);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::inv_prod_all(ThreadId producer) {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().inv_prod_all(id_, producer);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::cs_enter() {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().cs_enter(id_);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::cs_exit() {
+  auto& c = eng_->ctx(id_);
+  const Cycle service = eng_->hierarchy().cs_exit(id_);
+  const Cycle stall = c.wbuf.issue(
+      c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
+  eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::drain_write_buffer() {
+  auto& c = eng_->ctx(id_);
+  eng_->drain(c);
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
+                            Addr dst, std::uint64_t bytes) {
+  auto& c = eng_->ctx(id_);
+  // The initiator's prior writebacks must be out before the DMA reads the
+  // source (the DMA engine reads the shared level).
+  eng_->drain(c);
+  const Cycle lat =
+      eng_->hierarchy().dma_copy(src_block, src, dst_block, dst, bytes);
+  eng_->charge(c, StallKind::Rest, lat);
+  eng_->maybe_yield(c);
+}
+
+// --- Synchronization -----------------------------------------------------------
+
+void CoreServices::barrier(SyncId id) {
+  auto& c = eng_->ctx(id_);
+  eng_->drain(c);  // a barrier is a release point: posted data must be out
+  eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  auto released = eng_->sync().barrier_arrive(id, id_);
+  if (!released.has_value()) {
+    eng_->block(c, StallKind::BarrierStall);
+  } else {
+    const auto& topo = eng_->hierarchy().topology();
+    const NodeId home = eng_->sync().home_of(id);
+    for (CoreId w : *released) {
+      if (w == id_) continue;
+      eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+    }
+  }
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::lock(SyncId id) {
+  auto& c = eng_->ctx(id_);
+  eng_->charge(c, StallKind::LockStall, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  if (!eng_->sync().lock_acquire(id, id_)) {
+    eng_->block(c, StallKind::LockStall);
+  }
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::unlock(SyncId id) {
+  auto& c = eng_->ctx(id_);
+  eng_->drain(c);  // release semantics: critical-section WBs must complete
+  eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  const auto next = eng_->sync().lock_release(id, id_);
+  if (next.has_value()) {
+    const auto& topo = eng_->hierarchy().topology();
+    const NodeId home = eng_->sync().home_of(id);
+    eng_->wake(*next, c.time + topo.latency(home, topo.core_node(*next)));
+  }
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
+  auto& c = eng_->ctx(id_);
+  eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  if (!eng_->sync().flag_check(id, id_, expect)) {
+    eng_->block(c, StallKind::BarrierStall);
+  }
+  eng_->maybe_yield(c);
+}
+
+void CoreServices::flag_set(SyncId id, std::uint64_t value) {
+  auto& c = eng_->ctx(id_);
+  eng_->drain(c);  // the flag publishes data: WBs must be out first
+  eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  const auto released = eng_->sync().flag_set(id, value);
+  const auto& topo = eng_->hierarchy().topology();
+  const NodeId home = eng_->sync().home_of(id);
+  for (CoreId w : released)
+    eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+  eng_->maybe_yield(c);
+}
+
+std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
+  auto& c = eng_->ctx(id_);
+  eng_->drain(c);
+  eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  std::uint64_t v = 0;
+  const auto released = eng_->sync().flag_add(id, delta, &v);
+  const auto& topo = eng_->hierarchy().topology();
+  const NodeId home = eng_->sync().home_of(id);
+  for (CoreId w : released)
+    eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+  eng_->maybe_yield(c);
+  return v;
+}
+
+}  // namespace hic

@@ -1,0 +1,159 @@
+// The execution-driven simulation engine (the SESC substitute).
+//
+// Each simulated core's workload runs on its own host thread, but the engine
+// serializes them: exactly one simulated core executes at any moment, and the
+// engine always dispatches the ready core with the smallest local clock
+// (ties broken by core ID), letting it run ahead until it passes the next
+// core's clock plus a small slack. Identical inputs therefore produce
+// identical cycle counts, traffic and stall breakdowns on every run.
+//
+// Timing model per core: in-order issue with blocking loads and a write
+// buffer (write_buffer.hpp) that drains stores/WB/INV in the background —
+// an intentional simplification of the paper's 4-issue OoO core that keeps
+// the first-order effects (miss latency, WB/INV stalls, sync waits) intact.
+//
+// Stall attribution follows Figure 9:
+//   INV stall     — INV execution, IEB refreshes, loads waiting on pending INVs
+//   WB stall      — WB execution and write-buffer drains at sync points
+//   lock stall    — waiting for a lock grant
+//   barrier stall — waiting at barriers and flag waits
+//   rest          — everything else (compute, ordinary misses)
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "hierarchy/memory_hierarchy.hpp"
+#include "sim/write_buffer.hpp"
+#include "sync/sync_controller.hpp"
+
+namespace hic {
+
+class Engine;
+
+/// Thrown inside workload bodies when the engine aborts the run (deadlock).
+struct AbortRun {};
+
+/// The per-core interface workload code runs against.
+class CoreServices {
+ public:
+  [[nodiscard]] CoreId core() const { return id_; }
+  [[nodiscard]] Cycle now() const;
+
+  /// Advances the core's clock by `cycles` of useful work.
+  void compute(Cycle cycles);
+
+  /// Timed+functional memory access (word-aligned, within one line).
+  AccessOutcome load(Addr a, std::uint32_t bytes, void* out);
+  AccessOutcome store(Addr a, std::uint32_t bytes, const void* in);
+
+  // --- Coherence-management instructions (issue like stores, §III-C) ------
+  void wb_range(AddrRange r, Level to = Level::L2);
+  void wb_all(Level to = Level::L2);
+  void inv_range(AddrRange r, Level from = Level::L1);
+  void inv_all(Level from = Level::L1);
+  void wb_cons(AddrRange r, ThreadId consumer);
+  void wb_cons_all(ThreadId consumer);
+  void inv_prod(AddrRange r, ThreadId producer);
+  void inv_prod_all(ThreadId producer);
+  void cs_enter();
+  void cs_exit();
+
+  /// Waits for the write buffer to empty (release fence).
+  void drain_write_buffer();
+
+  /// Initiates a synchronous DMA transfer (Runnemede's inter-block
+  /// mechanism); the initiating core waits for completion.
+  void dma_copy(BlockId src_block, Addr src, BlockId dst_block, Addr dst,
+                std::uint64_t bytes);
+
+  // --- Synchronization (blocking; requests go to the sync controller) -----
+  void barrier(SyncId id);
+  void lock(SyncId id);
+  void unlock(SyncId id);
+  void flag_wait(SyncId id, std::uint64_t expect);
+  void flag_set(SyncId id, std::uint64_t value);
+  std::uint64_t flag_add(SyncId id, std::uint64_t delta);
+
+  [[nodiscard]] HierarchyBase& hierarchy();
+  [[nodiscard]] SimStats& stats();
+  [[nodiscard]] Engine& engine() { return *eng_; }
+
+ private:
+  friend class Engine;
+  Engine* eng_ = nullptr;
+  CoreId id_ = kInvalidCore;
+};
+
+class Engine {
+ public:
+  /// `slack`: how many cycles a dispatched core may run past the next
+  /// core's clock before yielding (larger = fewer context switches, looser
+  /// event interleaving; determinism is preserved either way).
+  Engine(HierarchyBase& hier, SyncController& sync, Cycle slack = 64);
+
+  using CoreBody = std::function<void(CoreServices&)>;
+
+  /// Runs one body per core (bodies.size() cores participate) to completion.
+  void run(std::vector<CoreBody> bodies);
+
+  [[nodiscard]] HierarchyBase& hierarchy() { return *hier_; }
+  [[nodiscard]] SyncController& sync() { return *sync_; }
+  [[nodiscard]] SimStats& stats() { return hier_->sim_stats(); }
+
+  /// The finishing time of the slowest core in the last run.
+  [[nodiscard]] Cycle finish_time() const { return finish_time_; }
+
+ private:
+  friend class CoreServices;
+
+  struct CoreCtx {
+    CoreId id = kInvalidCore;
+    std::thread thr;
+    std::binary_semaphore go{0};
+    enum class St : std::uint8_t { Ready, Blocked, Finished } state = St::Ready;
+    Cycle time = 0;
+    Cycle run_until = 0;
+    Cycle block_start = 0;
+    StallKind block_kind = StallKind::Rest;
+    WriteBufferModel wbuf;
+    CoreServices svc;
+    /// An exception the body threw; rethrown by run() after teardown.
+    std::exception_ptr error;
+
+    CoreCtx(CoreId i, int wb_entries, Cycle wb_drain)
+        : id(i), wbuf(wb_entries, wb_drain) {}
+  };
+
+  CoreCtx& ctx(CoreId id) { return *ctxs_[static_cast<std::size_t>(id)]; }
+
+  void charge(CoreCtx& c, StallKind k, Cycle cycles);
+  /// Yields back to the scheduler if the core ran past its quantum.
+  void maybe_yield(CoreCtx& c);
+  void yield(CoreCtx& c);
+  /// Blocks the core until another core wakes it; charges the wait to `k`.
+  void block(CoreCtx& c, StallKind k);
+  /// Marks a blocked core runnable no earlier than `at`.
+  void wake(CoreId target, Cycle at);
+
+  /// Empties the write buffer, charging WB/INV stall appropriately.
+  void drain(CoreCtx& c);
+  /// Round trip to a sync variable's home plus controller service time.
+  [[nodiscard]] Cycle sync_latency(const CoreCtx& c, SyncId id) const;
+  void count_sync_traffic();
+
+  HierarchyBase* hier_;
+  SyncController* sync_;
+  Cycle slack_;
+  CoreCtx* running_ = nullptr;  ///< the currently dispatched core
+  std::vector<std::unique_ptr<CoreCtx>> ctxs_;
+  std::binary_semaphore engine_sem_{0};
+  bool abort_ = false;
+  Cycle finish_time_ = 0;
+};
+
+}  // namespace hic

@@ -1,0 +1,82 @@
+#include "sim/write_buffer.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+WriteBufferModel::WriteBufferModel(int capacity, Cycle store_drain_cycles)
+    : capacity_(capacity), store_drain_cycles_(store_drain_cycles) {
+  HIC_CHECK(capacity_ > 0);
+  HIC_CHECK(store_drain_cycles_ > 0);
+}
+
+Cycle WriteBufferModel::issue(Cycle now, WbEntryKind kind, Addr line_addr,
+                              Cycle service) {
+  retire_until(now);
+  Cycle stall = 0;
+  if (q_.size() == static_cast<std::size_t>(capacity_)) {
+    // Full: the core waits for the oldest entry to retire.
+    stall = q_.front().complete > now ? q_.front().complete - now : 0;
+    q_.pop_front();
+  }
+  const Cycle start = std::max(now + stall, last_complete_);
+  const Cycle complete = start + std::max<Cycle>(service, 1);
+  q_.push_back({complete, kind, line_addr});
+  last_complete_ = complete;
+  return stall;
+}
+
+Cycle WriteBufferModel::inv_wait(Cycle now, Addr line_addr) const {
+  Cycle until = now;
+  for (const auto& e : q_) {
+    if (e.complete <= now || e.kind != WbEntryKind::Inv) continue;
+    if (e.line == kAllLines || e.line == line_addr)
+      until = std::max(until, e.complete);
+  }
+  return until - now;
+}
+
+bool WriteBufferModel::has_pending_wb(Cycle now, Addr line_addr) const {
+  for (const auto& e : q_)
+    if (e.complete > now && e.kind == WbEntryKind::Wb &&
+        (e.line == kAllLines || e.line == line_addr))
+      return true;
+  return false;
+}
+
+bool WriteBufferModel::has_pending_store(Cycle now, Addr line_addr) const {
+  for (const auto& e : q_)
+    if (e.complete > now && e.kind == WbEntryKind::Store &&
+        e.line == line_addr)
+      return true;
+  return false;
+}
+
+WriteBufferModel::DrainWait WriteBufferModel::drain_wait(Cycle now) const {
+  DrainWait w;
+  Cycle cursor = now;
+  for (const auto& e : q_) {
+    if (e.complete <= cursor) continue;
+    const Cycle seg = e.complete - cursor;
+    if (e.kind == WbEntryKind::Inv) {
+      w.inv_wait += seg;
+    } else {
+      w.wb_wait += seg;
+    }
+    cursor = e.complete;
+  }
+  return w;
+}
+
+void WriteBufferModel::retire_until(Cycle now) {
+  while (!q_.empty() && q_.front().complete <= now) q_.pop_front();
+}
+
+std::size_t WriteBufferModel::pending(Cycle now) const {
+  std::size_t n = 0;
+  for (const auto& e : q_)
+    if (e.complete > now) ++n;
+  return n;
+}
+
+}  // namespace hic

@@ -1,0 +1,83 @@
+// Timing model of the per-core write buffer, implementing the instruction
+// reordering rules of paper §III-C:
+//
+//   - stores, WB and INV retire into the write buffer and drain in order
+//     (bandwidth-limited, overlapped with execution);
+//   - a load may bypass pending stores and WBs (a WB does not change the
+//     local value), but never a pending INV — the INV must complete first;
+//   - synchronization operations (acquire/release/barrier/flag) drain the
+//     buffer completely before taking effect (release semantics).
+//
+// Functionally, stores and WB/INV apply at issue (the engine is serialized);
+// the buffer tracks *when* they complete so stalls land where the paper's
+// breakdown puts them: waits on Store/WB entries are WB stall, waits on INV
+// entries are INV stall.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+enum class WbEntryKind : std::uint8_t { Store, Wb, Inv };
+
+class WriteBufferModel {
+ public:
+  WriteBufferModel(int capacity, Cycle store_drain_cycles);
+
+  /// Inserts an entry at time `now` whose drain takes `service` cycles
+  /// (serialized after earlier entries). Returns the stall the core suffers
+  /// when the buffer is full (waiting for the oldest entry to retire).
+  Cycle issue(Cycle now, WbEntryKind kind, Addr line_addr, Cycle service);
+
+  /// Store shorthand: drains at the configured background rate.
+  Cycle issue_store(Cycle now, Addr line_addr) {
+    return issue(now, WbEntryKind::Store, line_addr, store_drain_cycles_);
+  }
+
+  /// Cycles a load issued at `now` must wait for pending INV entries
+  /// (loads never bypass an INV; §III-C). Whole-cache INVs are recorded
+  /// with line_addr kAllLines and block every load.
+  [[nodiscard]] Cycle inv_wait(Cycle now, Addr line_addr) const;
+
+  /// True if a pending WB exists for the line (loads bypass it; exposed for
+  /// the ordering tests).
+  [[nodiscard]] bool has_pending_wb(Cycle now, Addr line_addr) const;
+  [[nodiscard]] bool has_pending_store(Cycle now, Addr line_addr) const;
+
+  /// Wait to empty the buffer at `now`, split by blame: waits attributable
+  /// to Store/WB entries vs INV entries (each entry's drain segment goes to
+  /// its own kind).
+  struct DrainWait {
+    Cycle wb_wait = 0;
+    Cycle inv_wait = 0;
+    [[nodiscard]] Cycle total() const { return wb_wait + inv_wait; }
+  };
+  [[nodiscard]] DrainWait drain_wait(Cycle now) const;
+
+  /// Drops entries completed by `now`.
+  void retire_until(Cycle now);
+
+  [[nodiscard]] std::size_t pending(Cycle now) const;
+  [[nodiscard]] int capacity() const { return capacity_; }
+
+  /// Sentinel line address meaning "the whole cache" (WB ALL / INV ALL).
+  static constexpr Addr kAllLines = ~Addr{0};
+
+ private:
+  struct Entry {
+    Cycle complete;
+    WbEntryKind kind;
+    Addr line;
+  };
+
+  int capacity_;
+  Cycle store_drain_cycles_;
+  std::deque<Entry> q_;       ///< completion-ordered (FIFO drain)
+  Cycle last_complete_ = 0;
+};
+
+}  // namespace hic

@@ -1,0 +1,49 @@
+#include "stats/energy.hpp"
+
+#include <sstream>
+
+namespace hic {
+
+EnergyBreakdown estimate_energy(const SimStats& stats,
+                                const EnergyParams& p) {
+  const OpCounts& o = stats.ops();
+  EnergyBreakdown e;
+
+  // Every load/store touches the L1; misses and explicit line moves touch
+  // the levels below. Writebacks and invalidations of lines also read or
+  // write the arrays.
+  const double l1_accesses =
+      static_cast<double>(o.loads + o.stores + o.lines_written_back +
+                          o.lines_invalidated);
+  const double l2_accesses = static_cast<double>(
+      o.l1_misses + o.lines_written_back + o.l2_misses);
+  const double l3_accesses =
+      static_cast<double>(o.l2_misses + o.l3_misses + o.global_wb_lines);
+  e.cache_pj = l1_accesses * p.l1_access_pj + l2_accesses * p.l2_access_pj +
+               l3_accesses * p.l3_access_pj;
+
+  e.network_pj = static_cast<double>(stats.traffic().total()) * p.avg_hops *
+                 p.flit_hop_pj;
+
+  e.dram_pj = static_cast<double>(
+                  stats.traffic().get(TrafficKind::Memory)) /
+              5.0 /* flits per line transfer */ * p.dram_access_pj;
+
+  e.control_pj =
+      static_cast<double>(o.dir_invalidations_sent) * p.dir_lookup_pj +
+      static_cast<double>(o.meb_wbs + o.ieb_refreshes + o.ieb_evictions) *
+          p.buffer_lookup_pj;
+  return e;
+}
+
+std::string energy_report(const EnergyBreakdown& e) {
+  std::ostringstream os;
+  os << "estimated dynamic energy: " << e.total_uj() << " uJ\n"
+     << "  cache arrays: " << e.cache_pj * 1e-6 << " uJ\n"
+     << "  network:      " << e.network_pj * 1e-6 << " uJ\n"
+     << "  dram:         " << e.dram_pj * 1e-6 << " uJ\n"
+     << "  control:      " << e.control_pj * 1e-6 << " uJ\n";
+  return os.str();
+}
+
+}  // namespace hic

@@ -1,0 +1,52 @@
+// Energy model: the paper argues traffic parity implies energy parity
+// ("their different traffic gives us some idea of their different energy
+// consumption", §VII-B). This module makes that proxy explicit with an
+// event-energy model in the style of CACTI/McPAT small-structure numbers:
+// per-access energies for each cache level, per-flit-hop link energy, and
+// DRAM access energy. Absolute picojoules are placeholders at a 22nm-class
+// node; the interesting output is the ratio between configurations.
+#pragma once
+
+#include <string>
+
+#include "common/machine_config.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace hic {
+
+struct EnergyParams {
+  // Per-access dynamic energy, picojoules.
+  double l1_access_pj = 10.0;
+  double l2_access_pj = 40.0;
+  double l3_access_pj = 120.0;
+  double dram_access_pj = 2000.0;
+  /// Per flit per hop on the 128-bit mesh links.
+  double flit_hop_pj = 3.0;
+  /// Average hop count a flit travels (the traffic counters aggregate
+  /// flits, not routes; the mesh diameter/3 is a standard approximation).
+  double avg_hops = 3.0;
+  /// Directory/coherence-controller lookup (HCC only, per invalidation).
+  double dir_lookup_pj = 8.0;
+  /// MEB/IEB lookup (incoherent only, per recorded/checked event).
+  double buffer_lookup_pj = 0.5;
+};
+
+struct EnergyBreakdown {
+  double cache_pj = 0;    ///< L1 + L2 + L3 array accesses
+  double network_pj = 0;  ///< flits x hops x link energy
+  double dram_pj = 0;
+  double control_pj = 0;  ///< directory or MEB/IEB structures
+
+  [[nodiscard]] double total_pj() const {
+    return cache_pj + network_pj + dram_pj + control_pj;
+  }
+  [[nodiscard]] double total_uj() const { return total_pj() * 1e-6; }
+};
+
+/// Estimates the run's dynamic energy from its statistics.
+[[nodiscard]] EnergyBreakdown estimate_energy(const SimStats& stats,
+                                              const EnergyParams& p = {});
+
+[[nodiscard]] std::string energy_report(const EnergyBreakdown& e);
+
+}  // namespace hic

@@ -1,0 +1,111 @@
+#include "stats/report.hpp"
+
+#include <sstream>
+
+namespace hic {
+
+namespace {
+const char* stall_key(StallKind k) {
+  switch (k) {
+    case StallKind::Rest: return "rest";
+    case StallKind::InvStall: return "inv_stall";
+    case StallKind::WbStall: return "wb_stall";
+    case StallKind::LockStall: return "lock_stall";
+    case StallKind::BarrierStall: return "barrier_stall";
+    case StallKind::kCount: break;
+  }
+  return "?";
+}
+const char* traffic_key(TrafficKind k) {
+  switch (k) {
+    case TrafficKind::Linefill: return "linefill";
+    case TrafficKind::Writeback: return "writeback";
+    case TrafficKind::Invalidation: return "invalidation";
+    case TrafficKind::Memory: return "memory";
+    case TrafficKind::Sync: return "sync";
+    case TrafficKind::kCount: break;
+  }
+  return "?";
+}
+}  // namespace
+
+std::string summarize(const SimStats& stats) {
+  std::ostringstream os;
+  os << "execution time: " << stats.exec_cycles() << " cycles ("
+     << stats.num_cores() << " cores)\n";
+  os << "stall breakdown (avg cycles/core):\n";
+  for (std::size_t k = 0; k < kStallKinds; ++k) {
+    const auto kind = static_cast<StallKind>(k);
+    os << "  " << to_string(kind) << ": "
+       << stats.total_stall(kind) / static_cast<Cycle>(stats.num_cores())
+       << '\n';
+  }
+  os << "traffic (128-bit flits):\n";
+  for (std::size_t k = 0; k < kTrafficKinds; ++k) {
+    const auto kind = static_cast<TrafficKind>(k);
+    os << "  " << to_string(kind) << ": " << stats.traffic().get(kind)
+       << '\n';
+  }
+  const OpCounts& o = stats.ops();
+  os << "accesses: " << o.loads << " loads, " << o.stores << " stores; L1 "
+     << o.l1_hits << " hits / " << o.l1_misses << " misses\n";
+  os << "coherence mgmt: " << o.wb_ops << " WB ops (" << o.lines_written_back
+     << " lines, " << o.words_written_back << " words), " << o.inv_ops
+     << " INV ops (" << o.lines_invalidated << " lines)\n";
+  os << "buffers: " << o.meb_wbs << " MEB writebacks, " << o.meb_overflows
+     << " MEB overflows, " << o.ieb_refreshes << " IEB refreshes, "
+     << o.ieb_evictions << " IEB evictions\n";
+  os << "adaptive: WB " << o.adaptive_local_wb << " local / "
+     << o.adaptive_global_wb << " global; INV " << o.adaptive_local_inv
+     << " local / " << o.adaptive_global_inv << " global\n";
+  os << "stale word reads observed: " << o.stale_word_reads << '\n';
+  return os.str();
+}
+
+std::string to_json(const SimStats& stats) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"exec_cycles\":" << stats.exec_cycles();
+  os << ",\"num_cores\":" << stats.num_cores();
+  os << ",\"stalls\":{";
+  for (std::size_t k = 0; k < kStallKinds; ++k) {
+    if (k > 0) os << ',';
+    const auto kind = static_cast<StallKind>(k);
+    os << '"' << stall_key(kind) << "\":" << stats.total_stall(kind);
+  }
+  os << "},\"traffic_flits\":{";
+  for (std::size_t k = 0; k < kTrafficKinds; ++k) {
+    if (k > 0) os << ',';
+    const auto kind = static_cast<TrafficKind>(k);
+    os << '"' << traffic_key(kind) << "\":" << stats.traffic().get(kind);
+  }
+  const OpCounts& o = stats.ops();
+  os << "},\"ops\":{"
+     << "\"loads\":" << o.loads << ",\"stores\":" << o.stores
+     << ",\"l1_hits\":" << o.l1_hits << ",\"l1_misses\":" << o.l1_misses
+     << ",\"l2_hits\":" << o.l2_hits << ",\"l2_misses\":" << o.l2_misses
+     << ",\"l3_hits\":" << o.l3_hits << ",\"l3_misses\":" << o.l3_misses
+     << ",\"wb_ops\":" << o.wb_ops << ",\"inv_ops\":" << o.inv_ops
+     << ",\"lines_written_back\":" << o.lines_written_back
+     << ",\"lines_invalidated\":" << o.lines_invalidated
+     << ",\"words_written_back\":" << o.words_written_back
+     << ",\"global_wb_lines\":" << o.global_wb_lines
+     << ",\"global_inv_lines\":" << o.global_inv_lines
+     << ",\"adaptive_local_wb\":" << o.adaptive_local_wb
+     << ",\"adaptive_global_wb\":" << o.adaptive_global_wb
+     << ",\"adaptive_local_inv\":" << o.adaptive_local_inv
+     << ",\"adaptive_global_inv\":" << o.adaptive_global_inv
+     << ",\"meb_wbs\":" << o.meb_wbs
+     << ",\"meb_overflows\":" << o.meb_overflows
+     << ",\"ieb_refreshes\":" << o.ieb_refreshes
+     << ",\"ieb_evictions\":" << o.ieb_evictions
+     << ",\"dir_invalidations_sent\":" << o.dir_invalidations_sent
+     << ",\"stale_word_reads\":" << o.stale_word_reads
+     << ",\"anno_barriers\":" << o.anno_barriers
+     << ",\"anno_critical\":" << o.anno_critical
+     << ",\"anno_flag\":" << o.anno_flag << ",\"anno_occ\":" << o.anno_occ
+     << ",\"anno_racy\":" << o.anno_racy << "}}";
+  return os.str();
+}
+
+}  // namespace hic

@@ -1,0 +1,19 @@
+// Run-report formatting: human-readable summaries and machine-readable JSON
+// for a SimStats snapshot (used by the hicsim_run CLI and the benches).
+#pragma once
+
+#include <string>
+
+#include "stats/sim_stats.hpp"
+
+namespace hic {
+
+/// Multi-line human-readable summary: execution time, per-kind stall totals
+/// (average cycles per core), traffic by category, and the op counters.
+[[nodiscard]] std::string summarize(const SimStats& stats);
+
+/// Single JSON object with every counter (stable key names; no trailing
+/// newline). Suitable for jq-style post-processing of sweep outputs.
+[[nodiscard]] std::string to_json(const SimStats& stats);
+
+}  // namespace hic

@@ -1,0 +1,49 @@
+#include "stats/sim_stats.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+const char* to_string(StallKind k) {
+  switch (k) {
+    case StallKind::Rest: return "rest";
+    case StallKind::InvStall: return "INV stall";
+    case StallKind::WbStall: return "WB stall";
+    case StallKind::LockStall: return "lock stall";
+    case StallKind::BarrierStall: return "barrier stall";
+    case StallKind::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(TrafficKind k) {
+  switch (k) {
+    case TrafficKind::Linefill: return "linefill";
+    case TrafficKind::Writeback: return "writeback";
+    case TrafficKind::Invalidation: return "invalidation";
+    case TrafficKind::Memory: return "memory";
+    case TrafficKind::Sync: return "sync";
+    case TrafficKind::kCount: break;
+  }
+  return "?";
+}
+
+Cycle SimStats::exec_cycles() const {
+  Cycle max_cycles = 0;
+  for (const auto& s : stalls_) max_cycles = std::max(max_cycles, s.total());
+  return max_cycles;
+}
+
+Cycle SimStats::total_stall(StallKind k) const {
+  Cycle t = 0;
+  for (const auto& s : stalls_) t += s.get(k);
+  return t;
+}
+
+void SimStats::clear() {
+  for (auto& s : stalls_) s.clear();
+  traffic_.clear();
+  ops_ = OpCounts{};
+}
+
+}  // namespace hic

@@ -1,0 +1,76 @@
+#include "stats/text_table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hic {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HIC_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  HIC_CHECK_MSG(cells.size() == header_.size(),
+                "row arity " << cells.size() << " != header arity "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (v * 100.0) << '%';
+  return os.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << "  ";
+      if (i == 0) {
+        os << std::left << std::setw(static_cast<int>(width[i])) << row[i];
+      } else {
+        os << std::right << std::setw(static_cast<int>(width[i])) << row[i];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace hic

@@ -1,0 +1,31 @@
+// Minimal fixed-width table formatting for the benchmark reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hic {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double v, int precision = 1);
+
+  /// Renders with column alignment (first column left, rest right).
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV.
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hic

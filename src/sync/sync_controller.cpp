@@ -1,0 +1,135 @@
+#include "sync/sync_controller.hpp"
+
+#include <algorithm>
+
+namespace hic {
+
+SyncController::SyncController(int num_cores) : num_cores_(num_cores) {
+  HIC_CHECK(num_cores_ > 0);
+}
+
+SyncId SyncController::declare_barrier(int participants, NodeId home) {
+  HIC_CHECK(participants > 0 && participants <= num_cores_);
+  Var v{SyncKind::Barrier, home, {}, {}, {}};
+  v.barrier.participants = participants;
+  vars_.push_back(std::move(v));
+  return static_cast<SyncId>(vars_.size() - 1);
+}
+
+SyncId SyncController::declare_lock(NodeId home) {
+  vars_.push_back(Var{SyncKind::Lock, home, {}, {}, {}});
+  return static_cast<SyncId>(vars_.size() - 1);
+}
+
+SyncId SyncController::declare_flag(NodeId home, std::uint64_t initial) {
+  Var v{SyncKind::Flag, home, {}, {}, {}};
+  v.flag.value = initial;
+  vars_.push_back(std::move(v));
+  return static_cast<SyncId>(vars_.size() - 1);
+}
+
+SyncController::Var& SyncController::var(SyncId id, SyncKind expect) {
+  HIC_CHECK_MSG(id >= 0 && id < static_cast<SyncId>(vars_.size()),
+                "unknown sync variable " << id);
+  Var& v = vars_[static_cast<std::size_t>(id)];
+  HIC_CHECK_MSG(v.kind == expect, "sync variable " << id << " has wrong kind");
+  return v;
+}
+
+const SyncController::Var& SyncController::var(SyncId id,
+                                               SyncKind expect) const {
+  return const_cast<SyncController*>(this)->var(id, expect);
+}
+
+NodeId SyncController::home_of(SyncId id) const {
+  HIC_CHECK(id >= 0 && id < static_cast<SyncId>(vars_.size()));
+  return vars_[static_cast<std::size_t>(id)].home;
+}
+
+SyncKind SyncController::kind_of(SyncId id) const {
+  HIC_CHECK(id >= 0 && id < static_cast<SyncId>(vars_.size()));
+  return vars_[static_cast<std::size_t>(id)].kind;
+}
+
+std::optional<std::vector<CoreId>> SyncController::barrier_arrive(SyncId id,
+                                                                  CoreId core) {
+  auto& b = var(id, SyncKind::Barrier).barrier;
+  HIC_CHECK_MSG(std::find(b.waiting.begin(), b.waiting.end(), core) ==
+                    b.waiting.end(),
+                "core " << core << " arrived twice at barrier " << id);
+  ++b.arrived;
+  if (b.arrived < b.participants) {
+    b.waiting.push_back(core);
+    return std::nullopt;
+  }
+  std::vector<CoreId> released = std::move(b.waiting);
+  released.push_back(core);
+  b.waiting.clear();
+  b.arrived = 0;
+  return released;
+}
+
+bool SyncController::lock_acquire(SyncId id, CoreId core) {
+  auto& l = var(id, SyncKind::Lock).lock;
+  HIC_CHECK_MSG(l.holder != core, "core " << core
+                                          << " re-acquired lock " << id);
+  if (l.holder == kInvalidCore) {
+    l.holder = core;
+    return true;
+  }
+  l.queue.push_back(core);
+  return false;
+}
+
+std::optional<CoreId> SyncController::lock_release(SyncId id, CoreId core) {
+  auto& l = var(id, SyncKind::Lock).lock;
+  HIC_CHECK_MSG(l.holder == core,
+                "core " << core << " released lock " << id
+                        << " held by " << l.holder);
+  if (l.queue.empty()) {
+    l.holder = kInvalidCore;
+    return std::nullopt;
+  }
+  l.holder = l.queue.front();
+  l.queue.pop_front();
+  return l.holder;
+}
+
+bool SyncController::lock_held_by(SyncId id, CoreId core) const {
+  return var(id, SyncKind::Lock).lock.holder == core;
+}
+
+bool SyncController::flag_check(SyncId id, CoreId core, std::uint64_t expect) {
+  auto& f = var(id, SyncKind::Flag).flag;
+  if (f.value >= expect) return true;
+  f.waiting.emplace_back(core, expect);
+  return false;
+}
+
+std::vector<CoreId> SyncController::flag_set(SyncId id, std::uint64_t value) {
+  auto& f = var(id, SyncKind::Flag).flag;
+  f.value = value;
+  std::vector<CoreId> released;
+  std::erase_if(f.waiting, [&](const auto& entry) {
+    if (f.value >= entry.second) {
+      released.push_back(entry.first);
+      return true;
+    }
+    return false;
+  });
+  return released;
+}
+
+std::vector<CoreId> SyncController::flag_add(SyncId id, std::uint64_t delta,
+                                             std::uint64_t* new_value) {
+  auto& f = var(id, SyncKind::Flag).flag;
+  const std::uint64_t v = f.value + delta;
+  if (new_value != nullptr) *new_value = v;
+  return flag_set(id, v);
+}
+
+std::uint64_t SyncController::flag_value(SyncId id) const {
+  return var(id, SyncKind::Flag).flag.value;
+}
+
+}  // namespace hic

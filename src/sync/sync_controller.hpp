@@ -1,0 +1,101 @@
+// Hardware synchronization in the shared-cache controller (paper §III-D).
+//
+// Conventional lock/barrier implementations rely on cache coherence, which
+// this machine does not have, so — like Tera, RP3 and Cedar — synchronization
+// requests are uncacheable messages sent to a controller that queues them and
+// responds only when the requester owns the lock, the barrier is complete, or
+// the condition holds.
+//
+// The controller here is a pure state machine: the simulation engine sends it
+// requests and is told which cores are granted (immediately or later). The
+// engine charges the mesh round trip to the variable's home node plus the
+// controller service time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "noc/topology.hpp"
+
+namespace hic {
+
+using SyncId = int;
+
+enum class SyncKind : std::uint8_t { Barrier, Lock, Flag };
+
+class SyncController {
+ public:
+  explicit SyncController(int num_cores);
+
+  /// Cycles the controller spends servicing one request.
+  static constexpr Cycle kServiceCycles = 2;
+
+  // --- Declaration (allocates a sync-table entry; paper §III-D) ------------
+  SyncId declare_barrier(int participants, NodeId home);
+  SyncId declare_lock(NodeId home);
+  SyncId declare_flag(NodeId home, std::uint64_t initial = 0);
+
+  [[nodiscard]] NodeId home_of(SyncId id) const;
+  [[nodiscard]] SyncKind kind_of(SyncId id) const;
+  [[nodiscard]] std::size_t table_size() const { return vars_.size(); }
+
+  // --- Barrier --------------------------------------------------------------
+  /// A core arrives at the barrier. If this completes the barrier, returns
+  /// the cores released (including the arriving one); otherwise nullopt and
+  /// the core must block.
+  std::optional<std::vector<CoreId>> barrier_arrive(SyncId id, CoreId core);
+
+  // --- Lock -----------------------------------------------------------------
+  /// True: the lock was free and `core` now holds it. False: queued (FIFO).
+  [[nodiscard]] bool lock_acquire(SyncId id, CoreId core);
+  /// Releases; returns the next holder if a core was queued.
+  std::optional<CoreId> lock_release(SyncId id, CoreId core);
+  [[nodiscard]] bool lock_held_by(SyncId id, CoreId core) const;
+
+  // --- Flag / condition -------------------------------------------------------
+  /// True: the flag value already satisfies `value >= expect` and the core
+  /// proceeds. False: the core must block until a flag_set satisfies it.
+  [[nodiscard]] bool flag_check(SyncId id, CoreId core, std::uint64_t expect);
+  /// Sets the flag value; returns the waiters whose expectation is now met.
+  std::vector<CoreId> flag_set(SyncId id, std::uint64_t value);
+  /// Atomic increment flavor (used for counting conditions); returns waiters
+  /// released and writes the new value through `new_value`.
+  std::vector<CoreId> flag_add(SyncId id, std::uint64_t delta,
+                               std::uint64_t* new_value = nullptr);
+  [[nodiscard]] std::uint64_t flag_value(SyncId id) const;
+
+ private:
+  struct BarrierState {
+    int participants = 0;
+    int arrived = 0;
+    std::vector<CoreId> waiting;
+  };
+  struct LockState {
+    CoreId holder = kInvalidCore;
+    std::deque<CoreId> queue;
+  };
+  struct FlagState {
+    std::uint64_t value = 0;
+    // (core, expected value) pairs, in arrival order.
+    std::vector<std::pair<CoreId, std::uint64_t>> waiting;
+  };
+  struct Var {
+    SyncKind kind;
+    NodeId home;
+    BarrierState barrier;
+    LockState lock;
+    FlagState flag;
+  };
+
+  Var& var(SyncId id, SyncKind expect);
+  [[nodiscard]] const Var& var(SyncId id, SyncKind expect) const;
+
+  int num_cores_;
+  std::vector<Var> vars_;
+};
+
+}  // namespace hic

@@ -1,0 +1,172 @@
+// End-to-end workload verification: every application, on every machine
+// configuration, must produce results that match its serial reference when
+// read back through the hierarchy. On the incoherent configurations this is
+// the strongest possible statement that the programming models' WB/INV
+// annotations are sufficient: caches carry real (possibly stale) data, so a
+// missing writeback or invalidation produces a wrong answer, not just a
+// statistic.
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+namespace {
+
+struct AppCase {
+  std::string app;
+  Config config;
+};
+
+std::string case_name(const testing::TestParamInfo<AppCase>& info) {
+  std::string n = info.param.app + "_" + to_string(info.param.config);
+  for (char& c : n) {
+    if (c == '-' || c == '+') c = '_';
+  }
+  return n;
+}
+
+class IntraAppTest : public testing::TestWithParam<AppCase> {};
+class InterAppTest : public testing::TestWithParam<AppCase> {};
+
+TEST_P(IntraAppTest, VerifiesAgainstSerialReference) {
+  const AppCase& p = GetParam();
+  auto w = make_workload(p.app);
+  ASSERT_FALSE(w->inter_block());
+  Machine m(MachineConfig::intra_block(), p.config);
+  run_workload(*w, m, m.machine_config().total_cores());
+  const WorkloadResult r = w->verify(m);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(m.exec_cycles(), 0u);
+}
+
+TEST_P(InterAppTest, VerifiesAgainstSerialReference) {
+  const AppCase& p = GetParam();
+  auto w = make_workload(p.app);
+  ASSERT_TRUE(w->inter_block());
+  Machine m(MachineConfig::inter_block(), p.config);
+  run_workload(*w, m, m.machine_config().total_cores());
+  const WorkloadResult r = w->verify(m);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(m.exec_cycles(), 0u);
+}
+
+std::vector<AppCase> intra_cases() {
+  std::vector<AppCase> cases;
+  for (const auto& app : intra_workload_names()) {
+    for (Config c : {Config::Hcc, Config::Base, Config::BaseMeb,
+                     Config::BaseIeb, Config::BaseMebIeb}) {
+      cases.push_back({app, c});
+    }
+  }
+  return cases;
+}
+
+std::vector<AppCase> inter_cases() {
+  std::vector<AppCase> cases;
+  for (const auto& app : inter_workload_names()) {
+    for (Config c : {Config::InterHcc, Config::InterBase, Config::InterAddr,
+                     Config::InterAddrL}) {
+      cases.push_back({app, c});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, IntraAppTest,
+                         testing::ValuesIn(intra_cases()), case_name);
+INSTANTIATE_TEST_SUITE_P(AllConfigs, InterAppTest,
+                         testing::ValuesIn(inter_cases()), case_name);
+
+// Accounting invariant at full-application scale: every elapsed cycle of
+// every core lands in exactly one stall bucket, so the slowest core's
+// bucket sum equals the run's execution time.
+TEST(StallAccounting, BucketsSumToExecTimeAcrossApps) {
+  struct Case {
+    const char* app;
+    Config cfg;
+  };
+  for (const Case& c : {Case{"raytrace", Config::Base},
+                        Case{"ocean-cont", Config::BaseMebIeb},
+                        Case{"water-nsq", Config::Hcc},
+                        Case{"jacobi", Config::InterAddrL},
+                        Case{"is", Config::InterBase}}) {
+    auto w = make_workload(c.app);
+    const MachineConfig mc = w->inter_block()
+                                 ? MachineConfig::inter_block()
+                                 : MachineConfig::intra_block();
+    Machine m(mc, c.cfg);
+    const Cycle exec = run_workload(*w, m, mc.total_cores());
+    Cycle max_total = 0;
+    for (CoreId core = 0; core < mc.total_cores(); ++core)
+      max_total = std::max(max_total, m.stats().stalls(core).total());
+    EXPECT_EQ(max_total, exec) << c.app << " under " << to_string(c.cfg);
+    EXPECT_EQ(m.stats().exec_cycles(), exec);
+  }
+}
+
+// The verifier itself must have teeth: corrupting a result after the run
+// must flip verify() to failure (guards against a vacuous comparison).
+TEST(VerifierIntegrity, CorruptedResultFailsVerification) {
+  auto w = make_workload("fft");
+  Machine m(MachineConfig::intra_block(), Config::Hcc);
+  run_workload(*w, m, 16);
+  ASSERT_TRUE(w->verify(m).ok);
+  // Flip one output value behind the hierarchy's back.
+  const AddrRange re = m.mem().region("fft.re");
+  m.mem().shadow_write<double>(re.base + 123 * 8, 1e30);
+  EXPECT_FALSE(w->verify(m).ok)
+      << "verify() failed to notice a corrupted output";
+}
+
+TEST(VerifierIntegrity, CorruptedIncoherentResultFailsVerification) {
+  auto w = make_workload("ocean-cont");
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  run_workload(*w, m, 16);
+  ASSERT_TRUE(w->verify(m).ok);
+  // For incoherent runs the verifier reads through the hierarchy, whose
+  // caches hold the data. Flush everything to DRAM first (the INV writes
+  // dirty data back), then corrupt DRAM so the verifier's refetch sees it.
+  ASSERT_NE(m.incoherent(), nullptr);
+  m.hierarchy().inv_all(0, Level::L2);  // whole block L2 -> DRAM
+  const AddrRange u = m.mem().region("ocean.u");
+  const double junk = -4444.0;
+  m.mem().dram_write(u.base + 130 * 8, std::as_bytes(std::span(&junk, 1)));
+  EXPECT_FALSE(w->verify(m).ok);
+}
+
+TEST(Engine, MachineSupportsSequentialRuns) {
+  // A Machine can run multiple phases back to back (stats accumulate).
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  const Addr x = m.mem().alloc_array<std::uint64_t>(1, "x");
+  m.mem().init(x, std::uint64_t{0});
+  for (int phase = 0; phase < 3; ++phase) {
+    m.run(4, [&](Thread& t) {
+      if (t.tid() == 0) {
+        t.store<std::uint64_t>(x, t.load<std::uint64_t>(x) + 1);
+        t.services().wb_range({x, 8}, Level::L2);
+      }
+    });
+  }
+  VerifyReader rd(m);
+  EXPECT_EQ(rd.read<std::uint64_t>(x), 3u);
+}
+
+// Determinism: the same workload on the same configuration must produce the
+// same cycle count and traffic on every run.
+TEST(Determinism, RepeatedRunsAreBitIdentical) {
+  for (int rep = 0; rep < 2; ++rep) {
+    Cycle cycles[2];
+    std::uint64_t flits[2];
+    for (int i = 0; i < 2; ++i) {
+      auto w = make_workload("ocean-cont");
+      Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+      cycles[i] = run_workload(*w, m, 16);
+      flits[i] = m.stats().traffic().total();
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(flits[0], flits[1]);
+  }
+}
+
+}  // namespace
+}  // namespace hic

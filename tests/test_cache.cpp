@@ -1,0 +1,225 @@
+// Unit tests for the set-associative cache with per-word dirty bits.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+
+namespace hic {
+namespace {
+
+CacheParams small_params() {
+  // 4KB, 2-way, 64B lines: 64 lines, 32 sets.
+  return CacheParams{4 * 1024, 2, 64, 2};
+}
+
+TEST(CacheGeometry, DerivedSizes) {
+  const CacheParams p = small_params();
+  EXPECT_EQ(p.num_lines(), 64u);
+  EXPECT_EQ(p.num_sets(), 32u);
+  EXPECT_EQ(p.words_per_line(), 16u);
+}
+
+TEST(Cache, WordMaskSingleWord) {
+  Cache c(small_params(), false);
+  EXPECT_EQ(c.word_mask(0x1000, 4), 0x1ULL);
+  EXPECT_EQ(c.word_mask(0x1004, 4), 0x2ULL);
+  EXPECT_EQ(c.word_mask(0x103C, 4), 0x8000ULL);  // word 15
+}
+
+TEST(Cache, WordMaskMultiWord) {
+  Cache c(small_params(), false);
+  EXPECT_EQ(c.word_mask(0x1000, 8), 0x3ULL);    // words 0-1
+  EXPECT_EQ(c.word_mask(0x1008, 8), 0xCULL);    // words 2-3
+  EXPECT_EQ(c.word_mask(0x1000, 64), 0xFFFFULL);
+}
+
+TEST(Cache, WordMaskRejectsLineCrossing) {
+  Cache c(small_params(), false);
+  EXPECT_THROW(c.word_mask(0x103C, 8), CheckFailure);
+}
+
+TEST(Cache, FindMissOnEmpty) {
+  Cache c(small_params(), false);
+  EXPECT_EQ(c.find(0x1000), nullptr);
+  EXPECT_EQ(c.valid_count(), 0u);
+}
+
+TEST(Cache, AllocateThenFind) {
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  CacheLine& l = c.allocate(0x1000, ev);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_TRUE(l.valid);
+  EXPECT_EQ(l.line_addr, 0x1000u);
+  EXPECT_EQ(l.dirty_mask, 0u);
+  EXPECT_EQ(c.find(0x1000), &l);
+  EXPECT_EQ(c.valid_count(), 1u);
+}
+
+TEST(Cache, DoubleAllocateRejected) {
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  c.allocate(0x1000, ev);
+  EXPECT_THROW(c.allocate(0x1000, ev), CheckFailure);
+}
+
+TEST(Cache, LruEvictionPicksOldest) {
+  Cache c(small_params(), false);
+  // Same set: line addresses differing by sets*line = 32*64 = 2KB.
+  const Addr a = 0x0, b = 0x800, d = 0x1000;
+  std::optional<EvictedLine> ev;
+  c.allocate(a, ev);
+  c.allocate(b, ev);
+  // Touch `a` so `b` becomes LRU.
+  c.touch(a);
+  c.allocate(d, ev);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, b);
+  EXPECT_NE(c.find(a), nullptr);
+  EXPECT_EQ(c.find(b), nullptr);
+  EXPECT_NE(c.find(d), nullptr);
+}
+
+TEST(Cache, EvictionCarriesDirtyMaskAndData) {
+  Cache c(small_params(), true);
+  std::optional<EvictedLine> ev;
+  CacheLine& l = c.allocate(0x0, ev);
+  l.dirty_mask = 0xF0F0;
+  auto data = c.data_of(l);
+  data[0] = std::byte{0xAB};
+  c.allocate(0x800, ev);
+  c.allocate(0x1000, ev);  // evicts 0x0 (LRU)
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0x0u);
+  EXPECT_EQ(ev->dirty_mask, 0xF0F0u);
+  ASSERT_EQ(ev->data.size(), 64u);
+  EXPECT_EQ(ev->data[0], std::byte{0xAB});
+}
+
+TEST(Cache, InvalidateClearsState) {
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  CacheLine& l = c.allocate(0x1000, ev);
+  l.dirty_mask = 0xFF;
+  l.mesi = MesiState::Modified;
+  c.invalidate(l);
+  EXPECT_FALSE(l.valid);
+  EXPECT_EQ(l.dirty_mask, 0u);
+  EXPECT_EQ(l.mesi, MesiState::Invalid);
+  EXPECT_EQ(c.find(0x1000), nullptr);
+}
+
+TEST(Cache, InvalidateAll) {
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  for (Addr a = 0; a < 8 * 64; a += 64) c.allocate(a, ev);
+  EXPECT_EQ(c.valid_count(), 8u);
+  c.invalidate_all();
+  EXPECT_EQ(c.valid_count(), 0u);
+}
+
+TEST(Cache, DirtyLineCount) {
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  CacheLine& a = c.allocate(0x0, ev);
+  c.allocate(0x40, ev);
+  CacheLine& b = c.allocate(0x80, ev);
+  a.dirty_mask = 1;
+  b.dirty_mask = 0x8000;
+  EXPECT_EQ(c.dirty_line_count(), 2u);
+}
+
+TEST(Cache, SlotRoundTrip) {
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  CacheLine& l = c.allocate(0x1040, ev);
+  const std::uint32_t slot = c.slot_of(l);
+  EXPECT_LT(slot, 64u);
+  EXPECT_EQ(&c.line_in_slot(slot), &l);
+}
+
+TEST(Cache, DataIsolatedPerLine) {
+  Cache c(small_params(), true);
+  std::optional<EvictedLine> ev;
+  CacheLine& a = c.allocate(0x0, ev);
+  CacheLine& b = c.allocate(0x40, ev);
+  std::memset(c.data_of(a).data(), 0x11, 64);
+  std::memset(c.data_of(b).data(), 0x22, 64);
+  EXPECT_EQ(c.data_of(a)[63], std::byte{0x11});
+  EXPECT_EQ(c.data_of(b)[0], std::byte{0x22});
+}
+
+TEST(Cache, DataAccessWithoutDataThrows) {
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  CacheLine& l = c.allocate(0x0, ev);
+  EXPECT_THROW(c.data_of(l), CheckFailure);
+}
+
+TEST(Cache, SetMappingWrapsAcrossWays) {
+  // Filling ways+1 lines of one set keeps all other sets untouched.
+  Cache c(small_params(), false);
+  std::optional<EvictedLine> ev;
+  c.allocate(0x0, ev);
+  c.allocate(0x800, ev);
+  c.allocate(0x1000, ev);
+  EXPECT_EQ(c.valid_count(), 2u);  // one eviction happened
+  EXPECT_EQ(c.set_of(0x0), c.set_of(0x800));
+  EXPECT_NE(c.set_of(0x0), c.set_of(0x40));
+}
+
+/// Parameterized sweep over geometries: LRU behaves as a reference model.
+struct GeomCase {
+  std::uint32_t size, ways, line;
+};
+
+class CacheGeometrySweep : public testing::TestWithParam<GeomCase> {};
+
+TEST_P(CacheGeometrySweep, RandomAccessesMatchReferenceLru) {
+  const GeomCase g = GetParam();
+  const CacheParams p{g.size, g.ways, g.line, 1};
+  Cache c(p, false);
+  // Reference: per set, list of line addrs in LRU order (front = LRU).
+  std::vector<std::vector<Addr>> ref(p.num_sets());
+  Rng rng(g.size + g.ways + g.line);
+  for (int i = 0; i < 3000; ++i) {
+    const Addr line = rng.next_below(4 * p.num_lines()) * p.line_bytes;
+    const std::uint32_t set = c.set_of(line);
+    auto& order = ref[set];
+    const auto it = std::find(order.begin(), order.end(), line);
+    if (CacheLine* hit = c.touch(line)) {
+      ASSERT_NE(it, order.end()) << "model says miss, cache says hit";
+      ASSERT_EQ(hit->line_addr, line);
+      order.erase(it);
+      order.push_back(line);
+    } else {
+      ASSERT_EQ(it, order.end()) << "model says hit, cache says miss";
+      std::optional<EvictedLine> ev;
+      c.allocate(line, ev);
+      if (order.size() == p.ways) {
+        ASSERT_TRUE(ev.has_value());
+        ASSERT_EQ(ev->line_addr, order.front());
+        order.erase(order.begin());
+      } else {
+        ASSERT_FALSE(ev.has_value());
+      }
+      order.push_back(line);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    testing::Values(GeomCase{1024, 1, 64}, GeomCase{4096, 2, 64},
+                    GeomCase{4096, 4, 64}, GeomCase{8192, 8, 64},
+                    GeomCase{32 * 1024, 4, 64}, GeomCase{2048, 2, 32}),
+    [](const testing::TestParamInfo<GeomCase>& i) {
+      return std::to_string(i.param.size) + "B_" +
+             std::to_string(i.param.ways) + "w_" +
+             std::to_string(i.param.line) + "l";
+    });
+
+}  // namespace
+}  // namespace hic

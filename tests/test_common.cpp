@@ -1,0 +1,247 @@
+// Unit tests for the common substrate: address math, interval sets, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/interval_set.hpp"
+#include "common/machine_config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+namespace {
+
+// --- Address math ------------------------------------------------------------
+
+TEST(Types, AlignDownUp) {
+  EXPECT_EQ(align_down(0x1234, 64), 0x1200u);
+  EXPECT_EQ(align_up(0x1234, 64), 0x1240u);
+  EXPECT_EQ(align_down(0x1200, 64), 0x1200u);
+  EXPECT_EQ(align_up(0x1200, 64), 0x1200u);
+  EXPECT_EQ(align_up(0, 64), 0u);
+}
+
+TEST(Types, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Types, Log2) {
+  EXPECT_EQ(log2u(1), 0u);
+  EXPECT_EQ(log2u(2), 1u);
+  EXPECT_EQ(log2u(512), 9u);
+  EXPECT_EQ(log2u(1 << 20), 20u);
+}
+
+TEST(Types, AddrRange) {
+  const AddrRange r{100, 50};
+  EXPECT_EQ(r.end(), 150u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(100));
+  EXPECT_TRUE(r.contains(149));
+  EXPECT_FALSE(r.contains(150));
+  EXPECT_FALSE(r.contains(99));
+  EXPECT_TRUE(r.overlaps({149, 10}));
+  EXPECT_FALSE(r.overlaps({150, 10}));
+  EXPECT_FALSE(r.overlaps({0, 100}));
+  EXPECT_TRUE(AddrRange{}.empty());
+}
+
+// --- MachineConfig -----------------------------------------------------------
+
+TEST(MachineConfig, StockConfigsValidate) {
+  const MachineConfig intra = MachineConfig::intra_block();
+  EXPECT_EQ(intra.total_cores(), 16);
+  EXPECT_FALSE(intra.multi_block());
+  const MachineConfig inter = MachineConfig::inter_block();
+  EXPECT_EQ(inter.total_cores(), 32);
+  EXPECT_TRUE(inter.multi_block());
+  EXPECT_EQ(inter.block_of(0), 0);
+  EXPECT_EQ(inter.block_of(7), 0);
+  EXPECT_EQ(inter.block_of(8), 1);
+  EXPECT_EQ(inter.block_of(31), 3);
+  EXPECT_TRUE(inter.same_block(8, 15));
+  EXPECT_FALSE(inter.same_block(7, 8));
+}
+
+TEST(MachineConfig, TableIIIParameters) {
+  const MachineConfig mc = MachineConfig::intra_block();
+  EXPECT_EQ(mc.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(mc.l1.ways, 4u);
+  EXPECT_EQ(mc.l1.line_bytes, 64u);
+  EXPECT_EQ(mc.l1.rt_cycles, 2u);
+  EXPECT_EQ(mc.l1.num_lines(), 512u);
+  EXPECT_EQ(mc.l1.words_per_line(), 16u);
+  EXPECT_EQ(mc.l2_bank.size_bytes, 128u * 1024);
+  EXPECT_EQ(mc.l2_bank.rt_cycles, 11u);
+  EXPECT_EQ(mc.meb_entries, 16);
+  EXPECT_EQ(mc.ieb_entries, 4);
+  EXPECT_EQ(mc.mesh_hop_cycles, 4u);
+  EXPECT_EQ(mc.link_bits, 128u);
+  EXPECT_EQ(mc.memory_rt_cycles, 150u);
+}
+
+TEST(MachineConfig, InvalidConfigThrows) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.l1.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(mc.validate(), CheckFailure);
+  mc = MachineConfig::intra_block();
+  mc.l2_bank.line_bytes = 128;  // line size mismatch across levels
+  EXPECT_THROW(mc.validate(), CheckFailure);
+}
+
+// --- IntervalSet --------------------------------------------------------------
+
+TEST(IntervalSet, InsertCoalesces) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 10);
+  EXPECT_EQ(s.run_count(), 2u);
+  s.insert(10, 10);  // bridges the gap
+  EXPECT_EQ(s.run_count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 30u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(29));
+  EXPECT_FALSE(s.contains(30));
+}
+
+TEST(IntervalSet, InsertOverlapping) {
+  IntervalSet s;
+  s.insert(10, 10);
+  s.insert(5, 10);   // overlaps the front
+  s.insert(15, 10);  // overlaps the back
+  EXPECT_EQ(s.run_count(), 1u);
+  EXPECT_EQ(s.total_bytes(), 20u);
+  EXPECT_EQ(s.ranges().front(), (AddrRange{5, 20}));
+}
+
+TEST(IntervalSet, EraseSplits) {
+  IntervalSet s;
+  s.insert(0, 30);
+  s.erase(10, 10);
+  EXPECT_EQ(s.run_count(), 2u);
+  EXPECT_TRUE(s.contains(9));
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_FALSE(s.contains(19));
+  EXPECT_TRUE(s.contains(20));
+  EXPECT_EQ(s.total_bytes(), 20u);
+}
+
+TEST(IntervalSet, EraseAcrossRuns) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 10);
+  s.insert(40, 10);
+  s.erase(5, 40);  // clips the first, removes the second, clips the third
+  EXPECT_EQ(s.run_count(), 2u);
+  EXPECT_EQ(s.total_bytes(), 10u);
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_TRUE(s.contains(45));
+  EXPECT_FALSE(s.contains(25));
+}
+
+TEST(IntervalSet, Intersect) {
+  IntervalSet a;
+  a.insert(0, 100);
+  IntervalSet b;
+  b.insert(50, 100);
+  const IntervalSet c = a.intersect(b);
+  EXPECT_EQ(c.total_bytes(), 50u);
+  EXPECT_TRUE(c.contains(50));
+  EXPECT_TRUE(c.contains(99));
+  EXPECT_FALSE(c.contains(100));
+}
+
+TEST(IntervalSet, Overlaps) {
+  IntervalSet s;
+  s.insert(100, 50);
+  EXPECT_TRUE(s.overlaps({140, 20}));
+  EXPECT_TRUE(s.overlaps({90, 20}));
+  EXPECT_FALSE(s.overlaps({150, 10}));
+  EXPECT_FALSE(s.overlaps({0, 100}));
+  EXPECT_FALSE(s.overlaps({120, 0}));  // empty range never overlaps
+}
+
+TEST(IntervalSet, EmptyInsertIgnored) {
+  IntervalSet s;
+  s.insert(5, 0);
+  EXPECT_TRUE(s.empty());
+}
+
+/// Property sweep: random inserts/erases vs a reference std::set of points.
+class IntervalSetFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  IntervalSet s;
+  std::set<Addr> ref;
+  constexpr Addr kSpace = 256;
+  for (int op = 0; op < 200; ++op) {
+    const Addr base = rng.next_below(kSpace);
+    const std::uint64_t len = 1 + rng.next_below(32);
+    if (rng.next_below(3) != 0) {
+      s.insert(base, len);
+      for (Addr a = base; a < base + len; ++a) ref.insert(a);
+    } else {
+      s.erase(base, len);
+      for (Addr a = base; a < base + len; ++a) ref.erase(a);
+    }
+    ASSERT_EQ(s.total_bytes(), ref.size());
+    // Spot-check membership at a few random points.
+    for (int probe = 0; probe < 8; ++probe) {
+      const Addr p = rng.next_below(kSpace + 32);
+      ASSERT_EQ(s.contains(p), ref.count(p) > 0) << "point " << p;
+    }
+  }
+  // Runs must be disjoint, non-adjacent and sorted.
+  const auto runs = s.ranges();
+  for (std::size_t i = 1; i < runs.size(); ++i)
+    ASSERT_GT(runs[i].base, runs[i - 1].end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetFuzz,
+                         testing::Values(1, 2, 3, 42, 1234, 99999));
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_THROW(r.next_below(0), CheckFailure);
+}
+
+// --- Check macros --------------------------------------------------------------
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    HIC_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,377 @@
+// Tests for the compiler substrate (paper §V-A): affine machinery, CFG
+// reachability, producer-consumer extraction, reductions, serial sections,
+// and the inspector-executor for irregular accesses (Figure 8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/analysis.hpp"
+#include "compiler/inspector.hpp"
+
+namespace hic {
+namespace {
+
+// --- Affine machinery -----------------------------------------------------------
+
+TEST(Affine, ImageOfInterval) {
+  EXPECT_EQ(affine_image({1, 0}, 2, 9), (ElemInterval{2, 9}));
+  EXPECT_EQ(affine_image({2, 5}, 0, 3), (ElemInterval{5, 11}));
+  EXPECT_EQ(affine_image({-1, 10}, 2, 4), (ElemInterval{6, 8}));
+  EXPECT_EQ(affine_image({0, 7}, 0, 100), (ElemInterval{7, 7}));
+  EXPECT_TRUE(affine_image({1, 0}, 5, 4).empty());
+}
+
+TEST(Affine, IntervalIntersect) {
+  const ElemInterval a{0, 10};
+  EXPECT_EQ(a.intersect({5, 20}), (ElemInterval{5, 10}));
+  EXPECT_TRUE(a.intersect({11, 20}).empty());
+}
+
+TEST(Scheduling, ChunkPartitionIsExactAndOrdered) {
+  LoopNode loop;
+  loop.lb = 3;
+  loop.ub = 103;  // 100 iterations over 8 threads
+  std::int64_t covered = 0;
+  std::int64_t prev_last = loop.lb - 1;
+  for (ThreadId t = 0; t < 8; ++t) {
+    const ElemInterval ch = chunk_of(loop, 8, t);
+    if (ch.empty()) continue;
+    EXPECT_EQ(ch.lo, prev_last + 1);
+    prev_last = ch.hi;
+    covered += ch.hi - ch.lo + 1;
+  }
+  EXPECT_EQ(covered, 100);
+  EXPECT_EQ(prev_last, 102);
+}
+
+TEST(Scheduling, OwnerMatchesChunks) {
+  LoopNode loop;
+  loop.lb = 0;
+  loop.ub = 64;
+  for (std::int64_t i = 0; i < 64; ++i) {
+    const ThreadId owner = owner_of_iteration(loop, 8, i);
+    const ElemInterval ch = chunk_of(loop, 8, owner);
+    EXPECT_GE(i, ch.lo);
+    EXPECT_LE(i, ch.hi);
+  }
+  EXPECT_EQ(owner_of_iteration(loop, 8, -1), kInvalidThread);
+  EXPECT_EQ(owner_of_iteration(loop, 8, 64), kInvalidThread);
+}
+
+TEST(Scheduling, SerialLoopRunsOnThreadZero) {
+  LoopNode loop;
+  loop.lb = 0;
+  loop.ub = 10;
+  loop.serial = true;
+  EXPECT_EQ(chunk_of(loop, 4, 0), (ElemInterval{0, 9}));
+  EXPECT_TRUE(chunk_of(loop, 4, 1).empty());
+  EXPECT_EQ(owner_of_iteration(loop, 4, 5), 0);
+}
+
+// --- CFG reachability -------------------------------------------------------------
+
+TEST(ProgramGraph, ReachabilityFollowsEdges) {
+  ProgramGraph p;
+  const int arr = p.add_array("a", 0x1000, 8, 100);
+  LoopNode n;
+  n.lb = 0;
+  n.ub = 10;
+  n.refs = {{arr, {1, 0}, RefKind::Use, false}};
+  const int l0 = p.add_loop(n);
+  const int l1 = p.add_loop(n);
+  const int l2 = p.add_loop(n);
+  p.add_edge(l0, l1);
+  p.add_edge(l1, l2);
+  EXPECT_EQ(p.reachable_from(l0), (std::vector<int>{l1, l2}));
+  EXPECT_EQ(p.reachable_from(l1), (std::vector<int>{l2}));
+  EXPECT_TRUE(p.reachable_from(l2).empty());
+}
+
+TEST(ProgramGraph, CycleMakesLoopSelfReachable) {
+  ProgramGraph p;
+  const int arr = p.add_array("a", 0x1000, 8, 100);
+  LoopNode n;
+  n.lb = 0;
+  n.ub = 10;
+  n.refs = {{arr, {1, 0}, RefKind::Use, false}};
+  const int l0 = p.add_loop(n);
+  const int l1 = p.add_loop(n);
+  p.add_edge(l0, l1);
+  p.add_edge(l1, l0);  // iterative program
+  EXPECT_EQ(p.reachable_from(l0), (std::vector<int>{l0, l1}));
+}
+
+// --- Producer-consumer extraction ---------------------------------------------------
+
+/// Two-loop stencil (the Jacobi shape): thread t's defs of rows are
+/// consumed by threads t-1 and t+1 in the next loop.
+TEST(Analysis, StencilNeighborPairs) {
+  ProgramGraph p;
+  constexpr std::int64_t kRows = 64;
+  const int a0 = p.add_array("a0", 0x10000, 512, kRows);
+  const int a1 = p.add_array("a1", 0x30000, 512, kRows);
+  LoopNode fwd;
+  fwd.lb = 1;
+  fwd.ub = kRows - 1;
+  fwd.refs = {{a1, {1, 0}, RefKind::Def, false},
+              {a0, {1, -1}, RefKind::Use, false},
+              {a0, {1, 1}, RefKind::Use, false}};
+  LoopNode bwd = fwd;
+  bwd.refs[0].array = a0;
+  bwd.refs[1].array = a1;
+  bwd.refs[2].array = a1;
+  const int lf = p.add_loop(fwd);
+  const int lb = p.add_loop(bwd);
+  p.add_edge(lf, lb);
+  p.add_edge(lb, lf);
+
+  const int kT = 8;
+  const EpochPlan plan = analyze_producer_consumer(p, kT);
+  // Interior thread 3 owns rows ~[24..31): it produces its boundary rows
+  // for threads 2 and 4, and consumes theirs.
+  const auto wb = plan.wb_for(lf, 3);
+  ASSERT_EQ(wb.size(), 2u);
+  std::vector<ThreadId> consumers;
+  for (const auto& d : wb) consumers.push_back(d.consumer);
+  std::sort(consumers.begin(), consumers.end());
+  EXPECT_EQ(consumers, (std::vector<ThreadId>{2, 4}));
+  const auto inv = plan.inv_for(lb, 3);
+  ASSERT_EQ(inv.size(), 2u);
+  std::vector<ThreadId> producers;
+  for (const auto& d : inv) producers.push_back(d.producer);
+  std::sort(producers.begin(), producers.end());
+  EXPECT_EQ(producers, (std::vector<ThreadId>{2, 4}));
+  // Each exchanged range is exactly one 512-byte row.
+  for (const auto& d : wb) EXPECT_EQ(d.range.bytes, 512u);
+  // Edge thread 0 has only one neighbor.
+  EXPECT_EQ(plan.wb_for(lf, 0).size(), 1u);
+  EXPECT_EQ(plan.wb_for(lf, 0)[0].consumer, 1);
+}
+
+TEST(Analysis, DisjointChunksProduceNoDirectives) {
+  // Producer and consumer read/write only their own chunk: no pairs.
+  ProgramGraph p;
+  const int a = p.add_array("a", 0x10000, 8, 256);
+  LoopNode l;
+  l.lb = 0;
+  l.ub = 256;
+  l.refs = {{a, {1, 0}, RefKind::Def, false}};
+  LoopNode r = l;
+  r.refs = {{a, {1, 0}, RefKind::Use, false}};
+  const int lw = p.add_loop(l);
+  const int lr = p.add_loop(r);
+  p.add_edge(lw, lr);
+  const EpochPlan plan = analyze_producer_consumer(p, 8);
+  EXPECT_EQ(plan.total_wb_directives(), 0u);
+  EXPECT_EQ(plan.total_inv_directives(), 0u);
+}
+
+TEST(Analysis, ReductionPublishesGloballyWithUnknownPeers) {
+  ProgramGraph p;
+  const int q = p.add_array("q", 0x10000, 8, 10);
+  LoopNode red;
+  red.lb = 0;
+  red.ub = 32;
+  red.refs = {{q, {0, 0}, RefKind::ReductionDef, false}};
+  LoopNode out;
+  out.lb = 0;
+  out.ub = 10;
+  out.serial = true;
+  out.refs = {{q, {1, 0}, RefKind::Use, false}};
+  const int lr = p.add_loop(red);
+  const int lo = p.add_loop(out);
+  p.add_edge(lr, lo);
+  const EpochPlan plan = analyze_producer_consumer(p, 32);
+  // Every reducing thread publishes the whole array, consumer unknown.
+  for (ThreadId t = 0; t < 32; ++t) {
+    const auto wb = plan.wb_for(lr, t);
+    ASSERT_EQ(wb.size(), 1u);
+    EXPECT_EQ(wb[0].consumer, kUnknownThread);
+    EXPECT_EQ(wb[0].range.bytes, 80u);
+  }
+  // The serial consumer (thread 0) refreshes with unknown producer.
+  const auto inv = plan.inv_for(lo, 0);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0].producer, kUnknownThread);
+  EXPECT_TRUE(plan.inv_for(lo, 1).empty()) << "serial: only thread 0 reads";
+}
+
+TEST(Analysis, SerialProducerKnownToAllConsumers) {
+  ProgramGraph p;
+  const int a = p.add_array("offsets", 0x10000, 8, 64);
+  LoopNode scan;
+  scan.lb = 0;
+  scan.ub = 64;
+  scan.serial = true;
+  scan.refs = {{a, {1, 0}, RefKind::Def, false}};
+  LoopNode par;
+  par.lb = 0;
+  par.ub = 64;
+  par.refs = {{a, {1, 0}, RefKind::Use, false}};
+  const int ls = p.add_loop(scan);
+  const int lp = p.add_loop(par);
+  p.add_edge(ls, lp);
+  const EpochPlan plan = analyze_producer_consumer(p, 8);
+  // Every parallel thread (except 0, which produced it) names producer 0.
+  for (ThreadId t = 1; t < 8; ++t) {
+    const auto inv = plan.inv_for(lp, t);
+    ASSERT_EQ(inv.size(), 1u) << "thread " << t;
+    EXPECT_EQ(inv[0].producer, 0);
+  }
+  EXPECT_TRUE(plan.inv_for(lp, 0).empty());
+}
+
+TEST(Analysis, MultiConsumerWbDemotedToGlobal) {
+  // One producer element read by several threads: a single WB_CONS cannot
+  // name them all, so the WB publishes globally (consumer unknown).
+  ProgramGraph p;
+  const int a = p.add_array("a", 0x10000, 8, 64);
+  LoopNode w;
+  w.lb = 0;
+  w.ub = 64;
+  w.refs = {{a, {1, 0}, RefKind::Def, false}};
+  LoopNode r;
+  r.lb = 0;
+  r.ub = 64;
+  r.refs = {{a, {0, 5}, RefKind::Use, false}};  // everyone reads element 5
+  const int lw = p.add_loop(w);
+  const int lr = p.add_loop(r);
+  p.add_edge(lw, lr);
+  const EpochPlan plan = analyze_producer_consumer(p, 8);
+  // Element 5 belongs to thread 0's chunk [0,8).
+  const auto wb = plan.wb_for(lw, 0);
+  ASSERT_FALSE(wb.empty());
+  for (const auto& d : wb) EXPECT_EQ(d.consumer, kUnknownThread);
+  // Consumers still know the producer exactly.
+  const auto inv = plan.inv_for(lr, 3);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0].producer, 0);
+}
+
+TEST(Analysis, IndirectUseMarksInspector) {
+  ProgramGraph p;
+  const int a = p.add_array("p", 0x10000, 8, 128);
+  LoopNode w;
+  w.lb = 0;
+  w.ub = 128;
+  w.refs = {{a, {1, 0}, RefKind::Def, false}};
+  LoopNode r;
+  r.lb = 0;
+  r.ub = 128;
+  r.refs = {{a, {1, 0}, RefKind::Use, /*indirect=*/true}};
+  const int lw = p.add_loop(w);
+  const int lr = p.add_loop(r);
+  p.add_edge(lw, lr);
+  const EpochPlan plan = analyze_producer_consumer(p, 8);
+  EXPECT_TRUE(plan.needs_inspector(lr));
+  EXPECT_FALSE(plan.needs_inspector(lw));
+  // The producer publishes its whole section globally ("write everything
+  // to L3"), since the consumers cannot be resolved.
+  for (ThreadId t = 0; t < 8; ++t) {
+    const auto wb = plan.wb_for(lw, t);
+    ASSERT_EQ(wb.size(), 1u);
+    EXPECT_EQ(wb[0].consumer, kUnknownThread);
+    EXPECT_EQ(wb[0].range.bytes, 16u * 8);
+  }
+}
+
+TEST(Analysis, ReversedLoopPairsStillFound) {
+  // A producer writing forward and a consumer reading the array REVERSED
+  // (scale -1): thread t's chunk maps to the mirrored threads' sections.
+  ProgramGraph p;
+  constexpr std::int64_t kN2 = 64;
+  const int a = p.add_array("a", 0x10000, 8, kN2);
+  LoopNode w;
+  w.lb = 0;
+  w.ub = kN2;
+  w.refs = {{a, {1, 0}, RefKind::Def, false}};
+  LoopNode r;
+  r.lb = 0;
+  r.ub = kN2;
+  r.refs = {{a, {-1, kN2 - 1}, RefKind::Use, false}};  // a[N-1-i]
+  const int lw = p.add_loop(w);
+  const int lr = p.add_loop(r);
+  p.add_edge(lw, lr);
+  const EpochPlan plan = analyze_producer_consumer(p, 4);
+  // Consumer thread 0 (iterations 0..15) reads elements 48..63 — produced
+  // by thread 3; it must name producer 3.
+  const auto inv = plan.inv_for(lr, 0);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0].producer, 3);
+  EXPECT_EQ(inv[0].range, (AddrRange{0x10000 + 48 * 8, 16 * 8}));
+  // Producer thread 3 writes back for consumer 0.
+  bool found = false;
+  for (const auto& d : plan.wb_for(lw, 3)) found |= d.consumer == 0;
+  EXPECT_TRUE(found);
+  // The middle threads talk to their mirrors (1 <-> 2).
+  const auto inv1 = plan.inv_for(lr, 1);
+  ASSERT_EQ(inv1.size(), 1u);
+  EXPECT_EQ(inv1[0].producer, 2);
+}
+
+// --- Inspector (Figure 8) ------------------------------------------------------------
+
+TEST(Inspector, ConflictArrayNamesWriters) {
+  LoopNode producer;
+  producer.lb = 0;
+  producer.ub = 64;  // writes p[i], chunked over 8 threads (8 each)
+  const ArrayRef def{0, {1, 0}, RefKind::Def, false};
+  const std::vector<std::int64_t> reads = {0, 7, 8, 15, 63, 32};
+  const auto conflict = build_conflict_array(producer, def, reads, 8);
+  EXPECT_EQ(conflict, (std::vector<ThreadId>{0, 0, 1, 1, 7, 4}));
+}
+
+TEST(Inspector, UnwrittenElementsUnknown) {
+  LoopNode producer;
+  producer.lb = 0;
+  producer.ub = 16;
+  const ArrayRef def{0, {2, 0}, RefKind::Def, false};  // writes even elems
+  const std::vector<std::int64_t> reads = {4, 5};
+  const auto conflict = build_conflict_array(producer, def, reads, 4);
+  EXPECT_EQ(conflict[0], owner_of_iteration(producer, 4, 2));
+  EXPECT_EQ(conflict[1], kUnknownThread);
+}
+
+TEST(Inspector, DirectivesSkipSelfAndCoalesce) {
+  const ArrayInfo arr{"p", 0x10000, 8, 64};
+  // Reads 0..15; conflicts: 0..7 produced by thread 1 (coalesce into one
+  // run), 8..11 by self (skipped), 12..15 by thread 2.
+  std::vector<std::int64_t> idx;
+  std::vector<ThreadId> conflict;
+  for (std::int64_t e = 0; e < 16; ++e) {
+    idx.push_back(e);
+    conflict.push_back(e < 8 ? 1 : (e < 12 ? 0 : 2));
+  }
+  const auto dirs = inspector_inv_directives(arr, idx, conflict, /*self=*/0);
+  ASSERT_EQ(dirs.size(), 2u);
+  EXPECT_EQ(dirs[0].producer, 1);
+  EXPECT_EQ(dirs[0].range, (AddrRange{0x10000, 64}));
+  EXPECT_EQ(dirs[1].producer, 2);
+  EXPECT_EQ(dirs[1].range, (AddrRange{0x10000 + 12 * 8, 32}));
+}
+
+TEST(Inspector, NonConsecutiveElementsSplitRuns) {
+  const ArrayInfo arr{"p", 0x10000, 8, 64};
+  const std::vector<std::int64_t> idx = {0, 1, 5};
+  const std::vector<ThreadId> conflict = {3, 3, 3};
+  const auto dirs = inspector_inv_directives(arr, idx, conflict, 0);
+  ASSERT_EQ(dirs.size(), 2u);
+  EXPECT_EQ(dirs[0].range.bytes, 16u);
+  EXPECT_EQ(dirs[1].range.bytes, 8u);
+}
+
+// --- EpochPlan container --------------------------------------------------------------
+
+TEST(EpochPlanContainer, DeduplicatesAndValidates) {
+  EpochPlan plan(2, 4);
+  plan.add_wb(0, 1, {{0x100, 64}, 2});
+  plan.add_wb(0, 1, {{0x100, 64}, 2});  // duplicate
+  plan.add_wb(0, 1, {{0, 0}, 2});       // empty range ignored
+  EXPECT_EQ(plan.wb_for(0, 1).size(), 1u);
+  EXPECT_EQ(plan.total_wb_directives(), 1u);
+  EXPECT_THROW((void)plan.wb_for(2, 0), CheckFailure);
+  EXPECT_THROW((void)plan.inv_for(0, 4), CheckFailure);
+}
+
+}  // namespace
+}  // namespace hic

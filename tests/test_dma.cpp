@@ -1,0 +1,157 @@
+// Tests for the DMA engine (paper §VIII: Runnemede communicates between
+// blocks "through DMA operations initiated by a DMA engine").
+#include <gtest/gtest.h>
+
+#include "core/incoherent.hpp"
+#include "hierarchy/mesi.hpp"
+#include "runtime/thread.hpp"
+
+namespace hic {
+namespace {
+
+struct Rig {
+  MachineConfig mc = MachineConfig::inter_block();
+  GlobalMemory gmem;
+  SimStats stats{32};
+  IncoherentHierarchy h{mc, gmem, stats};
+  Addr src, dst;
+
+  Rig()
+      : src(gmem.alloc(512, "src")), dst(gmem.alloc(512, "dst")) {
+    for (Addr off = 0; off < 512; off += 4) {
+      gmem.init(src + off, static_cast<std::uint32_t>(off / 4 + 1));
+      gmem.init(dst + off, std::uint32_t{0});
+    }
+  }
+};
+
+TEST(DmaIncoherent, MovesPublishedDataBetweenBlocks) {
+  Rig r;
+  // Producer in block 0 overwrites the source and publishes to its L2.
+  for (Addr off = 0; off < 512; off += 4) {
+    const auto v = static_cast<std::uint32_t>(1000 + off);
+    r.h.write(0, r.src + off, 4, &v);
+  }
+  r.h.wb_all(0, Level::L2);
+  const Cycle lat = r.h.dma_copy(0, r.src, 1, r.dst, 512);
+  EXPECT_GT(lat, 0u);
+  // A consumer in block 1 reads the destination fresh from its own L2.
+  for (Addr off = 0; off < 512; off += 4) {
+    std::uint32_t v = 0;
+    r.h.read(8, r.dst + off, 4, &v);
+    ASSERT_EQ(v, 1000 + off);
+  }
+  // Nothing reached the L3: block 2 still sees zeros.
+  std::uint32_t remote = 1;
+  r.h.read(16, r.dst, 4, &remote);
+  EXPECT_EQ(remote, 0u) << "DMA deposits into the destination L2 only";
+}
+
+TEST(DmaIncoherent, ReadsSourceBlockViewNotL1) {
+  Rig r;
+  // An UNPUBLISHED write stays in the producer's L1: the DMA engine reads
+  // the shared level and must move the old values.
+  const std::uint32_t v = 777;
+  r.h.write(0, r.src, 4, &v);  // dirty in core 0's L1 only
+  r.h.dma_copy(0, r.src, 1, r.dst, 64);
+  std::uint32_t got = 0;
+  r.h.read(8, r.dst, 4, &got);
+  EXPECT_EQ(got, 1u) << "the DMA must see the pre-write (published) value";
+}
+
+TEST(DmaIncoherent, ConsumerWithStaleL1StillNeedsInv) {
+  Rig r;
+  std::uint32_t got = 0;
+  r.h.read(8, r.dst, 4, &got);  // consumer caches destination zeros
+  r.h.wb_all(0, Level::L2);
+  r.h.dma_copy(0, r.src, 1, r.dst, 64);
+  r.h.read(8, r.dst, 4, &got);
+  EXPECT_EQ(got, 0u) << "the consumer's L1 copy is stale after the DMA";
+  r.h.inv_range(8, {r.dst, 64}, Level::L1);
+  r.h.read(8, r.dst, 4, &got);
+  EXPECT_EQ(got, 1u);
+}
+
+TEST(DmaIncoherent, SameBlockCopyWorks) {
+  Rig r;
+  r.h.wb_all(0, Level::L2);
+  r.h.dma_copy(0, r.src, 0, r.dst, 128);
+  for (Addr off = 0; off < 128; off += 4) {
+    std::uint32_t v = 0;
+    r.h.read(3, r.dst + off, 4, &v);
+    ASSERT_EQ(v, off / 4 + 1);
+  }
+}
+
+TEST(DmaIncoherent, DestinationIsDirtyInL2) {
+  // DMA output must survive L2 eviction (it is dirty data).
+  Rig r;
+  r.h.dma_copy(0, r.src, 1, r.dst, 64);
+  const Cache& l2 = r.h.l2(1);
+  const CacheLine* dl = l2.find(align_down(r.dst, 64));
+  ASSERT_NE(dl, nullptr);
+  EXPECT_TRUE(dl->dirty());
+}
+
+TEST(DmaIncoherent, MisalignedRejected) {
+  Rig r;
+  EXPECT_THROW(r.h.dma_copy(0, r.src + 1, 1, r.dst, 8), CheckFailure);
+  EXPECT_THROW(r.h.dma_copy(0, r.src, 1, r.dst + 2, 8), CheckFailure);
+  EXPECT_THROW(r.h.dma_copy(0, r.src, 1, r.dst, 6), CheckFailure);
+  EXPECT_THROW(r.h.dma_copy(0, r.src, 9, r.dst, 8), CheckFailure);
+}
+
+TEST(DmaMesi, CoherentCopyVisibleEverywhere) {
+  MachineConfig mc = MachineConfig::inter_block();
+  GlobalMemory gmem;
+  SimStats stats(32);
+  MesiHierarchy h(mc, gmem, stats);
+  const Addr src = gmem.alloc(256, "src");
+  const Addr dst = gmem.alloc(256, "dst");
+  for (Addr off = 0; off < 256; off += 4) {
+    gmem.init(src + off, static_cast<std::uint32_t>(off + 5));
+    gmem.init(dst + off, std::uint32_t{0});
+  }
+  // Several cores cache the (old) destination.
+  std::uint32_t v = 0;
+  for (CoreId c : {0, 9, 17, 25}) h.read(c, dst, 4, &v);
+  h.dma_copy(0, src, 1, dst, 256);
+  for (CoreId c : {0, 9, 17, 25, 31}) {
+    h.read(c, dst, 4, &v);
+    ASSERT_EQ(v, 5u) << "core " << c;
+  }
+}
+
+TEST(DmaThread, EngineIntegrationWithGhostHandoff) {
+  // A thread in block 0 produces, block-barriers, DMAs to block 1; a block-1
+  // thread invalidates and consumes.
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  const Addr src = m.mem().alloc_array<double>(8, "src");
+  const Addr dst = m.mem().alloc_array<double>(8, "dst");
+  for (int i = 0; i < 8; ++i) {
+    m.mem().init(src + i * 8, 0.0);
+    m.mem().init(dst + i * 8, 0.0);
+  }
+  const auto done = m.make_barrier(16);
+  double got = 0;
+  m.run(16, [&](Thread& t) {
+    if (t.tid() == 0) {
+      for (int i = 0; i < 8; ++i) t.store<double>(src + i * 8, 2.5 * i);
+      t.services().wb_range({src, 64}, Level::L2);
+      t.dma_copy(0, src, 1, dst, 64);
+    }
+    t.services().barrier(done.id);
+    if (t.tid() == 8) {
+      t.services().inv_range({dst, 64}, Level::L1);
+      double sum = 0;
+      for (int i = 0; i < 8; ++i) sum += t.load<double>(dst + i * 8);
+      got = sum;
+    }
+    t.services().barrier(done.id);
+  });
+  EXPECT_EQ(got, 2.5 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+  EXPECT_EQ(m.stats().ops().stale_word_reads, 0u);
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,294 @@
+// Tests for the deterministic simulation engine: scheduling, blocking sync,
+// stall attribution, and failure handling.
+#include <gtest/gtest.h>
+
+#include "core/incoherent.hpp"
+#include "sim/engine.hpp"
+
+namespace hic {
+namespace {
+
+struct Rig {
+  MachineConfig mc = MachineConfig::intra_block();
+  GlobalMemory gmem;
+  SimStats stats{16};
+  IncoherentHierarchy hier{mc, gmem, stats};
+  SyncController sync{16};
+  Engine eng{hier, sync};
+};
+
+TEST(Engine, SingleCoreComputeAdvancesClock) {
+  Rig r;
+  Cycle seen = 0;
+  r.eng.run({[&](CoreServices& s) {
+    s.compute(123);
+    seen = s.now();
+  }});
+  EXPECT_EQ(seen, 123u);
+  EXPECT_EQ(r.eng.finish_time(), 123u);
+  EXPECT_EQ(r.stats.stalls(0).get(StallKind::Rest), 123u);
+}
+
+TEST(Engine, CoresRunIndependently) {
+  Rig r;
+  r.eng.run({[](CoreServices& s) { s.compute(100); },
+             [](CoreServices& s) { s.compute(500); }});
+  EXPECT_EQ(r.eng.finish_time(), 500u);
+  EXPECT_EQ(r.stats.stalls(0).total(), 100u);
+  EXPECT_EQ(r.stats.stalls(1).total(), 500u);
+}
+
+TEST(Engine, BarrierBlocksUntilAllArrive) {
+  Rig r;
+  const SyncId b = r.sync.declare_barrier(2, 0);
+  Cycle t0 = 0, t1 = 0;
+  r.eng.run({[&](CoreServices& s) {
+               s.compute(1000);
+               s.barrier(b);
+               t0 = s.now();
+             },
+             [&](CoreServices& s) {
+               s.compute(10);
+               s.barrier(b);
+               t1 = s.now();
+             }});
+  // The fast core waits for the slow one: both leave at >= 1000.
+  EXPECT_GE(t0, 1000u);
+  EXPECT_GE(t1, 1000u);
+  // The fast core's wait is charged as barrier stall.
+  EXPECT_GT(r.stats.stalls(1).get(StallKind::BarrierStall), 900u);
+}
+
+TEST(Engine, LockSerializesAndChargesLockStall) {
+  Rig r;
+  const SyncId l = r.sync.declare_lock(0);
+  const Addr a = r.gmem.alloc_array<std::uint64_t>(1, "ctr");
+  r.gmem.init(a, std::uint64_t{0});
+  // Raw engine locks carry no annotations, so the critical section supplies
+  // its own INV (fresh read) and WB (publish before release).
+  auto body = [&](CoreServices& s) {
+    s.lock(l);
+    s.inv_range({a, 8}, Level::L1);
+    std::uint64_t v = 0;
+    s.load(a, 8, &v);
+    s.compute(200);
+    ++v;
+    s.store(a, 8, &v);
+    s.wb_range({a, 8}, Level::L2);
+    s.unlock(l);
+  };
+  r.eng.run({body, body, body, body});
+  std::uint64_t v = 0;
+  r.hier.inv_range(0, {a, 8}, Level::L1);  // drop core 0's stale copy
+  r.hier.read(0, a, 8, &v);
+  EXPECT_EQ(v, 4u) << "critical sections must be mutually exclusive";
+  // Someone must have waited.
+  Cycle lock_stall = 0;
+  for (int c = 0; c < 4; ++c)
+    lock_stall += r.stats.stalls(c).get(StallKind::LockStall);
+  EXPECT_GT(lock_stall, 400u);
+}
+
+TEST(Engine, FlagHandoff) {
+  Rig r;
+  const SyncId f = r.sync.declare_flag(0, 0);
+  Cycle consumer_done = 0;
+  r.eng.run({[&](CoreServices& s) {
+               s.compute(5000);
+               s.flag_set(f, 1);
+             },
+             [&](CoreServices& s) {
+               s.flag_wait(f, 1);
+               consumer_done = s.now();
+             }});
+  EXPECT_GE(consumer_done, 5000u);
+  EXPECT_GT(r.stats.stalls(1).get(StallKind::BarrierStall), 4000u);
+}
+
+TEST(Engine, DeterministicCycleCounts) {
+  Cycle first = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Rig r;
+    const SyncId l = r.sync.declare_lock(0);
+    const Addr a = r.gmem.alloc(4096, "buf");
+    std::vector<Engine::CoreBody> bodies;
+    for (int c = 0; c < 8; ++c) {
+      bodies.push_back([&, c](CoreServices& s) {
+        for (int i = 0; i < 50; ++i) {
+          std::uint32_t v = static_cast<std::uint32_t>(i);
+          s.store(a + static_cast<Addr>((c * 50 + i) % 64) * 64, 4, &v);
+          s.compute(static_cast<Cycle>(3 + (i % 5)));
+          if (i % 10 == 0) {
+            s.lock(l);
+            s.compute(20);
+            s.unlock(l);
+          }
+        }
+      });
+    }
+    r.eng.run(std::move(bodies));
+    if (rep == 0) {
+      first = r.eng.finish_time();
+    } else {
+      ASSERT_EQ(r.eng.finish_time(), first);
+    }
+  }
+  EXPECT_GT(first, 0u);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Rig r;
+  const SyncId b = r.sync.declare_barrier(2, 0);
+  // Only one core arrives at a 2-party barrier: guaranteed deadlock.
+  EXPECT_THROW(r.eng.run({[&](CoreServices& s) { s.barrier(b); }}),
+               CheckFailure);
+}
+
+TEST(Engine, WbOpsChargedAsWbStall) {
+  Rig r;
+  const Addr a = r.gmem.alloc(64 * 64, "buf");
+  r.eng.run({[&](CoreServices& s) {
+    std::uint32_t v = 1;
+    for (int l = 0; l < 32; ++l) s.store(a + l * 64u, 4, &v);
+    s.wb_all(Level::L2);
+    s.drain_write_buffer();
+  }});
+  EXPECT_GT(r.stats.stalls(0).get(StallKind::WbStall), 0u);
+}
+
+TEST(Engine, InvOpsChargedAsInvStall) {
+  Rig r;
+  const Addr a = r.gmem.alloc(64 * 8, "buf");
+  r.eng.run({[&](CoreServices& s) {
+    std::uint32_t v = 0;
+    for (int l = 0; l < 8; ++l) s.load(a + l * 64u, 4, &v);
+    s.inv_all(Level::L1);
+    // A load after INV ALL must wait for the INV to drain (§III-C).
+    s.load(a, 4, &v);
+  }});
+  EXPECT_GT(r.stats.stalls(0).get(StallKind::InvStall), 0u);
+}
+
+TEST(Engine, SyncTrafficCounted) {
+  Rig r;
+  const SyncId b = r.sync.declare_barrier(2, 0);
+  r.eng.run({[&](CoreServices& s) { s.barrier(b); },
+             [&](CoreServices& s) { s.barrier(b); }});
+  EXPECT_GE(r.stats.traffic().get(TrafficKind::Sync), 4u);
+}
+
+TEST(Engine, StallBucketsSumToClock) {
+  Rig r;
+  const SyncId l = r.sync.declare_lock(0);
+  const Addr a = r.gmem.alloc(4096, "buf");
+  r.eng.run({[&](CoreServices& s) {
+               std::uint32_t v = 1;
+               s.compute(50);
+               s.store(a, 4, &v);
+               s.lock(l);
+               s.compute(100);
+               s.unlock(l);
+               s.wb_all(Level::L2);
+               s.drain_write_buffer();
+             },
+             [&](CoreServices& s) {
+               s.lock(l);
+               s.compute(10);
+               s.unlock(l);
+             }});
+  for (int c = 0; c < 2; ++c) {
+    // Every elapsed cycle lands in exactly one bucket.
+    EXPECT_GT(r.stats.stalls(c).total(), 0u);
+  }
+  EXPECT_EQ(std::max(r.stats.stalls(0).total(), r.stats.stalls(1).total()),
+            r.eng.finish_time());
+}
+
+TEST(Engine, WakerQuantumClippedAfterRelease) {
+  // Regression: a core that releases a barrier used to keep its stale
+  // quantum (computed while the peers were blocked — i.e. unbounded) and
+  // could run arbitrarily far ahead, so a consumer's spin loop executed
+  // entirely before the producer's store in functional order.
+  Rig r;
+  const SyncId start = r.sync.declare_barrier(2, 0);
+  const Addr flag = r.gmem.alloc_array<std::uint32_t>(1, "flag");
+  r.gmem.init(flag, std::uint32_t{0});
+  Cycle seen_at = 0;
+  r.eng.run({[&](CoreServices& s) {
+               s.barrier(start);
+               s.compute(2000);
+               std::uint32_t one = 1;
+               s.store(flag, 4, &one);
+               s.wb_range({flag, 4}, Level::L2);  // publish
+             },
+             [&](CoreServices& s) {
+               s.barrier(start);  // releases core 0
+               // MESI-free check: read through the hierarchy repeatedly;
+               // the incoherent L1 caches the first fetch, so invalidate
+               // each time to observe the true shared state.
+               for (int i = 0; i < 2000; ++i) {
+                 s.inv_range({flag, 4}, Level::L1);
+                 std::uint32_t v = 0;
+                 s.load(flag, 4, &v);
+                 if (v != 0) {
+                   seen_at = s.now();
+                   break;
+                 }
+                 s.compute(10);
+               }
+             }});
+  ASSERT_GT(seen_at, 0u) << "consumer never saw the store";
+  // With bounded skew the store (at ~2000 on core 0) becomes visible within
+  // a couple of slack quanta, not after tens of thousands of cycles.
+  EXPECT_LT(seen_at, 2000u + 4 * 1024u + 2000u);
+  EXPECT_GT(seen_at, 1000u);
+}
+
+TEST(Engine, MoreBodiesThanCoresRejected) {
+  Rig r;
+  std::vector<Engine::CoreBody> bodies(17, [](CoreServices&) {});
+  EXPECT_THROW(r.eng.run(std::move(bodies)), CheckFailure);
+}
+
+TEST(Engine, WorkloadExceptionFailsTheRunCleanly) {
+  // A check failure inside one core's body must surface from run() (not
+  // terminate the process), even while other cores are blocked on sync.
+  Rig r;
+  const SyncId l = r.sync.declare_lock(0);
+  const SyncId b = r.sync.declare_barrier(3, 0);
+  EXPECT_THROW(
+      r.eng.run({[&](CoreServices& s) {
+                   s.lock(l);
+                   s.compute(1000);
+                   s.unlock(l);
+                   s.barrier(b);
+                 },
+                 [&](CoreServices& s) {
+                   s.lock(l);  // blocked behind core 0
+                   s.unlock(l);
+                   s.barrier(b);
+                 },
+                 [&](CoreServices& s) {
+                   s.compute(10);
+                   HIC_CHECK_MSG(false, "injected workload failure");
+                   s.barrier(b);
+                 }}),
+      CheckFailure);
+  // The engine is left torn down but the process lives; a fresh engine on
+  // the same hierarchy still works.
+  Engine eng2(r.hier, r.sync);
+  eng2.run({[](CoreServices& s) { s.compute(5); }});
+  EXPECT_EQ(eng2.finish_time(), 5u);
+}
+
+TEST(Engine, SyncMisuseSurfacesAsException) {
+  Rig r;
+  const SyncId l = r.sync.declare_lock(0);
+  EXPECT_THROW(r.eng.run({[&](CoreServices& s) {
+                 s.unlock(l);  // release without holding
+               }}),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace hic

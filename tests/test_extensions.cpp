@@ -1,0 +1,325 @@
+// Tests for the extension features beyond the paper's core evaluation:
+// the hierarchical-reduction EP rewrite (the paper's §VII-C suggestion),
+// block-local critical sections, and the stats report formats.
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "stats/energy.hpp"
+#include "stats/report.hpp"
+
+namespace hic {
+namespace {
+
+class EpHierTest : public testing::TestWithParam<Config> {};
+
+TEST_P(EpHierTest, VerifiesUnderEveryConfig) {
+  auto w = make_workload("ep-hier");
+  Machine m(MachineConfig::inter_block(), GetParam());
+  run_workload(*w, m, 32);
+  const WorkloadResult r = w->verify(m);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, EpHierTest,
+                         testing::Values(Config::InterHcc, Config::InterBase,
+                                         Config::InterAddr,
+                                         Config::InterAddrL),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n)
+                             if (c == '+') c = '_';
+                           return n;
+                         });
+
+TEST(EpHier, ReducesGlobalWritebacksVsFlat) {
+  auto flat = make_workload("ep");
+  Machine mf(MachineConfig::inter_block(), Config::InterAddrL);
+  run_workload(*flat, mf, 32);
+  auto hier = make_workload("ep-hier");
+  Machine mh(MachineConfig::inter_block(), Config::InterAddrL);
+  run_workload(*hier, mh, 32);
+  const auto flat_global =
+      mf.stats().ops().global_wb_lines + mf.stats().ops().adaptive_global_wb;
+  const auto hier_global =
+      mh.stats().ops().global_wb_lines + mh.stats().ops().adaptive_global_wb;
+  EXPECT_LT(hier_global, flat_global)
+      << "block-then-global reduction must cut global writebacks";
+}
+
+TEST(BlockLocalLock, KeepsCsTrafficAtL2) {
+  // A counter incremented only by the threads of block 1 under a
+  // block-local lock never reaches the L3: a block-0 reader sees 0.
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  const Addr ctr = m.mem().alloc_array<std::uint64_t>(1, "ctr");
+  m.mem().init(ctr, std::uint64_t{0});
+  const auto lk = m.make_lock(false, {ctr, 8}, /*block_local=*/true);
+  const auto done = m.make_barrier(16);
+  std::uint64_t remote_view = 99;
+  std::uint64_t local_view = 0;
+  m.run(16, [&](Thread& t) {
+    if (t.tid() >= 8) {  // block 1
+      t.lock(lk);
+      t.store<std::uint64_t>(ctr, t.load<std::uint64_t>(ctr) + 1);
+      t.unlock(lk);
+    }
+    // Raw barrier: an annotated barrier would WB ALL and publish the
+    // counter; here we observe the lock's own scoping.
+    t.services().barrier(done.id);
+    if (t.tid() == 0) {
+      // Block 0 reads through the L3: the value never left block 1's L2.
+      remote_view = t.load<std::uint64_t>(ctr);
+    }
+    if (t.tid() == 8) {
+      t.lock(lk);
+      local_view = t.load<std::uint64_t>(ctr);
+      t.unlock(lk);
+    }
+    t.services().barrier(done.id);
+  });
+  EXPECT_EQ(local_view, 8u) << "in-block holders see every increment";
+  EXPECT_EQ(remote_view, 0u)
+      << "a block-local CS must not publish to the L3";
+}
+
+TEST(BlockLocalLock, GlobalLockDoesPublish) {
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  const Addr ctr = m.mem().alloc_array<std::uint64_t>(1, "ctr");
+  m.mem().init(ctr, std::uint64_t{0});
+  const auto lk = m.make_lock(false, {ctr, 8}, /*block_local=*/false);
+  const auto done = m.make_barrier(16);
+  std::uint64_t remote_view = 0;
+  m.run(16, [&](Thread& t) {
+    if (t.tid() >= 8) {
+      t.lock(lk);
+      t.store<std::uint64_t>(ctr, t.load<std::uint64_t>(ctr) + 1);
+      t.unlock(lk);
+    }
+    t.barrier(done);
+    if (t.tid() == 0) {
+      t.lock(lk);  // CS INV gives a fresh view
+      remote_view = t.load<std::uint64_t>(ctr);
+      t.unlock(lk);
+    }
+    t.barrier(done);
+  });
+  EXPECT_EQ(remote_view, 8u);
+}
+
+// --- Operand-granularity WB/INV sugar (§III-B) ---------------------------------------
+
+TEST(OperandGranularity, TypedWbInvHandoff) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr x = m.mem().alloc_array<double>(2, "x");
+  m.mem().init(x, 0.0);
+  m.mem().init(x + 8, 0.0);
+  const auto done = m.make_barrier(2);
+  double got = -1;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<double>(x, 1.5);
+      t.wb_operand<double>(x);  // double-word flavor
+    }
+    t.services().barrier(done.id);
+    if (t.tid() == 1) {
+      t.inv_operand<double>(x);
+      got = t.load<double>(x);
+    }
+    t.services().barrier(done.id);
+  });
+  EXPECT_EQ(got, 1.5);
+}
+
+// --- WB_CONS ALL / INV_PROD ALL epoch wrappers --------------------------------------
+
+TEST(EpochAllVariants, AdaptiveAllStaysLocalForBlockPeer) {
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  const Addr x = m.mem().alloc_array<double>(4, "x");
+  for (int i = 0; i < 4; ++i) m.mem().init(x + i * 8, 0.0);
+  const auto done = m.make_barrier(16);
+  double local_got = -1, remote_got = -1;
+  m.run(16, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<double>(x, 3.25);
+      t.epoch_produce_all(/*consumer=*/2);  // same block: WB_CONS ALL -> L2
+    }
+    t.services().barrier(done.id);
+    if (t.tid() == 2) {
+      t.epoch_consume_all(/*producer=*/0);  // same block: INV_PROD ALL -> L1
+      local_got = t.load<double>(x);
+    }
+    if (t.tid() == 9) {  // block 1: never published to the L3
+      t.services().inv_range({x, 8}, Level::L2);
+      remote_got = t.load<double>(x);
+    }
+    t.services().barrier(done.id);
+  });
+  EXPECT_EQ(local_got, 3.25);
+  EXPECT_EQ(remote_got, 0.0);
+  EXPECT_EQ(m.stats().ops().adaptive_local_wb, 1u);
+  EXPECT_EQ(m.stats().ops().adaptive_local_inv, 1u);
+}
+
+TEST(EpochAllVariants, AdaptiveAllGoesGlobalForRemotePeer) {
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  const Addr x = m.mem().alloc_array<double>(1, "x");
+  m.mem().init(x, 0.0);
+  const auto done = m.make_barrier(16);
+  double got = -1;
+  m.run(16, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<double>(x, 6.5);
+      t.epoch_produce_all(/*consumer=*/12);  // block 1: must reach the L3
+    }
+    t.services().barrier(done.id);
+    if (t.tid() == 12) {
+      t.epoch_consume_all(/*producer=*/0);
+      got = t.load<double>(x);
+    }
+    t.services().barrier(done.id);
+  });
+  EXPECT_EQ(got, 6.5);
+  EXPECT_EQ(m.stats().ops().adaptive_global_wb, 1u);
+  EXPECT_EQ(m.stats().ops().adaptive_global_inv, 1u);
+}
+
+// --- Model 1's block barrier ------------------------------------------------------
+
+TEST(BlockBarrier, PublishesWithinBlockOnly) {
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  const Addr x = m.mem().alloc_array<double>(1, "x");
+  m.mem().init(x, 0.0);
+  // A barrier among block 0's threads only.
+  const auto bb = m.make_barrier(8);
+  const auto done = m.make_barrier(16);
+  double in_block = 0, cross_block = 1;
+  m.run(16, [&](Thread& t) {
+    if (t.tid() < 8) {
+      if (t.tid() == 0) t.store<double>(x, 7.5);
+      t.barrier_block(bb);
+      if (t.tid() == 5) in_block = t.load<double>(x);
+    }
+    t.services().barrier(done.id);  // raw: no extra publishing
+    if (t.tid() == 12) cross_block = t.load<double>(x);  // block 1
+    t.services().barrier(done.id);
+  });
+  EXPECT_EQ(in_block, 7.5) << "the block barrier publishes inside the block";
+  EXPECT_EQ(cross_block, 0.0)
+      << "a block barrier must not publish to the L3 (that is MPI's job)";
+}
+
+TEST(BlockBarrier, NoOpAnnotationsUnderHcc) {
+  Machine m(MachineConfig::inter_block(), Config::InterHcc);
+  const auto bb = m.make_barrier(4);
+  m.run(4, [&](Thread& t) { t.barrier_block(bb); });
+  EXPECT_EQ(m.stats().ops().wb_ops, 0u);
+  EXPECT_EQ(m.stats().ops().inv_ops, 0u);
+}
+
+// --- Stats report formats -------------------------------------------------------
+
+TEST(Report, SummaryMentionsEverySection) {
+  SimStats s(4);
+  s.stalls(0).add(StallKind::Rest, 100);
+  s.stalls(1).add(StallKind::LockStall, 40);
+  s.traffic().add(TrafficKind::Linefill, 10);
+  s.ops().loads = 5;
+  const std::string sum = summarize(s);
+  for (const char* needle :
+       {"execution time: 100 cycles", "lock stall: 10", "linefill: 10",
+        "5 loads", "stale word reads"}) {
+    EXPECT_NE(sum.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, JsonIsBalancedAndComplete) {
+  SimStats s(2);
+  s.stalls(0).add(StallKind::WbStall, 7);
+  s.traffic().add(TrafficKind::Sync, 3);
+  s.ops().meb_overflows = 2;
+  const std::string j = to_json(s);
+  // Structural sanity: balanced braces/quotes, expected keys present.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '"') % 2, 0);
+  for (const char* key :
+       {"\"exec_cycles\":7", "\"wb_stall\":7", "\"sync\":3",
+        "\"meb_overflows\":2", "\"stale_word_reads\":0"}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+// --- Energy model -----------------------------------------------------------------
+
+TEST(Energy, ZeroStatsZeroEnergy) {
+  SimStats s(4);
+  const EnergyBreakdown e = estimate_energy(s);
+  EXPECT_EQ(e.total_pj(), 0.0);
+}
+
+TEST(Energy, ComponentsScaleWithCounters) {
+  SimStats s(4);
+  s.ops().loads = 1000;
+  EnergyBreakdown e1 = estimate_energy(s);
+  EXPECT_GT(e1.cache_pj, 0.0);
+  EXPECT_EQ(e1.network_pj, 0.0);
+  s.traffic().add(TrafficKind::Linefill, 100);
+  EnergyBreakdown e2 = estimate_energy(s);
+  EXPECT_GT(e2.network_pj, 0.0);
+  s.ops().dir_invalidations_sent = 50;
+  EnergyBreakdown e3 = estimate_energy(s);
+  EXPECT_GT(e3.control_pj, e2.control_pj);
+  // Doubling the loads doubles the L1 energy component.
+  s.ops().loads = 2000;
+  EnergyBreakdown e4 = estimate_energy(s);
+  EXPECT_GT(e4.cache_pj, e3.cache_pj);
+}
+
+TEST(Energy, CustomParamsRespected) {
+  SimStats s(4);
+  s.ops().loads = 100;
+  EnergyParams p;
+  p.l1_access_pj = 100.0;
+  const EnergyBreakdown expensive = estimate_energy(s, p);
+  const EnergyBreakdown stock = estimate_energy(s);
+  EXPECT_GT(expensive.cache_pj, stock.cache_pj);
+}
+
+TEST(Energy, IncoherentControlEnergyIsTiny) {
+  // Run the same app under HCC and B+M+I: the control component must swap
+  // directory lookups for (much cheaper) buffer lookups.
+  auto run_energy = [](Config cfg) {
+    auto w = make_workload("water-spatial");
+    Machine m(MachineConfig::intra_block(), cfg);
+    run_workload(*w, m, 16);
+    return estimate_energy(m.stats());
+  };
+  const EnergyBreakdown hcc = run_energy(Config::Hcc);
+  const EnergyBreakdown bmi = run_energy(Config::BaseMebIeb);
+  EXPECT_GT(hcc.control_pj, 0.0);
+  EXPECT_LT(bmi.control_pj, hcc.control_pj);
+}
+
+TEST(Energy, ReportMentionsComponents) {
+  SimStats s(2);
+  s.ops().loads = 10;
+  const std::string rep = energy_report(estimate_energy(s));
+  EXPECT_NE(rep.find("cache arrays"), std::string::npos);
+  EXPECT_NE(rep.find("network"), std::string::npos);
+  EXPECT_NE(rep.find("uJ"), std::string::npos);
+}
+
+TEST(Report, JsonTracksRealRun) {
+  auto w = make_workload("fft");
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  const Cycle cycles = run_workload(*w, m, 16);
+  const std::string j = to_json(m.stats());
+  EXPECT_NE(j.find("\"exec_cycles\":" + std::to_string(cycles)),
+            std::string::npos);
+  EXPECT_NE(j.find("\"invalidation\":0"), std::string::npos)
+      << "incoherent runs carry zero invalidation traffic";
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,152 @@
+// Fault injection: deliberately wrong or missing annotations MUST be caught
+// — by wrong results read through the hierarchy, or by the staleness
+// monitor. These tests prove the verification machinery has teeth: if they
+// ever pass with a sabotaged protocol, the functional model has gone soft.
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "compiler/analysis.hpp"
+
+namespace hic {
+namespace {
+
+/// A Jacobi-like two-epoch handoff with a deliberately DROPPED annotation
+/// at one point; parameterized by which side is sabotaged.
+enum class Sabotage { None, DropProducerWb, DropConsumerInv };
+
+double run_handoff(Sabotage s, std::uint64_t* stale_reads = nullptr) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr data = m.mem().alloc_array<double>(64, "data");
+  const Addr out = m.mem().alloc_array<double>(1, "out");
+  for (int i = 0; i < 64; ++i) m.mem().init(data + i * 8, 0.0);
+  m.mem().init(out, 0.0);
+  const auto bar = m.make_barrier(2);
+  m.run(2, [&](Thread& t) {
+    // Epoch 1: the consumer warms copies (a raw barrier keeps them cached —
+    // every annotation in this scenario is placed by hand).
+    if (t.tid() == 1) {
+      for (int i = 0; i < 64; ++i) (void)t.load<double>(data + i * 8);
+    }
+    t.services().barrier(bar.id);
+    // Epoch 2: the producer overwrites.
+    if (t.tid() == 0) {
+      for (int i = 0; i < 64; ++i) t.store<double>(data + i * 8, 2.0);
+      if (s != Sabotage::DropProducerWb) t.services().wb_all(Level::L2);
+    }
+    t.services().barrier(bar.id);  // raw barrier: annotations are manual
+    if (t.tid() == 1) {
+      if (s != Sabotage::DropConsumerInv) t.services().inv_all(Level::L1);
+      double sum = 0;
+      for (int i = 0; i < 64; ++i) sum += t.load<double>(data + i * 8);
+      t.store(out, sum);
+      t.services().wb_all(Level::L2);
+    }
+    t.services().barrier(bar.id);
+  });
+  if (stale_reads != nullptr) *stale_reads = m.stats().ops().stale_word_reads;
+  VerifyReader rd(m);
+  return rd.read<double>(out);
+}
+
+TEST(FaultInjection, CorrectAnnotationsProduceCorrectSum) {
+  std::uint64_t stale = 99;
+  EXPECT_EQ(run_handoff(Sabotage::None, &stale), 128.0);
+  EXPECT_EQ(stale, 0u);
+}
+
+TEST(FaultInjection, DroppedWbLosesTheUpdate) {
+  std::uint64_t stale = 0;
+  const double sum = run_handoff(Sabotage::DropProducerWb, &stale);
+  EXPECT_EQ(sum, 0.0) << "without the WB the consumer must see old zeros";
+  EXPECT_GT(stale, 0u) << "the monitor must flag the stale reads";
+}
+
+TEST(FaultInjection, DroppedInvReadsStaleCopies) {
+  std::uint64_t stale = 0;
+  const double sum = run_handoff(Sabotage::DropConsumerInv, &stale);
+  EXPECT_EQ(sum, 0.0) << "the consumer's warmed copies must win";
+  EXPECT_GT(stale, 0u);
+}
+
+TEST(FaultInjection, StrippedDirectivesFailJacobi) {
+  // Run the real Jacobi workload's algorithm but with ALL epoch directives
+  // stripped (plain raw barriers) under InterAddr: verification-style reads
+  // must disagree with the serial reference.
+  Machine m(MachineConfig::inter_block(), Config::InterAddr);
+  constexpr std::int64_t kG = 64;
+  Addr g0 = m.mem().alloc_array<double>(kG * kG, "g0");
+  Addr g1 = m.mem().alloc_array<double>(kG * kG, "g1");
+  for (std::int64_t i = 0; i < kG * kG; ++i) {
+    const double v = (i < kG || i >= kG * (kG - 1) || i % kG == 0 ||
+                      i % kG == kG - 1)
+                         ? 1.0
+                         : 0.0;
+    m.mem().init(g0 + static_cast<Addr>(i) * 8, v);
+    m.mem().init(g1 + static_cast<Addr>(i) * 8, v);
+  }
+  const auto bar = m.make_barrier(32);
+  m.run(32, [&](Thread& t) {
+    const auto [rf, rl] = chunk_range(kG - 2, 32, t.tid());
+    for (int it = 0; it < 4; ++it) {
+      const Addr src = it % 2 == 0 ? g0 : g1;
+      const Addr dst = it % 2 == 0 ? g1 : g0;
+      for (std::int64_t r = rf; r < rl; ++r) {
+        const std::int64_t i = r + 1;
+        for (std::int64_t j = 1; j < kG - 1; ++j) {
+          const double v =
+              0.25 * (t.load<double>(src + ((i - 1) * kG + j) * 8) +
+                      t.load<double>(src + ((i + 1) * kG + j) * 8) +
+                      t.load<double>(src + (i * kG + j - 1) * 8) +
+                      t.load<double>(src + (i * kG + j + 1) * 8));
+          t.store(dst + static_cast<Addr>(i * kG + j) * 8, v);
+        }
+      }
+      t.services().barrier(bar.id);  // NO produce/consume directives
+    }
+  });
+  // Serial reference.
+  std::vector<double> a(static_cast<std::size_t>(kG * kG)),
+      b(static_cast<std::size_t>(kG * kG));
+  for (std::int64_t i = 0; i < kG * kG; ++i)
+    a[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] =
+        (i < kG || i >= kG * (kG - 1) || i % kG == 0 || i % kG == kG - 1)
+            ? 1.0
+            : 0.0;
+  for (int it = 0; it < 4; ++it) {
+    auto& s = it % 2 == 0 ? a : b;
+    auto& d = it % 2 == 0 ? b : a;
+    for (std::int64_t i = 1; i < kG - 1; ++i)
+      for (std::int64_t j = 1; j < kG - 1; ++j)
+        d[static_cast<std::size_t>(i * kG + j)] =
+            0.25 * (s[static_cast<std::size_t>((i - 1) * kG + j)] +
+                    s[static_cast<std::size_t>((i + 1) * kG + j)] +
+                    s[static_cast<std::size_t>(i * kG + j - 1)] +
+                    s[static_cast<std::size_t>(i * kG + j + 1)]);
+  }
+  EXPECT_GT(m.stats().ops().stale_word_reads, 0u)
+      << "stripped directives must cause observable staleness";
+}
+
+TEST(FaultInjection, WrongLevelWbIsInsufficientAcrossBlocks) {
+  // Publishing only to the L2 cannot serve a cross-block consumer.
+  Machine m(MachineConfig::inter_block(), Config::InterAddr);
+  const Addr x = m.mem().alloc_array<double>(1, "x");
+  m.mem().init(x, 0.0);
+  const auto bar = m.make_barrier(2);
+  double got = -1;
+  m.run(16, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<double>(x, 9.0);
+      t.services().wb_range({x, 8}, Level::L2);  // WRONG: should be L3
+      t.services().barrier(bar.id);
+    } else if (t.tid() == 8) {  // block 1
+      t.services().barrier(bar.id);
+      t.services().inv_range({x, 8}, Level::L2);
+      got = t.load<double>(x);
+    }
+  });
+  EXPECT_EQ(got, 0.0) << "an L2-only WB must be invisible across blocks";
+}
+
+}  // namespace
+}  // namespace hic

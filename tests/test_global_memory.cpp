@@ -1,0 +1,96 @@
+// Unit tests for the simulated global address space: the DRAM-vs-shadow
+// split is what makes incoherence functionally real.
+#include <gtest/gtest.h>
+
+#include "mem/global_memory.hpp"
+
+namespace hic {
+namespace {
+
+TEST(GlobalMemory, AllocAlignment) {
+  GlobalMemory g;
+  const Addr a = g.alloc(10, "a");
+  const Addr b = g.alloc(10, "b");
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_NE(align_down(a, 64), align_down(b, 64))
+      << "distinct allocations must not share a line by default";
+}
+
+TEST(GlobalMemory, CustomAlignment) {
+  GlobalMemory g;
+  const Addr a = g.alloc(10, "a", 4096);
+  EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(GlobalMemory, RegionLookup) {
+  GlobalMemory g;
+  const Addr a = g.alloc_array<double>(100, "matrix");
+  const AddrRange r = g.region("matrix");
+  EXPECT_EQ(r.base, a);
+  EXPECT_EQ(r.bytes, 800u);
+  EXPECT_THROW(g.region("nope"), CheckFailure);
+}
+
+TEST(GlobalMemory, InitWritesBothSides) {
+  GlobalMemory g;
+  const Addr a = g.alloc_array<double>(1, "x");
+  g.init(a, 3.5);
+  EXPECT_EQ(g.shadow_read<double>(a), 3.5);
+  double dram = 0;
+  std::byte buf[8];
+  g.dram_read(a, buf);
+  std::memcpy(&dram, buf, 8);
+  EXPECT_EQ(dram, 3.5);
+}
+
+TEST(GlobalMemory, ShadowAndDramAreIndependent) {
+  GlobalMemory g;
+  const Addr a = g.alloc_array<std::uint64_t>(1, "x");
+  g.init(a, std::uint64_t{1});
+  // A store that never gets written back updates only the shadow.
+  g.shadow_write<std::uint64_t>(a, 42);
+  std::uint64_t dram = 0;
+  std::byte buf[8];
+  g.dram_read(a, buf);
+  std::memcpy(&dram, buf, 8);
+  EXPECT_EQ(dram, 1u) << "DRAM must not see a store that was not written back";
+  EXPECT_EQ(g.shadow_read<std::uint64_t>(a), 42u);
+  // A writeback reaching memory updates the DRAM side.
+  const std::uint64_t v = 42;
+  g.dram_write(a, std::as_bytes(std::span(&v, 1)));
+  g.dram_read(a, buf);
+  std::memcpy(&dram, buf, 8);
+  EXPECT_EQ(dram, 42u);
+}
+
+TEST(GlobalMemory, OutOfBoundsRejected) {
+  GlobalMemory g;
+  const Addr a = g.alloc(64, "only");
+  std::byte buf[8];
+  EXPECT_THROW(g.dram_read(a - 64, {buf, 8}), CheckFailure);
+  EXPECT_THROW(g.shadow_read<double>(a + (1 << 20)), CheckFailure);
+}
+
+TEST(GlobalMemory, LinePaddingCoversWholeLineFetch) {
+  GlobalMemory g;
+  const Addr a = g.alloc(8, "tiny");  // 8 bytes, but fetches are 64B
+  std::byte line[64];
+  EXPECT_NO_THROW(g.dram_read(align_down(a, 64), line));
+}
+
+TEST(GlobalMemory, CapacityEnforced) {
+  GlobalMemory g(1024);
+  g.alloc(512, "a");
+  EXPECT_THROW(g.alloc(1024, "too big"), CheckFailure);
+}
+
+TEST(GlobalMemory, BytesAllocatedTracks) {
+  GlobalMemory g;
+  EXPECT_EQ(g.bytes_allocated(), 0u);
+  g.alloc(100, "a");
+  EXPECT_GE(g.bytes_allocated(), 100u);
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,103 @@
+// Golden-statistics regression: every (app, config) pair's cycle count and
+// flit total is pinned against tests/data/golden_stats.csv. The simulator
+// is bit-deterministic, so any diff means the timing/traffic model changed
+// — intentionally or not.
+//
+// To regenerate after an intentional model change:
+//   HIC_UPDATE_GOLDEN=1 ./hic_tests --gtest_filter='Golden*'
+//   cp <printed path> tests/data/golden_stats.csv
+//
+// NOTE: the numbers depend on the exact workload access streams; a few
+// workloads derive values through libm (log/cos), whose last-ulp behavior
+// can differ between toolchains and shift data-dependent access patterns.
+// Goldens are therefore toolchain-specific; regenerate when switching.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+namespace {
+
+struct Golden {
+  Cycle cycles = 0;
+  std::uint64_t flits = 0;
+};
+
+using GoldenMap = std::map<std::string, Golden>;
+
+std::string golden_path() {
+  return std::string(HIC_TEST_DATA_DIR) + "/golden_stats.csv";
+}
+
+GoldenMap load_goldens() {
+  GoldenMap m;
+  std::ifstream in(golden_path());
+  if (!in) return m;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key, cyc, fl;
+    if (!std::getline(ls, key, ',')) continue;
+    if (!std::getline(ls, cyc, ',')) continue;
+    if (!std::getline(ls, fl, ',')) continue;
+    m[key] = {static_cast<Cycle>(std::stoull(cyc)),
+              std::stoull(fl)};
+  }
+  return m;
+}
+
+GoldenMap measure() {
+  GoldenMap m;
+  auto run_one = [&](const std::string& app, Config cfg) {
+    auto w = make_workload(app);
+    const MachineConfig mc = w->inter_block() ? MachineConfig::inter_block()
+                                              : MachineConfig::intra_block();
+    Machine machine(mc, cfg);
+    const Cycle cycles = run_workload(*w, machine, mc.total_cores());
+    m[app + "|" + to_string(cfg)] =
+        Golden{cycles, machine.stats().traffic().total()};
+  };
+  for (const auto& app : intra_workload_names()) {
+    run_one(app, Config::Hcc);
+    run_one(app, Config::BaseMebIeb);
+  }
+  for (const auto& app : inter_workload_names()) {
+    run_one(app, Config::InterAddrL);
+  }
+  return m;
+}
+
+TEST(Golden, StatsMatchRecordedBaseline) {
+  const GoldenMap actual = measure();
+  if (std::getenv("HIC_UPDATE_GOLDEN") != nullptr) {
+    const std::string out_path = "golden_stats.csv";
+    std::ofstream out(out_path);
+    out << "key,cycles,flits\n";
+    for (const auto& [k, g] : actual)
+      out << k << ',' << g.cycles << ',' << g.flits << '\n';
+    std::printf("golden stats written to ./%s — copy to %s\n",
+                out_path.c_str(), golden_path().c_str());
+    GTEST_SKIP() << "golden update mode";
+  }
+  const GoldenMap expected = load_goldens();
+  ASSERT_FALSE(expected.empty())
+      << "missing " << golden_path()
+      << " — run with HIC_UPDATE_GOLDEN=1 to generate";
+  for (const auto& [k, g] : actual) {
+    auto it = expected.find(k);
+    ASSERT_NE(it, expected.end()) << "no golden entry for " << k;
+    EXPECT_EQ(g.cycles, it->second.cycles) << k << " cycle count drifted";
+    EXPECT_EQ(g.flits, it->second.flits) << k << " traffic drifted";
+  }
+  EXPECT_EQ(actual.size(), expected.size())
+      << "golden file has stale extra entries";
+}
+
+}  // namespace
+}  // namespace hic

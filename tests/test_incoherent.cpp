@@ -1,0 +1,311 @@
+// Tests for the hardware-incoherent hierarchy — the paper's §III semantics:
+// explicit WB/INV data movement, per-word dirty bits, the no-data-loss rule,
+// line expansion, and genuinely stale values without invalidation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/incoherent.hpp"
+
+namespace hic {
+namespace {
+
+struct Rig {
+  MachineConfig mc = MachineConfig::intra_block();
+  GlobalMemory gmem;
+  SimStats stats{16};
+  IncoherentHierarchy h{mc, gmem, stats};
+  Addr a = gmem.alloc(4096, "buf");
+
+  Rig() {
+    for (Addr off = 0; off < 4096; off += 4)
+      gmem.init(a + off, static_cast<std::uint32_t>(off));
+  }
+};
+
+TEST(Incoherent, WritesAreNotPropagatedWithoutWb) {
+  Rig r;
+  std::uint32_t v = 111;
+  r.h.write(0, r.a, 4, &v);
+  // Core 1 reads: fetches from L2/memory, which never saw the write.
+  std::uint32_t got = 0;
+  const auto out = r.h.read(1, r.a, 4, &got);
+  EXPECT_EQ(got, 0u) << "incoherent caches must not see unpublished writes";
+  EXPECT_TRUE(out.stale);
+  EXPECT_GE(r.stats.ops().stale_word_reads, 1u);
+}
+
+TEST(Incoherent, WbPlusInvPropagates) {
+  Rig r;
+  std::uint32_t v = 111;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_range(0, {r.a, 4}, Level::L2);
+  // The consumer might hold a stale copy; INV then read.
+  std::uint32_t got = 0;
+  r.h.read(1, r.a, 4, &got);  // fetches (possibly pre-WB... here post-WB)
+  r.h.inv_range(1, {r.a, 4}, Level::L1);
+  r.h.read(1, r.a, 4, &got);
+  EXPECT_EQ(got, 111u);
+}
+
+TEST(Incoherent, ConsumerHoldingStaleCopyNeedsInv) {
+  Rig r;
+  std::uint32_t got = 0;
+  r.h.read(1, r.a, 4, &got);  // consumer caches the old value
+  EXPECT_EQ(got, 0u);
+  std::uint32_t v = 222;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_range(0, {r.a, 4}, Level::L2);
+  r.h.read(1, r.a, 4, &got);
+  EXPECT_EQ(got, 0u) << "without INV the consumer keeps its stale copy";
+  r.h.inv_range(1, {r.a, 4}, Level::L1);
+  r.h.read(1, r.a, 4, &got);
+  EXPECT_EQ(got, 222u);
+}
+
+TEST(Incoherent, WbWritesDirtyWordsOnly) {
+  Rig r;
+  std::uint32_t v = 5;
+  r.h.write(0, r.a + 8, 4, &v);  // word 2 of the line only
+  const std::uint64_t before = r.stats.ops().words_written_back;
+  r.h.wb_range(0, {r.a, 64}, Level::L2);
+  EXPECT_EQ(r.stats.ops().words_written_back - before, 1u);
+}
+
+TEST(Incoherent, FalseSharingNoDataLoss) {
+  // The §III-B guarantee: two cores write different words of the same line;
+  // each WB preserves the other's result.
+  Rig r;
+  std::uint32_t v0 = 1000, v1 = 2000;
+  r.h.write(0, r.a + 0, 4, &v0);   // word 0
+  r.h.write(1, r.a + 32, 4, &v1);  // word 8, same line
+  r.h.wb_range(0, {r.a + 0, 4}, Level::L2);
+  r.h.wb_range(1, {r.a + 32, 4}, Level::L2);
+  // A third core reads both fresh.
+  std::uint32_t g0 = 0, g1 = 0;
+  r.h.read(2, r.a + 0, 4, &g0);
+  r.h.read(2, r.a + 32, 4, &g1);
+  EXPECT_EQ(g0, 1000u);
+  EXPECT_EQ(g1, 2000u);
+}
+
+TEST(Incoherent, InvWritesBackDirtyDataFirst) {
+  // §III-B: INV never loses co-located updated data.
+  Rig r;
+  std::uint32_t v = 77;
+  r.h.write(0, r.a + 4, 4, &v);
+  // INV the whole line: the dirty word must reach L2 before invalidation.
+  r.h.inv_range(0, {r.a, 64}, Level::L1);
+  EXPECT_EQ(r.h.l1(0).find(align_down(r.a, 64)), nullptr);
+  std::uint32_t got = 0;
+  r.h.read(1, r.a + 4, 4, &got);
+  EXPECT_EQ(got, 77u);
+}
+
+TEST(Incoherent, WbLeavesLineCleanValid) {
+  Rig r;
+  std::uint32_t v = 9;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_range(0, {r.a, 4}, Level::L2);
+  const CacheLine* l = r.h.l1(0).find(align_down(r.a, 64));
+  ASSERT_NE(l, nullptr);
+  EXPECT_TRUE(l->valid);
+  EXPECT_FALSE(l->dirty());
+  // A re-read still hits.
+  std::uint32_t got = 0;
+  const auto out = r.h.read(0, r.a, 4, &got);
+  EXPECT_TRUE(out.l1_hit);
+  EXPECT_EQ(got, 9u);
+}
+
+TEST(Incoherent, WbNoEffectOnCleanData) {
+  Rig r;
+  std::uint32_t got = 0;
+  r.h.read(0, r.a, 4, &got);
+  const auto before = r.stats.ops().lines_written_back;
+  r.h.wb_range(0, {r.a, 64}, Level::L2);
+  EXPECT_EQ(r.stats.ops().lines_written_back, before)
+      << "WB has no effect if the target contains no dirty data";
+}
+
+TEST(Incoherent, RangeOpsExpandToLineBoundaries) {
+  Rig r;
+  std::uint32_t v = 3;
+  r.h.write(0, r.a + 60, 4, &v);  // last word of line 0
+  // WB of a range starting mid-line covers the whole overlapped line.
+  r.h.wb_range(0, {r.a + 56, 16}, Level::L2);  // touches lines 0 and 1
+  std::uint32_t got = 0;
+  r.h.read(1, r.a + 60, 4, &got);
+  EXPECT_EQ(got, 3u);
+}
+
+TEST(Incoherent, WbAllPublishesEverythingDirty) {
+  Rig r;
+  std::uint32_t v = 1;
+  for (int l = 0; l < 20; ++l) r.h.write(0, r.a + l * 64u, 4, &v);
+  r.h.wb_all(0, Level::L2);
+  EXPECT_EQ(r.h.l1(0).dirty_line_count(), 0u);
+  std::uint32_t got = 0;
+  for (int l = 0; l < 20; ++l) {
+    r.h.read(1, r.a + l * 64u, 4, &got);
+    ASSERT_EQ(got, 1u);
+  }
+}
+
+TEST(Incoherent, InvAllEmptiesL1) {
+  Rig r;
+  std::uint32_t got = 0;
+  for (int l = 0; l < 10; ++l) r.h.read(0, r.a + l * 64u, 4, &got);
+  EXPECT_EQ(r.h.l1(0).valid_count(), 10u);
+  r.h.inv_all(0, Level::L1);
+  EXPECT_EQ(r.h.l1(0).valid_count(), 0u);
+}
+
+TEST(Incoherent, CostModelScalesWithWork) {
+  Rig r;
+  // INV ALL on an empty cache is cheaper than with resident dirty lines.
+  const Cycle empty = r.h.inv_all(0, Level::L1);
+  std::uint32_t v = 1;
+  for (int l = 0; l < 64; ++l) r.h.write(0, r.a + l * 64u, 4, &v);
+  const Cycle loaded = r.h.inv_all(0, Level::L1);
+  EXPECT_GT(loaded, empty);
+  // WB of a small range is cheaper than WB ALL with many dirty lines.
+  for (int l = 0; l < 64; ++l) r.h.write(0, r.a + l * 64u, 4, &v);
+  const Cycle small = r.h.wb_range(0, {r.a, 64}, Level::L2);
+  const Cycle all = r.h.wb_all(0, Level::L2);
+  EXPECT_GT(all, small);
+}
+
+TEST(Incoherent, EvictionPushesDirtyWordsDown) {
+  Rig r;
+  // Dirty a line, then evict it by filling its set (L1 is 4-way).
+  const Addr set_stride = static_cast<Addr>(r.mc.l1.num_sets()) * 64;
+  const Addr base = r.gmem.alloc(6 * set_stride, "evict", 64);
+  for (int i = 0; i < 6; ++i)
+    r.gmem.init(base + static_cast<Addr>(i) * set_stride, std::uint32_t{0});
+  std::uint32_t v = 123;
+  r.h.write(0, base, 4, &v);
+  std::uint32_t got = 0;
+  for (int i = 1; i < 6; ++i)
+    r.h.read(0, base + static_cast<Addr>(i) * set_stride, 4, &got);
+  EXPECT_EQ(r.h.l1(0).find(base), nullptr) << "line should have been evicted";
+  // The dirty word survived in L2.
+  std::uint32_t peek = 0;
+  ASSERT_TRUE(r.h.peek_level(Level::L2, 0, base, &peek, 4));
+  EXPECT_EQ(peek, 123u);
+}
+
+TEST(Incoherent, DramOnlySeesWrittenBackData) {
+  Rig r;
+  std::uint32_t v = 77;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_all(0, Level::L2);  // L2 only: DRAM still stale
+  std::uint32_t dram = 0;
+  ASSERT_TRUE(r.h.peek_level(Level::Memory, 0, r.a, &dram, 4));
+  EXPECT_EQ(dram, 0u);
+}
+
+TEST(Incoherent, NotCoherentFlag) {
+  Rig r;
+  EXPECT_FALSE(r.h.coherent());
+}
+
+// --- Multi-block (3-level) paths -------------------------------------------------
+
+struct Rig3 {
+  MachineConfig mc = MachineConfig::inter_block();
+  GlobalMemory gmem;
+  SimStats stats{32};
+  IncoherentHierarchy h{mc, gmem, stats};
+  Addr a = gmem.alloc(4096, "buf");
+
+  Rig3() {
+    for (Addr off = 0; off < 4096; off += 4)
+      gmem.init(a + off, static_cast<std::uint32_t>(0));
+  }
+};
+
+TEST(IncoherentInter, WbToL2DoesNotCrossBlocks) {
+  Rig3 r;
+  std::uint32_t v = 5;
+  r.h.write(0, r.a, 4, &v);             // block 0
+  r.h.wb_range(0, {r.a, 4}, Level::L2);  // stays in block 0's L2
+  std::uint32_t got = 1;
+  r.h.read(8, r.a, 4, &got);  // block 1 fetches via L3 -> stale
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(IncoherentInter, WbToL3CrossesBlocks) {
+  Rig3 r;
+  std::uint32_t v = 5;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_range(0, {r.a, 4}, Level::L3);
+  std::uint32_t got = 0;
+  r.h.read(8, r.a, 4, &got);  // block 1 pulls the fresh line from L3
+  EXPECT_EQ(got, 5u);
+}
+
+TEST(IncoherentInter, InvFromL2ClearsBothLevels) {
+  Rig3 r;
+  std::uint32_t got = 0;
+  r.h.read(8, r.a, 4, &got);  // warms block 1's L1 and L2
+  std::uint32_t v = 9;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_range(0, {r.a, 4}, Level::L3);
+  // L1-only INV is insufficient: block 1's L2 still holds the stale copy.
+  r.h.inv_range(8, {r.a, 4}, Level::L1);
+  r.h.read(8, r.a, 4, &got);
+  EXPECT_EQ(got, 0u);
+  // INV from L2 reaches L3 for the fresh value.
+  r.h.inv_range(8, {r.a, 4}, Level::L2);
+  r.h.read(8, r.a, 4, &got);
+  EXPECT_EQ(got, 9u);
+}
+
+TEST(IncoherentInter, WbAllToL3PushesWholeBlockL2) {
+  Rig3 r;
+  // Core 0 writes and pushes to L2; core 1 (same block) executes the
+  // WB ALL to L3 — the paper: it "writes back not just the local L1 but
+  // also the whole local block's L2 to the L3".
+  std::uint32_t v = 31;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_range(0, {r.a, 4}, Level::L2);
+  r.h.wb_all(1, Level::L3);
+  r.h.inv_range(8, {r.a, 4}, Level::L2);
+  std::uint32_t got = 0;
+  r.h.read(8, r.a, 4, &got);
+  EXPECT_EQ(got, 31u);
+}
+
+/// Property: a randomized producer-consumer protocol with correct WB/INV
+/// always reads fresh values; the staleness monitor agrees.
+class IncoherentProtocolFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncoherentProtocolFuzz, AnnotatedHandoffsAlwaysFresh) {
+  Rig r;
+  Rng rng(GetParam());
+  const Addr base = r.gmem.alloc(16 * 64, "arr");
+  for (int i = 0; i < 16 * 16; ++i)
+    r.gmem.init(base + static_cast<Addr>(i) * 4, std::uint32_t{0});
+  std::uint32_t expected[256] = {};
+  for (int op = 0; op < 1000; ++op) {
+    const CoreId producer = static_cast<CoreId>(rng.next_below(16));
+    const CoreId consumer = static_cast<CoreId>(rng.next_below(16));
+    const int word = static_cast<int>(rng.next_below(256));
+    const Addr wa = base + static_cast<Addr>(word) * 4;
+    const auto val = static_cast<std::uint32_t>(rng.next_below(1 << 30));
+    r.h.write(producer, wa, 4, &val);
+    expected[word] = val;
+    r.h.wb_range(producer, {wa, 4}, Level::L2);
+    if (consumer != producer) r.h.inv_range(consumer, {wa, 4}, Level::L1);
+    std::uint32_t got = 0;
+    const auto out = r.h.read(consumer, wa, 4, &got);
+    ASSERT_EQ(got, expected[word]);
+    ASSERT_FALSE(out.stale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncoherentProtocolFuzz,
+                         testing::Values(3, 13, 31, 137));
+
+}  // namespace
+}  // namespace hic

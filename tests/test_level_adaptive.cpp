@@ -1,0 +1,163 @@
+// Tests for the level-adaptive instructions (paper §V): the ThreadMap table
+// and WB_CONS / INV_PROD choosing the right cache level at run time.
+#include <gtest/gtest.h>
+
+#include "core/incoherent.hpp"
+
+namespace hic {
+namespace {
+
+struct Rig {
+  MachineConfig mc = MachineConfig::inter_block();  // 4 blocks x 8 cores
+  GlobalMemory gmem;
+  SimStats stats{32};
+  IncoherentHierarchy h{mc, gmem, stats};
+  Addr a;
+
+  Rig() : a(gmem.alloc(4096, "buf")) {
+    for (Addr off = 0; off < 4096; off += 4)
+      gmem.init(a + off, std::uint32_t{0});
+    // Identity thread-to-core mapping, as the runtime installs it.
+    for (ThreadId t = 0; t < 32; ++t) h.map_thread(t, t);
+  }
+};
+
+TEST(ThreadMapTable, FilledPerBlock) {
+  Rig r;
+  EXPECT_TRUE(r.h.thread_map(0).contains(0));
+  EXPECT_TRUE(r.h.thread_map(0).contains(7));
+  EXPECT_FALSE(r.h.thread_map(0).contains(8));
+  EXPECT_TRUE(r.h.thread_map(3).contains(31));
+  EXPECT_EQ(r.h.thread_map(1).size(), 8u);
+}
+
+TEST(ThreadMapTable, Basics) {
+  ThreadMap tm;
+  EXPECT_FALSE(tm.contains(3));
+  tm.add(3);
+  tm.add(3);  // idempotent
+  EXPECT_TRUE(tm.contains(3));
+  EXPECT_EQ(tm.size(), 1u);
+  tm.clear();
+  EXPECT_EQ(tm.size(), 0u);
+}
+
+TEST(LevelAdaptive, WbConsLocalStaysAtL2) {
+  Rig r;
+  std::uint32_t v = 10;
+  r.h.write(0, r.a, 4, &v);
+  // Consumer thread 5 runs in block 0 too: the WB stops at the L2.
+  r.h.wb_cons(0, {r.a, 4}, 5);
+  EXPECT_EQ(r.stats.ops().adaptive_local_wb, 1u);
+  EXPECT_EQ(r.stats.ops().adaptive_global_wb, 0u);
+  std::uint32_t l3v = 1;
+  // Data must NOT have reached L3 (fetch from another block sees 0).
+  std::uint32_t got = 1;
+  r.h.read(8, r.a, 4, &got);
+  EXPECT_EQ(got, 0u);
+  (void)l3v;
+  // But the local consumer sees it after its (local) INV.
+  r.h.inv_prod(5, {r.a, 4}, 0);
+  EXPECT_EQ(r.stats.ops().adaptive_local_inv, 1u);
+  r.h.read(5, r.a, 4, &got);
+  EXPECT_EQ(got, 10u);
+}
+
+TEST(LevelAdaptive, WbConsRemoteReachesL3) {
+  Rig r;
+  std::uint32_t v = 20;
+  r.h.write(0, r.a, 4, &v);
+  // Consumer thread 20 runs in block 2: the WB must reach the L3.
+  r.h.wb_cons(0, {r.a, 4}, 20);
+  EXPECT_EQ(r.stats.ops().adaptive_global_wb, 1u);
+  r.h.inv_prod(20, {r.a, 4}, 0);
+  EXPECT_EQ(r.stats.ops().adaptive_global_inv, 1u);
+  std::uint32_t got = 0;
+  r.h.read(20, r.a, 4, &got);
+  EXPECT_EQ(got, 20u);
+}
+
+TEST(LevelAdaptive, InvProdRemoteClearsL2Too) {
+  Rig r;
+  // Block 1 caches the line in both L1 and L2.
+  std::uint32_t got = 0;
+  r.h.read(8, r.a, 4, &got);
+  // Remote producer updates via L3.
+  std::uint32_t v = 9;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_cons(0, {r.a, 4}, 8);  // remote consumer -> L3
+  // INV_PROD with a remote producer invalidates L1 + L2.
+  r.h.inv_prod(8, {r.a, 4}, 0);
+  r.h.read(8, r.a, 4, &got);
+  EXPECT_EQ(got, 9u);
+}
+
+TEST(LevelAdaptive, InvProdLocalKeepsL2) {
+  Rig r;
+  std::uint32_t got = 0;
+  r.h.read(9, r.a, 4, &got);  // block 1's L2 holds the line
+  r.h.inv_prod(9, {r.a, 4}, 10);  // producer thread 10 is in block 1: local
+  EXPECT_NE(r.h.l2(1).find(align_down(r.a, 64)), nullptr)
+      << "a local INV_PROD must not clear the block L2";
+  EXPECT_EQ(r.h.l1(9).find(align_down(r.a, 64)), nullptr);
+}
+
+TEST(LevelAdaptive, UnmappedConsumerIsRemote) {
+  Rig r;
+  std::uint32_t v = 3;
+  r.h.write(0, r.a, 4, &v);
+  r.h.wb_cons(0, {r.a, 4}, 999);  // unknown thread: conservative global
+  EXPECT_EQ(r.stats.ops().adaptive_global_wb, 1u);
+}
+
+TEST(LevelAdaptive, AllVariants) {
+  Rig r;
+  std::uint32_t v = 77;
+  r.h.write(0, r.a, 4, &v);
+  // Local ALL variant: everything to the block L2.
+  r.h.wb_cons_all(0, 3);
+  EXPECT_EQ(r.stats.ops().adaptive_local_wb, 1u);
+  std::uint32_t got = 0;
+  r.h.inv_prod_all(3, 0);
+  EXPECT_EQ(r.stats.ops().adaptive_local_inv, 1u);
+  r.h.read(3, r.a, 4, &got);
+  EXPECT_EQ(got, 77u);
+  // Remote ALL variant: the whole block L2 reaches the L3.
+  v = 88;
+  r.h.write(1, r.a + 64, 4, &v);
+  r.h.wb_cons_all(1, 25);
+  EXPECT_EQ(r.stats.ops().adaptive_global_wb, 1u);
+  r.h.inv_prod_all(25, 1);
+  r.h.read(25, r.a + 64, 4, &got);
+  EXPECT_EQ(got, 88u);
+}
+
+TEST(LevelAdaptive, SameAnnotationCorrectForAnyMapping) {
+  // Paper §V: "a program annotated with WB_CONS and INV_PROD runs correctly
+  // both within a block and across blocks without modification". Exercise
+  // the same producer/consumer pair under both placements.
+  for (const ThreadId consumer : {3, 19}) {  // block 0 (local) / block 2
+    Rig r;
+    std::uint32_t v = 123;
+    r.h.write(0, r.a, 4, &v);
+    r.h.wb_cons(0, {r.a, 4}, consumer);
+    r.h.inv_prod(consumer, {r.a, 4}, 0);
+    std::uint32_t got = 0;
+    const auto out = r.h.read(consumer, r.a, 4, &got);
+    EXPECT_EQ(got, 123u);
+    EXPECT_FALSE(out.stale);
+  }
+}
+
+TEST(LevelAdaptive, LocalOpsCheaperThanGlobal) {
+  Rig r;
+  std::uint32_t v = 5;
+  r.h.write(0, r.a, 4, &v);
+  const Cycle local = r.h.wb_cons(0, {r.a, 4}, 1);
+  r.h.write(0, r.a + 64, 4, &v);
+  const Cycle remote = r.h.wb_cons(0, {r.a + 64, 4}, 30);
+  EXPECT_LT(local, remote);
+}
+
+}  // namespace
+}  // namespace hic

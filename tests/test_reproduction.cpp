@@ -1,0 +1,160 @@
+// Reproduction guards: integration tests asserting the paper's headline
+// relationships hold on the full experiment sweeps. If a change to the cost
+// model, annotations, or protocol breaks the shape of a figure, these fail
+// before anyone re-reads the bench output.
+//
+// These are the heaviest tests in the suite (each runs several full
+// workload simulations).
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+#include "hierarchy/storage_model.hpp"
+
+namespace hic {
+namespace {
+
+struct Snapshot {
+  Cycle cycles = 0;
+  std::uint64_t total_traffic = 0;
+  std::uint64_t inval_traffic = 0;
+  OpCounts ops;
+};
+
+Snapshot run_snap(const std::string& app, Config cfg) {
+  auto w = make_workload(app);
+  const MachineConfig mc = is_inter_block(cfg) ? MachineConfig::inter_block()
+                                               : MachineConfig::intra_block();
+  Machine m(mc, cfg);
+  Snapshot s;
+  s.cycles = run_workload(*w, m, mc.total_cores());
+  s.total_traffic = m.stats().traffic().total();
+  s.inval_traffic = m.stats().traffic().get(TrafficKind::Invalidation);
+  s.ops = m.stats().ops();
+  return s;
+}
+
+// --- §VII-A -----------------------------------------------------------------
+
+TEST(Reproduction, StorageSavingsNearPaper) {
+  const auto b = compute_storage_overhead(MachineConfig::inter_block());
+  EXPECT_NEAR(static_cast<double>(b.savings_bytes()) / 1024.0, 102.0, 12.0);
+}
+
+// --- Figure 9 ------------------------------------------------------------------
+
+TEST(Reproduction, Fig9BaseCostsMoreThanBuffersAcrossLockApps) {
+  // The Base -> B+M+I ordering must hold for the fine-synchronization apps.
+  for (const char* app : {"raytrace", "water-nsq", "cholesky"}) {
+    const Snapshot hcc = run_snap(app, Config::Hcc);
+    const Snapshot base = run_snap(app, Config::Base);
+    const Snapshot bmi = run_snap(app, Config::BaseMebIeb);
+    EXPECT_GT(base.cycles, bmi.cycles) << app;
+    EXPECT_GT(static_cast<double>(base.cycles),
+              1.05 * static_cast<double>(hcc.cycles))
+        << app << ": Base must be visibly slower than HCC";
+    EXPECT_LT(static_cast<double>(bmi.cycles),
+              1.25 * static_cast<double>(hcc.cycles))
+        << app << ": B+M+I must get close to HCC";
+  }
+}
+
+TEST(Reproduction, Fig9CoarseAppsNearHccEvenUnderBase) {
+  for (const char* app : {"fft", "lu-cont", "lu-noncont"}) {
+    const Snapshot hcc = run_snap(app, Config::Hcc);
+    const Snapshot base = run_snap(app, Config::Base);
+    EXPECT_LT(static_cast<double>(base.cycles),
+              1.10 * static_cast<double>(hcc.cycles))
+        << app << ": coarse-sync apps show almost no overhead (paper)";
+  }
+}
+
+TEST(Reproduction, Fig9RaytraceIsTheStandout) {
+  // "Its fine-grain structure is the reason for the large overhead"; the
+  // MEB alone leaves it high, only B+M+I rescues it.
+  const Snapshot hcc = run_snap("raytrace", Config::Hcc);
+  const Snapshot base = run_snap("raytrace", Config::Base);
+  const Snapshot bm = run_snap("raytrace", Config::BaseMeb);
+  const Snapshot bmi = run_snap("raytrace", Config::BaseMebIeb);
+  const auto rel = [&](const Snapshot& s) {
+    return static_cast<double>(s.cycles) / static_cast<double>(hcc.cycles);
+  };
+  EXPECT_GT(rel(base), 1.5);
+  EXPECT_GT(rel(bm), 1.3) << "B+M must still be high for raytrace";
+  EXPECT_LT(rel(bmi), 1.2);
+}
+
+// --- Figure 10 ------------------------------------------------------------------
+
+TEST(Reproduction, Fig10IncoherentHasZeroInvalidationTraffic) {
+  for (const char* app : {"water-spatial", "ocean-cont", "barnes"}) {
+    const Snapshot hcc = run_snap(app, Config::Hcc);
+    const Snapshot bmi = run_snap(app, Config::BaseMebIeb);
+    EXPECT_GT(hcc.inval_traffic, 0u) << app;
+    EXPECT_EQ(bmi.inval_traffic, 0u) << app;
+  }
+}
+
+TEST(Reproduction, Fig10WordGranularWritebacks) {
+  // Dirty-word-only writebacks: the words written back must be (often far)
+  // fewer than lines x words-per-line.
+  const Snapshot bmi = run_snap("water-nsq", Config::BaseMebIeb);
+  EXPECT_GT(bmi.ops.lines_written_back, 0u);
+  EXPECT_LT(bmi.ops.words_written_back,
+            bmi.ops.lines_written_back * 16)
+      << "full-line writebacks would defeat the per-word dirty bits";
+}
+
+// --- Figure 11 ------------------------------------------------------------------
+
+TEST(Reproduction, Fig11JacobiLocalizesEpIsDoNot) {
+  const Snapshot j_addr = run_snap("jacobi", Config::InterAddr);
+  const Snapshot j_addl = run_snap("jacobi", Config::InterAddrL);
+  EXPECT_LT(static_cast<double>(j_addl.ops.global_wb_lines),
+            0.6 * static_cast<double>(j_addr.ops.global_wb_lines));
+  EXPECT_LT(static_cast<double>(j_addl.ops.global_inv_lines),
+            0.3 * static_cast<double>(j_addr.ops.global_inv_lines));
+
+  const Snapshot e_addr = run_snap("ep", Config::InterAddr);
+  const Snapshot e_addl = run_snap("ep", Config::InterAddrL);
+  EXPECT_EQ(e_addl.ops.global_wb_lines, e_addr.ops.global_wb_lines);
+  EXPECT_EQ(e_addl.ops.global_inv_lines, e_addr.ops.global_inv_lines);
+}
+
+TEST(Reproduction, Fig11CgInvsLocalizeWbsStayGlobal) {
+  const Snapshot addr = run_snap("cg", Config::InterAddr);
+  const Snapshot addl = run_snap("cg", Config::InterAddrL);
+  EXPECT_EQ(addl.ops.global_wb_lines, addr.ops.global_wb_lines)
+      << "the paper's compiler writes p[] whole to L3 in both configs";
+  const double kept = static_cast<double>(addl.ops.global_inv_lines) /
+                      static_cast<double>(addr.ops.global_inv_lines);
+  EXPECT_GT(kept, 0.4);
+  EXPECT_LT(kept, 0.9) << "a fraction of CG's INVs must localize";
+}
+
+// --- Figure 12 ------------------------------------------------------------------
+
+TEST(Reproduction, Fig12OrderingHolds) {
+  for (const char* app : {"jacobi", "cg"}) {
+    const Snapshot hcc = run_snap(app, Config::InterHcc);
+    const Snapshot base = run_snap(app, Config::InterBase);
+    const Snapshot addr = run_snap(app, Config::InterAddr);
+    const Snapshot addl = run_snap(app, Config::InterAddrL);
+    EXPECT_GT(base.cycles, addr.cycles) << app << ": addresses pay off";
+    EXPECT_GE(addr.cycles, addl.cycles) << app << ": adaptivity pays off";
+    EXPECT_GT(static_cast<double>(base.cycles),
+              1.2 * static_cast<double>(hcc.cycles))
+        << app;
+  }
+}
+
+TEST(Reproduction, Fig12ReductionsFlatAcrossAddrConfigs) {
+  const Snapshot addr = run_snap("ep", Config::InterAddr);
+  const Snapshot addl = run_snap("ep", Config::InterAddrL);
+  // Level-adaptive instructions cannot help a reduction (paper §VII-C).
+  EXPECT_NEAR(static_cast<double>(addl.cycles),
+              static_cast<double>(addr.cycles),
+              0.01 * static_cast<double>(addr.cycles));
+}
+
+}  // namespace
+}  // namespace hic

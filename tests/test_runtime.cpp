@@ -1,0 +1,271 @@
+// Tests for the runtime layer: Machine assembly, the model-1 annotated
+// synchronization, the model-2 epoch policies, and the refined barriers.
+#include <gtest/gtest.h>
+
+#include "runtime/thread.hpp"
+
+namespace hic {
+namespace {
+
+TEST(Machine, ConfigMismatchRejected) {
+  EXPECT_THROW(Machine(MachineConfig::intra_block(), Config::InterAddr),
+               CheckFailure);
+  EXPECT_THROW(Machine(MachineConfig::inter_block(), Config::Base),
+               CheckFailure);
+}
+
+TEST(Machine, HierarchySelection) {
+  Machine hcc(MachineConfig::intra_block(), Config::Hcc);
+  EXPECT_TRUE(hcc.hierarchy().coherent());
+  EXPECT_EQ(hcc.incoherent(), nullptr);
+  Machine inc(MachineConfig::intra_block(), Config::BaseMebIeb);
+  EXPECT_FALSE(inc.hierarchy().coherent());
+  ASSERT_NE(inc.incoherent(), nullptr);
+  EXPECT_TRUE(inc.incoherent()->options().use_meb);
+  EXPECT_TRUE(inc.incoherent()->options().use_ieb);
+  Machine bm(MachineConfig::intra_block(), Config::BaseMeb);
+  EXPECT_TRUE(bm.incoherent()->options().use_meb);
+  EXPECT_FALSE(bm.incoherent()->options().use_ieb);
+}
+
+TEST(Machine, RunInstallsThreadMap) {
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  m.run(32, [](Thread&) {});
+  ASSERT_NE(m.incoherent(), nullptr);
+  EXPECT_TRUE(m.incoherent()->thread_map(0).contains(0));
+  EXPECT_TRUE(m.incoherent()->thread_map(3).contains(31));
+}
+
+TEST(ConfigHelpers, TableIIMapping) {
+  EXPECT_TRUE(is_coherent(Config::Hcc));
+  EXPECT_TRUE(is_coherent(Config::InterHcc));
+  EXPECT_FALSE(is_coherent(Config::Base));
+  EXPECT_TRUE(is_inter_block(Config::InterBase));
+  EXPECT_FALSE(is_inter_block(Config::BaseMeb));
+  EXPECT_EQ(inter_policy(Config::InterBase), InterPolicy::AllGlobal);
+  EXPECT_EQ(inter_policy(Config::InterAddr), InterPolicy::AddrGlobal);
+  EXPECT_EQ(inter_policy(Config::InterAddrL), InterPolicy::AddrAdaptive);
+  EXPECT_EQ(to_string(Config::BaseMebIeb), "B+M+I");
+  EXPECT_EQ(to_string(Config::InterAddrL), "Addr+L");
+}
+
+/// Barrier annotation publishes data under every intra config.
+class BarrierHandoff : public testing::TestWithParam<Config> {};
+
+TEST_P(BarrierHandoff, ProducerToConsumerThroughBarrier) {
+  Machine m(MachineConfig::intra_block(), GetParam());
+  const Addr data = m.mem().alloc_array<double>(64, "data");
+  const Addr out = m.mem().alloc_array<double>(1, "out");
+  for (int i = 0; i < 64; ++i) m.mem().init(data + i * 8, 0.0);
+  m.mem().init(out, 0.0);
+  const auto bar = m.make_barrier(4);
+  m.run(4, [&](Thread& t) {
+    // Epoch 1: consumers warm copies of the initial values.
+    if (t.tid() != 0) {
+      for (int i = 0; i < 64; ++i) (void)t.load<double>(data + i * 8);
+    }
+    t.barrier(bar);
+    // Epoch 2: the producer overwrites; consumer copies are now stale.
+    if (t.tid() == 0) {
+      for (int i = 0; i < 64; ++i)
+        t.store<double>(data + i * 8, static_cast<double>(i));
+    }
+    t.barrier(bar);
+    if (t.tid() == 3) {
+      double sum = 0;
+      for (int i = 0; i < 64; ++i) sum += t.load<double>(data + i * 8);
+      t.store(out, sum);
+    }
+    t.barrier(bar);
+  });
+  VerifyReader rd(m);
+  EXPECT_EQ(rd.read<double>(out), 63.0 * 64 / 2);
+  EXPECT_EQ(m.stats().ops().stale_word_reads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIntraConfigs, BarrierHandoff,
+                         testing::Values(Config::Hcc, Config::Base,
+                                         Config::BaseMeb, Config::BaseIeb,
+                                         Config::BaseMebIeb),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n)
+                             if (c == '+') c = '_';
+                           return n;
+                         });
+
+TEST(RefinedBarrier, ConsumedRangesSuffice) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr data = m.mem().alloc_array<double>(8, "data");
+  for (int i = 0; i < 8; ++i) m.mem().init(data + i * 8, 0.0);
+  const auto bar = m.make_barrier(2);
+  double got = -1;
+  m.run(2, [&](Thread& t) {
+    const AddrRange r{data, 64};
+    if (t.tid() == 0) {
+      t.store<double>(data, 4.25);
+      t.barrier_refined(bar, {&r, 1}, {});
+    } else {
+      (void)t.load<double>(data);  // warm a stale copy
+      t.barrier_refined(bar, {}, {&r, 1});
+      got = t.load<double>(data);
+    }
+  });
+  EXPECT_EQ(got, 4.25);
+}
+
+TEST(RefinedBarrier, OwnedDataSurvivesInCache) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr owned = m.mem().alloc_array<double>(8, "owned");
+  m.mem().init(owned, 1.0);
+  const auto bar = m.make_barrier(2);
+  bool hit_after_barrier = false;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      (void)t.load<double>(owned);
+      t.barrier_refined(bar, {}, {});  // refined: no INV ALL
+      double buf = 0;
+      const auto out = t.services().load(owned, 8, &buf);
+      hit_after_barrier = out.l1_hit;
+    } else {
+      t.barrier_refined(bar, {}, {});
+    }
+  });
+  EXPECT_TRUE(hit_after_barrier)
+      << "the refined barrier must not destroy owned-data reuse";
+}
+
+TEST(CriticalSection, OccPublishesOutsideData) {
+  // The Figure 4d pattern: data produced before the critical section is
+  // consumed by a later lock holder after its critical section.
+  for (Config cfg : {Config::Base, Config::BaseMebIeb, Config::Hcc}) {
+    Machine m(MachineConfig::intra_block(), cfg);
+    const Addr slot = m.mem().alloc_array<std::int32_t>(1, "slot");
+    const Addr payload = m.mem().alloc_array<double>(8, "payload");
+    const Addr result = m.mem().alloc_array<double>(1, "result");
+    m.mem().init(slot, std::int32_t{-1});
+    m.mem().init(result, 0.0);
+    for (int i = 0; i < 8; ++i) m.mem().init(payload + i * 8, 0.0);
+    const auto lk = m.make_lock(/*occ=*/true);
+    const auto done = m.make_barrier(2);
+    m.run(2, [&](Thread& t) {
+      if (t.tid() == 0) {
+        // Produce the payload OUTSIDE the critical section, then enqueue.
+        for (int i = 0; i < 8; ++i) t.store<double>(payload + i * 8, 2.0);
+        t.lock(lk);
+        t.store<std::int32_t>(slot, 1);
+        t.unlock(lk);
+        t.barrier(done);
+      } else {
+        // Poll the queue; on success consume the payload outside the CS.
+        for (;;) {
+          t.lock(lk);
+          const auto s = t.load<std::int32_t>(slot);
+          t.unlock(lk);
+          if (s == 1) break;
+          t.compute(100);
+        }
+        double sum = 0;
+        for (int i = 0; i < 8; ++i) sum += t.load<double>(payload + i * 8);
+        t.store(result, sum);
+        t.barrier(done);
+      }
+    });
+    VerifyReader rd(m);
+    EXPECT_EQ(rd.read<double>(result), 16.0) << to_string(cfg);
+  }
+}
+
+TEST(EpochPolicies, OpCountsPerPolicy) {
+  struct CaseResult {
+    std::uint64_t wb_ops, inv_ops;
+  };
+  auto run_one = [&](Config cfg) {
+    Machine m(MachineConfig::inter_block(), cfg);
+    const Addr pad = m.mem().alloc(4096, "pad");
+    const WbDirective wb{{pad, 128}, 5};
+    const InvDirective inv{{pad, 128}, 5};
+    const auto bar = m.make_barrier(2);
+    m.run(2, [&](Thread& t) { t.epoch_barrier(bar, {&wb, 1}, {&inv, 1}); });
+    return CaseResult{m.stats().ops().wb_ops, m.stats().ops().inv_ops};
+  };
+  // HCC: no ops at all.
+  auto r = run_one(Config::InterHcc);
+  EXPECT_EQ(r.wb_ops, 0u);
+  EXPECT_EQ(r.inv_ops, 0u);
+  // Base: one ALL op per side per thread, regardless of directives.
+  r = run_one(Config::InterBase);
+  EXPECT_EQ(r.wb_ops, 2u);
+  EXPECT_EQ(r.inv_ops, 2u);
+  // Addr / Addr+L: one ranged op per directive per thread.
+  r = run_one(Config::InterAddr);
+  EXPECT_EQ(r.wb_ops, 2u);
+  EXPECT_EQ(r.inv_ops, 2u);
+  r = run_one(Config::InterAddrL);
+  EXPECT_EQ(r.wb_ops, 2u);
+  EXPECT_EQ(r.inv_ops, 2u);
+}
+
+TEST(EpochPolicies, AdaptiveUsesThreadMap) {
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  const Addr data = m.mem().alloc(4096, "data");
+  const auto bar = m.make_barrier(2);
+  // Thread 0 produces for thread 1 (same block -> local).
+  const WbDirective local_wb{{data, 64}, 1};
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.epoch_barrier(bar, {&local_wb, 1}, {});
+    } else {
+      t.epoch_barrier(bar);
+    }
+  });
+  EXPECT_EQ(m.stats().ops().adaptive_local_wb, 1u);
+  EXPECT_EQ(m.stats().ops().adaptive_global_wb, 0u);
+}
+
+TEST(Flags, AnnotatedHandoffCountsPattern) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr x = m.mem().alloc_array<double>(1, "x");
+  m.mem().init(x, 0.0);
+  const auto f = m.make_flag();
+  double got = 0;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<double>(x, 6.5);
+      t.flag_set(f, 1);
+    } else {
+      t.flag_wait(f, 1);
+      got = t.load<double>(x);
+    }
+  });
+  EXPECT_EQ(got, 6.5);
+  EXPECT_EQ(m.stats().ops().anno_flag, 2u);
+}
+
+TEST(RacyAccess, EnforcedVisibility) {
+  // Figure 6b: WB/INV around the racy accesses make the update visible.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr flag = m.mem().alloc_array<std::uint32_t>(1, "flag");
+  m.mem().init(flag, std::uint32_t{0});
+  const auto done = m.make_barrier(2);
+  int spins = 0;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.compute(2000);
+      t.racy_store<std::uint32_t>(flag, 1);
+      t.barrier(done);
+    } else {
+      while (t.racy_load<std::uint32_t>(flag) == 0) {
+        t.compute(50);
+        ++spins;
+        ASSERT_LT(spins, 10000) << "consumer never saw the racy update";
+      }
+      t.barrier(done);
+    }
+  });
+  EXPECT_GT(spins, 0);
+  EXPECT_GT(m.stats().ops().anno_racy, 0u);
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,172 @@
+// History-safety property tests for the incoherent hierarchy: under
+// arbitrary interleavings of accesses and WB/INV operations,
+//   (1) a read never returns a value that was never written to that word
+//       (values may be stale, but never invented or torn), and
+//   (2) after a global publish-and-invalidate round, every word reads as
+//       its latest written value at every core.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/incoherent.hpp"
+
+namespace hic {
+namespace {
+
+struct Rig {
+  MachineConfig mc;
+  GlobalMemory gmem;
+  SimStats stats;
+  IncoherentHierarchy h;
+  Addr base;
+  static constexpr int kWords = 512;
+
+  explicit Rig(IncoherentOptions opts = {}, bool inter = false)
+      : mc(inter ? MachineConfig::inter_block()
+                 : MachineConfig::intra_block()),
+        stats(mc.total_cores()),
+        h(mc, gmem, stats, opts),
+        base(gmem.alloc(kWords * 8, "arr")) {
+    for (int w = 0; w < kWords; ++w)
+      gmem.init(base + static_cast<Addr>(w) * 8, std::uint64_t{0});
+    for (ThreadId t = 0; t < mc.total_cores(); ++t) h.map_thread(t, t);
+  }
+};
+
+class HistorySafetyFuzz
+    : public testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(HistorySafetyFuzz, ReadsReturnOnlyWrittenValues) {
+  const auto [seed, inter] = GetParam();
+  Rig r({}, inter);
+  Rng rng(seed);
+  const int cores = r.mc.total_cores();
+  // History per word: the set of every value ever written (plus 0).
+  std::vector<std::set<std::uint64_t>> history(Rig::kWords);
+  std::vector<std::uint64_t> latest(Rig::kWords, 0);
+  for (auto& h : history) h.insert(0);
+
+  std::uint64_t next_val = 1;
+  for (int op = 0; op < 4000; ++op) {
+    const CoreId c = static_cast<CoreId>(rng.next_below(cores));
+    const int w = static_cast<int>(rng.next_below(Rig::kWords));
+    const Addr a = r.base + static_cast<Addr>(w) * 8;
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1:
+      case 2: {  // write — one writer per word, so "latest" is well defined
+        // (concurrent unsynchronized writers have no winner in this model).
+        const CoreId writer = static_cast<CoreId>(w % cores);
+        const std::uint64_t v = next_val++;
+        r.h.write(writer, a, 8, &v);
+        history[static_cast<std::size_t>(w)].insert(v);
+        latest[static_cast<std::size_t>(w)] = v;
+        break;
+      }
+      case 3: {  // wb of the word's line
+        r.h.wb_range(c, {a, 8}, inter ? Level::L3 : Level::L2);
+        break;
+      }
+      case 4: {  // inv of the word's line
+        r.h.inv_range(c, {a, 8}, inter ? Level::L2 : Level::L1);
+        break;
+      }
+      case 5: {  // occasional whole-cache ops
+        if (rng.next_below(16) == 0) r.h.wb_all(c, Level::L2);
+        break;
+      }
+      default: {  // read: value must exist in the word's history
+        std::uint64_t v = 0;
+        r.h.read(c, a, 8, &v);
+        ASSERT_TRUE(history[static_cast<std::size_t>(w)].count(v) > 0)
+            << "core " << c << " read invented/torn value " << v
+            << " from word " << w;
+      }
+    }
+  }
+
+  // Global publish + invalidate round: everyone writes back everything,
+  // then everyone invalidates everything.
+  const Level wb_to = inter ? Level::L3 : Level::L2;
+  const Level inv_from = inter ? Level::L2 : Level::L1;
+  for (CoreId c = 0; c < cores; ++c) r.h.wb_all(c, wb_to);
+  for (CoreId c = 0; c < cores; ++c) r.h.inv_all(c, inv_from);
+  for (int w = 0; w < Rig::kWords; ++w) {
+    const CoreId reader = static_cast<CoreId>(rng.next_below(cores));
+    std::uint64_t v = 0;
+    r.h.read(reader, r.base + static_cast<Addr>(w) * 8, 8, &v);
+    ASSERT_EQ(v, latest[static_cast<std::size_t>(w)])
+        << "word " << w << " lost its latest value after a global round";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, HistorySafetyFuzz,
+    testing::Combine(testing::Values(7u, 99u, 4242u),
+                     testing::Bool()),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_inter" : "_intra");
+    });
+
+/// The same property with the MEB/IEB active inside critical-section epochs.
+TEST(HistorySafetyBuffers, CsEpochsPreserveHistorySafety) {
+  IncoherentOptions opts;
+  opts.use_meb = true;
+  opts.use_ieb = true;
+  Rig r(opts);
+  Rng rng(31337);
+  std::vector<std::uint64_t> latest(Rig::kWords, 0);
+  std::uint64_t next_val = 1;
+  // Serialized critical sections: core c enters, mutates a few words,
+  // exits; the next core must observe every prior CS's effects.
+  for (int cs = 0; cs < 200; ++cs) {
+    const CoreId c = static_cast<CoreId>(rng.next_below(16));
+    r.h.cs_enter(c);
+    for (int k = 0; k < 6; ++k) {
+      const int w = static_cast<int>(rng.next_below(Rig::kWords));
+      const Addr a = r.base + static_cast<Addr>(w) * 8;
+      std::uint64_t v = 0;
+      r.h.read(c, a, 8, &v);
+      ASSERT_EQ(v, latest[static_cast<std::size_t>(w)])
+          << "CS " << cs << " read a stale word under the IEB";
+      v = next_val++;
+      r.h.write(c, a, 8, &v);
+      latest[static_cast<std::size_t>(w)] = v;
+    }
+    r.h.cs_exit(c);
+  }
+}
+
+/// Word-level false sharing: concurrent writers to disjoint words of shared
+/// lines never lose each other's updates, whatever the WB/INV interleaving.
+TEST(HistorySafety, DisjointWordWritersNeverLoseData) {
+  Rig r;
+  Rng rng(555);
+  // Core c owns words w with w % 16 == c % 16 (so every line has 16 owners).
+  std::vector<std::uint64_t> latest(Rig::kWords, 0);
+  std::uint64_t next_val = 1;
+  for (int op = 0; op < 3000; ++op) {
+    const CoreId c = static_cast<CoreId>(rng.next_below(16));
+    const int w = static_cast<int>(rng.next_below(Rig::kWords / 16)) * 16 +
+                  (c % 16);
+    const Addr a = r.base + static_cast<Addr>(w) * 8;
+    const std::uint64_t v = next_val++;
+    r.h.write(c, a, 8, &v);
+    latest[static_cast<std::size_t>(w)] = v;
+    if (rng.next_below(4) == 0) r.h.wb_range(c, {a, 8}, Level::L2);
+    if (rng.next_below(8) == 0) r.h.inv_all(c, Level::L1);
+  }
+  for (CoreId c = 0; c < 16; ++c) r.h.wb_all(c, Level::L2);
+  for (CoreId c = 0; c < 16; ++c) r.h.inv_all(c, Level::L1);
+  for (int w = 0; w < Rig::kWords; ++w) {
+    std::uint64_t v = 0;
+    r.h.read(0, r.base + static_cast<Addr>(w) * 8, 8, &v);
+    ASSERT_EQ(v, latest[static_cast<std::size_t>(w)]) << "word " << w;
+  }
+}
+
+}  // namespace
+}  // namespace hic

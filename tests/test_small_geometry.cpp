@@ -1,0 +1,191 @@
+// Eviction-heavy stress: tiny cache geometries make every path hot —
+// L1/L2/L3 evictions, MESI inclusion recalls, writeback-allocate chains.
+// The big-machine tests rarely evict; these configurations evict constantly.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/incoherent.hpp"
+#include "hierarchy/mesi.hpp"
+
+namespace hic {
+namespace {
+
+MachineConfig tiny_config(bool multi_block) {
+  MachineConfig mc;
+  mc.blocks = multi_block ? 2 : 1;
+  mc.cores_per_block = 4;
+  mc.l1 = {1024, 2, 64, 2};       // 16 lines
+  mc.l2_bank = {2048, 2, 64, 11};  // 4 cores x 2KB = 8KB logical
+  mc.l3_bank = {8192, 2, 64, 20};
+  mc.l3_banks = 2;
+  mc.validate();
+  return mc;
+}
+
+TEST(TinyGeometry, ConfigsValidate) {
+  EXPECT_NO_THROW(tiny_config(false));
+  EXPECT_NO_THROW(tiny_config(true));
+}
+
+class TinyMesiFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TinyMesiFuzz, CoherentUnderConstantEviction) {
+  const MachineConfig mc = tiny_config(true);
+  GlobalMemory gmem;
+  SimStats stats(mc.total_cores());
+  MesiHierarchy h(mc, gmem, stats);
+  // Working set 4x the L2: every level evicts.
+  constexpr int kLines = 512;
+  const Addr base = gmem.alloc(kLines * 64, "arr");
+  std::vector<std::uint64_t> expected(kLines, 0);
+  for (int i = 0; i < kLines; ++i)
+    gmem.init(base + static_cast<Addr>(i) * 64, std::uint64_t{0});
+  Rng rng(GetParam());
+  for (int op = 0; op < 6000; ++op) {
+    const CoreId c = static_cast<CoreId>(rng.next_below(8));
+    const int i = static_cast<int>(rng.next_below(kLines));
+    const Addr a = base + static_cast<Addr>(i) * 64;
+    if (rng.next_below(2) == 0) {
+      const std::uint64_t v = rng.next_u64();
+      h.write(c, a, 8, &v);
+      expected[static_cast<std::size_t>(i)] = v;
+    } else {
+      std::uint64_t v = 0;
+      h.read(c, a, 8, &v);
+      ASSERT_EQ(v, expected[static_cast<std::size_t>(i)])
+          << "op " << op << " line " << i;
+    }
+  }
+  EXPECT_GT(stats.ops().l3_misses, 0u) << "the sweep must reach memory";
+  EXPECT_GT(stats.ops().dir_invalidations_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TinyMesiFuzz, testing::Values(1u, 2u, 77u));
+
+class TinyIncoherentFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TinyIncoherentFuzz, HistorySafeUnderConstantEviction) {
+  const MachineConfig mc = tiny_config(true);
+  GlobalMemory gmem;
+  SimStats stats(mc.total_cores());
+  IncoherentHierarchy h(mc, gmem, stats);
+  for (ThreadId t = 0; t < 8; ++t) h.map_thread(t, t);
+  constexpr int kWords = 1024;  // 8KB: 8x the L1, at the L2 capacity
+  const Addr base = gmem.alloc(kWords * 8, "arr");
+  for (int w = 0; w < kWords; ++w)
+    gmem.init(base + static_cast<Addr>(w) * 8, std::uint64_t{0});
+  std::vector<std::set<std::uint64_t>> history(kWords);
+  std::vector<std::uint64_t> latest(kWords, 0);
+  for (auto& s : history) s.insert(0);
+  Rng rng(GetParam());
+  std::uint64_t next_val = 1;
+  for (int op = 0; op < 6000; ++op) {
+    const int w = static_cast<int>(rng.next_below(kWords));
+    const Addr a = base + static_cast<Addr>(w) * 8;
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {
+        const CoreId writer = static_cast<CoreId>(w % 8);
+        const std::uint64_t v = next_val++;
+        h.write(writer, a, 8, &v);
+        history[static_cast<std::size_t>(w)].insert(v);
+        latest[static_cast<std::size_t>(w)] = v;
+        break;
+      }
+      case 2:
+        h.wb_range(static_cast<CoreId>(w % 8), {a, 8}, Level::L3);
+        break;
+      case 3:
+        h.inv_range(static_cast<CoreId>(rng.next_below(8)), {a, 8},
+                    Level::L2);
+        break;
+      default: {
+        std::uint64_t v = 0;
+        h.read(static_cast<CoreId>(rng.next_below(8)), a, 8, &v);
+        ASSERT_TRUE(history[static_cast<std::size_t>(w)].count(v) > 0)
+            << "invented value at word " << w;
+      }
+    }
+  }
+  // Global round: everything published, everyone refreshed.
+  for (CoreId c = 0; c < 8; ++c) h.wb_all(c, Level::L3);
+  for (CoreId c = 0; c < 8; ++c) h.inv_all(c, Level::L2);
+  for (int w = 0; w < kWords; ++w) {
+    std::uint64_t v = 0;
+    h.read(static_cast<CoreId>(rng.next_below(8)),
+           base + static_cast<Addr>(w) * 8, 8, &v);
+    ASSERT_EQ(v, latest[static_cast<std::size_t>(w)]) << "word " << w;
+  }
+  EXPECT_GT(stats.ops().l2_misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TinyIncoherentFuzz,
+                         testing::Values(5u, 50u, 500u));
+
+TEST(TinyGeometry, MesiInclusionMaintained) {
+  // After any op mix, every valid L1 line must be present in its block L2
+  // (the directory protocol enforces inclusion by recall).
+  const MachineConfig mc = tiny_config(true);
+  GlobalMemory gmem;
+  SimStats stats(mc.total_cores());
+  MesiHierarchy h(mc, gmem, stats);
+  const Addr base = gmem.alloc(256 * 64, "arr");
+  for (int i = 0; i < 256; ++i)
+    gmem.init(base + static_cast<Addr>(i) * 64, std::uint64_t{0});
+  Rng rng(909);
+  for (int op = 0; op < 3000; ++op) {
+    const CoreId c = static_cast<CoreId>(rng.next_below(8));
+    const Addr a = base + rng.next_below(256) * 64;
+    std::uint64_t v = rng.next_u64();
+    if (rng.next_below(2) == 0) {
+      h.write(c, a, 8, &v);
+    } else {
+      h.read(c, a, 8, &v);
+    }
+    if (op % 500 == 499) {
+      for (CoreId cc = 0; cc < 8; ++cc) {
+        for (int i = 0; i < 256; ++i) {
+          const Addr line = base + static_cast<Addr>(i) * 64;
+          if (h.l1_state(cc, line) != MesiState::Invalid) {
+            ASSERT_NE(h.l2_state(mc.block_of(cc), line), MesiState::Invalid)
+                << "inclusion violated: core " << cc << " line " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TinyGeometry, IncoherentWorkloadStillVerifies) {
+  // An annotated producer-consumer program stays correct even when every
+  // structure thrashes.
+  const MachineConfig mc = tiny_config(false);
+  GlobalMemory gmem;
+  SimStats stats(mc.total_cores());
+  IncoherentHierarchy h(mc, gmem, stats);
+  const Addr base = gmem.alloc(64 * 64, "arr");  // 4KB: 4x the L1
+  for (int i = 0; i < 512; ++i)
+    gmem.init(base + static_cast<Addr>(i) * 8, std::uint64_t{0});
+  // Producer core 0 writes all words; WB ALL; consumers INV ALL and read.
+  for (int i = 0; i < 512; ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(i) * 3 + 1;
+    h.write(0, base + static_cast<Addr>(i) * 8, 8, &v);
+  }
+  h.wb_all(0, Level::L2);
+  for (CoreId c = 1; c < 4; ++c) {
+    h.inv_all(c, Level::L1);
+    for (int i = 0; i < 512; ++i) {
+      std::uint64_t v = 0;
+      h.read(c, base + static_cast<Addr>(i) * 8, 8, &v);
+      ASSERT_EQ(v, static_cast<std::uint64_t>(i) * 3 + 1)
+          << "core " << c << " word " << i;
+    }
+  }
+  EXPECT_GT(stats.ops().l2_misses, 0u) << "the L2 must thrash at this size";
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,153 @@
+// Functional-incoherence tests around paper Figure 6: a data race that
+// communicates on a coherent machine simply does not communicate on the
+// hardware-incoherent machine unless each racy access carries its own
+// WB/INV — and the staleness monitor quantifies it.
+#include <gtest/gtest.h>
+
+#include "runtime/thread.hpp"
+
+namespace hic {
+namespace {
+
+TEST(Staleness, Fig6aUnannotatedRaceNeverSeen) {
+  // Producer: data = 1; flag = 1 (plain stores, no WB).
+  // Consumer: spins on flag with plain loads — it may never see the update.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr flag = m.mem().alloc_array<std::uint32_t>(1, "flag");
+  const Addr data = m.mem().alloc_array<std::uint32_t>(1, "data");
+  m.mem().init(flag, std::uint32_t{0});
+  m.mem().init(data, std::uint32_t{0});
+  const auto done = m.make_barrier(2);
+  std::uint32_t seen_flag = 0;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<std::uint32_t>(data, 1);
+      t.store<std::uint32_t>(flag, 1);
+      t.compute(50000);
+      t.barrier(done);
+    } else {
+      // Warm a copy, then spin a bounded number of times.
+      for (int i = 0; i < 1000; ++i) {
+        seen_flag = t.load<std::uint32_t>(flag);
+        if (seen_flag != 0) break;
+        t.compute(40);
+      }
+      t.barrier(done);
+    }
+  });
+  EXPECT_EQ(seen_flag, 0u)
+      << "an incoherent cache must never observe an unpublished store";
+}
+
+TEST(Staleness, Fig6aSameRaceWorksUnderHcc) {
+  Machine m(MachineConfig::intra_block(), Config::Hcc);
+  const Addr flag = m.mem().alloc_array<std::uint32_t>(1, "flag");
+  m.mem().init(flag, std::uint32_t{0});
+  const auto done = m.make_barrier(2);
+  bool saw = false;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.compute(500);
+      t.store<std::uint32_t>(flag, 1);
+      t.barrier(done);
+    } else {
+      for (int i = 0; i < 100000 && !saw; ++i) {
+        saw = t.load<std::uint32_t>(flag) != 0;
+        t.compute(20);
+      }
+      t.barrier(done);
+    }
+  });
+  EXPECT_TRUE(saw) << "MESI propagates the store automatically";
+}
+
+TEST(Staleness, Fig6bAnnotatedRaceCommunicates) {
+  // The enforced pattern: WB(data); WB(flag) on the producer,
+  // INV(flag); INV(data) on the consumer — both values arrive.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr flag = m.mem().alloc_array<std::uint32_t>(1, "flag");
+  const Addr data = m.mem().alloc_array<std::uint32_t>(1, "data");
+  m.mem().init(flag, std::uint32_t{0});
+  m.mem().init(data, std::uint32_t{0});
+  const auto done = m.make_barrier(2);
+  std::uint32_t got_data = 0;
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.compute(300);
+      t.racy_store<std::uint32_t>(data, 42);
+      t.racy_store<std::uint32_t>(flag, 1);
+      t.barrier(done);
+    } else {
+      while (t.racy_load<std::uint32_t>(flag) == 0) t.compute(40);
+      got_data = t.racy_load<std::uint32_t>(data);
+      t.barrier(done);
+    }
+  });
+  EXPECT_EQ(got_data, 42u);
+}
+
+TEST(Staleness, MonitorCountsStaleReads) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(1, "x");
+  m.mem().init(x, std::uint32_t{0});
+  const auto bar = m.make_barrier(2);
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      (void)t.load<std::uint32_t>(x);  // cache the old value
+      t.services().barrier(bar.id);    // raw barrier: NO annotations
+      (void)t.load<std::uint32_t>(x);  // stale!
+    } else {
+      t.store<std::uint32_t>(x, 5);
+      t.services().wb_all(Level::L2);
+      t.services().barrier(bar.id);
+    }
+  });
+  EXPECT_GE(m.stats().ops().stale_word_reads, 1u);
+}
+
+TEST(Staleness, AnnotatedProgramsReadZeroStaleWords) {
+  // The flip side: with proper barrier annotations, the monitor stays at 0
+  // even under heavy sharing.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  const Addr arr = m.mem().alloc_array<std::uint64_t>(256, "arr");
+  for (int i = 0; i < 256; ++i)
+    m.mem().init(arr + static_cast<Addr>(i) * 8, std::uint64_t{0});
+  const auto bar = m.make_barrier(8);
+  m.run(8, [&](Thread& t) {
+    for (int round = 0; round < 4; ++round) {
+      // Everyone writes its shifted slice, then reads a neighbor's.
+      const int base = ((t.tid() + round) % 8) * 32;
+      for (int i = 0; i < 32; ++i)
+        t.store<std::uint64_t>(arr + static_cast<Addr>(base + i) * 8,
+                               static_cast<std::uint64_t>(round));
+      t.barrier(bar);
+      const int rbase = ((t.tid() + round + 3) % 8) * 32;
+      for (int i = 0; i < 32; ++i) {
+        const auto v = t.load<std::uint64_t>(
+            arr + static_cast<Addr>(rbase + i) * 8);
+        HIC_CHECK(v == static_cast<std::uint64_t>(round));
+      }
+      t.barrier(bar);
+    }
+  });
+  EXPECT_EQ(m.stats().ops().stale_word_reads, 0u);
+}
+
+TEST(Staleness, HccNeverStale) {
+  Machine m(MachineConfig::intra_block(), Config::Hcc);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(4, "x");
+  for (int i = 0; i < 4; ++i)
+    m.mem().init(x + static_cast<Addr>(i) * 4, std::uint32_t{0});
+  m.run(4, [&](Thread& t) {
+    for (int i = 0; i < 100; ++i) {
+      t.store<std::uint32_t>(x + static_cast<Addr>(t.tid()) * 4,
+                             static_cast<std::uint32_t>(i));
+      (void)t.load<std::uint32_t>(
+          x + static_cast<Addr>((t.tid() + 1) % 4) * 4);
+    }
+  });
+  EXPECT_EQ(m.stats().ops().stale_word_reads, 0u);
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,61 @@
+// Tests for the §VII-A storage-overhead model: the paper reports the
+// incoherent hierarchy saves ~102KB on the 4-block x 8-core machine.
+#include <gtest/gtest.h>
+
+#include "hierarchy/storage_model.hpp"
+
+namespace hic {
+namespace {
+
+TEST(StorageModel, PaperMachineSavesAbout102KB) {
+  const StorageBreakdown b =
+      compute_storage_overhead(MachineConfig::inter_block());
+  const double kib = static_cast<double>(b.savings_bytes()) / 1024.0;
+  EXPECT_GT(kib, 90.0);
+  EXPECT_LT(kib, 115.0);
+}
+
+TEST(StorageModel, ComponentArithmetic) {
+  const MachineConfig mc = MachineConfig::inter_block();
+  const StorageBreakdown b = compute_storage_overhead(mc);
+  // L1 MESI state: 32 cores x 512 lines x 4 bits = 8 KiB.
+  EXPECT_EQ(b.hcc_l1_state_bits, 32u * 512 * 4);
+  // L2 directory: 4 blocks x 16384 lines x (8 presence + 1 dirty).
+  EXPECT_EQ(b.hcc_l2_directory_bits, 4u * 16384 * 9);
+  // L3 directory: 262144 lines x (4 presence + 1 dirty).
+  EXPECT_EQ(b.hcc_l3_directory_bits, 262144u * 5);
+  // Incoherent L1: 32 cores x 512 lines x (1 valid + 16 dirty).
+  EXPECT_EQ(b.inc_l1_line_bits, 32u * 512 * 17);
+  // MEB: 32 cores x 16 entries x (9-bit ID + valid).
+  EXPECT_EQ(b.inc_meb_bits, 32u * 16 * 10);
+  // IEB: 32 cores x 4 entries x (40-bit addr + valid).
+  EXPECT_EQ(b.inc_ieb_bits, 32u * 4 * 41);
+}
+
+TEST(StorageModel, BuffersAreTinyVsDirectory) {
+  const StorageBreakdown b =
+      compute_storage_overhead(MachineConfig::inter_block());
+  EXPECT_LT(b.inc_meb_bits + b.inc_ieb_bits + b.inc_threadmap_bits,
+            b.hcc_l2_directory_bits / 10)
+      << "the paper's point: the extensions are minimal hardware";
+}
+
+TEST(StorageModel, SingleBlockSavesLess) {
+  const StorageBreakdown inter =
+      compute_storage_overhead(MachineConfig::inter_block());
+  const StorageBreakdown intra =
+      compute_storage_overhead(MachineConfig::intra_block());
+  EXPECT_LT(intra.savings_bytes(), inter.savings_bytes())
+      << "without the L3 directory the gap shrinks";
+}
+
+TEST(StorageModel, ReportMentionsComponents) {
+  const std::string rep =
+      compute_storage_overhead(MachineConfig::inter_block()).report();
+  EXPECT_NE(rep.find("directory"), std::string::npos);
+  EXPECT_NE(rep.find("MEB"), std::string::npos);
+  EXPECT_NE(rep.find("Savings"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hic

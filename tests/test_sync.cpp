@@ -1,0 +1,173 @@
+// Unit tests for the synchronization controller (paper §III-D).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "sync/sync_controller.hpp"
+
+namespace hic {
+namespace {
+
+TEST(SyncBarrier, ReleasesAllOnLastArrival) {
+  SyncController sc(4);
+  const SyncId b = sc.declare_barrier(3, 0);
+  EXPECT_FALSE(sc.barrier_arrive(b, 0).has_value());
+  EXPECT_FALSE(sc.barrier_arrive(b, 1).has_value());
+  const auto released = sc.barrier_arrive(b, 2);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(released->size(), 3u);
+  EXPECT_NE(std::find(released->begin(), released->end(), 0),
+            released->end());
+  EXPECT_NE(std::find(released->begin(), released->end(), 2),
+            released->end());
+}
+
+TEST(SyncBarrier, ReusableAcrossGenerations) {
+  SyncController sc(2);
+  const SyncId b = sc.declare_barrier(2, 0);
+  for (int gen = 0; gen < 5; ++gen) {
+    EXPECT_FALSE(sc.barrier_arrive(b, 0).has_value());
+    EXPECT_TRUE(sc.barrier_arrive(b, 1).has_value());
+  }
+}
+
+TEST(SyncBarrier, DoubleArrivalRejected) {
+  SyncController sc(4);
+  const SyncId b = sc.declare_barrier(3, 0);
+  (void)sc.barrier_arrive(b, 0);
+  EXPECT_THROW((void)sc.barrier_arrive(b, 0), CheckFailure);
+}
+
+TEST(SyncLock, GrantAndFifoQueue) {
+  SyncController sc(4);
+  const SyncId l = sc.declare_lock(0);
+  EXPECT_TRUE(sc.lock_acquire(l, 0));
+  EXPECT_TRUE(sc.lock_held_by(l, 0));
+  EXPECT_FALSE(sc.lock_acquire(l, 1));
+  EXPECT_FALSE(sc.lock_acquire(l, 2));
+  // FIFO handoff: release grants 1 first, then 2.
+  auto next = sc.lock_release(l, 0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 1);
+  EXPECT_TRUE(sc.lock_held_by(l, 1));
+  next = sc.lock_release(l, 1);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 2);
+  EXPECT_FALSE(sc.lock_release(l, 2).has_value());
+  EXPECT_FALSE(sc.lock_held_by(l, 2));
+}
+
+TEST(SyncLock, MisuseRejected) {
+  SyncController sc(4);
+  const SyncId l = sc.declare_lock(0);
+  EXPECT_TRUE(sc.lock_acquire(l, 0));
+  EXPECT_THROW((void)sc.lock_acquire(l, 0), CheckFailure);  // re-acquire
+  EXPECT_THROW(sc.lock_release(l, 1), CheckFailure);        // wrong owner
+  sc.lock_release(l, 0);
+  EXPECT_THROW(sc.lock_release(l, 0), CheckFailure);  // release when free
+}
+
+TEST(SyncFlag, CheckAndSet) {
+  SyncController sc(4);
+  const SyncId f = sc.declare_flag(0, 0);
+  EXPECT_EQ(sc.flag_value(f), 0u);
+  EXPECT_TRUE(sc.flag_check(f, 0, 0));   // 0 >= 0: no wait
+  EXPECT_FALSE(sc.flag_check(f, 1, 5));  // queued
+  EXPECT_FALSE(sc.flag_check(f, 2, 3));  // queued
+  auto released = sc.flag_set(f, 4);
+  ASSERT_EQ(released.size(), 1u);  // only the expect<=4 waiter
+  EXPECT_EQ(released[0], 2);
+  released = sc.flag_set(f, 10);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 1);
+  EXPECT_EQ(sc.flag_value(f), 10u);
+}
+
+TEST(SyncFlag, InitialValueSatisfiesImmediately) {
+  SyncController sc(2);
+  const SyncId f = sc.declare_flag(0, 7);
+  EXPECT_TRUE(sc.flag_check(f, 0, 7));
+  EXPECT_FALSE(sc.flag_check(f, 1, 8));
+}
+
+TEST(SyncFlag, AddAccumulatesAndReleases) {
+  SyncController sc(4);
+  const SyncId f = sc.declare_flag(0, 0);
+  EXPECT_FALSE(sc.flag_check(f, 3, 3));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(sc.flag_add(f, 1, &v).empty());
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(sc.flag_add(f, 1).empty());
+  const auto released = sc.flag_add(f, 1, &v);
+  EXPECT_EQ(v, 3u);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], 3);
+}
+
+TEST(SyncTable, KindsAndHomesTracked) {
+  SyncController sc(4);
+  const SyncId b = sc.declare_barrier(2, 5);
+  const SyncId l = sc.declare_lock(9);
+  const SyncId f = sc.declare_flag(13);
+  EXPECT_EQ(sc.table_size(), 3u);
+  EXPECT_EQ(sc.kind_of(b), SyncKind::Barrier);
+  EXPECT_EQ(sc.kind_of(l), SyncKind::Lock);
+  EXPECT_EQ(sc.kind_of(f), SyncKind::Flag);
+  EXPECT_EQ(sc.home_of(b), 5);
+  EXPECT_EQ(sc.home_of(l), 9);
+  EXPECT_EQ(sc.home_of(f), 13);
+}
+
+TEST(SyncTable, WrongKindRejected) {
+  SyncController sc(4);
+  const SyncId b = sc.declare_barrier(2, 0);
+  EXPECT_THROW((void)sc.lock_acquire(b, 0), CheckFailure);
+  EXPECT_THROW((void)sc.flag_value(b), CheckFailure);
+  EXPECT_THROW((void)sc.barrier_arrive(99, 0), CheckFailure);
+}
+
+/// Property: across random interleavings, a lock never has two holders and
+/// every queued core is eventually granted in FIFO order.
+class LockFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockFuzz, SingleHolderFifoGrant) {
+  Rng rng(GetParam());
+  SyncController sc(8);
+  const SyncId l = sc.declare_lock(0);
+  CoreId holder = kInvalidCore;
+  std::deque<CoreId> expected_queue;
+  std::vector<bool> waiting(8, false);
+  for (int step = 0; step < 500; ++step) {
+    const CoreId c = static_cast<CoreId>(rng.next_below(8));
+    if (holder == c) {
+      const auto next = sc.lock_release(l, c);
+      if (expected_queue.empty()) {
+        ASSERT_FALSE(next.has_value());
+        holder = kInvalidCore;
+      } else {
+        ASSERT_TRUE(next.has_value());
+        ASSERT_EQ(*next, expected_queue.front());
+        holder = expected_queue.front();
+        expected_queue.pop_front();
+        waiting[static_cast<std::size_t>(holder)] = false;
+      }
+    } else if (!waiting[static_cast<std::size_t>(c)]) {
+      const bool granted = sc.lock_acquire(l, c);
+      if (holder == kInvalidCore) {
+        ASSERT_TRUE(granted);
+        holder = c;
+      } else {
+        ASSERT_FALSE(granted);
+        expected_queue.push_back(c);
+        waiting[static_cast<std::size_t>(c)] = true;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockFuzz, testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace hic

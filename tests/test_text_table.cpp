@@ -1,0 +1,53 @@
+// Tests for the table formatter the benches print with.
+#include <gtest/gtest.h>
+
+#include "stats/text_table.hpp"
+#include "common/check.hpp"
+
+namespace hic {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "12345"});
+  const std::string out = t.render();
+  // Header present, separator line present, rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Numeric column right-aligned: "1" ends at the same column as "12345".
+  std::istringstream is(out);
+  std::string header, sep, row1, row2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(row1.back(), '1');
+  EXPECT_EQ(row2.back(), '5');
+}
+
+TEST(TextTable, ArityMismatchRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), CheckFailure);
+  EXPECT_THROW(TextTable({}), CheckFailure);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456), "1.235");
+  EXPECT_EQ(TextTable::num(1.0, 1), "1.0");
+  EXPECT_EQ(TextTable::pct(0.05), "5.0%");
+  EXPECT_EQ(TextTable::pct(-0.012), "-1.2%");
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,126 @@
+// Unit tests for the mesh topology and placement model.
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+
+namespace hic {
+namespace {
+
+TEST(Topology, IntraBlockIs4x4) {
+  const ChipTopology t(MachineConfig::intra_block());
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.num_nodes(), 16);
+}
+
+TEST(Topology, InterBlockIs8x4) {
+  const ChipTopology t(MachineConfig::inter_block());
+  EXPECT_EQ(t.cols(), 8);
+  EXPECT_EQ(t.rows(), 4);
+}
+
+TEST(Topology, HopsAreManhattan) {
+  const ChipTopology t(MachineConfig::intra_block());
+  EXPECT_EQ(t.hops(t.node_at(0, 0), t.node_at(0, 0)), 0);
+  EXPECT_EQ(t.hops(t.node_at(0, 0), t.node_at(3, 3)), 6);
+  EXPECT_EQ(t.hops(t.node_at(1, 2), t.node_at(3, 0)), 4);
+}
+
+TEST(Topology, HopMetricProperties) {
+  const ChipTopology t(MachineConfig::inter_block());
+  // Symmetry and triangle inequality over a sample of node triples.
+  for (int a = 0; a < t.num_nodes(); a += 3) {
+    for (int b = 0; b < t.num_nodes(); b += 5) {
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+      for (int c = 0; c < t.num_nodes(); c += 7)
+        EXPECT_LE(t.hops(a, c), t.hops(a, b) + t.hops(b, c));
+    }
+  }
+}
+
+TEST(Topology, LatencyUsesHopCycles) {
+  const ChipTopology t(MachineConfig::intra_block());
+  EXPECT_EQ(t.latency(t.node_at(0, 0), t.node_at(3, 3)), 24u);  // 6 hops * 4
+  EXPECT_EQ(t.round_trip(t.node_at(0, 0), t.node_at(3, 3)), 48u);
+}
+
+TEST(Topology, FlitMath) {
+  const ChipTopology t(MachineConfig::intra_block());
+  EXPECT_EQ(t.control_flits(), 1u);
+  // 64B line on 128-bit (16B) links: 4 data flits + 1 header.
+  EXPECT_EQ(t.flits_for(64), 5u);
+  EXPECT_EQ(t.flits_for(4), 2u);
+  EXPECT_EQ(t.flits_for(16), 2u);
+  EXPECT_EQ(t.flits_for(17), 3u);
+}
+
+TEST(Topology, CoreNodesDistinctAndInBounds) {
+  for (const MachineConfig mc :
+       {MachineConfig::intra_block(), MachineConfig::inter_block()}) {
+    const ChipTopology t(mc);
+    std::vector<bool> seen(static_cast<std::size_t>(t.num_nodes()), false);
+    for (CoreId c = 0; c < mc.total_cores(); ++c) {
+      const NodeId n = t.core_node(c);
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, t.num_nodes());
+      ASSERT_FALSE(seen[static_cast<std::size_t>(n)])
+          << "two cores share node " << n;
+      seen[static_cast<std::size_t>(n)] = true;
+    }
+  }
+}
+
+TEST(Topology, BlocksOccupyDisjointTiles) {
+  const MachineConfig mc = MachineConfig::inter_block();
+  const ChipTopology t(mc);
+  // Block b's cores sit in columns [2b, 2b+2).
+  for (CoreId c = 0; c < mc.total_cores(); ++c) {
+    const int x = t.x_of(t.core_node(c));
+    EXPECT_EQ(x / 2, mc.block_of(c));
+  }
+}
+
+TEST(Topology, L2BankMappingCoversAllBanks) {
+  const MachineConfig mc = MachineConfig::intra_block();
+  const ChipTopology t(mc);
+  std::vector<int> hits(static_cast<std::size_t>(mc.cores_per_block), 0);
+  for (Addr line = 0; line < 64u * 64; line += 64)
+    ++hits[static_cast<std::size_t>(t.l2_bank_of(line))];
+  for (int h : hits) EXPECT_EQ(h, 4);  // 64 lines over 16 banks
+}
+
+TEST(Topology, L2BankNodeIsInOwnBlock) {
+  const MachineConfig mc = MachineConfig::inter_block();
+  const ChipTopology t(mc);
+  for (BlockId b = 0; b < mc.blocks; ++b) {
+    for (int bank = 0; bank < mc.cores_per_block; ++bank) {
+      const NodeId n = t.l2_bank_node(b, bank);
+      EXPECT_EQ(t.x_of(n) / 2, b);
+    }
+  }
+}
+
+TEST(Topology, L3OnlyOnMultiBlock) {
+  const ChipTopology intra(MachineConfig::intra_block());
+  EXPECT_THROW(intra.l3_bank_of(0), CheckFailure);
+  const ChipTopology inter(MachineConfig::inter_block());
+  for (Addr line = 0; line < 16u * 64; line += 64) {
+    const int bank = inter.l3_bank_of(line);
+    EXPECT_GE(bank, 0);
+    EXPECT_LT(bank, 4);
+    EXPECT_LT(inter.l3_bank_node(bank), inter.num_nodes());
+  }
+}
+
+TEST(Topology, MemoryAtNearestCorner) {
+  const ChipTopology t(MachineConfig::intra_block());
+  EXPECT_EQ(t.memory_node_near(t.node_at(0, 0)), t.node_at(0, 0));
+  EXPECT_EQ(t.memory_node_near(t.node_at(3, 3)), t.node_at(3, 3));
+  EXPECT_EQ(t.memory_node_near(t.node_at(1, 0)), t.node_at(0, 0));
+  // Every node's corner is at most (cols/2 + rows/2) hops away.
+  for (NodeId n = 0; n < t.num_nodes(); ++n)
+    EXPECT_LE(t.hops(n, t.memory_node_near(n)), 4);
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,140 @@
+// Tests for trace-driven replay.
+#include <gtest/gtest.h>
+
+#include "runtime/trace.hpp"
+
+namespace hic {
+namespace {
+
+TEST(TraceParse, BasicEvents) {
+  const auto p = TraceProgram::parse_string(
+      "# a comment\n"
+      "0 W 0 8\n"
+      "0 C 100\n"
+      "0 B 0\n"
+      "1 B 0\n"
+      "1 R 0 8\n");
+  EXPECT_EQ(p.num_events(), 5u);
+  EXPECT_EQ(p.num_threads(), 2);
+  EXPECT_EQ(p.region_bytes(), 8u);
+  EXPECT_EQ(p.events()[0].kind, TraceEvent::Kind::Write);
+  EXPECT_EQ(p.events()[1].cycles, 100u);
+  EXPECT_EQ(p.events()[4].tid, 1);
+}
+
+TEST(TraceParse, InlineCommentsAndBlanks) {
+  const auto p = TraceProgram::parse_string(
+      "0 C 5   # trailing comment\n"
+      "\n"
+      "   \n"
+      "0 C 7\n");
+  EXPECT_EQ(p.num_events(), 2u);
+}
+
+TEST(TraceParse, WbInvWithLevels) {
+  const auto p = TraceProgram::parse_string(
+      "0 WB 0 64 L3\n"
+      "0 INV 64 64 L2\n"
+      "0 WB 0 64\n"
+      "0 INV 0 64\n");
+  EXPECT_EQ(p.events()[0].level, Level::L3);
+  EXPECT_EQ(p.events()[1].level, Level::L2);
+  EXPECT_EQ(p.events()[2].level, Level::L2);  // default WB target
+  EXPECT_EQ(p.events()[3].level, Level::L1);  // default INV level
+  EXPECT_EQ(p.region_bytes(), 128u);
+}
+
+TEST(TraceParse, ErrorsCarryLineNumbers) {
+  auto expect_throw_with = [](const std::string& text, const char* needle) {
+    try {
+      (void)TraceProgram::parse_string(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_throw_with("0 X 1 2\n", "unknown op");
+  expect_throw_with("0 R 3 8\n", "aligned");      // misaligned
+  expect_throw_with("0 R 0 16\n", "at most 8");   // too wide
+  expect_throw_with("0 R 0\n", "missing");        // missing size
+  expect_throw_with("0 C 1\n1 B\n", "line 2");    // line number reported
+  expect_throw_with("", "empty trace");
+}
+
+TEST(TraceReplay, ProducerConsumerThroughBarrier) {
+  // Thread 0 writes a word and a barrier publishes it; thread 1 reads.
+  const auto p = TraceProgram::parse_string(
+      "0 W 0 8\n"
+      "0 B 0\n"
+      "1 B 0\n"
+      "1 R 0 8\n"
+      "0 B 1\n"
+      "1 B 1\n");
+  for (Config cfg : {Config::Hcc, Config::Base, Config::BaseMebIeb}) {
+    Machine m(MachineConfig::intra_block(), cfg);
+    Addr base = 0;
+    const Cycle cycles = p.replay(m, &base);
+    EXPECT_GT(cycles, 0u);
+    // The written value (the 1-based write sequence number) is visible
+    // through the hierarchy after the final barrier.
+    VerifyReader rd(m);
+    EXPECT_EQ(rd.read<std::uint64_t>(base), 1u) << to_string(cfg);
+    EXPECT_EQ(m.stats().ops().stale_word_reads, 0u);
+  }
+}
+
+TEST(TraceReplay, LocksAndExplicitOps) {
+  const auto p = TraceProgram::parse_string(
+      "0 L 0\n"
+      "0 W 0 4\n"
+      "0 U 0\n"
+      "1 L 0\n"
+      "1 R 0 4\n"
+      "1 U 0\n"
+      "0 WB 0 64 L2\n"
+      "0 INV 0 64 L1\n");
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  EXPECT_GT(p.replay(m), 0u);
+  EXPECT_GE(m.stats().ops().anno_critical, 2u);
+  EXPECT_GE(m.stats().ops().wb_ops, 1u);
+}
+
+TEST(TraceReplay, DeterministicAcrossRuns) {
+  std::string text;
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 32; ++i) {
+      text += std::to_string(t) + " W " + std::to_string((t * 32 + i) * 8) +
+              " 8\n";
+      text += std::to_string(t) + " C 7\n";
+    }
+    text += std::to_string(t) + " B 0\n";
+    for (int i = 0; i < 32; ++i)
+      text += std::to_string(t) + " R " +
+              std::to_string((((t + 1) % 4) * 32 + i) * 8) + " 8\n";
+  }
+  const auto p = TraceProgram::parse_string(text);
+  Cycle first = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    Machine m(MachineConfig::intra_block(), Config::Base);
+    const Cycle c = p.replay(m);
+    if (rep == 0) {
+      first = c;
+    } else {
+      EXPECT_EQ(c, first);
+    }
+    EXPECT_EQ(m.stats().ops().stale_word_reads, 0u)
+        << "barrier-separated trace must read fresh";
+  }
+}
+
+TEST(TraceReplay, TooManyThreadsRejected) {
+  std::string text;
+  for (int t = 0; t < 20; ++t) text += std::to_string(t) + " C 1\n";
+  const auto p = TraceProgram::parse_string(text);
+  Machine m(MachineConfig::intra_block(), Config::Base);  // 16 cores
+  EXPECT_THROW(p.replay(m), CheckFailure);
+}
+
+}  // namespace
+}  // namespace hic

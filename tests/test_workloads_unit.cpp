@@ -1,0 +1,230 @@
+// Per-workload unit tests: registry integrity, Table I pattern
+// declarations, annotation-event counts, determinism, and workload-specific
+// invariants (directive plans, inspector output, racy-counter bounds).
+#include <gtest/gtest.h>
+
+#include "apps/workload.hpp"
+
+namespace hic {
+namespace {
+
+TEST(WorkloadRegistry, AllNamesConstruct) {
+  for (const auto& n : intra_workload_names()) {
+    auto w = make_workload(n);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), n);
+    EXPECT_FALSE(w->inter_block());
+    EXPECT_FALSE(w->main_patterns().empty());
+  }
+  for (const auto& n : inter_workload_names()) {
+    auto w = make_workload(n);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), n);
+    EXPECT_TRUE(w->inter_block());
+  }
+  EXPECT_THROW(make_workload("no-such-app"), CheckFailure);
+}
+
+TEST(WorkloadRegistry, PaperAppSetsComplete) {
+  // Figure 9 runs 11 intra-block bars; Figures 11/12 run 4 apps.
+  EXPECT_EQ(intra_workload_names().size(), 11u);
+  EXPECT_EQ(inter_workload_names().size(), 4u);
+}
+
+TEST(ChunkRange, PartitionsExactly) {
+  std::int64_t total = 0;
+  for (int t = 0; t < 7; ++t) {
+    const auto [f, l] = chunk_range(100, 7, t);
+    EXPECT_LE(f, l);
+    total += l - f;
+  }
+  EXPECT_EQ(total, 100);
+  const auto [f0, l0] = chunk_range(3, 7, 6);
+  EXPECT_EQ(f0, l0) << "threads beyond the work get empty chunks";
+}
+
+TEST(CloseEnough, RelativeAndAbsolute) {
+  EXPECT_TRUE(close_enough(1.0, 1.0));
+  EXPECT_TRUE(close_enough(1e9, 1e9 * (1 + 1e-8)));
+  EXPECT_FALSE(close_enough(1e9, 1e9 * (1 + 1e-3)));
+  EXPECT_TRUE(close_enough(0.0, 1e-9));
+  EXPECT_FALSE(close_enough(0.0, 1e-3));
+}
+
+/// Table I: each app's executed annotation events must match its declared
+/// pattern classification — e.g. a "barrier"-class app must execute no
+/// critical sections, an OCC app must execute OCC annotations.
+struct PatternCase {
+  const char* app;
+  bool barriers, criticals, flags, occ, racy;
+};
+
+class TableIPatterns : public testing::TestWithParam<PatternCase> {};
+
+TEST_P(TableIPatterns, ObservedEventsMatchDeclaration) {
+  const PatternCase& pc = GetParam();
+  auto w = make_workload(pc.app);
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  run_workload(*w, m, 16);
+  const OpCounts& o = m.stats().ops();
+  EXPECT_EQ(o.anno_barriers > 0, pc.barriers) << o.anno_barriers;
+  EXPECT_EQ(o.anno_critical > 0, pc.criticals) << o.anno_critical;
+  EXPECT_EQ(o.anno_flag > 0, pc.flags) << o.anno_flag;
+  EXPECT_EQ(o.anno_occ > 0, pc.occ) << o.anno_occ;
+  EXPECT_EQ(o.anno_racy > 0, pc.racy) << o.anno_racy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, TableIPatterns,
+    testing::Values(PatternCase{"fft", true, false, false, false, false},
+                    PatternCase{"lu-cont", true, false, false, false, false},
+                    PatternCase{"lu-noncont", true, false, false, false,
+                                false},
+                    PatternCase{"cholesky", true, true, true, true, false},
+                    PatternCase{"barnes", true, true, false, true, false},
+                    PatternCase{"raytrace", true, true, false, false, true},
+                    PatternCase{"volrend", true, true, false, true, false},
+                    PatternCase{"ocean-cont", true, true, false, false,
+                                false},
+                    PatternCase{"water-nsq", true, true, false, false,
+                                false},
+                    PatternCase{"water-spatial", true, true, false, false,
+                                false}),
+    [](const auto& info) {
+      std::string n = info.param.app;
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+/// Every workload is cycle- and traffic-deterministic.
+class WorkloadDeterminism : public testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadDeterminism, TwoRunsBitIdentical) {
+  const std::string& app = GetParam();
+  const bool inter = make_workload(app)->inter_block();
+  const MachineConfig mc =
+      inter ? MachineConfig::inter_block() : MachineConfig::intra_block();
+  const Config cfg = inter ? Config::InterAddrL : Config::BaseMebIeb;
+  Cycle cycles[2];
+  std::uint64_t flits[2];
+  std::uint64_t loads[2];
+  for (int i = 0; i < 2; ++i) {
+    auto w = make_workload(app);
+    Machine m(mc, cfg);
+    cycles[i] = run_workload(*w, m, mc.total_cores());
+    flits[i] = m.stats().traffic().total();
+    loads[i] = m.stats().ops().loads;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(flits[0], flits[1]);
+  EXPECT_EQ(loads[0], loads[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, WorkloadDeterminism,
+                         testing::Values("fft", "cholesky", "raytrace",
+                                         "water-nsq", "cg", "is"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Raytrace, RacyCounterWithinBounds) {
+  auto w = make_workload("raytrace");
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  run_workload(*w, m, 16);
+  // verify() itself checks the counter's invariants (positive, multiple of
+  // the tile size, no larger than the total); it must hold under races.
+  const WorkloadResult r = w->verify(m);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(m.stats().ops().anno_racy, 0u);
+}
+
+TEST(Cholesky, EveryTaskProcessedExactlyOnce) {
+  auto w = make_workload("cholesky");
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  run_workload(*w, m, 16);
+  // The done-counter flag reaches exactly the task count.
+  // (verify() recomputes the whole DAG; here we check the scheduler.)
+  const WorkloadResult r = w->verify(m);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(InterApps, AdaptiveOpsOnlyUnderAddrL) {
+  for (const char* app : {"jacobi", "cg"}) {
+    auto w = make_workload(app);
+    Machine m(MachineConfig::inter_block(), Config::InterAddr);
+    run_workload(*w, m, 32);
+    EXPECT_EQ(m.stats().ops().adaptive_local_wb +
+                  m.stats().ops().adaptive_local_inv,
+              0u)
+        << app << ": Addr must never use the ThreadMap";
+  }
+}
+
+TEST(InterApps, JacobiLocalizesUnderAddrL) {
+  auto w = make_workload("jacobi");
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  run_workload(*w, m, 32);
+  const OpCounts& o = m.stats().ops();
+  EXPECT_GT(o.adaptive_local_wb, o.adaptive_global_wb)
+      << "most neighbor halos are intra-block at 32 threads on 4 blocks";
+  EXPECT_GT(o.adaptive_local_inv, o.adaptive_global_inv);
+}
+
+TEST(InterApps, EpSeesNoAdaptiveBenefit) {
+  auto w = make_workload("ep");
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  run_workload(*w, m, 32);
+  EXPECT_EQ(m.stats().ops().adaptive_local_wb, 0u)
+      << "a reduction has no nameable consumer (paper §VII-C)";
+  EXPECT_EQ(m.stats().ops().adaptive_local_inv, 0u);
+}
+
+TEST(InterApps, HccExecutesNoCoherenceOps) {
+  auto w = make_workload("jacobi");
+  Machine m(MachineConfig::inter_block(), Config::InterHcc);
+  run_workload(*w, m, 32);
+  EXPECT_EQ(m.stats().ops().wb_ops, 0u);
+  EXPECT_EQ(m.stats().ops().inv_ops, 0u);
+  EXPECT_GT(m.stats().ops().dir_invalidations_sent, 0u)
+      << "the directory does the invalidation work instead";
+}
+
+TEST(IntraApps, IncoherentRunsCarryZeroInvalidationTraffic) {
+  // "B+M+I causes no invalidation traffic" (paper §VII-B) — for every app.
+  for (const char* app : {"fft", "raytrace", "ocean-cont"}) {
+    auto w = make_workload(app);
+    Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+    run_workload(*w, m, 16);
+    EXPECT_EQ(m.stats().traffic().get(TrafficKind::Invalidation), 0u) << app;
+  }
+}
+
+TEST(IntraApps, MebOnlyEngagesInCriticalSections) {
+  // FFT has no critical sections: the MEB must never fire.
+  auto w = make_workload("fft");
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  run_workload(*w, m, 16);
+  EXPECT_EQ(m.stats().ops().meb_wbs, 0u);
+  EXPECT_EQ(m.stats().ops().ieb_refreshes, 0u);
+}
+
+TEST(IntraApps, FalseSharingHurtsHccNotIncoherent) {
+  // lu-noncont's misaligned rows ping-pong under MESI; per-word dirty bits
+  // make them harmless on the incoherent hierarchy.
+  auto wc = make_workload("lu-cont");
+  Machine mc_hcc(MachineConfig::intra_block(), Config::Hcc);
+  run_workload(*wc, mc_hcc, 16);
+  auto wn = make_workload("lu-noncont");
+  Machine mn_hcc(MachineConfig::intra_block(), Config::Hcc);
+  run_workload(*wn, mn_hcc, 16);
+  // Under HCC the noncont layout sends more invalidations.
+  EXPECT_GT(mn_hcc.stats().ops().dir_invalidations_sent,
+            mc_hcc.stats().ops().dir_invalidations_sent);
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,204 @@
+// Unit and property tests for the write-buffer timing model, which encodes
+// the instruction reordering rules of paper §III-C (Figure 3):
+//   (a) INV(x) -> ld x   must NOT reorder (load waits for the INV)
+//       ld x -> INV(x)   kept in order (the INV is issued after)
+//   (b) st x -> WB(x)    must NOT reorder (the WB drains after the store)
+//       WB(x) -> st x    kept in order (same-address FIFO drain)
+//   (d) loads may freely bypass a pending WB(x) (value unchanged locally)
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/write_buffer.hpp"
+
+namespace hic {
+namespace {
+
+constexpr Addr kLineA = 0x1000;
+constexpr Addr kLineB = 0x2000;
+
+TEST(WriteBuffer, StoreDrainsInBackground) {
+  WriteBufferModel wb(16, 4);
+  EXPECT_EQ(wb.issue_store(100, kLineA), 0u);  // no stall with space
+  EXPECT_EQ(wb.pending(100), 1u);
+  EXPECT_EQ(wb.pending(104), 0u);  // drained after 4 cycles
+}
+
+TEST(WriteBuffer, FifoDrainSerializes) {
+  WriteBufferModel wb(16, 4);
+  wb.issue_store(0, kLineA);
+  wb.issue_store(0, kLineB);
+  wb.issue_store(0, kLineA);
+  // Completions at 4, 8, 12: strictly in order.
+  EXPECT_EQ(wb.pending(3), 3u);
+  EXPECT_EQ(wb.pending(4), 2u);
+  EXPECT_EQ(wb.pending(8), 1u);
+  EXPECT_EQ(wb.pending(12), 0u);
+}
+
+TEST(WriteBuffer, FullBufferStalls) {
+  WriteBufferModel wb(2, 4);
+  EXPECT_EQ(wb.issue_store(0, kLineA), 0u);
+  EXPECT_EQ(wb.issue_store(0, kLineB), 0u);
+  // Third store at t=0: oldest completes at 4 -> stall 4.
+  EXPECT_EQ(wb.issue(0, WbEntryKind::Store, kLineA, 4), 4u);
+}
+
+// --- Figure 3a: INV vs loads ---------------------------------------------------
+
+TEST(WriteBuffer, LoadNeverBypassesInvSameLine) {
+  WriteBufferModel wb(16, 4);
+  wb.issue(10, WbEntryKind::Inv, kLineA, 100);  // completes at 110
+  EXPECT_EQ(wb.inv_wait(20, kLineA), 90u);
+  EXPECT_EQ(wb.inv_wait(110, kLineA), 0u);
+}
+
+TEST(WriteBuffer, LoadBypassesInvToOtherLine) {
+  WriteBufferModel wb(16, 4);
+  wb.issue(10, WbEntryKind::Inv, kLineA, 100);
+  EXPECT_EQ(wb.inv_wait(20, kLineB), 0u);
+}
+
+TEST(WriteBuffer, InvAllBlocksEveryLoad) {
+  WriteBufferModel wb(16, 4);
+  wb.issue(0, WbEntryKind::Inv, WriteBufferModel::kAllLines, 50);
+  EXPECT_GT(wb.inv_wait(10, kLineA), 0u);
+  EXPECT_GT(wb.inv_wait(10, kLineB), 0u);
+}
+
+// --- Figure 3d: WB vs loads ----------------------------------------------------
+
+TEST(WriteBuffer, LoadBypassesPendingWb) {
+  WriteBufferModel wb(16, 4);
+  wb.issue(10, WbEntryKind::Wb, kLineA, 100);
+  EXPECT_TRUE(wb.has_pending_wb(20, kLineA));
+  // No inv_wait: the load may proceed past the WB (§III-C, Figure 3d).
+  EXPECT_EQ(wb.inv_wait(20, kLineA), 0u);
+}
+
+// --- Figure 3b: stores and WBs drain in order ----------------------------------
+
+TEST(WriteBuffer, StoreThenWbCompletesInOrder) {
+  WriteBufferModel wb(16, 4);
+  wb.issue_store(0, kLineA);                    // completes at 4
+  wb.issue(0, WbEntryKind::Wb, kLineA, 10);     // completes at 14
+  EXPECT_TRUE(wb.has_pending_store(2, kLineA));
+  EXPECT_TRUE(wb.has_pending_wb(2, kLineA));
+  // The WB cannot complete before the earlier store.
+  EXPECT_FALSE(wb.has_pending_store(5, kLineA));
+  EXPECT_TRUE(wb.has_pending_wb(5, kLineA));
+  EXPECT_FALSE(wb.has_pending_wb(14, kLineA));
+}
+
+// --- Figure 3c: st x -> INV(x) -> st x stays in order ----------------------------
+
+TEST(WriteBuffer, StoreInvStoreDrainInProgramOrder) {
+  WriteBufferModel wb(16, 4);
+  wb.issue(0, WbEntryKind::Store, kLineA, 4);   // completes at 4
+  wb.issue(0, WbEntryKind::Inv, kLineA, 10);    // completes at 14
+  wb.issue(0, WbEntryKind::Store, kLineA, 4);   // completes at 18
+  // At t=5: first store retired, INV and second store still pending.
+  EXPECT_FALSE(wb.has_pending_store(5, kLineA) &&
+               wb.pending(5) == 3);  // first store done
+  EXPECT_GT(wb.inv_wait(5, kLineA), 0u);
+  EXPECT_TRUE(wb.has_pending_store(15, kLineA))
+      << "the second store cannot complete before the INV";
+  EXPECT_EQ(wb.inv_wait(15, kLineA), 0u);
+  EXPECT_EQ(wb.pending(18), 0u);
+}
+
+// --- Release drains -------------------------------------------------------------
+
+TEST(WriteBuffer, DrainWaitSplitsByKind) {
+  WriteBufferModel wb(16, 4);
+  wb.issue(0, WbEntryKind::Store, kLineA, 10);  // 0-10
+  wb.issue(0, WbEntryKind::Wb, kLineA, 20);     // 10-30
+  wb.issue(0, WbEntryKind::Inv, kLineB, 5);     // 30-35
+  const auto w = wb.drain_wait(0);
+  EXPECT_EQ(w.wb_wait, 30u);  // store+wb segments blame the WB bucket
+  EXPECT_EQ(w.inv_wait, 5u);
+  EXPECT_EQ(w.total(), 35u);
+  // Mid-drain: only the remaining segments count.
+  const auto w2 = wb.drain_wait(12);
+  EXPECT_EQ(w2.wb_wait, 18u);
+  EXPECT_EQ(w2.inv_wait, 5u);
+}
+
+TEST(WriteBuffer, DrainWaitEmptyIsZero) {
+  WriteBufferModel wb(16, 4);
+  EXPECT_EQ(wb.drain_wait(0).total(), 0u);
+  wb.issue_store(0, kLineA);
+  EXPECT_EQ(wb.drain_wait(100).total(), 0u);
+}
+
+TEST(WriteBuffer, RetireDropsCompleted) {
+  WriteBufferModel wb(16, 4);
+  wb.issue_store(0, kLineA);
+  wb.issue(0, WbEntryKind::Wb, kLineB, 100);
+  wb.retire_until(50);
+  EXPECT_EQ(wb.pending(50), 1u);
+  EXPECT_FALSE(wb.has_pending_store(50, kLineA));
+  EXPECT_TRUE(wb.has_pending_wb(50, kLineB));
+}
+
+TEST(WriteBuffer, ServiceMinimumOneCycle) {
+  WriteBufferModel wb(16, 4);
+  wb.issue(0, WbEntryKind::Wb, kLineA, 0);
+  EXPECT_EQ(wb.pending(0), 1u);
+  EXPECT_EQ(wb.pending(1), 0u);
+}
+
+/// Property sweep: random operation sequences never violate the §III-C
+/// ordering invariants.
+class WriteBufferFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WriteBufferFuzz, OrderingInvariantsHold) {
+  Rng rng(GetParam());
+  WriteBufferModel wb(4, 3);
+  Cycle now = 0;
+  // Shadow model: list of (complete, kind, line), FIFO.
+  std::vector<std::tuple<Cycle, WbEntryKind, Addr>> shadow;
+  Cycle last_complete = 0;
+  for (int op = 0; op < 400; ++op) {
+    now += rng.next_below(6);
+    const Addr line = (1 + rng.next_below(3)) * 0x1000;
+    std::erase_if(shadow, [&](const auto& e) {
+      return std::get<0>(e) <= now;
+    });
+    switch (rng.next_below(4)) {
+      case 0: {  // store
+        const Cycle stall = wb.issue_store(now, line);
+        now += stall;
+        break;
+      }
+      case 1: {  // wb or inv
+        const auto kind =
+            rng.next_below(2) == 0 ? WbEntryKind::Wb : WbEntryKind::Inv;
+        const Cycle service = 1 + rng.next_below(20);
+        now += wb.issue(now, kind, line, service);
+        break;
+      }
+      case 2: {  // load: check the no-INV-bypass rule
+        const Cycle wait = wb.inv_wait(now, line);
+        // After waiting, no INV to this line may still be pending.
+        ASSERT_EQ(wb.inv_wait(now + wait, line), 0u);
+        now += wait;
+        break;
+      }
+      case 3: {  // release: full drain
+        const auto w = wb.drain_wait(now);
+        now += w.total();
+        ASSERT_EQ(wb.pending(now), 0u);
+        ASSERT_EQ(wb.drain_wait(now).total(), 0u);
+        break;
+      }
+    }
+    ASSERT_LE(wb.pending(now), 4u);
+    (void)last_complete;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteBufferFuzz,
+                         testing::Values(5, 17, 23, 91, 1001));
+
+}  // namespace
+}  // namespace hic

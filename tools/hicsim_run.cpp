@@ -1,0 +1,170 @@
+// hicsim_run — run any workload on any configuration and report statistics.
+//
+//   hicsim_run --app ocean-cont --config B+M+I
+//   hicsim_run --app jacobi --config Addr+L --json
+//   hicsim_run --list
+//
+// Exit status: 0 on success (run completed and verified), 1 on usage or
+// verification failure.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "apps/workload.hpp"
+#include "stats/report.hpp"
+
+using namespace hic;
+
+namespace {
+
+std::optional<Config> parse_config(const std::string& name, bool inter) {
+  struct Entry {
+    const char* name;
+    Config cfg;
+  };
+  static constexpr Entry kIntra[] = {
+      {"HCC", Config::Hcc},          {"Base", Config::Base},
+      {"B+M", Config::BaseMeb},      {"B+I", Config::BaseIeb},
+      {"B+M+I", Config::BaseMebIeb},
+  };
+  static constexpr Entry kInter[] = {
+      {"HCC", Config::InterHcc},
+      {"Base", Config::InterBase},
+      {"Addr", Config::InterAddr},
+      {"Addr+L", Config::InterAddrL},
+  };
+  if (inter) {
+    for (const auto& e : kInter)
+      if (name == e.name) return e.cfg;
+  } else {
+    for (const auto& e : kIntra)
+      if (name == e.name) return e.cfg;
+  }
+  return std::nullopt;
+}
+
+void list_everything() {
+  std::printf("intra-block apps (configs: HCC, Base, B+M, B+I, B+M+I):\n");
+  for (const auto& n : intra_workload_names())
+    std::printf("  %s\n", n.c_str());
+  std::printf("inter-block apps (configs: HCC, Base, Addr, Addr+L):\n");
+  for (const auto& n : inter_workload_names())
+    std::printf("  %s\n", n.c_str());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hicsim_run --app <name> --config <name> [--json] "
+               "[--threads N] [--no-verify]\n"
+               "                  [--meb N] [--ieb N] [--slack N] "
+               "[--no-functional]\n"
+               "       hicsim_run --list\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app;
+  std::string config_name;
+  bool json = false;
+  bool verify = true;
+  bool functional = true;
+  int threads = 0;  // 0 = all cores
+  int meb = 0, ieb = 0;
+  long slack = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      list_everything();
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else if (arg == "--app") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      app = v;
+    } else if (arg == "--config") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      config_name = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      threads = std::atoi(v);
+    } else if (arg == "--meb") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      meb = std::atoi(v);
+    } else if (arg == "--ieb") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      ieb = std::atoi(v);
+    } else if (arg == "--slack") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      slack = std::atol(v);
+    } else if (arg == "--no-functional") {
+      functional = false;
+    } else {
+      return usage();
+    }
+  }
+  if (app.empty() || config_name.empty()) return usage();
+
+  try {
+    auto w = make_workload(app);
+    const auto cfg = parse_config(config_name, w->inter_block());
+    if (!cfg.has_value()) {
+      std::fprintf(stderr, "unknown config '%s' for %s-block app '%s'\n",
+                   config_name.c_str(),
+                   w->inter_block() ? "inter" : "intra", app.c_str());
+      return 1;
+    }
+    MachineConfig mc = w->inter_block() ? MachineConfig::inter_block()
+                                        : MachineConfig::intra_block();
+    if (meb > 0) mc.meb_entries = meb;
+    if (ieb > 0) mc.ieb_entries = ieb;
+    if (slack > 0) mc.sim_slack_cycles = static_cast<Cycle>(slack);
+    mc.functional_data = functional;
+    mc.validate();
+    Machine m(mc, *cfg);
+    const int n = threads > 0 ? threads : mc.total_cores();
+    const Cycle cycles = run_workload(*w, m, n);
+
+    if (json) {
+      std::printf("{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,"
+                  "\"stats\":%s",
+                  app.c_str(), config_name.c_str(), n,
+                  to_json(m.stats()).c_str());
+    } else {
+      std::printf("%s on %s, %d threads: %llu cycles\n\n%s", app.c_str(),
+                  config_name.c_str(), n,
+                  static_cast<unsigned long long>(cycles),
+                  summarize(m.stats()).c_str());
+    }
+    int rc = 0;
+    if (verify) {
+      const WorkloadResult r = w->verify(m);
+      if (json) {
+        std::printf(",\"verified\":%s", r.ok ? "true" : "false");
+      } else {
+        std::printf("verification: %s%s%s\n", r.ok ? "ok" : "FAILED",
+                    r.detail.empty() ? "" : " — ", r.detail.c_str());
+      }
+      rc = r.ok ? 0 : 1;
+    }
+    if (json) std::printf("}\n");
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,99 @@
+// hicsim_trace — replay a memory-access trace on any configuration.
+//
+//   hicsim_trace --file trace.txt --config B+M+I [--inter] [--json]
+//
+// See src/runtime/trace.hpp for the trace format.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "runtime/trace.hpp"
+#include "stats/report.hpp"
+
+using namespace hic;
+
+namespace {
+
+std::optional<Config> parse_config(const std::string& name, bool inter) {
+  if (inter) {
+    if (name == "HCC") return Config::InterHcc;
+    if (name == "Base") return Config::InterBase;
+    if (name == "Addr") return Config::InterAddr;
+    if (name == "Addr+L") return Config::InterAddrL;
+  } else {
+    if (name == "HCC") return Config::Hcc;
+    if (name == "Base") return Config::Base;
+    if (name == "B+M") return Config::BaseMeb;
+    if (name == "B+I") return Config::BaseIeb;
+    if (name == "B+M+I") return Config::BaseMebIeb;
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hicsim_trace --file <trace> --config <name> "
+               "[--inter] [--json]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string config_name = "B+M+I";
+  bool inter = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--file" && i + 1 < argc) {
+      file = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_name = argv[++i];
+    } else if (arg == "--inter") {
+      inter = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+
+  try {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+      return 1;
+    }
+    const TraceProgram prog = TraceProgram::parse(in);
+    const auto cfg = parse_config(config_name, inter);
+    if (!cfg.has_value()) {
+      std::fprintf(stderr, "unknown config '%s'\n", config_name.c_str());
+      return 1;
+    }
+    Machine m(inter ? MachineConfig::inter_block()
+                    : MachineConfig::intra_block(),
+              *cfg);
+    const Cycle cycles = prog.replay(m);
+    if (json) {
+      std::printf("{\"trace\":\"%s\",\"config\":\"%s\",\"events\":%zu,"
+                  "\"threads\":%d,\"stats\":%s}\n",
+                  file.c_str(), config_name.c_str(), prog.num_events(),
+                  prog.num_threads(), to_json(m.stats()).c_str());
+    } else {
+      std::printf("%s: %zu events, %d threads, %llu bytes of data\n",
+                  file.c_str(), prog.num_events(), prog.num_threads(),
+                  static_cast<unsigned long long>(prog.region_bytes()));
+      std::printf("%s on %s: %llu cycles\n\n%s", file.c_str(),
+                  config_name.c_str(),
+                  static_cast<unsigned long long>(cycles),
+                  summarize(m.stats()).c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
