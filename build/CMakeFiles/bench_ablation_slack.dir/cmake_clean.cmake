@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slack.dir/bench/bench_ablation_slack.cpp.o"
+  "CMakeFiles/bench_ablation_slack.dir/bench/bench_ablation_slack.cpp.o.d"
+  "bench/bench_ablation_slack"
+  "bench/bench_ablation_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

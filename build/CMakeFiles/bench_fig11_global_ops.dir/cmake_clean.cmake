@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_global_ops.dir/bench/bench_fig11_global_ops.cpp.o"
+  "CMakeFiles/bench_fig11_global_ops.dir/bench/bench_fig11_global_ops.cpp.o.d"
+  "bench/bench_fig11_global_ops"
+  "bench/bench_fig11_global_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_global_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

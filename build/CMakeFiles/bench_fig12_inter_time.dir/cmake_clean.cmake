@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_inter_time.dir/bench/bench_fig12_inter_time.cpp.o"
+  "CMakeFiles/bench_fig12_inter_time.dir/bench/bench_fig12_inter_time.cpp.o.d"
+  "bench/bench_fig12_inter_time"
+  "bench/bench_fig12_inter_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_inter_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

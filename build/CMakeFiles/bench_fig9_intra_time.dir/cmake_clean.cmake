@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_intra_time.dir/bench/bench_fig9_intra_time.cpp.o"
+  "CMakeFiles/bench_fig9_intra_time.dir/bench/bench_fig9_intra_time.cpp.o.d"
+  "bench/bench_fig9_intra_time"
+  "bench/bench_fig9_intra_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_intra_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

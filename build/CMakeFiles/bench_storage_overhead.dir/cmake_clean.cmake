@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_overhead.dir/bench/bench_storage_overhead.cpp.o"
+  "CMakeFiles/bench_storage_overhead.dir/bench/bench_storage_overhead.cpp.o.d"
+  "bench/bench_storage_overhead"
+  "bench/bench_storage_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_patterns.dir/bench/bench_table1_patterns.cpp.o"
+  "CMakeFiles/bench_table1_patterns.dir/bench/bench_table1_patterns.cpp.o.d"
+  "bench/bench_table1_patterns"
+  "bench/bench_table1_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_stencil.dir/adaptive_stencil.cpp.o"
+  "CMakeFiles/adaptive_stencil.dir/adaptive_stencil.cpp.o.d"
+  "adaptive_stencil"
+  "adaptive_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_race_demo.dir/data_race_demo.cpp.o"
+  "CMakeFiles/data_race_demo.dir/data_race_demo.cpp.o.d"
+  "data_race_demo"
+  "data_race_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_race_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

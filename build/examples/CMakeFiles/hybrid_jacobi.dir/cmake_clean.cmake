@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_jacobi.dir/hybrid_jacobi.cpp.o"
+  "CMakeFiles/hybrid_jacobi.dir/hybrid_jacobi.cpp.o.d"
+  "hybrid_jacobi"
+  "hybrid_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

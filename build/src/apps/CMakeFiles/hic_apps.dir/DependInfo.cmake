@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cpp" "src/apps/CMakeFiles/hic_apps.dir/barnes.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/barnes.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/hic_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/cholesky.cpp" "src/apps/CMakeFiles/hic_apps.dir/cholesky.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/cholesky.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/hic_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/hic_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/hic_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/apps/CMakeFiles/hic_apps.dir/jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/jacobi.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/hic_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/apps/CMakeFiles/hic_apps.dir/ocean.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/ocean.cpp.o.d"
+  "/root/repo/src/apps/raytrace.cpp" "src/apps/CMakeFiles/hic_apps.dir/raytrace.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/raytrace.cpp.o.d"
+  "/root/repo/src/apps/volrend.cpp" "src/apps/CMakeFiles/hic_apps.dir/volrend.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/volrend.cpp.o.d"
+  "/root/repo/src/apps/water.cpp" "src/apps/CMakeFiles/hic_apps.dir/water.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/water.cpp.o.d"
+  "/root/repo/src/apps/workload.cpp" "src/apps/CMakeFiles/hic_apps.dir/workload.cpp.o" "gcc" "src/apps/CMakeFiles/hic_apps.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hic_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/hic_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/hic_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hic_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

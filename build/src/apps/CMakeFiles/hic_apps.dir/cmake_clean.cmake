@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_apps.dir/barnes.cpp.o"
+  "CMakeFiles/hic_apps.dir/barnes.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/cg.cpp.o"
+  "CMakeFiles/hic_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/cholesky.cpp.o"
+  "CMakeFiles/hic_apps.dir/cholesky.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/ep.cpp.o"
+  "CMakeFiles/hic_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/fft.cpp.o"
+  "CMakeFiles/hic_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/is.cpp.o"
+  "CMakeFiles/hic_apps.dir/is.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/hic_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/lu.cpp.o"
+  "CMakeFiles/hic_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/ocean.cpp.o"
+  "CMakeFiles/hic_apps.dir/ocean.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/raytrace.cpp.o"
+  "CMakeFiles/hic_apps.dir/raytrace.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/volrend.cpp.o"
+  "CMakeFiles/hic_apps.dir/volrend.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/water.cpp.o"
+  "CMakeFiles/hic_apps.dir/water.cpp.o.d"
+  "CMakeFiles/hic_apps.dir/workload.cpp.o"
+  "CMakeFiles/hic_apps.dir/workload.cpp.o.d"
+  "libhic_apps.a"
+  "libhic_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_common.dir/interval_set.cpp.o"
+  "CMakeFiles/hic_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/hic_common.dir/machine_config.cpp.o"
+  "CMakeFiles/hic_common.dir/machine_config.cpp.o.d"
+  "libhic_common.a"
+  "libhic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

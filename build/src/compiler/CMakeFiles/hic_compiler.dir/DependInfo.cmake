@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cpp" "src/compiler/CMakeFiles/hic_compiler.dir/analysis.cpp.o" "gcc" "src/compiler/CMakeFiles/hic_compiler.dir/analysis.cpp.o.d"
+  "/root/repo/src/compiler/inspector.cpp" "src/compiler/CMakeFiles/hic_compiler.dir/inspector.cpp.o" "gcc" "src/compiler/CMakeFiles/hic_compiler.dir/inspector.cpp.o.d"
+  "/root/repo/src/compiler/loop_ir.cpp" "src/compiler/CMakeFiles/hic_compiler.dir/loop_ir.cpp.o" "gcc" "src/compiler/CMakeFiles/hic_compiler.dir/loop_ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_compiler.dir/analysis.cpp.o"
+  "CMakeFiles/hic_compiler.dir/analysis.cpp.o.d"
+  "CMakeFiles/hic_compiler.dir/inspector.cpp.o"
+  "CMakeFiles/hic_compiler.dir/inspector.cpp.o.d"
+  "CMakeFiles/hic_compiler.dir/loop_ir.cpp.o"
+  "CMakeFiles/hic_compiler.dir/loop_ir.cpp.o.d"
+  "libhic_compiler.a"
+  "libhic_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

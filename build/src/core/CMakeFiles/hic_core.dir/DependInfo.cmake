@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/entry_buffers.cpp" "src/core/CMakeFiles/hic_core.dir/entry_buffers.cpp.o" "gcc" "src/core/CMakeFiles/hic_core.dir/entry_buffers.cpp.o.d"
+  "/root/repo/src/core/incoherent.cpp" "src/core/CMakeFiles/hic_core.dir/incoherent.cpp.o" "gcc" "src/core/CMakeFiles/hic_core.dir/incoherent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hierarchy/CMakeFiles/hic_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hic_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

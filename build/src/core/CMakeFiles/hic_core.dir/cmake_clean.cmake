@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_core.dir/entry_buffers.cpp.o"
+  "CMakeFiles/hic_core.dir/entry_buffers.cpp.o.d"
+  "CMakeFiles/hic_core.dir/incoherent.cpp.o"
+  "CMakeFiles/hic_core.dir/incoherent.cpp.o.d"
+  "libhic_core.a"
+  "libhic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/memory_hierarchy.cpp" "src/hierarchy/CMakeFiles/hic_hierarchy.dir/memory_hierarchy.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hic_hierarchy.dir/memory_hierarchy.cpp.o.d"
+  "/root/repo/src/hierarchy/mesi.cpp" "src/hierarchy/CMakeFiles/hic_hierarchy.dir/mesi.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hic_hierarchy.dir/mesi.cpp.o.d"
+  "/root/repo/src/hierarchy/storage_model.cpp" "src/hierarchy/CMakeFiles/hic_hierarchy.dir/storage_model.cpp.o" "gcc" "src/hierarchy/CMakeFiles/hic_hierarchy.dir/storage_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hic_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_hierarchy.dir/memory_hierarchy.cpp.o"
+  "CMakeFiles/hic_hierarchy.dir/memory_hierarchy.cpp.o.d"
+  "CMakeFiles/hic_hierarchy.dir/mesi.cpp.o"
+  "CMakeFiles/hic_hierarchy.dir/mesi.cpp.o.d"
+  "CMakeFiles/hic_hierarchy.dir/storage_model.cpp.o"
+  "CMakeFiles/hic_hierarchy.dir/storage_model.cpp.o.d"
+  "libhic_hierarchy.a"
+  "libhic_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_mem.dir/cache.cpp.o"
+  "CMakeFiles/hic_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/hic_mem.dir/global_memory.cpp.o"
+  "CMakeFiles/hic_mem.dir/global_memory.cpp.o.d"
+  "libhic_mem.a"
+  "libhic_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_noc.dir/topology.cpp.o"
+  "CMakeFiles/hic_noc.dir/topology.cpp.o.d"
+  "libhic_noc.a"
+  "libhic_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

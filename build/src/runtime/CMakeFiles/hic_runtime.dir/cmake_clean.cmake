@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_runtime.dir/machine.cpp.o"
+  "CMakeFiles/hic_runtime.dir/machine.cpp.o.d"
+  "CMakeFiles/hic_runtime.dir/mpi_lite.cpp.o"
+  "CMakeFiles/hic_runtime.dir/mpi_lite.cpp.o.d"
+  "CMakeFiles/hic_runtime.dir/thread.cpp.o"
+  "CMakeFiles/hic_runtime.dir/thread.cpp.o.d"
+  "CMakeFiles/hic_runtime.dir/trace.cpp.o"
+  "CMakeFiles/hic_runtime.dir/trace.cpp.o.d"
+  "libhic_runtime.a"
+  "libhic_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

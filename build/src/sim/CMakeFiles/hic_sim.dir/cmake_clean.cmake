@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_sim.dir/engine.cpp.o"
+  "CMakeFiles/hic_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hic_sim.dir/write_buffer.cpp.o"
+  "CMakeFiles/hic_sim.dir/write_buffer.cpp.o.d"
+  "libhic_sim.a"
+  "libhic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhic_sim.a"
+)

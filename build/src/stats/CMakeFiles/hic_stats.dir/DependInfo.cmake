@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/energy.cpp" "src/stats/CMakeFiles/hic_stats.dir/energy.cpp.o" "gcc" "src/stats/CMakeFiles/hic_stats.dir/energy.cpp.o.d"
+  "/root/repo/src/stats/report.cpp" "src/stats/CMakeFiles/hic_stats.dir/report.cpp.o" "gcc" "src/stats/CMakeFiles/hic_stats.dir/report.cpp.o.d"
+  "/root/repo/src/stats/sim_stats.cpp" "src/stats/CMakeFiles/hic_stats.dir/sim_stats.cpp.o" "gcc" "src/stats/CMakeFiles/hic_stats.dir/sim_stats.cpp.o.d"
+  "/root/repo/src/stats/text_table.cpp" "src/stats/CMakeFiles/hic_stats.dir/text_table.cpp.o" "gcc" "src/stats/CMakeFiles/hic_stats.dir/text_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

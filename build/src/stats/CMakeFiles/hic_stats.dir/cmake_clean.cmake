@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_stats.dir/energy.cpp.o"
+  "CMakeFiles/hic_stats.dir/energy.cpp.o.d"
+  "CMakeFiles/hic_stats.dir/report.cpp.o"
+  "CMakeFiles/hic_stats.dir/report.cpp.o.d"
+  "CMakeFiles/hic_stats.dir/sim_stats.cpp.o"
+  "CMakeFiles/hic_stats.dir/sim_stats.cpp.o.d"
+  "CMakeFiles/hic_stats.dir/text_table.cpp.o"
+  "CMakeFiles/hic_stats.dir/text_table.cpp.o.d"
+  "libhic_stats.a"
+  "libhic_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/sync_controller.cpp" "src/sync/CMakeFiles/hic_sync.dir/sync_controller.cpp.o" "gcc" "src/sync/CMakeFiles/hic_sync.dir/sync_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hic_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hic_sync.dir/sync_controller.cpp.o"
+  "CMakeFiles/hic_sync.dir/sync_controller.cpp.o.d"
+  "libhic_sync.a"
+  "libhic_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hic_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis_bruteforce.cpp" "tests/CMakeFiles/hic_tests.dir/test_analysis_bruteforce.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_analysis_bruteforce.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/hic_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/hic_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/hic_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/hic_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_config_sweeps.cpp" "tests/CMakeFiles/hic_tests.dir/test_config_sweeps.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_config_sweeps.cpp.o.d"
+  "/root/repo/tests/test_dma.cpp" "tests/CMakeFiles/hic_tests.dir/test_dma.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_dma.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/hic_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_entry_buffers.cpp" "tests/CMakeFiles/hic_tests.dir/test_entry_buffers.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_entry_buffers.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/hic_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/hic_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_global_memory.cpp" "tests/CMakeFiles/hic_tests.dir/test_global_memory.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_global_memory.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/hic_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_incoherent.cpp" "tests/CMakeFiles/hic_tests.dir/test_incoherent.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_incoherent.cpp.o.d"
+  "/root/repo/tests/test_level_adaptive.cpp" "tests/CMakeFiles/hic_tests.dir/test_level_adaptive.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_level_adaptive.cpp.o.d"
+  "/root/repo/tests/test_mesi.cpp" "tests/CMakeFiles/hic_tests.dir/test_mesi.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_mesi.cpp.o.d"
+  "/root/repo/tests/test_mpi_lite.cpp" "tests/CMakeFiles/hic_tests.dir/test_mpi_lite.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_mpi_lite.cpp.o.d"
+  "/root/repo/tests/test_reproduction.cpp" "tests/CMakeFiles/hic_tests.dir/test_reproduction.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_reproduction.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/hic_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_safety_properties.cpp" "tests/CMakeFiles/hic_tests.dir/test_safety_properties.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_safety_properties.cpp.o.d"
+  "/root/repo/tests/test_small_geometry.cpp" "tests/CMakeFiles/hic_tests.dir/test_small_geometry.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_small_geometry.cpp.o.d"
+  "/root/repo/tests/test_staleness.cpp" "tests/CMakeFiles/hic_tests.dir/test_staleness.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_staleness.cpp.o.d"
+  "/root/repo/tests/test_storage_model.cpp" "tests/CMakeFiles/hic_tests.dir/test_storage_model.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_storage_model.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/hic_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_sync.cpp.o.d"
+  "/root/repo/tests/test_text_table.cpp" "tests/CMakeFiles/hic_tests.dir/test_text_table.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_text_table.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/hic_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/hic_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workloads_unit.cpp" "tests/CMakeFiles/hic_tests.dir/test_workloads_unit.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_workloads_unit.cpp.o.d"
+  "/root/repo/tests/test_write_buffer.cpp" "tests/CMakeFiles/hic_tests.dir/test_write_buffer.cpp.o" "gcc" "tests/CMakeFiles/hic_tests.dir/test_write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/hic_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hic_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/hic_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/hic_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hic_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hic_tests[1]_include.cmake")
+add_test(cli_run_intra "/root/repo/build/tools/hicsim_run" "--app" "water-spatial" "--config" "B+M+I")
+set_tests_properties(cli_run_intra PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_inter_json "/root/repo/build/tools/hicsim_run" "--app" "ep" "--config" "Addr+L" "--json")
+set_tests_properties(cli_run_inter_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_list "/root/repo/build/tools/hicsim_run" "--list")
+set_tests_properties(cli_run_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_bad_app "/root/repo/build/tools/hicsim_run" "--app" "nope" "--config" "HCC")
+set_tests_properties(cli_run_bad_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;46;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_trace "/root/repo/build/tools/hicsim_trace" "--file" "/root/repo/tests/data/demo.trace" "--config" "B+M+I")
+set_tests_properties(cli_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_trace_inter "/root/repo/build/tools/hicsim_trace" "--file" "/root/repo/tests/data/demo.trace" "--config" "Addr+L" "--inter" "--json")
+set_tests_properties(cli_trace_inter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_overrides "/root/repo/build/tools/hicsim_run" "--app" "raytrace" "--config" "B+M+I" "--meb" "8" "--ieb" "2" "--slack" "256")
+set_tests_properties(cli_run_overrides PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicsim_run.dir/hicsim_run.cpp.o"
+  "CMakeFiles/hicsim_run.dir/hicsim_run.cpp.o.d"
+  "hicsim_run"
+  "hicsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hicsim_trace.cpp" "tools/CMakeFiles/hicsim_trace.dir/hicsim_trace.cpp.o" "gcc" "tools/CMakeFiles/hicsim_trace.dir/hicsim_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hic_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hic_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/hic_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/hic_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hic_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hic_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hic_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

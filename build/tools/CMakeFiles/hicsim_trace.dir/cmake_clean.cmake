@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicsim_trace.dir/hicsim_trace.cpp.o"
+  "CMakeFiles/hicsim_trace.dir/hicsim_trace.cpp.o.d"
+  "hicsim_trace"
+  "hicsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
