@@ -79,6 +79,10 @@ struct MachineConfig {
   /// determinism is unaffected.
   Cycle sim_slack_cycles = 1024;
 
+  /// Livelock watchdog: abort the run with a HangReport once any core's
+  /// clock passes this limit. 0 disables the watchdog (the default).
+  Cycle watchdog_max_cycles = 0;
+
   /// When true, caches carry functional line data, so reads through the
   /// incoherent hierarchy really can observe stale values (used by the
   /// staleness tests; timing is identical either way).

@@ -104,6 +104,8 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
     if (std::memcmp(out, fresh, bytes) != 0) {
       stale = true;
       ++stats_->ops().stale_word_reads;
+      // An injected fault on this line is now *observed*, not silent.
+      if (fault_plan_ != nullptr) fault_plan_->on_stale_read(line);
 #ifdef HIC_TRACE_STALE
       // Debug hook: build with -DHIC_TRACE_STALE to log every stale read.
       std::fprintf(stderr, "STALE read core=%d addr=0x%llx bytes=%u\n", core,
@@ -149,6 +151,15 @@ AccessOutcome IncoherentHierarchy::write(CoreId core, Addr a,
   if (l1.has_data())
     std::memcpy(l1.data_of(*l).data() + (a - line), in, bytes);
   gmem_->shadow_write_raw(a, in, bytes);
+  // Fault injection: flip one bit of the cached copy only (the shadow keeps
+  // the true value, so the corruption is observable as a stale read).
+  if (fault_plan_ != nullptr && l1.has_data()) {
+    std::uint32_t bit = 0;
+    if (fault_plan_->should_corrupt_store(core, line, bytes, mask, &bit)) {
+      l1.data_of(*l)[(a - line) + bit / 8] ^=
+          std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    }
+  }
   return {lat, hit, false, 0};
 }
 
@@ -161,6 +172,16 @@ Cycle IncoherentHierarchy::fetch_to_l1(CoreId core, Addr line) {
               cfg_.l2_bank.rt_cycles;
   add_traffic(TrafficKind::Linefill,
               topo_.control_flits() + line_flits());
+  // Fault injection: the request loses `r` deliveries on the core->bank path
+  // and repays the retry/backoff latency (timing-only, always tolerated).
+  if (fault_plan_ != nullptr) {
+    if (const int r = fault_plan_->noc_retries(core); r > 0) {
+      const Cycle extra =
+          topo_.retry_latency(topo_.core_node(core), bank, r);
+      lat += extra;
+      fault_plan_->note_noc_delay(extra);
+    }
+  }
 
   CacheLine* l2l = nullptr;
   lat += ensure_l2_line(block, line, &l2l);
@@ -326,14 +347,23 @@ Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
   Cache& l1 = l1_of(core);
   const BlockId block = cfg_.block_of(core);
   if (CacheLine* l = l1.find(line); l != nullptr && l->dirty()) {
-    std::span<const std::byte> data;
-    if (l1.has_data()) data = l1.data_of(*l);
-    push_words_to_l2(block, line, data, l->dirty_mask);
-    ++stats_->ops().lines_written_back;
-    stats_->ops().words_written_back +=
-        static_cast<std::uint64_t>(std::popcount(l->dirty_mask));
-    l->dirty_mask = 0;  // left clean valid (§III-B)
-    lat += cfg_.costs.per_line_writeback_cycles;
+    // Fault injection: the WB message is lost AFTER the cache marked the
+    // line clean — the update silently never reaches the shared level (the
+    // paper's Fig. 4 failure mode, §IV). Timing is unchanged.
+    if (fault_plan_ != nullptr &&
+        fault_plan_->should_drop_wb(core, line, l->dirty_mask)) {
+      l->dirty_mask = 0;
+      lat += cfg_.costs.per_line_writeback_cycles;
+    } else {
+      std::span<const std::byte> data;
+      if (l1.has_data()) data = l1.data_of(*l);
+      push_words_to_l2(block, line, data, l->dirty_mask);
+      ++stats_->ops().lines_written_back;
+      stats_->ops().words_written_back +=
+          static_cast<std::uint64_t>(std::popcount(l->dirty_mask));
+      l->dirty_mask = 0;  // left clean valid (§III-B)
+      lat += cfg_.costs.per_line_writeback_cycles;
+    }
   }
   if (to == Level::L3) {
     // Figure 11 counter: one global WB per line the instruction targets
@@ -356,6 +386,13 @@ Cycle IncoherentHierarchy::inv_line(CoreId core, Addr line, Level from) {
   Cache& l1 = l1_of(core);
   const BlockId block = cfg_.block_of(core);
   const bool also_l2 = from == Level::L2 || from == Level::L3;
+  // Fault injection: the INV message is lost and the (possibly stale) cached
+  // copy survives. Only fires when a copy actually exists, so every injected
+  // drop is a real sabotage opportunity rather than a no-op.
+  if (l1.find(line) != nullptr && fault_plan_ != nullptr &&
+      fault_plan_->should_drop_inv(core, line)) {
+    return lat;
+  }
   if (CacheLine* l = l1.find(line)) {
     if (l->dirty()) {
       // §III-B: dirty data is written back before the line is invalidated,
@@ -401,6 +438,7 @@ std::vector<Addr> IncoherentHierarchy::lines_of(AddrRange r) const {
 Cycle IncoherentHierarchy::wb_range(CoreId core, AddrRange r, Level to) {
   ++stats_->ops().wb_ops;
   Cycle lat = cfg_.costs.op_fixed_cycles;
+  if (fault_plan_ != nullptr) lat += fault_plan_->wb_delay(core);
   for (Addr line : lines_of(r)) lat += wb_line(core, line, to);
   return lat;
 }
@@ -409,6 +447,7 @@ Cycle IncoherentHierarchy::wb_all(CoreId core, Level to) {
   ++stats_->ops().wb_ops;
   Cache& l1 = l1_of(core);
   Cycle lat = cfg_.costs.op_fixed_cycles + traversal_cycles(l1.params().num_lines());
+  if (fault_plan_ != nullptr) lat += fault_plan_->wb_delay(core);
   std::vector<Addr> dirty;
   l1.for_each_valid([&](const CacheLine& l) {
     if (l.dirty()) dirty.push_back(l.line_addr);
@@ -442,6 +481,7 @@ Cycle IncoherentHierarchy::wb_all(CoreId core, Level to) {
 Cycle IncoherentHierarchy::inv_range(CoreId core, AddrRange r, Level from) {
   ++stats_->ops().inv_ops;
   Cycle lat = cfg_.costs.op_fixed_cycles;
+  if (fault_plan_ != nullptr) lat += fault_plan_->inv_delay(core);
   for (Addr line : lines_of(r)) lat += inv_line(core, line, from);
   return lat;
 }
@@ -450,6 +490,7 @@ Cycle IncoherentHierarchy::inv_all(CoreId core, Level from) {
   ++stats_->ops().inv_ops;
   Cache& l1 = l1_of(core);
   Cycle lat = cfg_.costs.op_fixed_cycles + traversal_cycles(l1.params().num_lines());
+  if (fault_plan_ != nullptr) lat += fault_plan_->inv_delay(core);
   std::vector<Addr> lines;
   l1.for_each_valid([&](const CacheLine& l) { lines.push_back(l.line_addr); });
   for (Addr line : lines) lat += inv_line(core, line, Level::L1) - 1;
@@ -644,6 +685,32 @@ bool IncoherentHierarchy::peek_level(Level lv, CoreId core_or_block, Addr a,
   if (l == nullptr) return false;
   std::memcpy(out, cache->data_of(*l).data() + (a - line), bytes);
   return true;
+}
+
+bool IncoherentHierarchy::fault_visible(const FaultRecord& r) const {
+  if (is_timing_only(r.kind)) return false;
+  if (!cfg_.functional_data) return false;
+  const BlockId block = cfg_.block_of(r.core);
+  // A dropped WB hurts *other* cores: they read through the shared levels,
+  // so the faulted core's (correct) L1 copy must not mask the damage. A
+  // dropped INV or corrupted store hurts the faulted core itself: its L1
+  // copy IS the damage.
+  const bool include_l1 = r.kind != FaultKind::DropWb;
+  for (std::uint32_t off = 0; off < cfg_.l1.line_bytes; off += kWordBytes) {
+    const Addr a = r.line + off;
+    if (!gmem_->in_bounds(a, kWordBytes)) continue;
+    std::byte vis[kWordBytes];
+    bool have = false;
+    if (include_l1) have = peek_level(Level::L1, r.core, a, vis, kWordBytes);
+    if (!have) have = peek_level(Level::L2, block, a, vis, kWordBytes);
+    if (!have && l3_.has_value())
+      have = peek_level(Level::L3, 0, a, vis, kWordBytes);
+    if (!have) have = peek_level(Level::Memory, 0, a, vis, kWordBytes);
+    std::byte shadow[kWordBytes];
+    gmem_->shadow_read_raw(a, shadow, kWordBytes);
+    if (std::memcmp(vis, shadow, kWordBytes) != 0) return true;
+  }
+  return false;
 }
 
 }  // namespace hic

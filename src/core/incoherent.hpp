@@ -21,6 +21,7 @@
 
 #include "core/entry_buffers.hpp"
 #include "core/thread_map.hpp"
+#include "fault/fault_plan.hpp"
 #include "hierarchy/memory_hierarchy.hpp"
 #include "mem/cache.hpp"
 
@@ -90,6 +91,13 @@ class IncoherentHierarchy final : public HierarchyBase {
   /// tests that assert what each level sees). Returns false if not present.
   bool peek_level(Level lv, CoreId core_or_block, Addr a, void* out,
                   std::uint32_t bytes) const;
+
+  /// Fault reconciliation: true if the injected fault is still observable —
+  /// the value a consumer (or, for dropped INVs / corrupted stores, the
+  /// faulted core itself) would read for the line disagrees with the
+  /// instantly-coherent shadow. Non-mutating: walks the cached copies with
+  /// peek_level instead of issuing reads. Requires functional_data.
+  [[nodiscard]] bool fault_visible(const FaultRecord& r) const;
 
  private:
   // --- Level plumbing -------------------------------------------------------

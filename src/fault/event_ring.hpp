@@ -1,0 +1,116 @@
+// A tiny per-core ring buffer of the most recent simulated events, kept by
+// the engine so a hang report can show what each core was doing right before
+// it stopped making progress. Recording is a few stores per event, cheap
+// enough to stay always-on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hic {
+
+enum class CoreEventKind : std::uint8_t {
+  Compute,
+  Load,
+  Store,
+  Wb,
+  Inv,
+  Drain,
+  Dma,
+  Barrier,
+  Lock,
+  Unlock,
+  FlagWait,
+  FlagSet,
+  FlagAdd,
+  CsEnter,
+  CsExit,
+};
+
+[[nodiscard]] constexpr const char* to_string(CoreEventKind k) {
+  switch (k) {
+    case CoreEventKind::Compute: return "compute";
+    case CoreEventKind::Load: return "load";
+    case CoreEventKind::Store: return "store";
+    case CoreEventKind::Wb: return "wb";
+    case CoreEventKind::Inv: return "inv";
+    case CoreEventKind::Drain: return "drain";
+    case CoreEventKind::Dma: return "dma";
+    case CoreEventKind::Barrier: return "barrier";
+    case CoreEventKind::Lock: return "lock";
+    case CoreEventKind::Unlock: return "unlock";
+    case CoreEventKind::FlagWait: return "flag_wait";
+    case CoreEventKind::FlagSet: return "flag_set";
+    case CoreEventKind::FlagAdd: return "flag_add";
+    case CoreEventKind::CsEnter: return "cs_enter";
+    case CoreEventKind::CsExit: return "cs_exit";
+  }
+  return "?";
+}
+
+struct CoreEvent {
+  Cycle at = 0;
+  CoreEventKind kind = CoreEventKind::Compute;
+  /// Address for memory events, sync ID for sync events, -1 for neither.
+  std::int64_t detail = -1;
+
+  [[nodiscard]] std::string format() const {
+    std::ostringstream os;
+    os << '@' << at << ' ' << to_string(kind);
+    switch (kind) {
+      case CoreEventKind::Load:
+      case CoreEventKind::Store:
+      case CoreEventKind::Wb:
+      case CoreEventKind::Inv:
+        os << " 0x" << std::hex << detail << std::dec;
+        break;
+      case CoreEventKind::Barrier:
+      case CoreEventKind::Lock:
+      case CoreEventKind::Unlock:
+      case CoreEventKind::FlagWait:
+      case CoreEventKind::FlagSet:
+      case CoreEventKind::FlagAdd:
+        os << " #" << detail;
+        break;
+      default:
+        break;
+    }
+    return os.str();
+  }
+};
+
+/// Fixed-capacity circular buffer; push overwrites the oldest entry.
+class EventRing {
+ public:
+  static constexpr std::size_t kCapacity = 16;
+
+  void push(Cycle at, CoreEventKind kind, std::int64_t detail = -1) {
+    ring_[head_] = {at, kind, detail};
+    head_ = (head_ + 1) % kCapacity;
+    if (size_ < kCapacity) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Oldest-to-newest snapshot.
+  [[nodiscard]] std::vector<CoreEvent> events() const {
+    std::vector<CoreEvent> out;
+    out.reserve(size_);
+    const std::size_t start = (head_ + kCapacity - size_) % kCapacity;
+    for (std::size_t i = 0; i < size_; ++i)
+      out.push_back(ring_[(start + i) % kCapacity]);
+    return out;
+  }
+
+ private:
+  std::array<CoreEvent, kCapacity> ring_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hic

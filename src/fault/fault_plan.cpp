@@ -1,0 +1,231 @@
+#include "fault/fault_plan.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "stats/text_table.hpp"
+
+namespace hic {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::DropWb: return "drop-wb";
+    case FaultKind::DropInv: return "drop-inv";
+    case FaultKind::DelayWb: return "delay-wb";
+    case FaultKind::DelayInv: return "delay-inv";
+    case FaultKind::DelayNoc: return "delay-noc";
+    case FaultKind::CorruptLine: return "corrupt-line";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultKind parse_kind(const std::string& s) {
+  if (s == "drop-wb") return FaultKind::DropWb;
+  if (s == "drop-inv") return FaultKind::DropInv;
+  if (s == "delay-wb") return FaultKind::DelayWb;
+  if (s == "delay-inv") return FaultKind::DelayInv;
+  if (s == "delay-noc") return FaultKind::DelayNoc;
+  if (s == "corrupt-line") return FaultKind::CorruptLine;
+  HIC_CHECK_MSG(false, "unknown fault kind '"
+                           << s
+                           << "' (expected drop-wb, drop-inv, delay-wb, "
+                              "delay-inv, delay-noc or corrupt-line)");
+  return FaultKind::DropWb;
+}
+
+}  // namespace
+
+FaultRule parse_fault_rule(const std::string& spec) {
+  HIC_CHECK_MSG(!spec.empty(), "empty fault spec");
+  std::istringstream in(spec);
+  std::string tok;
+  HIC_CHECK(std::getline(in, tok, ':'));
+  FaultRule r;
+  r.kind = parse_kind(tok);
+  r.p = 1.0;  // fire on every opportunity unless p= is given
+  while (std::getline(in, tok, ':')) {
+    const auto eq = tok.find('=');
+    HIC_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
+                  "fault spec '" << spec << "': malformed clause '" << tok
+                                 << "' (expected key=value)");
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    std::size_t used = 0;
+    try {
+      if (key == "p") {
+        r.p = std::stod(val, &used);
+        HIC_CHECK_MSG(used == val.size() && r.p >= 0.0 && r.p <= 1.0,
+                      "fault spec '" << spec << "': p must be in [0,1], got '"
+                                     << val << "'");
+      } else if (key == "seed") {
+        r.seed = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size(), "fault spec '" << spec
+                                                         << "': bad seed '"
+                                                         << val << "'");
+      } else if (key == "n") {
+        r.max_count = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size() && r.max_count > 0,
+                      "fault spec '" << spec << "': bad count '" << val
+                                     << "'");
+      } else if (key == "cycles") {
+        r.delay_cycles = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size() && r.delay_cycles > 0,
+                      "fault spec '" << spec << "': bad cycles '" << val
+                                     << "'");
+      } else if (key == "retries") {
+        r.retries = std::stoi(val, &used);
+        HIC_CHECK_MSG(used == val.size() && r.retries > 0 && r.retries <= 64,
+                      "fault spec '" << spec
+                                     << "': retries must be in [1,64], got '"
+                                     << val << "'");
+      } else {
+        HIC_CHECK_MSG(false, "fault spec '" << spec << "': unknown key '"
+                                            << key << "'");
+      }
+    } catch (const std::invalid_argument&) {
+      HIC_CHECK_MSG(false, "fault spec '" << spec << "': non-numeric value '"
+                                          << val << "' for key '" << key
+                                          << "'");
+    } catch (const std::out_of_range&) {
+      HIC_CHECK_MSG(false, "fault spec '" << spec << "': value '" << val
+                                          << "' out of range for key '" << key
+                                          << "'");
+    }
+  }
+  return r;
+}
+
+bool FaultPlan::ArmedRule::draw() {
+  if (fired >= rule.max_count) return false;
+  if (rng.next_double() >= rule.p) return false;
+  ++fired;
+  return true;
+}
+
+void FaultPlan::add_rule(const FaultRule& r) { rules_.emplace_back(r); }
+
+bool FaultPlan::has_functional_rules() const {
+  for (const auto& a : rules_)
+    if (!is_timing_only(a.rule.kind)) return true;
+  return false;
+}
+
+FaultPlan::ArmedRule* FaultPlan::fire(FaultKind kind) {
+  for (auto& a : rules_) {
+    if (a.rule.kind != kind) continue;
+    if (a.draw()) return &a;
+  }
+  return nullptr;
+}
+
+bool FaultPlan::should_drop_wb(CoreId core, Addr line, std::uint64_t mask) {
+  if (fire(FaultKind::DropWb) == nullptr) return false;
+  records_.push_back({FaultKind::DropWb, core, line, mask, false, false});
+  return true;
+}
+
+bool FaultPlan::should_drop_inv(CoreId core, Addr line) {
+  if (fire(FaultKind::DropInv) == nullptr) return false;
+  records_.push_back({FaultKind::DropInv, core, line, 0, false, false});
+  return true;
+}
+
+Cycle FaultPlan::wb_delay(CoreId core) {
+  ArmedRule* a = fire(FaultKind::DelayWb);
+  if (a == nullptr) return 0;
+  records_.push_back({FaultKind::DelayWb, core, 0, 0, false, true});
+  return a->rule.delay_cycles;
+}
+
+Cycle FaultPlan::inv_delay(CoreId core) {
+  ArmedRule* a = fire(FaultKind::DelayInv);
+  if (a == nullptr) return 0;
+  records_.push_back({FaultKind::DelayInv, core, 0, 0, false, true});
+  return a->rule.delay_cycles;
+}
+
+int FaultPlan::noc_retries(CoreId core) {
+  ArmedRule* a = fire(FaultKind::DelayNoc);
+  if (a == nullptr) return 0;
+  records_.push_back({FaultKind::DelayNoc, core, 0, 0, false, true});
+  return a->rule.retries;
+}
+
+bool FaultPlan::should_corrupt_store(CoreId core, Addr line,
+                                     std::uint32_t bytes, std::uint64_t mask,
+                                     std::uint32_t* flip_bit_out) {
+  ArmedRule* a = fire(FaultKind::CorruptLine);
+  if (a == nullptr) return false;
+  *flip_bit_out = static_cast<std::uint32_t>(
+      a->rng.next_below(std::uint64_t{bytes} * 8));
+  records_.push_back({FaultKind::CorruptLine, core, line, mask, false, false});
+  return true;
+}
+
+void FaultPlan::on_stale_read(Addr line) {
+  for (auto& r : records_) {
+    if (r.line == line && !is_timing_only(r.kind)) r.detected = true;
+  }
+}
+
+void FaultPlan::reconcile(
+    SimStats& stats,
+    const std::function<bool(const FaultRecord&)>& still_visible) {
+  for (auto& r : records_) {
+    if (r.detected || r.tolerated) continue;
+    if (still_visible && still_visible(r)) {
+      r.detected = true;  // a verification read would observe the fault
+    } else {
+      r.tolerated = true;  // the coherent value was restored before any read
+    }
+  }
+  stats.ops().injected_faults = injected();
+  stats.ops().detected_faults = detected();
+  stats.ops().tolerated_faults = tolerated();
+}
+
+std::uint64_t FaultPlan::detected() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_) n += r.detected ? 1 : 0;
+  return n;
+}
+
+std::uint64_t FaultPlan::tolerated() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_) n += (r.tolerated && !r.detected) ? 1 : 0;
+  return n;
+}
+
+std::string FaultPlan::summary() const {
+  constexpr FaultKind kKinds[] = {FaultKind::DropWb,   FaultKind::DropInv,
+                                  FaultKind::DelayWb,  FaultKind::DelayInv,
+                                  FaultKind::DelayNoc, FaultKind::CorruptLine};
+  TextTable t({"fault", "injected", "detected", "tolerated"});
+  for (FaultKind k : kKinds) {
+    std::uint64_t inj = 0, det = 0, tol = 0;
+    for (const auto& r : records_) {
+      if (r.kind != k) continue;
+      ++inj;
+      if (r.detected) {
+        ++det;
+      } else if (r.tolerated) {
+        ++tol;
+      }
+    }
+    if (inj == 0) continue;
+    t.add_row({to_string(k), std::to_string(inj), std::to_string(det),
+               std::to_string(tol)});
+  }
+  t.add_row({"total", std::to_string(injected()), std::to_string(detected()),
+             std::to_string(tolerated())});
+  std::ostringstream os;
+  os << t.render();
+  if (noc_delay_cycles_ > 0)
+    os << "noc retry/backoff cycles charged: " << noc_delay_cycles_ << '\n';
+  return os.str();
+}
+
+}  // namespace hic

@@ -1,0 +1,147 @@
+// Deterministic, seeded fault injection (the robustness layer).
+//
+// The paper's central fragility is that one dropped WB or INV annotation
+// silently yields stale data (§IV, Fig. 4). A FaultPlan turns that fragility
+// into a first-class experiment: it registers injection points in the
+// hierarchy and NoC layers and fires them from a seeded xoshiro stream, so a
+// given seed produces a bit-identical fault pattern on every run (the engine
+// serializes cores, so decision draws happen in a deterministic order).
+//
+// Faults are never silent: every injected fault is recorded, and after the
+// run the plan reconciles each record against the functional state — a fault
+// is *detected* (a stale/corrupt value was observed by the staleness monitor
+// or remains visible to a verification read) or *tolerated* (a later WB,
+// eviction or overwrite restored the coherent value; pure timing faults are
+// tolerated by construction). The three counters land in SimStats so the
+// CLI report surfaces them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace hic {
+
+enum class FaultKind : std::uint8_t {
+  DropWb,       ///< a per-line WB message is lost (dirty bits still clear)
+  DropInv,      ///< a per-line INV is lost (the stale copy stays cached)
+  DelayWb,      ///< a WB instruction takes extra cycles (timing only)
+  DelayInv,     ///< an INV instruction takes extra cycles (timing only)
+  DelayNoc,     ///< a NoC hop is retried with backoff (timing only)
+  CorruptLine,  ///< one bit of a just-written cached word flips
+};
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// True for kinds that can only perturb timing, never functional state.
+[[nodiscard]] constexpr bool is_timing_only(FaultKind k) {
+  return k == FaultKind::DelayWb || k == FaultKind::DelayInv ||
+         k == FaultKind::DelayNoc;
+}
+
+/// One `--inject` clause: fire `kind` with probability `p` per opportunity,
+/// from a stream seeded with `seed`, at most `max_count` times.
+struct FaultRule {
+  FaultKind kind = FaultKind::DropWb;
+  double p = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t max_count = ~std::uint64_t{0};
+  /// DelayWb/DelayInv: extra cycles charged per fired fault.
+  Cycle delay_cycles = 200;
+  /// DelayNoc: retry attempts charged through ChipTopology::retry_latency.
+  int retries = 3;
+};
+
+/// Parses an `--inject` spec, e.g. "drop-wb:p=0.01:seed=7",
+/// "corrupt-line:p=0.001:seed=3:n=5", "delay-noc:p=0.05:retries=4",
+/// "delay-wb:p=0.1:cycles=500". Throws CheckFailure naming the bad token.
+[[nodiscard]] FaultRule parse_fault_rule(const std::string& spec);
+
+/// One injected fault, kept for reconciliation and reporting.
+struct FaultRecord {
+  FaultKind kind;
+  CoreId core = kInvalidCore;  ///< the core whose operation was sabotaged
+  Addr line = 0;               ///< affected line address (0 for NoC delays)
+  std::uint64_t word_mask = 0;  ///< words affected (drop-wb / corrupt)
+  bool detected = false;   ///< observed by the staleness monitor / reconcile
+  bool tolerated = false;  ///< provably converged (or timing-only)
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add_rule(const FaultRule& r);
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  /// True if any rule can corrupt functional state (needs functional_data).
+  [[nodiscard]] bool has_functional_rules() const;
+
+  // --- Injection points (called by the hierarchy) --------------------------
+  /// WB of `mask`-dirty words of `line` is about to be pushed toward the
+  /// shared level: true = the message is dropped (caller skips the push).
+  bool should_drop_wb(CoreId core, Addr line, std::uint64_t mask);
+  /// INV of `line` is about to clear the core's cached copy: true = the INV
+  /// is lost (caller keeps the copy).
+  bool should_drop_inv(CoreId core, Addr line);
+  /// Extra cycles injected into a WB / INV instruction (0 = no fault).
+  Cycle wb_delay(CoreId core);
+  Cycle inv_delay(CoreId core);
+  /// NoC hop fault: returns the retry count to charge (0 = no fault). The
+  /// caller converts retries into cycles via ChipTopology::retry_latency
+  /// and reports the charged cycles back through note_noc_delay.
+  int noc_retries(CoreId core);
+  void note_noc_delay(Cycle cycles) { noc_delay_cycles_ += cycles; }
+  /// A store just wrote `bytes` at `a` (cached copy only): true = flip one
+  /// bit of the cached copy. `flip_bit_out` gets the bit index within the
+  /// written bytes. The shadow keeps the true value, so the corruption is
+  /// observable exactly like a stale read.
+  bool should_corrupt_store(CoreId core, Addr line, std::uint32_t bytes,
+                            std::uint64_t mask, std::uint32_t* flip_bit_out);
+
+  // --- Detection ------------------------------------------------------------
+  /// The staleness monitor observed a stale/corrupt read of `line`; marks
+  /// every matching record detected.
+  void on_stale_read(Addr line);
+
+  /// Post-run classification. `still_visible(record)` must answer whether
+  /// the record's fault is still observable in the functional state (a
+  /// verification-style read of the line would disagree with the coherent
+  /// shadow). Faults neither observed during the run nor still visible are
+  /// tolerated. Fills the injected/detected/tolerated counters in `stats`.
+  void reconcile(SimStats& stats,
+                 const std::function<bool(const FaultRecord&)>& still_visible);
+
+  // --- Introspection ---------------------------------------------------------
+  [[nodiscard]] const std::vector<FaultRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t injected() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t detected() const;
+  [[nodiscard]] std::uint64_t tolerated() const;
+  [[nodiscard]] Cycle noc_delay_cycles() const { return noc_delay_cycles_; }
+  /// Multi-line per-kind summary table (text_table rendered).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct ArmedRule {
+    FaultRule rule;
+    Rng rng;
+    std::uint64_t fired = 0;
+    explicit ArmedRule(const FaultRule& r) : rule(r), rng(r.seed) {}
+    /// One deterministic Bernoulli draw against rule.p.
+    bool draw();
+  };
+
+  /// Finds the first armed rule of `kind` that fires on this opportunity.
+  ArmedRule* fire(FaultKind kind);
+
+  std::vector<ArmedRule> rules_;
+  std::vector<FaultRecord> records_;
+  Cycle noc_delay_cycles_ = 0;
+};
+
+}  // namespace hic

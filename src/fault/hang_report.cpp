@@ -1,0 +1,113 @@
+#include "fault/hang_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "stats/text_table.hpp"
+
+namespace hic {
+
+void HangReport::detect_cycle() {
+  cycle.clear();
+  // Adjacency over the wait-for edges; core IDs are small and dense.
+  std::map<CoreId, std::vector<CoreId>> adj;
+  for (const Edge& e : edges) adj[e.from].push_back(e.to);
+  for (auto& [from, tos] : adj) std::sort(tos.begin(), tos.end());
+
+  // Iterative DFS with colors; the first back edge closes the cycle.
+  std::map<CoreId, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<CoreId> stack;
+  for (const auto& [root, unused] : adj) {
+    if (color[root] != 0) continue;
+    // (node, next-neighbor-index) explicit stack.
+    std::vector<std::pair<CoreId, std::size_t>> dfs{{root, 0}};
+    stack.clear();
+    color[root] = 1;
+    stack.push_back(root);
+    while (!dfs.empty()) {
+      auto& [node, idx] = dfs.back();
+      const auto it = adj.find(node);
+      if (it == adj.end() || idx >= it->second.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      const CoreId next = it->second[idx++];
+      if (color[next] == 1) {
+        // Found a cycle: slice the gray stack from `next` onward.
+        const auto pos = std::find(stack.begin(), stack.end(), next);
+        cycle.assign(pos, stack.end());
+        cycle.push_back(next);  // close the loop
+        return;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back(next);
+        dfs.emplace_back(next, 0);
+      }
+    }
+  }
+}
+
+std::string HangReport::render() const {
+  std::ostringstream os;
+  if (kind == Kind::Deadlock) {
+    os << "simulation deadlock: all unfinished cores are blocked with no "
+          "runnable core (at cycle "
+       << at_cycle << ")\n";
+  } else {
+    os << "simulation watchdog: no completion after " << max_cycles
+       << " cycles (core clock reached " << at_cycle
+       << "); possible livelock\n";
+  }
+
+  TextTable t({"core", "clock", "state", "blocked on", "wbuf", "last events"});
+  for (const CoreDump& c : cores) {
+    std::string blocked = "-";
+    if (c.blocked_on >= 0) {
+      blocked = c.blocked_kind + " #" + std::to_string(c.blocked_on);
+    }
+    std::string events;
+    // The tail of the ring is what matters; keep the row readable.
+    const std::size_t show = std::min<std::size_t>(c.recent.size(), 4);
+    for (std::size_t i = c.recent.size() - show; i < c.recent.size(); ++i) {
+      if (!events.empty()) events += "; ";
+      events += c.recent[i].format();
+    }
+    t.add_row({"core " + std::to_string(c.core), std::to_string(c.clock),
+               c.state, blocked, std::to_string(c.wbuf_pending), events});
+  }
+  os << t.render();
+
+  if (!edges.empty()) {
+    os << "wait-for graph:\n";
+    for (const Edge& e : edges) {
+      os << "  core " << e.from << " -> core " << e.to << " (" << e.why
+         << ")\n";
+    }
+  }
+  if (!cycle.empty()) {
+    os << "wait-for cycle: ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) os << " -> ";
+      os << "core " << cycle[i];
+    }
+    os << "\n";
+  } else if (kind == Kind::Deadlock) {
+    os << "no wait-for cycle among locks/barriers: look for a flag that is "
+          "never set or a barrier participant that exited early\n";
+  }
+
+  os << "full event history (oldest first):\n";
+  for (const CoreDump& c : cores) {
+    os << "  core " << c.core << ":";
+    if (c.recent.empty()) os << " (no events)";
+    for (const CoreEvent& e : c.recent) os << ' ' << e.format();
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hic

@@ -1,0 +1,57 @@
+// Structured hang diagnosis: when the engine detects a deadlock (no runnable
+// core) or the watchdog trips (a core ran past --max-cycles without the run
+// finishing), it fills a HangReport instead of aborting with a bare check.
+// The report carries a per-core dump (local clock, scheduler state, the sync
+// object the core is blocked on, pending write-buffer entries, the last 16
+// events from the core's ring buffer) plus a wait-for graph over locks and
+// barriers with cycle detection, and renders through stats/text_table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/event_ring.hpp"
+
+namespace hic {
+
+struct HangReport {
+  enum class Kind {
+    Deadlock,  ///< every unfinished core is blocked on a sync object
+    Watchdog,  ///< --max-cycles exceeded with cores still running (livelock)
+  };
+
+  struct CoreDump {
+    CoreId core = kInvalidCore;
+    Cycle clock = 0;
+    std::string state;        ///< "ready" / "blocked" / "finished"
+    int blocked_on = -1;      ///< sync ID, -1 if not blocked
+    std::string blocked_kind; ///< "lock" / "barrier" / "flag", "" if none
+    std::size_t wbuf_pending = 0;
+    std::vector<CoreEvent> recent;  ///< oldest-to-newest ring snapshot
+  };
+
+  /// A wait-for edge: `from` cannot proceed until `to` acts on sync `via`.
+  struct Edge {
+    CoreId from = kInvalidCore;
+    CoreId to = kInvalidCore;
+    int via = -1;
+    std::string why;  ///< e.g. "lock 3 held by core 1"
+  };
+
+  Kind kind = Kind::Deadlock;
+  Cycle at_cycle = 0;       ///< the most advanced core clock at detection
+  Cycle max_cycles = 0;     ///< watchdog limit (Watchdog reports only)
+  std::vector<CoreDump> cores;
+  std::vector<Edge> edges;
+  /// A wait-for cycle if one exists: c0 -> c1 -> ... -> c0 (c0 repeated).
+  std::vector<CoreId> cycle;
+
+  /// Populates `cycle` from `edges` (first cycle found, deterministic).
+  void detect_cycle();
+
+  /// Full multi-line report (attached to the thrown CheckFailure).
+  [[nodiscard]] std::string render() const;
+};
+
+}  // namespace hic

@@ -18,6 +18,8 @@
 
 namespace hic {
 
+class FaultPlan;
+
 struct AccessOutcome {
   Cycle latency = 0;
   bool l1_hit = false;
@@ -96,6 +98,13 @@ class HierarchyBase : public MemoryHierarchy {
   /// Core running thread t (set by map_thread); kInvalidCore if unmapped.
   [[nodiscard]] CoreId core_of_thread(ThreadId t) const;
 
+  /// Attaches a fault-injection plan (not owned; may be null). The
+  /// incoherent hierarchy consults it at its WB/INV/NoC/store injection
+  /// points; the coherent baseline ignores it (hardware coherence retries
+  /// transparently, so there is nothing to sabotage).
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_; }
+
  protected:
   [[nodiscard]] GlobalMemory& gmem() { return *gmem_; }
   [[nodiscard]] SimStats& stats() { return *stats_; }
@@ -117,6 +126,7 @@ class HierarchyBase : public MemoryHierarchy {
   ChipTopology topo_;
   GlobalMemory* gmem_;
   SimStats* stats_;
+  FaultPlan* fault_plan_ = nullptr;
   std::vector<CoreId> thread_to_core_;
 };
 

@@ -1,5 +1,6 @@
 #include "noc/topology.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -72,6 +73,17 @@ NodeId ChipTopology::l3_bank_node(int bank) const {
   // blocks if there are more banks than blocks).
   const int block = bank % cfg_.blocks;
   return core_node(block * cfg_.cores_per_block + cfg_.cores_per_block / 2);
+}
+
+Cycle ChipTopology::retry_latency(NodeId a, NodeId b, int attempts) const {
+  HIC_CHECK(attempts >= 0);
+  Cycle lost = 0;
+  for (int k = 1; k <= attempts; ++k) {
+    const int backoff_hops =
+        k < 6 ? std::min(1 << k, kMaxBackoffHops) : kMaxBackoffHops;
+    lost += latency(a, b) + static_cast<Cycle>(backoff_hops) * hop_cycles_;
+  }
+  return lost;
 }
 
 NodeId ChipTopology::memory_node_near(NodeId n) const {

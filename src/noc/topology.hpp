@@ -44,6 +44,13 @@ class ChipTopology {
     return 2 * latency(a, b);
   }
 
+  /// Cycles a message between `a` and `b` loses to `attempts` failed
+  /// deliveries: each retry repays the one-way path latency plus an
+  /// exponential backoff in hop-cycle units, capped at kMaxBackoffHops so a
+  /// burst of retries stays bounded (used by fault injection's delay-noc).
+  static constexpr int kMaxBackoffHops = 32;
+  [[nodiscard]] Cycle retry_latency(NodeId a, NodeId b, int attempts) const;
+
   /// Flits needed for a payload of `bytes` (one header flit + data flits).
   [[nodiscard]] std::uint64_t flits_for(std::uint32_t payload_bytes) const;
   /// Flits of a control message (header only).

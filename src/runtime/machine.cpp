@@ -26,6 +26,8 @@ Machine::Machine(const MachineConfig& mc, Config cfg)
   HIC_CHECK_MSG(is_inter_block(cfg) == mc.multi_block(),
                 "config " << to_string(cfg)
                           << " does not match the machine's block count");
+  hier_->set_fault_plan(&fault_plan_);
+  engine_.set_max_cycles(mc.watchdog_max_cycles);
 }
 
 IncoherentHierarchy* Machine::incoherent() {
@@ -69,6 +71,16 @@ void Machine::run(int nthreads, const std::function<void(Thread&)>& body) {
     });
   }
   engine_.run(std::move(bodies));
+
+  if (!fault_plan_.empty()) {
+    // Classify every injected fault that was not already caught as a stale
+    // read: still visible somewhere in the hierarchy -> detected; repaired
+    // by later traffic -> tolerated. Nothing stays silent.
+    IncoherentHierarchy* inc = incoherent();
+    fault_plan_.reconcile(stats_, [inc](const FaultRecord& r) {
+      return inc != nullptr && inc->fault_visible(r);
+    });
+  }
 }
 
 VerifyReader::VerifyReader(Machine& m) : m_(&m) {

@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 
+#include "fault/fault_plan.hpp"
 #include "mem/global_memory.hpp"
 #include "runtime/config.hpp"
 #include "sim/engine.hpp"
@@ -52,6 +53,12 @@ class Machine {
   [[nodiscard]] SyncController& sync() { return sync_; }
   [[nodiscard]] Engine& engine() { return engine_; }
 
+  /// The fault-injection plan this machine runs under. Add rules before
+  /// run(); afterwards the plan holds the per-fault detection records and
+  /// run() has already reconciled them into stats().
+  [[nodiscard]] FaultPlan& fault_plan() { return fault_plan_; }
+  void add_fault_rule(const FaultRule& rule) { fault_plan_.add_rule(rule); }
+
   /// The incoherent hierarchy, or nullptr under HCC.
   [[nodiscard]] IncoherentHierarchy* incoherent();
 
@@ -74,6 +81,7 @@ class Machine {
   Config cfg_;
   GlobalMemory gmem_;
   SimStats stats_;
+  FaultPlan fault_plan_;
   std::unique_ptr<HierarchyBase> hier_;
   SyncController sync_;
   Engine engine_;

@@ -29,7 +29,19 @@ TraceProgram TraceProgram::parse(std::istream& in) {
     std::istringstream ls(line);
     ThreadId tid;
     std::string op;
-    if (!(ls >> tid >> op)) continue;  // blank / comment-only line
+    if (!(ls >> tid)) {
+      // Only blank / comment-only lines may be skipped; a line with content
+      // that fails to parse is an error, not a silent no-op.
+      std::istringstream probe(line);
+      std::string tok;
+      HIC_CHECK_MSG(!(probe >> tok),
+                    "trace line " << line_no
+                                  << ": expected a numeric thread id, got '"
+                                  << tok << "'");
+      continue;
+    }
+    HIC_CHECK_MSG(static_cast<bool>(ls >> op),
+                  "trace line " << line_no << ": missing op after thread id");
     HIC_CHECK_MSG(tid >= 0 && tid < 1024,
                   "trace line " << line_no << ": bad thread id " << tid);
     TraceEvent e;
@@ -37,6 +49,12 @@ TraceProgram TraceProgram::parse(std::istream& in) {
     auto need_addr = [&](bool with_size) {
       HIC_CHECK_MSG(static_cast<bool>(ls >> e.addr),
                     "trace line " << line_no << ": missing address");
+      // A negative offset wraps to a huge unsigned value; either way it is
+      // out of range for a trace data region.
+      HIC_CHECK_MSG(e.addr < (std::uint64_t{1} << 30),
+                    "trace line " << line_no << ": address 0x" << std::hex
+                                  << e.addr << std::dec
+                                  << " out of range for the trace region");
       if (with_size) {
         HIC_CHECK_MSG(static_cast<bool>(ls >> e.bytes) && e.bytes > 0,
                       "trace line " << line_no << ": missing/zero size");
@@ -62,8 +80,11 @@ TraceProgram TraceProgram::parse(std::istream& in) {
       e.value = ++write_seq;
     } else if (op == "C") {
       e.kind = TraceEvent::Kind::Compute;
-      HIC_CHECK_MSG(static_cast<bool>(ls >> e.cycles),
-                    "trace line " << line_no << ": missing cycle count");
+      long long cyc = 0;
+      HIC_CHECK_MSG(static_cast<bool>(ls >> cyc) && cyc >= 0,
+                    "trace line " << line_no
+                                  << ": missing or negative cycle count");
+      e.cycles = static_cast<Cycle>(cyc);
     } else if (op == "B") {
       e.kind = TraceEvent::Kind::Barrier;
       HIC_CHECK_MSG(static_cast<bool>(ls >> e.sync_id) && e.sync_id >= 0,
@@ -87,6 +108,10 @@ TraceProgram TraceProgram::parse(std::istream& in) {
       HIC_CHECK_MSG(false,
                     "trace line " << line_no << ": unknown op '" << op << "'");
     }
+    std::string extra;
+    HIC_CHECK_MSG(!(ls >> extra), "trace line " << line_no
+                                                << ": trailing token '"
+                                                << extra << "'");
     prog.num_threads_ = std::max(prog.num_threads_, tid + 1);
     prog.events_.push_back(e);
   }

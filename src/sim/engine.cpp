@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
 namespace hic {
 
@@ -22,6 +23,7 @@ void Engine::run(std::vector<CoreBody> bodies) {
   const auto& cfg = hier_->config();
   ctxs_.clear();
   abort_ = false;
+  hang_report_ = HangReport{};
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     ctxs_.push_back(std::make_unique<CoreCtx>(
         static_cast<CoreId>(i), cfg.write_buffer_entries,
@@ -54,6 +56,7 @@ void Engine::run(std::vector<CoreBody> bodies) {
   }
 
   bool deadlock = false;
+  bool watchdog = false;
   for (;;) {
     if (abort_) break;  // a core's body threw: tear everything down
     CoreCtx* best = nullptr;
@@ -76,15 +79,33 @@ void Engine::run(std::vector<CoreBody> bodies) {
       deadlock = true;
       break;
     }
+    if (max_cycles_ != 0 && best->time > max_cycles_) {
+      // Even the earliest runnable core is past the limit: livelock.
+      watchdog = true;
+      break;
+    }
     best->run_until =
         second == kNever ? kNever : second + slack_;
+    // With a watchdog armed, cap the quantum so a core spinning forever
+    // still yields and lets the check above fire.
+    if (max_cycles_ != 0)
+      best->run_until = std::min(best->run_until, max_cycles_ + 1);
     running_ = best;
     best->go.release();
     engine_sem_.acquire();
     running_ = nullptr;
   }
 
-  if (deadlock || abort_) {
+  if (deadlock || watchdog) {
+    // Snapshot the diagnosis *before* teardown: releasing parked threads
+    // lets them run to Finished, destroying the blocked states below.
+    Cycle at = 0;
+    for (auto& up : ctxs_) at = std::max(at, up->time);
+    hang_report_ = build_hang_report(
+        deadlock ? HangReport::Kind::Deadlock : HangReport::Kind::Watchdog,
+        at);
+  }
+  if (deadlock || watchdog || abort_) {
     abort_ = true;
     // Release every parked thread so it can observe abort_ and exit.
     for (auto& up : ctxs_) {
@@ -96,12 +117,74 @@ void Engine::run(std::vector<CoreBody> bodies) {
   }
   finish_time_ = 0;
   for (auto& up : ctxs_) finish_time_ = std::max(finish_time_, up->time);
-  // A workload failure outranks the deadlock report (it usually caused it).
+  // A workload failure outranks the hang report (it usually caused it).
   for (auto& up : ctxs_) {
     if (up->error) std::rethrow_exception(up->error);
   }
-  HIC_CHECK_MSG(!deadlock,
-                "simulation deadlock: cores blocked with no runnable core");
+  if (deadlock || watchdog) throw CheckFailure(hang_report_.render());
+}
+
+HangReport Engine::build_hang_report(HangReport::Kind kind, Cycle at) const {
+  HangReport r;
+  r.kind = kind;
+  r.at_cycle = at;
+  r.max_cycles = max_cycles_;
+  for (const auto& up : ctxs_) {
+    const CoreCtx& c = *up;
+    HangReport::CoreDump d;
+    d.core = c.id;
+    d.clock = c.time;
+    switch (c.state) {
+      case CoreCtx::St::Ready: d.state = "ready"; break;
+      case CoreCtx::St::Blocked: d.state = "blocked"; break;
+      case CoreCtx::St::Finished: d.state = "finished"; break;
+    }
+    if (c.state == CoreCtx::St::Blocked && c.blocked_on >= 0) {
+      d.blocked_on = c.blocked_on;
+      switch (sync_->kind_of(c.blocked_on)) {
+        case SyncKind::Barrier: d.blocked_kind = "barrier"; break;
+        case SyncKind::Lock: d.blocked_kind = "lock"; break;
+        case SyncKind::Flag: d.blocked_kind = "flag"; break;
+      }
+    }
+    d.wbuf_pending = c.wbuf.pending(c.time);
+    d.recent = c.ring.events();
+    r.cores.push_back(std::move(d));
+
+    // Wait-for edges out of this core.
+    if (c.state != CoreCtx::St::Blocked || c.blocked_on < 0) continue;
+    const SyncId id = c.blocked_on;
+    std::ostringstream why;
+    switch (sync_->kind_of(id)) {
+      case SyncKind::Lock: {
+        const auto holder = sync_->lock_holder_of(id);
+        if (holder.has_value()) {
+          why << "lock #" << id << " held by core " << *holder;
+          r.edges.push_back({c.id, *holder, id, why.str()});
+        }
+        break;
+      }
+      case SyncKind::Barrier: {
+        // The core waits for every participant that has not yet arrived:
+        // any unfinished core not parked at this barrier.
+        why << "barrier #" << id << " ("
+            << sync_->barrier_arrived(id) << '/'
+            << sync_->barrier_participants(id) << " arrived)";
+        for (const auto& other : ctxs_) {
+          const CoreCtx& o = *other;
+          if (o.id == c.id || o.state == CoreCtx::St::Finished) continue;
+          if (o.state == CoreCtx::St::Blocked && o.blocked_on == id) continue;
+          r.edges.push_back({c.id, o.id, id, why.str()});
+        }
+        break;
+      }
+      case SyncKind::Flag:
+        // A flag set can come from any core (or never): no edge.
+        break;
+    }
+  }
+  r.detect_cycle();
+  return r;
 }
 
 void Engine::charge(CoreCtx& c, StallKind k, Cycle cycles) {
@@ -120,12 +203,14 @@ void Engine::maybe_yield(CoreCtx& c) {
   if (c.time >= c.run_until) yield(c);
 }
 
-void Engine::block(CoreCtx& c, StallKind k) {
+void Engine::block(CoreCtx& c, StallKind k, SyncId on) {
   c.state = CoreCtx::St::Blocked;
   c.block_start = c.time;
   c.block_kind = k;
+  c.blocked_on = on;
   yield(c);
   HIC_DCHECK(c.state == CoreCtx::St::Ready);
+  c.blocked_on = -1;
   stats().stalls(c.id).add(k, c.time - c.block_start);
 }
 
@@ -169,6 +254,7 @@ SimStats& CoreServices::stats() { return eng_->stats(); }
 
 void CoreServices::compute(Cycle cycles) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Compute);
   eng_->charge(c, StallKind::Rest, cycles);
   eng_->maybe_yield(c);
 }
@@ -176,6 +262,7 @@ void CoreServices::compute(Cycle cycles) {
 AccessOutcome CoreServices::load(Addr a, std::uint32_t bytes, void* out) {
   auto& c = eng_->ctx(id_);
   const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
+  c.ring.push(c.time, CoreEventKind::Load, static_cast<std::int64_t>(a));
   c.wbuf.retire_until(c.time);
   // Loads never bypass a pending INV to the same line (§III-C).
   eng_->charge(c, StallKind::InvStall, c.wbuf.inv_wait(c.time, line));
@@ -190,6 +277,7 @@ AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
                                   const void* in) {
   auto& c = eng_->ctx(id_);
   const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
+  c.ring.push(c.time, CoreEventKind::Store, static_cast<std::int64_t>(a));
   const AccessOutcome r = eng_->hierarchy().write(id_, a, bytes, in);
   // The store retires into the write buffer: the core pays one issue cycle
   // (plus a full-buffer stall); the service time drains in the background.
@@ -204,6 +292,7 @@ AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
 
 void CoreServices::wb_range(AddrRange r, Level to) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
   const Cycle service = eng_->hierarchy().wb_range(id_, r, to);
   const Cycle stall =
       c.wbuf.issue(c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines,
@@ -214,6 +303,7 @@ void CoreServices::wb_range(AddrRange r, Level to) {
 
 void CoreServices::wb_all(Level to) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Wb);
   const Cycle service = eng_->hierarchy().wb_all(id_, to);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
@@ -223,6 +313,7 @@ void CoreServices::wb_all(Level to) {
 
 void CoreServices::inv_range(AddrRange r, Level from) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
   const Cycle service = eng_->hierarchy().inv_range(id_, r, from);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
@@ -232,6 +323,7 @@ void CoreServices::inv_range(AddrRange r, Level from) {
 
 void CoreServices::inv_all(Level from) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Inv);
   const Cycle service = eng_->hierarchy().inv_all(id_, from);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
@@ -241,6 +333,7 @@ void CoreServices::inv_all(Level from) {
 
 void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
   const Cycle service = eng_->hierarchy().wb_cons(id_, r, consumer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
@@ -250,6 +343,7 @@ void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
 
 void CoreServices::wb_cons_all(ThreadId consumer) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Wb);
   const Cycle service = eng_->hierarchy().wb_cons_all(id_, consumer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
@@ -259,6 +353,7 @@ void CoreServices::wb_cons_all(ThreadId consumer) {
 
 void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
   const Cycle service = eng_->hierarchy().inv_prod(id_, r, producer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
@@ -268,6 +363,7 @@ void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
 
 void CoreServices::inv_prod_all(ThreadId producer) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Inv);
   const Cycle service = eng_->hierarchy().inv_prod_all(id_, producer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
@@ -277,6 +373,7 @@ void CoreServices::inv_prod_all(ThreadId producer) {
 
 void CoreServices::cs_enter() {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::CsEnter);
   const Cycle service = eng_->hierarchy().cs_enter(id_);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
@@ -286,6 +383,7 @@ void CoreServices::cs_enter() {
 
 void CoreServices::cs_exit() {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::CsExit);
   const Cycle service = eng_->hierarchy().cs_exit(id_);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
@@ -295,6 +393,7 @@ void CoreServices::cs_exit() {
 
 void CoreServices::drain_write_buffer() {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Drain);
   eng_->drain(c);
   eng_->maybe_yield(c);
 }
@@ -302,6 +401,7 @@ void CoreServices::drain_write_buffer() {
 void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
                             Addr dst, std::uint64_t bytes) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Dma, static_cast<std::int64_t>(src));
   // The initiator's prior writebacks must be out before the DMA reads the
   // source (the DMA engine reads the shared level).
   eng_->drain(c);
@@ -315,12 +415,13 @@ void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
 
 void CoreServices::barrier(SyncId id) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Barrier, id);
   eng_->drain(c);  // a barrier is a release point: posted data must be out
   eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
   auto released = eng_->sync().barrier_arrive(id, id_);
   if (!released.has_value()) {
-    eng_->block(c, StallKind::BarrierStall);
+    eng_->block(c, StallKind::BarrierStall, id);
   } else {
     const auto& topo = eng_->hierarchy().topology();
     const NodeId home = eng_->sync().home_of(id);
@@ -334,16 +435,18 @@ void CoreServices::barrier(SyncId id) {
 
 void CoreServices::lock(SyncId id) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Lock, id);
   eng_->charge(c, StallKind::LockStall, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
   if (!eng_->sync().lock_acquire(id, id_)) {
-    eng_->block(c, StallKind::LockStall);
+    eng_->block(c, StallKind::LockStall, id);
   }
   eng_->maybe_yield(c);
 }
 
 void CoreServices::unlock(SyncId id) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::Unlock, id);
   eng_->drain(c);  // release semantics: critical-section WBs must complete
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
@@ -358,16 +461,18 @@ void CoreServices::unlock(SyncId id) {
 
 void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::FlagWait, id);
   eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
   if (!eng_->sync().flag_check(id, id_, expect)) {
-    eng_->block(c, StallKind::BarrierStall);
+    eng_->block(c, StallKind::BarrierStall, id);
   }
   eng_->maybe_yield(c);
 }
 
 void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::FlagSet, id);
   eng_->drain(c);  // the flag publishes data: WBs must be out first
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
@@ -381,6 +486,7 @@ void CoreServices::flag_set(SyncId id, std::uint64_t value) {
 
 std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   auto& c = eng_->ctx(id_);
+  c.ring.push(c.time, CoreEventKind::FlagAdd, id);
   eng_->drain(c);
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();

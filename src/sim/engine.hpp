@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/event_ring.hpp"
+#include "fault/hang_report.hpp"
 #include "hierarchy/memory_hierarchy.hpp"
 #include "sim/write_buffer.hpp"
 #include "sync/sync_controller.hpp"
@@ -108,6 +110,16 @@ class Engine {
   /// The finishing time of the slowest core in the last run.
   [[nodiscard]] Cycle finish_time() const { return finish_time_; }
 
+  /// Livelock watchdog: if any core's clock passes `cycles`, the run aborts
+  /// with a HangReport instead of spinning forever. 0 disables (default).
+  void set_max_cycles(Cycle cycles) { max_cycles_ = cycles; }
+  [[nodiscard]] Cycle max_cycles() const { return max_cycles_; }
+
+  /// The diagnosis of the last deadlock/watchdog abort (empty cores vector
+  /// if the last run finished cleanly). The same report's render() is the
+  /// message of the CheckFailure run() throws.
+  [[nodiscard]] const HangReport& hang_report() const { return hang_report_; }
+
  private:
   friend class CoreServices;
 
@@ -120,6 +132,11 @@ class Engine {
     Cycle run_until = 0;
     Cycle block_start = 0;
     StallKind block_kind = StallKind::Rest;
+    /// Sync variable the core is parked on while Blocked (-1 otherwise).
+    /// Survives an abort teardown, so hang diagnosis can read it.
+    SyncId blocked_on = -1;
+    /// Last few operations the core performed (hang-report context).
+    EventRing ring;
     WriteBufferModel wbuf;
     CoreServices svc;
     /// An exception the body threw; rethrown by run() after teardown.
@@ -136,7 +153,8 @@ class Engine {
   void maybe_yield(CoreCtx& c);
   void yield(CoreCtx& c);
   /// Blocks the core until another core wakes it; charges the wait to `k`.
-  void block(CoreCtx& c, StallKind k);
+  /// `on` is the sync variable the core is waiting for (for hang diagnosis).
+  void block(CoreCtx& c, StallKind k, SyncId on);
   /// Marks a blocked core runnable no earlier than `at`.
   void wake(CoreId target, Cycle at);
 
@@ -146,6 +164,11 @@ class Engine {
   [[nodiscard]] Cycle sync_latency(const CoreCtx& c, SyncId id) const;
   void count_sync_traffic();
 
+  /// Snapshots every core plus the wait-for graph. Must run before parked
+  /// threads are released: teardown wipes the blocked states it reads.
+  [[nodiscard]] HangReport build_hang_report(HangReport::Kind kind,
+                                             Cycle at) const;
+
   HierarchyBase* hier_;
   SyncController* sync_;
   Cycle slack_;
@@ -154,6 +177,8 @@ class Engine {
   std::binary_semaphore engine_sem_{0};
   bool abort_ = false;
   Cycle finish_time_ = 0;
+  Cycle max_cycles_ = 0;  ///< 0 = no watchdog
+  HangReport hang_report_;
 };
 
 }  // namespace hic

@@ -79,4 +79,12 @@ std::size_t WriteBufferModel::pending(Cycle now) const {
   return n;
 }
 
+std::vector<WriteBufferModel::PendingEntry> WriteBufferModel::snapshot(
+    Cycle now) const {
+  std::vector<PendingEntry> out;
+  for (const auto& e : q_)
+    if (e.complete > now) out.push_back({e.complete, e.kind, e.line});
+  return out;
+}
+
 }  // namespace hic

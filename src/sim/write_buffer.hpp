@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
@@ -63,6 +64,15 @@ class WriteBufferModel {
 
   [[nodiscard]] std::size_t pending(Cycle now) const;
   [[nodiscard]] int capacity() const { return capacity_; }
+
+  /// In-flight entries at `now`, oldest first (hang-report core dumps show
+  /// what a blocked core still had queued).
+  struct PendingEntry {
+    Cycle complete;
+    WbEntryKind kind;
+    Addr line;  ///< kAllLines for whole-cache WB/INV
+  };
+  [[nodiscard]] std::vector<PendingEntry> snapshot(Cycle now) const;
 
   /// Sentinel line address meaning "the whole cache" (WB ALL / INV ALL).
   static constexpr Addr kAllLines = ~Addr{0};

@@ -59,6 +59,13 @@ std::string summarize(const SimStats& stats) {
      << o.adaptive_global_wb << " global; INV " << o.adaptive_local_inv
      << " local / " << o.adaptive_global_inv << " global\n";
   os << "stale word reads observed: " << o.stale_word_reads << '\n';
+  if (o.injected_faults > 0) {
+    os << "injected faults: " << o.injected_faults << " ("
+       << o.detected_faults << " detected, " << o.tolerated_faults
+       << " tolerated, "
+       << o.injected_faults - o.detected_faults - o.tolerated_faults
+       << " silent)\n";
+  }
   return os.str();
 }
 
@@ -101,6 +108,9 @@ std::string to_json(const SimStats& stats) {
      << ",\"ieb_evictions\":" << o.ieb_evictions
      << ",\"dir_invalidations_sent\":" << o.dir_invalidations_sent
      << ",\"stale_word_reads\":" << o.stale_word_reads
+     << ",\"injected_faults\":" << o.injected_faults
+     << ",\"detected_faults\":" << o.detected_faults
+     << ",\"tolerated_faults\":" << o.tolerated_faults
      << ",\"anno_barriers\":" << o.anno_barriers
      << ",\"anno_critical\":" << o.anno_critical
      << ",\"anno_flag\":" << o.anno_flag << ",\"anno_occ\":" << o.anno_occ

@@ -114,6 +114,12 @@ struct OpCounts {
   /// HCC-only.
   std::uint64_t dir_invalidations_sent = 0;
   std::uint64_t stale_word_reads = 0;  ///< functional-mode staleness monitor
+  /// Fault-injection accounting (filled by FaultPlan::reconcile): every
+  /// injected fault is either detected (observed stale/corrupt) or tolerated
+  /// (provably converged / timing-only) — the two always sum to injected.
+  std::uint64_t injected_faults = 0;
+  std::uint64_t detected_faults = 0;
+  std::uint64_t tolerated_faults = 0;
   /// Programming-model annotation counters (Table I classification).
   std::uint64_t anno_barriers = 0;
   std::uint64_t anno_critical = 0;

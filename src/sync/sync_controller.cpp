@@ -132,4 +132,40 @@ std::uint64_t SyncController::flag_value(SyncId id) const {
   return var(id, SyncKind::Flag).flag.value;
 }
 
+std::optional<CoreId> SyncController::lock_holder_of(SyncId id) const {
+  const CoreId h = var(id, SyncKind::Lock).lock.holder;
+  if (h == kInvalidCore) return std::nullopt;
+  return h;
+}
+
+std::vector<CoreId> SyncController::waiters_of(SyncId id) const {
+  HIC_CHECK(id >= 0 && id < static_cast<SyncId>(vars_.size()));
+  const Var& v = vars_[static_cast<std::size_t>(id)];
+  switch (v.kind) {
+    case SyncKind::Barrier: return v.barrier.waiting;
+    case SyncKind::Lock:
+      return {v.lock.queue.begin(), v.lock.queue.end()};
+    case SyncKind::Flag: {
+      std::vector<CoreId> out;
+      out.reserve(v.flag.waiting.size());
+      for (const auto& [core, expect] : v.flag.waiting) out.push_back(core);
+      return out;
+    }
+  }
+  return {};
+}
+
+std::vector<std::pair<CoreId, std::uint64_t>> SyncController::flag_waiters(
+    SyncId id) const {
+  return var(id, SyncKind::Flag).flag.waiting;
+}
+
+int SyncController::barrier_arrived(SyncId id) const {
+  return var(id, SyncKind::Barrier).barrier.arrived;
+}
+
+int SyncController::barrier_participants(SyncId id) const {
+  return var(id, SyncKind::Barrier).barrier.participants;
+}
+
 }  // namespace hic

@@ -68,6 +68,19 @@ class SyncController {
                                std::uint64_t* new_value = nullptr);
   [[nodiscard]] std::uint64_t flag_value(SyncId id) const;
 
+  // --- Hang-diagnosis introspection (read-only; used by the engine to build
+  // --- the wait-for graph of a HangReport) --------------------------------
+  /// The core currently holding a lock, or nullopt if free.
+  [[nodiscard]] std::optional<CoreId> lock_holder_of(SyncId id) const;
+  /// Every core currently parked on the variable: a lock's FIFO queue, a
+  /// barrier's arrived-and-waiting set, or a flag's waiter list.
+  [[nodiscard]] std::vector<CoreId> waiters_of(SyncId id) const;
+  /// Flag waiters with the value each one expects.
+  [[nodiscard]] std::vector<std::pair<CoreId, std::uint64_t>> flag_waiters(
+      SyncId id) const;
+  [[nodiscard]] int barrier_arrived(SyncId id) const;
+  [[nodiscard]] int barrier_participants(SyncId id) const;
+
  private:
   struct BarrierState {
     int participants = 0;

@@ -94,6 +94,81 @@ TEST(MachineConfig, InvalidConfigThrows) {
   EXPECT_THROW(mc.validate(), CheckFailure);
 }
 
+/// Each rejection must name the offending field so a bad CLI override or
+/// sweep configuration is diagnosable from the message alone.
+void expect_invalid(MachineConfig mc, const char* needle) {
+  try {
+    mc.validate();
+    FAIL() << "expected validate() to reject (wanted '" << needle << "')";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MachineConfig, RejectsZeroLineSize) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.l1.line_bytes = 0;
+  expect_invalid(mc, "l1.line_bytes");
+}
+
+TEST(MachineConfig, RejectsNonPowerOfTwoLineSize) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.l2_bank.line_bytes = 96;
+  expect_invalid(mc, "l2_bank.line_bytes");
+}
+
+TEST(MachineConfig, RejectsAssociativityBeyondLineCount) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.l1.ways = mc.l1.num_lines() * 2;  // more ways than the cache has lines
+  expect_invalid(mc, "l1.ways");
+}
+
+TEST(MachineConfig, RejectsZeroWays) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.l2_bank.ways = 0;
+  expect_invalid(mc, "l2_bank.ways");
+}
+
+TEST(MachineConfig, RejectsNonNestingLevels) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.l1.size_bytes = 256 * 1024;  // L1 bigger than its backing L2 bank
+  expect_invalid(mc, "cache levels must nest");
+  MachineConfig inter = MachineConfig::inter_block();
+  inter.l2_bank.size_bytes = 8 * 1024 * 1024;  // L2 bank bigger than L3 bank
+  expect_invalid(inter, "cache levels must nest");
+}
+
+TEST(MachineConfig, RejectsSizeNotWholeNumberOfSets) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.l1.size_bytes = 32 * 1024 + 64;  // 513 lines / 4 ways
+  expect_invalid(mc, "l1");
+}
+
+TEST(MachineConfig, RejectsBadScalars) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.blocks = 0;
+  expect_invalid(mc, "blocks");
+  mc = MachineConfig::intra_block();
+  mc.cores_per_block = -1;
+  expect_invalid(mc, "cores_per_block");
+  mc = MachineConfig::intra_block();
+  mc.meb_entries = 0;
+  expect_invalid(mc, "meb_entries");
+  mc = MachineConfig::intra_block();
+  mc.ieb_entries = 0;
+  expect_invalid(mc, "ieb_entries");
+  mc = MachineConfig::intra_block();
+  mc.link_bits = 12;  // not a multiple of 8
+  expect_invalid(mc, "link_bits");
+  mc = MachineConfig::intra_block();
+  mc.write_buffer_entries = 0;
+  expect_invalid(mc, "write_buffer_entries");
+  MachineConfig inter = MachineConfig::inter_block();
+  inter.l3_banks = 0;
+  expect_invalid(inter, "l3_banks");
+}
+
 // --- IntervalSet --------------------------------------------------------------
 
 TEST(IntervalSet, InsertCoalesces) {

@@ -127,6 +127,171 @@ TEST(FaultInjection, StrippedDirectivesFailJacobi) {
       << "stripped directives must cause observable staleness";
 }
 
+// --- FaultPlan-driven injection ----------------------------------------------
+//
+// The seeded FaultPlan sabotages the protocol from inside the hierarchy
+// (no hand-edited workloads). Invariants under test: runs are bit-identical
+// for a given seed, and no injected fault is ever silent — each one ends up
+// detected (stale/corrupt value observed) or tolerated (provably converged).
+
+struct FaultRunResult {
+  Cycle cycles = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t tolerated = 0;
+  std::uint64_t stale_reads = 0;
+  bool verified = false;
+};
+
+FaultRunResult run_jacobi_with_faults(const std::string& spec) {
+  auto w = make_workload("jacobi");
+  MachineConfig mc = MachineConfig::inter_block();
+  mc.validate();
+  Machine m(mc, Config::InterAddrL);
+  if (!spec.empty()) m.add_fault_rule(parse_fault_rule(spec));
+  run_workload(*w, m, mc.total_cores());
+  FaultRunResult r;
+  r.cycles = m.exec_cycles();
+  r.injected = m.stats().ops().injected_faults;
+  r.detected = m.stats().ops().detected_faults;
+  r.tolerated = m.stats().ops().tolerated_faults;
+  r.stale_reads = m.stats().ops().stale_word_reads;
+  r.verified = w->verify(m).ok;
+  return r;
+}
+
+TEST(FaultPlan, ParseAcceptsFullSpecs) {
+  const FaultRule r = parse_fault_rule("drop-wb:p=0.01:seed=7:n=5");
+  EXPECT_EQ(r.kind, FaultKind::DropWb);
+  EXPECT_DOUBLE_EQ(r.p, 0.01);
+  EXPECT_EQ(r.seed, 7u);
+  EXPECT_EQ(r.max_count, 5u);
+  const FaultRule d = parse_fault_rule("delay-noc:p=0.5:retries=4");
+  EXPECT_EQ(d.kind, FaultKind::DelayNoc);
+  EXPECT_EQ(d.retries, 4);
+  const FaultRule c = parse_fault_rule("delay-wb:cycles=500");
+  EXPECT_EQ(c.kind, FaultKind::DelayWb);
+  EXPECT_EQ(c.delay_cycles, 500u);
+  EXPECT_DOUBLE_EQ(c.p, 1.0);  // p defaults to always-fire
+}
+
+TEST(FaultPlan, ParseRejectsBadSpecs) {
+  EXPECT_THROW((void)parse_fault_rule(""), CheckFailure);
+  EXPECT_THROW((void)parse_fault_rule("no-such-fault:p=1"), CheckFailure);
+  EXPECT_THROW((void)parse_fault_rule("drop-wb:p=banana"), CheckFailure);
+  EXPECT_THROW((void)parse_fault_rule("drop-wb:p=2.0"), CheckFailure);
+  EXPECT_THROW((void)parse_fault_rule("drop-wb:bogus=1"), CheckFailure);
+}
+
+TEST(FaultPlanInjection, SeededDropWbIsDeterministic) {
+  const FaultRunResult a = run_jacobi_with_faults("drop-wb:p=0.02:seed=7");
+  const FaultRunResult b = run_jacobi_with_faults("drop-wb:p=0.02:seed=7");
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.tolerated, b.tolerated);
+  EXPECT_EQ(a.stale_reads, b.stale_reads);
+  EXPECT_GT(a.injected, 0u) << "p=0.02 over jacobi's WBs must fire";
+  // A different seed must give a different fault pattern (same opportunity
+  // stream, different Bernoulli draws).
+  const FaultRunResult c = run_jacobi_with_faults("drop-wb:p=0.02:seed=8");
+  EXPECT_NE(a.injected, c.injected);
+}
+
+TEST(FaultPlanInjection, DroppedWbOnJacobiIsNeverSilent) {
+  const FaultRunResult r = run_jacobi_with_faults("drop-wb:p=0.02:seed=7");
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_EQ(r.detected + r.tolerated, r.injected)
+      << "every injected fault must be classified";
+  EXPECT_GT(r.detected, 0u)
+      << "dropping 2% of jacobi's WBs must corrupt the halo exchange";
+  EXPECT_GT(r.stale_reads, 0u);
+  EXPECT_FALSE(r.verified) << "lost writebacks must fail verification";
+}
+
+TEST(FaultPlanInjection, CorruptedLinesOnJacobiAreNeverSilent) {
+  const FaultRunResult r =
+      run_jacobi_with_faults("corrupt-line:p=0.001:seed=3:n=16");
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_LE(r.injected, 16u);
+  EXPECT_EQ(r.detected + r.tolerated, r.injected);
+  EXPECT_GT(r.detected, 0u)
+      << "a flipped bit in a produced line must surface as a corrupt read";
+}
+
+TEST(FaultPlanInjection, CleanRunInjectsNothing) {
+  const FaultRunResult r = run_jacobi_with_faults("");
+  EXPECT_EQ(r.injected, 0u);
+  EXPECT_EQ(r.stale_reads, 0u);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(FaultPlanInjection, TimingFaultsSlowTheRunButStayCorrect) {
+  const FaultRunResult clean = run_jacobi_with_faults("");
+  const FaultRunResult delayed =
+      run_jacobi_with_faults("delay-noc:p=0.2:seed=11:retries=3");
+  EXPECT_GT(delayed.injected, 0u);
+  EXPECT_EQ(delayed.tolerated, delayed.injected)
+      << "timing-only faults are tolerated by construction";
+  EXPECT_EQ(delayed.detected, 0u);
+  EXPECT_GT(delayed.cycles, clean.cycles)
+      << "NoC retries must cost simulated time";
+  EXPECT_TRUE(delayed.verified) << "timing faults must never corrupt data";
+  EXPECT_EQ(delayed.stale_reads, 0u);
+}
+
+/// Lock-based workload: four threads increment a shared counter under a
+/// critical section. Dropping the CS writebacks makes increments vanish.
+FaultRunResult run_locked_counter(const std::string& spec) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.validate();
+  Machine m(mc, Config::BaseMebIeb);
+  const Addr x = m.mem().alloc_array<double>(1, "counter");
+  m.mem().init(x, 0.0);
+  auto lk = m.make_lock();
+  if (!spec.empty()) m.add_fault_rule(parse_fault_rule(spec));
+  constexpr int kThreads = 4, kIters = 8;
+  m.run(kThreads, [&](Thread& t) {
+    for (int i = 0; i < kIters; ++i) {
+      t.lock(lk);
+      const double v = t.load<double>(x);
+      t.store<double>(x, v + 1.0);
+      t.unlock(lk);
+      t.compute(200);
+    }
+  });
+  FaultRunResult r;
+  r.cycles = m.exec_cycles();
+  r.injected = m.stats().ops().injected_faults;
+  r.detected = m.stats().ops().detected_faults;
+  r.tolerated = m.stats().ops().tolerated_faults;
+  r.stale_reads = m.stats().ops().stale_word_reads;
+  VerifyReader rd(m);
+  r.verified = rd.read<double>(x) == kThreads * kIters;
+  return r;
+}
+
+TEST(FaultPlanInjection, LockedCounterSurvivesWithoutFaults) {
+  const FaultRunResult r = run_locked_counter("");
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.injected, 0u);
+}
+
+TEST(FaultPlanInjection, DroppedWbUnderLocksIsDetected) {
+  const FaultRunResult r = run_locked_counter("drop-wb:p=1.0:seed=5");
+  EXPECT_GT(r.injected, 0u);
+  EXPECT_EQ(r.detected + r.tolerated, r.injected);
+  EXPECT_GT(r.detected, 0u)
+      << "the next core in the lock queue must observe the stale counter";
+  EXPECT_GT(r.stale_reads, 0u);
+  EXPECT_FALSE(r.verified) << "lost critical-section updates must be visible";
+  // Deterministic too.
+  const FaultRunResult again = run_locked_counter("drop-wb:p=1.0:seed=5");
+  EXPECT_EQ(again.cycles, r.cycles);
+  EXPECT_EQ(again.injected, r.injected);
+  EXPECT_EQ(again.detected, r.detected);
+}
+
 TEST(FaultInjection, WrongLevelWbIsInsufficientAcrossBlocks) {
   // Publishing only to the L2 cannot serve a cross-block consumer.
   Machine m(MachineConfig::inter_block(), Config::InterAddr);

@@ -1,0 +1,211 @@
+// Hang diagnosis: a deadlocked or livelocked run must abort with a
+// structured HangReport — blocked cores, the sync objects they wait on, a
+// wait-for graph with cycle detection, and per-core event history — instead
+// of the old bare "simulation deadlock" check.
+#include <gtest/gtest.h>
+
+#include "fault/event_ring.hpp"
+#include "fault/hang_report.hpp"
+#include "runtime/thread.hpp"
+
+namespace hic {
+namespace {
+
+// --- EventRing ----------------------------------------------------------------
+
+TEST(EventRing, KeepsTheLastSixteenEventsInOrder) {
+  EventRing r;
+  for (int i = 0; i < 20; ++i)
+    r.push(static_cast<Cycle>(i), CoreEventKind::Compute, i);
+  const auto ev = r.events();
+  ASSERT_EQ(ev.size(), EventRing::kCapacity);
+  EXPECT_EQ(ev.front().detail, 4);   // 0..3 overwritten
+  EXPECT_EQ(ev.back().detail, 19);
+  for (std::size_t i = 1; i < ev.size(); ++i)
+    EXPECT_LT(ev[i - 1].at, ev[i].at);
+}
+
+TEST(EventRing, FormatsEventsReadably) {
+  CoreEvent load{120, CoreEventKind::Load, 0x1000};
+  EXPECT_EQ(load.format(), "@120 load 0x1000");
+  CoreEvent lk{5, CoreEventKind::Lock, 3};
+  EXPECT_EQ(lk.format(), "@5 lock #3");
+  CoreEvent comp{7, CoreEventKind::Compute, -1};
+  EXPECT_EQ(comp.format(), "@7 compute");
+}
+
+// --- Cycle detection ----------------------------------------------------------
+
+TEST(HangReportCycle, FindsTwoCoreCycle) {
+  HangReport r;
+  r.edges.push_back({0, 1, 0, "lock #0"});
+  r.edges.push_back({1, 0, 1, "lock #1"});
+  r.detect_cycle();
+  ASSERT_EQ(r.cycle.size(), 3u);  // closed: first core repeated
+  EXPECT_EQ(r.cycle.front(), r.cycle.back());
+}
+
+TEST(HangReportCycle, FindsLongerCycleThroughChain) {
+  HangReport r;
+  r.edges.push_back({0, 1, 0, ""});
+  r.edges.push_back({1, 2, 1, ""});
+  r.edges.push_back({2, 3, 2, ""});
+  r.edges.push_back({3, 1, 3, ""});  // cycle 1 -> 2 -> 3 -> 1
+  r.detect_cycle();
+  ASSERT_EQ(r.cycle.size(), 4u);
+  EXPECT_EQ(r.cycle.front(), r.cycle.back());
+  EXPECT_EQ(r.cycle.front(), 1);  // deterministic: smallest entry point first
+}
+
+TEST(HangReportCycle, NoCycleInADag) {
+  HangReport r;
+  r.edges.push_back({0, 1, 0, ""});
+  r.edges.push_back({1, 2, 0, ""});
+  r.edges.push_back({0, 2, 0, ""});
+  r.detect_cycle();
+  EXPECT_TRUE(r.cycle.empty());
+}
+
+// --- End-to-end deadlock ------------------------------------------------------
+
+/// Runs the classic ABBA deadlock and returns the thrown report text plus
+/// the engine's structured report.
+std::string run_abba(Machine& m) {
+  auto la = m.make_lock();
+  auto lb = m.make_lock();
+  try {
+    m.run(2, [&](Thread& t) {
+      const auto first = t.tid() == 0 ? la : lb;
+      const auto second = t.tid() == 0 ? lb : la;
+      t.lock(first);
+      t.compute(5000);  // longer than the slack: both acquisitions interleave
+      t.lock(second);
+      t.unlock(second);
+      t.unlock(first);
+    });
+  } catch (const CheckFailure& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "ABBA workload must deadlock";
+  return {};
+}
+
+TEST(HangReportEndToEnd, AbbaDeadlockNamesCoresLocksAndCycle) {
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  const std::string msg = run_abba(m);
+  EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("core 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("core 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("lock #0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("lock #1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wait-for cycle"), std::string::npos) << msg;
+
+  const HangReport& r = m.engine().hang_report();
+  EXPECT_EQ(r.kind, HangReport::Kind::Deadlock);
+  ASSERT_EQ(r.cores.size(), 2u);
+  EXPECT_EQ(r.cores[0].state, "blocked");
+  EXPECT_EQ(r.cores[1].state, "blocked");
+  EXPECT_EQ(r.cores[0].blocked_kind, "lock");
+  EXPECT_EQ(r.cores[0].blocked_on, 1);  // core 0 wants lock #1
+  EXPECT_EQ(r.cores[1].blocked_on, 0);
+  EXPECT_FALSE(r.cores[0].recent.empty()) << "ring buffer must have history";
+  ASSERT_EQ(r.edges.size(), 2u);
+  ASSERT_EQ(r.cycle.size(), 3u);
+  EXPECT_EQ(r.cycle.front(), r.cycle.back());
+}
+
+TEST(HangReportEndToEnd, DeadlockReportIsDeterministic) {
+  Machine m1(MachineConfig::intra_block(), Config::BaseMebIeb);
+  Machine m2(MachineConfig::intra_block(), Config::BaseMebIeb);
+  EXPECT_EQ(run_abba(m1), run_abba(m2));
+}
+
+TEST(HangReportEndToEnd, BarrierStarvationHasNoCycleButNamesTheBarrier) {
+  // Core 0 waits at a 2-party barrier core 1 never reaches: a deadlock with
+  // no wait-for cycle (core 1 is simply gone). The report must say so.
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  auto bar = m.make_barrier(2);
+  try {
+    m.run(2, [&](Thread& t) {
+      if (t.tid() == 0) t.services().barrier(bar.id);
+      // core 1 finishes without arriving
+    });
+    FAIL() << "half-arrived barrier must deadlock";
+  } catch (const CheckFailure& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
+  }
+  const HangReport& r = m.engine().hang_report();
+  EXPECT_EQ(r.kind, HangReport::Kind::Deadlock);
+  EXPECT_TRUE(r.cycle.empty());
+  EXPECT_EQ(r.cores[0].blocked_kind, "barrier");
+  EXPECT_EQ(r.cores[1].state, "finished");
+}
+
+// --- Watchdog -----------------------------------------------------------------
+
+TEST(HangReportEndToEnd, WatchdogCatchesLivelock) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.watchdog_max_cycles = 50000;
+  mc.validate();
+  Machine m(mc, Config::BaseMebIeb);
+  try {
+    m.run(2, [&](Thread& t) {
+      for (;;) t.compute(500);  // spins forever; only the watchdog stops it
+    });
+    FAIL() << "watchdog must abort the spin";
+  } catch (const CheckFailure& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("50000"), std::string::npos) << msg;
+  }
+  const HangReport& r = m.engine().hang_report();
+  EXPECT_EQ(r.kind, HangReport::Kind::Watchdog);
+  EXPECT_EQ(r.max_cycles, 50000u);
+  EXPECT_GT(r.at_cycle, 50000u);
+  EXPECT_TRUE(r.cycle.empty());
+  ASSERT_EQ(r.cores.size(), 2u);
+  EXPECT_EQ(r.cores[0].state, "ready");  // livelocked, not blocked
+  EXPECT_FALSE(r.cores[0].recent.empty());
+}
+
+TEST(HangReportEndToEnd, WatchdogDoesNotFireOnHealthyRuns) {
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.watchdog_max_cycles = 1000000;
+  mc.validate();
+  Machine m(mc, Config::BaseMebIeb);
+  auto bar = m.make_barrier(4);
+  m.run(4, [&](Thread& t) {
+    t.compute(2000);
+    t.barrier(bar);
+    t.compute(2000);
+  });
+  EXPECT_GT(m.exec_cycles(), 0u);
+  EXPECT_TRUE(m.engine().hang_report().cores.empty());
+}
+
+/// A workload exception must still outrank the hang diagnosis: the bug that
+/// caused the hang is more useful than the hang itself.
+TEST(HangReportEndToEnd, WorkloadErrorsOutrankTheHangReport) {
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  auto lk = m.make_lock();
+  try {
+    m.run(2, [&](Thread& t) {
+      if (t.tid() == 0) {
+        t.lock(lk);
+        t.unlock(lk);
+        t.unlock(lk);  // misuse: releasing a lock we no longer hold
+      } else {
+        t.compute(100);
+      }
+    });
+    FAIL() << "double unlock must throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("released"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace hic

@@ -62,6 +62,34 @@ TEST(TraceParse, ErrorsCarryLineNumbers) {
   expect_throw_with("", "empty trace");
 }
 
+TEST(TraceParse, MalformedLinesAreErrorsNotSkips) {
+  auto expect_throw_with = [](const std::string& text, const char* needle) {
+    try {
+      (void)TraceProgram::parse_string(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  // A non-numeric thread id used to be silently dropped like a blank line.
+  expect_throw_with("garbage R 0 8\n", "thread id");
+  expect_throw_with("0 C 5\nR 0 8\n", "line 2");  // op where tid should be
+  // Op with nothing after the tid.
+  expect_throw_with("0\n", "missing op");
+  // Out-of-range thread ids.
+  expect_throw_with("-1 C 5\n", "bad thread id");
+  expect_throw_with("4096 C 5\n", "bad thread id");
+  // Trailing tokens mean the line does not say what the author thought.
+  expect_throw_with("0 C 5 extra\n", "trailing token");
+  expect_throw_with("0 R 0 8 L2\n", "trailing token");
+  // Negative compute counts would wrap to a near-infinite run.
+  expect_throw_with("0 C -5\n", "negative");
+  // Negative/absurd addresses wrap to huge unsigned offsets.
+  expect_throw_with("0 R -8 8\n", "out of range");
+  expect_throw_with("0 W 1099511627776 8\n", "out of range");
+}
+
 TEST(TraceReplay, ProducerConsumerThroughBarrier) {
   // Thread 0 writes a word and a barrier publishes it; thread 1 reads.
   const auto p = TraceProgram::parse_string(

@@ -2,16 +2,21 @@
 //
 //   hicsim_run --app ocean-cont --config B+M+I
 //   hicsim_run --app jacobi --config Addr+L --json
+//   hicsim_run --app jacobi --config B+M+I --inject drop-wb:p=0.01:seed=7
+//   hicsim_run --demo deadlock
 //   hicsim_run --list
 //
-// Exit status: 0 on success (run completed and verified), 1 on usage or
-// verification failure.
+// Exit status: 0 on success (run completed and verified), 1 on usage,
+// verification failure, or a hang (deadlock/watchdog — the HangReport goes
+// to stderr).
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/workload.hpp"
+#include "runtime/thread.hpp"
 #include "stats/report.hpp"
 
 using namespace hic;
@@ -59,7 +64,58 @@ int usage() {
                "[--threads N] [--no-verify]\n"
                "                  [--meb N] [--ieb N] [--slack N] "
                "[--no-functional]\n"
-               "       hicsim_run --list\n");
+               "                  [--inject <kind:k=v:...>]... [--max-cycles N]\n"
+               "       hicsim_run --demo deadlock|livelock [--max-cycles N]\n"
+               "       hicsim_run --list\n"
+               "inject kinds: drop-wb drop-inv delay-wb delay-inv delay-noc "
+               "corrupt-line\n"
+               "inject keys:  p=<prob> seed=<u64> n=<max fires> "
+               "cycles=<delay> retries=<n>\n");
+  return 1;
+}
+
+// Deliberately hung workloads demonstrating the HangReport (docs/robustness.md
+// walks through the output).
+int run_demo(const std::string& which, Cycle max_cycles) {
+  MachineConfig mc = MachineConfig::intra_block();
+  // The livelock demo spins forever by construction; always arm the watchdog
+  // so the run terminates with a diagnosis.
+  mc.watchdog_max_cycles =
+      max_cycles > 0 ? max_cycles
+                     : (which == "livelock" ? Cycle{200000} : Cycle{0});
+  mc.validate();
+  Machine m(mc, Config::BaseMebIeb);
+  auto la = m.make_lock();
+  auto lb = m.make_lock();
+  try {
+    if (which == "deadlock") {
+      // Classic ABBA: each thread holds one lock and wants the other. The
+      // compute section is longer than the scheduling slack, so both
+      // acquisitions interleave deterministically.
+      m.run(2, [&](Thread& t) {
+        const auto first = t.tid() == 0 ? la : lb;
+        const auto second = t.tid() == 0 ? lb : la;
+        t.lock(first);
+        t.compute(5000);
+        t.lock(second);
+        t.unlock(second);
+        t.unlock(first);
+      });
+    } else if (which == "livelock") {
+      // Busy-polling with no one to make progress: only the watchdog stops it.
+      m.run(2, [&](Thread& t) {
+        for (;;) t.compute(1000);
+      });
+    } else {
+      std::fprintf(stderr, "unknown demo '%s' (deadlock|livelock)\n",
+                   which.c_str());
+      return 1;
+    }
+  } catch (const CheckFailure& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "demo '%s' unexpectedly completed\n", which.c_str());
   return 1;
 }
 
@@ -74,6 +130,9 @@ int main(int argc, char** argv) {
   int threads = 0;  // 0 = all cores
   int meb = 0, ieb = 0;
   long slack = 0;
+  long max_cycles = 0;
+  std::string demo;
+  std::vector<std::string> inject_specs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -113,8 +172,29 @@ int main(int argc, char** argv) {
       slack = std::atol(v);
     } else if (arg == "--no-functional") {
       functional = false;
+    } else if (arg == "--inject") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      inject_specs.emplace_back(v);
+    } else if (arg == "--max-cycles") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      max_cycles = std::atol(v);
+    } else if (arg == "--demo") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      demo = v;
     } else {
       return usage();
+    }
+  }
+  if (!demo.empty()) {
+    try {
+      return run_demo(demo, max_cycles > 0 ? static_cast<Cycle>(max_cycles)
+                                           : Cycle{0});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
   }
   if (app.empty() || config_name.empty()) return usage();
@@ -133,9 +213,12 @@ int main(int argc, char** argv) {
     if (meb > 0) mc.meb_entries = meb;
     if (ieb > 0) mc.ieb_entries = ieb;
     if (slack > 0) mc.sim_slack_cycles = static_cast<Cycle>(slack);
+    if (max_cycles > 0) mc.watchdog_max_cycles = static_cast<Cycle>(max_cycles);
     mc.functional_data = functional;
     mc.validate();
     Machine m(mc, *cfg);
+    for (const auto& spec : inject_specs)
+      m.add_fault_rule(parse_fault_rule(spec));
     const int n = threads > 0 ? threads : mc.total_cores();
     const Cycle cycles = run_workload(*w, m, n);
 
@@ -149,6 +232,8 @@ int main(int argc, char** argv) {
                   config_name.c_str(), n,
                   static_cast<unsigned long long>(cycles),
                   summarize(m.stats()).c_str());
+      if (!m.fault_plan().empty())
+        std::printf("\n%s", m.fault_plan().summary().c_str());
     }
     int rc = 0;
     if (verify) {
