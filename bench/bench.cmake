@@ -20,6 +20,7 @@ hic_add_bench(bench_ablation_buffers)
 hic_add_bench(bench_ablation_slack)
 hic_add_bench(bench_energy)
 hic_add_bench(bench_scaling)
+hic_add_bench(bench_host_perf)
 
 # Microbenchmarks (google-benchmark): primitive-cost ablations.
 add_executable(bench_micro_primitives ${CMAKE_CURRENT_LIST_DIR}/bench_micro_primitives.cpp)

@@ -23,9 +23,11 @@ struct RunSnapshot {
 
 inline RunSnapshot run(const std::string& app, Config config) {
   auto w = make_workload(app);
-  const MachineConfig mc = is_inter_block(config)
-                               ? MachineConfig::inter_block()
-                               : MachineConfig::intra_block();
+  MachineConfig mc = is_inter_block(config) ? MachineConfig::inter_block()
+                                            : MachineConfig::intra_block();
+  // The benches report timing/traffic/ops, never staleness counts: skip the
+  // per-load shadow-read + memcmp (simulated cycles are identical).
+  mc.staleness_monitor = false;
   Machine m(mc, config);
   RunSnapshot s;
   s.app = app;

@@ -88,6 +88,17 @@ struct MachineConfig {
   /// staleness tests; timing is identical either way).
   bool functional_data = true;
 
+  /// When true (the default), every load shadow-reads main memory and
+  /// compares, counting stale words (stats only — cycles are identical).
+  /// Timing-focused runs (bench_* loops) turn it off to skip the memcmp;
+  /// fault-injection runs keep the detection path live regardless.
+  bool staleness_monitor = true;
+
+  /// Use the original one-thread-per-core engine loop instead of the
+  /// direct-handoff fiber scheduler. Both produce bit-identical
+  /// simulations; the fallback exists as a determinism cross-check.
+  bool legacy_scheduler = false;
+
   CacheOpCosts costs{};
 
   [[nodiscard]] int total_cores() const { return blocks * cores_per_block; }

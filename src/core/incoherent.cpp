@@ -1,5 +1,6 @@
 #include "core/incoherent.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>  // the HIC_TRACE_STALE debug hook
 #include <cstring>
@@ -26,6 +27,7 @@ IncoherentHierarchy::IncoherentHierarchy(const MachineConfig& cfg,
     l3_.emplace(l3, data);
   }
   cs_active_.assign(static_cast<std::size_t>(cfg_.total_cores()), false);
+  scratch_.reserve(l1_[0].params().num_lines() + l2_[0].params().num_lines());
 }
 
 void IncoherentHierarchy::map_thread(ThreadId t, CoreId c) {
@@ -99,18 +101,24 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
   if (l1.has_data()) {
     std::memcpy(out, l1.data_of(*l).data() + (a - line), bytes);
     // Staleness monitor: compare against the instantly-coherent shadow.
-    std::byte fresh[64];
-    gmem_->shadow_read_raw(a, fresh, bytes);
-    if (std::memcmp(out, fresh, bytes) != 0) {
-      stale = true;
-      ++stats_->ops().stale_word_reads;
-      // An injected fault on this line is now *observed*, not silent.
-      if (fault_plan_ != nullptr) fault_plan_->on_stale_read(line);
+    // The knob only suppresses the stats-side shadow read + memcmp (cycles
+    // are identical either way); an armed fault plan keeps detection live
+    // so injected faults are never silently missed.
+    if (cfg_.staleness_monitor ||
+        (fault_plan_ != nullptr && !fault_plan_->empty())) {
+      std::byte fresh[64];
+      gmem_->shadow_read_raw(a, fresh, bytes);
+        if (std::memcmp(out, fresh, bytes) != 0) {
+        stale = true;
+        ++stats_->ops().stale_word_reads;
+        // An injected fault on this line is now *observed*, not silent.
+        if (fault_plan_ != nullptr) fault_plan_->on_stale_read(line);
 #ifdef HIC_TRACE_STALE
-      // Debug hook: build with -DHIC_TRACE_STALE to log every stale read.
-      std::fprintf(stderr, "STALE read core=%d addr=0x%llx bytes=%u\n", core,
-                   static_cast<unsigned long long>(a), bytes);
+        // Debug hook: build with -DHIC_TRACE_STALE to log every stale read.
+        std::fprintf(stderr, "STALE read core=%d addr=0x%llx bytes=%u\n", core,
+                     static_cast<unsigned long long>(a), bytes);
 #endif
+      }
     }
   } else {
     gmem_->shadow_read_raw(a, out, bytes);
@@ -147,7 +155,7 @@ AccessOutcome IncoherentHierarchy::write(CoreId core, Addr a,
       cs_active_[static_cast<std::size_t>(core)]) {
     meb_[static_cast<std::size_t>(core)].record(l1.slot_of(*l));
   }
-  l->dirty_mask |= mask;
+  l1.mark_dirty(*l, mask);
   if (l1.has_data())
     std::memcpy(l1.data_of(*l).data() + (a - line), in, bytes);
   gmem_->shadow_write_raw(a, in, bytes);
@@ -282,7 +290,7 @@ void IncoherentHierarchy::push_words_to_l2(BlockId block, Addr line,
   }
   if (l2.has_data() && !data.empty())
     merge_words(l2.data_of(*l2l), data, mask, cfg_.l1.line_bytes);
-  l2l->dirty_mask |= mask;
+  l2.mark_dirty(*l2l, mask);
   const auto words = static_cast<std::uint32_t>(std::popcount(mask));
   add_traffic(TrafficKind::Writeback, data_flits(words * kWordBytes));
 }
@@ -300,7 +308,7 @@ void IncoherentHierarchy::push_words_to_l3(BlockId block, Addr line,
   if (l3l == nullptr) ensure_l3_line(line, &l3l);
   if (l3_->has_data() && !data.empty())
     merge_words(l3_->data_of(*l3l), data, mask, cfg_.l1.line_bytes);
-  l3l->dirty_mask |= mask;
+  l3_->mark_dirty(*l3l, mask);
   const auto words = static_cast<std::uint32_t>(std::popcount(mask));
   add_traffic(TrafficKind::Writeback, data_flits(words * kWordBytes));
 }
@@ -352,7 +360,7 @@ Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
     // paper's Fig. 4 failure mode, §IV). Timing is unchanged.
     if (fault_plan_ != nullptr &&
         fault_plan_->should_drop_wb(core, line, l->dirty_mask)) {
-      l->dirty_mask = 0;
+      l1.clear_dirty(*l);
       lat += cfg_.costs.per_line_writeback_cycles;
     } else {
       std::span<const std::byte> data;
@@ -361,7 +369,7 @@ Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
       ++stats_->ops().lines_written_back;
       stats_->ops().words_written_back +=
           static_cast<std::uint64_t>(std::popcount(l->dirty_mask));
-      l->dirty_mask = 0;  // left clean valid (§III-B)
+      l1.clear_dirty(*l);  // left clean valid (§III-B)
       lat += cfg_.costs.per_line_writeback_cycles;
     }
   }
@@ -374,7 +382,7 @@ Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
       std::span<const std::byte> data;
       if (l2.has_data()) data = l2.data_of(*l2l);
       push_words_to_l3(block, line, data, l2l->dirty_mask);
-      l2l->dirty_mask = 0;
+      l2.clear_dirty(*l2l);
       lat += cfg_.costs.per_line_writeback_cycles;
     }
   }
@@ -423,23 +431,55 @@ Cycle IncoherentHierarchy::inv_line(CoreId core, Addr line, Level from) {
   return lat;
 }
 
-std::vector<Addr> IncoherentHierarchy::lines_of(AddrRange r) const {
-  std::vector<Addr> lines;
-  if (r.empty()) return lines;
-  const Addr first = align_down(r.base, cfg_.l1.line_bytes);
-  const Addr last = align_down(r.end() - 1, cfg_.l1.line_bytes);
-  lines.reserve(static_cast<std::size_t>(
-      (last - first) / cfg_.l1.line_bytes + 1));
-  for (Addr a = first; a <= last; a += cfg_.l1.line_bytes)
-    lines.push_back(a);
-  return lines;
+void IncoherentHierarchy::collect_resident_lines(CoreId core, Addr first,
+                                                 Addr last, bool include_l2) {
+  scratch_.clear();
+  const auto in_range = [&](Addr a) { return a >= first && a <= last; };
+  l1_of(core).for_each_valid([&](const CacheLine& l) {
+    if (in_range(l.line_addr)) scratch_.push_back(l.line_addr);
+  });
+  if (include_l2) {
+    l2_of(cfg_.block_of(core)).for_each_valid([&](const CacheLine& l) {
+      if (in_range(l.line_addr)) scratch_.push_back(l.line_addr);
+    });
+  }
+  // Ascending address order — the same order the per-address loop visits
+  // lines in, so per-line side effects (RNG draws, L2 allocations) land in
+  // the identical sequence.
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
 }
 
 Cycle IncoherentHierarchy::wb_range(CoreId core, AddrRange r, Level to) {
   ++stats_->ops().wb_ops;
   Cycle lat = cfg_.costs.op_fixed_cycles;
   if (fault_plan_ != nullptr) lat += fault_plan_->wb_delay(core);
-  for (Addr line : lines_of(r)) lat += wb_line(core, line, to);
+  if (r.empty()) return lat;
+  const Addr lb = cfg_.l1.line_bytes;
+  const Addr first = align_down(r.base, lb);
+  const Addr last = align_down(r.end() - 1, lb);
+  const std::uint64_t n_lines = (last - first) / lb + 1;
+  std::uint64_t resident_bound = l1_of(core).params().num_lines();
+  if (to == Level::L3)
+    resident_bound += l2_of(cfg_.block_of(core)).params().num_lines();
+  if (n_lines > resident_bound) {
+    // The range dwarfs the cache: walk the resident lines it covers and
+    // charge the absent lines' tag checks arithmetically. Lines absent from
+    // every level at collection time stay absent for the whole op (only the
+    // written-back lines themselves allocate downstream), so this performs
+    // the exact same per-line work as the per-address loop below.
+    collect_resident_lines(core, first, last, /*include_l2=*/to == Level::L3);
+    for (Addr line : scratch_) lat += wb_line(core, line, to);
+    const std::uint64_t absent = n_lines - scratch_.size();
+    lat += absent;  // one tag-check cycle per absent line
+    if (to == Level::L3) stats_->ops().global_wb_lines += absent;
+  } else {
+    for (Addr a = first;; a += lb) {  // overflow-safe up to Addr max
+      lat += wb_line(core, a, to);
+      if (a == last) break;
+    }
+  }
   return lat;
 }
 
@@ -448,32 +488,29 @@ Cycle IncoherentHierarchy::wb_all(CoreId core, Level to) {
   Cache& l1 = l1_of(core);
   Cycle lat = cfg_.costs.op_fixed_cycles + traversal_cycles(l1.params().num_lines());
   if (fault_plan_ != nullptr) lat += fault_plan_->wb_delay(core);
-  std::vector<Addr> dirty;
-  l1.for_each_valid([&](const CacheLine& l) {
-    if (l.dirty()) dirty.push_back(l.line_addr);
-  });
   // Note: wb_line to L2 only here; the L2 pass below handles the L3 leg so
   // the whole block L2 (not just this core's lines) reaches the L3.
-  for (Addr line : dirty) lat += wb_line(core, line, Level::L2);
+  // (wb_line only clears the visited line's dirty bits — it never moves or
+  // invalidates L1 lines, so iterating in place is safe.)
+  l1.for_each_valid([&](const CacheLine& l) {
+    if (l.dirty()) lat += wb_line(core, l.line_addr, Level::L2);
+  });
 
   if (to == Level::L3) {
     const BlockId block = cfg_.block_of(core);
     Cache& l2 = l2_of(block);
     lat += traversal_cycles(l2.params().num_lines());
-    std::vector<Addr> l2dirty;
-    l2.for_each_valid([&](const CacheLine& l) {
-      if (l.dirty()) l2dirty.push_back(l.line_addr);
-    });
-    for (Addr line : l2dirty) {
-      CacheLine* l2l = l2.find(line);
+    // push_words_to_l3 allocates in the L3/DRAM only, never in this L2.
+    l2.for_each_valid([&](CacheLine& l2l) {
+      if (!l2l.dirty()) return;
       std::span<const std::byte> data;
-      if (l2.has_data()) data = l2.data_of(*l2l);
-      push_words_to_l3(block, line, data, l2l->dirty_mask);
-      l2l->dirty_mask = 0;
+      if (l2.has_data()) data = l2.data_of(l2l);
+      push_words_to_l3(block, l2l.line_addr, data, l2l.dirty_mask);
+      l2.clear_dirty(l2l);
       // Whole-cache WBs are not counted as "global WBs": Figure 11 counts
       // the compiler-inserted address-specific instructions.
       lat += cfg_.costs.per_line_writeback_cycles;
-    }
+    });
   }
   return lat;
 }
@@ -482,7 +519,26 @@ Cycle IncoherentHierarchy::inv_range(CoreId core, AddrRange r, Level from) {
   ++stats_->ops().inv_ops;
   Cycle lat = cfg_.costs.op_fixed_cycles;
   if (fault_plan_ != nullptr) lat += fault_plan_->inv_delay(core);
-  for (Addr line : lines_of(r)) lat += inv_line(core, line, from);
+  if (r.empty()) return lat;
+  const Addr lb = cfg_.l1.line_bytes;
+  const Addr first = align_down(r.base, lb);
+  const Addr last = align_down(r.end() - 1, lb);
+  const std::uint64_t n_lines = (last - first) / lb + 1;
+  const bool also_l2 = from == Level::L2 || from == Level::L3;
+  std::uint64_t resident_bound = l1_of(core).params().num_lines();
+  if (also_l2) resident_bound += l2_of(cfg_.block_of(core)).params().num_lines();
+  if (n_lines > resident_bound) {
+    collect_resident_lines(core, first, last, also_l2);
+    for (Addr line : scratch_) lat += inv_line(core, line, from);
+    const std::uint64_t absent = n_lines - scratch_.size();
+    lat += absent;  // one tag-check cycle per absent line
+    if (also_l2) stats_->ops().global_inv_lines += absent;
+  } else {
+    for (Addr a = first;; a += lb) {
+      lat += inv_line(core, a, from);
+      if (a == last) break;
+    }
+  }
   return lat;
 }
 
@@ -491,28 +547,26 @@ Cycle IncoherentHierarchy::inv_all(CoreId core, Level from) {
   Cache& l1 = l1_of(core);
   Cycle lat = cfg_.costs.op_fixed_cycles + traversal_cycles(l1.params().num_lines());
   if (fault_plan_ != nullptr) lat += fault_plan_->inv_delay(core);
-  std::vector<Addr> lines;
-  l1.for_each_valid([&](const CacheLine& l) { lines.push_back(l.line_addr); });
-  for (Addr line : lines) lat += inv_line(core, line, Level::L1) - 1;
+  // inv_line only touches the visited line in this L1 (its downstream
+  // writebacks allocate in L2/L3), so iterating in place is safe.
+  l1.for_each_valid([&](const CacheLine& l) {
+    lat += inv_line(core, l.line_addr, Level::L1) - 1;
+  });
 
   if (from == Level::L2 || from == Level::L3) {
     const BlockId block = cfg_.block_of(core);
     Cache& l2 = l2_of(block);
     lat += traversal_cycles(l2.params().num_lines());
-    std::vector<Addr> l2lines;
-    l2.for_each_valid(
-        [&](const CacheLine& l) { l2lines.push_back(l.line_addr); });
-    for (Addr line : l2lines) {
-      CacheLine* l2l = l2.find(line);
-      if (l2l->dirty()) {
+    l2.for_each_valid([&](CacheLine& l2l) {
+      if (l2l.dirty()) {
         std::span<const std::byte> data;
-        if (l2.has_data()) data = l2.data_of(*l2l);
-        push_words_to_l3(block, line, data, l2l->dirty_mask);
+        if (l2.has_data()) data = l2.data_of(l2l);
+        push_words_to_l3(block, l2l.line_addr, data, l2l.dirty_mask);
         lat += cfg_.costs.per_line_writeback_cycles;
       }
-      l2.invalidate(*l2l);
+      l2.invalidate(l2l);
       // Not counted as a "global INV" — see the note in wb_all.
-    }
+    });
   }
   return lat;
 }
@@ -648,7 +702,7 @@ Cycle IncoherentHierarchy::dma_copy(BlockId src_block, Addr src,
       std::memcpy(l2_of(dst_block).data_of(*dl).data() + (da - dline), word,
                   kWordBytes);
     }
-    dl->dirty_mask |= l2_of(dst_block).word_mask(da, kWordBytes);
+    l2_of(dst_block).mark_dirty(*dl, l2_of(dst_block).word_mask(da, kWordBytes));
     // The DMA write is the new globally-intended value: keep the coherent
     // shadow in sync (the engine's stores would have done the same).
     gmem_->shadow_write_raw(da, word, kWordBytes);

@@ -164,7 +164,7 @@ AccessOutcome MesiHierarchy::write(CoreId core, Addr a, std::uint32_t bytes,
           add_traffic(TrafficKind::Writeback, line_flits());
           if (CacheLine* l2l =
                   l2_[static_cast<std::size_t>(block)].find(line))
-            l2l->dirty_mask = kAllDirty;
+            l2_[static_cast<std::size_t>(block)].mark_dirty(*l2l, kAllDirty);
         }
         owner_l1.invalidate(*ol);
       }
@@ -187,7 +187,7 @@ AccessOutcome MesiHierarchy::write(CoreId core, Addr a, std::uint32_t bytes,
     }
   }
   HIC_DCHECK(l != nullptr);
-  l->dirty_mask |= l1.word_mask(a, bytes);
+  l1.mark_dirty(*l, l1.word_mask(a, bytes));
   gmem_->shadow_write_raw(a, in, bytes);
   return {lat, true, false};
 }
@@ -208,7 +208,7 @@ Cycle MesiHierarchy::downgrade_local_owner(BlockId block, Addr line,
     if (ol->mesi == MesiState::Modified) {
       add_traffic(TrafficKind::Writeback, line_flits());
       if (CacheLine* l2l = l2_[static_cast<std::size_t>(block)].find(line))
-        l2l->dirty_mask = kAllDirty;
+        l2_[static_cast<std::size_t>(block)].mark_dirty(*l2l, kAllDirty);
     }
     ol->mesi = MesiState::Shared;
     d.sharers |= bit(local_index(owner));
@@ -258,7 +258,7 @@ void MesiHierarchy::fill_l1(CoreId core, Addr line, MesiState state) {
       d.owner = kInvalidCore;
       if (CacheLine* l2l =
               l2_[static_cast<std::size_t>(block)].find(ev->line_addr))
-        l2l->dirty_mask = kAllDirty;
+        l2_[static_cast<std::size_t>(block)].mark_dirty(*l2l, kAllDirty);
     }
   }
 }
@@ -300,7 +300,7 @@ void MesiHierarchy::fill_l2(BlockId block, Addr line, MesiState block_state) {
   if (dirty) {
     if (cfg_.multi_block()) {
       add_traffic(TrafficKind::Writeback, line_flits());
-      if (CacheLine* l3l = l3_->find(victim)) l3l->dirty_mask = kAllDirty;
+      if (CacheLine* l3l = l3_->find(victim)) l3_->mark_dirty(*l3l, kAllDirty);
     } else {
       add_traffic(TrafficKind::Memory, line_flits());
     }
@@ -438,14 +438,14 @@ Cycle MesiHierarchy::recall_block(BlockId block, Addr line, bool invalidate) {
     l2_dir_[static_cast<std::size_t>(block)].erase(line);
     if (dirty) {
       add_traffic(TrafficKind::Writeback, line_flits());
-      if (CacheLine* l3l = l3_->find(line)) l3l->dirty_mask = kAllDirty;
+      if (CacheLine* l3l = l3_->find(line)) l3_->mark_dirty(*l3l, kAllDirty);
     }
     l2.invalidate(*l2l);
   } else {
     if (dirty) {
       add_traffic(TrafficKind::Writeback, line_flits());
-      if (CacheLine* l3l = l3_->find(line)) l3l->dirty_mask = kAllDirty;
-      l2l->dirty_mask = 0;
+      if (CacheLine* l3l = l3_->find(line)) l3_->mark_dirty(*l3l, kAllDirty);
+      l2.clear_dirty(*l2l);
     }
     l2l->mesi = MesiState::Shared;
   }

@@ -82,6 +82,9 @@ CacheLine& Cache::allocate(Addr line_addr,
       ev.data.assign(src.begin(), src.end());
     }
     evicted = std::move(ev);
+    if (victim->dirty_mask != 0) --dirty_count_;
+  } else {
+    ++valid_count_;
   }
 
   victim->line_addr = line_addr;
@@ -93,6 +96,10 @@ CacheLine& Cache::allocate(Addr line_addr,
 }
 
 void Cache::invalidate(CacheLine& line) {
+  if (line.valid) {
+    --valid_count_;
+    if (line.dirty_mask != 0) --dirty_count_;
+  }
   line.valid = false;
   line.dirty_mask = 0;
   line.mesi = MesiState::Invalid;
@@ -103,17 +110,23 @@ void Cache::invalidate_all() {
 }
 
 std::uint32_t Cache::valid_count() const {
+#ifndef NDEBUG
   std::uint32_t n = 0;
   for (const auto& line : lines_)
     if (line.valid) ++n;
-  return n;
+  HIC_DCHECK(n == valid_count_);
+#endif
+  return valid_count_;
 }
 
 std::uint32_t Cache::dirty_line_count() const {
+#ifndef NDEBUG
   std::uint32_t n = 0;
   for (const auto& line : lines_)
     if (line.valid && line.dirty()) ++n;
-  return n;
+  HIC_DCHECK(n == dirty_count_);
+#endif
+  return dirty_count_;
 }
 
 std::uint32_t Cache::slot_of(const CacheLine& line) const {

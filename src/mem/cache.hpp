@@ -83,6 +83,21 @@ class Cache {
   /// lose updates write back first (the WB-before-INV rule of §III-B).
   void invalidate_all();
 
+  /// ORs `mask` into the line's dirty bits. All dirty-mask mutations go
+  /// through here / clear_dirty so the cache can keep its dirty-line count
+  /// incrementally (valid_count()/dirty_line_count() are O(1)).
+  void mark_dirty(CacheLine& line, std::uint64_t mask) {
+    HIC_DCHECK(line.valid);
+    if (mask != 0 && line.dirty_mask == 0) ++dirty_count_;
+    line.dirty_mask |= mask;
+  }
+
+  /// Clears the line's dirty bits (it stays valid — "left clean valid").
+  void clear_dirty(CacheLine& line) {
+    if (line.dirty_mask != 0) --dirty_count_;
+    line.dirty_mask = 0;
+  }
+
   // --- Iteration ----------------------------------------------------------
   /// Visits every valid line.
   template <typename Fn>
@@ -121,6 +136,10 @@ class Cache {
   std::vector<CacheLine> lines_;     ///< sets * ways, set-major
   std::vector<std::byte> data_;      ///< functional storage, line-major
   std::uint64_t lru_clock_ = 0;
+  /// Incremental occupancy counters (asserted against a full scan in debug
+  /// builds); updated by allocate/invalidate/mark_dirty/clear_dirty.
+  std::uint32_t valid_count_ = 0;
+  std::uint32_t dirty_count_ = 0;
 };
 
 }  // namespace hic

@@ -1,14 +1,58 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
+
+// AddressSanitizer tracks the current stack's bounds; unannotated ucontext
+// switches confuse it (e.g. __asan_handle_no_return during a throw pokes at
+// the wrong stack). Every fiber switch is therefore bracketed with the
+// sanitizer fiber API when ASan is on; plain builds compile it all away.
+#if defined(__SANITIZE_ADDRESS__)
+#define HIC_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HIC_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef HIC_ASAN_FIBERS
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace hic {
 
 namespace {
 constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+/// Per-fiber stack. Core bodies keep bulk data in simulated memory (gmem)
+/// or on the heap; 1 MB leaves ample headroom for call depth + exceptions.
+constexpr std::size_t kFiberStackBytes = 1 << 20;
+
+/// Call right before switching away; `fake` is the leaving context's slot
+/// (nullptr when the leaving fiber is dead and its fake stack can go).
+inline void fiber_switch_start(void** fake, const void* target_bottom,
+                               std::size_t target_size) {
+#ifdef HIC_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake, target_bottom, target_size);
+#else
+  (void)fake;
+  (void)target_bottom;
+  (void)target_size;
+#endif
 }
+
+/// Call first thing after control (re)enters a context; `fake` is the value
+/// fiber_switch_start stored for this context (nullptr on first entry).
+inline void fiber_switch_finish(void* fake) {
+#ifdef HIC_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#else
+  (void)fake;
+#endif
+}
+}  // namespace
 
 // ============================ Engine =========================================
 
@@ -22,8 +66,14 @@ void Engine::run(std::vector<CoreBody> bodies) {
                 "more bodies than cores");
   const auto& cfg = hier_->config();
   ctxs_.clear();
+  heap_.clear();
   abort_ = false;
+  watchdog_tripped_ = false;
   hang_report_ = HangReport{};
+  // An abort teardown leaves one surplus post per released core; drain them
+  // so a reused Engine starts from zero.
+  while (engine_sem_.try_acquire()) {
+  }
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     ctxs_.push_back(std::make_unique<CoreCtx>(
         static_cast<CoreId>(i), cfg.write_buffer_entries,
@@ -34,66 +84,116 @@ void Engine::run(std::vector<CoreBody> bodies) {
   }
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     CoreCtx& c = *ctxs_[i];
-    CoreBody body = std::move(bodies[i]);
-    c.thr = std::thread([this, &c, body = std::move(body)]() {
-      c.go.acquire();
-      if (!abort_) {
-        try {
-          body(c.svc);
-        } catch (const AbortRun&) {
-          // engine-initiated teardown
-        } catch (...) {
-          // A failure inside a simulated core (e.g. a sync-misuse check)
-          // must fail the run, not terminate the process. Abort the other
-          // cores and hand the exception to run().
-          c.error = std::current_exception();
-          abort_ = true;
+    c.body = std::move(bodies[i]);
+    if (legacy_) {
+      c.thr = std::thread([this, &c]() {
+        c.go.acquire();
+        if (!abort_) {
+          try {
+            c.body(c.svc);
+          } catch (const AbortRun&) {
+            // engine-initiated teardown
+          } catch (...) {
+            // A failure inside a simulated core (e.g. a sync-misuse check)
+            // must fail the run, not terminate the process. Abort the other
+            // cores and hand the exception to run().
+            c.error = std::current_exception();
+            abort_ = true;
+          }
         }
-      }
-      c.state = CoreCtx::St::Finished;
-      engine_sem_.release();
-    });
+        c.state = CoreCtx::St::Finished;
+        engine_sem_.release();
+      });
+    } else {
+      c.stack.reset(new unsigned char[kFiberStackBytes]);
+      HIC_CHECK(getcontext(&c.uctx) == 0);
+      c.uctx.uc_stack.ss_sp = c.stack.get();
+      c.uctx.uc_stack.ss_size = kFiberStackBytes;
+      c.uctx.uc_link = nullptr;  // fibers exit via fiber_finish, never return
+      const auto p = reinterpret_cast<std::uintptr_t>(&c);
+      makecontext(&c.uctx,
+                  reinterpret_cast<void (*)()>(&Engine::fiber_trampoline), 2,
+                  static_cast<unsigned>(p >> 32),
+                  static_cast<unsigned>(p & 0xffffffffu));
+    }
   }
 
   bool deadlock = false;
   bool watchdog = false;
-  for (;;) {
-    if (abort_) break;  // a core's body threw: tear everything down
-    CoreCtx* best = nullptr;
-    Cycle second = kNever;
-    int unfinished = 0;
-    for (auto& up : ctxs_) {
-      CoreCtx& c = *up;
-      if (c.state == CoreCtx::St::Finished) continue;
-      ++unfinished;
-      if (c.state != CoreCtx::St::Ready) continue;
-      if (best == nullptr || c.time < best->time) {
-        if (best != nullptr) second = std::min(second, best->time);
-        best = &c;
-      } else {
-        second = std::min(second, c.time);
+  if (legacy_) {
+    for (;;) {
+      if (abort_) break;  // a core's body threw: tear everything down
+      CoreCtx* best = nullptr;
+      Cycle second = kNever;
+      int unfinished = 0;
+      for (auto& up : ctxs_) {
+        CoreCtx& c = *up;
+        if (c.state == CoreCtx::St::Finished) continue;
+        ++unfinished;
+        if (c.state != CoreCtx::St::Ready) continue;
+        if (best == nullptr || c.time < best->time) {
+          if (best != nullptr) second = std::min(second, best->time);
+          best = &c;
+        } else {
+          second = std::min(second, c.time);
+        }
       }
+      if (unfinished == 0) break;
+      if (best == nullptr) {
+        deadlock = true;
+        break;
+      }
+      if (max_cycles_ != 0 && best->time > max_cycles_) {
+        // Even the earliest runnable core is past the limit: livelock.
+        watchdog = true;
+        break;
+      }
+      best->run_until =
+          second == kNever ? kNever : second + slack_;
+      // With a watchdog armed, cap the quantum so a core spinning forever
+      // still yields and lets the check above fire.
+      if (max_cycles_ != 0)
+        best->run_until = std::min(best->run_until, max_cycles_ + 1);
+      running_ = best;
+      best->go.release();
+      engine_sem_.acquire();
+      running_ = nullptr;
     }
-    if (unfinished == 0) break;
-    if (best == nullptr) {
-      deadlock = true;
-      break;
+  } else {
+    // Direct handoff: seed the ready heap and swap into the earliest core's
+    // fiber. Fibers hand the CPU to each other in user space; control
+    // returns here only when nothing is dispatchable (finish, deadlock,
+    // watchdog, abort).
+    heap_.reserve(ctxs_.size());
+    for (auto& up : ctxs_) push_ready(*up);
+#ifdef HIC_ASAN_FIBERS
+    {  // ASan needs this thread's stack bounds to annotate switches back.
+      pthread_attr_t attr;
+      pthread_getattr_np(pthread_self(), &attr);
+      void* addr = nullptr;
+      std::size_t size = 0;
+      pthread_attr_getstack(&attr, &addr, &size);
+      pthread_attr_destroy(&attr);
+      main_stack_bottom_ = addr;
+      main_stack_size_ = size;
     }
-    if (max_cycles_ != 0 && best->time > max_cycles_) {
-      // Even the earliest runnable core is past the limit: livelock.
-      watchdog = true;
-      break;
+#endif
+    CoreCtx* first = pick_next();
+    if (first != nullptr) {
+      running_ = first;
+      fiber_switch_start(&main_asan_fake_, first->stack.get(),
+                         kFiberStackBytes);
+      swapcontext(&main_ctx_, &first->uctx);
+      fiber_switch_finish(main_asan_fake_);
+      running_ = nullptr;
     }
-    best->run_until =
-        second == kNever ? kNever : second + slack_;
-    // With a watchdog armed, cap the quantum so a core spinning forever
-    // still yields and lets the check above fire.
-    if (max_cycles_ != 0)
-      best->run_until = std::min(best->run_until, max_cycles_ + 1);
-    running_ = best;
-    best->go.release();
-    engine_sem_.acquire();
-    running_ = nullptr;
+    watchdog = watchdog_tripped_ && !abort_;
+    if (!abort_ && !watchdog) {
+      int unfinished = 0;
+      for (auto& up : ctxs_)
+        if (up->state != CoreCtx::St::Finished) ++unfinished;
+      deadlock = unfinished > 0;
+    }
   }
 
   if (deadlock || watchdog) {
@@ -107,9 +207,23 @@ void Engine::run(std::vector<CoreBody> bodies) {
   }
   if (deadlock || watchdog || abort_) {
     abort_ = true;
-    // Release every parked thread so it can observe abort_ and exit.
-    for (auto& up : ctxs_) {
-      if (up->state != CoreCtx::St::Finished) up->go.release();
+    if (legacy_) {
+      // Release every parked thread so it can observe abort_ and exit.
+      for (auto& up : ctxs_) {
+        if (up->state != CoreCtx::St::Finished) up->go.release();
+      }
+    } else {
+      // Resume every parked fiber once so its body unwinds (the pending
+      // yield throws AbortRun); never-started fibers skip the body and
+      // finish immediately. Each comes straight back here via fiber_finish.
+      for (auto& up : ctxs_) {
+        if (up->state != CoreCtx::St::Finished) {
+          fiber_switch_start(&main_asan_fake_, up->stack.get(),
+                             kFiberStackBytes);
+          swapcontext(&main_ctx_, &up->uctx);
+          fiber_switch_finish(main_asan_fake_);
+        }
+      }
     }
   }
   for (auto& up : ctxs_) {
@@ -193,9 +307,91 @@ void Engine::charge(CoreCtx& c, StallKind k, Cycle cycles) {
   stats().stalls(c.id).add(k, cycles);
 }
 
+void Engine::push_ready(CoreCtx& c) {
+  heap_.emplace_back(c.time, c.id);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+Engine::CoreCtx* Engine::pick_next() {
+  if (heap_.empty()) return nullptr;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  CoreCtx* best = &ctx(heap_.back().second);
+  heap_.pop_back();
+  if (max_cycles_ != 0 && best->time > max_cycles_) {
+    // Even the earliest runnable core is past the limit: livelock. Put it
+    // back so the hang report sees it as ready, and hand back to run().
+    push_ready(*best);
+    watchdog_tripped_ = true;
+    return nullptr;
+  }
+  const Cycle second = heap_.empty() ? kNever : heap_.front().first;
+  best->run_until = second == kNever ? kNever : second + slack_;
+  // With a watchdog armed, cap the quantum so a core spinning forever
+  // still yields and lets the check above fire.
+  if (max_cycles_ != 0)
+    best->run_until = std::min(best->run_until, max_cycles_ + 1);
+  return best;
+}
+
+void Engine::relinquish(CoreCtx& c) {
+  if (c.state == CoreCtx::St::Ready) push_ready(c);
+  CoreCtx* next = pick_next();
+  if (next == &c) return;  // re-picked itself: zero context switches
+  running_ = next;
+  // Park this fiber inside the swap; it resumes right here when another
+  // fiber (or the teardown loop) dispatches it again.
+  if (next != nullptr)
+    fiber_switch_start(&c.asan_fake, next->stack.get(), kFiberStackBytes);
+  else
+    fiber_switch_start(&c.asan_fake, main_stack_bottom_, main_stack_size_);
+  swapcontext(&c.uctx, next != nullptr ? &next->uctx : &main_ctx_);
+  fiber_switch_finish(c.asan_fake);
+}
+
+void Engine::fiber_trampoline(unsigned hi, unsigned lo) {
+  fiber_switch_finish(nullptr);  // first entry: nothing saved for this stack
+  auto* c = reinterpret_cast<CoreCtx*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                       static_cast<std::uintptr_t>(lo));
+  Engine* eng = c->svc.eng_;
+  if (!eng->abort_) {
+    try {
+      c->body(c->svc);
+    } catch (const AbortRun&) {
+      // engine-initiated teardown
+    } catch (...) {
+      // A failure inside a simulated core (e.g. a sync-misuse check) must
+      // fail the run, not terminate the process. Abort the other cores and
+      // hand the exception to run().
+      c->error = std::current_exception();
+      eng->abort_ = true;
+    }
+  }
+  c->state = CoreCtx::St::Finished;
+  eng->fiber_finish(*c);
+}
+
+void Engine::fiber_finish(CoreCtx& c) {
+  (void)c;  // the finished core no longer participates in scheduling
+  // During an abort teardown run() owns dispatching; otherwise hand the CPU
+  // to the next ready core. setcontext (not swap): this fiber is dead.
+  CoreCtx* next = abort_ ? nullptr : pick_next();
+  running_ = next;
+  // nullptr slot: this fiber never resumes, so ASan frees its fake stack.
+  if (next != nullptr)
+    fiber_switch_start(nullptr, next->stack.get(), kFiberStackBytes);
+  else
+    fiber_switch_start(nullptr, main_stack_bottom_, main_stack_size_);
+  setcontext(next != nullptr ? &next->uctx : &main_ctx_);
+  std::abort();  // setcontext returns only on error
+}
+
 void Engine::yield(CoreCtx& c) {
-  engine_sem_.release();
-  c.go.acquire();
+  if (legacy_) {
+    engine_sem_.release();
+    c.go.acquire();
+  } else {
+    relinquish(c);
+  }
   if (abort_) throw AbortRun{};
 }
 
@@ -220,6 +416,7 @@ void Engine::wake(CoreId target, Cycle at) {
                 "woke core " << target << " that is not blocked");
   t.state = CoreCtx::St::Ready;
   t.time = std::max(t.time, at);
+  if (!legacy_) push_ready(t);
   // The waker's quantum was computed while `target` was blocked; shrink it
   // so the newly runnable core gets scheduled at the right time instead of
   // the waker running arbitrarily far ahead.

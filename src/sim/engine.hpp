@@ -1,11 +1,16 @@
 // The execution-driven simulation engine (the SESC substitute).
 //
-// Each simulated core's workload runs on its own host thread, but the engine
-// serializes them: exactly one simulated core executes at any moment, and the
-// engine always dispatches the ready core with the smallest local clock
-// (ties broken by core ID), letting it run ahead until it passes the next
-// core's clock plus a small slack. Identical inputs therefore produce
-// identical cycle counts, traffic and stall breakdowns on every run.
+// Each simulated core's workload runs on its own host execution context —
+// a ucontext fiber on a single host thread by default, one host thread per
+// core under the legacy scheduler — but the engine serializes them: exactly
+// one simulated core executes at any moment, and the engine always
+// dispatches the ready core with the smallest local clock (ties broken by
+// core ID), letting it run ahead until it passes the next core's clock plus
+// a small slack. Identical inputs therefore produce identical cycle counts,
+// traffic and stall breakdowns on every run. Fibers make the handoff a
+// user-space context switch (~100x cheaper than the futex round trip a
+// thread handoff costs); the dispatch order is computed identically either
+// way, so the two modes simulate bit-identical machines.
 //
 // Timing model per core: in-order issue with blocking loads and a write
 // buffer (write_buffer.hpp) that drains stores/WB/INV in the background —
@@ -19,6 +24,8 @@
 //   barrier stall — waiting at barriers and flag waits
 //   rest          — everything else (compute, ordinary misses)
 #pragma once
+
+#include <ucontext.h>
 
 #include <exception>
 #include <functional>
@@ -120,11 +127,29 @@ class Engine {
   /// message of the CheckFailure run() throws.
   [[nodiscard]] const HangReport& hang_report() const { return hang_report_; }
 
+  /// Selects the original one-host-thread-per-core engine loop instead of
+  /// the direct-handoff fiber scheduler. Both dispatch the same core
+  /// sequence and produce bit-identical simulations; the legacy path costs
+  /// a futex round trip through the engine thread plus an O(cores)
+  /// ready-scan per quantum, where fibers pay one user-space swapcontext.
+  void set_legacy_scheduler(bool on) { legacy_ = on; }
+  [[nodiscard]] bool legacy_scheduler() const { return legacy_; }
+
  private:
   friend class CoreServices;
 
   struct CoreCtx {
     CoreId id = kInvalidCore;
+    /// The core's program; runs on the fiber (or legacy thread) below.
+    CoreBody body;
+    // Fiber mode (default): a ucontext per core on the engine's own thread.
+    ucontext_t uctx{};
+    /// Deliberately uninitialized (new[] without ()): zeroing megabytes of
+    /// stack per run() would dwarf the cost of the run itself.
+    std::unique_ptr<unsigned char[]> stack;
+    /// AddressSanitizer fake-stack handle for this fiber (unused otherwise).
+    void* asan_fake = nullptr;
+    // Legacy mode: a host thread per core, parked on `go`.
     std::thread thr;
     std::binary_semaphore go{0};
     enum class St : std::uint8_t { Ready, Blocked, Finished } state = St::Ready;
@@ -152,6 +177,20 @@ class Engine {
   /// Yields back to the scheduler if the core ran past its quantum.
   void maybe_yield(CoreCtx& c);
   void yield(CoreCtx& c);
+  /// Direct handoff: the yielding core picks its successor from the ready
+  /// heap and swaps straight to its fiber (or back to run() when nothing is
+  /// dispatchable). Re-picking itself costs zero context switches.
+  void relinquish(CoreCtx& c);
+  /// Fiber entry point: runs the core's body, then hands off. The pointer
+  /// to the CoreCtx rides in two ints (the makecontext calling convention).
+  static void fiber_trampoline(unsigned hi, unsigned lo);
+  /// Tail of a finished (or aborted) fiber: switches to the next ready
+  /// fiber, or back to run(). Never returns — the fiber is dead.
+  [[noreturn]] void fiber_finish(CoreCtx& c);
+  /// Pops the earliest (time, id) ready core and arms its quantum; returns
+  /// nullptr when no core is dispatchable (empty heap or watchdog trip).
+  CoreCtx* pick_next();
+  void push_ready(CoreCtx& c);
   /// Blocks the core until another core wakes it; charges the wait to `k`.
   /// `on` is the sync variable the core is waiting for (for hang diagnosis).
   void block(CoreCtx& c, StallKind k, SyncId on);
@@ -174,8 +213,23 @@ class Engine {
   Cycle slack_;
   CoreCtx* running_ = nullptr;  ///< the currently dispatched core
   std::vector<std::unique_ptr<CoreCtx>> ctxs_;
-  std::binary_semaphore engine_sem_{0};
+  /// Ready cores not currently running, as a min-heap on (time, id) — the
+  /// same order the legacy O(cores) scan produces, in O(log cores).
+  std::vector<std::pair<Cycle, CoreId>> heap_;
+  /// Counting (not binary): during an abort teardown every released core
+  /// posts here once; the excess is drained at the next run() start.
+  /// Legacy mode only — fibers hand control back via main_ctx_.
+  std::counting_semaphore<> engine_sem_{0};
+  /// run()'s own context while a fiber executes (fiber mode only).
+  ucontext_t main_ctx_{};
+  // AddressSanitizer bookkeeping for the engine thread's own stack, so
+  // fiber switches back to run() can be annotated (unused otherwise).
+  void* main_asan_fake_ = nullptr;
+  const void* main_stack_bottom_ = nullptr;
+  std::size_t main_stack_size_ = 0;
+  bool legacy_ = false;
   bool abort_ = false;
+  bool watchdog_tripped_ = false;
   Cycle finish_time_ = 0;
   Cycle max_cycles_ = 0;  ///< 0 = no watchdog
   HangReport hang_report_;

@@ -1,0 +1,58 @@
+#include "stats/host_perf.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hic {
+
+HostPerfResult time_runs(int repeats,
+                         const std::function<Cycle()>& run_once) {
+  HIC_CHECK(repeats > 0);
+  HostPerfResult r;
+  r.samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Cycle cycles = run_once();
+    const auto t1 = std::chrono::steady_clock::now();
+    HostPerfSample s;
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.cycles = cycles;
+    HIC_CHECK_MSG(i == 0 || cycles == r.samples.front().cycles,
+                  "non-deterministic run: repeat " << i << " produced "
+                      << cycles << " cycles, repeat 0 produced "
+                      << r.samples.front().cycles);
+    r.samples.push_back(s);
+  }
+  std::vector<double> secs;
+  secs.reserve(r.samples.size());
+  for (const auto& s : r.samples) secs.push_back(s.seconds);
+  std::sort(secs.begin(), secs.end());
+  r.min_seconds = secs.front();
+  r.median_seconds = secs[secs.size() / 2];
+  r.cycles = r.samples.front().cycles;
+  r.cycles_per_second =
+      r.median_seconds > 0 ? static_cast<double>(r.cycles) / r.median_seconds
+                           : 0.0;
+  return r;
+}
+
+std::string to_json(const HostPerfResult& r) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"cycles\":" << r.cycles
+     << ",\"median_seconds\":" << r.median_seconds
+     << ",\"min_seconds\":" << r.min_seconds
+     << ",\"cycles_per_second\":" << r.cycles_per_second
+     << ",\"samples_seconds\":[";
+  for (std::size_t i = 0; i < r.samples.size(); ++i) {
+    if (i != 0) os << ',';
+    os << r.samples[i].seconds;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hic

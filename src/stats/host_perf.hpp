@@ -1,0 +1,42 @@
+// Host-side performance measurement: how many simulated cycles per second
+// of host wall-clock the simulator sustains. This measures the *simulator*
+// (scheduling, cache bookkeeping, allocation behaviour), not the simulated
+// machine — the simulated cycle counts of a deterministic run never change
+// with host speed (docs/performance.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hic {
+
+/// One timed run: host seconds and the simulated cycles it produced.
+struct HostPerfSample {
+  double seconds = 0;
+  Cycle cycles = 0;
+};
+
+/// Aggregate over N repeats of the same deterministic run.
+struct HostPerfResult {
+  std::vector<HostPerfSample> samples;
+  double median_seconds = 0;
+  double min_seconds = 0;
+  Cycle cycles = 0;  ///< simulated cycles (identical across repeats)
+  /// The headline number: simulated cycles / median host seconds.
+  double cycles_per_second = 0;
+};
+
+/// Times `repeats` invocations of `run_once` (which performs one full
+/// simulation and returns its simulated cycle count) under a steady clock.
+/// Checks that every repeat produced the same cycle count — a perf harness
+/// on a deterministic simulator doubles as a determinism canary.
+HostPerfResult time_runs(int repeats, const std::function<Cycle()>& run_once);
+
+/// {"cycles":..,"median_seconds":..,"min_seconds":..,
+///  "cycles_per_second":..,"samples_seconds":[..]}
+std::string to_json(const HostPerfResult& r);
+
+}  // namespace hic

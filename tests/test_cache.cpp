@@ -86,7 +86,7 @@ TEST(Cache, EvictionCarriesDirtyMaskAndData) {
   Cache c(small_params(), true);
   std::optional<EvictedLine> ev;
   CacheLine& l = c.allocate(0x0, ev);
-  l.dirty_mask = 0xF0F0;
+  c.mark_dirty(l, 0xF0F0);
   auto data = c.data_of(l);
   data[0] = std::byte{0xAB};
   c.allocate(0x800, ev);
@@ -102,7 +102,7 @@ TEST(Cache, InvalidateClearsState) {
   Cache c(small_params(), false);
   std::optional<EvictedLine> ev;
   CacheLine& l = c.allocate(0x1000, ev);
-  l.dirty_mask = 0xFF;
+  c.mark_dirty(l, 0xFF);
   l.mesi = MesiState::Modified;
   c.invalidate(l);
   EXPECT_FALSE(l.valid);
@@ -126,8 +126,8 @@ TEST(Cache, DirtyLineCount) {
   CacheLine& a = c.allocate(0x0, ev);
   c.allocate(0x40, ev);
   CacheLine& b = c.allocate(0x80, ev);
-  a.dirty_mask = 1;
-  b.dirty_mask = 0x8000;
+  c.mark_dirty(a, 1);
+  c.mark_dirty(b, 0x8000);
   EXPECT_EQ(c.dirty_line_count(), 2u);
 }
 

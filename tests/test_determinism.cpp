@@ -1,0 +1,101 @@
+// Determinism suite: the engine promises identical inputs -> bit-identical
+// simulated results. Every seed workload is run twice (same scheduler) and
+// once under the --legacy-scheduler fallback, asserting identical cycle
+// counts, SimStats JSON, and per-core stall breakdowns. This is the safety
+// net under the direct-handoff scheduler and the allocation-free WB/INV
+// rewrites: any divergence in dispatch order or per-line op order shows up
+// here as a cycle or stall-breakdown mismatch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "stats/report.hpp"
+
+namespace hic {
+namespace {
+
+struct RunResult {
+  Cycle cycles = 0;
+  std::string stats_json;    ///< to_json(SimStats): totals, traffic, ops
+  std::string core_stalls;   ///< per-core 5-bucket breakdown
+};
+
+std::string per_core_stalls(const SimStats& s) {
+  std::ostringstream os;
+  for (CoreId c = 0; c < s.num_cores(); ++c) {
+    os << 'c' << c << ':';
+    for (std::size_t k = 0; k < kStallKinds; ++k)
+      os << s.stalls(c).get(static_cast<StallKind>(k)) << ',';
+  }
+  return os.str();
+}
+
+RunResult run_once(const std::string& app, bool legacy_scheduler,
+                   bool staleness_monitor = true) {
+  auto w = make_workload(app);
+  const Config cfg =
+      w->inter_block() ? Config::InterAddrL : Config::BaseMebIeb;
+  MachineConfig mc = w->inter_block() ? MachineConfig::inter_block()
+                                      : MachineConfig::intra_block();
+  mc.legacy_scheduler = legacy_scheduler;
+  mc.staleness_monitor = staleness_monitor;
+  mc.validate();
+  Machine m(mc, cfg);
+  RunResult r;
+  r.cycles = run_workload(*w, m, mc.total_cores());
+  r.stats_json = to_json(m.stats());
+  r.core_stalls = per_core_stalls(m.stats());
+  return r;
+}
+
+std::vector<std::string> all_seed_workloads() {
+  auto v = intra_workload_names();
+  const auto inter = inter_workload_names();
+  v.insert(v.end(), inter.begin(), inter.end());
+  return v;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, RepeatedRunsAreBitIdentical) {
+  const RunResult a = run_once(GetParam(), /*legacy_scheduler=*/false);
+  const RunResult b = run_once(GetParam(), /*legacy_scheduler=*/false);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  EXPECT_EQ(a.core_stalls, b.core_stalls);
+}
+
+TEST_P(DeterminismTest, DirectHandoffMatchesLegacyScheduler) {
+  const RunResult direct = run_once(GetParam(), /*legacy_scheduler=*/false);
+  const RunResult legacy = run_once(GetParam(), /*legacy_scheduler=*/true);
+  EXPECT_EQ(direct.cycles, legacy.cycles);
+  EXPECT_EQ(direct.stats_json, legacy.stats_json);
+  EXPECT_EQ(direct.core_stalls, legacy.core_stalls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeedWorkloads, DeterminismTest,
+    ::testing::ValuesIn(all_seed_workloads()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& ch : n)
+        if (ch == '-') ch = '_';
+      return n;
+    });
+
+// The staleness monitor is stats-only: turning it off must not move a single
+// cycle, flit, or stall — only the stale_word_reads counter may differ.
+TEST(Determinism, StalenessMonitorOffIsTimingIdentical) {
+  for (const char* app : {"ocean-cont", "jacobi"}) {
+    const RunResult on = run_once(app, false, /*staleness_monitor=*/true);
+    const RunResult off = run_once(app, false, /*staleness_monitor=*/false);
+    EXPECT_EQ(on.cycles, off.cycles) << app;
+    EXPECT_EQ(on.core_stalls, off.core_stalls) << app;
+  }
+}
+
+}  // namespace
+}  // namespace hic

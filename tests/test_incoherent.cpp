@@ -307,5 +307,40 @@ TEST_P(IncoherentProtocolFuzz, AnnotatedHandoffsAlwaysFresh) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncoherentProtocolFuzz,
                          testing::Values(3, 13, 31, 137));
 
+// Regression for the seed's lines_of(): a WB/INV over a huge range tried to
+// reserve one vector entry per covered line (a 1 GB range = 16M entries)
+// before doing any work. The allocation-free rewrite walks only resident
+// lines and charges absent lines' tag checks arithmetically — the latency
+// must be exactly what the per-address loop would have produced.
+TEST(Incoherent, HugeRangeWbInvChargeAbsentLinesArithmetically) {
+  Rig r;
+  std::uint32_t v = 7;
+  r.h.write(0, r.a, 4, &v);
+  r.h.write(0, r.a + 256, 4, &v);
+  ASSERT_EQ(r.h.l1(0).dirty_line_count(), 2u);
+
+  const Addr base = align_down(r.a, 64);
+  const AddrRange huge{base, 1ULL << 30};  // 1 GB => 16,777,216 lines
+  const std::uint64_t n_lines = (1ULL << 30) / 64;
+
+  // WB: 2 resident dirty lines pay tag check + writeback; the other
+  // n_lines-2 absent lines pay exactly one tag-check cycle each.
+  const Cycle wb_lat = r.h.wb_range(0, huge, Level::L2);
+  EXPECT_EQ(wb_lat, r.mc.costs.op_fixed_cycles + n_lines +
+                        2 * r.mc.costs.per_line_writeback_cycles);
+  EXPECT_EQ(r.h.l1(0).dirty_line_count(), 0u);
+  std::uint32_t got = 0;
+  ASSERT_TRUE(r.h.peek_level(Level::L2, 0, r.a, &got, 4));
+  EXPECT_EQ(got, 7u) << "the dirty words must have reached the L2";
+
+  // INV: the (now clean) resident lines and the absent lines all pay one
+  // tag-check cycle; everything resident is dropped.
+  const std::uint32_t valid_before = r.h.l1(0).valid_count();
+  EXPECT_GT(valid_before, 0u);
+  const Cycle inv_lat = r.h.inv_range(0, huge, Level::L1);
+  EXPECT_EQ(inv_lat, r.mc.costs.op_fixed_cycles + n_lines);
+  EXPECT_EQ(r.h.l1(0).valid_count(), 0u);
+}
+
 }  // namespace
 }  // namespace hic

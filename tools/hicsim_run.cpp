@@ -15,8 +15,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "apps/workload.hpp"
 #include "runtime/thread.hpp"
+#include "stats/host_perf.hpp"
 #include "stats/report.hpp"
 
 using namespace hic;
@@ -65,6 +68,8 @@ int usage() {
                "                  [--meb N] [--ieb N] [--slack N] "
                "[--no-functional]\n"
                "                  [--inject <kind:k=v:...>]... [--max-cycles N]\n"
+               "                  [--time [--repeat N]] [--legacy-scheduler] "
+               "[--no-stale-monitor]\n"
                "       hicsim_run --demo deadlock|livelock [--max-cycles N]\n"
                "       hicsim_run --list\n"
                "inject kinds: drop-wb drop-inv delay-wb delay-inv delay-noc "
@@ -127,6 +132,10 @@ int main(int argc, char** argv) {
   bool json = false;
   bool verify = true;
   bool functional = true;
+  bool time_mode = false;
+  bool legacy_scheduler = false;
+  bool stale_monitor = true;
+  int repeat = 5;
   int threads = 0;  // 0 = all cores
   int meb = 0, ieb = 0;
   long slack = 0;
@@ -172,6 +181,16 @@ int main(int argc, char** argv) {
       slack = std::atol(v);
     } else if (arg == "--no-functional") {
       functional = false;
+    } else if (arg == "--time") {
+      time_mode = true;
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      repeat = std::atoi(v);
+    } else if (arg == "--legacy-scheduler") {
+      legacy_scheduler = true;
+    } else if (arg == "--no-stale-monitor") {
+      stale_monitor = false;
     } else if (arg == "--inject") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -215,11 +234,54 @@ int main(int argc, char** argv) {
     if (slack > 0) mc.sim_slack_cycles = static_cast<Cycle>(slack);
     if (max_cycles > 0) mc.watchdog_max_cycles = static_cast<Cycle>(max_cycles);
     mc.functional_data = functional;
+    mc.legacy_scheduler = legacy_scheduler;
+    mc.staleness_monitor = stale_monitor;
     mc.validate();
+    const int n = threads > 0 ? threads : mc.total_cores();
+
+    if (time_mode) {
+      // Host-perf mode: repeat the (deterministic) run and report the
+      // simulator's throughput. Each repeat builds a fresh machine; the
+      // verification pass runs once, on the last repeat, outside the timer.
+      if (repeat <= 0) repeat = 1;
+      std::unique_ptr<Machine> last;
+      const HostPerfResult hp = time_runs(repeat, [&]() -> Cycle {
+        auto wr = make_workload(app);
+        last = std::make_unique<Machine>(mc, *cfg);
+        for (const auto& spec : inject_specs)
+          last->add_fault_rule(parse_fault_rule(spec));
+        const Cycle cy = run_workload(*wr, *last, n);
+        w = std::move(wr);  // keep the workload that matches `last`
+        return cy;
+      });
+      if (json) {
+        std::printf("{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,"
+                    "\"host_perf\":%s}\n",
+                    app.c_str(), config_name.c_str(), n,
+                    to_json(hp).c_str());
+      } else {
+        std::printf("%s on %s, %d threads, %d run%s:\n", app.c_str(),
+                    config_name.c_str(), n, repeat, repeat == 1 ? "" : "s");
+        std::printf("  simulated cycles : %llu\n",
+                    static_cast<unsigned long long>(hp.cycles));
+        std::printf("  host wall-clock  : %.4f s median (min %.4f s)\n",
+                    hp.median_seconds, hp.min_seconds);
+        std::printf("  sim throughput   : %.0f cycles/s\n",
+                    hp.cycles_per_second);
+      }
+      if (verify) {
+        const WorkloadResult r = w->verify(*last);
+        if (!json)
+          std::printf("verification: %s%s%s\n", r.ok ? "ok" : "FAILED",
+                      r.detail.empty() ? "" : " — ", r.detail.c_str());
+        return r.ok ? 0 : 1;
+      }
+      return 0;
+    }
+
     Machine m(mc, *cfg);
     for (const auto& spec : inject_specs)
       m.add_fault_rule(parse_fault_rule(spec));
-    const int n = threads > 0 ? threads : mc.total_cores();
     const Cycle cycles = run_workload(*w, m, n);
 
     if (json) {
