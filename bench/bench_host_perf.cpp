@@ -18,6 +18,7 @@
 
 #include "apps/workload.hpp"
 #include "stats/host_perf.hpp"
+#include "stats/report.hpp"
 
 using namespace hic;
 
@@ -63,7 +64,9 @@ int main(int argc, char** argv) {
   }
   if (repeats <= 0) repeats = 1;
 
-  std::string json = "{\"scheduler\":\"";
+  std::string json = "{\"schema_version\":" +
+                     std::to_string(kStatsSchemaVersion) +
+                     ",\"scheduler\":\"";
   json += legacy ? "legacy" : "direct";
   json += "\",\"repeats\":" + std::to_string(repeats) + ",\"workloads\":{";
 

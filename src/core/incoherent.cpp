@@ -69,7 +69,10 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
     const bool target_words_dirty =
         l != nullptr && (l->dirty_mask & mask) == mask;
     if (!ieb.contains(line) && !target_words_dirty) {
-      if (ieb.insert(line)) ++stats_->ops().ieb_evictions;
+      if (ieb.insert(line)) {
+        ++stats_->ops().ieb_evictions;
+        trace_cache("ieb_evict", line);
+      }
       if (l != nullptr) {
         if (l->dirty()) {
           // No-data-loss: dirty words reach the L2 before invalidation.
@@ -81,6 +84,7 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
         l = nullptr;
         refreshed_resident = true;
         ++stats_->ops().ieb_refreshes;
+        trace_cache("ieb_refresh", line);
       }
     }
   }
@@ -174,6 +178,7 @@ AccessOutcome IncoherentHierarchy::write(CoreId core, Addr a,
 // --- Miss path ------------------------------------------------------------------
 
 Cycle IncoherentHierarchy::fetch_to_l1(CoreId core, Addr line) {
+  trace_cache("l1_fill", line);
   const BlockId block = cfg_.block_of(core);
   const NodeId bank = topo_.l2_bank_node(block, topo_.l2_bank_of(line));
   Cycle lat = topo_.round_trip(topo_.core_node(core), bank) +
@@ -219,6 +224,7 @@ Cycle IncoherentHierarchy::ensure_l2_line(BlockId block, Addr line,
     return 0;
   }
   ++stats_->ops().l2_misses;
+  trace_cache("l2_fill", line);
   const NodeId bank = topo_.l2_bank_node(block, topo_.l2_bank_of(line));
   Cycle lat = 0;
 
@@ -259,6 +265,7 @@ Cycle IncoherentHierarchy::ensure_l3_line(Addr line, CacheLine** out) {
     return 0;
   }
   ++stats_->ops().l3_misses;
+  trace_cache("l3_fill", line);
   const NodeId l3n = topo_.l3_bank_node(topo_.l3_bank_of(line));
   const Cycle lat = memory_fetch(l3n);
   std::optional<EvictedLine> ev;
@@ -331,6 +338,7 @@ void IncoherentHierarchy::push_words_to_dram(Addr line,
 void IncoherentHierarchy::handle_l1_eviction(CoreId core,
                                              const EvictedLine& ev) {
   if (ev.dirty_mask == 0) return;
+  trace_cache("l1_evict", ev.line_addr);
   push_words_to_l2(cfg_.block_of(core), ev.line_addr,
                    {ev.data.data(), ev.data.size()}, ev.dirty_mask);
 }
@@ -338,12 +346,14 @@ void IncoherentHierarchy::handle_l1_eviction(CoreId core,
 void IncoherentHierarchy::handle_l2_eviction(BlockId block,
                                              const EvictedLine& ev) {
   if (ev.dirty_mask == 0) return;
+  trace_cache("l2_evict", ev.line_addr);
   push_words_to_l3(block, ev.line_addr, {ev.data.data(), ev.data.size()},
                    ev.dirty_mask);
 }
 
 void IncoherentHierarchy::handle_l3_eviction(const EvictedLine& ev) {
   if (ev.dirty_mask == 0) return;
+  trace_cache("l3_evict", ev.line_addr);
   push_words_to_dram(ev.line_addr, {ev.data.data(), ev.data.size()},
                      ev.dirty_mask);
 }
@@ -636,7 +646,10 @@ Cycle IncoherentHierarchy::cs_exit(CoreId core) {
   cs_active_[static_cast<std::size_t>(core)] = false;
   auto& meb = meb_[static_cast<std::size_t>(core)];
   if (!opts_.use_meb || meb.overflowed()) {
-    if (opts_.use_meb) ++stats_->ops().meb_overflows;
+    if (opts_.use_meb) {
+      ++stats_->ops().meb_overflows;
+      trace_cache("meb_overflow", 0);
+    }
     return wb_all(core, Level::L2);
   }
   // MEB-directed writeback: scan the (few) recorded slots; stale entries —
@@ -644,6 +657,7 @@ Cycle IncoherentHierarchy::cs_exit(CoreId core) {
   // and are skipped.
   ++stats_->ops().meb_wbs;
   ++stats_->ops().wb_ops;
+  trace_cache("meb_wb", 0);
   Cache& l1 = l1_of(core);
   Cycle lat = cfg_.costs.op_fixed_cycles +
               static_cast<Cycle>(meb.slots().size()) *

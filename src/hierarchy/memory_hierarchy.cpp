@@ -1,5 +1,7 @@
 #include "hierarchy/memory_hierarchy.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace hic {
 
 HierarchyBase::HierarchyBase(const MachineConfig& cfg, GlobalMemory& gmem,
@@ -28,6 +30,10 @@ void HierarchyBase::check_access(Addr a, std::uint32_t bytes) const {
   HIC_CHECK_MSG(align_down(a, cfg_.l1.line_bytes) ==
                     align_down(a + bytes - 1, cfg_.l1.line_bytes),
                 "access crosses a cache-line boundary");
+}
+
+void HierarchyBase::trace_cache(const char* name, Addr line) const {
+  if (tracer_ != nullptr) tracer_->cache_event(name, line);
 }
 
 }  // namespace hic

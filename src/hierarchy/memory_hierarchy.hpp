@@ -19,6 +19,7 @@
 namespace hic {
 
 class FaultPlan;
+class Tracer;
 
 struct AccessOutcome {
   Cycle latency = 0;
@@ -105,6 +106,13 @@ class HierarchyBase : public MemoryHierarchy {
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
   [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_; }
 
+  /// Attaches an event tracer (not owned; may be null). Hierarchies record
+  /// line fills, dirty evictions, and MEB/IEB/directory events as cache
+  /// instants, timestamped with the context the engine stamped before the
+  /// call (Tracer::set_context).
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+
  protected:
   [[nodiscard]] GlobalMemory& gmem() { return *gmem_; }
   [[nodiscard]] SimStats& stats() { return *stats_; }
@@ -121,12 +129,15 @@ class HierarchyBase : public MemoryHierarchy {
   }
   /// Validates access alignment: within one line, nonzero size.
   void check_access(Addr a, std::uint32_t bytes) const;
+  /// Records a cache instant on the current trace context (no-op untraced).
+  void trace_cache(const char* name, Addr line) const;
 
   MachineConfig cfg_;
   ChipTopology topo_;
   GlobalMemory* gmem_;
   SimStats* stats_;
   FaultPlan* fault_plan_ = nullptr;
+  Tracer* tracer_ = nullptr;
   std::vector<CoreId> thread_to_core_;
 };
 

@@ -158,6 +158,7 @@ AccessOutcome MesiHierarchy::write(CoreId core, Addr a, std::uint32_t bytes,
              cfg_.l1.rt_cycles;
       add_traffic(TrafficKind::Invalidation, topo_.control_flits());
       ++stats_->ops().dir_invalidations_sent;
+      trace_cache("dir_inv", line);
       Cache& owner_l1 = l1_[static_cast<std::size_t>(owner)];
       if (CacheLine* ol = owner_l1.find(line)) {
         if (ol->mesi == MesiState::Modified) {
@@ -231,6 +232,7 @@ Cycle MesiHierarchy::invalidate_local_sharers(BlockId block, Addr line,
     lat = std::max(lat, topo_.round_trip(bank, topo_.core_node(target)));
     add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
     ++stats_->ops().dir_invalidations_sent;
+    trace_cache("dir_inv", line);
     Cache& t_l1 = l1_[static_cast<std::size_t>(target)];
     if (CacheLine* tl = t_l1.find(line)) t_l1.invalidate(*tl);
   }
@@ -243,6 +245,7 @@ Cycle MesiHierarchy::invalidate_local_sharers(BlockId block, Addr line,
 // --- Fills and evictions --------------------------------------------------------
 
 void MesiHierarchy::fill_l1(CoreId core, Addr line, MesiState state) {
+  trace_cache("l1_fill", line);
   Cache& l1 = l1_[static_cast<std::size_t>(core)];
   std::optional<EvictedLine> ev;
   CacheLine& nl = l1.allocate(line, ev);
@@ -264,6 +267,7 @@ void MesiHierarchy::fill_l1(CoreId core, Addr line, MesiState state) {
 }
 
 void MesiHierarchy::fill_l2(BlockId block, Addr line, MesiState block_state) {
+  trace_cache("l2_fill", line);
   Cache& l2 = l2_[static_cast<std::size_t>(block)];
   std::optional<EvictedLine> ev;
   CacheLine& nl = l2.allocate(line, ev);
@@ -285,6 +289,7 @@ void MesiHierarchy::fill_l2(BlockId block, Addr line, MesiState block_state) {
     }
     add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
     ++stats_->ops().dir_invalidations_sent;
+    trace_cache("dir_inv", victim);
   }
   for (int i = 0; i < cfg_.cores_per_block; ++i) {
     if ((d.sharers & bit(i)) == 0) continue;
@@ -293,6 +298,7 @@ void MesiHierarchy::fill_l2(BlockId block, Addr line, MesiState block_state) {
     if (CacheLine* tl = t_l1.find(victim)) t_l1.invalidate(*tl);
     add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
     ++stats_->ops().dir_invalidations_sent;
+    trace_cache("dir_inv", victim);
   }
   l2_dir_[static_cast<std::size_t>(block)].erase(victim);
 
@@ -315,6 +321,7 @@ void MesiHierarchy::fill_l2(BlockId block, Addr line, MesiState block_state) {
 }
 
 void MesiHierarchy::fill_l3(Addr line) {
+  trace_cache("l3_fill", line);
   HIC_DCHECK(l3_.has_value());
   std::optional<EvictedLine> ev;
   l3_->allocate(line, ev);
@@ -416,6 +423,7 @@ Cycle MesiHierarchy::recall_block(BlockId block, Addr line, bool invalidate) {
   Cycle lat = topo_.round_trip(l3n, bank) + cfg_.l2_bank.rt_cycles;
   add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
   ++stats_->ops().dir_invalidations_sent;
+  trace_cache("dir_inv", line);
 
   Cache& l2 = l2_[static_cast<std::size_t>(block)];
   CacheLine* l2l = l2.find(line);
@@ -434,6 +442,7 @@ Cycle MesiHierarchy::recall_block(BlockId block, Addr line, bool invalidate) {
       if (CacheLine* tl = t_l1.find(line)) t_l1.invalidate(*tl);
       add_traffic(TrafficKind::Invalidation, 2 * topo_.control_flits());
       ++stats_->ops().dir_invalidations_sent;
+      trace_cache("dir_inv", line);
     }
     l2_dir_[static_cast<std::size_t>(block)].erase(line);
     if (dirty) {

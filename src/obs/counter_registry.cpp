@@ -1,0 +1,21 @@
+#include "obs/counter_registry.hpp"
+
+#include "common/check.hpp"
+#include "stats/report.hpp"
+
+namespace hic {
+
+std::uint32_t CounterRegistry::add(std::string name, Reader read) {
+  HIC_CHECK_MSG(read != nullptr, "counter '" << name << "' has no reader");
+  counters_.push_back({std::move(name), std::move(read)});
+  return static_cast<std::uint32_t>(counters_.size() - 1);
+}
+
+void register_sim_stats(CounterRegistry& reg, const SimStats& stats) {
+  for (const ReportField& f : report_fields()) {
+    reg.add(std::string(f.group) + "." + f.key,
+            [&stats, get = f.get]() { return get(stats); });
+  }
+}
+
+}  // namespace hic

@@ -1,0 +1,48 @@
+// Named-counter registry for the observability layer.
+//
+// A counter is anything that can be read as a monotonically non-decreasing
+// uint64 (OpCounts fields, TrafficAccount totals, StallAccount sums). The
+// tracer samples every registered counter at a fixed simulated-cycle period
+// and records the per-period deltas, so traffic and stall growth can be
+// plotted over time instead of only summed at the end of the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hic {
+
+class SimStats;
+
+class CounterRegistry {
+ public:
+  using Reader = std::function<std::uint64_t()>;
+
+  /// Registers a counter; returns its index (stable for the registry's
+  /// lifetime). Names should be "<group>.<key>" so tools/trace_check.py can
+  /// reconcile the sampled deltas against the stats JSON.
+  std::uint32_t add(std::string name, Reader read);
+
+  [[nodiscard]] std::size_t size() const { return counters_.size(); }
+  [[nodiscard]] const std::string& name_of(std::uint32_t i) const {
+    return counters_[i].name;
+  }
+  [[nodiscard]] std::uint64_t read(std::uint32_t i) const {
+    return counters_[i].read();
+  }
+
+ private:
+  struct Counter {
+    std::string name;
+    Reader read;
+  };
+  std::vector<Counter> counters_;
+};
+
+/// Registers every field of report_fields() (stall totals, traffic kinds,
+/// op counters) against `stats`, which must outlive the registry's use.
+void register_sim_stats(CounterRegistry& reg, const SimStats& stats);
+
+}  // namespace hic

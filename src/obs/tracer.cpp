@@ -1,0 +1,208 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "stats/report.hpp"
+
+namespace hic {
+
+const char* to_string(TraceCat c) {
+  switch (c) {
+    case TraceCat::Stall: return "stall";
+    case TraceCat::Op: return "op";
+    case TraceCat::Sync: return "sync";
+    case TraceCat::Cache: return "cache";
+    case TraceCat::Wbuf: return "wbuf";
+    case TraceCat::Counter: return "counter";
+    case TraceCat::kCount: break;
+  }
+  return "?";
+}
+
+std::uint32_t parse_trace_filter(const std::string& spec) {
+  if (spec.empty() || spec == "all") return kAllTraceCats;
+  std::uint32_t mask = 0;
+  std::istringstream is(spec);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    bool found = false;
+    for (std::size_t c = 0; c < kTraceCats; ++c) {
+      if (tok == to_string(static_cast<TraceCat>(c))) {
+        mask |= 1u << c;
+        found = true;
+        break;
+      }
+    }
+    HIC_CHECK_MSG(found, "unknown trace category '"
+                             << tok
+                             << "' (stall|op|sync|cache|wbuf|counter|all)");
+  }
+  HIC_CHECK_MSG(mask != 0, "empty trace filter");
+  return mask;
+}
+
+Tracer::Tracer(TraceOptions opts)
+    : opts_(opts), next_sample_(opts.sample_cycles) {}
+
+void Tracer::span(TraceCat cat, CoreId core, Cycle start, Cycle end,
+                  const char* name) {
+  if (!enabled(cat) || end <= start) return;
+  events_.push_back({start, end - start, name, 0, core, cat, false});
+}
+
+void Tracer::span(TraceCat cat, CoreId core, Cycle start, Cycle end,
+                  const char* name, std::int64_t arg) {
+  if (!enabled(cat) || end <= start) return;
+  events_.push_back({start, end - start, name, arg, core, cat, true});
+}
+
+void Tracer::instant(TraceCat cat, CoreId core, Cycle t, const char* name,
+                     std::int64_t arg) {
+  if (!enabled(cat)) return;
+  events_.push_back({t, 0, name, arg, core, cat, true});
+}
+
+void Tracer::stall(CoreId core, Cycle start, Cycle end, StallKind k) {
+  span(TraceCat::Stall, core, start, end, stall_json_key(k));
+}
+
+void Tracer::cache_event(const char* name, Addr line) {
+  instant(TraceCat::Cache, ctx_core_, ctx_time_, name,
+          static_cast<std::int64_t>(line));
+}
+
+// --- Counter sampling --------------------------------------------------------
+
+void Tracer::sample_at(Cycle ts) {
+  last_values_.resize(registry_.size(), 0);
+  for (std::uint32_t i = 0; i < registry_.size(); ++i) {
+    const std::uint64_t v = registry_.read(i);
+    // Deltas of 0 are not stored: the sum of a counter's recorded deltas
+    // still equals its final value, and quiet counters stay out of the file.
+    if (v != last_values_[i]) {
+      samples_.push_back({ts, i, v - last_values_[i]});
+      last_values_[i] = v;
+    }
+  }
+  last_sample_ts_ = ts;
+}
+
+void Tracer::maybe_sample(Cycle t) {
+  if (opts_.sample_cycles == 0 || !enabled(TraceCat::Counter) ||
+      registry_.size() == 0) {
+    return;
+  }
+  while (next_sample_ <= t) {
+    sample_at(next_sample_);
+    next_sample_ += opts_.sample_cycles;
+  }
+}
+
+void Tracer::finish(Cycle end) {
+  if (!enabled(TraceCat::Counter) || registry_.size() == 0) return;
+  maybe_sample(end);
+  // Tail period: whatever accumulated after the last whole boundary.
+  if (end > last_sample_ts_ || samples_.empty()) sample_at(end);
+}
+
+void Tracer::clear() {
+  events_.clear();
+  samples_.clear();
+  last_values_.clear();
+  next_sample_ = opts_.sample_cycles;
+  last_sample_ts_ = 0;
+}
+
+// --- Export ------------------------------------------------------------------
+
+namespace {
+/// Track layout: one Chrome "process" per category, one "thread" per core.
+int pid_of(TraceCat c) { return static_cast<int>(c) + 1; }
+constexpr int kCounterPid = static_cast<int>(TraceCat::Counter) + 1;
+}  // namespace
+
+void Tracer::export_json(std::ostream& os, const SimStats* stats) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Metadata: name the per-category processes and per-core threads that
+  // actually carry events, in a deterministic order.
+  std::vector<std::pair<int, CoreId>> tracks;
+  for (const Event& e : events_) tracks.emplace_back(pid_of(e.cat), e.core);
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  int last_pid = -1;
+  for (const auto& [pid, core] : tracks) {
+    if (pid != last_pid) {
+      last_pid = pid;
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"args\":{\"name\":\""
+         << to_string(static_cast<TraceCat>(pid - 1)) << "\"}}";
+    }
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << core << ",\"args\":{\"name\":\"core " << core
+       << "\"}}";
+  }
+  if (!samples_.empty()) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kCounterPid
+       << ",\"args\":{\"name\":\"counters\"}}";
+  }
+
+  for (const Event& e : events_) {
+    sep();
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << to_string(e.cat)
+       << "\",\"ph\":\"" << (e.dur > 0 ? 'X' : 'i') << "\",\"ts\":" << e.ts;
+    if (e.dur > 0) {
+      os << ",\"dur\":" << e.dur;
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"pid\":" << pid_of(e.cat) << ",\"tid\":" << e.core;
+    if (e.has_arg) os << ",\"args\":{\"arg\":" << e.arg << "}";
+    os << '}';
+  }
+
+  for (const Sample& s : samples_) {
+    sep();
+    os << "{\"name\":\"" << registry_.name_of(s.counter)
+       << "\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":" << s.ts
+       << ",\"pid\":" << kCounterPid << ",\"tid\":0,\"args\":{\"delta\":"
+       << s.delta << "}}";
+  }
+
+  os << "],\n\"displayTimeUnit\":\"ns\",\n\"hicsim\":{";
+  os << "\"schema_version\":" << kStatsSchemaVersion;
+  os << ",\"sample_cycles\":" << opts_.sample_cycles;
+  os << ",\"categories\":[";
+  bool first_cat = true;
+  for (std::size_t c = 0; c < kTraceCats; ++c) {
+    if (!enabled(static_cast<TraceCat>(c))) continue;
+    if (!first_cat) os << ',';
+    first_cat = false;
+    os << '"' << to_string(static_cast<TraceCat>(c)) << '"';
+  }
+  os << ']';
+  if (stats != nullptr) {
+    os << ",\"stats\":" << to_json(*stats);
+    os << ",\"per_core_stalls\":" << per_core_stalls_json(*stats);
+  }
+  os << "}}\n";
+}
+
+std::string Tracer::json(const SimStats* stats) const {
+  std::ostringstream os;
+  export_json(os, stats);
+  return os.str();
+}
+
+}  // namespace hic

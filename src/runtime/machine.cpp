@@ -1,6 +1,7 @@
 #include "runtime/machine.hpp"
 
 #include "hierarchy/mesi.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/thread.hpp"
 
 namespace hic {
@@ -33,6 +34,15 @@ Machine::Machine(const MachineConfig& mc, Config cfg)
 
 IncoherentHierarchy* Machine::incoherent() {
   return dynamic_cast<IncoherentHierarchy*>(hier_.get());
+}
+
+void Machine::set_tracer(Tracer* t) {
+  engine_.set_tracer(t);
+  hier_->set_tracer(t);
+  if (t != nullptr && t->options().sample_cycles > 0 &&
+      t->counters().size() == 0) {
+    register_sim_stats(t->counters(), stats_);
+  }
 }
 
 NodeId Machine::next_sync_home() {

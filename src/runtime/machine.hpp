@@ -62,6 +62,12 @@ class Machine {
   /// The incoherent hierarchy, or nullptr under HCC.
   [[nodiscard]] IncoherentHierarchy* incoherent();
 
+  /// Attaches an event tracer (nullptr = off; see obs/tracer.hpp) to the
+  /// engine and the hierarchy, and — when the tracer samples counters —
+  /// registers every stats report field with its counter registry. The
+  /// tracer must outlive this machine's run() calls.
+  void set_tracer(Tracer* t);
+
   Barrier make_barrier(int participants);
   Lock make_lock(bool outside_cs_communication = false,
                  AddrRange protected_data = {}, bool block_local = false);

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include "obs/tracer.hpp"
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -81,6 +83,7 @@ void Engine::run(std::vector<CoreBody> bodies) {
     CoreCtx& c = *ctxs_.back();
     c.svc.eng_ = this;
     c.svc.id_ = c.id;
+    c.wbuf.set_tracer(tracer_, c.id);
   }
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     CoreCtx& c = *ctxs_[i];
@@ -303,8 +306,13 @@ HangReport Engine::build_hang_report(HangReport::Kind kind, Cycle at) const {
 
 void Engine::charge(CoreCtx& c, StallKind k, Cycle cycles) {
   if (cycles == 0) return;
+  const Cycle start = c.time;
   c.time += cycles;
   stats().stalls(c.id).add(k, cycles);
+  if (tracer_ != nullptr) {
+    tracer_->stall(c.id, start, c.time, k);
+    tracer_->maybe_sample(c.time);
+  }
 }
 
 void Engine::push_ready(CoreCtx& c) {
@@ -408,6 +416,10 @@ void Engine::block(CoreCtx& c, StallKind k, SyncId on) {
   HIC_DCHECK(c.state == CoreCtx::St::Ready);
   c.blocked_on = -1;
   stats().stalls(c.id).add(k, c.time - c.block_start);
+  if (tracer_ != nullptr) {
+    tracer_->stall(c.id, c.block_start, c.time, k);
+    tracer_->maybe_sample(c.time);
+  }
 }
 
 void Engine::wake(CoreId target, Cycle at) {
@@ -442,6 +454,27 @@ void Engine::count_sync_traffic() {
                         2 * hier_->topology().control_flits());
 }
 
+void Engine::trace_ctx(const CoreCtx& c) {
+  if (tracer_ != nullptr) tracer_->set_context(c.id, c.time);
+}
+
+void Engine::trace_op(const CoreCtx& c, Cycle start, const char* name) {
+  if (tracer_ != nullptr)
+    tracer_->span(TraceCat::Op, c.id, start, c.time, name);
+}
+
+void Engine::trace_op(const CoreCtx& c, Cycle start, const char* name,
+                      std::int64_t arg) {
+  if (tracer_ != nullptr)
+    tracer_->span(TraceCat::Op, c.id, start, c.time, name, arg);
+}
+
+void Engine::trace_sync(const CoreCtx& c, Cycle start, const char* name,
+                        SyncId id) {
+  if (tracer_ != nullptr)
+    tracer_->span(TraceCat::Sync, c.id, start, c.time, name, id);
+}
+
 // ======================== CoreServices ========================================
 
 Cycle CoreServices::now() const { return eng_->ctx(id_).time; }
@@ -463,6 +496,7 @@ AccessOutcome CoreServices::load(Addr a, std::uint32_t bytes, void* out) {
   c.wbuf.retire_until(c.time);
   // Loads never bypass a pending INV to the same line (§III-C).
   eng_->charge(c, StallKind::InvStall, c.wbuf.inv_wait(c.time, line));
+  eng_->trace_ctx(c);
   const AccessOutcome r = eng_->hierarchy().read(id_, a, bytes, out);
   eng_->charge(c, StallKind::Rest, r.latency - r.inv_penalty);
   eng_->charge(c, StallKind::InvStall, r.inv_penalty);
@@ -475,6 +509,7 @@ AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
   auto& c = eng_->ctx(id_);
   const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
   c.ring.push(c.time, CoreEventKind::Store, static_cast<std::int64_t>(a));
+  eng_->trace_ctx(c);
   const AccessOutcome r = eng_->hierarchy().write(id_, a, bytes, in);
   // The store retires into the write buffer: the core pays one issue cycle
   // (plus a full-buffer stall); the service time drains in the background.
@@ -490,108 +525,140 @@ AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
 void CoreServices::wb_range(AddrRange r, Level to) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().wb_range(id_, r, to);
   const Cycle stall =
       c.wbuf.issue(c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines,
                    service);
   eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->trace_op(c, start, "wb_range", static_cast<std::int64_t>(r.base));
   eng_->maybe_yield(c);
 }
 
 void CoreServices::wb_all(Level to) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Wb);
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().wb_all(id_, to);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->trace_op(c, start, "wb_all");
   eng_->maybe_yield(c);
 }
 
 void CoreServices::inv_range(AddrRange r, Level from) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().inv_range(id_, r, from);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->trace_op(c, start, "inv_range", static_cast<std::int64_t>(r.base));
   eng_->maybe_yield(c);
 }
 
 void CoreServices::inv_all(Level from) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Inv);
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().inv_all(id_, from);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->trace_op(c, start, "inv_all");
   eng_->maybe_yield(c);
 }
 
 void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().wb_cons(id_, r, consumer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->trace_op(c, start, "wb_cons", static_cast<std::int64_t>(r.base));
   eng_->maybe_yield(c);
 }
 
 void CoreServices::wb_cons_all(ThreadId consumer) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Wb);
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().wb_cons_all(id_, consumer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->trace_op(c, start, "wb_cons_all");
   eng_->maybe_yield(c);
 }
 
 void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().inv_prod(id_, r, producer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->trace_op(c, start, "inv_prod", static_cast<std::int64_t>(r.base));
   eng_->maybe_yield(c);
 }
 
 void CoreServices::inv_prod_all(ThreadId producer) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Inv);
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().inv_prod_all(id_, producer);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->trace_op(c, start, "inv_prod_all");
   eng_->maybe_yield(c);
 }
 
 void CoreServices::cs_enter() {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::CsEnter);
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().cs_enter(id_);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Inv, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::InvStall, 1 + stall);
+  eng_->trace_op(c, start, "cs_enter");
   eng_->maybe_yield(c);
 }
 
 void CoreServices::cs_exit() {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::CsExit);
+  const Cycle start = c.time;
+  eng_->trace_ctx(c);
   const Cycle service = eng_->hierarchy().cs_exit(id_);
   const Cycle stall = c.wbuf.issue(
       c.time, WbEntryKind::Wb, WriteBufferModel::kAllLines, service);
   eng_->charge(c, StallKind::WbStall, 1 + stall);
+  eng_->trace_op(c, start, "cs_exit");
   eng_->maybe_yield(c);
 }
 
 void CoreServices::drain_write_buffer() {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Drain);
+  const Cycle start = c.time;
   eng_->drain(c);
+  eng_->trace_op(c, start, "drain");
   eng_->maybe_yield(c);
 }
 
@@ -599,12 +666,14 @@ void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
                             Addr dst, std::uint64_t bytes) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Dma, static_cast<std::int64_t>(src));
+  const Cycle start = c.time;
   // The initiator's prior writebacks must be out before the DMA reads the
   // source (the DMA engine reads the shared level).
   eng_->drain(c);
   const Cycle lat =
       eng_->hierarchy().dma_copy(src_block, src, dst_block, dst, bytes);
   eng_->charge(c, StallKind::Rest, lat);
+  eng_->trace_op(c, start, "dma_copy", static_cast<std::int64_t>(src));
   eng_->maybe_yield(c);
 }
 
@@ -613,6 +682,7 @@ void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
 void CoreServices::barrier(SyncId id) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Barrier, id);
+  const Cycle start = c.time;
   eng_->drain(c);  // a barrier is a release point: posted data must be out
   eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
@@ -627,23 +697,27 @@ void CoreServices::barrier(SyncId id) {
       eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
     }
   }
+  eng_->trace_sync(c, start, "barrier", id);
   eng_->maybe_yield(c);
 }
 
 void CoreServices::lock(SyncId id) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Lock, id);
+  const Cycle start = c.time;
   eng_->charge(c, StallKind::LockStall, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
   if (!eng_->sync().lock_acquire(id, id_)) {
     eng_->block(c, StallKind::LockStall, id);
   }
+  eng_->trace_sync(c, start, "lock", id);
   eng_->maybe_yield(c);
 }
 
 void CoreServices::unlock(SyncId id) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::Unlock, id);
+  const Cycle start = c.time;
   eng_->drain(c);  // release semantics: critical-section WBs must complete
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
@@ -653,23 +727,27 @@ void CoreServices::unlock(SyncId id) {
     const NodeId home = eng_->sync().home_of(id);
     eng_->wake(*next, c.time + topo.latency(home, topo.core_node(*next)));
   }
+  eng_->trace_sync(c, start, "unlock", id);
   eng_->maybe_yield(c);
 }
 
 void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::FlagWait, id);
+  const Cycle start = c.time;
   eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
   if (!eng_->sync().flag_check(id, id_, expect)) {
     eng_->block(c, StallKind::BarrierStall, id);
   }
+  eng_->trace_sync(c, start, "flag_wait", id);
   eng_->maybe_yield(c);
 }
 
 void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::FlagSet, id);
+  const Cycle start = c.time;
   eng_->drain(c);  // the flag publishes data: WBs must be out first
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
@@ -678,12 +756,14 @@ void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   const NodeId home = eng_->sync().home_of(id);
   for (CoreId w : released)
     eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+  eng_->trace_sync(c, start, "flag_set", id);
   eng_->maybe_yield(c);
 }
 
 std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::FlagAdd, id);
+  const Cycle start = c.time;
   eng_->drain(c);
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
@@ -693,6 +773,7 @@ std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   const NodeId home = eng_->sync().home_of(id);
   for (CoreId w : released)
     eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+  eng_->trace_sync(c, start, "flag_add", id);
   eng_->maybe_yield(c);
   return v;
 }

@@ -43,6 +43,7 @@
 namespace hic {
 
 class Engine;
+class Tracer;
 
 /// Thrown inside workload bodies when the engine aborts the run (deadlock).
 struct AbortRun {};
@@ -135,6 +136,13 @@ class Engine {
   void set_legacy_scheduler(bool on) { legacy_ = on; }
   [[nodiscard]] bool legacy_scheduler() const { return legacy_; }
 
+  /// Attaches an event tracer (nullptr = off; see obs/tracer.hpp). When set,
+  /// every stall charge, op/sync call window and write-buffer drain is
+  /// recorded as a span; must outlive run(). Off costs one pointer test per
+  /// hook, so timing and stats are unchanged either way.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+
  private:
   friend class CoreServices;
 
@@ -199,6 +207,16 @@ class Engine {
 
   /// Empties the write buffer, charging WB/INV stall appropriately.
   void drain(CoreCtx& c);
+
+  // Tracing helpers (all no-ops when tracer_ is null). trace_ctx stamps the
+  // acting core's clock into the tracer before a hierarchy call so cache
+  // instants carry the right timestamp; the span helpers close an op/sync
+  // span opened at `start` at the core's current time.
+  void trace_ctx(const CoreCtx& c);
+  void trace_op(const CoreCtx& c, Cycle start, const char* name);
+  void trace_op(const CoreCtx& c, Cycle start, const char* name,
+                std::int64_t arg);
+  void trace_sync(const CoreCtx& c, Cycle start, const char* name, SyncId id);
   /// Round trip to a sync variable's home plus controller service time.
   [[nodiscard]] Cycle sync_latency(const CoreCtx& c, SyncId id) const;
   void count_sync_traffic();
@@ -227,6 +245,7 @@ class Engine {
   void* main_asan_fake_ = nullptr;
   const void* main_stack_bottom_ = nullptr;
   std::size_t main_stack_size_ = 0;
+  Tracer* tracer_ = nullptr;
   bool legacy_ = false;
   bool abort_ = false;
   bool watchdog_tripped_ = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
+
 namespace hic {
 
 WriteBufferModel::WriteBufferModel(int capacity, Cycle store_drain_cycles)
@@ -14,16 +16,32 @@ Cycle WriteBufferModel::issue(Cycle now, WbEntryKind kind, Addr line_addr,
                               Cycle service) {
   retire_until(now);
   Cycle stall = 0;
-  if (q_.size() == static_cast<std::size_t>(capacity_)) {
-    // Full: the core waits for the oldest entry to retire.
-    stall = q_.front().complete > now ? q_.front().complete - now : 0;
-    q_.pop_front();
+  if (q_.size() >= static_cast<std::size_t>(capacity_)) {
+    // Full: the core waits for the oldest in-flight entry to retire before
+    // the new one gets its slot. The entry is NOT popped here — it is still
+    // draining during the wait, so pending()/snapshot() must keep reporting
+    // it until its completion time passes (retire_until drops it then).
+    // Completion times are non-decreasing, so waiting for the entry at
+    // index size-capacity frees exactly enough slots.
+    const Entry& oldest =
+        q_[q_.size() - static_cast<std::size_t>(capacity_)];
+    stall = oldest.complete > now ? oldest.complete - now : 0;
   }
   const Cycle start = std::max(now + stall, last_complete_);
   const Cycle complete = start + std::max<Cycle>(service, 1);
   q_.push_back({complete, kind, line_addr});
   last_complete_ = complete;
+  if (tracer_ != nullptr) trace_drain(start, complete, kind, line_addr);
   return stall;
+}
+
+void WriteBufferModel::trace_drain(Cycle start, Cycle complete,
+                                   WbEntryKind kind, Addr line) {
+  const char* name = "store_drain";
+  if (kind == WbEntryKind::Wb) name = "wb_drain";
+  if (kind == WbEntryKind::Inv) name = "inv_drain";
+  tracer_->span(TraceCat::Wbuf, core_, start, complete, name,
+                static_cast<std::int64_t>(line));
 }
 
 Cycle WriteBufferModel::inv_wait(Cycle now, Addr line_addr) const {

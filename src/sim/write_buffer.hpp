@@ -23,6 +23,8 @@
 
 namespace hic {
 
+class Tracer;
+
 enum class WbEntryKind : std::uint8_t { Store, Wb, Inv };
 
 class WriteBufferModel {
@@ -77,7 +79,16 @@ class WriteBufferModel {
   /// Sentinel line address meaning "the whole cache" (WB ALL / INV ALL).
   static constexpr Addr kAllLines = ~Addr{0};
 
+  /// Attaches a tracer (nullptr = off): each entry's background drain window
+  /// [start, complete) is recorded as a span on `core`'s wbuf track.
+  void set_tracer(Tracer* t, CoreId core) {
+    tracer_ = t;
+    core_ = core;
+  }
+
  private:
+  void trace_drain(Cycle start, Cycle complete, WbEntryKind kind, Addr line);
+
   struct Entry {
     Cycle complete;
     WbEntryKind kind;
@@ -88,6 +99,8 @@ class WriteBufferModel {
   Cycle store_drain_cycles_;
   std::deque<Entry> q_;       ///< completion-ordered (FIFO drain)
   Cycle last_complete_ = 0;
+  Tracer* tracer_ = nullptr;
+  CoreId core_ = 0;
 };
 
 }  // namespace hic

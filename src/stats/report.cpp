@@ -1,11 +1,12 @@
 #include "stats/report.hpp"
 
+#include <array>
+#include <cstdio>
 #include <sstream>
 
 namespace hic {
 
-namespace {
-const char* stall_key(StallKind k) {
+const char* stall_json_key(StallKind k) {
   switch (k) {
     case StallKind::Rest: return "rest";
     case StallKind::InvStall: return "inv_stall";
@@ -16,7 +17,7 @@ const char* stall_key(StallKind k) {
   }
   return "?";
 }
-const char* traffic_key(TrafficKind k) {
+const char* traffic_json_key(TrafficKind k) {
   switch (k) {
     case TrafficKind::Linefill: return "linefill";
     case TrafficKind::Writeback: return "writeback";
@@ -27,38 +28,109 @@ const char* traffic_key(TrafficKind k) {
   }
   return "?";
 }
+
+namespace {
+template <StallKind K>
+std::uint64_t stall_total(const SimStats& s) {
+  return s.total_stall(K);
+}
+template <TrafficKind K>
+std::uint64_t traffic_total(const SimStats& s) {
+  return s.traffic().get(K);
+}
+template <std::uint64_t OpCounts::* M>
+std::uint64_t op(const SimStats& s) {
+  return s.ops().*M;
+}
+
+// The single source of truth for every counter the report exposes. Groups
+// must stay contiguous: the JSON renderer opens/closes one object per group.
+constexpr std::array kFields = {
+    ReportField{"stalls", "rest", stall_total<StallKind::Rest>},
+    ReportField{"stalls", "inv_stall", stall_total<StallKind::InvStall>},
+    ReportField{"stalls", "wb_stall", stall_total<StallKind::WbStall>},
+    ReportField{"stalls", "lock_stall", stall_total<StallKind::LockStall>},
+    ReportField{"stalls", "barrier_stall",
+                stall_total<StallKind::BarrierStall>},
+    ReportField{"traffic_flits", "linefill",
+                traffic_total<TrafficKind::Linefill>},
+    ReportField{"traffic_flits", "writeback",
+                traffic_total<TrafficKind::Writeback>},
+    ReportField{"traffic_flits", "invalidation",
+                traffic_total<TrafficKind::Invalidation>},
+    ReportField{"traffic_flits", "memory", traffic_total<TrafficKind::Memory>},
+    ReportField{"traffic_flits", "sync", traffic_total<TrafficKind::Sync>},
+    ReportField{"ops", "loads", op<&OpCounts::loads>},
+    ReportField{"ops", "stores", op<&OpCounts::stores>},
+    ReportField{"ops", "l1_hits", op<&OpCounts::l1_hits>},
+    ReportField{"ops", "l1_misses", op<&OpCounts::l1_misses>},
+    ReportField{"ops", "l2_hits", op<&OpCounts::l2_hits>},
+    ReportField{"ops", "l2_misses", op<&OpCounts::l2_misses>},
+    ReportField{"ops", "l3_hits", op<&OpCounts::l3_hits>},
+    ReportField{"ops", "l3_misses", op<&OpCounts::l3_misses>},
+    ReportField{"ops", "wb_ops", op<&OpCounts::wb_ops>},
+    ReportField{"ops", "inv_ops", op<&OpCounts::inv_ops>},
+    ReportField{"ops", "lines_written_back", op<&OpCounts::lines_written_back>},
+    ReportField{"ops", "lines_invalidated", op<&OpCounts::lines_invalidated>},
+    ReportField{"ops", "words_written_back", op<&OpCounts::words_written_back>},
+    ReportField{"ops", "global_wb_lines", op<&OpCounts::global_wb_lines>},
+    ReportField{"ops", "global_inv_lines", op<&OpCounts::global_inv_lines>},
+    ReportField{"ops", "adaptive_local_wb", op<&OpCounts::adaptive_local_wb>},
+    ReportField{"ops", "adaptive_global_wb", op<&OpCounts::adaptive_global_wb>},
+    ReportField{"ops", "adaptive_local_inv", op<&OpCounts::adaptive_local_inv>},
+    ReportField{"ops", "adaptive_global_inv",
+                op<&OpCounts::adaptive_global_inv>},
+    ReportField{"ops", "meb_wbs", op<&OpCounts::meb_wbs>},
+    ReportField{"ops", "meb_overflows", op<&OpCounts::meb_overflows>},
+    ReportField{"ops", "ieb_refreshes", op<&OpCounts::ieb_refreshes>},
+    ReportField{"ops", "ieb_evictions", op<&OpCounts::ieb_evictions>},
+    ReportField{"ops", "dir_invalidations_sent",
+                op<&OpCounts::dir_invalidations_sent>},
+    ReportField{"ops", "stale_word_reads", op<&OpCounts::stale_word_reads>},
+    ReportField{"ops", "injected_faults", op<&OpCounts::injected_faults>},
+    ReportField{"ops", "detected_faults", op<&OpCounts::detected_faults>},
+    ReportField{"ops", "tolerated_faults", op<&OpCounts::tolerated_faults>},
+    ReportField{"ops", "anno_barriers", op<&OpCounts::anno_barriers>},
+    ReportField{"ops", "anno_critical", op<&OpCounts::anno_critical>},
+    ReportField{"ops", "anno_flag", op<&OpCounts::anno_flag>},
+    ReportField{"ops", "anno_occ", op<&OpCounts::anno_occ>},
+    ReportField{"ops", "anno_racy", op<&OpCounts::anno_racy>},
+};
 }  // namespace
+
+std::span<const ReportField> report_fields() { return kFields; }
 
 std::string summarize(const SimStats& stats) {
   std::ostringstream os;
-  os << "execution time: " << stats.exec_cycles() << " cycles ("
-     << stats.num_cores() << " cores)\n";
-  os << "stall breakdown (avg cycles/core):\n";
-  for (std::size_t k = 0; k < kStallKinds; ++k) {
-    const auto kind = static_cast<StallKind>(k);
-    os << "  " << to_string(kind) << ": "
-       << stats.total_stall(kind) / static_cast<Cycle>(stats.num_cores())
-       << '\n';
-  }
-  os << "traffic (128-bit flits):\n";
-  for (std::size_t k = 0; k < kTrafficKinds; ++k) {
-    const auto kind = static_cast<TrafficKind>(k);
-    os << "  " << to_string(kind) << ": " << stats.traffic().get(kind)
-       << '\n';
+  const int cores = stats.num_cores();
+  os << "execution time: " << stats.exec_cycles() << " cycles (" << cores
+     << " cores)\n";
+  os << "schema_version: " << kStatsSchemaVersion << '\n';
+  os << "exec_cycles: " << stats.exec_cycles() << '\n';
+  os << "num_cores: " << cores << '\n';
+  const char* group = "";
+  for (const ReportField& f : kFields) {
+    if (std::string_view(group) != f.group) {
+      group = f.group;
+      os << group << ":\n";
+    }
+    const std::uint64_t v = f.get(stats);
+    os << "  " << f.key << ": " << v;
+    // Stall totals additionally get a per-core average; one decimal keeps
+    // small stall classes visible instead of truncating them to 0.
+    if (std::string_view(f.group) == "stalls") {
+      if (cores > 0) {
+        char avg[32];
+        std::snprintf(avg, sizeof avg, "%.1f",
+                      static_cast<double>(v) / static_cast<double>(cores));
+        os << " (avg " << avg << "/core)";
+      } else {
+        os << " (avg n/a: 0 cores)";
+      }
+    }
+    os << '\n';
   }
   const OpCounts& o = stats.ops();
-  os << "accesses: " << o.loads << " loads, " << o.stores << " stores; L1 "
-     << o.l1_hits << " hits / " << o.l1_misses << " misses\n";
-  os << "coherence mgmt: " << o.wb_ops << " WB ops (" << o.lines_written_back
-     << " lines, " << o.words_written_back << " words), " << o.inv_ops
-     << " INV ops (" << o.lines_invalidated << " lines)\n";
-  os << "buffers: " << o.meb_wbs << " MEB writebacks, " << o.meb_overflows
-     << " MEB overflows, " << o.ieb_refreshes << " IEB refreshes, "
-     << o.ieb_evictions << " IEB evictions\n";
-  os << "adaptive: WB " << o.adaptive_local_wb << " local / "
-     << o.adaptive_global_wb << " global; INV " << o.adaptive_local_inv
-     << " local / " << o.adaptive_global_inv << " global\n";
-  os << "stale word reads observed: " << o.stale_word_reads << '\n';
   if (o.injected_faults > 0) {
     os << "injected faults: " << o.injected_faults << " ("
        << o.detected_faults << " detected, " << o.tolerated_faults
@@ -71,50 +143,41 @@ std::string summarize(const SimStats& stats) {
 
 std::string to_json(const SimStats& stats) {
   std::ostringstream os;
-  os << "{";
-  os << "\"exec_cycles\":" << stats.exec_cycles();
+  os << "{\"schema_version\":" << kStatsSchemaVersion;
+  os << ",\"exec_cycles\":" << stats.exec_cycles();
   os << ",\"num_cores\":" << stats.num_cores();
-  os << ",\"stalls\":{";
-  for (std::size_t k = 0; k < kStallKinds; ++k) {
-    if (k > 0) os << ',';
-    const auto kind = static_cast<StallKind>(k);
-    os << '"' << stall_key(kind) << "\":" << stats.total_stall(kind);
+  const char* group = "";
+  bool first_in_group = true;
+  for (const ReportField& f : kFields) {
+    if (std::string_view(group) != f.group) {
+      if (*group != '\0') os << '}';
+      group = f.group;
+      os << ",\"" << group << "\":{";
+      first_in_group = true;
+    }
+    if (!first_in_group) os << ',';
+    first_in_group = false;
+    os << '"' << f.key << "\":" << f.get(stats);
   }
-  os << "},\"traffic_flits\":{";
-  for (std::size_t k = 0; k < kTrafficKinds; ++k) {
-    if (k > 0) os << ',';
-    const auto kind = static_cast<TrafficKind>(k);
-    os << '"' << traffic_key(kind) << "\":" << stats.traffic().get(kind);
+  if (*group != '\0') os << '}';
+  os << '}';
+  return os.str();
+}
+
+std::string per_core_stalls_json(const SimStats& stats) {
+  std::ostringstream os;
+  os << '[';
+  for (CoreId c = 0; c < stats.num_cores(); ++c) {
+    if (c > 0) os << ',';
+    os << '{';
+    for (std::size_t k = 0; k < kStallKinds; ++k) {
+      if (k > 0) os << ',';
+      const auto kind = static_cast<StallKind>(k);
+      os << '"' << stall_json_key(kind) << "\":" << stats.stalls(c).get(kind);
+    }
+    os << '}';
   }
-  const OpCounts& o = stats.ops();
-  os << "},\"ops\":{"
-     << "\"loads\":" << o.loads << ",\"stores\":" << o.stores
-     << ",\"l1_hits\":" << o.l1_hits << ",\"l1_misses\":" << o.l1_misses
-     << ",\"l2_hits\":" << o.l2_hits << ",\"l2_misses\":" << o.l2_misses
-     << ",\"l3_hits\":" << o.l3_hits << ",\"l3_misses\":" << o.l3_misses
-     << ",\"wb_ops\":" << o.wb_ops << ",\"inv_ops\":" << o.inv_ops
-     << ",\"lines_written_back\":" << o.lines_written_back
-     << ",\"lines_invalidated\":" << o.lines_invalidated
-     << ",\"words_written_back\":" << o.words_written_back
-     << ",\"global_wb_lines\":" << o.global_wb_lines
-     << ",\"global_inv_lines\":" << o.global_inv_lines
-     << ",\"adaptive_local_wb\":" << o.adaptive_local_wb
-     << ",\"adaptive_global_wb\":" << o.adaptive_global_wb
-     << ",\"adaptive_local_inv\":" << o.adaptive_local_inv
-     << ",\"adaptive_global_inv\":" << o.adaptive_global_inv
-     << ",\"meb_wbs\":" << o.meb_wbs
-     << ",\"meb_overflows\":" << o.meb_overflows
-     << ",\"ieb_refreshes\":" << o.ieb_refreshes
-     << ",\"ieb_evictions\":" << o.ieb_evictions
-     << ",\"dir_invalidations_sent\":" << o.dir_invalidations_sent
-     << ",\"stale_word_reads\":" << o.stale_word_reads
-     << ",\"injected_faults\":" << o.injected_faults
-     << ",\"detected_faults\":" << o.detected_faults
-     << ",\"tolerated_faults\":" << o.tolerated_faults
-     << ",\"anno_barriers\":" << o.anno_barriers
-     << ",\"anno_critical\":" << o.anno_critical
-     << ",\"anno_flag\":" << o.anno_flag << ",\"anno_occ\":" << o.anno_occ
-     << ",\"anno_racy\":" << o.anno_racy << "}}";
+  os << ']';
   return os.str();
 }
 

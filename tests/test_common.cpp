@@ -247,6 +247,48 @@ TEST(IntervalSet, EmptyInsertIgnored) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(IntervalSet, AdjacentRunsCoalesceBothSides) {
+  IntervalSet s;
+  s.insert(10, 10);
+  s.insert(20, 10);  // exactly adjacent on the right
+  EXPECT_EQ(s.run_count(), 1u);
+  s.insert(0, 10);  // exactly adjacent on the left
+  EXPECT_EQ(s.run_count(), 1u);
+  EXPECT_EQ(s.ranges().front(), (AddrRange{0, 30}));
+  // Off by one byte must NOT coalesce (the invariant is non-adjacent runs).
+  s.insert(31, 5);
+  EXPECT_EQ(s.run_count(), 2u);
+}
+
+TEST(IntervalSet, EraseAtRunBoundaries) {
+  IntervalSet s;
+  s.insert(10, 20);  // [10, 30)
+  s.erase(0, 10);    // ends exactly where the run starts: no-op
+  s.erase(30, 10);   // starts exactly where the run ends: no-op
+  EXPECT_EQ(s.total_bytes(), 20u);
+  EXPECT_EQ(s.run_count(), 1u);
+  s.erase(10, 5);  // clip the front exactly at base
+  EXPECT_FALSE(s.contains(14));
+  EXPECT_TRUE(s.contains(15));
+  s.erase(25, 5);  // clip the back exactly at end
+  EXPECT_TRUE(s.contains(24));
+  EXPECT_FALSE(s.contains(25));
+  EXPECT_EQ(s.ranges().front(), (AddrRange{15, 10}));
+  s.erase(15, 10);  // erase the exact remaining run
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, WrapAroundRangeRejected) {
+  IntervalSet s;
+  EXPECT_THROW(s.insert(~Addr{0} - 4, 10), CheckFailure);
+  EXPECT_THROW(s.erase(~Addr{0} - 4, 10), CheckFailure);
+  // The highest representable range (end == the maximum address) is fine.
+  s.insert(~Addr{0} - 5, 5);
+  EXPECT_EQ(s.total_bytes(), 5u);
+  EXPECT_TRUE(s.contains(~Addr{0} - 2));
+  EXPECT_FALSE(s.contains(~Addr{0}));
+}
+
 /// Property sweep: random inserts/erases vs a reference std::set of points.
 class IntervalSetFuzz : public testing::TestWithParam<std::uint64_t> {};
 

@@ -225,8 +225,8 @@ TEST(Report, SummaryMentionsEverySection) {
   s.ops().loads = 5;
   const std::string sum = summarize(s);
   for (const char* needle :
-       {"execution time: 100 cycles", "lock stall: 10", "linefill: 10",
-        "5 loads", "stale word reads"}) {
+       {"execution time: 100 cycles", "lock_stall: 40 (avg 10.0/core)",
+        "linefill: 10", "loads: 5", "stale_word_reads"}) {
     EXPECT_NE(sum.find(needle), std::string::npos) << needle;
   }
 }
@@ -248,6 +248,46 @@ TEST(Report, JsonIsBalancedAndComplete) {
   }
   EXPECT_EQ(j.front(), '{');
   EXPECT_EQ(j.back(), '}');
+}
+
+// Both renderers walk the same report_fields() table, so neither can drift:
+// every field key must appear in the text summary AND the JSON, and both
+// must carry the schema version.
+TEST(Report, TextAndJsonRenderEveryReportField) {
+  SimStats s(4);
+  s.stalls(2).add(StallKind::BarrierStall, 11);
+  s.ops().stores = 3;
+  const std::string sum = summarize(s);
+  const std::string j = to_json(s);
+  EXPECT_NE(sum.find("schema_version: " + std::to_string(kStatsSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(j.find("\"schema_version\":" + std::to_string(kStatsSchemaVersion)),
+            std::string::npos);
+  for (const ReportField& f : report_fields()) {
+    const std::string value = std::to_string(f.get(s));
+    const std::string text_form = std::string(f.key) + ": " + value;
+    const std::string json_form = '"' + std::string(f.key) + "\":" + value;
+    EXPECT_NE(sum.find(text_form), std::string::npos)
+        << "summary lost field " << f.group << "." << f.key;
+    EXPECT_NE(j.find(json_form), std::string::npos)
+        << "json lost field " << f.group << "." << f.key;
+  }
+}
+
+// Regression: integer division used to truncate per-core stall averages
+// (39 cycles / 4 cores printed "9"), and a 0-core SimStats divided by zero.
+TEST(Report, StallAveragesKeepOneDecimal) {
+  SimStats s(4);
+  s.stalls(0).add(StallKind::InvStall, 39);
+  EXPECT_NE(summarize(s).find("inv_stall: 39 (avg 9.8/core)"),
+            std::string::npos);
+}
+
+TEST(Report, ZeroCoreStatsDoNotDivideByZero) {
+  SimStats s(0);
+  const std::string sum = summarize(s);
+  EXPECT_NE(sum.find("(avg n/a: 0 cores)"), std::string::npos);
+  EXPECT_NE(to_json(s).find("\"num_cores\":0"), std::string::npos);
 }
 
 // --- Energy model -----------------------------------------------------------------

@@ -140,6 +140,29 @@ TEST(WriteBuffer, RetireDropsCompleted) {
   EXPECT_TRUE(wb.has_pending_wb(50, kLineB));
 }
 
+// Regression: a full buffer used to pop the oldest entry at issue time even
+// though the core is charged a stall until that entry *completes* — so
+// pending()/snapshot() under-reported in-flight entries during the stall
+// window. The entry must stay visible until its completion time.
+TEST(WriteBuffer, StalledOnEntryStaysVisibleUntilRetired) {
+  WriteBufferModel wb(2, 4);
+  wb.issue(0, WbEntryKind::Inv, kLineA, 10);  // completes at 10
+  wb.issue(0, WbEntryKind::Wb, kLineB, 10);   // completes at 20
+  // Full: stall until the Inv completes (10), drain serialized after the Wb.
+  EXPECT_EQ(wb.issue(0, WbEntryKind::Store, kLineA, 4), 10u);
+  // During the stall window all three entries are still in flight.
+  EXPECT_EQ(wb.pending(5), 3u);
+  const auto snap = wb.snapshot(5);
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].kind, WbEntryKind::Inv);
+  EXPECT_EQ(snap[0].complete, 10u);
+  EXPECT_GT(wb.inv_wait(5, kLineA), 0u) << "the draining INV still orders loads";
+  // Timing is unchanged: entries retire at 10, 20, 24 as before the fix.
+  EXPECT_EQ(wb.pending(10), 2u);
+  EXPECT_EQ(wb.pending(20), 1u);
+  EXPECT_EQ(wb.pending(24), 0u);
+}
+
 TEST(WriteBuffer, ServiceMinimumOneCycle) {
   WriteBufferModel wb(16, 4);
   wb.issue(0, WbEntryKind::Wb, kLineA, 0);

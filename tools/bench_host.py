@@ -23,12 +23,28 @@ import json
 import subprocess
 import sys
 
+# Must match kStatsSchemaVersion in src/stats/report.hpp. Result files written
+# before the version stamp existed load with a warning; a *different* version
+# is an error (field meanings may have changed).
+EXPECTED_SCHEMA_VERSION = 1
+
+
+def check_schema(path: str, data: dict) -> None:
+    version = data.get("schema_version")
+    if version is None:
+        print(f"{path}: warning: no schema_version (pre-versioning file); "
+              f"assuming v{EXPECTED_SCHEMA_VERSION}", file=sys.stderr)
+    elif version != EXPECTED_SCHEMA_VERSION:
+        sys.exit(f"{path}: schema_version {version} != expected "
+                 f"{EXPECTED_SCHEMA_VERSION} — regenerate the result file")
+
 
 def load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     if "workloads" not in data:
         sys.exit(f"{path}: not a bench_host_perf result (no 'workloads' key)")
+    check_schema(path, data)
     return data
 
 

@@ -11,6 +11,7 @@
 // to stderr).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include <memory>
 
 #include "apps/workload.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/thread.hpp"
 #include "stats/host_perf.hpp"
 #include "stats/report.hpp"
@@ -70,6 +72,9 @@ int usage() {
                "                  [--inject <kind:k=v:...>]... [--max-cycles N]\n"
                "                  [--time [--repeat N]] [--legacy-scheduler] "
                "[--no-stale-monitor]\n"
+               "                  [--trace-out FILE [--trace-filter "
+               "stall,op,sync,cache,wbuf,counter]\n"
+               "                   [--trace-sample-cycles N]]\n"
                "       hicsim_run --demo deadlock|livelock [--max-cycles N]\n"
                "       hicsim_run --list\n"
                "inject kinds: drop-wb drop-inv delay-wb delay-inv delay-noc "
@@ -141,6 +146,9 @@ int main(int argc, char** argv) {
   long slack = 0;
   long max_cycles = 0;
   std::string demo;
+  std::string trace_out;
+  std::string trace_filter = "all";
+  long trace_sample_cycles = 0;
   std::vector<std::string> inject_specs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -195,6 +203,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       inject_specs.emplace_back(v);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      trace_out = v;
+    } else if (arg == "--trace-filter") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      trace_filter = v;
+    } else if (arg == "--trace-sample-cycles") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      trace_sample_cycles = std::atol(v);
     } else if (arg == "--max-cycles") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -217,6 +237,12 @@ int main(int argc, char** argv) {
     }
   }
   if (app.empty() || config_name.empty()) return usage();
+  if (!trace_out.empty() && time_mode) {
+    std::fprintf(stderr,
+                 "--trace-out is incompatible with --time: recording events "
+                 "perturbs the host-perf measurement\n");
+    return 1;
+  }
 
   try {
     auto w = make_workload(app);
@@ -282,7 +308,31 @@ int main(int argc, char** argv) {
     Machine m(mc, *cfg);
     for (const auto& spec : inject_specs)
       m.add_fault_rule(parse_fault_rule(spec));
+    std::unique_ptr<Tracer> tracer;
+    if (!trace_out.empty()) {
+      TraceOptions topts;
+      topts.categories = parse_trace_filter(trace_filter);
+      topts.sample_cycles = trace_sample_cycles > 0
+                                ? static_cast<Cycle>(trace_sample_cycles)
+                                : Cycle{0};
+      tracer = std::make_unique<Tracer>(topts);
+      m.set_tracer(tracer.get());
+    }
     const Cycle cycles = run_workload(*w, m, n);
+    if (tracer != nullptr) {
+      tracer->finish(m.exec_cycles());
+      std::ofstream os(trace_out, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "cannot open trace output '%s'\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      tracer->export_json(os, &m.stats());
+      if (!json)
+        std::printf("trace: %zu events, %zu counter samples -> %s\n",
+                    tracer->events().size(), tracer->samples().size(),
+                    trace_out.c_str());
+    }
 
     if (json) {
       std::printf("{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,"

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validator for hicsim Chrome trace-event files (--trace-out output).
+
+  tools/trace_check.py trace.json
+  tools/trace_check.py --quiet trace.json other.json
+
+Checks, in order:
+  1. the file is well-formed JSON with a "traceEvents" list and the
+     "hicsim" metadata block, and the embedded stats schema version matches
+     this script's EXPECTED_SCHEMA_VERSION;
+  2. every event carries the keys its phase requires (complete events need
+     ts/dur/pid/tid, counter events a numeric args.delta, ...);
+  3. spans on one track — one (pid, tid) pair — never overlap;
+  4. per-core stall-span totals reconcile with the embedded StallAccount
+     (hicsim.per_core_stalls) to the cycle, per stall kind;
+  5. every counter's sampled deltas sum to its final value in the embedded
+     stats JSON (the tracer emits a tail sample to guarantee this).
+
+Checks 4 and 5 are skipped with a note when the trace was recorded with the
+corresponding category filtered out. Exit status: 0 if every file passes,
+1 otherwise. Stdlib only; no third-party packages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Must match kStatsSchemaVersion in src/stats/report.hpp.
+EXPECTED_SCHEMA_VERSION = 1
+
+STALL_KEYS = ("rest", "inv_stall", "wb_stall", "lock_stall", "barrier_stall")
+
+
+class TraceError(Exception):
+    pass
+
+
+def fail(msg: str) -> None:
+    raise TraceError(msg)
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"not well-formed JSON: {e}")
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        fail("no 'traceEvents' key — not a Chrome trace-event file")
+    if not isinstance(data["traceEvents"], list):
+        fail("'traceEvents' is not a list")
+    meta = data.get("hicsim")
+    if not isinstance(meta, dict):
+        fail("no 'hicsim' metadata block — not written by hicsim --trace-out")
+    version = meta.get("schema_version")
+    if version != EXPECTED_SCHEMA_VERSION:
+        fail(f"schema_version {version} != expected {EXPECTED_SCHEMA_VERSION}")
+    return data
+
+
+def check_events(events: list) -> None:
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event #{i} is not an object")
+        ph = e.get("ph")
+        if ph not in ("M", "X", "i", "C"):
+            fail(f"event #{i}: unknown phase {ph!r}")
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                fail(f"event #{i}: unexpected metadata {e.get('name')!r}")
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in e:
+                fail(f"event #{i}: missing {key!r}")
+        if not isinstance(e["ts"], int) or e["ts"] < 0:
+            fail(f"event #{i}: ts must be a non-negative integer")
+        if ph == "X":
+            if not isinstance(e.get("dur"), int) or e["dur"] <= 0:
+                fail(f"event #{i}: complete event needs a positive dur")
+        if ph == "C":
+            delta = e.get("args", {}).get("delta")
+            if not isinstance(delta, int) or delta < 0:
+                fail(f"event #{i}: counter event needs args.delta >= 0")
+
+
+def check_no_overlap(events: list) -> None:
+    tracks: dict[tuple, list] = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        tracks.setdefault((e["pid"], e["tid"]), []).append(e)
+    for (pid, tid), spans in sorted(tracks.items()):
+        spans.sort(key=lambda e: (e["ts"], e["ts"] + e["dur"]))
+        prev_end, prev_name = 0, None
+        for e in spans:
+            if e["ts"] < prev_end:
+                fail(f"track pid={pid} tid={tid}: span '{e['name']}' at "
+                     f"ts={e['ts']} overlaps '{prev_name}' ending at "
+                     f"{prev_end}")
+            prev_end, prev_name = e["ts"] + e["dur"], e["name"]
+
+
+def check_stall_reconciliation(data: dict) -> str:
+    meta = data["hicsim"]
+    if "stall" not in meta.get("categories", []):
+        return "stall reconciliation skipped (category filtered out)"
+    per_core = meta.get("per_core_stalls")
+    if per_core is None:
+        return "stall reconciliation skipped (no embedded per_core_stalls)"
+    totals: dict[tuple, int] = {}
+    for e in data["traceEvents"]:
+        if e.get("ph") == "X" and e.get("cat") == "stall":
+            totals[(e["tid"], e["name"])] = \
+                totals.get((e["tid"], e["name"]), 0) + e["dur"]
+    for core, expect in enumerate(per_core):
+        for key in STALL_KEYS:
+            got = totals.pop((core, key), 0)
+            if got != expect[key]:
+                fail(f"core {core} {key}: trace spans total {got} cycles, "
+                     f"StallAccount says {expect[key]}")
+    if totals:
+        core, name = next(iter(totals))
+        fail(f"stall spans for unknown core/kind: core {core} {name!r}")
+    ncores = len(per_core)
+    return f"stall spans reconcile with the StallAccount ({ncores} cores)"
+
+
+def check_counter_sums(data: dict) -> str:
+    meta = data["hicsim"]
+    if "counter" not in meta.get("categories", []):
+        return "counter check skipped (category filtered out)"
+    stats = meta.get("stats")
+    if stats is None:
+        return "counter check skipped (no embedded stats)"
+    samples = [e for e in data["traceEvents"] if e.get("ph") == "C"]
+    if not samples and meta.get("sample_cycles", 0) == 0:
+        return "counter check skipped (sampling disabled)"
+    sums: dict[str, int] = {}
+    for e in samples:
+        sums[e["name"]] = sums.get(e["name"], 0) + e["args"]["delta"]
+    for name, total in sorted(sums.items()):
+        group, _, key = name.partition(".")
+        expect = stats.get(group, {}).get(key)
+        if expect is None:
+            fail(f"counter {name!r} has no field in the embedded stats")
+        if total != expect:
+            fail(f"counter {name!r}: sampled deltas sum to {total}, final "
+                 f"stats value is {expect}")
+    return f"{len(samples)} counter samples over {len(sums)} counters " \
+           "sum to the final stats"
+
+
+def check_file(path: str, quiet: bool) -> bool:
+    try:
+        data = load(path)
+        events = data["traceEvents"]
+        check_events(events)
+        check_no_overlap(events)
+        notes = [
+            f"{sum(1 for e in events if e.get('ph') in ('X', 'i'))} events",
+            check_stall_reconciliation(data),
+            check_counter_sums(data),
+        ]
+    except TraceError as e:
+        print(f"{path}: FAIL: {e}", file=sys.stderr)
+        return False
+    if not quiet:
+        print(f"{path}: OK ({'; '.join(notes)})")
+    return True
+
+
+def main() -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("files", nargs="+", help="trace files to validate")
+    p.add_argument("--quiet", action="store_true",
+                   help="print nothing on success")
+    args = p.parse_args()
+    ok = True
+    for path in args.files:
+        ok = check_file(path, args.quiet) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
