@@ -22,6 +22,9 @@ hic_add_bench(bench_energy)
 hic_add_bench(bench_scaling)
 hic_add_bench(bench_host_perf)
 
+# The storage bench shares its renderer with the campaign aggregator.
+target_link_libraries(bench_storage_overhead PRIVATE hic_exp)
+
 # Microbenchmarks (google-benchmark): primitive-cost ablations.
 add_executable(bench_micro_primitives ${CMAKE_CURRENT_LIST_DIR}/bench_micro_primitives.cpp)
 target_link_libraries(bench_micro_primitives PRIVATE hic_apps hic_runtime hic_compiler benchmark::benchmark)

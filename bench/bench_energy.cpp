@@ -3,50 +3,18 @@
 // bench runs the event-energy model over the same intra-block sweep and
 // reports B+M+I's estimated dynamic energy normalized to HCC.
 #include "bench_util.hpp"
-#include "stats/energy.hpp"
 
 using namespace hic;
 using namespace hic::bench;
 
-namespace {
-
-EnergyBreakdown energy_of(const std::string& app, Config cfg) {
-  auto w = make_workload(app);
-  Machine m(MachineConfig::intra_block(), cfg);
-  run_workload(*w, m, 16);
-  return estimate_energy(m.stats());
-}
-
-}  // namespace
-
 int main() {
-  std::printf("== Energy companion to Figure 10 (event-energy model) ==\n\n");
-  TextTable table({"app", "HCC uJ", "B+M+I uJ", "ratio", "cache", "net",
-                   "dram", "ctrl"});
-  std::vector<double> ratios;
-  for (const auto& app : intra_workload_names()) {
-    const EnergyBreakdown hcc = energy_of(app, Config::Hcc);
-    const EnergyBreakdown bmi = energy_of(app, Config::BaseMebIeb);
-    const double ratio = bmi.total_pj() / hcc.total_pj();
-    ratios.push_back(ratio);
-    table.add_row({app, TextTable::num(hcc.total_uj(), 1),
-                   TextTable::num(bmi.total_uj(), 1), TextTable::num(ratio),
-                   TextTable::num(bmi.cache_pj / hcc.cache_pj),
-                   TextTable::num(bmi.network_pj / hcc.network_pj),
-                   hcc.dram_pj > 0
-                       ? TextTable::num(bmi.dram_pj / hcc.dram_pj)
-                       : std::string("-"),
-                   hcc.control_pj > 0
-                       ? TextTable::num(bmi.control_pj / hcc.control_pj)
-                       : std::string("-")});
+  const auto apps = intra_workload_names();
+  agg::PointSet ps;
+  // Stock machine (staleness monitor on), matching the historical bench.
+  for (const auto& app : apps) {
+    ps.add(run(app, Config::Hcc, /*staleness_monitor=*/true));
+    ps.add(run(app, Config::BaseMebIeb, /*staleness_monitor=*/true));
   }
-  table.add_row({"AVERAGE", "", "", TextTable::num(mean(ratios)), "", "", "",
-                 ""});
-  print_table(table);
-  std::printf(
-      "Paper §VII-B: with ~4%% less traffic, B+M+I \"consumes about the same\n"
-      "energy as HCC\" — while needing none of the directory/coherence-\n"
-      "controller hardware (the `ctrl` column collapses to the tiny MEB/IEB\n"
-      "lookups).\n");
+  std::fputs(agg::render_energy(apps, ps, agg::csv_env()).c_str(), stdout);
   return 0;
 }

@@ -11,44 +11,12 @@ using namespace hic;
 using namespace hic::bench;
 
 int main() {
-  std::printf("== Paper Figure 10: intra-block traffic, B+M+I vs HCC ==\n\n");
-
-  TextTable table({"app", "config", "linefill", "writeback", "inval",
-                   "memory", "total(norm)"});
-  std::vector<double> norms;
-
-  for (const auto& app : intra_workload_names()) {
-    const RunSnapshot hcc = run(app, Config::Hcc);
-    const RunSnapshot bmi = run(app, Config::BaseMebIeb);
-    const auto total = [](const RunSnapshot& s) {
-      return static_cast<double>(
-          s.traffic[static_cast<int>(TrafficKind::Linefill)] +
-          s.traffic[static_cast<int>(TrafficKind::Writeback)] +
-          s.traffic[static_cast<int>(TrafficKind::Invalidation)] +
-          s.traffic[static_cast<int>(TrafficKind::Memory)]);
-    };
-    const double denom = total(hcc);
-    for (const RunSnapshot* s : {&hcc, &bmi}) {
-      const double n = total(*s) / denom;
-      table.add_row(
-          {app, to_string(s->config),
-           TextTable::num(
-               s->traffic[static_cast<int>(TrafficKind::Linefill)] / denom),
-           TextTable::num(
-               s->traffic[static_cast<int>(TrafficKind::Writeback)] / denom),
-           TextTable::num(
-               s->traffic[static_cast<int>(TrafficKind::Invalidation)] /
-               denom),
-           TextTable::num(
-               s->traffic[static_cast<int>(TrafficKind::Memory)] / denom),
-           TextTable::num(n)});
-      if (s == &bmi) norms.push_back(n);
-    }
+  const auto apps = intra_workload_names();
+  agg::PointSet ps;
+  for (const auto& app : apps) {
+    ps.add(run(app, Config::Hcc));
+    ps.add(run(app, Config::BaseMebIeb));
   }
-  table.add_row({"AVERAGE", "B+M+I", "", "", "", "",
-                 TextTable::num(mean(norms))});
-  print_table(table);
-  std::printf("Paper: B+M+I averages ~0.96x HCC traffic, with zero\n"
-              "invalidation flits and dirty-word-only writebacks.\n");
+  std::fputs(agg::render_fig10(apps, ps, agg::csv_env()).c_str(), stdout);
   return 0;
 }

@@ -12,32 +12,12 @@ using namespace hic;
 using namespace hic::bench;
 
 int main() {
-  std::printf(
-      "== Paper Figure 11: global WB/INV counts, Addr+L vs Addr ==\n\n");
-
-  TextTable table({"app", "globalWB Addr", "globalWB Addr+L", "WB norm",
-                   "globalINV Addr", "globalINV Addr+L", "INV norm"});
-
-  for (const auto& app : inter_workload_names()) {
-    const RunSnapshot addr = run(app, Config::InterAddr);
-    const RunSnapshot addl = run(app, Config::InterAddrL);
-    const auto norm = [](std::uint64_t a, std::uint64_t b) {
-      return a == 0 ? (b == 0 ? 1.0 : 0.0)
-                    : static_cast<double>(b) / static_cast<double>(a);
-    };
-    table.add_row({app, std::to_string(addr.ops.global_wb_lines),
-                   std::to_string(addl.ops.global_wb_lines),
-                   TextTable::num(norm(addr.ops.global_wb_lines,
-                                       addl.ops.global_wb_lines)),
-                   std::to_string(addr.ops.global_inv_lines),
-                   std::to_string(addl.ops.global_inv_lines),
-                   TextTable::num(norm(addr.ops.global_inv_lines,
-                                       addl.ops.global_inv_lines))});
+  const auto apps = inter_workload_names();
+  agg::PointSet ps;
+  for (const auto& app : apps) {
+    ps.add(run(app, Config::InterAddr));
+    ps.add(run(app, Config::InterAddrL));
   }
-  print_table(table);
-  std::printf(
-      "Paper: Jacobi ~0.25 (both), CG INV ~0.78 with WB ~1.0, EP/IS ~1.0.\n"
-      "Counts are lines actually written back to L3 / invalidated from L2\n"
-      "by explicit WB/INV instructions.\n");
+  std::fputs(agg::render_fig11(apps, ps, agg::csv_env()).c_str(), stdout);
   return 0;
 }

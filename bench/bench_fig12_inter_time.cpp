@@ -12,38 +12,10 @@ using namespace hic::bench;
 int main() {
   const std::vector<Config> configs = {Config::InterHcc, Config::InterBase,
                                        Config::InterAddr, Config::InterAddrL};
-
-  std::printf("== Paper Figure 12: inter-block normalized execution time ==\n\n");
-  TextTable table({"app", "HCC", "Base", "Addr", "Addr+L"});
-  std::vector<std::vector<double>> norms(configs.size());
-
-  for (const auto& app : inter_workload_names()) {
-    std::vector<RunSnapshot> snaps;
-    for (Config c : configs) snaps.push_back(run(app, c));
-    const double hcc = static_cast<double>(snaps[0].exec_cycles);
-    std::vector<std::string> row{app};
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      const double n = static_cast<double>(snaps[i].exec_cycles) / hcc;
-      norms[i].push_back(n);
-      row.push_back(TextTable::num(n));
-    }
-    table.add_row(std::move(row));
-
-    for (std::size_t k = 0; k < kStallKinds; ++k) {
-      std::vector<std::string> brow{"  " + std::string(to_string(
-                                        static_cast<StallKind>(k)))};
-      for (const auto& s : snaps)
-        brow.push_back(TextTable::num(
-            static_cast<double>(s.stall[k]) / 32.0 / hcc));
-      table.add_row(std::move(brow));
-    }
-  }
-  std::vector<std::string> avg{"AVERAGE"};
-  for (auto& v : norms) avg.push_back(TextTable::num(mean(v)));
-  table.add_row(std::move(avg));
-
-  print_table(table);
-  std::printf("Paper: Addr+L ~= HCC x 1.05; Base worst (Addr+L is ~31%% "
-              "faster than Base);\nEP/IS flat across incoherent configs.\n");
+  const auto apps = inter_workload_names();
+  agg::PointSet ps;
+  for (const auto& app : apps)
+    for (Config c : configs) ps.add(run(app, c));
+  std::fputs(agg::render_fig12(apps, ps, agg::csv_env()).c_str(), stdout);
   return 0;
 }

@@ -13,47 +13,10 @@ int main() {
   const std::vector<Config> configs = {Config::Hcc, Config::Base,
                                        Config::BaseMeb, Config::BaseIeb,
                                        Config::BaseMebIeb};
-
-  std::printf("== Paper Figure 9: intra-block normalized execution time ==\n");
-  std::printf("(each cell: total normalized to HCC; breakdown rows below)\n\n");
-
-  TextTable table({"app", "HCC", "Base", "B+M", "B+I", "B+M+I"});
-  std::vector<std::vector<double>> norms(configs.size());
-
-  for (const auto& app : intra_workload_names()) {
-    std::vector<RunSnapshot> snaps;
-    snaps.reserve(configs.size());
-    for (Config c : configs) snaps.push_back(run(app, c));
-    const double hcc = static_cast<double>(snaps[0].exec_cycles);
-
-    std::vector<std::string> row{app};
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      const double n = static_cast<double>(snaps[i].exec_cycles) / hcc;
-      norms[i].push_back(n);
-      row.push_back(TextTable::num(n));
-    }
-    table.add_row(std::move(row));
-
-    // Stall breakdown per configuration, normalized to HCC exec time.
-    for (std::size_t k = 0; k < kStallKinds; ++k) {
-      std::vector<std::string> brow{"  " + std::string(to_string(
-                                        static_cast<StallKind>(k)))};
-      for (const auto& s : snaps) {
-        // Average stall cycles per core, over HCC exec time.
-        const double per_core =
-            static_cast<double>(s.stall[k]) / 16.0 / hcc;
-        brow.push_back(TextTable::num(per_core));
-      }
-      table.add_row(std::move(brow));
-    }
-  }
-
-  std::vector<std::string> avg{"AVERAGE"};
-  for (auto& v : norms) avg.push_back(TextTable::num(mean(v)));
-  table.add_row(std::move(avg));
-
-  print_table(table);
-  std::printf("Paper: Base avg ~1.20x HCC, B+M close to HCC (Raytrace high),\n"
-              "B+I ~Base, B+M+I avg ~1.02x HCC.\n");
+  const auto apps = intra_workload_names();
+  agg::PointSet ps;
+  for (const auto& app : apps)
+    for (Config c : configs) ps.add(run(app, c));
+  std::fputs(agg::render_fig9(apps, ps, agg::csv_env()).c_str(), stdout);
   return 0;
 }

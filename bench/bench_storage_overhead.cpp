@@ -2,23 +2,14 @@
 // full-map hierarchical MESI directory + state bits vs the incoherent
 // hierarchy's valid/dirty bits + MEB/IEB/ThreadMap, for the 4-block x
 // 8-core machine. The paper reports ~102KB of savings.
+//
+// The rendering lives in exp/aggregator.hpp, shared with hicsim_campaign's
+// "storage" aggregate kind.
 #include <cstdio>
 
-#include "hierarchy/storage_model.hpp"
+#include "exp/aggregator.hpp"
 
 int main() {
-  using namespace hic;
-  std::printf("== Paper §VII-A: control and storage overhead ==\n\n");
-
-  const MachineConfig inter = MachineConfig::inter_block();
-  const StorageBreakdown b = compute_storage_overhead(inter);
-  std::printf("Machine: %d blocks x %d cores\n\n", inter.blocks,
-              inter.cores_per_block);
-  std::printf("%s\n", b.report().c_str());
-
-  const MachineConfig intra = MachineConfig::intra_block();
-  const StorageBreakdown bi = compute_storage_overhead(intra);
-  std::printf("For reference, the single-block 16-core machine:\n%s\n",
-              bi.report().c_str());
+  std::fputs(hic::exp::render_storage_overhead().c_str(), stdout);
   return 0;
 }

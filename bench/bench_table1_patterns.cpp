@@ -9,27 +9,11 @@ using namespace hic;
 using namespace hic::bench;
 
 int main() {
-  std::printf("== Paper Table I: communication patterns (intra-block) ==\n\n");
-  TextTable table({"app", "declared main", "declared other", "barriers",
-                   "criticals", "flags", "occ", "racy"});
-
-  for (const auto& app : intra_workload_names()) {
-    auto w = make_workload(app);
-    Machine m(MachineConfig::intra_block(), Config::Base);
-    run_workload(*w, m, 16);
-    const OpCounts& ops = m.stats().ops();
-    table.add_row({app, w->main_patterns(), w->other_patterns(),
-                   std::to_string(ops.anno_barriers),
-                   std::to_string(ops.anno_critical),
-                   std::to_string(ops.anno_flag),
-                   std::to_string(ops.anno_occ),
-                   std::to_string(ops.anno_racy)});
-  }
-  print_table(table);
-  std::printf(
-      "Paper Table I: FFT/LU barrier; Cholesky outside-critical (+barrier,\n"
-      "critical, flag); Barnes barrier+outside-critical (+critical);\n"
-      "Raytrace critical (+barrier, data race); Volrend barrier+outside-\n"
-      "critical; Ocean and Water barrier+critical.\n");
+  const auto apps = intra_workload_names();
+  agg::PointSet ps;
+  // Stock machine (staleness monitor on), matching the historical bench.
+  for (const auto& app : apps)
+    ps.add(run(app, Config::Base, /*staleness_monitor=*/true));
+  std::fputs(agg::render_table1(apps, ps, agg::csv_env()).c_str(), stdout);
   return 0;
 }

@@ -1,44 +1,43 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
+//
+// The aggregation itself (normalization, table/figure rendering) lives in
+// stats/agg.hpp and is shared with the hicsim_campaign aggregator — the
+// benches produce points serially and hand them to the same render_*
+// functions, so `hicsim_campaign` output is byte-identical by construction.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "apps/workload.hpp"
+#include "stats/agg.hpp"
 #include "stats/text_table.hpp"
 
 namespace hic::bench {
 
-/// Everything a single (app, config) simulation produces.
-struct RunSnapshot {
-  std::string app;
-  Config config = Config::Hcc;
-  Cycle exec_cycles = 0;
-  Cycle stall[kStallKinds] = {};
-  std::uint64_t traffic[kTrafficKinds] = {};
-  OpCounts ops;
-};
+/// Everything a single (app, config) simulation produces — the benches and
+/// the campaign engine share this type.
+using RunSnapshot = agg::PointStats;
 
-inline RunSnapshot run(const std::string& app, Config config) {
+/// Simulates `app` under `config` on the stock machine for its family and
+/// captures the counters. `staleness_monitor` defaults off: the timing
+/// benches report cycles/traffic/ops, never staleness counts, and skipping
+/// the per-load shadow read keeps them fast (simulated cycles identical).
+inline RunSnapshot run(const std::string& app, Config config,
+                       bool staleness_monitor = false) {
   auto w = make_workload(app);
   MachineConfig mc = is_inter_block(config) ? MachineConfig::inter_block()
                                             : MachineConfig::intra_block();
-  // The benches report timing/traffic/ops, never staleness counts: skip the
-  // per-load shadow-read + memcmp (simulated cycles are identical).
-  mc.staleness_monitor = false;
+  mc.staleness_monitor = staleness_monitor;
   Machine m(mc, config);
-  RunSnapshot s;
-  s.app = app;
-  s.config = config;
-  s.exec_cycles = run_workload(*w, m, mc.total_cores());
-  for (std::size_t k = 0; k < kStallKinds; ++k)
-    s.stall[k] = m.stats().total_stall(static_cast<StallKind>(k));
-  for (std::size_t k = 0; k < kTrafficKinds; ++k)
-    s.traffic[k] = m.stats().traffic().get(static_cast<TrafficKind>(k));
-  s.ops = m.stats().ops();
+  run_workload(*w, m, mc.total_cores());
+  RunSnapshot s = agg::point_from_stats(app, to_string(config),
+                                        mc.total_cores(), m.stats());
+  s.declared_main = w->main_patterns();
+  s.declared_other = w->other_patterns();
   const WorkloadResult r = w->verify(m);
+  s.verified = r.ok;
   if (!r.ok) {
     std::fprintf(stderr, "WARNING: %s under %s failed verification: %s\n",
                  app.c_str(), to_string(config).c_str(), r.detail.c_str());
@@ -46,22 +45,11 @@ inline RunSnapshot run(const std::string& app, Config config) {
   return s;
 }
 
-/// Geometric-mean-free "average" bar as the paper plots it: the arithmetic
-/// mean of the per-app normalized values.
-inline double mean(const std::vector<double>& v) {
-  double s = 0;
-  for (double x : v) s += x;
-  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
-}
+using agg::mean;
 
 /// Prints a result table; set HIC_BENCH_CSV=1 for machine-readable output.
 inline void print_table(const TextTable& t) {
-  const char* csv = std::getenv("HIC_BENCH_CSV");
-  if (csv != nullptr && csv[0] == '1') {
-    std::fputs(t.render_csv().c_str(), stdout);
-  } else {
-    std::printf("%s\n", t.render().c_str());
-  }
+  std::fputs(agg::table_block(t, agg::csv_env()).c_str(), stdout);
 }
 
 }  // namespace hic::bench

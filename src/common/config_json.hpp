@@ -1,0 +1,69 @@
+// Canonical JSON (de)serialization and content digest for MachineConfig.
+//
+// One field table drives everything: serialization, deserialization with
+// unknown-key hard errors, `--set key=value` overrides, the canonical form,
+// and the content digest that keys the campaign result cache. Adding a
+// MachineConfig field therefore means adding exactly one table entry — a
+// sizeof guard in config_json.cpp fails the build when a field is added to
+// the struct but not to the table, and tests/test_config_json.cpp checks
+// every table entry round-trips and perturbs the digest.
+//
+// The canonical form is a flat JSON object of dotted keys in table order,
+// e.g. {"blocks":1,...,"l1.size_bytes":32768,...}. Dotted keys double as the
+// `--set` / campaign-spec override syntax.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/machine_config.hpp"
+
+namespace hic {
+
+/// Version of the canonical MachineConfig JSON schema. Bump on any field
+/// addition, removal, rename, or semantic change: the version participates
+/// in the digest, so bumping it invalidates every cached campaign result.
+inline constexpr int kConfigSchemaVersion = 1;
+
+/// One serializable MachineConfig field.
+struct ConfigField {
+  const char* key;  ///< dotted path, e.g. "l1.size_bytes"
+  bool is_bool;
+  std::int64_t (*get)(const MachineConfig&);
+  void (*set)(MachineConfig&, std::int64_t);
+};
+
+/// Every serializable field, in canonical order.
+[[nodiscard]] std::span<const ConfigField> config_fields();
+
+/// Flat canonical JSON object (table order, dotted keys).
+[[nodiscard]] Json config_to_json(const MachineConfig& mc);
+
+/// Serialized canonical form (config_to_json().dump()).
+[[nodiscard]] std::string canonical_config_json(const MachineConfig& mc);
+
+/// Applies a flat object of {dotted key: value} overrides. Unknown keys,
+/// non-scalar values and type mismatches throw CheckFailure. Does NOT call
+/// validate() — callers validate once after all overrides are applied.
+void apply_config_overrides(MachineConfig& mc, const Json& overrides);
+
+/// Applies one "key=value" override (the hicsim_run/campaign --set syntax).
+/// Booleans accept true/false/1/0. Throws CheckFailure on unknown keys or
+/// malformed values.
+void apply_config_set(MachineConfig& mc, const std::string& key_eq_value);
+
+/// Named stock configurations: "intra" or "inter" (paper Table III).
+[[nodiscard]] MachineConfig config_preset(const std::string& name);
+
+/// FNV-1a 64-bit hash (the campaign digests' building block).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Content digest of a machine configuration: 16 lowercase hex digits of
+/// FNV-1a64 over the schema version and the canonical JSON. Two configs
+/// share a digest iff every serializable field matches.
+[[nodiscard]] std::string config_digest(const MachineConfig& mc);
+
+}  // namespace hic

@@ -1,0 +1,369 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hic {
+
+Json Json::null() { return Json{}; }
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::Bool;
+  j.bool_ = b;
+  return j;
+}
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.type_ = Type::Int;
+  j.int_ = v;
+  return j;
+}
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::Double;
+  j.dbl_ = v;
+  return j;
+}
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::String;
+  j.str_ = std::move(s);
+  return j;
+}
+Json Json::array() {
+  Json j;
+  j.type_ = Type::Array;
+  return j;
+}
+Json Json::object() {
+  Json j;
+  j.type_ = Type::Object;
+  return j;
+}
+
+bool Json::as_bool() const {
+  HIC_CHECK_MSG(type_ == Type::Bool, "JSON value is not a bool");
+  return bool_;
+}
+std::int64_t Json::as_i64() const {
+  HIC_CHECK_MSG(type_ == Type::Int, "JSON value is not an integer");
+  return int_;
+}
+std::uint64_t Json::as_u64() const {
+  HIC_CHECK_MSG(type_ == Type::Int, "JSON value is not an integer");
+  HIC_CHECK_MSG(int_ >= 0, "JSON integer is negative (" << int_ << ")");
+  return static_cast<std::uint64_t>(int_);
+}
+double Json::as_double() const {
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  HIC_CHECK_MSG(type_ == Type::Double, "JSON value is not a number");
+  return dbl_;
+}
+const std::string& Json::as_string() const {
+  HIC_CHECK_MSG(type_ == Type::String, "JSON value is not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  HIC_CHECK_MSG(type_ == Type::Array, "JSON value is not an array");
+  return arr_;
+}
+void Json::push_back(Json v) {
+  HIC_CHECK_MSG(type_ == Type::Array, "JSON value is not an array");
+  arr_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  HIC_CHECK_MSG(type_ == Type::Object, "JSON value is not an object");
+  return obj_;
+}
+const Json* Json::find(const std::string& key) const {
+  HIC_CHECK_MSG(type_ == Type::Object, "JSON value is not an object");
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  HIC_CHECK_MSG(v != nullptr, "missing JSON key '" << key << "'");
+  return *v;
+}
+void Json::set(std::string key, Json v) {
+  HIC_CHECK_MSG(type_ == Type::Object, "JSON value is not an object");
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Json::dump() const {
+  switch (type_) {
+    case Type::Null: return "null";
+    case Type::Bool: return bool_ ? "true" : "false";
+    case Type::Int: return std::to_string(int_);
+    case Type::Double: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", dbl_);
+      return buf;
+    }
+    case Type::String: return escape(str_);
+    case Type::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += arr_[i].dump();
+      }
+      return out + "]";
+    }
+    case Type::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += escape(obj_[i].first);
+        out += ':';
+        out += obj_[i].second.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    HIC_CHECK_MSG(pos_ == s_.size(),
+                  "trailing garbage at byte " << pos_ << " of JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    HIC_CHECK_MSG(false, "JSON parse error at byte " << pos_ << ": " << what);
+    std::abort();  // unreachable; HIC_CHECK_MSG throws
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json::null();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("bad \\u escape digit");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+            // the campaign formats are ASCII).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool integral = true;
+    bool any_digit = false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        any_digit = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!any_digit) fail("malformed number");
+    const std::string tok = s_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0')
+        return Json::integer(v);
+      // Fall through to double on int64 overflow.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    return Json::number(d);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace hic

@@ -1,0 +1,88 @@
+// Minimal JSON value, parser and writer.
+//
+// Built for the experiment-campaign subsystem (campaign specs, machine-config
+// files, per-point result interchange): no external dependencies, strict
+// parsing (trailing garbage, duplicate keys and syntax errors all throw
+// CheckFailure with a byte offset), and deterministic serialization (object
+// keys keep insertion order; integers round-trip exactly).
+//
+// Numbers are stored as int64 when the literal is integral (no '.', 'e', or
+// overflow) and as double otherwise. The campaign formats only ever use
+// integral counters, bools and strings, so canonical re-serialization is
+// byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hic {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;
+  static Json null();
+  static Json boolean(bool b);
+  static Json integer(std::int64_t v);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::Int; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::Int || type_ == Type::Double;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw CheckFailure on type mismatch (and on negative
+  /// values for as_u64).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] double as_double() const;  ///< accepts Int and Double
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access.
+  [[nodiscard]] const std::vector<Json>& items() const;
+  void push_back(Json v);
+
+  /// Object access. Members keep insertion order (serialization is
+  /// deterministic); `find` returns nullptr when the key is absent, `at`
+  /// throws.
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  void set(std::string key, Json v);
+
+  /// Compact single-line serialization.
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of a complete document; throws CheckFailure with a byte
+  /// offset on any error (including trailing non-whitespace).
+  static Json parse(const std::string& text);
+
+  /// Escapes `s` as a JSON string literal, including the quotes.
+  static std::string escape(const std::string& s);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace hic

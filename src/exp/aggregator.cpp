@@ -1,0 +1,139 @@
+#include "exp/aggregator.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "hierarchy/storage_model.hpp"
+#include "stats/agg.hpp"
+
+namespace hic::exp {
+
+namespace {
+
+/// Collects a group's points into a PointSet (sweep-axis values label the
+/// machine column) and the first-seen app order for figure rows.
+struct GroupPoints {
+  agg::PointSet set;
+  std::vector<std::string> apps;
+};
+
+GroupPoints collect_group(const Campaign& c, const CampaignResults& r,
+                          const std::string& group) {
+  GroupPoints g;
+  bool found = false;
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    const CampaignPoint& pt = c.points[i];
+    if (pt.group != group) continue;
+    found = true;
+    HIC_CHECK_MSG(r.by_point[i].has_value(),
+                  "aggregate group '" << group << "' is missing the result "
+                                      << "for " << pt.app << "/"
+                                      << pt.config_label << " ("
+                                      << pt.digest << ")");
+    agg::PointStats p = *r.by_point[i];
+    if (!pt.sweep_desc.empty())
+      p.machine = pt.sweep_desc + " [" + p.machine + "]";
+    g.set.add(std::move(p));
+    bool seen = false;
+    for (const std::string& a : g.apps) seen = seen || a == pt.app;
+    if (!seen) g.apps.push_back(pt.app);
+  }
+  HIC_CHECK_MSG(found, "aggregate references empty group '" << group << "'");
+  return g;
+}
+
+}  // namespace
+
+std::string render_storage_overhead() {
+  std::string out = "== Paper §VII-A: control and storage overhead ==\n\n";
+  char buf[128];
+
+  const MachineConfig inter = MachineConfig::inter_block();
+  const StorageBreakdown b = compute_storage_overhead(inter);
+  std::snprintf(buf, sizeof(buf), "Machine: %d blocks x %d cores\n\n",
+                inter.blocks, inter.cores_per_block);
+  out += buf;
+  out += b.report();
+  out += '\n';
+
+  const MachineConfig intra = MachineConfig::intra_block();
+  const StorageBreakdown bi = compute_storage_overhead(intra);
+  out += "For reference, the single-block 16-core machine:\n";
+  out += bi.report();
+  out += '\n';
+  return out;
+}
+
+std::vector<AggregateOutput> aggregate_campaign(const Campaign& c,
+                                                const CampaignResults& r,
+                                                bool csv) {
+  HIC_CHECK_MSG(r.by_point.size() == c.points.size(),
+                "results/campaign mismatch: " << r.by_point.size() << " vs "
+                                              << c.points.size()
+                                              << " points");
+  std::vector<AggregateOutput> out;
+  for (const AggregateSpec& spec : c.aggregates) {
+    AggregateOutput a;
+    a.kind = spec.kind;
+    a.group = spec.group;
+    a.title = spec.kind + (spec.group.empty() ? "" : " (" + spec.group + ")");
+    if (spec.kind == "storage") {
+      a.text = render_storage_overhead();
+    } else {
+      const GroupPoints g = collect_group(c, r, spec.group);
+      if (spec.kind == "table1") {
+        a.text = agg::render_table1(g.apps, g.set, csv);
+      } else if (spec.kind == "fig9") {
+        a.text = agg::render_fig9(g.apps, g.set, csv);
+      } else if (spec.kind == "fig10") {
+        a.text = agg::render_fig10(g.apps, g.set, csv);
+      } else if (spec.kind == "fig11") {
+        a.text = agg::render_fig11(g.apps, g.set, csv);
+      } else if (spec.kind == "fig12") {
+        a.text = agg::render_fig12(g.apps, g.set, csv);
+      } else if (spec.kind == "energy") {
+        a.text = agg::render_energy(g.apps, g.set, csv);
+      } else if (spec.kind == "summary") {
+        a.text = agg::render_summary(g.set, csv);
+      } else {
+        HIC_CHECK_MSG(false, "unknown aggregate kind '" << spec.kind << "'");
+      }
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+Json campaign_summary_json(const Campaign& c, const CampaignResults& r,
+                           const std::vector<AggregateOutput>& aggs) {
+  Json j = Json::object();
+  j.set("campaign", Json::string(c.name));
+  j.set("schema_version", Json::integer(kCampaignSchemaVersion));
+  j.set("points", Json::integer(static_cast<std::int64_t>(c.points.size())));
+  j.set("unique_points",
+        Json::integer(static_cast<std::int64_t>(r.counters.points)));
+  j.set("simulated",
+        Json::integer(static_cast<std::int64_t>(r.counters.simulated)));
+  j.set("journal_hits",
+        Json::integer(static_cast<std::int64_t>(r.counters.journal_hits)));
+  j.set("cache_hits",
+        Json::integer(static_cast<std::int64_t>(r.counters.cache_hits)));
+  j.set("failures",
+        Json::integer(static_cast<std::int64_t>(r.counters.failures)));
+  j.set("all_verified", Json::boolean(r.all_verified()));
+  Json list = Json::array();
+  for (const AggregateOutput& a : aggs) {
+    Json e = Json::object();
+    e.set("kind", Json::string(a.kind));
+    e.set("group", Json::string(a.group));
+    e.set("title", Json::string(a.title));
+    list.push_back(std::move(e));
+  }
+  j.set("aggregates", std::move(list));
+  Json errs = Json::array();
+  for (const std::string& e : r.errors) errs.push_back(Json::string(e));
+  j.set("errors", std::move(errs));
+  return j;
+}
+
+}  // namespace hic::exp

@@ -1,0 +1,41 @@
+// Campaign aggregation: reduces a campaign's completed points into the
+// paper's figures/tables by dispatching each AggregateSpec to the shared
+// renderers in stats/agg.hpp — the same functions the serial bench binaries
+// call, so `hicsim_campaign` output is byte-identical to the benches by
+// construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "exp/campaign.hpp"
+#include "exp/runner.hpp"
+
+namespace hic::exp {
+
+/// One rendered aggregate, ready to print or write to a file.
+struct AggregateOutput {
+  std::string kind;
+  std::string group;  ///< "" for kinds that take no points (storage)
+  std::string title;  ///< "fig9 (intra-timing)"
+  std::string text;   ///< exact bytes the matching bench binary prints
+};
+
+/// Renders every aggregate in the spec. Requires each referenced group's
+/// points to have results (run_campaign succeeded for them); a missing
+/// point throws CheckFailure naming it.
+[[nodiscard]] std::vector<AggregateOutput> aggregate_campaign(
+    const Campaign& c, const CampaignResults& r, bool csv);
+
+/// The §VII-A storage/control-overhead comparison — exactly the bytes
+/// bench_storage_overhead prints (it is an analytic model, needs no points).
+[[nodiscard]] std::string render_storage_overhead();
+
+/// Machine-readable run summary (counters, per-aggregate index, verification
+/// status) for CI assertions and the `--out` directory.
+[[nodiscard]] Json campaign_summary_json(
+    const Campaign& c, const CampaignResults& r,
+    const std::vector<AggregateOutput>& aggs);
+
+}  // namespace hic::exp

@@ -1,0 +1,69 @@
+#include "exp/journal.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace hic::exp {
+
+namespace fs = std::filesystem;
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  // Load and validate the existing journal, stopping at the first line that
+  // is not a complete record: truncation is append-side, so everything past
+  // a torn line is the torn line's own bytes or lost — never valid data.
+  {
+    std::ifstream is(path_);
+    std::string line;
+    while (is.good() && std::getline(is, line)) {
+      if (line.empty()) break;
+      Entry e;
+      try {
+        const Json j = Json::parse(line);
+        e.digest = j.at("digest").as_string();
+      } catch (const CheckFailure&) {
+        break;  // torn tail
+      }
+      e.json_line = line;
+      recovered_.push_back(std::move(e));
+    }
+  }
+
+  // Compact: rewrite exactly the valid prefix (atomic), then append to it.
+  // This removes any torn tail so subsequent appends start on a clean line.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    HIC_CHECK_MSG(os.good(), "cannot write journal '" << tmp << "'");
+    for (const Entry& e : recovered_) os << e.json_line << '\n';
+    os.flush();
+    HIC_CHECK_MSG(os.good(), "short write to journal '" << tmp << "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path_, ec);
+  HIC_CHECK_MSG(!ec, "cannot replace journal '" << path_
+                                                << "': " << ec.message());
+
+  f_ = std::fopen(path_.c_str(), "ab");
+  HIC_CHECK_MSG(f_ != nullptr, "cannot open journal '" << path_
+                                                       << "' for append");
+}
+
+Journal::~Journal() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void Journal::append(const std::string& json_line) {
+  HIC_CHECK(f_ != nullptr);
+  HIC_CHECK_MSG(json_line.find('\n') == std::string::npos,
+                "journal records must be single-line JSON");
+  std::fputs(json_line.c_str(), f_);
+  std::fputc('\n', f_);
+  HIC_CHECK_MSG(std::fflush(f_) == 0, "journal flush failed ('" << path_
+                                                                << "')");
+}
+
+}  // namespace hic::exp

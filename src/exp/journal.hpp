@@ -1,0 +1,53 @@
+// Crash-safe append-only campaign journal.
+//
+// One JSON line per completed point. A campaign killed at any moment — even
+// mid-write — loses at most the line being written: on reopen the journal
+// loads every line that parses as a complete result record, discards the
+// torn tail, compacts itself (atomic rewrite), and resumes appending. The
+// runner replays loaded entries instead of re-simulating, so an interrupted
+// campaign continues where it died and its final aggregate is byte-identical
+// to an uninterrupted run (the simulator is deterministic and results are
+// keyed by content digest, not by completion order).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hic::exp {
+
+class Journal {
+ public:
+  /// A line that survived validation: the point's digest plus the raw
+  /// single-line result JSON.
+  struct Entry {
+    std::string digest;
+    std::string json_line;
+  };
+
+  /// Loads `path` (missing file = empty journal), validates line by line,
+  /// compacts the file to the valid prefix, and opens it for appending.
+  explicit Journal(std::string path);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Entries recovered at open time.
+  [[nodiscard]] const std::vector<Entry>& recovered() const {
+    return recovered_;
+  }
+
+  /// Appends one completed-point record (a single-line JSON object carrying
+  /// a "digest" member) and flushes it to the OS, so a kill after append()
+  /// never loses the point.
+  void append(const std::string& json_line);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::vector<Entry> recovered_;
+};
+
+}  // namespace hic::exp

@@ -1,0 +1,74 @@
+#include "exp/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace hic::exp {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  HIC_CHECK_MSG(!ec, "cannot create cache directory '" << dir_ << "': "
+                                                       << ec.message());
+}
+
+std::string ResultCache::entry_path(const std::string& digest) const {
+  // Digests are hex strings the campaign engine produced; reject anything
+  // else so a corrupt journal can't turn into path traversal.
+  HIC_CHECK_MSG(!digest.empty() &&
+                    digest.find_first_not_of("0123456789abcdef") ==
+                        std::string::npos,
+                "malformed digest '" << digest << "'");
+  return dir_ + "/" + digest + ".json";
+}
+
+std::optional<std::string> ResultCache::lookup(
+    const std::string& digest) const {
+  std::ifstream is(entry_path(digest));
+  if (!is.good()) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  std::string text = ss.str();
+  // Strip the trailing newline store() appends.
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  if (text.empty()) return std::nullopt;
+  return text;
+}
+
+void ResultCache::store(const std::string& digest,
+                        const std::string& json_line) const {
+  const std::string path = entry_path(digest);
+  // Unique temp name per process+thread so parallel stores never collide;
+  // rename() is atomic within the cache directory.
+  std::ostringstream tmp;
+  tmp << path << ".tmp." << ::getpid() << "."
+      << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  {
+    std::ofstream os(tmp.str(), std::ios::binary | std::ios::trunc);
+    HIC_CHECK_MSG(os.good(), "cannot write cache entry '" << tmp.str() << "'");
+    os << json_line << '\n';
+    os.flush();
+    HIC_CHECK_MSG(os.good(), "short write to cache entry '" << tmp.str()
+                                                            << "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp.str(), path, ec);
+  if (ec) {
+    // A concurrent writer may have won the race with identical content;
+    // drop our temp file and keep theirs.
+    fs::remove(tmp.str(), ec);
+  }
+}
+
+}  // namespace hic::exp

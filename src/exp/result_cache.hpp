@@ -1,0 +1,38 @@
+// Content-addressed result cache for campaign points.
+//
+// A point's digest covers everything that determines its result (schema
+// versions, canonical machine config, workload, Table II label, threads,
+// seed), and the simulator is bit-deterministic — so a cache hit IS the
+// result, and warm campaign reruns reduce to JSON reads. Entries are one
+// file per digest, written atomically (temp file + rename), so a campaign
+// killed mid-store can never leave a torn entry behind: concurrent writers
+// of the same digest race benignly to identical bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace hic::exp {
+
+class ResultCache {
+ public:
+  /// Opens (and creates, if needed) the cache directory.
+  explicit ResultCache(std::string dir);
+
+  /// Returns the stored single-line JSON for `digest`, or nullopt. Unreadable
+  /// or empty entries count as misses.
+  [[nodiscard]] std::optional<std::string> lookup(
+      const std::string& digest) const;
+
+  /// Atomically stores `json_line` under `digest` (temp file + rename).
+  void store(const std::string& digest, const std::string& json_line) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::string entry_path(const std::string& digest) const;
+
+  std::string dir_;
+};
+
+}  // namespace hic::exp

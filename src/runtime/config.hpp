@@ -1,6 +1,7 @@
 // Experiment configurations (paper Table II).
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/incoherent.hpp"
@@ -52,6 +53,37 @@ enum class InterPolicy {
     case Config::InterAddrL: return InterPolicy::AddrAdaptive;
     default: return InterPolicy::NotApplicable;
   }
+}
+
+/// Parses a Table II label ("HCC", "B+M+I", "Addr+L", ...). The label sets
+/// for the intra- and inter-block experiments overlap ("HCC", "Base"), so
+/// the caller states which family it wants. Shared by the hicsim_run CLI and
+/// the campaign spec parser; nullopt for unknown labels.
+[[nodiscard]] inline std::optional<Config> config_from_string(
+    const std::string& name, bool inter_block) {
+  struct Entry {
+    const char* name;
+    Config cfg;
+  };
+  static constexpr Entry kIntra[] = {
+      {"HCC", Config::Hcc},          {"Base", Config::Base},
+      {"B+M", Config::BaseMeb},      {"B+I", Config::BaseIeb},
+      {"B+M+I", Config::BaseMebIeb},
+  };
+  static constexpr Entry kInter[] = {
+      {"HCC", Config::InterHcc},
+      {"Base", Config::InterBase},
+      {"Addr", Config::InterAddr},
+      {"Addr+L", Config::InterAddrL},
+  };
+  if (inter_block) {
+    for (const auto& e : kInter)
+      if (name == e.name) return e.cfg;
+  } else {
+    for (const auto& e : kIntra)
+      if (name == e.name) return e.cfg;
+  }
+  return std::nullopt;
 }
 
 [[nodiscard]] inline std::string to_string(Config c) {

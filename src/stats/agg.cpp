@@ -1,0 +1,369 @@
+#include "stats/agg.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "stats/energy.hpp"
+#include "stats/report.hpp"
+
+namespace hic::agg {
+
+PointStats point_from_stats(std::string app, std::string config, int threads,
+                            const SimStats& stats) {
+  PointStats p;
+  p.app = std::move(app);
+  p.config = std::move(config);
+  p.threads = threads;
+  p.num_cores = stats.num_cores();
+  p.exec_cycles = stats.exec_cycles();
+  for (std::size_t k = 0; k < kStallKinds; ++k)
+    p.stall[k] = stats.total_stall(static_cast<StallKind>(k));
+  for (std::size_t k = 0; k < kTrafficKinds; ++k)
+    p.traffic[k] = stats.traffic().get(static_cast<TrafficKind>(k));
+  p.ops = stats.ops();
+  return p;
+}
+
+Json point_to_json(const PointStats& p) {
+  Json j = Json::object();
+  j.set("point_schema", Json::integer(kPointSchemaVersion));
+  j.set("stats_schema", Json::integer(kStatsSchemaVersion));
+  j.set("app", Json::string(p.app));
+  j.set("config", Json::string(p.config));
+  j.set("declared_main", Json::string(p.declared_main));
+  j.set("declared_other", Json::string(p.declared_other));
+  j.set("machine", Json::string(p.machine));
+  j.set("threads", Json::integer(p.threads));
+  j.set("num_cores", Json::integer(p.num_cores));
+  j.set("verified", Json::boolean(p.verified));
+  j.set("exec_cycles", Json::integer(static_cast<std::int64_t>(p.exec_cycles)));
+  Json stalls = Json::object();
+  for (std::size_t k = 0; k < kStallKinds; ++k)
+    stalls.set(stall_json_key(static_cast<StallKind>(k)),
+               Json::integer(static_cast<std::int64_t>(p.stall[k])));
+  j.set("stalls", std::move(stalls));
+  Json traffic = Json::object();
+  for (std::size_t k = 0; k < kTrafficKinds; ++k)
+    traffic.set(traffic_json_key(static_cast<TrafficKind>(k)),
+                Json::integer(static_cast<std::int64_t>(p.traffic[k])));
+  j.set("traffic_flits", std::move(traffic));
+  Json ops = Json::object();
+  for (const OpField& f : op_fields())
+    ops.set(f.key, Json::integer(static_cast<std::int64_t>(p.ops.*f.member)));
+  j.set("ops", std::move(ops));
+  return j;
+}
+
+PointStats point_from_json(const Json& j) {
+  HIC_CHECK_MSG(j.at("point_schema").as_i64() == kPointSchemaVersion,
+                "point schema version mismatch (got "
+                    << j.at("point_schema").as_i64() << ", want "
+                    << kPointSchemaVersion << ")");
+  HIC_CHECK_MSG(j.at("stats_schema").as_i64() == kStatsSchemaVersion,
+                "stats schema version mismatch (got "
+                    << j.at("stats_schema").as_i64() << ", want "
+                    << kStatsSchemaVersion << ")");
+  PointStats p;
+  p.app = j.at("app").as_string();
+  p.config = j.at("config").as_string();
+  p.declared_main = j.at("declared_main").as_string();
+  p.declared_other = j.at("declared_other").as_string();
+  p.machine = j.at("machine").as_string();
+  p.threads = static_cast<int>(j.at("threads").as_i64());
+  p.num_cores = static_cast<int>(j.at("num_cores").as_i64());
+  p.verified = j.at("verified").as_bool();
+  p.exec_cycles = j.at("exec_cycles").as_u64();
+  const Json& stalls = j.at("stalls");
+  for (std::size_t k = 0; k < kStallKinds; ++k)
+    p.stall[k] = stalls.at(stall_json_key(static_cast<StallKind>(k))).as_u64();
+  const Json& traffic = j.at("traffic_flits");
+  for (std::size_t k = 0; k < kTrafficKinds; ++k)
+    p.traffic[k] =
+        traffic.at(traffic_json_key(static_cast<TrafficKind>(k))).as_u64();
+  const Json& ops = j.at("ops");
+  for (const OpField& f : op_fields()) p.ops.*f.member = ops.at(f.key).as_u64();
+  return p;
+}
+
+void PointSet::add(PointStats p) {
+  for (const PointStats& q : points_)
+    HIC_CHECK_MSG(q.app != p.app || q.config != p.config ||
+                      q.machine != p.machine,
+                  "duplicate point (" << p.app << ", " << p.config << ", "
+                                      << p.machine << ")");
+  points_.push_back(std::move(p));
+}
+
+const PointStats& PointSet::get(const std::string& app,
+                                const std::string& config) const {
+  const PointStats* found = nullptr;
+  for (const PointStats& p : points_) {
+    if (p.app == app && p.config == config) {
+      HIC_CHECK_MSG(found == nullptr,
+                    "ambiguous point (" << app << ", " << config
+                                        << "): multiple machine configs in "
+                                           "one aggregate group");
+      found = &p;
+    }
+  }
+  HIC_CHECK_MSG(found != nullptr, "no result for point ("
+                                      << app << ", " << config
+                                      << ") — the campaign spec does not "
+                                         "cover this aggregate");
+  return *found;
+}
+
+double mean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+bool csv_env() {
+  const char* csv = std::getenv("HIC_BENCH_CSV");
+  return csv != nullptr && csv[0] == '1';
+}
+
+std::string table_block(const TextTable& t, bool csv) {
+  return csv ? t.render_csv() : t.render() + "\n";
+}
+
+std::string render_table1(const std::vector<std::string>& apps,
+                          const PointSet& ps, bool csv) {
+  std::string out = "== Paper Table I: communication patterns (intra-block) ==\n\n";
+  TextTable table({"app", "declared main", "declared other", "barriers",
+                   "criticals", "flags", "occ", "racy"});
+  for (const auto& app : apps) {
+    const PointStats& p = ps.get(app, "Base");
+    table.add_row({app, p.declared_main, p.declared_other,
+                   std::to_string(p.ops.anno_barriers),
+                   std::to_string(p.ops.anno_critical),
+                   std::to_string(p.ops.anno_flag),
+                   std::to_string(p.ops.anno_occ),
+                   std::to_string(p.ops.anno_racy)});
+  }
+  out += table_block(table, csv);
+  out +=
+      "Paper Table I: FFT/LU barrier; Cholesky outside-critical (+barrier,\n"
+      "critical, flag); Barnes barrier+outside-critical (+critical);\n"
+      "Raytrace critical (+barrier, data race); Volrend barrier+outside-\n"
+      "critical; Ocean and Water barrier+critical.\n";
+  return out;
+}
+
+std::string render_fig9(const std::vector<std::string>& apps,
+                        const PointSet& ps, bool csv) {
+  static const char* kConfigs[] = {"HCC", "Base", "B+M", "B+I", "B+M+I"};
+  std::string out =
+      "== Paper Figure 9: intra-block normalized execution time ==\n"
+      "(each cell: total normalized to HCC; breakdown rows below)\n\n";
+  TextTable table({"app", "HCC", "Base", "B+M", "B+I", "B+M+I"});
+  std::vector<std::vector<double>> norms(std::size(kConfigs));
+
+  for (const auto& app : apps) {
+    std::vector<const PointStats*> snaps;
+    for (const char* c : kConfigs) snaps.push_back(&ps.get(app, c));
+    const double hcc = static_cast<double>(snaps[0]->exec_cycles);
+
+    std::vector<std::string> row{app};
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      const double n = static_cast<double>(snaps[i]->exec_cycles) / hcc;
+      norms[i].push_back(n);
+      row.push_back(TextTable::num(n));
+    }
+    table.add_row(std::move(row));
+
+    // Stall breakdown per configuration, normalized to HCC exec time.
+    for (std::size_t k = 0; k < kStallKinds; ++k) {
+      std::vector<std::string> brow{"  " + std::string(to_string(
+                                        static_cast<StallKind>(k)))};
+      for (const PointStats* s : snaps) {
+        // Average stall cycles per core, over HCC exec time.
+        const double per_core = static_cast<double>(s->stall[k]) / 16.0 / hcc;
+        brow.push_back(TextTable::num(per_core));
+      }
+      table.add_row(std::move(brow));
+    }
+  }
+
+  std::vector<std::string> avg{"AVERAGE"};
+  for (auto& v : norms) avg.push_back(TextTable::num(mean(v)));
+  table.add_row(std::move(avg));
+
+  out += table_block(table, csv);
+  out += "Paper: Base avg ~1.20x HCC, B+M close to HCC (Raytrace high),\n"
+         "B+I ~Base, B+M+I avg ~1.02x HCC.\n";
+  return out;
+}
+
+std::string render_fig10(const std::vector<std::string>& apps,
+                         const PointSet& ps, bool csv) {
+  std::string out = "== Paper Figure 10: intra-block traffic, B+M+I vs HCC ==\n\n";
+  TextTable table({"app", "config", "linefill", "writeback", "inval",
+                   "memory", "total(norm)"});
+  std::vector<double> norms;
+
+  for (const auto& app : apps) {
+    const PointStats& hcc = ps.get(app, "HCC");
+    const PointStats& bmi = ps.get(app, "B+M+I");
+    const auto total = [](const PointStats& s) {
+      return static_cast<double>(
+          s.traffic[static_cast<int>(TrafficKind::Linefill)] +
+          s.traffic[static_cast<int>(TrafficKind::Writeback)] +
+          s.traffic[static_cast<int>(TrafficKind::Invalidation)] +
+          s.traffic[static_cast<int>(TrafficKind::Memory)]);
+    };
+    const double denom = total(hcc);
+    for (const PointStats* s : {&hcc, &bmi}) {
+      const double n = total(*s) / denom;
+      table.add_row(
+          {app, s->config,
+           TextTable::num(
+               s->traffic[static_cast<int>(TrafficKind::Linefill)] / denom),
+           TextTable::num(
+               s->traffic[static_cast<int>(TrafficKind::Writeback)] / denom),
+           TextTable::num(
+               s->traffic[static_cast<int>(TrafficKind::Invalidation)] /
+               denom),
+           TextTable::num(
+               s->traffic[static_cast<int>(TrafficKind::Memory)] / denom),
+           TextTable::num(n)});
+      if (s == &bmi) norms.push_back(n);
+    }
+  }
+  table.add_row({"AVERAGE", "B+M+I", "", "", "", "",
+                 TextTable::num(mean(norms))});
+  out += table_block(table, csv);
+  out += "Paper: B+M+I averages ~0.96x HCC traffic, with zero\n"
+         "invalidation flits and dirty-word-only writebacks.\n";
+  return out;
+}
+
+std::string render_fig11(const std::vector<std::string>& apps,
+                         const PointSet& ps, bool csv) {
+  std::string out =
+      "== Paper Figure 11: global WB/INV counts, Addr+L vs Addr ==\n\n";
+  TextTable table({"app", "globalWB Addr", "globalWB Addr+L", "WB norm",
+                   "globalINV Addr", "globalINV Addr+L", "INV norm"});
+
+  for (const auto& app : apps) {
+    const PointStats& addr = ps.get(app, "Addr");
+    const PointStats& addl = ps.get(app, "Addr+L");
+    const auto norm = [](std::uint64_t a, std::uint64_t b) {
+      return a == 0 ? (b == 0 ? 1.0 : 0.0)
+                    : static_cast<double>(b) / static_cast<double>(a);
+    };
+    table.add_row({app, std::to_string(addr.ops.global_wb_lines),
+                   std::to_string(addl.ops.global_wb_lines),
+                   TextTable::num(norm(addr.ops.global_wb_lines,
+                                       addl.ops.global_wb_lines)),
+                   std::to_string(addr.ops.global_inv_lines),
+                   std::to_string(addl.ops.global_inv_lines),
+                   TextTable::num(norm(addr.ops.global_inv_lines,
+                                       addl.ops.global_inv_lines))});
+  }
+  out += table_block(table, csv);
+  out +=
+      "Paper: Jacobi ~0.25 (both), CG INV ~0.78 with WB ~1.0, EP/IS ~1.0.\n"
+      "Counts are lines actually written back to L3 / invalidated from L2\n"
+      "by explicit WB/INV instructions.\n";
+  return out;
+}
+
+std::string render_fig12(const std::vector<std::string>& apps,
+                         const PointSet& ps, bool csv) {
+  static const char* kConfigs[] = {"HCC", "Base", "Addr", "Addr+L"};
+  std::string out =
+      "== Paper Figure 12: inter-block normalized execution time ==\n\n";
+  TextTable table({"app", "HCC", "Base", "Addr", "Addr+L"});
+  std::vector<std::vector<double>> norms(std::size(kConfigs));
+
+  for (const auto& app : apps) {
+    std::vector<const PointStats*> snaps;
+    for (const char* c : kConfigs) snaps.push_back(&ps.get(app, c));
+    const double hcc = static_cast<double>(snaps[0]->exec_cycles);
+    std::vector<std::string> row{app};
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      const double n = static_cast<double>(snaps[i]->exec_cycles) / hcc;
+      norms[i].push_back(n);
+      row.push_back(TextTable::num(n));
+    }
+    table.add_row(std::move(row));
+
+    for (std::size_t k = 0; k < kStallKinds; ++k) {
+      std::vector<std::string> brow{"  " + std::string(to_string(
+                                        static_cast<StallKind>(k)))};
+      for (const PointStats* s : snaps)
+        brow.push_back(TextTable::num(
+            static_cast<double>(s->stall[k]) / 32.0 / hcc));
+      table.add_row(std::move(brow));
+    }
+  }
+  std::vector<std::string> avg{"AVERAGE"};
+  for (auto& v : norms) avg.push_back(TextTable::num(mean(v)));
+  table.add_row(std::move(avg));
+
+  out += table_block(table, csv);
+  out += "Paper: Addr+L ~= HCC x 1.05; Base worst (Addr+L is ~31% "
+         "faster than Base);\nEP/IS flat across incoherent configs.\n";
+  return out;
+}
+
+namespace {
+EnergyBreakdown energy_of_point(const PointStats& p) {
+  // The event-energy model reads only the op and traffic counters, which a
+  // PointStats carries in full.
+  SimStats s(p.num_cores);
+  s.ops() = p.ops;
+  for (std::size_t k = 0; k < kTrafficKinds; ++k)
+    s.traffic().add(static_cast<TrafficKind>(k), p.traffic[k]);
+  return estimate_energy(s);
+}
+}  // namespace
+
+std::string render_energy(const std::vector<std::string>& apps,
+                          const PointSet& ps, bool csv) {
+  std::string out = "== Energy companion to Figure 10 (event-energy model) ==\n\n";
+  TextTable table({"app", "HCC uJ", "B+M+I uJ", "ratio", "cache", "net",
+                   "dram", "ctrl"});
+  std::vector<double> ratios;
+  for (const auto& app : apps) {
+    const EnergyBreakdown hcc = energy_of_point(ps.get(app, "HCC"));
+    const EnergyBreakdown bmi = energy_of_point(ps.get(app, "B+M+I"));
+    const double ratio = bmi.total_pj() / hcc.total_pj();
+    ratios.push_back(ratio);
+    table.add_row({app, TextTable::num(hcc.total_uj(), 1),
+                   TextTable::num(bmi.total_uj(), 1), TextTable::num(ratio),
+                   TextTable::num(bmi.cache_pj / hcc.cache_pj),
+                   TextTable::num(bmi.network_pj / hcc.network_pj),
+                   hcc.dram_pj > 0
+                       ? TextTable::num(bmi.dram_pj / hcc.dram_pj)
+                       : std::string("-"),
+                   hcc.control_pj > 0
+                       ? TextTable::num(bmi.control_pj / hcc.control_pj)
+                       : std::string("-")});
+  }
+  table.add_row({"AVERAGE", "", "", TextTable::num(mean(ratios)), "", "", "",
+                 ""});
+  out += table_block(table, csv);
+  out +=
+      "Paper §VII-B: with ~4% less traffic, B+M+I \"consumes about the same\n"
+      "energy as HCC\" — while needing none of the directory/coherence-\n"
+      "controller hardware (the `ctrl` column collapses to the tiny MEB/IEB\n"
+      "lookups).\n";
+  return out;
+}
+
+std::string render_summary(const PointSet& ps, bool csv) {
+  std::string out = "== Campaign points ==\n\n";
+  TextTable table({"app", "config", "machine", "threads", "exec cycles",
+                   "verified"});
+  for (const PointStats& p : ps.all()) {
+    table.add_row({p.app, p.config, p.machine, std::to_string(p.threads),
+                   std::to_string(p.exec_cycles), p.verified ? "ok" : "FAIL"});
+  }
+  out += table_block(table, csv);
+  return out;
+}
+
+}  // namespace hic::agg

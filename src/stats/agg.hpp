@@ -1,0 +1,102 @@
+// Shared aggregation library for the paper's figures and tables.
+//
+// One simulation point produces a PointStats (the counters the evaluation
+// plots); the render_* functions reduce sets of points into the paper's
+// figures/tables as printable strings. Both consumers — the serial bench
+// binaries under bench/ and the hicsim_campaign aggregator — call these
+// exact functions, so their outputs are byte-identical by construction and
+// the normalization logic cannot drift between them.
+//
+// PointStats also round-trips through a single-line JSON interchange form
+// (point_to_json / point_from_json): the campaign's result cache and journal
+// store that form, and the keys come from the same tables the stats report
+// uses (stall_json_key / traffic_json_key / op_fields), so a counter renamed
+// in one place fails loudly everywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "stats/sim_stats.hpp"
+#include "stats/text_table.hpp"
+
+namespace hic::agg {
+
+/// Everything a single (app, config) simulation contributes to aggregation.
+struct PointStats {
+  std::string app;
+  std::string config;  ///< Table II label ("HCC", "B+M+I", "Addr+L", ...)
+  /// Table I classification, captured from the workload at run time so the
+  /// aggregator needs no access to the workload registry.
+  std::string declared_main;
+  std::string declared_other;
+  /// Label for sweep summaries: the machine-config digest, optionally
+  /// prefixed by the sweep-axis values that produced this point.
+  std::string machine;
+  int threads = 0;
+  int num_cores = 0;
+  bool verified = true;
+  Cycle exec_cycles = 0;
+  Cycle stall[kStallKinds] = {};
+  std::uint64_t traffic[kTrafficKinds] = {};
+  OpCounts ops;
+};
+
+/// Captures a finished run's counters into a PointStats.
+[[nodiscard]] PointStats point_from_stats(std::string app, std::string config,
+                                          int threads, const SimStats& stats);
+
+/// Single-line JSON interchange form (stable keys, schema-versioned).
+inline constexpr int kPointSchemaVersion = 1;
+[[nodiscard]] Json point_to_json(const PointStats& p);
+[[nodiscard]] PointStats point_from_json(const Json& j);
+
+/// A set of points addressable by (app, config). Sweeps may hold several
+/// machine configs for one (app, config) pair; figure lookups require the
+/// pair to be unique within the set (ambiguity, duplicates of the full
+/// (app, config, machine) triple, and missing lookups throw CheckFailure).
+class PointSet {
+ public:
+  void add(PointStats p);
+  [[nodiscard]] const PointStats& get(const std::string& app,
+                                      const std::string& config) const;
+  [[nodiscard]] const std::vector<PointStats>& all() const { return points_; }
+
+ private:
+  std::vector<PointStats> points_;
+};
+
+/// The paper plots "average" bars as the arithmetic mean of the per-app
+/// normalized values (no geometric mean).
+[[nodiscard]] double mean(const std::vector<double>& v);
+
+/// True when HIC_BENCH_CSV=1 (machine-readable table output).
+[[nodiscard]] bool csv_env();
+
+/// A rendered table block: render_csv() verbatim in CSV mode, render() plus
+/// a trailing newline otherwise (exactly what bench_util's print_table
+/// historically wrote to stdout).
+[[nodiscard]] std::string table_block(const TextTable& t, bool csv);
+
+// Full figure/table outputs, headers and footers included — each returns
+// exactly the bytes the corresponding bench binary prints to stdout.
+// `apps` fixes the row order (the benches pass intra/inter_workload_names()).
+[[nodiscard]] std::string render_table1(const std::vector<std::string>& apps,
+                                        const PointSet& ps, bool csv);
+[[nodiscard]] std::string render_fig9(const std::vector<std::string>& apps,
+                                      const PointSet& ps, bool csv);
+[[nodiscard]] std::string render_fig10(const std::vector<std::string>& apps,
+                                       const PointSet& ps, bool csv);
+[[nodiscard]] std::string render_fig11(const std::vector<std::string>& apps,
+                                       const PointSet& ps, bool csv);
+[[nodiscard]] std::string render_fig12(const std::vector<std::string>& apps,
+                                       const PointSet& ps, bool csv);
+[[nodiscard]] std::string render_energy(const std::vector<std::string>& apps,
+                                        const PointSet& ps, bool csv);
+
+/// Generic sweep listing: one row per point, in insertion order (campaign
+/// specs list points deterministically).
+[[nodiscard]] std::string render_summary(const PointSet& ps, bool csv);
+
+}  // namespace hic::agg

@@ -1,8 +1,51 @@
 #include "stats/sim_stats.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace hic {
+
+namespace {
+// Must list every OpCounts field, in the order report.cpp's "ops" group
+// renders them (the parity test in test_extensions.cpp enforces both).
+constexpr std::array kOpFields = {
+    OpField{"loads", &OpCounts::loads},
+    OpField{"stores", &OpCounts::stores},
+    OpField{"l1_hits", &OpCounts::l1_hits},
+    OpField{"l1_misses", &OpCounts::l1_misses},
+    OpField{"l2_hits", &OpCounts::l2_hits},
+    OpField{"l2_misses", &OpCounts::l2_misses},
+    OpField{"l3_hits", &OpCounts::l3_hits},
+    OpField{"l3_misses", &OpCounts::l3_misses},
+    OpField{"wb_ops", &OpCounts::wb_ops},
+    OpField{"inv_ops", &OpCounts::inv_ops},
+    OpField{"lines_written_back", &OpCounts::lines_written_back},
+    OpField{"lines_invalidated", &OpCounts::lines_invalidated},
+    OpField{"words_written_back", &OpCounts::words_written_back},
+    OpField{"global_wb_lines", &OpCounts::global_wb_lines},
+    OpField{"global_inv_lines", &OpCounts::global_inv_lines},
+    OpField{"adaptive_local_wb", &OpCounts::adaptive_local_wb},
+    OpField{"adaptive_global_wb", &OpCounts::adaptive_global_wb},
+    OpField{"adaptive_local_inv", &OpCounts::adaptive_local_inv},
+    OpField{"adaptive_global_inv", &OpCounts::adaptive_global_inv},
+    OpField{"meb_wbs", &OpCounts::meb_wbs},
+    OpField{"meb_overflows", &OpCounts::meb_overflows},
+    OpField{"ieb_refreshes", &OpCounts::ieb_refreshes},
+    OpField{"ieb_evictions", &OpCounts::ieb_evictions},
+    OpField{"dir_invalidations_sent", &OpCounts::dir_invalidations_sent},
+    OpField{"stale_word_reads", &OpCounts::stale_word_reads},
+    OpField{"injected_faults", &OpCounts::injected_faults},
+    OpField{"detected_faults", &OpCounts::detected_faults},
+    OpField{"tolerated_faults", &OpCounts::tolerated_faults},
+    OpField{"anno_barriers", &OpCounts::anno_barriers},
+    OpField{"anno_critical", &OpCounts::anno_critical},
+    OpField{"anno_flag", &OpCounts::anno_flag},
+    OpField{"anno_occ", &OpCounts::anno_occ},
+    OpField{"anno_racy", &OpCounts::anno_racy},
+};
+}  // namespace
+
+std::span<const OpField> op_fields() { return kOpFields; }
 
 const char* to_string(StallKind k) {
   switch (k) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,17 @@ struct OpCounts {
   std::uint64_t anno_occ = 0;
   std::uint64_t anno_racy = 0;
 };
+
+/// One OpCounts field with its stable JSON key. op_fields() is the writable
+/// twin of report.cpp's getter table: report_fields() renders counters out,
+/// op_fields() lets the campaign aggregator parse per-point stats JSON back
+/// in. A parity test asserts the two tables name identical "ops" keys, so a
+/// counter cannot appear in one and silently vanish from the other.
+struct OpField {
+  const char* key;
+  std::uint64_t OpCounts::* member;
+};
+[[nodiscard]] std::span<const OpField> op_fields();
 
 /// Everything a run produces.
 class SimStats {

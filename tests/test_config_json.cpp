@@ -1,0 +1,137 @@
+// Canonical MachineConfig JSON, --set overrides, and the content digest.
+//
+// The digest keys the campaign result cache, so these tests pin its
+// stability: every field of the table round-trips, every field perturbs the
+// digest, and the stock presets hash to golden values that only change when
+// someone touches the schema (which must come with a kConfigSchemaVersion
+// bump — the golden failing is the reminder).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/config_json.hpp"
+
+namespace hic {
+namespace {
+
+TEST(ConfigJson, EveryFieldRoundTrips) {
+  for (const ConfigField& f : config_fields()) {
+    MachineConfig a = MachineConfig::intra_block();
+    const std::int64_t perturbed = f.is_bool ? !f.get(a) : f.get(a) + 1;
+    f.set(a, perturbed);
+    ASSERT_EQ(f.get(a), perturbed) << f.key;
+
+    MachineConfig b = MachineConfig::intra_block();
+    apply_config_overrides(b, config_to_json(a));
+    for (const ConfigField& g : config_fields())
+      EXPECT_EQ(g.get(b), g.get(a)) << "field '" << g.key
+                                    << "' lost when round-tripping a config "
+                                       "with perturbed '" << f.key << "'";
+    EXPECT_EQ(config_digest(b), config_digest(a)) << f.key;
+  }
+}
+
+TEST(ConfigJson, EveryFieldPerturbsTheDigest) {
+  const std::string base = config_digest(MachineConfig::intra_block());
+  std::set<std::string> digests{base};
+  for (const ConfigField& f : config_fields()) {
+    MachineConfig a = MachineConfig::intra_block();
+    f.set(a, f.is_bool ? !f.get(a) : f.get(a) + 1);
+    const std::string d = config_digest(a);
+    EXPECT_NE(d, base) << "field '" << f.key
+                       << "' does not participate in the digest";
+    EXPECT_TRUE(digests.insert(d).second)
+        << "digest collision on field '" << f.key << "'";
+  }
+}
+
+// Golden digests of the stock presets. If this fails you changed the
+// canonical serialization (field added/removed/renamed/reordered, or a
+// default changed) — bump kConfigSchemaVersion and update the goldens, which
+// deliberately invalidates every cached campaign result.
+TEST(ConfigJson, PresetDigestGoldens) {
+  EXPECT_EQ(config_digest(MachineConfig::intra_block()), "06b052ea2cc3e67d");
+  EXPECT_EQ(config_digest(MachineConfig::inter_block()), "2d87d4ba7b4cd5e7");
+}
+
+TEST(ConfigJson, CanonicalFormIsTableOrdered) {
+  const Json j = config_to_json(MachineConfig::inter_block());
+  const auto fields = config_fields();
+  ASSERT_EQ(j.members().size(), fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    EXPECT_EQ(j.members()[i].first, fields[i].key) << i;
+  // Serialization is deterministic: dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(ConfigJson, UnknownKeysAreHardErrors) {
+  MachineConfig mc = MachineConfig::intra_block();
+  Json bad = Json::object();
+  bad.set("meb_entrees", Json::integer(8));
+  EXPECT_THROW(apply_config_overrides(mc, bad), CheckFailure);
+  EXPECT_THROW(apply_config_set(mc, "nope=1"), CheckFailure);
+  EXPECT_THROW(apply_config_set(mc, "meb_entries"), CheckFailure);  // no '='
+  EXPECT_THROW(apply_config_set(mc, "meb_entries=abc"), CheckFailure);
+  EXPECT_THROW(apply_config_set(mc, "functional_data=maybe"), CheckFailure);
+}
+
+TEST(ConfigJson, SetParsesNumbersAndBools) {
+  MachineConfig mc = MachineConfig::intra_block();
+  apply_config_set(mc, "meb_entries=4");
+  EXPECT_EQ(mc.meb_entries, 4);
+  apply_config_set(mc, "l1.size_bytes=16384");
+  EXPECT_EQ(mc.l1.size_bytes, 16384);
+  apply_config_set(mc, "staleness_monitor=false");
+  EXPECT_FALSE(mc.staleness_monitor);
+  apply_config_set(mc, "staleness_monitor=1");
+  EXPECT_TRUE(mc.staleness_monitor);
+  apply_config_set(mc, "functional_data=true");
+  EXPECT_TRUE(mc.functional_data);
+}
+
+TEST(ConfigJson, TypeMismatchIsAnError) {
+  MachineConfig mc = MachineConfig::intra_block();
+  Json bad = Json::object();
+  bad.set("functional_data", Json::integer(3));  // bools take true/false/0/1
+  EXPECT_THROW(apply_config_overrides(mc, bad), CheckFailure);
+  Json bad2 = Json::object();
+  bad2.set("meb_entries", Json::string("four"));
+  EXPECT_THROW(apply_config_overrides(mc, bad2), CheckFailure);
+}
+
+TEST(ConfigJson, PresetsMatchTheFactories) {
+  EXPECT_EQ(config_digest(config_preset("intra")),
+            config_digest(MachineConfig::intra_block()));
+  EXPECT_EQ(config_digest(config_preset("inter")),
+            config_digest(MachineConfig::inter_block()));
+  EXPECT_THROW(config_preset("mega"), CheckFailure);
+}
+
+TEST(ConfigJson, DigestIgnoresNothing) {
+  // Two configs share a digest iff every serializable field matches.
+  MachineConfig a = MachineConfig::intra_block();
+  MachineConfig b = MachineConfig::intra_block();
+  EXPECT_EQ(config_digest(a), config_digest(b));
+  b.costs.meb_scan_per_entry += 1;
+  EXPECT_NE(config_digest(a), config_digest(b));
+}
+
+TEST(JsonValue, StrictParsing) {
+  EXPECT_EQ(Json::parse("{\"a\":1,\"b\":[true,null,\"x\"]}").dump(),
+            "{\"a\":1,\"b\":[true,null,\"x\"]}");
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), CheckFailure);  // dup key
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), CheckFailure);
+  EXPECT_THROW(Json::parse("{\"a\":}"), CheckFailure);
+  EXPECT_THROW(Json::parse(""), CheckFailure);
+  // Exact int64 round-trip; fractional values survive as doubles.
+  EXPECT_EQ(Json::parse("9223372036854775807").as_i64(),
+            9223372036854775807LL);
+  EXPECT_DOUBLE_EQ(Json::parse("0.5").as_double(), 0.5);
+  // Escapes round-trip.
+  const std::string tricky = "a\"b\\c\nd\te\x01f";
+  EXPECT_EQ(Json::parse(Json::escape(tricky)).as_string(), tricky);
+}
+
+}  // namespace
+}  // namespace hic

@@ -1,0 +1,205 @@
+// hicsim_campaign — run an experiment campaign and aggregate the results.
+//
+//   hicsim_campaign --spec campaigns/paper.json --jobs 8 \
+//                   --cache .campaign-cache --journal paper.journal \
+//                   --out results/
+//   hicsim_campaign --spec campaigns/smoke.json --dry-run
+//
+// The spec (see docs/campaigns.md) expands to simulation points; the runner
+// executes them across --jobs host threads, resolving each point against the
+// resume journal and the content-addressed cache first. Aggregates are
+// written to --out as one file per figure/table whose bytes are identical to
+// the corresponding bench binary's stdout, plus summary.json with run
+// counters; without --out the aggregates go to stdout under "## <title>"
+// separators.
+//
+// Exit status: 0 on success, 1 on usage/spec errors, failed points, or
+// failed verification.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <system_error>
+
+#include "exp/aggregator.hpp"
+#include "exp/campaign.hpp"
+#include "exp/journal.hpp"
+#include "exp/result_cache.hpp"
+#include "exp/runner.hpp"
+#include "stats/agg.hpp"
+
+using namespace hic;
+using namespace hic::exp;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hicsim_campaign --spec <file.json> [--jobs N] [--cache DIR]\n"
+      "                       [--journal FILE] [--out DIR] [--csv]\n"
+      "                       [--quiet] [--dry-run]\n"
+      "  --spec FILE     campaign spec (see docs/campaigns.md)\n"
+      "  --jobs N        host worker threads (default 1)\n"
+      "  --cache DIR     content-addressed result cache (reused across runs\n"
+      "                  and campaigns; keyed by config/workload digest)\n"
+      "  --journal FILE  append-only resume journal for this campaign; an\n"
+      "                  interrupted run continues where it died\n"
+      "  --out DIR       write each aggregate to DIR (byte-identical to the\n"
+      "                  bench binaries) plus summary.json\n"
+      "  --csv           machine-readable tables (same as HIC_BENCH_CSV=1)\n"
+      "  --quiet         no per-point progress on stderr\n"
+      "  --dry-run       print the expanded points and exit\n");
+  return 1;
+}
+
+std::string aggregate_filename(const AggregateOutput& a, bool csv) {
+  std::string name = a.kind;
+  if (!a.group.empty()) name += "-" + a.group;
+  return name + (csv ? ".csv" : ".txt");
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.good()) return false;
+  os << text;
+  os.flush();
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string cache_dir;
+  std::string journal_path;
+  std::string out_dir;
+  int jobs = 1;
+  bool csv = agg::csv_env();
+  bool progress = true;
+  bool dry_run = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      spec_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      jobs = std::atoi(v);
+      if (jobs < 1) return usage();
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      cache_dir = v;
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      journal_path = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out_dir = v;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--quiet") {
+      progress = false;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty()) return usage();
+
+  try {
+    const Campaign c = Campaign::load(spec_path);
+
+    if (dry_run) {
+      std::printf("campaign '%s': %zu points, %zu aggregates\n",
+                  c.name.c_str(), c.points.size(), c.aggregates.size());
+      for (const CampaignPoint& pt : c.points) {
+        std::printf("  %-16s %-10s %-8s threads=%-3d seed=%llu %s%s%s\n",
+                    pt.group.c_str(), pt.app.c_str(), pt.config_label.c_str(),
+                    pt.threads, static_cast<unsigned long long>(pt.seed),
+                    pt.digest.c_str(),
+                    pt.sweep_desc.empty() ? "" : "  ",
+                    pt.sweep_desc.c_str());
+      }
+      for (const AggregateSpec& a : c.aggregates)
+        std::printf("  aggregate: %s%s%s\n", a.kind.c_str(),
+                    a.group.empty() ? "" : " <- ", a.group.c_str());
+      return 0;
+    }
+
+    std::unique_ptr<ResultCache> cache;
+    if (!cache_dir.empty()) cache = std::make_unique<ResultCache>(cache_dir);
+    std::unique_ptr<Journal> journal;
+    if (!journal_path.empty())
+      journal = std::make_unique<Journal>(journal_path);
+
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.cache = cache.get();
+    opts.journal = journal.get();
+    opts.progress = progress;
+    const CampaignResults r = run_campaign(c, opts);
+
+    std::fprintf(stderr,
+                 "campaign '%s': %zu unique points — %zu simulated, "
+                 "%zu journal hits, %zu cache hits, %zu failed\n",
+                 c.name.c_str(), r.counters.points, r.counters.simulated,
+                 r.counters.journal_hits, r.counters.cache_hits,
+                 r.counters.failures);
+    for (const std::string& e : r.errors)
+      std::fprintf(stderr, "FAILED: %s\n", e.c_str());
+    if (!r.ok()) return 1;
+
+    const auto aggs = aggregate_campaign(c, r, csv);
+    if (out_dir.empty()) {
+      for (const AggregateOutput& a : aggs) {
+        std::printf("## %s\n", a.title.c_str());
+        std::fputs(a.text.c_str(), stdout);
+      }
+    } else {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create --out directory '%s': %s\n",
+                     out_dir.c_str(), ec.message().c_str());
+        return 1;
+      }
+      for (const AggregateOutput& a : aggs) {
+        const std::string path = out_dir + "/" + aggregate_filename(a, csv);
+        if (!write_file(path, a.text)) {
+          std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+      }
+      const std::string summary = out_dir + "/summary.json";
+      if (!write_file(summary, campaign_summary_json(c, r, aggs).dump() +
+                                   "\n")) {
+        std::fprintf(stderr, "cannot write '%s'\n", summary.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", summary.c_str());
+    }
+
+    if (!r.all_verified()) {
+      std::fprintf(stderr, "verification FAILED for at least one point\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

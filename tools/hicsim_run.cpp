@@ -2,9 +2,15 @@
 //
 //   hicsim_run --app ocean-cont --config B+M+I
 //   hicsim_run --app jacobi --config Addr+L --json
+//   hicsim_run --app fft --config B+M+I --set meb_entries=4 --set l1.ways=2
+//   hicsim_run --app fft --config myconfig.json
 //   hicsim_run --app jacobi --config B+M+I --inject drop-wb:p=0.01:seed=7
 //   hicsim_run --demo deadlock
 //   hicsim_run --list
+//
+// --config takes either a Table II label or a .json file holding
+// {"config": "<label>", "machine": {<dotted key>: value, ...}}; --set applies
+// single dotted-key overrides on top. Unknown keys are hard errors.
 //
 // Exit status: 0 on success (run completed and verified), 1 on usage,
 // verification failure, or a hang (deadlock/watchdog — the HangReport goes
@@ -13,12 +19,14 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <memory>
 
 #include "apps/workload.hpp"
+#include "common/config_json.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/thread.hpp"
 #include "stats/host_perf.hpp"
@@ -28,30 +36,16 @@ using namespace hic;
 
 namespace {
 
-std::optional<Config> parse_config(const std::string& name, bool inter) {
-  struct Entry {
-    const char* name;
-    Config cfg;
-  };
-  static constexpr Entry kIntra[] = {
-      {"HCC", Config::Hcc},          {"Base", Config::Base},
-      {"B+M", Config::BaseMeb},      {"B+I", Config::BaseIeb},
-      {"B+M+I", Config::BaseMebIeb},
-  };
-  static constexpr Entry kInter[] = {
-      {"HCC", Config::InterHcc},
-      {"Base", Config::InterBase},
-      {"Addr", Config::InterAddr},
-      {"Addr+L", Config::InterAddrL},
-  };
-  if (inter) {
-    for (const auto& e : kInter)
-      if (name == e.name) return e.cfg;
-  } else {
-    for (const auto& e : kIntra)
-      if (name == e.name) return e.cfg;
-  }
-  return std::nullopt;
+bool is_json_path(const std::string& s) {
+  return s.size() > 5 && s.compare(s.size() - 5, 5, ".json") == 0;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HIC_CHECK_MSG(is.good(), "cannot read config file '" << path << "'");
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
 }
 
 void list_everything() {
@@ -65,8 +59,9 @@ void list_everything() {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hicsim_run --app <name> --config <name> [--json] "
-               "[--threads N] [--no-verify]\n"
+               "usage: hicsim_run --app <name> --config <name|file.json> "
+               "[--set key=value]...\n"
+               "                  [--json] [--threads N] [--no-verify]\n"
                "                  [--meb N] [--ieb N] [--slack N] "
                "[--no-functional]\n"
                "                  [--inject <kind:k=v:...>]... [--max-cycles N]\n"
@@ -77,6 +72,10 @@ int usage() {
                "                   [--trace-sample-cycles N]]\n"
                "       hicsim_run --demo deadlock|livelock [--max-cycles N]\n"
                "       hicsim_run --list\n"
+               "config files: {\"config\": \"<Table II label>\", "
+               "\"machine\": {\"meb_entries\": 4, ...}}\n"
+               "--set keys:   canonical dotted machine-config keys "
+               "(e.g. l1.size_bytes); unknown keys error\n"
                "inject kinds: drop-wb drop-inv delay-wb delay-inv delay-noc "
                "corrupt-line\n"
                "inject keys:  p=<prob> seed=<u64> n=<max fires> "
@@ -136,10 +135,10 @@ int main(int argc, char** argv) {
   std::string config_name;
   bool json = false;
   bool verify = true;
-  bool functional = true;
+  bool no_functional = false;
   bool time_mode = false;
   bool legacy_scheduler = false;
-  bool stale_monitor = true;
+  bool no_stale_monitor = false;
   int repeat = 5;
   int threads = 0;  // 0 = all cores
   int meb = 0, ieb = 0;
@@ -150,6 +149,7 @@ int main(int argc, char** argv) {
   std::string trace_filter = "all";
   long trace_sample_cycles = 0;
   std::vector<std::string> inject_specs;
+  std::vector<std::string> set_overrides;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -187,8 +187,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       slack = std::atol(v);
+    } else if (arg == "--set") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      set_overrides.emplace_back(v);
     } else if (arg == "--no-functional") {
-      functional = false;
+      no_functional = true;
     } else if (arg == "--time") {
       time_mode = true;
     } else if (arg == "--repeat") {
@@ -198,7 +202,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--legacy-scheduler") {
       legacy_scheduler = true;
     } else if (arg == "--no-stale-monitor") {
-      stale_monitor = false;
+      no_stale_monitor = true;
     } else if (arg == "--inject") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -246,22 +250,49 @@ int main(int argc, char** argv) {
 
   try {
     auto w = make_workload(app);
-    const auto cfg = parse_config(config_name, w->inter_block());
+    MachineConfig mc = w->inter_block() ? MachineConfig::inter_block()
+                                        : MachineConfig::intra_block();
+
+    // A .json --config argument carries the Table II label plus machine
+    // overrides; otherwise the argument is the label itself. Precedence:
+    // preset < config-file "machine" < legacy flags (--meb, ...) < --set.
+    std::string config_label = config_name;
+    if (is_json_path(config_name)) {
+      const Json spec = Json::parse(slurp(config_name));
+      HIC_CHECK_MSG(spec.is_object(),
+                    "config file '" << config_name
+                                    << "' must hold a JSON object");
+      config_label.clear();
+      for (const auto& [key, value] : spec.members()) {
+        if (key == "config") {
+          config_label = value.as_string();
+        } else if (key == "machine") {
+          apply_config_overrides(mc, value);
+        } else {
+          HIC_CHECK_MSG(false, "unknown key '" << key << "' in config file '"
+                                               << config_name
+                                               << "' (config|machine)");
+        }
+      }
+      HIC_CHECK_MSG(!config_label.empty(),
+                    "config file '" << config_name
+                                    << "' is missing \"config\"");
+    }
+    const auto cfg = config_from_string(config_label, w->inter_block());
     if (!cfg.has_value()) {
       std::fprintf(stderr, "unknown config '%s' for %s-block app '%s'\n",
-                   config_name.c_str(),
+                   config_label.c_str(),
                    w->inter_block() ? "inter" : "intra", app.c_str());
       return 1;
     }
-    MachineConfig mc = w->inter_block() ? MachineConfig::inter_block()
-                                        : MachineConfig::intra_block();
     if (meb > 0) mc.meb_entries = meb;
     if (ieb > 0) mc.ieb_entries = ieb;
     if (slack > 0) mc.sim_slack_cycles = static_cast<Cycle>(slack);
     if (max_cycles > 0) mc.watchdog_max_cycles = static_cast<Cycle>(max_cycles);
-    mc.functional_data = functional;
-    mc.legacy_scheduler = legacy_scheduler;
-    mc.staleness_monitor = stale_monitor;
+    if (no_functional) mc.functional_data = false;
+    if (legacy_scheduler) mc.legacy_scheduler = true;
+    if (no_stale_monitor) mc.staleness_monitor = false;
+    for (const auto& kv : set_overrides) apply_config_set(mc, kv);
     mc.validate();
     const int n = threads > 0 ? threads : mc.total_cores();
 
@@ -283,11 +314,11 @@ int main(int argc, char** argv) {
       if (json) {
         std::printf("{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,"
                     "\"host_perf\":%s}\n",
-                    app.c_str(), config_name.c_str(), n,
+                    app.c_str(), config_label.c_str(), n,
                     to_json(hp).c_str());
       } else {
         std::printf("%s on %s, %d threads, %d run%s:\n", app.c_str(),
-                    config_name.c_str(), n, repeat, repeat == 1 ? "" : "s");
+                    config_label.c_str(), n, repeat, repeat == 1 ? "" : "s");
         std::printf("  simulated cycles : %llu\n",
                     static_cast<unsigned long long>(hp.cycles));
         std::printf("  host wall-clock  : %.4f s median (min %.4f s)\n",
@@ -337,11 +368,11 @@ int main(int argc, char** argv) {
     if (json) {
       std::printf("{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,"
                   "\"stats\":%s",
-                  app.c_str(), config_name.c_str(), n,
+                  app.c_str(), config_label.c_str(), n,
                   to_json(m.stats()).c_str());
     } else {
       std::printf("%s on %s, %d threads: %llu cycles\n\n%s", app.c_str(),
-                  config_name.c_str(), n,
+                  config_label.c_str(), n,
                   static_cast<unsigned long long>(cycles),
                   summarize(m.stats()).c_str());
       if (!m.fault_plan().empty())
