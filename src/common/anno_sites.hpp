@@ -1,0 +1,130 @@
+// Stable identifiers for every WB/INV annotation site in the runtime.
+//
+// The incoherent hierarchy is only correct because software issues a
+// writeback or invalidate at specific points around sync operations
+// (Section IV of the paper).  Each such point gets a stable AnnoSite ID so
+// the fault plan can *elide* exactly one of them ("elide-wb:site=K") and the
+// annotation-mutation harness (tools/hicsim_mutate) can report which
+// mutations the CoherenceOracle catches.  The numeric values are part of the
+// mutation-report format: append new sites at the end, never renumber.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hic {
+
+enum class AnnoSite : std::int32_t {
+  kNone = -1,
+  // Barrier family (Thread::barrier and variants).
+  BarrierWb = 0,         // wb_all before arriving at a plain barrier
+  BarrierInv = 1,        // inv_all after leaving a plain barrier
+  BarrierBlockWb = 2,    // wb to L2 before a block-local barrier
+  BarrierBlockInv = 3,   // inv of L1 after a block-local barrier
+  BarrierRefinedWb = 4,  // wb_range of the produced range (refined barrier)
+  BarrierRefinedInv = 5, // inv_range of the consumed range (refined barrier)
+  // Critical sections (Thread::lock / Thread::unlock).
+  CsEnterInv = 6,        // inv of the protected data after lock acquire
+  CsExitWb = 7,          // wb of the protected data before lock release
+  OccAcquireWb = 8,      // occupancy-pattern wb_all at lock acquire
+  OccReleaseInv = 9,     // occupancy-pattern inv_all at lock release
+  LockInterInv = 10,     // inter-block lock: inv after acquire
+  UnlockInterWb = 11,    // inter-block unlock: wb before release
+  // Flags (Thread::flag_set / flag_wait / flag_add).
+  FlagSetWb = 12,        // wb of published data before setting a flag
+  FlagWaitInv = 13,      // inv of consumed data after a flag wait succeeds
+  FlagAddWb = 14,        // wb before an atomic flag add (release half)
+  FlagAddInv = 15,       // inv after an atomic flag add (acquire half)
+  // Deliberately-racy accessors (Thread::racy_store / racy_load).
+  RacyStoreWb = 16,      // wb_range immediately after a racy store
+  RacyLoadInv = 17,      // inv_range immediately before a racy load
+  // Inter-block epoch (producer/consumer) protocol.
+  EpochProduceWb = 18,   // wb of the produced range (epoch_produce)
+  EpochConsumeInv = 19,  // inv of the consumed range (epoch_consume)
+  EpochProduceAllWb = 20,  // wb_all variant (epoch_produce_all)
+  EpochConsumeAllInv = 21, // inv_all variant (epoch_consume_all)
+};
+
+inline constexpr std::int32_t kNumAnnoSites = 22;
+
+/// All real sites in numeric order (excludes kNone).
+[[nodiscard]] inline constexpr std::array<AnnoSite, kNumAnnoSites>
+all_anno_sites() {
+  std::array<AnnoSite, kNumAnnoSites> out{};
+  for (std::int32_t i = 0; i < kNumAnnoSites; ++i)
+    out[static_cast<std::size_t>(i)] = static_cast<AnnoSite>(i);
+  return out;
+}
+
+[[nodiscard]] constexpr std::string_view anno_site_name(AnnoSite s) {
+  switch (s) {
+    case AnnoSite::kNone: return "none";
+    case AnnoSite::BarrierWb: return "barrier-wb";
+    case AnnoSite::BarrierInv: return "barrier-inv";
+    case AnnoSite::BarrierBlockWb: return "barrier-block-wb";
+    case AnnoSite::BarrierBlockInv: return "barrier-block-inv";
+    case AnnoSite::BarrierRefinedWb: return "barrier-refined-wb";
+    case AnnoSite::BarrierRefinedInv: return "barrier-refined-inv";
+    case AnnoSite::CsEnterInv: return "cs-enter-inv";
+    case AnnoSite::CsExitWb: return "cs-exit-wb";
+    case AnnoSite::OccAcquireWb: return "occ-acquire-wb";
+    case AnnoSite::OccReleaseInv: return "occ-release-inv";
+    case AnnoSite::LockInterInv: return "lock-inter-inv";
+    case AnnoSite::UnlockInterWb: return "unlock-inter-wb";
+    case AnnoSite::FlagSetWb: return "flag-set-wb";
+    case AnnoSite::FlagWaitInv: return "flag-wait-inv";
+    case AnnoSite::FlagAddWb: return "flag-add-wb";
+    case AnnoSite::FlagAddInv: return "flag-add-inv";
+    case AnnoSite::RacyStoreWb: return "racy-store-wb";
+    case AnnoSite::RacyLoadInv: return "racy-load-inv";
+    case AnnoSite::EpochProduceWb: return "epoch-produce-wb";
+    case AnnoSite::EpochConsumeInv: return "epoch-consume-inv";
+    case AnnoSite::EpochProduceAllWb: return "epoch-produce-all-wb";
+    case AnnoSite::EpochConsumeAllInv: return "epoch-consume-all-inv";
+  }
+  return "unknown";
+}
+
+/// True for sites that elide a writeback (as opposed to an invalidate).
+[[nodiscard]] constexpr bool anno_site_is_wb(AnnoSite s) {
+  switch (s) {
+    case AnnoSite::BarrierWb:
+    case AnnoSite::BarrierBlockWb:
+    case AnnoSite::BarrierRefinedWb:
+    case AnnoSite::CsExitWb:
+    case AnnoSite::OccAcquireWb:
+    case AnnoSite::UnlockInterWb:
+    case AnnoSite::FlagSetWb:
+    case AnnoSite::FlagAddWb:
+    case AnnoSite::RacyStoreWb:
+    case AnnoSite::EpochProduceWb:
+    case AnnoSite::EpochProduceAllWb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Parses either a numeric site ID or a site name; nullopt on failure.
+[[nodiscard]] inline std::optional<AnnoSite>
+parse_anno_site(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  bool numeric = true;
+  for (char c : text)
+    if (c < '0' || c > '9') { numeric = false; break; }
+  if (numeric) {
+    std::int64_t v = 0;
+    for (char c : text) {
+      v = v * 10 + (c - '0');
+      if (v >= kNumAnnoSites) return std::nullopt;
+    }
+    return static_cast<AnnoSite>(v);
+  }
+  for (AnnoSite s : all_anno_sites())
+    if (anno_site_name(s) == text) return s;
+  return std::nullopt;
+}
+
+}  // namespace hic

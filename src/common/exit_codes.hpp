@@ -1,0 +1,22 @@
+// Exit-code taxonomy shared by the hicsim CLI tools.
+//
+// Every tool maps its outcome onto these codes so scripts and CI can
+// distinguish failure classes without parsing stdout.  Documented in
+// docs/robustness.md; asserted by the cli_exit_codes.sh test.  When several
+// apply, the most severe wins: hang > oracle violation > verification
+// failure > unrecovered injected fault.
+#pragma once
+
+namespace hic {
+
+enum ExitCode : int {
+  kExitOk = 0,           // clean run, verification passed
+  kExitFailure = 1,      // generic/internal failure (CheckFailure, I/O, ...)
+  kExitUsage = 2,        // bad CLI arguments or malformed spec/config input
+  kExitVerifyFailed = 3, // workload verification found wrong results
+  kExitHang = 4,         // deadlock/watchdog hang detected and diagnosed
+  kExitOracle = 5,       // CoherenceOracle reported >= 1 violation
+  kExitFault = 6,        // injected fault neither detected nor tolerated
+};
+
+}  // namespace hic

@@ -25,6 +25,10 @@ using ThreadId = int;
 /// Identifies a block (cluster of cores sharing an L2).
 using BlockId = int;
 
+/// Index into the sync controller's variable table (barriers, locks, flags).
+/// Also aliased in sync/sync_controller.hpp; kept identical by definition.
+using SyncId = int;
+
 inline constexpr CoreId kInvalidCore = -1;
 inline constexpr ThreadId kInvalidThread = -1;
 

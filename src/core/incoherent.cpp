@@ -5,6 +5,8 @@
 #include <cstdio>  // the HIC_TRACE_STALE debug hook
 #include <cstring>
 
+#include "verify/oracle.hpp"
+
 namespace hic {
 
 IncoherentHierarchy::IncoherentHierarchy(const MachineConfig& cfg,
@@ -81,6 +83,7 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
           inv_pen += c;
         }
         l1.invalidate(*l);
+        if (oracle_ != nullptr) oracle_->on_inv_l1(core, line);
         l = nullptr;
         refreshed_resident = true;
         ++stats_->ops().ieb_refreshes;
@@ -100,6 +103,9 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
     l = l1.find(line);
     HIC_DCHECK(l != nullptr);
   }
+  // Oracle stale-read check: after the fill hooks, before the value-based
+  // staleness monitor (the two are independent detectors).
+  if (oracle_ != nullptr) oracle_->on_load(core, a, bytes);
 
   bool stale = false;
   if (l1.has_data()) {
@@ -163,6 +169,7 @@ AccessOutcome IncoherentHierarchy::write(CoreId core, Addr a,
   if (l1.has_data())
     std::memcpy(l1.data_of(*l).data() + (a - line), in, bytes);
   gmem_->shadow_write_raw(a, in, bytes);
+  if (oracle_ != nullptr) oracle_->on_store(core, a, bytes);
   // Fault injection: flip one bit of the cached copy only (the shadow keeps
   // the true value, so the corruption is observable as a stale read).
   if (fault_plan_ != nullptr && l1.has_data()) {
@@ -212,6 +219,7 @@ Cycle IncoherentHierarchy::fetch_to_l1(CoreId core, Addr line) {
     auto dst = l1.data_of(nl);
     std::memcpy(dst.data(), l2.data_of(*src).data(), dst.size());
   }
+  if (oracle_ != nullptr) oracle_->on_fill_l1(core, line);
   return lat;
 }
 
@@ -254,6 +262,7 @@ Cycle IncoherentHierarchy::ensure_l2_line(BlockId block, Addr line,
     if (l2.has_data()) gmem_->dram_read(line, l2.data_of(nl));
     *out = &nl;
   }
+  if (oracle_ != nullptr) oracle_->on_fill_l2(block, line);
   return lat;
 }
 
@@ -273,6 +282,7 @@ Cycle IncoherentHierarchy::ensure_l3_line(Addr line, CacheLine** out) {
   if (ev.has_value()) handle_l3_eviction(*ev);
   if (l3_->has_data()) gmem_->dram_read(line, l3_->data_of(nl));
   *out = &nl;
+  if (oracle_ != nullptr) oracle_->on_fill_l3(line);
   return lat;
 }
 
@@ -341,6 +351,8 @@ void IncoherentHierarchy::handle_l1_eviction(CoreId core,
   trace_cache("l1_evict", ev.line_addr);
   push_words_to_l2(cfg_.block_of(core), ev.line_addr,
                    {ev.data.data(), ev.data.size()}, ev.dirty_mask);
+  if (oracle_ != nullptr)
+    oracle_->on_wb_l1_to_l2(core, ev.line_addr, ev.dirty_mask);
 }
 
 void IncoherentHierarchy::handle_l2_eviction(BlockId block,
@@ -349,6 +361,8 @@ void IncoherentHierarchy::handle_l2_eviction(BlockId block,
   trace_cache("l2_evict", ev.line_addr);
   push_words_to_l3(block, ev.line_addr, {ev.data.data(), ev.data.size()},
                    ev.dirty_mask);
+  if (oracle_ != nullptr)
+    oracle_->on_wb_l2_to_l3(block, ev.line_addr, ev.dirty_mask);
 }
 
 void IncoherentHierarchy::handle_l3_eviction(const EvictedLine& ev) {
@@ -356,6 +370,7 @@ void IncoherentHierarchy::handle_l3_eviction(const EvictedLine& ev) {
   trace_cache("l3_evict", ev.line_addr);
   push_words_to_dram(ev.line_addr, {ev.data.data(), ev.data.size()},
                      ev.dirty_mask);
+  if (oracle_ != nullptr) oracle_->on_wb_l3_to_mem(ev.line_addr, ev.dirty_mask);
 }
 
 // --- WB / INV instructions (§III-B) -----------------------------------------------
@@ -376,6 +391,7 @@ Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
       std::span<const std::byte> data;
       if (l1.has_data()) data = l1.data_of(*l);
       push_words_to_l2(block, line, data, l->dirty_mask);
+      if (oracle_ != nullptr) oracle_->on_wb_l1_to_l2(core, line, l->dirty_mask);
       ++stats_->ops().lines_written_back;
       stats_->ops().words_written_back +=
           static_cast<std::uint64_t>(std::popcount(l->dirty_mask));
@@ -392,6 +408,8 @@ Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
       std::span<const std::byte> data;
       if (l2.has_data()) data = l2.data_of(*l2l);
       push_words_to_l3(block, line, data, l2l->dirty_mask);
+      if (oracle_ != nullptr)
+        oracle_->on_wb_l2_to_l3(block, line, l2l->dirty_mask);
       l2.clear_dirty(*l2l);
       lat += cfg_.costs.per_line_writeback_cycles;
     }
@@ -418,10 +436,12 @@ Cycle IncoherentHierarchy::inv_line(CoreId core, Addr line, Level from) {
       std::span<const std::byte> data;
       if (l1.has_data()) data = l1.data_of(*l);
       push_words_to_l2(block, line, data, l->dirty_mask);
+      if (oracle_ != nullptr) oracle_->on_wb_l1_to_l2(core, line, l->dirty_mask);
       ++stats_->ops().lines_written_back;
       lat += cfg_.costs.per_line_writeback_cycles;
     }
     l1.invalidate(*l);
+    if (oracle_ != nullptr) oracle_->on_inv_l1(core, line);
     ++stats_->ops().lines_invalidated;
   }
   if (also_l2) {
@@ -433,9 +453,12 @@ Cycle IncoherentHierarchy::inv_line(CoreId core, Addr line, Level from) {
         std::span<const std::byte> data;
         if (l2.has_data()) data = l2.data_of(*l2l);
         push_words_to_l3(block, line, data, l2l->dirty_mask);
+        if (oracle_ != nullptr)
+          oracle_->on_wb_l2_to_l3(block, line, l2l->dirty_mask);
         lat += cfg_.costs.per_line_writeback_cycles;
       }
       l2.invalidate(*l2l);
+      if (oracle_ != nullptr) oracle_->on_inv_l2(block, line);
     }
   }
   return lat;
@@ -516,6 +539,8 @@ Cycle IncoherentHierarchy::wb_all(CoreId core, Level to) {
       std::span<const std::byte> data;
       if (l2.has_data()) data = l2.data_of(l2l);
       push_words_to_l3(block, l2l.line_addr, data, l2l.dirty_mask);
+      if (oracle_ != nullptr)
+        oracle_->on_wb_l2_to_l3(block, l2l.line_addr, l2l.dirty_mask);
       l2.clear_dirty(l2l);
       // Whole-cache WBs are not counted as "global WBs": Figure 11 counts
       // the compiler-inserted address-specific instructions.
@@ -572,9 +597,12 @@ Cycle IncoherentHierarchy::inv_all(CoreId core, Level from) {
         std::span<const std::byte> data;
         if (l2.has_data()) data = l2.data_of(l2l);
         push_words_to_l3(block, l2l.line_addr, data, l2l.dirty_mask);
+        if (oracle_ != nullptr)
+          oracle_->on_wb_l2_to_l3(block, l2l.line_addr, l2l.dirty_mask);
         lat += cfg_.costs.per_line_writeback_cycles;
       }
       l2.invalidate(l2l);
+      if (oracle_ != nullptr) oracle_->on_inv_l2(block, l2l.line_addr);
       // Not counted as a "global INV" — see the note in wb_all.
     });
   }

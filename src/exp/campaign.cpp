@@ -7,6 +7,7 @@
 
 #include "apps/workload.hpp"
 #include "common/check.hpp"
+#include "fault/fault_plan.hpp"
 #include "stats/report.hpp"
 
 namespace hic::exp {
@@ -62,6 +63,13 @@ std::string point_digest(const CampaignPoint& pt) {
   key.set("config", Json::string(pt.config_label));
   key.set("threads", Json::integer(pt.threads));
   key.set("seed", Json::integer(static_cast<std::int64_t>(pt.seed)));
+  if (!pt.inject.empty()) {
+    // Only present when armed: fault-free digests predate this key and must
+    // not move.
+    Json arr = Json::array();
+    for (const std::string& spec : pt.inject) arr.push_back(Json::string(spec));
+    key.set("inject", arr);
+  }
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(fnv1a64(key.dump())));
@@ -77,7 +85,7 @@ Campaign Campaign::parse(const Json& spec) {
   for (const Json& g : spec.at("groups").items()) {
     check_keys(g,
                {"name", "workloads", "configs", "machine", "threads", "seed",
-                "repeat"},
+                "repeat", "inject"},
                "campaign group");
     const std::string gname = g.at("name").as_string();
     HIC_CHECK_MSG(group_names.insert(gname).second,
@@ -131,6 +139,14 @@ Campaign Campaign::parse(const Json& spec) {
     const int repeat = g.find("repeat") != nullptr
                            ? static_cast<int>(g.at("repeat").as_i64())
                            : 1;
+    std::vector<std::string> inject;
+    if (const Json* iv = g.find("inject")) {
+      for (const Json& item : iv->items()) {
+        const std::string spec = item.as_string();
+        (void)parse_fault_rule(spec);  // validate now, not mid-campaign
+        inject.push_back(spec);
+      }
+    }
     HIC_CHECK_MSG(repeat >= 1, "group '" << gname << "': repeat must be >= 1");
     HIC_CHECK_MSG(threads_spec >= 0,
                   "group '" << gname << "': threads must be >= 0");
@@ -191,6 +207,7 @@ Campaign Campaign::parse(const Json& spec) {
                                   << mc.total_cores() << " cores");
           pt.seed = seed;
           pt.repeat = repeat;
+          pt.inject = inject;
           pt.digest = point_digest(pt);
           c.points.push_back(std::move(pt));
         }

@@ -61,6 +61,10 @@ struct CampaignPoint {
   int threads = 0;  ///< resolved: > 0
   std::uint64_t seed = 0;
   int repeat = 1;
+  /// Fault-injection specs (fault_plan.hpp `--inject` syntax) applied to
+  /// every run of this point. Folded into the digest only when non-empty,
+  /// so fault-free campaigns keep their cached results.
+  std::vector<std::string> inject;
   std::string digest;  ///< content digest — the cache/journal key
 };
 

@@ -26,6 +26,8 @@ agg::PointStats execute_point(const CampaignPoint& pt) {
   for (int r = 0; r < pt.repeat; ++r) {
     w = make_workload(pt.app);
     m = std::make_unique<Machine>(pt.machine, pt.config);
+    for (const std::string& spec : pt.inject)
+      m->add_fault_rule(parse_fault_rule(spec));
     const Cycle cy = run_workload(*w, *m, pt.threads);
     if (r == 0) {
       first_cycles = cy;

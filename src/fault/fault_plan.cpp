@@ -16,6 +16,8 @@ const char* to_string(FaultKind k) {
     case FaultKind::DelayInv: return "delay-inv";
     case FaultKind::DelayNoc: return "delay-noc";
     case FaultKind::CorruptLine: return "corrupt-line";
+    case FaultKind::ElideWb: return "elide-wb";
+    case FaultKind::ElideInv: return "elide-inv";
   }
   return "?";
 }
@@ -29,10 +31,13 @@ FaultKind parse_kind(const std::string& s) {
   if (s == "delay-inv") return FaultKind::DelayInv;
   if (s == "delay-noc") return FaultKind::DelayNoc;
   if (s == "corrupt-line") return FaultKind::CorruptLine;
+  if (s == "elide-wb") return FaultKind::ElideWb;
+  if (s == "elide-inv") return FaultKind::ElideInv;
   HIC_CHECK_MSG(false, "unknown fault kind '"
                            << s
                            << "' (expected drop-wb, drop-inv, delay-wb, "
-                              "delay-inv, delay-noc or corrupt-line)");
+                              "delay-inv, delay-noc, corrupt-line, elide-wb "
+                              "or elide-inv)");
   return FaultKind::DropWb;
 }
 
@@ -81,6 +86,18 @@ FaultRule parse_fault_rule(const std::string& spec) {
                       "fault spec '" << spec
                                      << "': retries must be in [1,64], got '"
                                      << val << "'");
+      } else if (key == "site") {
+        const auto site = parse_anno_site(val);
+        HIC_CHECK_MSG(site.has_value(),
+                      "fault spec '" << spec << "': unknown annotation site '"
+                                     << val << "' (use an ID in [0,"
+                                     << kNumAnnoSites - 1 << ") or a name "
+                                     << "like 'barrier-wb')");
+        r.site = *site;
+      } else if (key == "core") {
+        r.core = std::stoi(val, &used);
+        HIC_CHECK_MSG(used == val.size() && r.core >= 0,
+                      "fault spec '" << spec << "': bad core '" << val << "'");
       } else {
         HIC_CHECK_MSG(false, "fault spec '" << spec << "': unknown key '"
                                             << key << "'");
@@ -94,6 +111,25 @@ FaultRule parse_fault_rule(const std::string& spec) {
                                           << "' out of range for key '" << key
                                           << "'");
     }
+  }
+  const bool elide = r.kind == FaultKind::ElideWb || r.kind == FaultKind::ElideInv;
+  if (elide) {
+    HIC_CHECK_MSG(r.site != AnnoSite::kNone,
+                  "fault spec '" << spec << "': " << to_string(r.kind)
+                                 << " requires site=<id|name>");
+    const bool want_wb = r.kind == FaultKind::ElideWb;
+    HIC_CHECK_MSG(anno_site_is_wb(r.site) == want_wb,
+                  "fault spec '" << spec << "': site '"
+                                 << anno_site_name(r.site) << "' is "
+                                 << (anno_site_is_wb(r.site) ? "a WB" : "an INV")
+                                 << " site; use "
+                                 << (anno_site_is_wb(r.site) ? "elide-wb"
+                                                             : "elide-inv"));
+  } else {
+    HIC_CHECK_MSG(r.site == AnnoSite::kNone && r.core == kInvalidCore,
+                  "fault spec '" << spec
+                                 << "': site=/core= only apply to elide-wb / "
+                                    "elide-inv");
   }
   return r;
 }
@@ -165,9 +201,42 @@ bool FaultPlan::should_corrupt_store(CoreId core, Addr line,
   return true;
 }
 
+bool FaultPlan::should_elide_wb(CoreId core, AnnoSite site) {
+  bool elided = false;
+  for (auto& a : rules_) {
+    if (a.rule.kind != FaultKind::ElideWb || a.rule.site != site) continue;
+    if (a.rule.core != kInvalidCore && a.rule.core != core) continue;
+    if (!a.draw()) continue;
+    records_.push_back({FaultKind::ElideWb, core, 0, 0, false, false, site});
+    elided = true;
+  }
+  return elided;
+}
+
+bool FaultPlan::should_elide_inv(CoreId core, AnnoSite site) {
+  bool elided = false;
+  for (auto& a : rules_) {
+    if (a.rule.kind != FaultKind::ElideInv || a.rule.site != site) continue;
+    if (a.rule.core != kInvalidCore && a.rule.core != core) continue;
+    if (!a.draw()) continue;
+    records_.push_back({FaultKind::ElideInv, core, 0, 0, false, false, site});
+    elided = true;
+  }
+  return elided;
+}
+
 void FaultPlan::on_stale_read(Addr line) {
   for (auto& r : records_) {
     if (r.line == line && !is_timing_only(r.kind)) r.detected = true;
+  }
+}
+
+void FaultPlan::on_oracle_violation(Addr line) {
+  for (auto& r : records_) {
+    const bool elide =
+        r.kind == FaultKind::ElideWb || r.kind == FaultKind::ElideInv;
+    if (elide || (r.line == line && !is_timing_only(r.kind)))
+      r.detected = true;
   }
 }
 
@@ -202,7 +271,8 @@ std::uint64_t FaultPlan::tolerated() const {
 std::string FaultPlan::summary() const {
   constexpr FaultKind kKinds[] = {FaultKind::DropWb,   FaultKind::DropInv,
                                   FaultKind::DelayWb,  FaultKind::DelayInv,
-                                  FaultKind::DelayNoc, FaultKind::CorruptLine};
+                                  FaultKind::DelayNoc, FaultKind::CorruptLine,
+                                  FaultKind::ElideWb,  FaultKind::ElideInv};
   TextTable t({"fault", "injected", "detected", "tolerated"});
   for (FaultKind k : kKinds) {
     std::uint64_t inj = 0, det = 0, tol = 0;

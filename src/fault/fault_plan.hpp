@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/anno_sites.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "stats/sim_stats.hpp"
@@ -34,6 +35,8 @@ enum class FaultKind : std::uint8_t {
   DelayInv,     ///< an INV instruction takes extra cycles (timing only)
   DelayNoc,     ///< a NoC hop is retried with backoff (timing only)
   CorruptLine,  ///< one bit of a just-written cached word flips
+  ElideWb,      ///< one annotation site's WB is skipped entirely (mutation)
+  ElideInv,     ///< one annotation site's INV is skipped entirely (mutation)
 };
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -54,11 +57,16 @@ struct FaultRule {
   Cycle delay_cycles = 200;
   /// DelayNoc: retry attempts charged through ChipTopology::retry_latency.
   int retries = 3;
+  /// ElideWb/ElideInv: the annotation site to mutate (required for those).
+  AnnoSite site = AnnoSite::kNone;
+  /// ElideWb/ElideInv: restrict the mutation to one core (-1 = all cores).
+  CoreId core = kInvalidCore;
 };
 
 /// Parses an `--inject` spec, e.g. "drop-wb:p=0.01:seed=7",
 /// "corrupt-line:p=0.001:seed=3:n=5", "delay-noc:p=0.05:retries=4",
-/// "delay-wb:p=0.1:cycles=500". Throws CheckFailure naming the bad token.
+/// "delay-wb:p=0.1:cycles=500", "elide-wb:site=barrier-wb:core=1".
+/// Throws CheckFailure naming the bad token.
 [[nodiscard]] FaultRule parse_fault_rule(const std::string& spec);
 
 /// One injected fault, kept for reconciliation and reporting.
@@ -69,6 +77,7 @@ struct FaultRecord {
   std::uint64_t word_mask = 0;  ///< words affected (drop-wb / corrupt)
   bool detected = false;   ///< observed by the staleness monitor / reconcile
   bool tolerated = false;  ///< provably converged (or timing-only)
+  AnnoSite site = AnnoSite::kNone;  ///< elided annotation site (elide-* only)
 };
 
 class FaultPlan {
@@ -101,11 +110,20 @@ class FaultPlan {
   /// observable exactly like a stale read.
   bool should_corrupt_store(CoreId core, Addr line, std::uint32_t bytes,
                             std::uint64_t mask, std::uint32_t* flip_bit_out);
+  /// Annotation-mutation point (called by the runtime at every WB/INV site):
+  /// true = the whole annotation at `site` is skipped by `core`. Fires on
+  /// every matching opportunity (p still applies, default 1.0).
+  bool should_elide_wb(CoreId core, AnnoSite site);
+  bool should_elide_inv(CoreId core, AnnoSite site);
 
   // --- Detection ------------------------------------------------------------
   /// The staleness monitor observed a stale/corrupt read of `line`; marks
   /// every matching record detected.
   void on_stale_read(Addr line);
+  /// The CoherenceOracle reported a violation on `line`; marks matching
+  /// drop/corrupt records and *all* elide records detected (an elided
+  /// annotation has no single line — any resulting violation attributes it).
+  void on_oracle_violation(Addr line);
 
   /// Post-run classification. `still_visible(record)` must answer whether
   /// the record's fault is still observable in the functional state (a

@@ -18,6 +18,7 @@
 
 namespace hic {
 
+class CoherenceOracle;
 class FaultPlan;
 class Tracer;
 
@@ -113,6 +114,13 @@ class HierarchyBase : public MemoryHierarchy {
   void set_tracer(Tracer* t) { tracer_ = t; }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
 
+  /// Attaches the coherence oracle (not owned; may be null). The incoherent
+  /// hierarchy reports every load/store/fill/WB/INV/DMA so the oracle can
+  /// track per-word write stamps; the coherent baseline never calls the
+  /// memory hooks (hardware keeps it coherent, so there is nothing to check).
+  void set_oracle(CoherenceOracle* o) { oracle_ = o; }
+  [[nodiscard]] CoherenceOracle* oracle() const { return oracle_; }
+
  protected:
   [[nodiscard]] GlobalMemory& gmem() { return *gmem_; }
   [[nodiscard]] SimStats& stats() { return *stats_; }
@@ -138,6 +146,7 @@ class HierarchyBase : public MemoryHierarchy {
   SimStats* stats_;
   FaultPlan* fault_plan_ = nullptr;
   Tracer* tracer_ = nullptr;
+  CoherenceOracle* oracle_ = nullptr;
   std::vector<CoreId> thread_to_core_;
 };
 

@@ -3,6 +3,7 @@
 #include "hierarchy/mesi.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/thread.hpp"
+#include "verify/oracle.hpp"
 
 namespace hic {
 
@@ -43,6 +44,12 @@ void Machine::set_tracer(Tracer* t) {
       t->counters().size() == 0) {
     register_sim_stats(t->counters(), stats_);
   }
+}
+
+void Machine::set_oracle(CoherenceOracle* o) {
+  engine_.set_oracle(o);
+  hier_->set_oracle(o);
+  if (o != nullptr) o->bind(mc_, &stats_, &fault_plan_, hier_->coherent());
 }
 
 NodeId Machine::next_sync_home() {

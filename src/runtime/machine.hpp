@@ -68,6 +68,12 @@ class Machine {
   /// tracer must outlive this machine's run() calls.
   void set_tracer(Tracer* t);
 
+  /// Attaches the coherence oracle (nullptr = off; see verify/oracle.hpp)
+  /// to the engine and the hierarchy, and binds it to this machine's
+  /// configuration, stats and fault plan. Must be called before run() and
+  /// the oracle must outlive it.
+  void set_oracle(CoherenceOracle* o);
+
   Barrier make_barrier(int participants);
   Lock make_lock(bool outside_cs_communication = false,
                  AddrRange protected_data = {}, bool block_local = false);

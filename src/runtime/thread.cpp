@@ -13,26 +13,38 @@ Thread::Thread(Machine& m, CoreServices& svc, int nthreads)
       inv_level_(is_inter_block(m.config()) ? Level::L2 : Level::L1),
       rng_(0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(svc.core()) + 1)) {}
 
+bool Thread::elide_wb(AnnoSite site) {
+  FaultPlan& p = m_->fault_plan();
+  return !p.empty() && p.should_elide_wb(svc_->core(), site);
+}
+
+bool Thread::elide_inv(AnnoSite site) {
+  FaultPlan& p = m_->fault_plan();
+  return !p.empty() && p.should_elide_inv(svc_->core(), site);
+}
+
 void Thread::barrier(Machine::Barrier b) {
   ++m_->stats().ops().anno_barriers;
-  if (!coherent_) svc_->wb_all(wb_level_);
+  if (!coherent_ && !elide_wb(AnnoSite::BarrierWb)) svc_->wb_all(wb_level_);
   svc_->barrier(b.id);
-  if (!coherent_) svc_->inv_all(inv_level_);
+  if (!coherent_ && !elide_inv(AnnoSite::BarrierInv)) svc_->inv_all(inv_level_);
 }
 
 void Thread::barrier_block(Machine::Barrier b) {
   ++m_->stats().ops().anno_barriers;
-  if (!coherent_) svc_->wb_all(Level::L2);
+  if (!coherent_ && !elide_wb(AnnoSite::BarrierBlockWb))
+    svc_->wb_all(Level::L2);
   svc_->barrier(b.id);
-  if (!coherent_) svc_->inv_all(Level::L1);
+  if (!coherent_ && !elide_inv(AnnoSite::BarrierBlockInv))
+    svc_->inv_all(Level::L1);
 }
 
 void Thread::barrier_refined(Machine::Barrier b,
                              std::span<const AddrRange> consumed) {
   ++m_->stats().ops().anno_barriers;
-  if (!coherent_) svc_->wb_all(wb_level_);
+  if (!coherent_ && !elide_wb(AnnoSite::BarrierWb)) svc_->wb_all(wb_level_);
   svc_->barrier(b.id);
-  if (!coherent_) {
+  if (!coherent_ && !elide_inv(AnnoSite::BarrierRefinedInv)) {
     for (const AddrRange& r : consumed) {
       if (!r.empty()) svc_->inv_range(r, inv_level_);
     }
@@ -43,13 +55,13 @@ void Thread::barrier_refined(Machine::Barrier b,
                              std::span<const AddrRange> produced,
                              std::span<const AddrRange> consumed) {
   ++m_->stats().ops().anno_barriers;
-  if (!coherent_) {
+  if (!coherent_ && !elide_wb(AnnoSite::BarrierRefinedWb)) {
     for (const AddrRange& r : produced) {
       if (!r.empty()) svc_->wb_range(r, wb_level_);
     }
   }
   svc_->barrier(b.id);
-  if (!coherent_) {
+  if (!coherent_ && !elide_inv(AnnoSite::BarrierRefinedInv)) {
     for (const AddrRange& r : consumed) {
       if (!r.empty()) svc_->inv_range(r, inv_level_);
     }
@@ -64,14 +76,14 @@ void Thread::lock(Machine::Lock l) {
       // consumed by a later lock holder after it leaves the critical
       // section — publish everything written so far.
       ++m_->stats().ops().anno_occ;
-      svc_->wb_all(wb_level_);
+      if (!elide_wb(AnnoSite::OccAcquireWb)) svc_->wb_all(wb_level_);
     }
     // Intra-block: the INV side sits immediately *before* the acquire so it
     // does not lengthen the critical section (paper §IV-A1). That is safe
     // only because it touches the *private* L1, whose state cannot change
     // while this core waits. With the IEB enabled this merely arms lazy
     // per-read invalidation.
-    if (!inter_) svc_->cs_enter();
+    if (!inter_ && !elide_inv(AnnoSite::CsEnterInv)) svc_->cs_enter();
   }
   svc_->lock(l.id);
   if (!coherent_ && inter_) {
@@ -81,11 +93,13 @@ void Thread::lock(Machine::Lock l) {
     // compiler named the protected data, invalidate just that; when every
     // participant is block-local, the previous holder published to this
     // block's L2, so only the private L1 needs invalidating.
-    const Level from = l.block_local ? Level::L1 : Level::L2;
-    if (l.data.empty()) {
-      svc_->inv_all(from);
-    } else {
-      svc_->inv_range(l.data, from);
+    if (!elide_inv(AnnoSite::LockInterInv)) {
+      const Level from = l.block_local ? Level::L1 : Level::L2;
+      if (l.data.empty()) {
+        svc_->inv_all(from);
+      } else {
+        svc_->inv_range(l.data, from);
+      }
     }
   }
 }
@@ -97,8 +111,8 @@ void Thread::unlock(Machine::Lock l) {
     // the protected data when the compiler named it, and only to the block
     // L2 when every participant is block-local.
     if (!inter_) {
-      svc_->cs_exit();
-    } else {
+      if (!elide_wb(AnnoSite::CsExitWb)) svc_->cs_exit();
+    } else if (!elide_wb(AnnoSite::UnlockInterWb)) {
       const Level to = l.block_local ? Level::L2 : Level::L3;
       if (l.data.empty()) {
         svc_->wb_all(to);
@@ -108,7 +122,7 @@ void Thread::unlock(Machine::Lock l) {
     }
   }
   svc_->unlock(l.id);
-  if (!coherent_ && l.occ) {
+  if (!coherent_ && l.occ && !elide_inv(AnnoSite::OccReleaseInv)) {
     // OCC: data produced by earlier lock holders outside their critical
     // sections may now be consumed — refresh our view.
     svc_->inv_all(inv_level_);
@@ -117,23 +131,28 @@ void Thread::unlock(Machine::Lock l) {
 
 void Thread::flag_set(Machine::Flag f, std::uint64_t value) {
   ++m_->stats().ops().anno_flag;
-  if (!coherent_) svc_->wb_all(wb_level_);
+  if (!coherent_ && !elide_wb(AnnoSite::FlagSetWb)) svc_->wb_all(wb_level_);
   svc_->flag_set(f.id, value);
 }
 
 void Thread::flag_wait(Machine::Flag f, std::uint64_t expect) {
   ++m_->stats().ops().anno_flag;
   svc_->flag_wait(f.id, expect);
-  if (!coherent_) svc_->inv_all(inv_level_);
+  if (!coherent_ && !elide_inv(AnnoSite::FlagWaitInv))
+    svc_->inv_all(inv_level_);
 }
 
 std::uint64_t Thread::flag_add(Machine::Flag f, std::uint64_t delta) {
   ++m_->stats().ops().anno_flag;
-  if (!coherent_) svc_->wb_all(wb_level_);
+  if (!coherent_ && !elide_wb(AnnoSite::FlagAddWb)) svc_->wb_all(wb_level_);
   return svc_->flag_add(f.id, delta);
 }
 
 void Thread::epoch_produce(std::span<const WbDirective> dirs) {
+  if (policy_ != InterPolicy::NotApplicable &&
+      elide_wb(AnnoSite::EpochProduceWb)) {
+    return;
+  }
   switch (policy_) {
     case InterPolicy::NotApplicable:
       return;
@@ -156,6 +175,10 @@ void Thread::epoch_produce(std::span<const WbDirective> dirs) {
 }
 
 void Thread::epoch_consume(std::span<const InvDirective> dirs) {
+  if (policy_ != InterPolicy::NotApplicable &&
+      elide_inv(AnnoSite::EpochConsumeInv)) {
+    return;
+  }
   switch (policy_) {
     case InterPolicy::NotApplicable:
       return;
@@ -178,6 +201,10 @@ void Thread::epoch_consume(std::span<const InvDirective> dirs) {
 }
 
 void Thread::epoch_produce_all(ThreadId consumer) {
+  if (policy_ != InterPolicy::NotApplicable &&
+      elide_wb(AnnoSite::EpochProduceAllWb)) {
+    return;
+  }
   switch (policy_) {
     case InterPolicy::NotApplicable:
       return;
@@ -192,6 +219,10 @@ void Thread::epoch_produce_all(ThreadId consumer) {
 }
 
 void Thread::epoch_consume_all(ThreadId producer) {
+  if (policy_ != InterPolicy::NotApplicable &&
+      elide_inv(AnnoSite::EpochConsumeAllInv)) {
+    return;
+  }
   switch (policy_) {
     case InterPolicy::NotApplicable:
       return;

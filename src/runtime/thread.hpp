@@ -113,17 +113,24 @@ class Thread {
     svc_->dma_copy(src_block, src, dst_block, dst, bytes);
   }
 
-  /// Data-race communication with enforced visibility (Figure 6b).
+  /// Data-race communication with enforced visibility (Figure 6b). The
+  /// access is declared racy to the coherence oracle, which exempts it from
+  /// the happens-before checks — so an elided racy WB/INV is judged by the
+  /// value-based verify instead (a benign race stays benign).
   template <typename T>
   void racy_store(Addr a, const T& v) {
+    svc_->oracle_mark_racy();
     store(a, v);
     ++m_->stats().ops().anno_racy;
-    if (!coherent_) svc_->wb_range({a, sizeof(T)}, wb_level_);
+    if (!coherent_ && !elide_wb(AnnoSite::RacyStoreWb))
+      svc_->wb_range({a, sizeof(T)}, wb_level_);
   }
   template <typename T>
   [[nodiscard]] T racy_load(Addr a) {
     ++m_->stats().ops().anno_racy;
-    if (!coherent_) svc_->inv_range({a, sizeof(T)}, inv_level_);
+    if (!coherent_ && !elide_inv(AnnoSite::RacyLoadInv))
+      svc_->inv_range({a, sizeof(T)}, inv_level_);
+    svc_->oracle_mark_racy();
     return load<T>(a);
   }
 
@@ -147,6 +154,13 @@ class Thread {
   }
 
  private:
+  /// The annotation-mutation harness: true when an armed elide-wb /
+  /// elide-inv fault rule suppresses this thread's annotation at `site`
+  /// (fault_plan.hpp). Empty fault plans short-circuit to false, so the
+  /// common un-mutated run costs one branch per annotation.
+  [[nodiscard]] bool elide_wb(AnnoSite site);
+  [[nodiscard]] bool elide_inv(AnnoSite site);
+
   Machine* m_;
   CoreServices* svc_;
   int nthreads_;

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include "obs/tracer.hpp"
+#include "verify/oracle.hpp"
 
 #include <algorithm>
 #include <cstdint>
@@ -672,6 +673,11 @@ void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
   eng_->drain(c);
   const Cycle lat =
       eng_->hierarchy().dma_copy(src_block, src, dst_block, dst, bytes);
+  // After the hierarchy moved the data (its fill hooks ran), stamp the
+  // transfer: the source words are checked for staleness, the destination
+  // words become writes by the initiating core.
+  if (auto* o = eng_->oracle())
+    o->on_dma(id_, src_block, src, dst_block, dst, bytes);
   eng_->charge(c, StallKind::Rest, lat);
   eng_->trace_op(c, start, "dma_copy", static_cast<std::int64_t>(src));
   eng_->maybe_yield(c);
@@ -687,6 +693,13 @@ void CoreServices::barrier(SyncId id) {
   eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
   auto released = eng_->sync().barrier_arrive(id, id_);
+  // Arrival releases this core's history into the barrier's clock; when the
+  // last arriver completes it, every released core acquires the join (the
+  // barrier is a full happens-before fence between rounds).
+  if (auto* o = eng_->oracle()) {
+    o->on_barrier_arrive(id_, id);
+    if (released.has_value()) o->on_barrier_complete(id, *released);
+  }
   if (!released.has_value()) {
     eng_->block(c, StallKind::BarrierStall, id);
   } else {
@@ -710,6 +723,9 @@ void CoreServices::lock(SyncId id) {
   if (!eng_->sync().lock_acquire(id, id_)) {
     eng_->block(c, StallKind::LockStall, id);
   }
+  // After the grant (immediate or woken): the previous holder's release has
+  // already merged its clock into the lock, so the acquire sees it.
+  if (auto* o = eng_->oracle()) o->on_lock_acquire(id_, id);
   eng_->trace_sync(c, start, "lock", id);
   eng_->maybe_yield(c);
 }
@@ -721,6 +737,7 @@ void CoreServices::unlock(SyncId id) {
   eng_->drain(c);  // release semantics: critical-section WBs must complete
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
+  if (auto* o = eng_->oracle()) o->on_lock_release(id_, id);
   const auto next = eng_->sync().lock_release(id, id_);
   if (next.has_value()) {
     const auto& topo = eng_->hierarchy().topology();
@@ -740,6 +757,8 @@ void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
   if (!eng_->sync().flag_check(id, id_, expect)) {
     eng_->block(c, StallKind::BarrierStall, id);
   }
+  // After the unblock: the setter's release already reached the flag clock.
+  if (auto* o = eng_->oracle()) o->on_flag_wait(id_, id);
   eng_->trace_sync(c, start, "flag_wait", id);
   eng_->maybe_yield(c);
 }
@@ -751,6 +770,7 @@ void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   eng_->drain(c);  // the flag publishes data: WBs must be out first
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
+  if (auto* o = eng_->oracle()) o->on_flag_set(id_, id);
   const auto released = eng_->sync().flag_set(id, value);
   const auto& topo = eng_->hierarchy().topology();
   const NodeId home = eng_->sync().home_of(id);
@@ -760,6 +780,10 @@ void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   eng_->maybe_yield(c);
 }
 
+void CoreServices::oracle_mark_racy() {
+  if (auto* o = eng_->oracle()) o->mark_racy_next(id_);
+}
+
 std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   auto& c = eng_->ctx(id_);
   c.ring.push(c.time, CoreEventKind::FlagAdd, id);
@@ -767,6 +791,9 @@ std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   eng_->drain(c);
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
+  // A fetch-add is both an acquire (it observes prior adders/setters) and a
+  // release (later waiters observe it).
+  if (auto* o = eng_->oracle()) o->on_flag_add(id_, id);
   std::uint64_t v = 0;
   const auto released = eng_->sync().flag_add(id, delta, &v);
   const auto& topo = eng_->hierarchy().topology();

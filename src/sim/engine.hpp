@@ -42,6 +42,7 @@
 
 namespace hic {
 
+class CoherenceOracle;
 class Engine;
 class Tracer;
 
@@ -88,6 +89,11 @@ class CoreServices {
   void flag_wait(SyncId id, std::uint64_t expect);
   void flag_set(SyncId id, std::uint64_t value);
   std::uint64_t flag_add(SyncId id, std::uint64_t delta);
+
+  /// Marks the next load/store of this core as a declared racy access
+  /// (Thread::racy_load/racy_store), exempting it from the coherence
+  /// oracle's race checks. No-op when no oracle is attached.
+  void oracle_mark_racy();
 
   [[nodiscard]] HierarchyBase& hierarchy();
   [[nodiscard]] SimStats& stats();
@@ -142,6 +148,13 @@ class Engine {
   /// hook, so timing and stats are unchanged either way.
   void set_tracer(Tracer* t) { tracer_ = t; }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
+
+  /// Attaches the coherence oracle (nullptr = off; see verify/oracle.hpp).
+  /// When set, every sync operation reports its happens-before edge and
+  /// every DMA its transfer, so the oracle's vector clocks track the
+  /// program's ordering. Off costs one pointer test per hook.
+  void set_oracle(CoherenceOracle* o) { oracle_ = o; }
+  [[nodiscard]] CoherenceOracle* oracle() const { return oracle_; }
 
  private:
   friend class CoreServices;
@@ -246,6 +259,7 @@ class Engine {
   const void* main_stack_bottom_ = nullptr;
   std::size_t main_stack_size_ = 0;
   Tracer* tracer_ = nullptr;
+  CoherenceOracle* oracle_ = nullptr;
   bool legacy_ = false;
   bool abort_ = false;
   bool watchdog_tripped_ = false;

@@ -90,6 +90,10 @@ constexpr std::array kFields = {
     ReportField{"ops", "injected_faults", op<&OpCounts::injected_faults>},
     ReportField{"ops", "detected_faults", op<&OpCounts::detected_faults>},
     ReportField{"ops", "tolerated_faults", op<&OpCounts::tolerated_faults>},
+    ReportField{"ops", "oracle_stale_reads", op<&OpCounts::oracle_stale_reads>},
+    ReportField{"ops", "oracle_write_races", op<&OpCounts::oracle_write_races>},
+    ReportField{"ops", "oracle_lost_updates",
+                op<&OpCounts::oracle_lost_updates>},
     ReportField{"ops", "anno_barriers", op<&OpCounts::anno_barriers>},
     ReportField{"ops", "anno_critical", op<&OpCounts::anno_critical>},
     ReportField{"ops", "anno_flag", op<&OpCounts::anno_flag>},

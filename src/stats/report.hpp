@@ -18,7 +18,9 @@ namespace hic {
 /// trace files). Bump whenever a field is added, removed, or renamed so that
 /// downstream consumers (tools/bench_host.py, tools/trace_check.py) fail
 /// loudly instead of silently misparsing.
-inline constexpr int kStatsSchemaVersion = 1;
+///   v2: added the oracle_stale_reads / oracle_write_races /
+///       oracle_lost_updates counters to the "ops" group.
+inline constexpr int kStatsSchemaVersion = 2;
 
 /// One scalar counter of the report: its JSON group ("stalls",
 /// "traffic_flits" or "ops"), its stable key, and how to read it.

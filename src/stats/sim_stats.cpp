@@ -37,6 +37,9 @@ constexpr std::array kOpFields = {
     OpField{"injected_faults", &OpCounts::injected_faults},
     OpField{"detected_faults", &OpCounts::detected_faults},
     OpField{"tolerated_faults", &OpCounts::tolerated_faults},
+    OpField{"oracle_stale_reads", &OpCounts::oracle_stale_reads},
+    OpField{"oracle_write_races", &OpCounts::oracle_write_races},
+    OpField{"oracle_lost_updates", &OpCounts::oracle_lost_updates},
     OpField{"anno_barriers", &OpCounts::anno_barriers},
     OpField{"anno_critical", &OpCounts::anno_critical},
     OpField{"anno_flag", &OpCounts::anno_flag},

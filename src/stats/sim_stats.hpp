@@ -121,6 +121,12 @@ struct OpCounts {
   std::uint64_t injected_faults = 0;
   std::uint64_t detected_faults = 0;
   std::uint64_t tolerated_faults = 0;
+  /// CoherenceOracle violations (0 unless `--verify` attaches the oracle).
+  /// Unlike stale_word_reads these are value-independent: a stale read of an
+  /// unchanged value and a lost update both count here.
+  std::uint64_t oracle_stale_reads = 0;
+  std::uint64_t oracle_write_races = 0;
+  std::uint64_t oracle_lost_updates = 0;
   /// Programming-model annotation counters (Table I classification).
   std::uint64_t anno_barriers = 0;
   std::uint64_t anno_critical = 0;

@@ -1,0 +1,16 @@
+# Runs a command and asserts its EXACT exit status (ctest's WILL_FAIL only
+# distinguishes zero from nonzero; the exit-code taxonomy of
+# common/exit_codes.hpp needs the precise value).
+#
+#   cmake -DEXPECTED=<n> "-DCMD=prog;arg;arg..." -P check_exit_code.cmake
+if(NOT DEFINED EXPECTED OR NOT DEFINED CMD)
+  message(FATAL_ERROR "check_exit_code.cmake needs -DEXPECTED and -DCMD")
+endif()
+execute_process(COMMAND ${CMD}
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL ${EXPECTED})
+  message(FATAL_ERROR "expected exit ${EXPECTED}, got '${rc}'\n"
+                      "command: ${CMD}\nstdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -120,6 +120,58 @@ TEST(CampaignSpec, UnknownKeysAndBadRefsAreHardErrors) {
       CheckFailure);
 }
 
+TEST(CampaignSpec, InjectSpecsValidateExpandAndKeyTheDigest) {
+  auto parse = [](const std::string& text) {
+    return Campaign::parse(Json::parse(text));
+  };
+  const char* without = R"({"name":"x","groups":[{"name":"g",
+      "workloads":["fft"],"configs":["B+M+I"]}],"aggregates":[]})";
+  const char* with = R"({"name":"x","groups":[{"name":"g",
+      "workloads":["fft"],"configs":["B+M+I"],
+      "inject":["drop-wb:p=0.01:seed=7","elide-wb:site=barrier-wb"]}],
+      "aggregates":[]})";
+  const Campaign plain = parse(without);
+  const Campaign armed = parse(with);
+  ASSERT_EQ(plain.points.size(), 1u);
+  ASSERT_EQ(armed.points.size(), 1u);
+  ASSERT_EQ(armed.points[0].inject.size(), 2u);
+  // Armed points must not collide with fault-free cached results...
+  EXPECT_NE(plain.points[0].digest, armed.points[0].digest);
+  // ...and fault-free digests must not move now that the key exists (the
+  // digest key is only emitted when "inject" is non-empty).
+  const char* empty_inject = R"({"name":"x","groups":[{"name":"g",
+      "workloads":["fft"],"configs":["B+M+I"],"inject":[]}],
+      "aggregates":[]})";
+  EXPECT_EQ(parse(empty_inject).points[0].digest, plain.points[0].digest);
+  // Bad specs fail at parse time, not mid-campaign.
+  EXPECT_THROW(
+      parse(R"({"name":"x","groups":[{"name":"g","workloads":["fft"],
+                "configs":["B+M+I"],"inject":["drop-wb:p=oops"]}],
+                "aggregates":[]})"),
+      CheckFailure);
+  EXPECT_THROW(
+      parse(R"({"name":"x","groups":[{"name":"g","workloads":["fft"],
+                "configs":["B+M+I"],"inject":["elide-wb:site=nope"]}],
+                "aggregates":[]})"),
+      CheckFailure);
+}
+
+TEST(CampaignRunner, InjectedPointsRunTheFaultPlan) {
+  // A timing-only fault keeps verification green while proving the rules
+  // actually reach the Machine (the point must still verify and aggregate).
+  const Campaign c = Campaign::parse(Json::parse(R"({
+    "name": "inj", "groups": [
+      {"name": "g", "workloads": ["fft"], "configs": ["B+M+I"],
+       "machine": {"preset": "intra", "staleness_monitor": false},
+       "inject": ["delay-noc:p=0.1:seed=3:retries=2"]}],
+    "aggregates": [{"kind": "summary", "group": "g"}]})"));
+  RunnerOptions opts;
+  opts.progress = false;
+  const CampaignResults r = run_campaign(c, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.all_verified());
+}
+
 TEST(ResultCacheTest, StoreLookupAndHygiene) {
   TempDir tmp("cache");
   ResultCache cache(tmp.str("c"));

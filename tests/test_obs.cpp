@@ -169,7 +169,9 @@ TEST(Tracer, ExportIsWellFormedChromeTraceJson) {
   EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(j.find("\"ph\":\"M\""), std::string::npos);
-  EXPECT_NE(j.find("\"hicsim\":{\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"hicsim\":{\"schema_version\":" +
+                   std::to_string(hic::kStatsSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(j.find("\"per_core_stalls\":["), std::string::npos);
 }
 

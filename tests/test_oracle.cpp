@@ -1,0 +1,369 @@
+// CoherenceOracle tests: positive controls for every violation class the
+// value-based staleness monitor cannot see (same-value stale reads, lost
+// updates, write-write races), exemptions (racy annotations, HCC), the
+// epoch-wrap guard, word-granularity precision inside one line, violation-log
+// determinism, and reconciliation with FaultPlan accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "runtime/thread.hpp"
+#include "stats/report.hpp"
+#include "verify/oracle.hpp"
+
+namespace hic {
+namespace {
+
+constexpr std::uint32_t kU32 = 4;
+
+// --- Clean programs stay clean -------------------------------------------------
+
+TEST(Oracle, AnnotatedBarrierProgramHasZeroViolations) {
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr arr = m.mem().alloc_array<std::uint64_t>(256, "arr");
+  for (int i = 0; i < 256; ++i)
+    m.mem().init(arr + static_cast<Addr>(i) * 8, std::uint64_t{0});
+  const auto bar = m.make_barrier(8);
+  m.run(8, [&](Thread& t) {
+    for (int round = 0; round < 4; ++round) {
+      const int base = ((t.tid() + round) % 8) * 32;
+      for (int i = 0; i < 32; ++i)
+        t.store<std::uint64_t>(arr + static_cast<Addr>(base + i) * 8,
+                               static_cast<std::uint64_t>(round + 1));
+      t.barrier(bar);
+      const int rbase = ((t.tid() + round + 3) % 8) * 32;
+      for (int i = 0; i < 32; ++i)
+        (void)t.load<std::uint64_t>(arr + static_cast<Addr>(rbase + i) * 8);
+      t.barrier(bar);
+    }
+  });
+  EXPECT_EQ(oracle.total_violations(), 0u) << oracle.report();
+  EXPECT_EQ(m.stats().ops().oracle_stale_reads, 0u);
+  EXPECT_EQ(m.stats().ops().oracle_write_races, 0u);
+  EXPECT_EQ(m.stats().ops().oracle_lost_updates, 0u);
+}
+
+TEST(Oracle, HccBaselineIsTriviallyClean) {
+  // The coherent hierarchy never calls the memory hooks; sync hooks only
+  // maintain clocks. Even an unannotated racy-looking program reports clean.
+  Machine m(MachineConfig::intra_block(), Config::Hcc);
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(4, "x");
+  for (int i = 0; i < 4; ++i)
+    m.mem().init(x + static_cast<Addr>(i) * kU32, std::uint32_t{0});
+  const auto bar = m.make_barrier(4);
+  m.run(4, [&](Thread& t) {
+    t.store<std::uint32_t>(x + static_cast<Addr>(t.tid()) * kU32, 7);
+    t.barrier(bar);
+    (void)t.load<std::uint32_t>(
+        x + static_cast<Addr>((t.tid() + 1) % 4) * kU32);
+  });
+  EXPECT_EQ(oracle.total_violations(), 0u) << oracle.report();
+}
+
+TEST(Oracle, AttachingOracleDoesNotPerturbGoldenStats) {
+  // The oracle is an observer: cycles and every counter except its own three
+  // must be bit-identical with and without it.
+  auto run_once = [](CoherenceOracle* o) {
+    Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+    if (o != nullptr) m.set_oracle(o);
+    const Addr arr = m.mem().alloc_array<std::uint64_t>(64, "arr");
+    for (int i = 0; i < 64; ++i)
+      m.mem().init(arr + static_cast<Addr>(i) * 8, std::uint64_t{0});
+    const auto bar = m.make_barrier(4);
+    m.run(4, [&](Thread& t) {
+      for (int r = 0; r < 3; ++r) {
+        for (int i = 0; i < 16; ++i)
+          t.store<std::uint64_t>(
+              arr + static_cast<Addr>(t.tid() * 16 + i) * 8,
+              static_cast<std::uint64_t>(r));
+        t.barrier(bar);
+      }
+    });
+    return to_json(m.stats());
+  };
+  CoherenceOracle oracle;
+  EXPECT_EQ(run_once(nullptr), run_once(&oracle));
+}
+
+// --- Same-value stale read: the class the value monitor cannot see -------------
+
+TEST(Oracle, CatchesSameValueStaleReadTheValueMonitorMisses) {
+  // Producer rewrites the value the word already holds, then elides the WB
+  // that its flag-set annotation should have issued. The consumer's read is
+  // stale by happens-before but correct by value: stale_word_reads stays 0,
+  // the oracle still reports it.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  m.add_fault_rule(parse_fault_rule("elide-wb:site=flag-set-wb:core=0"));
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(1, "x");
+  m.mem().init(x, std::uint32_t{7});
+  const auto f = m.make_flag(0);
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<std::uint32_t>(x, 7);  // same value the word already holds
+      t.flag_set(f, 1);              // WB-ALL annotation elided by the rule
+    } else {
+      t.flag_wait(f, 1);  // INV-ALL runs; the stale copy is below, in L2/mem
+      (void)t.load<std::uint32_t>(x);
+    }
+  });
+  EXPECT_EQ(m.stats().ops().stale_word_reads, 0u)
+      << "value-identical stale read must be invisible to the value monitor";
+  EXPECT_GE(m.stats().ops().oracle_stale_reads, 1u);
+  ASSERT_FALSE(oracle.violations().empty());
+  const OracleViolation& v = oracle.violations().front();
+  EXPECT_EQ(v.kind, OracleViolation::Kind::StaleRead);
+  EXPECT_EQ(v.addr, x);
+  EXPECT_EQ(v.observer, 1);
+  EXPECT_EQ(v.truth.core, 0);
+  EXPECT_NE(v.suggest.find("WB"), std::string::npos) << v.suggest;
+}
+
+TEST(Oracle, DiagnosesMissedInvOnTheReaderSide) {
+  // Consumer warms a copy, producer publishes correctly (store + WB before
+  // the flag set), consumer's flag-wait INV is elided: the stale copy sits in
+  // the consumer's own L1, so the diagnosis is a missing INV.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  m.add_fault_rule(parse_fault_rule("elide-inv:site=flag-wait-inv:core=1"));
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(1, "x");
+  m.mem().init(x, std::uint32_t{0});
+  const auto f = m.make_flag(0);
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.compute(5000);  // let the consumer warm its copy first
+      t.store<std::uint32_t>(x, 5);
+      t.flag_set(f, 1);  // WB-ALL annotation publishes the store
+    } else {
+      (void)t.load<std::uint32_t>(x);  // warm the soon-stale copy
+      t.flag_wait(f, 1);               // INV-ALL elided by the rule
+      (void)t.load<std::uint32_t>(x);  // stale!
+    }
+  });
+  EXPECT_GE(m.stats().ops().oracle_stale_reads, 1u)
+      << "records=" << m.fault_plan().records().size() << "\n"
+      << m.fault_plan().summary() << "\nstale_word_reads="
+      << m.stats().ops().stale_word_reads;
+  ASSERT_FALSE(oracle.violations().empty());
+  const OracleViolation& v = oracle.violations().front();
+  EXPECT_EQ(v.kind, OracleViolation::Kind::StaleRead);
+  EXPECT_EQ(v.observer, 1);
+  EXPECT_NE(v.suggest.find("INV"), std::string::npos) << v.suggest;
+}
+
+// --- Write-write races ---------------------------------------------------------
+
+TEST(Oracle, DetectsConcurrentEpochWriteWriteRace) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(1, "x");
+  m.mem().init(x, std::uint32_t{0});
+  const auto done = m.make_barrier(2);
+  m.run(2, [&](Thread& t) {
+    // Both cores write the same word with no intervening sync.
+    t.compute(static_cast<Cycle>(10 + t.tid() * 30));
+    t.store<std::uint32_t>(x, static_cast<std::uint32_t>(t.tid() + 1));
+    t.barrier(done);
+  });
+  EXPECT_GE(m.stats().ops().oracle_write_races, 1u) << oracle.report();
+  bool saw_race = false;
+  for (const OracleViolation& v : oracle.violations())
+    saw_race = saw_race || v.kind == OracleViolation::Kind::WriteRace;
+  EXPECT_TRUE(saw_race);
+}
+
+TEST(Oracle, RacyAnnotationExemptsDeclaredRaces) {
+  // The Figure 6b pattern: identical access interleaving, but every access
+  // is declared racy and carries its word WB/INV — no violations.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(1, "x");
+  m.mem().init(x, std::uint32_t{0});
+  const auto done = m.make_barrier(2);
+  m.run(2, [&](Thread& t) {
+    t.compute(static_cast<Cycle>(10 + t.tid() * 30));
+    t.racy_store<std::uint32_t>(x, static_cast<std::uint32_t>(t.tid() + 1));
+    (void)t.racy_load<std::uint32_t>(x);
+    t.barrier(done);
+  });
+  EXPECT_EQ(oracle.total_violations(), 0u) << oracle.report();
+}
+
+TEST(Oracle, WordGranularityFalseSharingIsNotARace) {
+  // Disjoint words of ONE line written concurrently: per-word dirty bits
+  // make this safe in the incoherent hierarchy, and the per-word stamps must
+  // agree — flagging it would be a false positive.
+  Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr line = m.mem().alloc_array<std::uint32_t>(16, "line");
+  for (int i = 0; i < 16; ++i)
+    m.mem().init(line + static_cast<Addr>(i) * kU32, std::uint32_t{0});
+  const auto bar = m.make_barrier(4);
+  m.run(4, [&](Thread& t) {
+    t.store<std::uint32_t>(line + static_cast<Addr>(t.tid()) * kU32,
+                           static_cast<std::uint32_t>(t.tid() + 1));
+    t.barrier(bar);
+    // Cross-read after the barrier: every word must carry its writer's stamp.
+    (void)t.load<std::uint32_t>(
+        line + static_cast<Addr>((t.tid() + 1) % 4) * kU32);
+    t.barrier(bar);
+  });
+  EXPECT_EQ(oracle.total_violations(), 0u) << oracle.report();
+}
+
+// --- Lost updates on writeback/eviction ----------------------------------------
+
+TEST(Oracle, DetectsEvictionOrderedLostUpdate) {
+  // Core 0 writes x but its flag-set WB is elided, so a stale dirty copy
+  // lingers in its L1. Core 1 (happens-after) writes the newer value and
+  // publishes it. When core 0's copy is finally forced down (the INV-ALL of
+  // its later flag-wait writes back dirty lines first), the older stamp
+  // lands on the newer one: a lost update.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  m.add_fault_rule(parse_fault_rule("elide-wb:site=flag-set-wb:core=0"));
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(1, "x");
+  m.mem().init(x, std::uint32_t{0});
+  const auto ready = m.make_flag(0);
+  const auto back = m.make_flag(0);
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<std::uint32_t>(x, 1);
+      t.flag_set(ready, 1);  // WB-ALL elided: x stays dirty in core 0's L1
+      t.flag_wait(back, 1);  // INV-ALL forces the stale dirty copy down
+    } else {
+      t.flag_wait(ready, 1);
+      t.store<std::uint32_t>(x, 2);  // HB-after core 0's write: not a race
+      t.services().wb_range({x, kU32}, Level::L2);
+      t.flag_set(back, 1);
+    }
+  });
+  EXPECT_GE(m.stats().ops().oracle_lost_updates, 1u) << oracle.report();
+  bool saw_lost = false;
+  for (const OracleViolation& v : oracle.violations()) {
+    if (v.kind != OracleViolation::Kind::LostUpdate) continue;
+    saw_lost = true;
+    EXPECT_EQ(v.addr, x);
+    EXPECT_EQ(v.seen.core, 0);   // the stale overwriting stamp
+    EXPECT_EQ(v.truth.core, 1);  // the newer overwritten stamp
+  }
+  EXPECT_TRUE(saw_lost);
+}
+
+// --- Epoch wrap guard -----------------------------------------------------------
+
+TEST(Oracle, EpochWrapGuardTripsLoudly) {
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  CoherenceOracle oracle;
+  oracle.set_epoch_limit(4);
+  m.set_oracle(&oracle);
+  const auto bar = m.make_barrier(2);
+  EXPECT_THROW(m.run(2,
+                     [&](Thread& t) {
+                       for (int i = 0; i < 16; ++i) t.barrier(bar);
+                     }),
+               CheckFailure);
+}
+
+// --- FaultPlan reconciliation ---------------------------------------------------
+
+TEST(Oracle, ViolationMarksTheElideRecordDetected) {
+  // Without the oracle, an elided publish that the value monitor happens to
+  // miss would reconcile as silent/tolerated; the oracle's report claims it.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  m.add_fault_rule(parse_fault_rule("elide-wb:site=flag-set-wb:core=0"));
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr x = m.mem().alloc_array<std::uint32_t>(1, "x");
+  m.mem().init(x, std::uint32_t{7});
+  const auto f = m.make_flag(0);
+  m.run(2, [&](Thread& t) {
+    if (t.tid() == 0) {
+      t.store<std::uint32_t>(x, 7);  // same value: value monitor stays blind
+      t.flag_set(f, 1);
+    } else {
+      t.flag_wait(f, 1);
+      (void)t.load<std::uint32_t>(x);
+    }
+  });
+  ASSERT_GE(oracle.total_violations(), 1u);
+  ASSERT_EQ(m.fault_plan().records().size(), 1u);
+  EXPECT_TRUE(m.fault_plan().records().front().detected)
+      << "the oracle violation must attribute the elided annotation";
+  EXPECT_GE(m.stats().ops().detected_faults, 1u);
+}
+
+TEST(Oracle, CorruptLineViolationReconciles) {
+  // A corrupt-line fault rewrites words underneath the program. The oracle
+  // does not model data corruption (it is value-independent), but its
+  // FaultPlan hookup must not break the existing corrupt/drop reconcile
+  // path: records still classify, nothing stays silent.
+  Machine m(MachineConfig::intra_block(), Config::Base);
+  m.add_fault_rule(parse_fault_rule("corrupt-line:p=1.0:seed=11:n=2"));
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  const Addr arr = m.mem().alloc_array<std::uint64_t>(64, "arr");
+  for (int i = 0; i < 64; ++i)
+    m.mem().init(arr + static_cast<Addr>(i) * 8, std::uint64_t{0});
+  const auto bar = m.make_barrier(2);
+  m.run(2, [&](Thread& t) {
+    for (int i = 0; i < 32; ++i)
+      t.store<std::uint64_t>(arr + static_cast<Addr>(t.tid() * 32 + i) * 8,
+                             1);
+    t.barrier(bar);
+    for (int i = 0; i < 32; ++i)
+      (void)t.load<std::uint64_t>(
+          arr + static_cast<Addr>(((t.tid() + 1) % 2) * 32 + i) * 8);
+    t.barrier(bar);
+  });
+  const auto& recs = m.fault_plan().records();
+  ASSERT_GE(recs.size(), 1u);
+  for (const FaultRecord& r : recs)
+    EXPECT_TRUE(r.detected || r.tolerated) << "no fault may stay silent";
+}
+
+// --- Determinism ----------------------------------------------------------------
+
+TEST(Oracle, ViolationLogIsByteStableAcrossRuns) {
+  auto run_once = [] {
+    Machine m(MachineConfig::intra_block(), Config::Base);
+    m.add_fault_rule(parse_fault_rule("elide-wb:site=flag-set-wb:core=0"));
+    CoherenceOracle oracle;
+    m.set_oracle(&oracle);
+    const Addr x = m.mem().alloc_array<std::uint32_t>(8, "x");
+    for (int i = 0; i < 8; ++i)
+      m.mem().init(x + static_cast<Addr>(i) * kU32, std::uint32_t{0});
+    const auto f = m.make_flag(0);
+    m.run(2, [&](Thread& t) {
+      if (t.tid() == 0) {
+        for (int i = 0; i < 8; ++i)
+          t.store<std::uint32_t>(x + static_cast<Addr>(i) * kU32, 9);
+        t.flag_set(f, 1);
+      } else {
+        t.flag_wait(f, 1);
+        for (int i = 0; i < 8; ++i)
+          (void)t.load<std::uint32_t>(x + static_cast<Addr>(i) * kU32);
+      }
+    });
+    return oracle.to_json();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"oracle_schema\":1"), std::string::npos);
+  EXPECT_NE(a.find("\"stale_reads\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hic

@@ -24,9 +24,11 @@ import subprocess
 import sys
 
 # Must match kStatsSchemaVersion in src/stats/report.hpp. Result files written
-# before the version stamp existed load with a warning; a *different* version
-# is an error (field meanings may have changed).
-EXPECTED_SCHEMA_VERSION = 1
+# before the version stamp existed load with a warning; an *older* version is
+# also a warning (the host-timing fields this script reads — cycles,
+# median/min seconds — have been stable across versions), but a *newer*
+# version than this script knows is an error.
+EXPECTED_SCHEMA_VERSION = 2
 
 
 def check_schema(path: str, data: dict) -> None:
@@ -34,9 +36,13 @@ def check_schema(path: str, data: dict) -> None:
     if version is None:
         print(f"{path}: warning: no schema_version (pre-versioning file); "
               f"assuming v{EXPECTED_SCHEMA_VERSION}", file=sys.stderr)
-    elif version != EXPECTED_SCHEMA_VERSION:
-        sys.exit(f"{path}: schema_version {version} != expected "
-                 f"{EXPECTED_SCHEMA_VERSION} — regenerate the result file")
+    elif version < EXPECTED_SCHEMA_VERSION:
+        print(f"{path}: warning: schema_version {version} < "
+              f"{EXPECTED_SCHEMA_VERSION}; host-timing fields are stable, "
+              f"proceeding", file=sys.stderr)
+    elif version > EXPECTED_SCHEMA_VERSION:
+        sys.exit(f"{path}: schema_version {version} > expected "
+                 f"{EXPECTED_SCHEMA_VERSION} — update tools/bench_host.py")
 
 
 def load(path: str) -> dict:

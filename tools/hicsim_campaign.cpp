@@ -13,8 +13,11 @@
 // counters; without --out the aggregates go to stdout under "## <title>"
 // separators.
 //
-// Exit status: 0 on success, 1 on usage/spec errors, failed points, or
-// failed verification.
+// Exit status (common/exit_codes.hpp):
+//   0  every point ran (or resolved from cache/journal) and verified
+//   1  at least one point failed to run, or an output could not be written
+//   2  bad command line, or an unreadable/invalid campaign spec
+//   3  every point ran but at least one failed its workload verification
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -23,6 +26,7 @@
 #include <string>
 #include <system_error>
 
+#include "common/exit_codes.hpp"
 #include "exp/aggregator.hpp"
 #include "exp/campaign.hpp"
 #include "exp/journal.hpp"
@@ -51,8 +55,10 @@ int usage() {
       "                  bench binaries) plus summary.json\n"
       "  --csv           machine-readable tables (same as HIC_BENCH_CSV=1)\n"
       "  --quiet         no per-point progress on stderr\n"
-      "  --dry-run       print the expanded points and exit\n");
-  return 1;
+      "  --dry-run       print the expanded points and exit\n"
+      "exit status: 0 ok; 1 failed points / I/O; 2 bad flags or spec;\n"
+      "             3 verification failed\n");
+  return kExitUsage;
 }
 
 std::string aggregate_filename(const AggregateOutput& a, bool csv) {
@@ -119,8 +125,17 @@ int main(int argc, char** argv) {
   }
   if (spec_path.empty()) return usage();
 
+  Campaign loaded;
   try {
-    const Campaign c = Campaign::load(spec_path);
+    loaded = Campaign::load(spec_path);
+  } catch (const std::exception& e) {
+    // An unreadable or invalid spec is a bad invocation, not a run failure.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
+  }
+
+  try {
+    const Campaign& c = loaded;
 
     if (dry_run) {
       std::printf("campaign '%s': %zu points, %zu aggregates\n",
@@ -136,7 +151,7 @@ int main(int argc, char** argv) {
       for (const AggregateSpec& a : c.aggregates)
         std::printf("  aggregate: %s%s%s\n", a.kind.c_str(),
                     a.group.empty() ? "" : " <- ", a.group.c_str());
-      return 0;
+      return kExitOk;
     }
 
     std::unique_ptr<ResultCache> cache;
@@ -160,7 +175,7 @@ int main(int argc, char** argv) {
                  r.counters.failures);
     for (const std::string& e : r.errors)
       std::fprintf(stderr, "FAILED: %s\n", e.c_str());
-    if (!r.ok()) return 1;
+    if (!r.ok()) return kExitFailure;
 
     const auto aggs = aggregate_campaign(c, r, csv);
     if (out_dir.empty()) {
@@ -174,13 +189,13 @@ int main(int argc, char** argv) {
       if (ec) {
         std::fprintf(stderr, "cannot create --out directory '%s': %s\n",
                      out_dir.c_str(), ec.message().c_str());
-        return 1;
+        return kExitFailure;
       }
       for (const AggregateOutput& a : aggs) {
         const std::string path = out_dir + "/" + aggregate_filename(a, csv);
         if (!write_file(path, a.text)) {
           std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
-          return 1;
+          return kExitFailure;
         }
         std::fprintf(stderr, "wrote %s\n", path.c_str());
       }
@@ -188,18 +203,18 @@ int main(int argc, char** argv) {
       if (!write_file(summary, campaign_summary_json(c, r, aggs).dump() +
                                    "\n")) {
         std::fprintf(stderr, "cannot write '%s'\n", summary.c_str());
-        return 1;
+        return kExitFailure;
       }
       std::fprintf(stderr, "wrote %s\n", summary.c_str());
     }
 
     if (!r.all_verified()) {
       std::fprintf(stderr, "verification FAILED for at least one point\n");
-      return 1;
+      return kExitVerifyFailed;
     }
-    return 0;
+    return kExitOk;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
 }

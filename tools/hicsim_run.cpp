@@ -12,9 +12,21 @@
 // {"config": "<label>", "machine": {<dotted key>: value, ...}}; --set applies
 // single dotted-key overrides on top. Unknown keys are hard errors.
 //
-// Exit status: 0 on success (run completed and verified), 1 on usage,
-// verification failure, or a hang (deadlock/watchdog — the HangReport goes
-// to stderr).
+// --verify attaches the coherence oracle (verify/oracle.hpp): a
+// value-independent stale-read/race/lost-update detector driven by the
+// program's sync operations. --verify-out FILE additionally writes the
+// deterministic JSON violation log (and implies --verify).
+//
+// Exit status (common/exit_codes.hpp; the most severe condition wins):
+//   0  clean run (verification passed or was skipped cleanly)
+//   1  internal/runtime failure (unknown app, bad config file, I/O error)
+//   2  bad command line (unknown flag, missing value, unknown config label)
+//   3  workload verification failed (wrong results)
+//   4  hang: deadlock or livelock watchdog (HangReport on stderr;
+//      also the *expected* outcome of --demo deadlock|livelock)
+//   5  the coherence oracle reported at least one violation
+//   6  injected faults left unrecovered damage and --no-verify skipped the
+//      value check that would have judged it
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,10 +39,12 @@
 
 #include "apps/workload.hpp"
 #include "common/config_json.hpp"
+#include "common/exit_codes.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/thread.hpp"
 #include "stats/host_perf.hpp"
 #include "stats/report.hpp"
+#include "verify/oracle.hpp"
 
 using namespace hic;
 
@@ -62,6 +76,7 @@ int usage() {
                "usage: hicsim_run --app <name> --config <name|file.json> "
                "[--set key=value]...\n"
                "                  [--json] [--threads N] [--no-verify]\n"
+               "                  [--verify] [--verify-out FILE]\n"
                "                  [--meb N] [--ieb N] [--slack N] "
                "[--no-functional]\n"
                "                  [--inject <kind:k=v:...>]... [--max-cycles N]\n"
@@ -76,11 +91,17 @@ int usage() {
                "\"machine\": {\"meb_entries\": 4, ...}}\n"
                "--set keys:   canonical dotted machine-config keys "
                "(e.g. l1.size_bytes); unknown keys error\n"
+               "--verify:     attach the coherence oracle (exit 5 on any "
+               "violation)\n"
                "inject kinds: drop-wb drop-inv delay-wb delay-inv delay-noc "
-               "corrupt-line\n"
+               "corrupt-line elide-wb elide-inv\n"
                "inject keys:  p=<prob> seed=<u64> n=<max fires> "
-               "cycles=<delay> retries=<n>\n");
-  return 1;
+               "cycles=<delay> retries=<n>\n"
+               "              site=<annotation site> core=<core> "
+               "(elide-wb/elide-inv only)\n"
+               "exit codes:   0 ok, 1 error, 2 usage, 3 verify failed, "
+               "4 hang, 5 oracle violation, 6 unrecovered fault\n");
+  return kExitUsage;
 }
 
 // Deliberately hung workloads demonstrating the HangReport (docs/robustness.md
@@ -118,14 +139,16 @@ int run_demo(const std::string& which, Cycle max_cycles) {
     } else {
       std::fprintf(stderr, "unknown demo '%s' (deadlock|livelock)\n",
                    which.c_str());
-      return 1;
+      return kExitUsage;
     }
   } catch (const CheckFailure& e) {
+    // The demos exist to hang: the HangReport is the expected outcome, and
+    // the exit code is the taxonomy's hang code so scripts can assert it.
     std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+    return m.engine().hang_report().cores.empty() ? kExitFailure : kExitHang;
   }
   std::fprintf(stderr, "demo '%s' unexpectedly completed\n", which.c_str());
-  return 1;
+  return kExitFailure;
 }
 
 }  // namespace
@@ -144,6 +167,8 @@ int main(int argc, char** argv) {
   int meb = 0, ieb = 0;
   long slack = 0;
   long max_cycles = 0;
+  bool oracle_on = false;
+  std::string verify_out;
   std::string demo;
   std::string trace_out;
   std::string trace_filter = "all";
@@ -163,6 +188,17 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--no-verify") {
       verify = false;
+    } else if (arg == "--verify") {
+      oracle_on = true;
+    } else if (arg == "--verify-out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      verify_out = v;
+      oracle_on = true;
+    } else if (arg.rfind("--verify-out=", 0) == 0) {
+      verify_out = arg.substr(std::strlen("--verify-out="));
+      if (verify_out.empty()) return usage();
+      oracle_on = true;
     } else if (arg == "--app") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -245,7 +281,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--trace-out is incompatible with --time: recording events "
                  "perturbs the host-perf measurement\n");
-    return 1;
+    return kExitUsage;
+  }
+  if (oracle_on && time_mode) {
+    std::fprintf(stderr,
+                 "--verify is incompatible with --time: the oracle's stamp "
+                 "tracking perturbs the host-perf measurement\n");
+    return kExitUsage;
   }
 
   try {
@@ -283,7 +325,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown config '%s' for %s-block app '%s'\n",
                    config_label.c_str(),
                    w->inter_block() ? "inter" : "intra", app.c_str());
-      return 1;
+      return kExitUsage;
     }
     if (meb > 0) mc.meb_entries = meb;
     if (ieb > 0) mc.ieb_entries = ieb;
@@ -331,9 +373,9 @@ int main(int argc, char** argv) {
         if (!json)
           std::printf("verification: %s%s%s\n", r.ok ? "ok" : "FAILED",
                       r.detail.empty() ? "" : " — ", r.detail.c_str());
-        return r.ok ? 0 : 1;
+        return r.ok ? kExitOk : kExitVerifyFailed;
       }
-      return 0;
+      return kExitOk;
     }
 
     Machine m(mc, *cfg);
@@ -349,14 +391,22 @@ int main(int argc, char** argv) {
       tracer = std::make_unique<Tracer>(topts);
       m.set_tracer(tracer.get());
     }
-    const Cycle cycles = run_workload(*w, m, n);
+    CoherenceOracle oracle;
+    if (oracle_on) m.set_oracle(&oracle);
+    Cycle cycles = 0;
+    try {
+      cycles = run_workload(*w, m, n);
+    } catch (const CheckFailure& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return m.engine().hang_report().cores.empty() ? kExitFailure : kExitHang;
+    }
     if (tracer != nullptr) {
       tracer->finish(m.exec_cycles());
       std::ofstream os(trace_out, std::ios::binary);
       if (!os) {
         std::fprintf(stderr, "cannot open trace output '%s'\n",
                      trace_out.c_str());
-        return 1;
+        return kExitFailure;
       }
       tracer->export_json(os, &m.stats());
       if (!json)
@@ -378,8 +428,11 @@ int main(int argc, char** argv) {
       if (!m.fault_plan().empty())
         std::printf("\n%s", m.fault_plan().summary().c_str());
     }
-    int rc = 0;
+    int rc = kExitOk;
     if (verify) {
+      // Note the order: the workload's value verification reads results
+      // through the hierarchy, so with the oracle attached it doubles as a
+      // final stale-state audit of the published data.
       const WorkloadResult r = w->verify(m);
       if (json) {
         std::printf(",\"verified\":%s", r.ok ? "true" : "false");
@@ -387,12 +440,36 @@ int main(int argc, char** argv) {
         std::printf("verification: %s%s%s\n", r.ok ? "ok" : "FAILED",
                     r.detail.empty() ? "" : " — ", r.detail.c_str());
       }
-      rc = r.ok ? 0 : 1;
+      if (!r.ok) rc = kExitVerifyFailed;
+    } else if (m.stats().ops().detected_faults > 0) {
+      // --no-verify used to exit 0 here even though injected faults left
+      // visible unrepaired damage; make that state loud.
+      rc = kExitFault;
+    }
+    if (oracle_on) {
+      if (json) {
+        std::printf(",\"oracle\":%s", oracle.to_json().c_str());
+      } else {
+        std::printf("%s", oracle.report().c_str());
+      }
+      if (!verify_out.empty()) {
+        std::ofstream os(verify_out, std::ios::binary);
+        if (!os) {
+          std::fprintf(stderr, "cannot open violation log '%s'\n",
+                       verify_out.c_str());
+          if (json) std::printf("}\n");
+          return kExitFailure;
+        }
+        os << oracle.to_json() << '\n';
+      }
+      // An oracle violation outranks a value-verification failure: it names
+      // the root cause the value check can only observe downstream.
+      if (oracle.total_violations() > 0) rc = kExitOracle;
     }
     if (json) std::printf("}\n");
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
 }
