@@ -3,8 +3,8 @@
 // Every tool maps its outcome onto these codes so scripts and CI can
 // distinguish failure classes without parsing stdout.  Documented in
 // docs/robustness.md; asserted by the cli_exit_codes.sh test.  When several
-// apply, the most severe wins: hang > oracle violation > verification
-// failure > unrecovered injected fault.
+// apply, the most severe wins: hang > recovery gave up > oracle violation >
+// verification failure > unrecovered injected fault.
 #pragma once
 
 namespace hic {
@@ -17,6 +17,8 @@ enum ExitCode : int {
   kExitHang = 4,         // deadlock/watchdog hang detected and diagnosed
   kExitOracle = 5,       // CoherenceOracle reported >= 1 violation
   kExitFault = 6,        // injected fault neither detected nor tolerated
+  kExitUnrecoverable = 7,// recovery attached but gave up on some data
+                         // (retransmit cap hit) — Recovery::Unrecoverable
 };
 
 }  // namespace hic

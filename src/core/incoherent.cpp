@@ -5,6 +5,7 @@
 #include <cstdio>  // the HIC_TRACE_STALE debug hook
 #include <cstring>
 
+#include "resil/resil.hpp"
 #include "verify/oracle.hpp"
 
 namespace hic {
@@ -83,6 +84,8 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
           inv_pen += c;
         }
         l1.invalidate(*l);
+        if (resil_ != nullptr && resil_->has_flips())
+          resil_->forget(core, line);
         if (oracle_ != nullptr) oracle_->on_inv_l1(core, line);
         l = nullptr;
         refreshed_resident = true;
@@ -109,6 +112,11 @@ AccessOutcome IncoherentHierarchy::read(CoreId core, Addr a,
 
   bool stale = false;
   if (l1.has_data()) {
+    // ECC: repair outstanding injected flips before the value leaves the L1
+    // (a corrected word charges the repair latency; an uncorrectable word is
+    // restored and the frame takes a quarantine strike).
+    if (resil_ != nullptr && resil_->has_flips())
+      lat += resil_->repair(core, line, l1.data_of(*l), false);
     std::memcpy(out, l1.data_of(*l).data() + (a - line), bytes);
     // Staleness monitor: compare against the instantly-coherent shadow.
     // The knob only suppresses the stats-side shadow read + memcmp (cycles
@@ -170,13 +178,30 @@ AccessOutcome IncoherentHierarchy::write(CoreId core, Addr a,
     std::memcpy(l1.data_of(*l).data() + (a - line), in, bytes);
   gmem_->shadow_write_raw(a, in, bytes);
   if (oracle_ != nullptr) oracle_->on_store(core, a, bytes);
-  // Fault injection: flip one bit of the cached copy only (the shadow keeps
-  // the true value, so the corruption is observable as a stale read).
+  // Fault injection: flip bits of the cached copy only (the shadow keeps the
+  // true value, so the corruption is observable as a stale read). With a
+  // recovery manager attached each flip is journaled — the ECC model repairs
+  // a single flipped bit per word, and restores-but-quarantines on multi-bit
+  // damage — and the store first clears any journal entries it overwrites.
   if (fault_plan_ != nullptr && l1.has_data()) {
-    std::uint32_t bit = 0;
-    if (fault_plan_->should_corrupt_store(core, line, bytes, mask, &bit)) {
-      l1.data_of(*l)[(a - line) + bit / 8] ^=
-          std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    if (resil_ != nullptr && resil_->has_flips())
+      resil_->note_store(core, line, static_cast<std::uint32_t>(a - line),
+                         bytes);
+    std::uint32_t bits[8];
+    const std::size_t rec = fault_plan_->record_count();
+    const int n = fault_plan_->should_corrupt_store(core, line, bytes, mask,
+                                                    bits, 8);
+    if (n > 0) {
+      auto data = l1.data_of(*l);
+      for (int i = 0; i < n; ++i) {
+        const auto off =
+            static_cast<std::uint32_t>(a - line) + bits[i] / 8;
+        const auto bit = static_cast<std::uint8_t>(1u << (bits[i] % 8));
+        if (resil_ != nullptr)
+          resil_->register_flip(core, line, off, bit,
+                                static_cast<std::uint8_t>(data[off]), rec);
+        data[off] ^= std::byte{bit};
+      }
     }
   }
   return {lat, hit, false, 0};
@@ -347,10 +372,27 @@ void IncoherentHierarchy::push_words_to_dram(Addr line,
 
 void IncoherentHierarchy::handle_l1_eviction(CoreId core,
                                              const EvictedLine& ev) {
-  if (ev.dirty_mask == 0) return;
+  if (ev.dirty_mask == 0) {
+    // A clean line left L1; any journaled flips on it vanished with it.
+    if (resil_ != nullptr && resil_->has_flips())
+      resil_->forget(core, ev.line_addr);
+    return;
+  }
   trace_cache("l1_evict", ev.line_addr);
-  push_words_to_l2(cfg_.block_of(core), ev.line_addr,
-                   {ev.data.data(), ev.data.size()}, ev.dirty_mask);
+  if (resil_ != nullptr && resil_->has_flips() && !ev.data.empty()) {
+    // ECC checks the outgoing copy in the victim buffer; the repair steals
+    // buffer cycles rather than core time, so no latency is charged here.
+    EvictedLine fixed = ev;
+    resil_->repair(core, fixed.line_addr, {fixed.data.data(), fixed.data.size()},
+                   /*scrubbing=*/false);
+    push_words_to_l2(cfg_.block_of(core), fixed.line_addr,
+                     {fixed.data.data(), fixed.data.size()}, fixed.dirty_mask);
+  } else {
+    if (resil_ != nullptr && resil_->has_flips())
+      resil_->forget(core, ev.line_addr);
+    push_words_to_l2(cfg_.block_of(core), ev.line_addr,
+                     {ev.data.data(), ev.data.size()}, ev.dirty_mask);
+  }
   if (oracle_ != nullptr)
     oracle_->on_wb_l1_to_l2(core, ev.line_addr, ev.dirty_mask);
 }
@@ -375,16 +417,117 @@ void IncoherentHierarchy::handle_l3_eviction(const EvictedLine& ev) {
 
 // --- WB / INV instructions (§III-B) -----------------------------------------------
 
+// Reliable-delivery wrapper around the drop-WB / drop-INV injection points.
+// Each loop iteration draws the fault rule once more: a firing rule models
+// the loss of that attempt's message (or of its ACK), and the sender
+// retransmits after the timeout with exponential backoff until an attempt
+// survives or the cap is exhausted. Every fault record the loop appends is
+// classified Retried (delivered eventually) or Unrecoverable (gave up).
+// Returns whether the transfer was delivered; adds the recovery latency to
+// `lat`. Only called with a ResilienceManager attached.
+bool IncoherentHierarchy::reliable_send(CoreId core, Addr line, FaultKind kind,
+                                        std::uint64_t mask, Cycle& lat) {
+  HIC_DCHECK(kind == FaultKind::DropWb || kind == FaultKind::DropInv);
+  const bool is_wb = kind == FaultKind::DropWb;
+  const std::size_t first = fault_plan_->record_count();
+  const NodeId src = topo_.core_node(core);
+  const NodeId dst =
+      topo_.l2_bank_node(cfg_.block_of(core), topo_.l2_bank_of(line));
+  const ResilOptions& o = resil_->opts();
+  resil_->next_seq(core);  // every transfer carries a fresh sequence number
+  bool delivered = true;
+  int failures = 0;
+  while (is_wb ? fault_plan_->should_drop_wb(core, line, mask)
+               : fault_plan_->should_drop_inv(core, line)) {
+    ++failures;
+    if (resil_->ack_lost()) {
+      // The payload arrived and only the ACK was lost: the timed-out sender
+      // retransmits once more and the receiver suppresses the copy as a
+      // duplicate of an already-applied sequence number.
+      lat += topo_.retransmit_latency(src, dst, failures, o.retry_timeout,
+                                      o.backoff_base, o.backoff_cap,
+                                      resil_->jitter());
+      resil_->note_retransmit();
+      resil_->note_dup_suppressed();
+      trace_cache("resil_dup_suppressed", line);
+      break;
+    }
+    if (failures >= o.max_attempts) {
+      // Retransmit cap exhausted: the transfer is abandoned and behaves like
+      // a legacy (unrecovered) drop; the run will exit Unrecoverable.
+      lat += o.retry_timeout;
+      delivered = false;
+      break;
+    }
+    lat += topo_.retransmit_latency(src, dst, failures, o.retry_timeout,
+                                    o.backoff_base, o.backoff_cap,
+                                    resil_->jitter());
+    resil_->note_retransmit();
+    trace_cache("resil_retransmit", line);
+  }
+  if (fault_plan_->record_count() > first) {
+    fault_plan_->mark_recovery(
+        first, delivered ? Recovery::Retried : Recovery::Unrecoverable);
+    if (!delivered) {
+      resil_->note_unrecoverable();
+      trace_cache("resil_unrecoverable", line);
+    }
+  }
+  return delivered;
+}
+
+// --- Recovery-manager callbacks (bound by the Machine) ------------------------
+
+void IncoherentHierarchy::scrub_line(CoreId core, Addr line) {
+  Cache& l1 = l1_of(core);
+  CacheLine* l = l1.find(line);
+  if (l == nullptr || !l1.has_data()) {
+    // The journal outlived the cached copy (or we run timing-only);
+    // nothing to scrub.
+    if (resil_ != nullptr) resil_->forget(core, line);
+    return;
+  }
+  trace_cache("resil_scrub", line);
+  resil_->repair(core, line, l1.data_of(*l), /*scrubbing=*/true);
+}
+
+bool IncoherentHierarchy::quarantine_l1_way(CoreId core, Addr line) {
+  const bool ok = l1_of(core).quarantine_frame_of(line);
+  if (ok) trace_cache("resil_quarantine", line);
+  return ok;
+}
+
+std::uint32_t IncoherentHierarchy::degrade_block(BlockId block) {
+  std::uint32_t ways = 0;
+  const CoreId lo = block * cfg_.cores_per_block;
+  for (CoreId c = lo; c < lo + cfg_.cores_per_block; ++c)
+    ways += l1_of(c).quarantine_all_but_one();
+  trace_cache("resil_degrade_block", 0);
+  return ways;
+}
+
 Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
   Cycle lat = 1;  // tag check
   Cache& l1 = l1_of(core);
   const BlockId block = cfg_.block_of(core);
   if (CacheLine* l = l1.find(line); l != nullptr && l->dirty()) {
+    // ECC: repair any journaled flips before the words leave the L1.
+    if (resil_ != nullptr && resil_->has_flips() && l1.has_data())
+      lat += resil_->repair(core, line, l1.data_of(*l), false);
     // Fault injection: the WB message is lost AFTER the cache marked the
     // line clean — the update silently never reaches the shared level (the
-    // paper's Fig. 4 failure mode, §IV). Timing is unchanged.
-    if (fault_plan_ != nullptr &&
-        fault_plan_->should_drop_wb(core, line, l->dirty_mask)) {
+    // paper's Fig. 4 failure mode, §IV). Timing is unchanged. With recovery
+    // attached the transfer is sequence-numbered and retransmitted on
+    // timeout, so a drop costs only latency unless the cap is exhausted.
+    bool delivered = true;
+    if (fault_plan_ != nullptr) {
+      delivered =
+          resil_ == nullptr
+              ? !fault_plan_->should_drop_wb(core, line, l->dirty_mask)
+              : reliable_send(core, line, FaultKind::DropWb, l->dirty_mask,
+                              lat);
+    }
+    if (!delivered) {
       l1.clear_dirty(*l);
       lat += cfg_.costs.per_line_writeback_cycles;
     } else {
@@ -424,15 +567,21 @@ Cycle IncoherentHierarchy::inv_line(CoreId core, Addr line, Level from) {
   const bool also_l2 = from == Level::L2 || from == Level::L3;
   // Fault injection: the INV message is lost and the (possibly stale) cached
   // copy survives. Only fires when a copy actually exists, so every injected
-  // drop is a real sabotage opportunity rather than a no-op.
-  if (l1.find(line) != nullptr && fault_plan_ != nullptr &&
-      fault_plan_->should_drop_inv(core, line)) {
-    return lat;
+  // drop is a real sabotage opportunity rather than a no-op. With recovery
+  // attached the INV is a reliable transfer and a drop only costs latency.
+  if (l1.find(line) != nullptr && fault_plan_ != nullptr) {
+    const bool delivered =
+        resil_ == nullptr ? !fault_plan_->should_drop_inv(core, line)
+                          : reliable_send(core, line, FaultKind::DropInv, 0,
+                                          lat);
+    if (!delivered) return lat;
   }
   if (CacheLine* l = l1.find(line)) {
     if (l->dirty()) {
       // §III-B: dirty data is written back before the line is invalidated,
-      // so INV never loses co-located updates.
+      // so INV never loses co-located updates. ECC repairs the copy first.
+      if (resil_ != nullptr && resil_->has_flips() && l1.has_data())
+        lat += resil_->repair(core, line, l1.data_of(*l), false);
       std::span<const std::byte> data;
       if (l1.has_data()) data = l1.data_of(*l);
       push_words_to_l2(block, line, data, l->dirty_mask);
@@ -441,6 +590,7 @@ Cycle IncoherentHierarchy::inv_line(CoreId core, Addr line, Level from) {
       lat += cfg_.costs.per_line_writeback_cycles;
     }
     l1.invalidate(*l);
+    if (resil_ != nullptr && resil_->has_flips()) resil_->forget(core, line);
     if (oracle_ != nullptr) oracle_->on_inv_l1(core, line);
     ++stats_->ops().lines_invalidated;
   }

@@ -92,6 +92,17 @@ class IncoherentHierarchy final : public HierarchyBase {
   bool peek_level(Level lv, CoreId core_or_block, Addr a, void* out,
                   std::uint32_t bytes) const;
 
+  // --- Recovery-manager callbacks (bound by the Machine) -------------------
+  /// Scrubber target: repairs the cached copy of (core, line) in place, or
+  /// drops the flip journal entry if the line is no longer resident.
+  void scrub_line(CoreId core, Addr line);
+  /// Quarantines the L1 frame currently holding (core, line); false if the
+  /// frame must stay (last usable way of its set) or the line is absent.
+  bool quarantine_l1_way(CoreId core, Addr line);
+  /// Degrades every L1 of `block` to one usable way per set (graceful
+  /// cluster degradation); returns the number of ways newly quarantined.
+  std::uint32_t degrade_block(BlockId block);
+
   /// Fault reconciliation: true if the injected fault is still observable —
   /// the value a consumer (or, for dropped INVs / corrupted stores, the
   /// faulted core itself) would read for the line disagrees with the
@@ -147,6 +158,12 @@ class IncoherentHierarchy final : public HierarchyBase {
   /// Invalidates one line from L1 (and from L2 when `from` is L2), writing
   /// dirty words back first per §III-B. Returns per-line latency.
   Cycle inv_line(CoreId core, Addr line, Level from);
+  /// Reliable-delivery loop for the drop-WB / drop-INV injection points:
+  /// retransmits with timeout + exponential backoff until delivered or the
+  /// attempt cap is hit. Adds latency to `lat`; returns delivered. Requires
+  /// an attached ResilienceManager.
+  bool reliable_send(CoreId core, Addr line, FaultKind kind,
+                     std::uint64_t mask, Cycle& lat);
 
   [[nodiscard]] Cycle traversal_cycles(std::uint32_t lines) const {
     return (lines + cfg_.costs.tags_checked_per_cycle - 1) /

@@ -95,6 +95,8 @@ std::vector<AggregateOutput> aggregate_campaign(const Campaign& c,
         a.text = agg::render_energy(g.apps, g.set, csv);
       } else if (spec.kind == "summary") {
         a.text = agg::render_summary(g.set, csv);
+      } else if (spec.kind == "survivability") {
+        a.text = agg::render_survivability(g.set, csv);
       } else {
         HIC_CHECK_MSG(false, "unknown aggregate kind '" << spec.kind << "'");
       }
@@ -121,6 +123,24 @@ Json campaign_summary_json(const Campaign& c, const CampaignResults& r,
   j.set("failures",
         Json::integer(static_cast<std::int64_t>(r.counters.failures)));
   j.set("all_verified", Json::boolean(r.all_verified()));
+  // Recovery roll-up across every resolved point: lets smoke scripts assert
+  // "some faults were corrected/retried and nothing was abandoned" without
+  // parsing the rendered survivability table.
+  std::uint64_t corrected = 0, retried = 0, quarantined = 0, unrecov = 0;
+  for (const auto& p : r.by_point) {
+    if (!p.has_value()) continue;
+    corrected += p->ops.resil_corrected;
+    retried += p->ops.resil_retried;
+    quarantined += p->ops.resil_quarantined;
+    unrecov += p->ops.resil_unrecoverable;
+  }
+  j.set("resil_corrected",
+        Json::integer(static_cast<std::int64_t>(corrected)));
+  j.set("resil_retried", Json::integer(static_cast<std::int64_t>(retried)));
+  j.set("resil_quarantined",
+        Json::integer(static_cast<std::int64_t>(quarantined)));
+  j.set("resil_unrecoverable",
+        Json::integer(static_cast<std::int64_t>(unrecov)));
   Json list = Json::array();
   for (const AggregateOutput& a : aggs) {
     Json e = Json::object();

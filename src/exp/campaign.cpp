@@ -8,6 +8,7 @@
 #include "apps/workload.hpp"
 #include "common/check.hpp"
 #include "fault/fault_plan.hpp"
+#include "resil/resil.hpp"
 #include "stats/report.hpp"
 
 namespace hic::exp {
@@ -70,6 +71,10 @@ std::string point_digest(const CampaignPoint& pt) {
     for (const std::string& spec : pt.inject) arr.push_back(Json::string(spec));
     key.set("inject", arr);
   }
+  if (pt.recover) {
+    // Same rule: recovery-off digests must not move.
+    key.set("recover", Json::string(pt.resil_spec));
+  }
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(fnv1a64(key.dump())));
@@ -85,7 +90,7 @@ Campaign Campaign::parse(const Json& spec) {
   for (const Json& g : spec.at("groups").items()) {
     check_keys(g,
                {"name", "workloads", "configs", "machine", "threads", "seed",
-                "repeat", "inject"},
+                "repeat", "inject", "recover"},
                "campaign group");
     const std::string gname = g.at("name").as_string();
     HIC_CHECK_MSG(group_names.insert(gname).second,
@@ -146,6 +151,18 @@ Campaign Campaign::parse(const Json& spec) {
         (void)parse_fault_rule(spec);  // validate now, not mid-campaign
         inject.push_back(spec);
       }
+    }
+    bool recover = false;
+    std::string resil_spec;
+    if (const Json* rv = g.find("recover")) {
+      if (rv->is_bool()) {
+        recover = rv->as_bool();
+      } else {
+        resil_spec = rv->as_string();
+        recover = true;
+      }
+      if (recover)
+        (void)parse_resil_options(resil_spec);  // validate now, not mid-run
     }
     HIC_CHECK_MSG(repeat >= 1, "group '" << gname << "': repeat must be >= 1");
     HIC_CHECK_MSG(threads_spec >= 0,
@@ -208,6 +225,8 @@ Campaign Campaign::parse(const Json& spec) {
           pt.seed = seed;
           pt.repeat = repeat;
           pt.inject = inject;
+          pt.recover = recover;
+          pt.resil_spec = resil_spec;
           pt.digest = point_digest(pt);
           c.points.push_back(std::move(pt));
         }
@@ -232,8 +251,8 @@ Campaign Campaign::parse(const Json& spec) {
   HIC_CHECK_MSG(!c.points.empty(), "campaign expands to zero points");
 
   static const std::set<std::string> kKinds = {
-      "table1", "fig9", "fig10", "fig11", "fig12",
-      "energy", "storage", "summary"};
+      "table1", "fig9",    "fig10",   "fig11",        "fig12",
+      "energy", "storage", "summary", "survivability"};
   for (const Json& a : spec.at("aggregates").items()) {
     check_keys(a, {"kind", "group"}, "campaign aggregate");
     AggregateSpec as;

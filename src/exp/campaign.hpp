@@ -65,11 +65,17 @@ struct CampaignPoint {
   /// every run of this point. Folded into the digest only when non-empty,
   /// so fault-free campaigns keep their cached results.
   std::vector<std::string> inject;
+  /// Recovery subsystem (src/resil): enabled per group via the "recover"
+  /// key (true = defaults, or a parse_resil_options spec string). Folded
+  /// into the digest only when enabled, mirroring `inject`.
+  bool recover = false;
+  std::string resil_spec;
   std::string digest;  ///< content digest — the cache/journal key
 };
 
 struct AggregateSpec {
-  std::string kind;   ///< fig9|fig10|fig11|fig12|table1|energy|storage|summary
+  /// fig9|fig10|fig11|fig12|table1|energy|storage|summary|survivability
+  std::string kind;
   std::string group;  ///< source group ("" for kinds that need no points)
 };
 

@@ -8,6 +8,17 @@
 
 namespace hic {
 
+const char* to_string(Recovery r) {
+  switch (r) {
+    case Recovery::None: return "none";
+    case Recovery::Corrected: return "corrected";
+    case Recovery::Retried: return "retried";
+    case Recovery::Quarantined: return "quarantined";
+    case Recovery::Unrecoverable: return "unrecoverable";
+  }
+  return "?";
+}
+
 const char* to_string(FaultKind k) {
   switch (k) {
     case FaultKind::DropWb: return "drop-wb";
@@ -86,6 +97,12 @@ FaultRule parse_fault_rule(const std::string& spec) {
                       "fault spec '" << spec
                                      << "': retries must be in [1,64], got '"
                                      << val << "'");
+      } else if (key == "bits") {
+        r.bits = static_cast<std::uint32_t>(std::stoul(val, &used));
+        HIC_CHECK_MSG(used == val.size() && r.bits >= 1 && r.bits <= 8,
+                      "fault spec '" << spec
+                                     << "': bits must be in [1,8], got '"
+                                     << val << "'");
       } else if (key == "site") {
         const auto site = parse_anno_site(val);
         HIC_CHECK_MSG(site.has_value(),
@@ -131,6 +148,9 @@ FaultRule parse_fault_rule(const std::string& spec) {
                                  << "': site=/core= only apply to elide-wb / "
                                     "elide-inv");
   }
+  HIC_CHECK_MSG(r.bits == 1 || r.kind == FaultKind::CorruptLine,
+                "fault spec '" << spec
+                               << "': bits= only applies to corrupt-line");
   return r;
 }
 
@@ -141,7 +161,19 @@ bool FaultPlan::ArmedRule::draw() {
   return true;
 }
 
-void FaultPlan::add_rule(const FaultRule& r) { rules_.emplace_back(r); }
+void FaultPlan::add_rule(const FaultRule& r) {
+  rules_.emplace_back(r, rules_.size());
+}
+
+std::uint64_t FaultPlan::stream_seed(std::uint64_t seed, std::uint64_t index) {
+  // SplitMix64 finalizer over (seed, index): rules with equal seeds get
+  // independent streams, and the stream for rule i never depends on how many
+  // rules follow it.
+  std::uint64_t z = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 bool FaultPlan::has_functional_rules() const {
   for (const auto& a : rules_)
@@ -190,15 +222,27 @@ int FaultPlan::noc_retries(CoreId core) {
   return a->rule.retries;
 }
 
-bool FaultPlan::should_corrupt_store(CoreId core, Addr line,
-                                     std::uint32_t bytes, std::uint64_t mask,
-                                     std::uint32_t* flip_bit_out) {
+int FaultPlan::should_corrupt_store(CoreId core, Addr line,
+                                    std::uint32_t bytes, std::uint64_t mask,
+                                    std::uint32_t* flip_bits_out,
+                                    int max_bits) {
   ArmedRule* a = fire(FaultKind::CorruptLine);
-  if (a == nullptr) return false;
-  *flip_bit_out = static_cast<std::uint32_t>(
-      a->rng.next_below(std::uint64_t{bytes} * 8));
+  if (a == nullptr) return 0;
+  const std::uint64_t space = std::uint64_t{bytes} * 8;
+  int want = static_cast<int>(a->rule.bits);
+  if (want > max_bits) want = max_bits;
+  if (static_cast<std::uint64_t>(want) > space)
+    want = static_cast<int>(space);
+  int n = 0;
+  while (n < want) {
+    const auto bit = static_cast<std::uint32_t>(a->rng.next_below(space));
+    bool dup = false;
+    for (int i = 0; i < n; ++i) dup = dup || flip_bits_out[i] == bit;
+    if (dup) continue;  // re-draw deterministically until distinct
+    flip_bits_out[n++] = bit;
+  }
   records_.push_back({FaultKind::CorruptLine, core, line, mask, false, false});
-  return true;
+  return n;
 }
 
 bool FaultPlan::should_elide_wb(CoreId core, AnnoSite site) {
@@ -240,6 +284,19 @@ void FaultPlan::on_oracle_violation(Addr line) {
   }
 }
 
+void FaultPlan::mark_recovery(std::size_t first, Recovery rec) {
+  for (std::size_t i = first; i < records_.size(); ++i) mark_recovery_at(i, rec);
+}
+
+void FaultPlan::mark_recovery_at(std::size_t index, Recovery rec) {
+  HIC_CHECK(index < records_.size());
+  FaultRecord& r = records_[index];
+  r.recovery = rec;
+  // Corrected/Retried/Quarantined all mean the coherent value was restored;
+  // Unrecoverable stays open so reconcile's visibility check still runs.
+  if (rec != Recovery::Unrecoverable) r.tolerated = true;
+}
+
 void FaultPlan::reconcile(
     SimStats& stats,
     const std::function<bool(const FaultRecord&)>& still_visible) {
@@ -254,6 +311,10 @@ void FaultPlan::reconcile(
   stats.ops().injected_faults = injected();
   stats.ops().detected_faults = detected();
   stats.ops().tolerated_faults = tolerated();
+  stats.ops().resil_corrected = recovered(Recovery::Corrected);
+  stats.ops().resil_retried = recovered(Recovery::Retried);
+  stats.ops().resil_quarantined = recovered(Recovery::Quarantined);
+  stats.ops().resil_unrecoverable = recovered(Recovery::Unrecoverable);
 }
 
 std::uint64_t FaultPlan::detected() const {
@@ -268,29 +329,59 @@ std::uint64_t FaultPlan::tolerated() const {
   return n;
 }
 
+std::uint64_t FaultPlan::recovered(Recovery rec) const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_) n += r.recovery == rec ? 1 : 0;
+  return n;
+}
+
 std::string FaultPlan::summary() const {
   constexpr FaultKind kKinds[] = {FaultKind::DropWb,   FaultKind::DropInv,
                                   FaultKind::DelayWb,  FaultKind::DelayInv,
                                   FaultKind::DelayNoc, FaultKind::CorruptLine,
                                   FaultKind::ElideWb,  FaultKind::ElideInv};
-  TextTable t({"fault", "injected", "detected", "tolerated"});
-  for (FaultKind k : kKinds) {
+  const bool any_recovery = [this] {
+    for (const auto& r : records_)
+      if (r.recovery != Recovery::None) return true;
+    return false;
+  }();
+  std::vector<std::string> head = {"fault", "injected", "detected",
+                                   "tolerated"};
+  if (any_recovery) {
+    head.insert(head.end(),
+                {"corrected", "retried", "quarantined", "unrecoverable"});
+  }
+  TextTable t(head);
+  auto add = [&](const char* name, auto pred) {
     std::uint64_t inj = 0, det = 0, tol = 0;
+    std::uint64_t rec[4] = {0, 0, 0, 0};
     for (const auto& r : records_) {
-      if (r.kind != k) continue;
+      if (!pred(r)) continue;
       ++inj;
       if (r.detected) {
         ++det;
       } else if (r.tolerated) {
         ++tol;
       }
+      switch (r.recovery) {
+        case Recovery::Corrected: ++rec[0]; break;
+        case Recovery::Retried: ++rec[1]; break;
+        case Recovery::Quarantined: ++rec[2]; break;
+        case Recovery::Unrecoverable: ++rec[3]; break;
+        case Recovery::None: break;
+      }
     }
-    if (inj == 0) continue;
-    t.add_row({to_string(k), std::to_string(inj), std::to_string(det),
-               std::to_string(tol)});
-  }
-  t.add_row({"total", std::to_string(injected()), std::to_string(detected()),
-             std::to_string(tolerated())});
+    if (inj == 0) return false;
+    std::vector<std::string> row = {name, std::to_string(inj),
+                                    std::to_string(det), std::to_string(tol)};
+    if (any_recovery)
+      for (std::uint64_t v : rec) row.push_back(std::to_string(v));
+    t.add_row(row);
+    return true;
+  };
+  for (FaultKind k : kKinds)
+    add(to_string(k), [k](const FaultRecord& r) { return r.kind == k; });
+  add("total", [](const FaultRecord&) { return true; });
   std::ostringstream os;
   os << t.render();
   if (noc_delay_cycles_ > 0)

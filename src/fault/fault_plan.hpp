@@ -57,6 +57,10 @@ struct FaultRule {
   Cycle delay_cycles = 200;
   /// DelayNoc: retry attempts charged through ChipTopology::retry_latency.
   int retries = 3;
+  /// CorruptLine: bits flipped per fired fault, in [1,8]. One bit is the
+  /// SECDED-correctable case; two or more in one word are detected-
+  /// uncorrectable and escalate to recovery.
+  std::uint32_t bits = 1;
   /// ElideWb/ElideInv: the annotation site to mutate (required for those).
   AnnoSite site = AnnoSite::kNone;
   /// ElideWb/ElideInv: restrict the mutation to one core (-1 = all cores).
@@ -69,6 +73,18 @@ struct FaultRule {
 /// Throws CheckFailure naming the bad token.
 [[nodiscard]] FaultRule parse_fault_rule(const std::string& spec);
 
+/// How the recovery subsystem (src/resil) disposed of an injected fault.
+/// None means no recovery was attached (or the fault never reached a
+/// recovery path); the detected/tolerated classification still applies.
+enum class Recovery : std::uint8_t {
+  None,           ///< no recovery action taken
+  Corrected,      ///< single-bit ECC error repaired in place
+  Retried,        ///< dropped WB/INV delivered by a retransmission
+  Quarantined,    ///< uncorrectable error; data restored, way quarantined
+  Unrecoverable,  ///< retransmit cap / error budget exceeded (exit code 7)
+};
+[[nodiscard]] const char* to_string(Recovery r);
+
 /// One injected fault, kept for reconciliation and reporting.
 struct FaultRecord {
   FaultKind kind;
@@ -78,6 +94,7 @@ struct FaultRecord {
   bool detected = false;   ///< observed by the staleness monitor / reconcile
   bool tolerated = false;  ///< provably converged (or timing-only)
   AnnoSite site = AnnoSite::kNone;  ///< elided annotation site (elide-* only)
+  Recovery recovery = Recovery::None;  ///< resil disposition (if attached)
 };
 
 class FaultPlan {
@@ -104,12 +121,14 @@ class FaultPlan {
   /// and reports the charged cycles back through note_noc_delay.
   int noc_retries(CoreId core);
   void note_noc_delay(Cycle cycles) { noc_delay_cycles_ += cycles; }
-  /// A store just wrote `bytes` at `a` (cached copy only): true = flip one
-  /// bit of the cached copy. `flip_bit_out` gets the bit index within the
-  /// written bytes. The shadow keeps the true value, so the corruption is
-  /// observable exactly like a stale read.
-  bool should_corrupt_store(CoreId core, Addr line, std::uint32_t bytes,
-                            std::uint64_t mask, std::uint32_t* flip_bit_out);
+  /// A store just wrote `bytes` at `a` (cached copy only): returns the
+  /// number of distinct bits to flip in the cached copy (0 = no fault),
+  /// writing their indices within the written bytes into
+  /// `flip_bits_out[0..n)` (capacity `max_bits`). The shadow keeps the true
+  /// value, so the corruption is observable exactly like a stale read.
+  int should_corrupt_store(CoreId core, Addr line, std::uint32_t bytes,
+                           std::uint64_t mask, std::uint32_t* flip_bits_out,
+                           int max_bits);
   /// Annotation-mutation point (called by the runtime at every WB/INV site):
   /// true = the whole annotation at `site` is skipped by `core`. Fires on
   /// every matching opportunity (p still applies, default 1.0).
@@ -125,11 +144,25 @@ class FaultPlan {
   /// annotation has no single line — any resulting violation attributes it).
   void on_oracle_violation(Addr line);
 
+  // --- Recovery accounting (filled by the resil subsystem) ------------------
+  /// Number of records so far; resil snapshots this before a retry loop so
+  /// the records the loop appends can be classified as one delivery attempt.
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+  /// Classifies every record in [first, record_count()). Corrected/Retried/
+  /// Quarantined records are also marked tolerated (the coherent value was
+  /// restored); Unrecoverable records stay open for reconcile's visibility
+  /// check.
+  void mark_recovery(std::size_t first, Recovery rec);
+  /// Classifies one record (ECC repairs happen long after the corrupting
+  /// store appended its record, so resil keeps per-flip record indices).
+  void mark_recovery_at(std::size_t index, Recovery rec);
+
   /// Post-run classification. `still_visible(record)` must answer whether
   /// the record's fault is still observable in the functional state (a
   /// verification-style read of the line would disagree with the coherent
   /// shadow). Faults neither observed during the run nor still visible are
-  /// tolerated. Fills the injected/detected/tolerated counters in `stats`.
+  /// tolerated. Fills the injected/detected/tolerated counters in `stats`,
+  /// plus the resil_* per-class recovery counters.
   void reconcile(SimStats& stats,
                  const std::function<bool(const FaultRecord&)>& still_visible);
 
@@ -140,6 +173,7 @@ class FaultPlan {
   [[nodiscard]] std::uint64_t injected() const { return records_.size(); }
   [[nodiscard]] std::uint64_t detected() const;
   [[nodiscard]] std::uint64_t tolerated() const;
+  [[nodiscard]] std::uint64_t recovered(Recovery rec) const;
   [[nodiscard]] Cycle noc_delay_cycles() const { return noc_delay_cycles_; }
   /// Multi-line per-kind summary table (text_table rendered).
   [[nodiscard]] std::string summary() const;
@@ -149,10 +183,18 @@ class FaultPlan {
     FaultRule rule;
     Rng rng;
     std::uint64_t fired = 0;
-    explicit ArmedRule(const FaultRule& r) : rule(r), rng(r.seed) {}
+    /// The stream is derived from (seed, rule index) so same-seed rules
+    /// draw independent sequences and appending a rule never perturbs an
+    /// earlier rule's firing pattern.
+    ArmedRule(const FaultRule& r, std::size_t index)
+        : rule(r), rng(stream_seed(r.seed, index)) {}
     /// One deterministic Bernoulli draw against rule.p.
     bool draw();
   };
+
+  /// SplitMix64-style mix of (seed, index) into a per-rule stream seed.
+  [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t seed,
+                                                 std::uint64_t index);
 
   /// Finds the first armed rule of `kind` that fires on this opportunity.
   ArmedRule* fire(FaultKind kind);

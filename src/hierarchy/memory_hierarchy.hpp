@@ -20,6 +20,7 @@ namespace hic {
 
 class CoherenceOracle;
 class FaultPlan;
+class ResilienceManager;
 class Tracer;
 
 struct AccessOutcome {
@@ -121,6 +122,13 @@ class HierarchyBase : public MemoryHierarchy {
   void set_oracle(CoherenceOracle* o) { oracle_ = o; }
   [[nodiscard]] CoherenceOracle* oracle() const { return oracle_; }
 
+  /// Attaches the recovery subsystem (not owned; may be null). The
+  /// incoherent hierarchy consults it to repair ECC-tracked corruption, to
+  /// retransmit dropped WB/INV transfers, and to quarantine failing ways;
+  /// the coherent baseline ignores it (its protocol already retries).
+  void set_resil(ResilienceManager* r) { resil_ = r; }
+  [[nodiscard]] ResilienceManager* resil() const { return resil_; }
+
  protected:
   [[nodiscard]] GlobalMemory& gmem() { return *gmem_; }
   [[nodiscard]] SimStats& stats() { return *stats_; }
@@ -147,6 +155,7 @@ class HierarchyBase : public MemoryHierarchy {
   FaultPlan* fault_plan_ = nullptr;
   Tracer* tracer_ = nullptr;
   CoherenceOracle* oracle_ = nullptr;
+  ResilienceManager* resil_ = nullptr;
   std::vector<CoreId> thread_to_core_;
 };
 

@@ -64,6 +64,7 @@ CacheLine& Cache::allocate(Addr line_addr,
   auto set = set_span(set_of(line_addr));
   CacheLine* victim = nullptr;
   for (auto& line : set) {
+    if (line.quarantined) continue;  // way disabled by the recovery layer
     if (!line.valid) {
       victim = &line;
       break;
@@ -71,7 +72,8 @@ CacheLine& Cache::allocate(Addr line_addr,
     if (victim == nullptr || line.lru_stamp < victim->lru_stamp)
       victim = &line;
   }
-  HIC_DCHECK(victim != nullptr);
+  // quarantine_frame_of/quarantine_all_but_one keep >= 1 usable way per set.
+  HIC_CHECK_MSG(victim != nullptr, "every way of the set is quarantined");
 
   if (victim->valid) {
     EvictedLine ev;
@@ -127,6 +129,37 @@ std::uint32_t Cache::dirty_line_count() const {
   HIC_DCHECK(n == dirty_count_);
 #endif
   return dirty_count_;
+}
+
+bool Cache::quarantine_frame_of(Addr line_addr) {
+  CacheLine* line = find(line_addr);
+  if (line == nullptr || line->quarantined) return false;
+  std::uint32_t usable = 0;
+  for (const auto& way : set_span(set_of(line_addr)))
+    if (!way.quarantined) ++usable;
+  if (usable <= 1) return false;  // keep at least one way per set
+  line->quarantined = true;
+  ++quarantined_count_;
+  return true;
+}
+
+std::uint32_t Cache::quarantine_all_but_one() {
+  std::uint32_t newly = 0;
+  for (std::uint32_t set = 0; set < params_.num_sets(); ++set) {
+    bool kept_one = false;
+    for (auto& way : set_span(set)) {
+      if (!kept_one && !way.quarantined) {
+        kept_one = true;
+        continue;
+      }
+      if (!way.quarantined) {
+        way.quarantined = true;
+        ++quarantined_count_;
+        ++newly;
+      }
+    }
+  }
+  return newly;
 }
 
 std::uint32_t Cache::slot_of(const CacheLine& line) const {

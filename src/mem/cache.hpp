@@ -30,6 +30,11 @@ struct CacheLine {
   std::uint64_t dirty_mask = 0;  ///< bit i => word i modified locally
   MesiState mesi = MesiState::Invalid;
   std::uint64_t lru_stamp = 0;
+  /// Way disabled by the recovery subsystem after repeated uncorrectable
+  /// errors: allocate() never picks it again. A resident line stays valid
+  /// (its data was already repaired) and exits through the natural
+  /// WB/INV/eviction paths.
+  bool quarantined = false;
 
   [[nodiscard]] bool dirty() const { return dirty_mask != 0; }
 };
@@ -114,6 +119,18 @@ class Cache {
   [[nodiscard]] std::uint32_t valid_count() const;
   [[nodiscard]] std::uint32_t dirty_line_count() const;
 
+  // --- Quarantine (graceful degradation, src/resil) -----------------------
+  /// Quarantines the frame currently holding `line_addr`: allocate() skips
+  /// it from now on. Refuses (returns false) when it is the set's last
+  /// usable way — a set must keep capacity for at least one line.
+  bool quarantine_frame_of(Addr line_addr);
+  /// Degrades the whole cache to one usable way per set (block offlining).
+  /// Returns the number of ways newly quarantined.
+  std::uint32_t quarantine_all_but_one();
+  [[nodiscard]] std::uint32_t quarantined_ways() const {
+    return quarantined_count_;
+  }
+
   // --- Physical slots (for the MEB, which stores 9-bit line IDs) ----------
   /// Physical slot index (set * ways + way) of a resident line.
   [[nodiscard]] std::uint32_t slot_of(const CacheLine& line) const;
@@ -140,6 +157,7 @@ class Cache {
   /// builds); updated by allocate/invalidate/mark_dirty/clear_dirty.
   std::uint32_t valid_count_ = 0;
   std::uint32_t dirty_count_ = 0;
+  std::uint32_t quarantined_count_ = 0;
 };
 
 }  // namespace hic

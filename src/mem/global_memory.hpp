@@ -42,6 +42,9 @@ class GlobalMemory {
   }
 
   [[nodiscard]] std::uint64_t bytes_allocated() const { return next_ - base_; }
+  /// First simulated address (allocations live in [base(), base() +
+  /// bytes_allocated())); lets tests walk the whole allocated arena.
+  [[nodiscard]] Addr base() const { return base_; }
   [[nodiscard]] AddrRange region(const std::string& label) const;
 
   // --- Initialization (host-side, pre-run): writes both dram and shadow ---

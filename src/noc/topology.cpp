@@ -86,6 +86,16 @@ Cycle ChipTopology::retry_latency(NodeId a, NodeId b, int attempts) const {
   return lost;
 }
 
+Cycle ChipTopology::retransmit_latency(NodeId a, NodeId b, int attempt,
+                                       Cycle timeout, Cycle base, Cycle cap,
+                                       Cycle jitter) const {
+  HIC_CHECK(attempt >= 1);
+  Cycle backoff = base;
+  for (int k = 1; k < attempt && backoff < cap; ++k) backoff *= 2;
+  backoff = std::min(backoff, cap);
+  return timeout + backoff + jitter + latency(a, b);
+}
+
 NodeId ChipTopology::memory_node_near(NodeId n) const {
   const NodeId corners[4] = {node_at(0, 0), node_at(cols_ - 1, 0),
                              node_at(0, rows_ - 1),

@@ -51,6 +51,15 @@ class ChipTopology {
   static constexpr int kMaxBackoffHops = 32;
   [[nodiscard]] Cycle retry_latency(NodeId a, NodeId b, int attempts) const;
 
+  /// Cycles one reliable-delivery retransmission costs: the timeout waited
+  /// before giving up on the ACK, the exponential backoff for attempt number
+  /// `attempt` (1-based, `base` cycles doubling up to `cap`), a caller-
+  /// supplied `jitter` (drawn from the deterministic recovery RNG), and the
+  /// repaid one-way path latency (used by src/resil's WB/INV retry loop).
+  [[nodiscard]] Cycle retransmit_latency(NodeId a, NodeId b, int attempt,
+                                         Cycle timeout, Cycle base, Cycle cap,
+                                         Cycle jitter) const;
+
   /// Flits needed for a payload of `bytes` (one header flit + data flits).
   [[nodiscard]] std::uint64_t flits_for(std::uint32_t payload_bytes) const;
   /// Flits of a control message (header only).

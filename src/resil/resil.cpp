@@ -1,0 +1,245 @@
+#include "resil/resil.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hic {
+
+ResilOptions parse_resil_options(const std::string& spec) {
+  ResilOptions o;
+  if (spec.empty()) return o;
+  std::istringstream in(spec);
+  std::string tok;
+  while (std::getline(in, tok, ':')) {
+    const auto eq = tok.find('=');
+    HIC_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
+                  "recover spec '" << spec << "': malformed clause '" << tok
+                                   << "' (expected key=value)");
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    std::size_t used = 0;
+    try {
+      if (key == "ecc") {
+        HIC_CHECK_MSG(val == "0" || val == "1",
+                      "recover spec '" << spec << "': ecc must be 0 or 1");
+        o.ecc = val == "1";
+      } else if (key == "correct") {
+        o.correct_cycles = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size(), "recover spec '"
+                                              << spec << "': bad correct '"
+                                              << val << "'");
+      } else if (key == "scrub") {
+        o.scrub_interval = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size(), "recover spec '"
+                                              << spec << "': bad scrub '"
+                                              << val << "'");
+      } else if (key == "timeout") {
+        o.retry_timeout = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size(), "recover spec '"
+                                              << spec << "': bad timeout '"
+                                              << val << "'");
+      } else if (key == "base") {
+        o.backoff_base = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size() && o.backoff_base > 0,
+                      "recover spec '" << spec << "': bad base '" << val
+                                       << "'");
+      } else if (key == "cap") {
+        o.backoff_cap = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size() && o.backoff_cap > 0,
+                      "recover spec '" << spec << "': bad cap '" << val
+                                       << "'");
+      } else if (key == "attempts") {
+        o.max_attempts = std::stoi(val, &used);
+        HIC_CHECK_MSG(used == val.size() && o.max_attempts >= 1 &&
+                          o.max_attempts <= 64,
+                      "recover spec '" << spec
+                                       << "': attempts must be in [1,64]");
+      } else if (key == "strikes") {
+        o.quarantine_strikes = std::stoi(val, &used);
+        HIC_CHECK_MSG(used == val.size() && o.quarantine_strikes >= 1,
+                      "recover spec '" << spec << "': bad strikes '" << val
+                                       << "'");
+      } else if (key == "budget") {
+        o.error_budget = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size(), "recover spec '"
+                                              << spec << "': bad budget '"
+                                              << val << "'");
+      } else if (key == "seed") {
+        o.seed = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size(), "recover spec '" << spec
+                                                           << "': bad seed '"
+                                                           << val << "'");
+      } else if (key == "ackloss") {
+        o.ack_loss_p = std::stod(val, &used);
+        HIC_CHECK_MSG(used == val.size() && o.ack_loss_p >= 0.0 &&
+                          o.ack_loss_p <= 1.0,
+                      "recover spec '" << spec
+                                       << "': ackloss must be in [0,1]");
+      } else {
+        HIC_CHECK_MSG(false, "recover spec '" << spec << "': unknown key '"
+                                              << key << "'");
+      }
+    } catch (const std::invalid_argument&) {
+      HIC_CHECK_MSG(false, "recover spec '" << spec << "': non-numeric value '"
+                                            << val << "' for key '" << key
+                                            << "'");
+    } catch (const std::out_of_range&) {
+      HIC_CHECK_MSG(false, "recover spec '" << spec << "': value '" << val
+                                            << "' out of range for key '"
+                                            << key << "'");
+    }
+  }
+  return o;
+}
+
+ResilienceManager::ResilienceManager(const ResilOptions& opts)
+    : opts_(opts), rng_(opts.seed) {}
+
+void ResilienceManager::attach(FaultPlan* plan, int cores_per_block) {
+  HIC_CHECK(plan != nullptr && cores_per_block >= 1);
+  plan_ = plan;
+  cores_per_block_ = cores_per_block;
+}
+
+void ResilienceManager::note_store(CoreId core, Addr line, std::uint32_t off,
+                                   std::uint32_t bytes) {
+  if (flips_.empty()) return;
+  const auto it = flips_.find({core, line});
+  if (it == flips_.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [&](const Flip& f) {
+                           return f.byte_off >= off && f.byte_off < off + bytes;
+                         }),
+          v.end());
+  if (v.empty()) flips_.erase(it);
+}
+
+void ResilienceManager::register_flip(CoreId core, Addr line,
+                                      std::uint32_t byte_off,
+                                      std::uint8_t mask, std::uint8_t good,
+                                      std::size_t rec) {
+  if (!opts_.ecc) return;  // no ECC state: the flip rides the legacy path
+  auto& v = flips_[{core, line}];
+  // Two flips from different stores may land on the same byte; merge same-
+  // offset entries so each bit has a single journaled good value.
+  for (Flip& f : v) {
+    if (f.byte_off != byte_off) continue;
+    f.good = static_cast<std::uint8_t>((f.good & ~mask) | (good & mask));
+    f.mask |= mask;
+    f.rec = rec;
+    return;
+  }
+  v.push_back({byte_off, mask, good, rec});
+}
+
+Cycle ResilienceManager::repair(CoreId core, Addr line,
+                                std::span<std::byte> data, bool scrubbing) {
+  if (!opts_.ecc) return 0;
+  const auto it = flips_.find({core, line});
+  if (it == flips_.end()) return 0;
+
+  // Live flips only: a later store may have overwritten the byte (note_store
+  // normally clears those, but a stale entry must never "repair" fresh data).
+  std::vector<Flip> live;
+  for (const Flip& f : it->second) {
+    HIC_CHECK(f.byte_off < data.size());
+    const auto cur = static_cast<std::uint8_t>(data[f.byte_off]);
+    if ((cur & f.mask) == ((f.good ^ 0xffu) & f.mask)) live.push_back(f);
+  }
+  flips_.erase(it);
+  if (live.empty()) return 0;
+
+  // SECDED per 64-bit word: group live flips by word index.
+  Cycle lat = 0;
+  std::map<std::uint32_t, std::vector<const Flip*>> by_word;
+  for (const Flip& f : live) by_word[f.byte_off / 8].push_back(&f);
+  bool struck = false;
+  for (const auto& [word, fs] : by_word) {
+    int bits = 0;
+    for (const Flip* f : fs) bits += std::popcount(unsigned{f->mask});
+    const bool correctable = bits == 1;
+    for (const Flip* f : fs) {
+      auto cur = static_cast<std::uint8_t>(data[f->byte_off]);
+      cur = static_cast<std::uint8_t>((cur & ~f->mask) | (f->good & f->mask));
+      data[f->byte_off] = std::byte{cur};
+      plan_->mark_recovery_at(f->rec, correctable ? Recovery::Corrected
+                                                  : Recovery::Quarantined);
+    }
+    if (correctable) {
+      if (!scrubbing) lat += opts_.correct_cycles;
+      if (scrubbing) ++scrub_corrections_;
+    } else {
+      struck = true;
+    }
+  }
+  // One strike per repair event, however many words were uncorrectable:
+  // the frame is the quarantine unit.
+  if (struck) strike(core, line);
+  return lat;
+}
+
+void ResilienceManager::forget(CoreId core, Addr line) {
+  flips_.erase({core, line});
+}
+
+void ResilienceManager::forget_core(CoreId core) {
+  const auto first = flips_.lower_bound({core, 0});
+  const auto last = flips_.lower_bound({core + 1, 0});
+  flips_.erase(first, last);
+}
+
+Cycle ResilienceManager::jitter() {
+  if (opts_.backoff_base == 0) return 0;
+  return rng_.next_below(opts_.backoff_base);
+}
+
+bool ResilienceManager::ack_lost() {
+  if (opts_.ack_loss_p <= 0.0) return false;
+  return rng_.next_double() < opts_.ack_loss_p;
+}
+
+void ResilienceManager::strike(CoreId core, Addr line) {
+  const int n = ++strikes_[{core, line}];
+  if (n >= opts_.quarantine_strikes && quarantine_cb_) {
+    if (quarantine_cb_(core, line)) ++quarantined_ways_;
+  }
+  const int block = core / cores_per_block_;
+  const std::uint64_t uncorr = ++block_uncorrectable_[block];
+  if (opts_.error_budget > 0 && uncorr > opts_.error_budget &&
+      !block_degraded_[block]) {
+    block_degraded_[block] = true;
+    ++degraded_blocks_;
+    if (degrade_cb_) quarantined_ways_ += degrade_cb_(block);
+  }
+}
+
+void ResilienceManager::on_dispatch(Cycle now) {
+  if (!opts_.ecc || opts_.scrub_interval == 0) return;
+  if (next_scrub_ == 0) next_scrub_ = opts_.scrub_interval;
+  while (now >= next_scrub_) {
+    next_scrub_ += opts_.scrub_interval;
+    ++scrub_passes_;
+    if (!scrub_cb_ || flips_.empty()) continue;
+    // The callback repairs (and erases) entries; walk a snapshot of keys.
+    std::vector<LineKey> keys;
+    keys.reserve(flips_.size());
+    for (const auto& [k, v] : flips_) keys.push_back(k);
+    for (const LineKey& k : keys) scrub_cb_(k.first, k.second);
+  }
+}
+
+void ResilienceManager::flush(SimStats& stats) const {
+  OpCounts& o = stats.ops();
+  o.resil_retransmits = retransmits_;
+  o.resil_dup_suppressed = dup_suppressed_;
+  o.resil_scrub_passes = scrub_passes_;
+  o.resil_scrub_corrections = scrub_corrections_;
+  o.resil_quarantined_ways = quarantined_ways_;
+  o.resil_degraded_blocks = degraded_blocks_;
+}
+
+}  // namespace hic

@@ -1,0 +1,189 @@
+// Fault *recovery* for the incoherent hierarchy (the resilience layer).
+//
+// Runnemede is a near-threshold design where soft errors are expected, so
+// detection alone (FaultPlan + oracle) is not enough: this subsystem layers
+// three recovery mechanisms over the existing injection points, following the
+// same off-by-default null-hook pattern as the tracer and the oracle — with
+// no ResilienceManager attached, every hook is a single pointer test and the
+// golden stats are bit-identical.
+//
+//   1. ECC (SECDED per 64-bit word): `corrupt-line` flips are tracked per
+//      cached line. A single flipped bit in a word is corrected in place
+//      (configurable latency charge); two or more flipped bits in one word
+//      are detected-uncorrectable and escalate — the bits are restored from
+//      their journaled pre-flip values (a journaled-store replay) and the
+//      frame takes a quarantine strike. A periodic scrubber walks lines with
+//      outstanding flips every `scrub` cycles from the engine's dispatch
+//      loop, so corruption is repaired even on cold lines.
+//   2. Reliable WB/INV delivery: dropped messages are retransmitted with a
+//      per-attempt timeout, exponential backoff (base doubling up to cap,
+//      plus deterministic jitter), and receiver-side duplicate suppression
+//      for ACK-only losses. A transfer that exhausts `attempts` is
+//      Recovery::Unrecoverable and maps to exit code 7.
+//   3. Graceful degradation: a frame collecting `strikes` uncorrectable
+//      errors has its way quarantined (allocate skips it; capacity shrinks);
+//      a block whose uncorrectable count exceeds `budget` is degraded to one
+//      usable way per set in each of its L1s — the modeled equivalent of
+//      offlining the cluster after draining its work — and the run continues
+//      with resil_degraded_blocks stamped.
+//
+// Every path preserves the never-silent invariant: each injected fault ends
+// the run classified corrected / retried / quarantined / unrecoverable (or
+// falls through to the detected/tolerated reconcile), surfaced as resil_*
+// counters in stats schema v3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/fault_plan.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace hic {
+
+/// Recovery knobs. Defaults model a conservative SECDED + go-back-N design.
+struct ResilOptions {
+  bool ecc = true;               ///< enable ECC correction + scrubbing
+  Cycle correct_cycles = 12;     ///< latency charged per corrected word
+  Cycle scrub_interval = 100000; ///< cycles between scrub sweeps (0 = off)
+  Cycle retry_timeout = 64;      ///< ACK timeout before a retransmission
+  Cycle backoff_base = 16;       ///< first retransmit backoff (doubles)
+  Cycle backoff_cap = 1024;      ///< exponential backoff ceiling
+  int max_attempts = 8;          ///< delivery attempts before giving up
+  int quarantine_strikes = 2;    ///< uncorrectable hits that disable a way
+  std::uint64_t error_budget = 0;  ///< per-block uncorrectables (0 = no cap)
+  std::uint64_t seed = 1;        ///< jitter / ack-loss RNG stream seed
+  double ack_loss_p = 0.0;       ///< P(drop was the ACK, payload arrived)
+};
+
+/// Parses a colon-separated option spec mirroring the --inject grammar, e.g.
+/// "scrub=50000:attempts=4:budget=2:ackloss=0.1". "" keeps every default.
+/// Keys: ecc=0|1, correct, scrub, timeout, base, cap, attempts, strikes,
+/// budget, seed, ackloss. Throws CheckFailure naming the bad token.
+[[nodiscard]] ResilOptions parse_resil_options(const std::string& spec);
+
+/// The recovery subsystem. One instance serves the whole machine; the
+/// hierarchy consults it at its fault hooks, the engine drives the scrubber,
+/// and the Machine binds the cache callbacks and flushes the counters.
+class ResilienceManager {
+ public:
+  explicit ResilienceManager(const ResilOptions& opts = {});
+
+  [[nodiscard]] const ResilOptions& opts() const { return opts_; }
+
+  /// Wires the manager to a run (the plan outlives the manager's use).
+  /// `cores_per_block` scopes the error budget to the paper's block/cluster.
+  void attach(FaultPlan* plan, int cores_per_block);
+
+  // --- Cache callbacks (bound by the Machine to the concrete hierarchy) ----
+  /// Quarantines the L1 frame of (core, line); false if it must stay (last
+  /// usable way of its set) or is already quarantined.
+  void set_quarantine_cb(std::function<bool(CoreId, Addr)> cb) {
+    quarantine_cb_ = std::move(cb);
+  }
+  /// Degrades every L1 of `block` to one usable way per set; returns the
+  /// number of ways newly quarantined.
+  void set_degrade_cb(std::function<std::uint32_t(int)> cb) {
+    degrade_cb_ = std::move(cb);
+  }
+  /// Repairs one resident line in place (the hierarchy locates the frame and
+  /// calls repair() on its data); used by the scrubber.
+  void set_scrub_cb(std::function<void(CoreId, Addr)> cb) {
+    scrub_cb_ = std::move(cb);
+  }
+
+  // --- ECC ------------------------------------------------------------------
+  /// A store is about to overwrite [off, off+bytes) of the cached line:
+  /// outstanding flips under the store are gone (the new data is clean).
+  /// Must be called before register_flip for the same store.
+  void note_store(CoreId core, Addr line, std::uint32_t off,
+                  std::uint32_t bytes);
+  /// Registers one injected bit flip: `mask` selects the flipped bits of
+  /// byte `byte_off` within the line, `good` their pre-flip values, `rec`
+  /// the FaultPlan record index of the corrupting store.
+  void register_flip(CoreId core, Addr line, std::uint32_t byte_off,
+                     std::uint8_t mask, std::uint8_t good, std::size_t rec);
+  /// Checks and repairs the cached copy of (core, line), whose current
+  /// contents are `data` (the full line). Single-bit words are corrected in
+  /// place; multi-bit words are detected-uncorrectable — the flipped bits
+  /// are restored from their journaled pre-flip values (modeling a
+  /// journaled-store replay) and the frame takes a quarantine strike.
+  /// Returns the repair latency to charge (0 when clean or when `scrubbing`
+  /// — the scrubber steals idle cycles, not core time).
+  Cycle repair(CoreId core, Addr line, std::span<std::byte> data,
+               bool scrubbing);
+  /// The cached copy of (core, line) was discarded without a data exit
+  /// (INV): its corruption vanished with it.
+  void forget(CoreId core, Addr line);
+  /// Bulk variant for INV ALL / cache-wide invalidation.
+  void forget_core(CoreId core);
+  [[nodiscard]] bool has_flips() const { return !flips_.empty(); }
+
+  // --- Reliable delivery ----------------------------------------------------
+  /// Deterministic per-retransmission jitter in [0, backoff_base).
+  Cycle jitter();
+  /// Was this drop actually an ACK loss (payload delivered, retransmission
+  /// will be suppressed as a duplicate at the receiver)?
+  bool ack_lost();
+  /// Next sequence number for a core's reliable transfers (trace labels).
+  std::uint64_t next_seq(CoreId core) { return ++seq_[core]; }
+  void note_retransmit() { ++retransmits_; }
+  void note_dup_suppressed() { ++dup_suppressed_; }
+  /// A transfer exhausted max_attempts: the run completes but exits 7.
+  void note_unrecoverable() { unrecoverable_ = true; }
+  [[nodiscard]] bool unrecoverable() const { return unrecoverable_; }
+
+  // --- Scrubber (driven from Engine::pick_next, a serialized point) --------
+  void on_dispatch(Cycle now);
+
+  [[nodiscard]] bool degraded() const { return degraded_blocks_ > 0; }
+
+  /// Writes the event counters into stats (the per-record disposition
+  /// counters are filled by FaultPlan::reconcile).
+  void flush(SimStats& stats) const;
+
+ private:
+  struct Flip {
+    std::uint32_t byte_off;  ///< within the line
+    std::uint8_t mask;       ///< flipped bits of that byte
+    std::uint8_t good;       ///< pre-flip values of those bits
+    std::size_t rec;         ///< FaultPlan record index
+  };
+  using LineKey = std::pair<CoreId, Addr>;
+
+  void strike(CoreId core, Addr line);
+
+  ResilOptions opts_;
+  FaultPlan* plan_ = nullptr;
+  int cores_per_block_ = 1;
+  Rng rng_;
+
+  /// Outstanding injected flips per cached (core, line). std::map keeps the
+  /// scrubber's walk order deterministic.
+  std::map<LineKey, std::vector<Flip>> flips_;
+  std::map<LineKey, int> strikes_;
+  std::map<int, std::uint64_t> block_uncorrectable_;
+  std::map<int, bool> block_degraded_;
+  std::map<CoreId, std::uint64_t> seq_;
+
+  std::function<bool(CoreId, Addr)> quarantine_cb_;
+  std::function<std::uint32_t(int)> degrade_cb_;
+  std::function<void(CoreId, Addr)> scrub_cb_;
+
+  Cycle next_scrub_ = 0;
+  bool unrecoverable_ = false;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t dup_suppressed_ = 0;
+  std::uint64_t scrub_passes_ = 0;
+  std::uint64_t scrub_corrections_ = 0;
+  std::uint64_t quarantined_ways_ = 0;
+  std::uint64_t degraded_blocks_ = 0;
+};
+
+}  // namespace hic

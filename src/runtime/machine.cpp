@@ -52,6 +52,19 @@ void Machine::set_oracle(CoherenceOracle* o) {
   if (o != nullptr) o->bind(mc_, &stats_, &fault_plan_, hier_->coherent());
 }
 
+void Machine::enable_recovery(const ResilOptions& opts) {
+  IncoherentHierarchy* inc = incoherent();
+  if (inc == nullptr) return;  // hardware coherence already retries
+  resil_ = std::make_unique<ResilienceManager>(opts);
+  resil_->attach(&fault_plan_, mc_.cores_per_block);
+  resil_->set_quarantine_cb(
+      [inc](CoreId c, Addr line) { return inc->quarantine_l1_way(c, line); });
+  resil_->set_degrade_cb([inc](int block) { return inc->degrade_block(block); });
+  resil_->set_scrub_cb([inc](CoreId c, Addr line) { inc->scrub_line(c, line); });
+  hier_->set_resil(resil_.get());
+  engine_.set_resil(resil_.get());
+}
+
 NodeId Machine::next_sync_home() {
   const auto& topo = hier_->topology();
   const int k = sync_homes_issued_++;
@@ -90,6 +103,7 @@ void Machine::run(int nthreads, const std::function<void(Thread&)>& body) {
   }
   engine_.run(std::move(bodies));
 
+  if (resil_ != nullptr) resil_->flush(stats_);
   if (!fault_plan_.empty()) {
     // Classify every injected fault that was not already caught as a stale
     // read: still visible somewhere in the hierarchy -> detected; repaired

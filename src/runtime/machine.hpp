@@ -8,6 +8,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "mem/global_memory.hpp"
+#include "resil/resil.hpp"
 #include "runtime/config.hpp"
 #include "sim/engine.hpp"
 #include "sync/sync_controller.hpp"
@@ -74,6 +75,16 @@ class Machine {
   /// the oracle must outlive it.
   void set_oracle(CoherenceOracle* o);
 
+  /// Enables the recovery subsystem (src/resil): ECC correction + scrubbing
+  /// for corrupt-line faults, reliable WB/INV delivery for drop faults, and
+  /// graceful way/cluster degradation. Call before run(). Off by default —
+  /// without this call every resil hook is a null-pointer test and golden
+  /// stats are bit-identical. No-op on the coherent baseline (its hardware
+  /// protocol already retries, and no fault hooks fire there).
+  void enable_recovery(const ResilOptions& opts = {});
+  /// The recovery manager, or nullptr when recovery is not enabled.
+  [[nodiscard]] ResilienceManager* resil() { return resil_.get(); }
+
   Barrier make_barrier(int participants);
   Lock make_lock(bool outside_cs_communication = false,
                  AddrRange protected_data = {}, bool block_local = false);
@@ -94,6 +105,7 @@ class Machine {
   GlobalMemory gmem_;
   SimStats stats_;
   FaultPlan fault_plan_;
+  std::unique_ptr<ResilienceManager> resil_;
   std::unique_ptr<HierarchyBase> hier_;
   SyncController sync_;
   Engine engine_;

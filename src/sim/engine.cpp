@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include "obs/tracer.hpp"
+#include "resil/resil.hpp"
 #include "verify/oracle.hpp"
 
 #include <algorithm>
@@ -333,6 +334,9 @@ Engine::CoreCtx* Engine::pick_next() {
     watchdog_tripped_ = true;
     return nullptr;
   }
+  // The dispatch of the globally earliest core is the engine's serialized
+  // deterministic point: drive the ECC scrubber's clock from it.
+  if (resil_ != nullptr) resil_->on_dispatch(best->time);
   const Cycle second = heap_.empty() ? kNever : heap_.front().first;
   best->run_until = second == kNever ? kNever : second + slack_;
   // With a watchdog armed, cap the quantum so a core spinning forever

@@ -44,6 +44,7 @@ namespace hic {
 
 class CoherenceOracle;
 class Engine;
+class ResilienceManager;
 class Tracer;
 
 /// Thrown inside workload bodies when the engine aborts the run (deadlock).
@@ -156,6 +157,13 @@ class Engine {
   void set_oracle(CoherenceOracle* o) { oracle_ = o; }
   [[nodiscard]] CoherenceOracle* oracle() const { return oracle_; }
 
+  /// Attaches the recovery subsystem (nullptr = off; see resil/resil.hpp).
+  /// When set, every dispatch advances the ECC scrubber's clock — a
+  /// deterministic serialized point, so scrub sweeps land identically on
+  /// every run. Off costs one pointer test per dispatch.
+  void set_resil(ResilienceManager* r) { resil_ = r; }
+  [[nodiscard]] ResilienceManager* resil() const { return resil_; }
+
  private:
   friend class CoreServices;
 
@@ -260,6 +268,7 @@ class Engine {
   std::size_t main_stack_size_ = 0;
   Tracer* tracer_ = nullptr;
   CoherenceOracle* oracle_ = nullptr;
+  ResilienceManager* resil_ = nullptr;
   bool legacy_ = false;
   bool abort_ = false;
   bool watchdog_tripped_ = false;

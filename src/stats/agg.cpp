@@ -1,5 +1,6 @@
 #include "stats/agg.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -363,6 +364,40 @@ std::string render_summary(const PointSet& ps, bool csv) {
                    std::to_string(p.exec_cycles), p.verified ? "ok" : "FAIL"});
   }
   out += table_block(table, csv);
+  return out;
+}
+
+std::string render_survivability(const PointSet& ps, bool csv) {
+  std::string out = "== Survivability (recovery under injected faults) ==\n\n";
+  TextTable table({"app", "config", "machine", "injected", "corrected",
+                   "retried", "quarantined", "unrecoverable", "retransmits",
+                   "scrubbed", "survived"});
+  std::uint64_t runs = 0;
+  std::uint64_t survived_runs = 0;
+  for (const PointStats& p : ps.all()) {
+    // A point "survives" when the workload still verifies and the recovery
+    // layer abandoned nothing — every injected fault was actively absorbed.
+    const bool survived = p.verified && p.ops.resil_unrecoverable == 0;
+    ++runs;
+    if (survived) ++survived_runs;
+    table.add_row({p.app, p.config, p.machine,
+                   std::to_string(p.ops.injected_faults),
+                   std::to_string(p.ops.resil_corrected),
+                   std::to_string(p.ops.resil_retried),
+                   std::to_string(p.ops.resil_quarantined),
+                   std::to_string(p.ops.resil_unrecoverable),
+                   std::to_string(p.ops.resil_retransmits),
+                   std::to_string(p.ops.resil_scrub_corrections),
+                   survived ? "yes" : "NO"});
+  }
+  out += table_block(table, csv);
+  if (!csv) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "survived %llu/%llu points\n",
+                  static_cast<unsigned long long>(survived_runs),
+                  static_cast<unsigned long long>(runs));
+    out += buf;
+  }
   return out;
 }
 

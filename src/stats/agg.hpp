@@ -99,4 +99,10 @@ class PointSet {
 /// specs list points deterministically).
 [[nodiscard]] std::string render_summary(const PointSet& ps, bool csv);
 
+/// Survivability curve source: one row per point with the recovery
+/// disposition counters (resil_*) and a survived verdict — verified AND
+/// nothing abandoned. Pairs with campaigns/resilience.json's fault-rate
+/// sweep to plot injected faults vs surviving runs.
+[[nodiscard]] std::string render_survivability(const PointSet& ps, bool csv);
+
 }  // namespace hic::agg

@@ -99,6 +99,21 @@ constexpr std::array kFields = {
     ReportField{"ops", "anno_flag", op<&OpCounts::anno_flag>},
     ReportField{"ops", "anno_occ", op<&OpCounts::anno_occ>},
     ReportField{"ops", "anno_racy", op<&OpCounts::anno_racy>},
+    ReportField{"ops", "resil_corrected", op<&OpCounts::resil_corrected>},
+    ReportField{"ops", "resil_retried", op<&OpCounts::resil_retried>},
+    ReportField{"ops", "resil_quarantined", op<&OpCounts::resil_quarantined>},
+    ReportField{"ops", "resil_unrecoverable",
+                op<&OpCounts::resil_unrecoverable>},
+    ReportField{"ops", "resil_retransmits", op<&OpCounts::resil_retransmits>},
+    ReportField{"ops", "resil_dup_suppressed",
+                op<&OpCounts::resil_dup_suppressed>},
+    ReportField{"ops", "resil_scrub_passes", op<&OpCounts::resil_scrub_passes>},
+    ReportField{"ops", "resil_scrub_corrections",
+                op<&OpCounts::resil_scrub_corrections>},
+    ReportField{"ops", "resil_quarantined_ways",
+                op<&OpCounts::resil_quarantined_ways>},
+    ReportField{"ops", "resil_degraded_blocks",
+                op<&OpCounts::resil_degraded_blocks>},
 };
 }  // namespace
 
@@ -141,6 +156,13 @@ std::string summarize(const SimStats& stats) {
        << " tolerated, "
        << o.injected_faults - o.detected_faults - o.tolerated_faults
        << " silent)\n";
+    const std::uint64_t rec = o.resil_corrected + o.resil_retried +
+                              o.resil_quarantined + o.resil_unrecoverable;
+    if (rec > 0) {
+      os << "recovery: " << o.resil_corrected << " corrected, "
+         << o.resil_retried << " retried, " << o.resil_quarantined
+         << " quarantined, " << o.resil_unrecoverable << " unrecoverable\n";
+    }
   }
   return os.str();
 }

@@ -20,7 +20,10 @@ namespace hic {
 /// loudly instead of silently misparsing.
 ///   v2: added the oracle_stale_reads / oracle_write_races /
 ///       oracle_lost_updates counters to the "ops" group.
-inline constexpr int kStatsSchemaVersion = 2;
+///   v3: added the resil_* recovery counters (corrected / retried /
+///       quarantined / unrecoverable dispositions plus retransmit, scrubber,
+///       quarantine and degradation event counts) to the "ops" group.
+inline constexpr int kStatsSchemaVersion = 3;
 
 /// One scalar counter of the report: its JSON group ("stalls",
 /// "traffic_flits" or "ops"), its stable key, and how to read it.

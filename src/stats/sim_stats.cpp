@@ -45,6 +45,16 @@ constexpr std::array kOpFields = {
     OpField{"anno_flag", &OpCounts::anno_flag},
     OpField{"anno_occ", &OpCounts::anno_occ},
     OpField{"anno_racy", &OpCounts::anno_racy},
+    OpField{"resil_corrected", &OpCounts::resil_corrected},
+    OpField{"resil_retried", &OpCounts::resil_retried},
+    OpField{"resil_quarantined", &OpCounts::resil_quarantined},
+    OpField{"resil_unrecoverable", &OpCounts::resil_unrecoverable},
+    OpField{"resil_retransmits", &OpCounts::resil_retransmits},
+    OpField{"resil_dup_suppressed", &OpCounts::resil_dup_suppressed},
+    OpField{"resil_scrub_passes", &OpCounts::resil_scrub_passes},
+    OpField{"resil_scrub_corrections", &OpCounts::resil_scrub_corrections},
+    OpField{"resil_quarantined_ways", &OpCounts::resil_quarantined_ways},
+    OpField{"resil_degraded_blocks", &OpCounts::resil_degraded_blocks},
 };
 }  // namespace
 

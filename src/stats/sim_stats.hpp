@@ -133,6 +133,20 @@ struct OpCounts {
   std::uint64_t anno_flag = 0;
   std::uint64_t anno_occ = 0;
   std::uint64_t anno_racy = 0;
+  /// Recovery subsystem (src/resil) — all zero unless --recover attaches a
+  /// ResilienceManager. The first four are per-record dispositions filled by
+  /// FaultPlan::reconcile; the rest are event counters flushed by the
+  /// manager at end of run.
+  std::uint64_t resil_corrected = 0;      ///< single-bit ECC repairs
+  std::uint64_t resil_retried = 0;        ///< WB/INVs delivered on retransmit
+  std::uint64_t resil_quarantined = 0;    ///< uncorrectable, way quarantined
+  std::uint64_t resil_unrecoverable = 0;  ///< gave up (exit code 7)
+  std::uint64_t resil_retransmits = 0;    ///< retransmission attempts sent
+  std::uint64_t resil_dup_suppressed = 0; ///< receiver-side duplicate drops
+  std::uint64_t resil_scrub_passes = 0;   ///< completed scrubber sweeps
+  std::uint64_t resil_scrub_corrections = 0;  ///< flips fixed by the scrubber
+  std::uint64_t resil_quarantined_ways = 0;   ///< cache ways taken offline
+  std::uint64_t resil_degraded_blocks = 0;    ///< blocks over error budget
 };
 
 /// One OpCounts field with its stable JSON key. op_fields() is the writable

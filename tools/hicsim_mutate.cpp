@@ -16,6 +16,9 @@
 //   tolerated  the elision fired but natural traffic (evictions, later
 //              unmutated annotations) republished the data: no violation
 //              AND the workload still verifies — nothing was actually lost
+//   recovered  (--recover only) the resilience layer actively repaired the
+//              damage — fault records ended classified corrected / retried /
+//              quarantined — and the workload verifies
 //   MISSED     the elision broke the program (verification failed) and the
 //              oracle saw nothing — a detector gap; exits nonzero
 //
@@ -47,11 +50,13 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: hicsim_mutate --app <name> --config <label> [--threads N]\n"
-      "                     [--site NAME] [--json]\n"
+      "                     [--site NAME] [--recover] [--json]\n"
       "  --app NAME      workload (hicsim_run --list)\n"
       "  --config LABEL  Table II configuration label\n"
       "  --threads N     worker threads (default: all cores)\n"
       "  --site NAME     mutate only this annotation site\n"
+      "  --recover       attach the recovery subsystem (src/resil); sites\n"
+      "                  whose damage it repairs classify as 'recovered'\n"
       "  --json          machine-readable report\n"
       "exit status: 0 all mutations accounted for; 3 at least one MISSED;\n"
       "             2 bad flags; 1 internal error\n");
@@ -62,6 +67,7 @@ struct SiteResult {
   AnnoSite site = AnnoSite::kNone;
   std::uint64_t fired = 0;
   std::uint64_t violations = 0;
+  std::uint64_t recovered = 0;
   bool verified = false;
   bool hung = false;
   const char* klass = "?";
@@ -70,12 +76,14 @@ struct SiteResult {
 struct RunOutcome {
   std::uint64_t fired = 0;
   std::uint64_t violations = 0;
+  std::uint64_t recovered = 0;
   bool verified = false;
   bool hung = false;
 };
 
 RunOutcome run_mutated(const std::string& app, Config cfg,
-                       const MachineConfig& mc, int threads, AnnoSite site) {
+                       const MachineConfig& mc, int threads, AnnoSite site,
+                       bool recover) {
   auto w = make_workload(app);
   Machine m(mc, cfg);
   if (site != AnnoSite::kNone) {
@@ -86,6 +94,7 @@ RunOutcome run_mutated(const std::string& app, Config cfg,
   }
   CoherenceOracle oracle;
   m.set_oracle(&oracle);
+  if (recover) m.enable_recovery();
   RunOutcome r;
   try {
     run_workload(*w, m, threads);
@@ -96,6 +105,9 @@ RunOutcome run_mutated(const std::string& app, Config cfg,
   }
   r.fired = m.fault_plan().injected();
   r.violations = oracle.total_violations();
+  r.recovered = m.fault_plan().recovered(Recovery::Corrected) +
+                m.fault_plan().recovered(Recovery::Retried) +
+                m.fault_plan().recovered(Recovery::Quarantined);
   return r;
 }
 
@@ -111,6 +123,7 @@ int main(int argc, char** argv) {
   std::string only_site;
   int threads = 0;
   bool json = false;
+  bool recover = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -136,6 +149,8 @@ int main(int argc, char** argv) {
       only_site = v;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--recover") {
+      recover = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return usage();
@@ -174,7 +189,7 @@ int main(int argc, char** argv) {
     // Baseline sanity: the unmutated program must be violation-free,
     // otherwise every classification below is meaningless.
     const RunOutcome base =
-        run_mutated(app, *cfg, mc, threads, AnnoSite::kNone);
+        run_mutated(app, *cfg, mc, threads, AnnoSite::kNone, recover);
     if (base.hung || !base.verified || base.violations != 0) {
       std::fprintf(stderr,
                    "baseline run is not clean (hung=%d verified=%d "
@@ -187,11 +202,12 @@ int main(int argc, char** argv) {
     std::vector<SiteResult> results;
     std::uint64_t missed = 0;
     for (AnnoSite s : sites) {
-      const RunOutcome r = run_mutated(app, *cfg, mc, threads, s);
+      const RunOutcome r = run_mutated(app, *cfg, mc, threads, s, recover);
       SiteResult sr;
       sr.site = s;
       sr.fired = r.fired;
       sr.violations = r.violations;
+      sr.recovered = r.recovered;
       sr.verified = r.verified;
       sr.hung = r.hung;
       if (r.fired == 0) {
@@ -204,6 +220,11 @@ int main(int argc, char** argv) {
         // Declared-racy accesses are exempt from the HB checks by design;
         // the value verification is the assigned judge for these.
         sr.klass = r.verified ? "exempt" : "MISSED";
+      } else if (r.verified && r.recovered > 0) {
+        // The resilience layer repaired the damage itself (ECC correction,
+        // retried delivery, or quarantine) — stronger than "tolerated",
+        // where unrelated natural traffic happened to republish the data.
+        sr.klass = "recovered";
       } else if (r.verified) {
         sr.klass = "tolerated";
       } else {
@@ -226,7 +247,8 @@ int main(int argc, char** argv) {
         os << "{\"site\":\"" << anno_site_name(sr.site) << "\",\"kind\":\""
            << (anno_site_is_wb(sr.site) ? "wb" : "inv")
            << "\",\"fired\":" << sr.fired
-           << ",\"violations\":" << sr.violations << ",\"verified\":"
+           << ",\"violations\":" << sr.violations
+           << ",\"recovered\":" << sr.recovered << ",\"verified\":"
            << (sr.verified ? "true" : "false") << ",\"hung\":"
            << (sr.hung ? "true" : "false") << ",\"class\":\"" << sr.klass
            << "\"}";
@@ -234,12 +256,13 @@ int main(int argc, char** argv) {
       os << "],\"missed\":" << missed << "}\n";
       std::fputs(os.str().c_str(), stdout);
     } else {
-      TextTable t({"site", "kind", "fired", "violations", "verified",
-                   "class"});
+      TextTable t({"site", "kind", "fired", "violations", "recovered",
+                   "verified", "class"});
       for (const SiteResult& sr : results) {
         t.add_row({std::string(anno_site_name(sr.site)),
                    anno_site_is_wb(sr.site) ? "wb" : "inv",
                    std::to_string(sr.fired), std::to_string(sr.violations),
+                   std::to_string(sr.recovered),
                    sr.hung ? "hang" : (sr.verified ? "yes" : "NO"),
                    sr.klass});
       }

@@ -27,6 +27,8 @@
 //   5  the coherence oracle reported at least one violation
 //   6  injected faults left unrecovered damage and --no-verify skipped the
 //      value check that would have judged it
+//   7  recovery was enabled (--recover) but gave up on some transfer: a
+//      reliable WB/INV exhausted its retransmit cap (Recovery::Unrecoverable)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -79,7 +81,9 @@ int usage() {
                "                  [--verify] [--verify-out FILE]\n"
                "                  [--meb N] [--ieb N] [--slack N] "
                "[--no-functional]\n"
-               "                  [--inject <kind:k=v:...>]... [--max-cycles N]\n"
+               "                  [--inject <kind:k=v:...>]... "
+               "[--recover] [--resil <k=v:...>]\n"
+               "                  [--max-cycles N]\n"
                "                  [--time [--repeat N]] [--legacy-scheduler] "
                "[--no-stale-monitor]\n"
                "                  [--trace-out FILE [--trace-filter "
@@ -99,8 +103,19 @@ int usage() {
                "cycles=<delay> retries=<n>\n"
                "              site=<annotation site> core=<core> "
                "(elide-wb/elide-inv only)\n"
+               "              bits=<flips per store> (corrupt-line only)\n"
+               "--recover:    attach the recovery subsystem (ECC + reliable "
+               "WB/INV delivery\n"
+               "              + graceful degradation); --resil tunes it "
+               "(implies --recover)\n"
+               "resil keys:   ecc=0|1 correct=<cyc> scrub=<cyc> timeout=<cyc> "
+               "base=<cyc> cap=<cyc>\n"
+               "              attempts=<n> strikes=<n> budget=<n> seed=<u64> "
+               "ackloss=<p>\n"
                "exit codes:   0 ok, 1 error, 2 usage, 3 verify failed, "
-               "4 hang, 5 oracle violation, 6 unrecovered fault\n");
+               "4 hang, 5 oracle violation,\n"
+               "              6 unrecovered fault, 7 recovery gave up "
+               "(retransmit cap)\n");
   return kExitUsage;
 }
 
@@ -173,6 +188,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string trace_filter = "all";
   long trace_sample_cycles = 0;
+  bool recover = false;
+  std::string resil_spec;
   std::vector<std::string> inject_specs;
   std::vector<std::string> set_overrides;
   for (int i = 1; i < argc; ++i) {
@@ -243,6 +260,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       inject_specs.emplace_back(v);
+    } else if (arg == "--recover") {
+      recover = true;
+    } else if (arg == "--resil") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      resil_spec = v;
+      recover = true;
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -349,6 +373,7 @@ int main(int argc, char** argv) {
         last = std::make_unique<Machine>(mc, *cfg);
         for (const auto& spec : inject_specs)
           last->add_fault_rule(parse_fault_rule(spec));
+        if (recover) last->enable_recovery(parse_resil_options(resil_spec));
         const Cycle cy = run_workload(*wr, *last, n);
         w = std::move(wr);  // keep the workload that matches `last`
         return cy;
@@ -368,19 +393,23 @@ int main(int argc, char** argv) {
         std::printf("  sim throughput   : %.0f cycles/s\n",
                     hp.cycles_per_second);
       }
+      int trc = kExitOk;
       if (verify) {
         const WorkloadResult r = w->verify(*last);
         if (!json)
           std::printf("verification: %s%s%s\n", r.ok ? "ok" : "FAILED",
                       r.detail.empty() ? "" : " — ", r.detail.c_str());
-        return r.ok ? kExitOk : kExitVerifyFailed;
+        if (!r.ok) trc = kExitVerifyFailed;
       }
-      return kExitOk;
+      if (last->resil() != nullptr && last->resil()->unrecoverable())
+        trc = kExitUnrecoverable;
+      return trc;
     }
 
     Machine m(mc, *cfg);
     for (const auto& spec : inject_specs)
       m.add_fault_rule(parse_fault_rule(spec));
+    if (recover) m.enable_recovery(parse_resil_options(resil_spec));
     std::unique_ptr<Tracer> tracer;
     if (!trace_out.empty()) {
       TraceOptions topts;
@@ -466,6 +495,10 @@ int main(int argc, char** argv) {
       // the root cause the value check can only observe downstream.
       if (oracle.total_violations() > 0) rc = kExitOracle;
     }
+    // Recovery giving up outranks everything but a hang: it means the
+    // resilience layer itself knows data was abandoned (retransmit cap).
+    if (m.resil() != nullptr && m.resil()->unrecoverable())
+      rc = kExitUnrecoverable;
     if (json) std::printf("}\n");
     return rc;
   } catch (const std::exception& e) {
