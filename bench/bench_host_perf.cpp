@@ -6,15 +6,23 @@
 // tools/bench_host.py. The simulated cycle counts in the output double as a
 // determinism canary: they must never move between runs or schedulers.
 //
+// A fourth section times a 16-cluster machine (16 blocks x 4 cores) under
+// both the direct scheduler and the sharded engine — the configuration the
+// sharded mode exists for. Both entries land in the same result file, so
+// the cycle-identity canary and the shard speedup are checked against each
+// other by tools/bench_host.py --check-sharded.
+//
 //   bench_host_perf                 # 5 repeats per workload (median)
 //   bench_host_perf --smoke         # 1 repeat, for CI
 //   bench_host_perf --repeats 9
 //   bench_host_perf --legacy-scheduler   # A/B the scheduler rewrite
+//   bench_host_perf --shard-threads 8    # sharded-entry worker count
 //   bench_host_perf --out my.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "apps/workload.hpp"
 #include "stats/host_perf.hpp"
@@ -44,6 +52,7 @@ constexpr Item kItems[] = {
 int main(int argc, char** argv) {
   int repeats = 5;
   bool legacy = false;
+  int shard_threads = 4;
   std::string out = "BENCH_host_perf.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,12 +62,14 @@ int main(int argc, char** argv) {
       repeats = std::atoi(argv[++i]);
     } else if (arg == "--legacy-scheduler") {
       legacy = true;
+    } else if (arg == "--shard-threads" && i + 1 < argc) {
+      shard_threads = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_host_perf [--smoke] [--repeats N] "
-                   "[--legacy-scheduler] [--out FILE]\n");
+                   "[--legacy-scheduler] [--shard-threads N] [--out FILE]\n");
       return 1;
     }
   }
@@ -68,7 +79,11 @@ int main(int argc, char** argv) {
                      std::to_string(kStatsSchemaVersion) +
                      ",\"scheduler\":\"";
   json += legacy ? "legacy" : "direct";
-  json += "\",\"repeats\":" + std::to_string(repeats) + ",\"workloads\":{";
+  json += "\",\"repeats\":" + std::to_string(repeats) +
+          ",\"host_cpus\":" +
+          std::to_string(std::thread::hardware_concurrency()) +
+          ",\"shard_threads\":" + std::to_string(shard_threads) +
+          ",\"workloads\":{";
 
   bool first = true;
   for (const Item& it : kItems) {
@@ -98,6 +113,34 @@ int main(int argc, char** argv) {
     json += it.config_name;
     json += "\":";
     json += to_json(r);
+  }
+
+  // 16-cluster section: the machine shape the sharded engine targets. The
+  // direct and sharded entries share one result file so the checker can
+  // assert bit-identical cycles and compute the shard speedup without a
+  // second bench invocation. Skipped under --legacy-scheduler (the legacy
+  // scheduler predates sharding and refuses to combine with it).
+  if (!legacy && shard_threads > 0) {
+    MachineConfig mc16 = MachineConfig::inter_block();
+    mc16.blocks = 16;
+    mc16.cores_per_block = 4;
+    mc16.staleness_monitor = false;
+    mc16.validate();
+    for (const int threads : {0, shard_threads}) {
+      const HostPerfResult r = time_runs(repeats, [&]() -> Cycle {
+        auto w = make_workload("ep");
+        Machine m(mc16, Config::InterAddrL);
+        m.set_shard_threads(threads);
+        return run_workload(*w, m, mc16.total_cores());
+      });
+      const std::string name =
+          threads == 0 ? "ep-16c/Addr+L"
+                       : "ep-16c/Addr+L/shard" + std::to_string(threads);
+      std::printf("%-22s %12llu cycles  %8.3f s median  %10.0f cyc/s\n",
+                  name.c_str(), static_cast<unsigned long long>(r.cycles),
+                  r.median_seconds, r.cycles_per_second);
+      json += ",\"" + name + "\":" + to_json(r);
+    }
   }
   json += "}}\n";
 

@@ -30,7 +30,9 @@ IncoherentHierarchy::IncoherentHierarchy(const MachineConfig& cfg,
     l3_.emplace(l3, data);
   }
   cs_active_.assign(static_cast<std::size_t>(cfg_.total_cores()), false);
-  scratch_.reserve(l1_[0].params().num_lines() + l2_[0].params().num_lines());
+  scratch_.resize(static_cast<std::size_t>(cfg_.blocks));
+  for (auto& s : scratch_)
+    s.reserve(l1_[0].params().num_lines() + l2_[0].params().num_lines());
 }
 
 void IncoherentHierarchy::map_thread(ThreadId t, CoreId c) {
@@ -256,6 +258,10 @@ Cycle IncoherentHierarchy::ensure_l2_line(BlockId block, Addr line,
     *out = l2l;
     return 0;
   }
+  // The whole miss path below reads and allocates in machine-global levels
+  // (the L3, or DRAM on single-block machines): serialize with any earlier
+  // in-flight quanta first. No-op unless the sharded engine installed a gate.
+  gate_shared_access();
   ++stats_->ops().l2_misses;
   trace_cache("l2_fill", line);
   const NodeId bank = topo_.l2_bank_node(block, topo_.l2_bank_of(line));
@@ -293,6 +299,7 @@ Cycle IncoherentHierarchy::ensure_l2_line(BlockId block, Addr line,
 
 Cycle IncoherentHierarchy::ensure_l3_line(Addr line, CacheLine** out) {
   HIC_DCHECK(l3_.has_value());
+  gate_shared_access();
   if (CacheLine* l3l = l3_->touch(line)) {
     ++stats_->ops().l3_hits;
     *out = l3l;
@@ -341,6 +348,7 @@ void IncoherentHierarchy::push_words_to_l3(BlockId block, Addr line,
                                            std::span<const std::byte> data,
                                            std::uint64_t mask) {
   if (mask == 0) return;
+  gate_shared_access();
   if (!cfg_.multi_block()) {
     push_words_to_dram(line, data, mask);
     return;
@@ -359,6 +367,7 @@ void IncoherentHierarchy::push_words_to_dram(Addr line,
                                              std::span<const std::byte> data,
                                              std::uint64_t mask) {
   if (mask == 0) return;
+  gate_shared_access();
   if (!data.empty()) {
     for (std::uint32_t w = 0; w * kWordBytes < cfg_.l1.line_bytes; ++w) {
       if ((mask & (1ULL << w)) == 0) continue;
@@ -614,24 +623,25 @@ Cycle IncoherentHierarchy::inv_line(CoreId core, Addr line, Level from) {
   return lat;
 }
 
-void IncoherentHierarchy::collect_resident_lines(CoreId core, Addr first,
-                                                 Addr last, bool include_l2) {
-  scratch_.clear();
+std::vector<Addr>& IncoherentHierarchy::collect_resident_lines(
+    CoreId core, Addr first, Addr last, bool include_l2) {
+  auto& scratch = scratch_[static_cast<std::size_t>(cfg_.block_of(core))];
+  scratch.clear();
   const auto in_range = [&](Addr a) { return a >= first && a <= last; };
   l1_of(core).for_each_valid([&](const CacheLine& l) {
-    if (in_range(l.line_addr)) scratch_.push_back(l.line_addr);
+    if (in_range(l.line_addr)) scratch.push_back(l.line_addr);
   });
   if (include_l2) {
     l2_of(cfg_.block_of(core)).for_each_valid([&](const CacheLine& l) {
-      if (in_range(l.line_addr)) scratch_.push_back(l.line_addr);
+      if (in_range(l.line_addr)) scratch.push_back(l.line_addr);
     });
   }
   // Ascending address order — the same order the per-address loop visits
   // lines in, so per-line side effects (RNG draws, L2 allocations) land in
   // the identical sequence.
-  std::sort(scratch_.begin(), scratch_.end());
-  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
-                 scratch_.end());
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+  return scratch;
 }
 
 Cycle IncoherentHierarchy::wb_range(CoreId core, AddrRange r, Level to) {
@@ -652,9 +662,10 @@ Cycle IncoherentHierarchy::wb_range(CoreId core, AddrRange r, Level to) {
     // every level at collection time stay absent for the whole op (only the
     // written-back lines themselves allocate downstream), so this performs
     // the exact same per-line work as the per-address loop below.
-    collect_resident_lines(core, first, last, /*include_l2=*/to == Level::L3);
-    for (Addr line : scratch_) lat += wb_line(core, line, to);
-    const std::uint64_t absent = n_lines - scratch_.size();
+    auto& resident = collect_resident_lines(core, first, last,
+                                            /*include_l2=*/to == Level::L3);
+    for (Addr line : resident) lat += wb_line(core, line, to);
+    const std::uint64_t absent = n_lines - resident.size();
     lat += absent;  // one tag-check cycle per absent line
     if (to == Level::L3) stats_->ops().global_wb_lines += absent;
   } else {
@@ -713,9 +724,9 @@ Cycle IncoherentHierarchy::inv_range(CoreId core, AddrRange r, Level from) {
   std::uint64_t resident_bound = l1_of(core).params().num_lines();
   if (also_l2) resident_bound += l2_of(cfg_.block_of(core)).params().num_lines();
   if (n_lines > resident_bound) {
-    collect_resident_lines(core, first, last, also_l2);
-    for (Addr line : scratch_) lat += inv_line(core, line, from);
-    const std::uint64_t absent = n_lines - scratch_.size();
+    auto& resident = collect_resident_lines(core, first, last, also_l2);
+    for (Addr line : resident) lat += inv_line(core, line, from);
+    const std::uint64_t absent = n_lines - resident.size();
     lat += absent;  // one tag-check cycle per absent line
     if (also_l2) stats_->ops().global_inv_lines += absent;
   } else {

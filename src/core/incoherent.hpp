@@ -169,12 +169,13 @@ class IncoherentHierarchy final : public HierarchyBase {
     return (lines + cfg_.costs.tags_checked_per_cycle - 1) /
            cfg_.costs.tags_checked_per_cycle;
   }
-  /// Fills scratch_ with the resident line addresses inside [first, last]
-  /// (L1 of `core`, plus the block L2 when `include_l2`), ascending, deduped.
-  /// Lets wb_range/inv_range walk O(min(range, cache)) lines instead of one
-  /// probe per address — no allocation: scratch_ is reserved once.
-  void collect_resident_lines(CoreId core, Addr first, Addr last,
-                              bool include_l2);
+  /// Fills the block's scratch buffer with the resident line addresses
+  /// inside [first, last] (L1 of `core`, plus the block L2 when
+  /// `include_l2`), ascending, deduped; returns it. Lets wb_range/inv_range
+  /// walk O(min(range, cache)) lines instead of one probe per address — no
+  /// allocation: the buffers are reserved once.
+  std::vector<Addr>& collect_resident_lines(CoreId core, Addr first,
+                                            Addr last, bool include_l2);
 
   /// DRAM round trip from a node.
   Cycle memory_fetch(NodeId at);
@@ -187,7 +188,10 @@ class IncoherentHierarchy final : public HierarchyBase {
   std::vector<InvalidatedEntryBuffer> ieb_;  ///< per core
   std::vector<ThreadMap> tmap_;            ///< per block
   std::vector<bool> cs_active_;            ///< per core
-  std::vector<Addr> scratch_;  ///< collect_resident_lines buffer (hot path)
+  /// collect_resident_lines buffers (hot path), one per block: a block's
+  /// cores run on one shard worker, so per-block buffers are race-free
+  /// under the sharded engine.
+  std::vector<std::vector<Addr>> scratch_;
 };
 
 }  // namespace hic

@@ -70,6 +70,11 @@ struct CampaignPoint {
   /// into the digest only when enabled, mirroring `inject`.
   bool recover = false;
   std::string resil_spec;
+  /// Host-side execution knob: sharded-engine worker threads for this
+  /// group's runs (0 = single-thread direct scheduler). Simulated results
+  /// are bit-identical either way, so it is deliberately NOT part of the
+  /// digest — flipping it never invalidates cached results.
+  int shard_threads = 0;
   std::string digest;  ///< content digest — the cache/journal key
 };
 

@@ -1,9 +1,10 @@
 // CampaignRunner: executes every point of a campaign across host threads.
 //
 // Each point is an isolated in-process simulation: one Machine, built and
-// run entirely on one host worker thread (the engine's fiber scheduler is
-// single-host-threaded, so machines on different workers never share mutable
-// state). Scheduling is work-stealing — points are dealt round-robin to
+// run entirely on one host worker thread (machines on different workers
+// never share mutable state; a group's `shard_threads` knob may make a
+// point spawn its own private sharded-engine workers, which stay inside
+// that Machine). Scheduling is work-stealing — points are dealt round-robin to
 // per-worker deques, and an idle worker steals from the back of the busiest
 // victim — so a handful of long simulations can't strand the other workers.
 //

@@ -21,6 +21,12 @@
 // engine/hierarchy/write-buffer is a single pointer test when tracing is
 // off, so golden stats and host performance are unaffected. Recording is
 // deterministic: identical runs produce byte-identical exports.
+//
+// Thread-safety: the tracer is single-threaded by design — its vectors are
+// appended in dispatch order with no locking. An attached tracer therefore
+// forces the sharded engine into serialize mode (one quantum at a time;
+// docs/performance.md "Sharded execution"), which keeps exports
+// byte-identical to unsharded runs at the cost of overlap.
 #pragma once
 
 #include <cstdint>

@@ -26,6 +26,22 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer likewise needs every ucontext switch announced through its
+// fiber API, or it reports phantom races between stack frames of different
+// fibers. The annotations also give TSan the happens-before edge a fiber
+// handoff implies. Plain builds compile it all away.
+#if defined(__SANITIZE_THREAD__)
+#define HIC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HIC_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef HIC_TSAN_FIBERS
+#include <pthread.h>
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace hic {
 
 namespace {
@@ -56,6 +72,40 @@ inline void fiber_switch_finish(void* fake) {
   (void)fake;
 #endif
 }
+
+// TSan fiber bookkeeping (no-ops / nullptr in plain builds).
+inline void* tsan_current_fiber() {
+#ifdef HIC_TSAN_FIBERS
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+inline void* tsan_make_fiber() {
+#ifdef HIC_TSAN_FIBERS
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_free_fiber(void* f) {
+#ifdef HIC_TSAN_FIBERS
+  if (f != nullptr) __tsan_destroy_fiber(f);
+#else
+  (void)f;
+#endif
+}
+
+/// Call right before switching to the context owning `f`.
+inline void tsan_switch(void* f) {
+#ifdef HIC_TSAN_FIBERS
+  if (f != nullptr) __tsan_switch_to_fiber(f, 0);
+#else
+  (void)f;
+#endif
+}
 }  // namespace
 
 // ============================ Engine =========================================
@@ -68,12 +118,20 @@ void Engine::run(std::vector<CoreBody> bodies) {
   HIC_CHECK_MSG(static_cast<int>(bodies.size()) <=
                     hier_->config().total_cores(),
                 "more bodies than cores");
+  HIC_CHECK_MSG(!(legacy_ && shard_threads_req_ > 0),
+                "--shard-threads is incompatible with the legacy scheduler "
+                "(sharding builds on the direct-handoff fiber engine)");
   const auto& cfg = hier_->config();
+  const bool sharded = !legacy_ && shard_threads_req_ > 0;
   ctxs_.clear();
   heap_.clear();
   abort_ = false;
   watchdog_tripped_ = false;
+  shard_deadlock_ = false;
+  shard_infra_error_ = nullptr;
+  last_shard_count_ = 0;
   hang_report_ = HangReport{};
+  main_tsan_fiber_ = tsan_current_fiber();
   // An abort teardown leaves one surplus post per released core; drain them
   // so a reused Engine starts from zero.
   while (engine_sem_.try_acquire()) {
@@ -111,6 +169,7 @@ void Engine::run(std::vector<CoreBody> bodies) {
       });
     } else {
       c.stack.reset(new unsigned char[kFiberStackBytes]);
+      c.tsan_fiber = tsan_make_fiber();
       HIC_CHECK(getcontext(&c.uctx) == 0);
       c.uctx.uc_stack.ss_sp = c.stack.get();
       c.uctx.uc_stack.ss_size = kFiberStackBytes;
@@ -164,6 +223,12 @@ void Engine::run(std::vector<CoreBody> bodies) {
       engine_sem_.acquire();
       running_ = nullptr;
     }
+  } else if (sharded) {
+    // Sharded: worker threads dispatch, run and tear down their own
+    // partitions; control returns with the outcome flags set.
+    run_sharded();
+    deadlock = shard_deadlock_;
+    watchdog = watchdog_tripped_;
   } else {
     // Direct handoff: seed the ready heap and swap into the earliest core's
     // fiber. Fibers hand the CPU to each other in user space; control
@@ -186,6 +251,7 @@ void Engine::run(std::vector<CoreBody> bodies) {
     CoreCtx* first = pick_next();
     if (first != nullptr) {
       running_ = first;
+      tsan_switch(first->tsan_fiber);
       fiber_switch_start(&main_asan_fake_, first->stack.get(),
                          kFiberStackBytes);
       swapcontext(&main_ctx_, &first->uctx);
@@ -201,7 +267,10 @@ void Engine::run(std::vector<CoreBody> bodies) {
     }
   }
 
-  if (deadlock || watchdog) {
+  // Sharded runs snapshot their hang report at detection time and unwind
+  // their fibers on the owning workers; the blocks below are the
+  // single-thread paths' equivalents.
+  if ((deadlock || watchdog) && !sharded) {
     // Snapshot the diagnosis *before* teardown: releasing parked threads
     // lets them run to Finished, destroying the blocked states below.
     Cycle at = 0;
@@ -210,7 +279,7 @@ void Engine::run(std::vector<CoreBody> bodies) {
         deadlock ? HangReport::Kind::Deadlock : HangReport::Kind::Watchdog,
         at);
   }
-  if (deadlock || watchdog || abort_) {
+  if ((deadlock || watchdog || abort_) && !sharded) {
     abort_ = true;
     if (legacy_) {
       // Release every parked thread so it can observe abort_ and exit.
@@ -223,6 +292,7 @@ void Engine::run(std::vector<CoreBody> bodies) {
       // finish immediately. Each comes straight back here via fiber_finish.
       for (auto& up : ctxs_) {
         if (up->state != CoreCtx::St::Finished) {
+          tsan_switch(up->tsan_fiber);
           fiber_switch_start(&main_asan_fake_, up->stack.get(),
                              kFiberStackBytes);
           swapcontext(&main_ctx_, &up->uctx);
@@ -234,12 +304,17 @@ void Engine::run(std::vector<CoreBody> bodies) {
   for (auto& up : ctxs_) {
     if (up->thr.joinable()) up->thr.join();
   }
+  for (auto& up : ctxs_) {
+    tsan_free_fiber(up->tsan_fiber);
+    up->tsan_fiber = nullptr;
+  }
   finish_time_ = 0;
   for (auto& up : ctxs_) finish_time_ = std::max(finish_time_, up->time);
   // A workload failure outranks the hang report (it usually caused it).
   for (auto& up : ctxs_) {
     if (up->error) std::rethrow_exception(up->error);
   }
+  if (shard_infra_error_) std::rethrow_exception(shard_infra_error_);
   if (deadlock || watchdog) throw CheckFailure(hang_report_.render());
 }
 
@@ -310,6 +385,10 @@ void Engine::charge(CoreCtx& c, StallKind k, Cycle cycles) {
   if (cycles == 0) return;
   const Cycle start = c.time;
   c.time += cycles;
+  // Publish the live clock: other shards' dispatch decisions and skew gates
+  // read it lock-free.
+  if (sharded_active_)
+    runners_[c.shard].clock.store(c.time, std::memory_order_release);
   stats().stalls(c.id).add(k, cycles);
   if (tracer_ != nullptr) {
     tracer_->stall(c.id, start, c.time, k);
@@ -320,6 +399,7 @@ void Engine::charge(CoreCtx& c, StallKind k, Cycle cycles) {
 void Engine::push_ready(CoreCtx& c) {
   heap_.emplace_back(c.time, c.id);
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  if (sharded_active_) shard_publish_top_locked();
 }
 
 Engine::CoreCtx* Engine::pick_next() {
@@ -353,6 +433,7 @@ void Engine::relinquish(CoreCtx& c) {
   running_ = next;
   // Park this fiber inside the swap; it resumes right here when another
   // fiber (or the teardown loop) dispatches it again.
+  tsan_switch(next != nullptr ? next->tsan_fiber : main_tsan_fiber_);
   if (next != nullptr)
     fiber_switch_start(&c.asan_fake, next->stack.get(), kFiberStackBytes);
   else
@@ -384,11 +465,24 @@ void Engine::fiber_trampoline(unsigned hi, unsigned lo) {
 }
 
 void Engine::fiber_finish(CoreCtx& c) {
-  (void)c;  // the finished core no longer participates in scheduling
+  if (sharded_active_) {
+    // Retire the quantum and hand the CPU back to the owning shard's
+    // worker loop. setcontext (not swap): this fiber is dead.
+    {
+      std::lock_guard<std::mutex> lk(shard_mu_);
+      shard_end_quantum_locked(c);
+    }
+    ShardCtx& s = *shardctx_[static_cast<std::size_t>(c.shard)];
+    tsan_switch(s.tsan_fiber);
+    fiber_switch_start(nullptr, s.stack_bottom, s.stack_size);
+    setcontext(&s.main);
+    std::abort();  // setcontext returns only on error
+  }
   // During an abort teardown run() owns dispatching; otherwise hand the CPU
   // to the next ready core. setcontext (not swap): this fiber is dead.
   CoreCtx* next = abort_ ? nullptr : pick_next();
   running_ = next;
+  tsan_switch(next != nullptr ? next->tsan_fiber : main_tsan_fiber_);
   // nullptr slot: this fiber never resumes, so ASan frees its fake stack.
   if (next != nullptr)
     fiber_switch_start(nullptr, next->stack.get(), kFiberStackBytes);
@@ -402,6 +496,8 @@ void Engine::yield(CoreCtx& c) {
   if (legacy_) {
     engine_sem_.release();
     c.go.acquire();
+  } else if (sharded_active_) {
+    relinquish_sharded(c);
   } else {
     relinquish(c);
   }
@@ -409,7 +505,11 @@ void Engine::yield(CoreCtx& c) {
 }
 
 void Engine::maybe_yield(CoreCtx& c) {
-  if (c.time >= c.run_until) yield(c);
+  if (sharded_active_) {
+    if (c.time >= c.aru.load(std::memory_order_acquire)) yield(c);
+  } else if (c.time >= c.run_until) {
+    yield(c);
+  }
 }
 
 void Engine::block(CoreCtx& c, StallKind k, SyncId on) {
@@ -427,12 +527,28 @@ void Engine::block(CoreCtx& c, StallKind k, SyncId on) {
   }
 }
 
-void Engine::wake(CoreId target, Cycle at) {
+void Engine::wake(CoreCtx& waker, CoreId target, Cycle at) {
   CoreCtx& t = ctx(target);
   HIC_CHECK_MSG(t.state == CoreCtx::St::Blocked,
                 "woke core " << target << " that is not blocked");
   t.state = CoreCtx::St::Ready;
   t.time = std::max(t.time, at);
+  if (sharded_active_) {
+    // A heap insertion below running quanta's horizons: enter the heap and
+    // patch — the waker itself (the direct scheduler's running core) and
+    // every quantum dispatched after it.
+    std::lock_guard<std::mutex> lk(shard_mu_);
+    push_ready(t);
+    const Cycle nu = t.time + slack_;
+    Cycle cur = waker.aru.load(std::memory_order_relaxed);
+    while (nu < cur && !waker.aru.compare_exchange_weak(
+                           cur, nu, std::memory_order_release,
+                           std::memory_order_relaxed)) {
+    }
+    shard_patch_locked(waker.seq, t.time);
+    if (cv_waiters_ > 0) shard_cv_.notify_all();
+    return;
+  }
   if (!legacy_) push_ready(t);
   // The waker's quantum was computed while `target` was blocked; shrink it
   // so the newly runnable core gets scheduled at the right time instead of
@@ -489,6 +605,7 @@ SimStats& CoreServices::stats() { return eng_->stats(); }
 
 void CoreServices::compute(Cycle cycles) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Compute);
   eng_->charge(c, StallKind::Rest, cycles);
   eng_->maybe_yield(c);
@@ -496,6 +613,7 @@ void CoreServices::compute(Cycle cycles) {
 
 AccessOutcome CoreServices::load(Addr a, std::uint32_t bytes, void* out) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
   c.ring.push(c.time, CoreEventKind::Load, static_cast<std::int64_t>(a));
   c.wbuf.retire_until(c.time);
@@ -512,6 +630,7 @@ AccessOutcome CoreServices::load(Addr a, std::uint32_t bytes, void* out) {
 AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
                                   const void* in) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
   c.ring.push(c.time, CoreEventKind::Store, static_cast<std::int64_t>(a));
   eng_->trace_ctx(c);
@@ -529,6 +648,7 @@ AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
 
 void CoreServices::wb_range(AddrRange r, Level to) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -543,6 +663,7 @@ void CoreServices::wb_range(AddrRange r, Level to) {
 
 void CoreServices::wb_all(Level to) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb);
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -556,6 +677,7 @@ void CoreServices::wb_all(Level to) {
 
 void CoreServices::inv_range(AddrRange r, Level from) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -569,6 +691,7 @@ void CoreServices::inv_range(AddrRange r, Level from) {
 
 void CoreServices::inv_all(Level from) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv);
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -582,6 +705,7 @@ void CoreServices::inv_all(Level from) {
 
 void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -595,6 +719,7 @@ void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
 
 void CoreServices::wb_cons_all(ThreadId consumer) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb);
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -608,6 +733,7 @@ void CoreServices::wb_cons_all(ThreadId consumer) {
 
 void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -621,6 +747,7 @@ void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
 
 void CoreServices::inv_prod_all(ThreadId producer) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv);
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -634,6 +761,7 @@ void CoreServices::inv_prod_all(ThreadId producer) {
 
 void CoreServices::cs_enter() {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::CsEnter);
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -647,6 +775,7 @@ void CoreServices::cs_enter() {
 
 void CoreServices::cs_exit() {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::CsExit);
   const Cycle start = c.time;
   eng_->trace_ctx(c);
@@ -660,6 +789,7 @@ void CoreServices::cs_exit() {
 
 void CoreServices::drain_write_buffer() {
   auto& c = eng_->ctx(id_);
+  eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Drain);
   const Cycle start = c.time;
   eng_->drain(c);
@@ -670,6 +800,13 @@ void CoreServices::drain_write_buffer() {
 void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
                             Addr dst, std::uint64_t bytes) {
   auto& c = eng_->ctx(id_);
+  // A DMA mutates a remote block's L2 behind the owning shard's back; only
+  // the serialized sharded mode (one quantum at a time) can replay it
+  // exactly. No workload in the suite combines DMA with parallel sharding.
+  HIC_CHECK_MSG(!eng_->sharded_active_ || eng_->shard_serialize_,
+                "dma_copy is not supported in parallel sharded mode; "
+                "run with --shard-threads 1 or without sharding");
+  eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::Dma, static_cast<std::int64_t>(src));
   const Cycle start = c.time;
   // The initiator's prior writebacks must be out before the DMA reads the
@@ -691,6 +828,7 @@ void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
 
 void CoreServices::barrier(SyncId id) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::Barrier, id);
   const Cycle start = c.time;
   eng_->drain(c);  // a barrier is a release point: posted data must be out
@@ -711,7 +849,7 @@ void CoreServices::barrier(SyncId id) {
     const NodeId home = eng_->sync().home_of(id);
     for (CoreId w : *released) {
       if (w == id_) continue;
-      eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+      eng_->wake(c, w, c.time + topo.latency(home, topo.core_node(w)));
     }
   }
   eng_->trace_sync(c, start, "barrier", id);
@@ -720,6 +858,7 @@ void CoreServices::barrier(SyncId id) {
 
 void CoreServices::lock(SyncId id) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::Lock, id);
   const Cycle start = c.time;
   eng_->charge(c, StallKind::LockStall, eng_->sync_latency(c, id));
@@ -736,6 +875,7 @@ void CoreServices::lock(SyncId id) {
 
 void CoreServices::unlock(SyncId id) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::Unlock, id);
   const Cycle start = c.time;
   eng_->drain(c);  // release semantics: critical-section WBs must complete
@@ -746,7 +886,7 @@ void CoreServices::unlock(SyncId id) {
   if (next.has_value()) {
     const auto& topo = eng_->hierarchy().topology();
     const NodeId home = eng_->sync().home_of(id);
-    eng_->wake(*next, c.time + topo.latency(home, topo.core_node(*next)));
+    eng_->wake(c, *next, c.time + topo.latency(home, topo.core_node(*next)));
   }
   eng_->trace_sync(c, start, "unlock", id);
   eng_->maybe_yield(c);
@@ -754,6 +894,7 @@ void CoreServices::unlock(SyncId id) {
 
 void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::FlagWait, id);
   const Cycle start = c.time;
   eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
@@ -769,6 +910,7 @@ void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
 
 void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::FlagSet, id);
   const Cycle start = c.time;
   eng_->drain(c);  // the flag publishes data: WBs must be out first
@@ -779,17 +921,23 @@ void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   const auto& topo = eng_->hierarchy().topology();
   const NodeId home = eng_->sync().home_of(id);
   for (CoreId w : released)
-    eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+    eng_->wake(c, w, c.time + topo.latency(home, topo.core_node(w)));
   eng_->trace_sync(c, start, "flag_set", id);
   eng_->maybe_yield(c);
 }
 
 void CoreServices::oracle_mark_racy() {
+  // Racy accesses are the one annotation class whose outcome (the staleness
+  // monitor's verdict, the oracle's race accounting) depends on cross-core
+  // access order. Serializing them on global dispatch order makes that order
+  // — and therefore every counter — identical to the single-thread engine.
+  eng_->shard_order_gate(eng_->ctx(id_));
   if (auto* o = eng_->oracle()) o->mark_racy_next(id_);
 }
 
 std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   auto& c = eng_->ctx(id_);
+  eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::FlagAdd, id);
   const Cycle start = c.time;
   eng_->drain(c);
@@ -803,7 +951,7 @@ std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   const auto& topo = eng_->hierarchy().topology();
   const NodeId home = eng_->sync().home_of(id);
   for (CoreId w : released)
-    eng_->wake(w, c.time + topo.latency(home, topo.core_node(w)));
+    eng_->wake(c, w, c.time + topo.latency(home, topo.core_node(w)));
   eng_->trace_sync(c, start, "flag_add", id);
   eng_->maybe_yield(c);
   return v;

@@ -27,9 +27,14 @@
 
 #include <ucontext.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <semaphore>
 #include <thread>
 #include <vector>
@@ -143,6 +148,24 @@ class Engine {
   void set_legacy_scheduler(bool on) { legacy_ = on; }
   [[nodiscard]] bool legacy_scheduler() const { return legacy_; }
 
+  /// Sharded execution: partition the machine by cluster (block), pin each
+  /// partition's fibers to its own host worker thread, and let partitions
+  /// advance concurrently under a conservative-lookahead protocol that
+  /// replays the direct scheduler's exact quantum sequence (docs/
+  /// performance.md). Simulated results — stats, cycles, traces, oracle
+  /// verdicts, fault accounting — are bit-identical to the single-thread
+  /// schedulers; only host wall-clock changes. `n` is the requested worker
+  /// count: 0 (default) disables sharding, values above the machine's block
+  /// count are clamped (a shard owns at least one whole block, since blocks
+  /// share an L2). Incompatible with the legacy scheduler.
+  void set_shard_threads(int n) { shard_threads_req_ = n; }
+  [[nodiscard]] int shard_threads() const { return shard_threads_req_; }
+  /// Worker threads the last run actually used (0 = unsharded run).
+  [[nodiscard]] int effective_shards() const { return last_shard_count_; }
+  /// True when the last sharded run fell back to one-quantum-at-a-time
+  /// dispatch (observer attached / coherent hierarchy / fault plan armed).
+  [[nodiscard]] bool shard_serialized() const { return shard_serialize_; }
+
   /// Attaches an event tracer (nullptr = off; see obs/tracer.hpp). When set,
   /// every stall charge, op/sync call window and write-buffer drain is
   /// recorded as a span; must outlive run(). Off costs one pointer test per
@@ -189,6 +212,27 @@ class Engine {
     /// Sync variable the core is parked on while Blocked (-1 otherwise).
     /// Survives an abort teardown, so hang diagnosis can read it.
     SyncId blocked_on = -1;
+    // --- Sharded mode only (engine_sharded.cpp) ---------------------------
+    /// Owning shard (fixed block partition; the core's fiber only ever runs
+    /// on that shard's worker thread).
+    int shard = 0;
+    /// Dispatch sequence number of the core's current quantum. Assigned
+    /// under the shard mutex in exactly the order the direct scheduler
+    /// would dispatch, so it doubles as the global order of shared-state
+    /// operations.
+    std::uint64_t seq = 0;
+    /// The quantum end (direct mode's run_until), atomic because earlier
+    /// quanta running on other workers shrink it when they re-enter the
+    /// ready heap below this core's horizon.
+    std::atomic<Cycle> aru{0};
+    /// Conservative skew-gate threshold: below this clock no patch from an
+    /// earlier quantum can still be in flight, so ops skip the runner scan.
+    Cycle gate_until = 0;
+    /// Set once every earlier-dispatched quantum has retired; from then on
+    /// globally-ordered ops (sync, L3/DRAM) need no wait this quantum.
+    bool order_clear = false;
+    /// ThreadSanitizer fiber handle (TSan builds only).
+    void* tsan_fiber = nullptr;
     /// Last few operations the core performed (hang-report context).
     EventRing ring;
     WriteBufferModel wbuf;
@@ -223,8 +267,82 @@ class Engine {
   /// Blocks the core until another core wakes it; charges the wait to `k`.
   /// `on` is the sync variable the core is waiting for (for hang diagnosis).
   void block(CoreCtx& c, StallKind k, SyncId on);
-  /// Marks a blocked core runnable no earlier than `at`.
-  void wake(CoreId target, Cycle at);
+  /// Marks a blocked core runnable no earlier than `at`. `waker` is the
+  /// core performing the wake (the currently running one).
+  void wake(CoreCtx& waker, CoreId target, Cycle at);
+
+  // --- Sharded execution (engine_sharded.cpp) -----------------------------
+  static constexpr std::uint64_t kIdleSeq =
+      std::numeric_limits<std::uint64_t>::max();
+  /// One per worker: the quantum it is currently running, published so
+  /// other workers' dispatch decisions and gates can read it lock-free.
+  struct ShardRunner {
+    std::atomic<std::uint64_t> seq{kIdleSeq};  ///< kIdleSeq = no quantum
+    std::atomic<Cycle> clock{0};               ///< live clock of that core
+    CoreCtx* core = nullptr;                   ///< written under shard_mu_
+    char pad[64];  ///< keep shards' hot clocks off each other's cache line
+  };
+  /// One per worker thread: its scheduler context + private stats lane.
+  struct ShardCtx {
+    ucontext_t main{};
+    void* asan_fake = nullptr;
+    const void* stack_bottom = nullptr;
+    std::size_t stack_size = 0;
+    void* tsan_fiber = nullptr;
+    StatsLane lane;
+    std::exception_ptr err;  ///< engine-infrastructure failure on the worker
+    std::thread thr;
+  };
+  /// The sharded run loop: partitions cores, launches workers, joins them,
+  /// merges stats lanes. Sets shard_deadlock_ / watchdog_tripped_ (with
+  /// hang_report_ built at detection time) instead of throwing.
+  void run_sharded();
+  void shard_worker(int self);
+  /// Swaps the worker into the core's fiber for one quantum.
+  void shard_run_quantum(int self, CoreCtx& c);
+  /// Dispatches the heap top if it belongs to `self` and the conservative
+  /// condition holds (every running quantum's clock is strictly past it).
+  CoreCtx* shard_try_dispatch_locked(int self);
+  void shard_arm_locked(CoreCtx& c);
+  /// Retires the running quantum: re-enters the heap if still Ready,
+  /// patches later runners' horizons, clears the runner slot.
+  void shard_end_quantum_locked(CoreCtx& c);
+  /// Fast path: the yielding core re-dispatches itself with zero context
+  /// switches when it is the heap top and the dispatch condition holds.
+  bool shard_try_redispatch_self_locked(CoreCtx& c);
+  /// A heap insertion at `at` by quantum `inserter_seq` shrinks the horizon
+  /// of every running quantum dispatched after it — the direct scheduler
+  /// would have seen the entry when computing those quanta's run_until.
+  void shard_patch_locked(std::uint64_t inserter_seq, Cycle at);
+  [[nodiscard]] bool shard_clocks_allow_locked(Cycle t) const;
+  [[nodiscard]] bool shard_any_runner_locked() const;
+  /// Re-publishes the heap top (time, owning shard) after a heap mutation,
+  /// so idle workers can poll dispatchability lock-free: runner clocks
+  /// advance without notifying the cv, and sleeping through them costs more
+  /// than the quanta themselves.
+  void shard_publish_top_locked();
+  /// Lock-free dispatchability hint for the idle-worker spin loop. May be
+  /// stale in either direction — the dispatch under the lock revalidates.
+  [[nodiscard]] bool shard_hint_dispatchable(int self) const;
+  /// Sharded counterpart of relinquish(): ends the quantum and returns to
+  /// the shard worker's context (or re-picks itself in place).
+  void relinquish_sharded(CoreCtx& c);
+  /// Skew gate, called at every op start: waits until no earlier-dispatched
+  /// quantum could still insert a heap entry that must end this quantum at
+  /// or before the current clock. The hot path is one comparison.
+  void shard_gate(CoreCtx& c) {
+    if (!sharded_active_) return;
+    if (c.time < c.gate_until &&
+        c.time < c.aru.load(std::memory_order_relaxed))
+      return;
+    shard_gate_slow(c);
+  }
+  void shard_gate_slow(CoreCtx& c);
+  /// Global-order gate, called before ops on machine-global state (sync
+  /// controller, L3/DRAM, declared-racy accesses): waits until every
+  /// earlier-dispatched quantum has retired, so such ops execute exactly in
+  /// the direct scheduler's quantum order.
+  void shard_order_gate(CoreCtx& c);
 
   /// Empties the write buffer, charging WB/INV stall appropriately.
   void drain(CoreCtx& c);
@@ -270,11 +388,41 @@ class Engine {
   CoherenceOracle* oracle_ = nullptr;
   ResilienceManager* resil_ = nullptr;
   bool legacy_ = false;
-  bool abort_ = false;
+  /// Atomic: sharded workers and their fibers poll it lock-free; plain
+  /// loads/stores elsewhere keep the single-thread paths unchanged.
+  std::atomic<bool> abort_{false};
   bool watchdog_tripped_ = false;
   Cycle finish_time_ = 0;
   Cycle max_cycles_ = 0;  ///< 0 = no watchdog
   HangReport hang_report_;
+
+  // --- Sharded-mode state (engine_sharded.cpp) ----------------------------
+  int shard_threads_req_ = 0;   ///< requested via set_shard_threads
+  bool sharded_active_ = false;  ///< true while run_sharded() executes
+  bool shard_serialize_ = false;
+  int shard_count_ = 0;
+  int last_shard_count_ = 0;
+  std::unique_ptr<ShardRunner[]> runners_;
+  std::vector<std::unique_ptr<ShardCtx>> shardctx_;
+  /// Protects the ready heap, dispatch/retire transitions and the waiters
+  /// count; everything the gates poll between quanta is atomic instead.
+  std::mutex shard_mu_;
+  std::condition_variable shard_cv_;
+  int cv_waiters_ = 0;
+  /// Lock-free mirror of the heap top for the idle-worker spin loop:
+  /// owning shard (-1 = empty heap) and its dispatch time.
+  std::atomic<int> shard_top_shard_{-1};
+  std::atomic<Cycle> shard_top_time_{0};
+  std::uint64_t next_seq_ = 0;
+  int unfinished_cores_ = 0;
+  bool shard_deadlock_ = false;
+  std::exception_ptr shard_infra_error_;
+  void* main_tsan_fiber_ = nullptr;
+  /// The core whose fiber this worker thread is currently inside (null on
+  /// the worker's scheduler context and on non-sharded runs). Lets the
+  /// hierarchy's shared-access gate — whose deepest call sites have no
+  /// CoreId in scope — reach the acting core's gate state.
+  static inline thread_local CoreCtx* t_active_core_ = nullptr;
 };
 
 }  // namespace hic

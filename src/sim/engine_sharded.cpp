@@ -1,0 +1,544 @@
+// Sharded execution: the direct-handoff scheduler's quantum sequence,
+// replayed across host worker threads.
+//
+// The machine is partitioned by block (cores of a block share an L2, so a
+// block is the natural unit); each partition's fibers are pinned to one
+// worker thread. Workers pull quanta from the same (time, core-id) min-heap
+// the single-thread scheduler uses, under one rule that makes the replay
+// exact rather than merely deterministic:
+//
+//   A quantum may be dispatched only when every currently running quantum's
+//   live clock is strictly past the heap top. Any entry a running quantum
+//   later inserts (a yield rejoin, a wake) lands at or after its clock —
+//   strictly above the top — so the top is provably the quantum the
+//   single-thread scheduler would dispatch next.
+//
+// Two lock-free gates keep concurrently running quanta honest about the
+// horizon (run_until) the single-thread scheduler would have armed:
+//
+//   - the skew gate (every op start): an earlier-dispatched quantum at clock
+//     m can still insert a heap entry at >= m, which would have capped this
+//     quantum's horizon at m + slack. The gate waits until the current time
+//     is below that bound; the patch rule (below) delivers the actual caps.
+//   - the order gate (sync ops, L3/DRAM touches, declared-racy accesses):
+//     waits until every earlier-dispatched quantum has retired, so
+//     operations on machine-global state execute exactly in the
+//     single-thread dispatch order, one at a time.
+//
+// The patch rule: when quantum s inserts a heap entry at time T, it
+// CAS-shrinks the horizon of every running quantum with seq > s to
+// T + slack — the single-thread scheduler had that entry in the heap when it
+// armed those quanta, so their run_until would have seen it.
+//
+// Order-sensitive observers (tracer, oracle, recovery manager, armed fault
+// plan) and the coherent baseline force serialize mode: one quantum at a
+// time, still on the shard workers. The replay is then trivially exact.
+//
+// Stats: each worker accumulates global counters into a private StatsLane
+// (routed via a thread-local in SimStats); lanes are folded into the main
+// account in shard order after the join. Sums commute, so totals are
+// byte-identical to a single-thread run. See docs/performance.md.
+#include "sim/engine.hpp"
+
+#include "fault/fault_plan.hpp"
+#include "resil/resil.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <thread>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define HIC_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HIC_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef HIC_ASAN_FIBERS
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define HIC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HIC_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef HIC_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace hic {
+
+namespace {
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+constexpr std::size_t kFiberStackBytes = 1 << 20;
+/// Gate spins between runner-slot rescans before backing off to the OS.
+constexpr int kGateSpins = 64;
+/// Idle-worker spins on the lock-free dispatch hint before a cv nap.
+/// Quanta are ~slack cycles (microseconds of host time); sleeping through
+/// a dispatch window costs far more than burning these polls.
+constexpr int kDispatchSpins = 4096;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+inline void fiber_switch_start(void** fake, const void* target_bottom,
+                               std::size_t target_size) {
+#ifdef HIC_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake, target_bottom, target_size);
+#else
+  (void)fake;
+  (void)target_bottom;
+  (void)target_size;
+#endif
+}
+
+inline void fiber_switch_finish(void* fake) {
+#ifdef HIC_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#else
+  (void)fake;
+#endif
+}
+
+inline void* tsan_current_fiber() {
+#ifdef HIC_TSAN_FIBERS
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_switch(void* f) {
+#ifdef HIC_TSAN_FIBERS
+  if (f != nullptr) __tsan_switch_to_fiber(f, 0);
+#else
+  (void)f;
+#endif
+}
+
+/// CAS-min on an atomic horizon.
+inline void horizon_shrink(std::atomic<Cycle>& aru, Cycle nu) {
+  Cycle cur = aru.load(std::memory_order_relaxed);
+  while (nu < cur && !aru.compare_exchange_weak(cur, nu,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+void Engine::run_sharded() {
+  const auto& cfg = hier_->config();
+  const int n = static_cast<int>(ctxs_.size());
+  // A shard owns whole blocks (a block's cores share an L2, so splitting one
+  // would put its L2 under two workers). Blocks with no active core carry no
+  // work, so they don't count toward the useful worker ceiling.
+  const int active_blocks = (n + cfg.cores_per_block - 1) / cfg.cores_per_block;
+  const int w = std::clamp(shard_threads_req_, 1, active_blocks);
+  shard_count_ = w;
+  last_shard_count_ = w;
+
+  // Observers that consume events in dispatch order (tracer spans, oracle
+  // hooks, the recovery manager's scrubber clock, fault-plan trigger
+  // matching) — and the coherent baseline, whose directory mutates remote
+  // blocks' state on any store — need the full serial order, not just
+  // serialized shared-level access. Fall back to one-quantum-at-a-time
+  // dispatch; results stay bit-identical, only the overlap is lost.
+  const FaultPlan* fp = hier_->fault_plan();
+  shard_serialize_ = hier_->coherent() || tracer_ != nullptr ||
+                     oracle_ != nullptr || resil_ != nullptr ||
+                     (fp != nullptr && !fp->empty());
+
+  heap_.reserve(ctxs_.size());
+  for (auto& up : ctxs_) {
+    CoreCtx& c = *up;
+    c.shard = (c.id / cfg.cores_per_block) * w / active_blocks;
+    c.seq = 0;
+    c.aru.store(0, std::memory_order_relaxed);
+    c.gate_until = 0;
+    c.order_clear = false;
+    push_ready(c);
+  }
+  next_seq_ = 0;
+  unfinished_cores_ = n;
+  cv_waiters_ = 0;
+  shard_publish_top_locked();  // seed the spin-loop hint (no workers yet)
+  runners_ = std::make_unique<ShardRunner[]>(static_cast<std::size_t>(w));
+  shardctx_.clear();
+  for (int i = 0; i < w; ++i)
+    shardctx_.push_back(std::make_unique<ShardCtx>());
+
+  // The shared L3 slices and DRAM belong to no shard; the hierarchy calls
+  // this gate before touching them (serialize mode satisfies it trivially).
+  // The acting core comes from the worker's thread-local — the deepest call
+  // sites (eviction cascades) have no CoreId in scope.
+  hier_->set_shared_access_gate([this] {
+    if (CoreCtx* c = t_active_core_) shard_order_gate(*c);
+  });
+  sharded_active_ = true;
+  for (int i = 0; i < w; ++i)
+    shardctx_[static_cast<std::size_t>(i)]->thr =
+        std::thread([this, i] { shard_worker(i); });
+  for (auto& s : shardctx_) s->thr.join();
+  sharded_active_ = false;
+  hier_->set_shared_access_gate(nullptr);
+
+  // Folding in fixed shard order keeps even a hypothetical non-commutative
+  // future counter deterministic; today's sums are order-blind anyway.
+  for (auto& s : shardctx_) {
+    stats().merge_lane(s->lane);
+    if (s->err && !shard_infra_error_) shard_infra_error_ = s->err;
+  }
+}
+
+void Engine::shard_worker(int self) {
+  ShardCtx& s = *shardctx_[static_cast<std::size_t>(self)];
+#ifdef HIC_ASAN_FIBERS
+  {  // ASan needs this worker's stack bounds to annotate switches back.
+    pthread_attr_t attr;
+    pthread_getattr_np(pthread_self(), &attr);
+    void* addr = nullptr;
+    std::size_t size = 0;
+    pthread_attr_getstack(&attr, &addr, &size);
+    pthread_attr_destroy(&attr);
+    s.stack_bottom = addr;
+    s.stack_size = size;
+  }
+#endif
+  s.tsan_fiber = tsan_current_fiber();
+  SimStats::set_thread_lane(&s.lane);
+  try {
+    std::unique_lock<std::mutex> lk(shard_mu_);
+    while (!abort_.load(std::memory_order_relaxed) && unfinished_cores_ > 0 &&
+           !watchdog_tripped_ && !shard_deadlock_) {
+      CoreCtx* c = shard_try_dispatch_locked(self);
+      if (c != nullptr) {
+        lk.unlock();
+        shard_run_quantum(self, *c);
+        lk.lock();
+        continue;
+      }
+      if (!shard_any_runner_locked()) {
+        // Nothing is running, so core states are stable: diagnose under the
+        // lock, exactly as the single-thread scheduler would see them.
+        if (heap_.empty()) {
+          Cycle at = 0;
+          for (auto& up : ctxs_) at = std::max(at, up->time);
+          hang_report_ = build_hang_report(HangReport::Kind::Deadlock, at);
+          shard_deadlock_ = true;
+          abort_.store(true, std::memory_order_relaxed);
+          shard_cv_.notify_all();
+          break;
+        }
+        if (max_cycles_ != 0 && heap_.front().first > max_cycles_) {
+          Cycle at = 0;
+          for (auto& up : ctxs_) at = std::max(at, up->time);
+          hang_report_ = build_hang_report(HangReport::Kind::Watchdog, at);
+          watchdog_tripped_ = true;
+          abort_.store(true, std::memory_order_relaxed);
+          shard_cv_.notify_all();
+          break;
+        }
+      }
+      // Heap top belongs to another shard, or clocks don't allow it yet.
+      // Clock advances are lock-free and never signal, so poll the hint
+      // without the lock first; the cv nap is only the deep-idle fallback
+      // (its timeout bounds the unnotified-progress window).
+      lk.unlock();
+      bool promising = false;
+      for (int spin = 0; spin < kDispatchSpins; ++spin) {
+        if (abort_.load(std::memory_order_relaxed)) break;
+        if (shard_hint_dispatchable(self)) {
+          promising = true;
+          break;
+        }
+        // Periodic sched yields keep an oversubscribed host (fewer CPUs
+        // than workers) productive: the running worker gets the timeslice
+        // back instead of watching us poll its clock.
+        if ((spin & 63) == 63)
+          std::this_thread::yield();
+        else
+          cpu_relax();
+      }
+      lk.lock();
+      if (promising || abort_.load(std::memory_order_relaxed)) continue;
+      ++cv_waiters_;
+      shard_cv_.wait_for(lk, std::chrono::microseconds(50));
+      --cv_waiters_;
+    }
+    lk.unlock();
+    if (abort_.load(std::memory_order_relaxed)) {
+      // Resume each of this shard's unfinished fibers once so its body
+      // unwinds (the pending yield/gate throws AbortRun); never-started
+      // fibers skip the body and finish immediately. Fibers never migrate
+      // workers, so each worker can only unwind its own.
+      for (auto& up : ctxs_) {
+        CoreCtx& c = *up;
+        if (c.shard != self || c.state == CoreCtx::St::Finished) continue;
+        shard_run_quantum(self, c);
+      }
+    }
+  } catch (...) {
+    // Engine-infrastructure failure (the fibers catch their own): abort the
+    // run and hand the exception to run(). Skipping this worker's unwind
+    // leaks its fibers' stacks' destructors, but the run is lost anyway.
+    s.err = std::current_exception();
+    abort_.store(true, std::memory_order_relaxed);
+    shard_cv_.notify_all();
+  }
+  SimStats::set_thread_lane(nullptr);
+}
+
+void Engine::shard_run_quantum(int self, CoreCtx& c) {
+  ShardCtx& s = *shardctx_[static_cast<std::size_t>(self)];
+  // Valid across the fiber's in-place self-redispatch (same core, same
+  // thread); cleared when control returns to this scheduler context.
+  t_active_core_ = &c;
+  tsan_switch(c.tsan_fiber);
+  fiber_switch_start(&s.asan_fake, c.stack.get(), kFiberStackBytes);
+  swapcontext(&s.main, &c.uctx);
+  fiber_switch_finish(s.asan_fake);
+  t_active_core_ = nullptr;
+}
+
+void Engine::shard_publish_top_locked() {
+  if (heap_.empty()) {
+    shard_top_shard_.store(-1, std::memory_order_release);
+    return;
+  }
+  shard_top_time_.store(heap_.front().first, std::memory_order_relaxed);
+  shard_top_shard_.store(ctx(heap_.front().second).shard,
+                         std::memory_order_release);
+}
+
+bool Engine::shard_hint_dispatchable(int self) const {
+  if (shard_top_shard_.load(std::memory_order_acquire) != self) return false;
+  // The (shard, time) pair can be torn across a heap mutation — it's only a
+  // hint; shard_try_dispatch_locked revalidates everything under the lock.
+  const Cycle t = shard_top_time_.load(std::memory_order_relaxed);
+  for (int i = 0; i < shard_count_; ++i) {
+    const ShardRunner& r = runners_[i];
+    if (r.seq.load(std::memory_order_acquire) == kIdleSeq) continue;
+    if (shard_serialize_) return false;
+    if (r.clock.load(std::memory_order_acquire) <= t) return false;
+  }
+  return true;
+}
+
+bool Engine::shard_any_runner_locked() const {
+  for (int i = 0; i < shard_count_; ++i) {
+    if (runners_[i].seq.load(std::memory_order_acquire) != kIdleSeq)
+      return true;
+  }
+  return false;
+}
+
+bool Engine::shard_clocks_allow_locked(Cycle t) const {
+  for (int i = 0; i < shard_count_; ++i) {
+    const ShardRunner& r = runners_[i];
+    if (r.seq.load(std::memory_order_acquire) == kIdleSeq) continue;
+    if (shard_serialize_) return false;
+    // Strictly greater: a runner at clock == t could still insert an entry
+    // at t that ties the top and wins on core id.
+    if (r.clock.load(std::memory_order_acquire) <= t) return false;
+  }
+  return true;
+}
+
+Engine::CoreCtx* Engine::shard_try_dispatch_locked(int self) {
+  if (heap_.empty()) return nullptr;
+  const Cycle t = heap_.front().first;
+  CoreCtx& c = ctx(heap_.front().second);
+  if (c.shard != self) return nullptr;
+  if (max_cycles_ != 0 && t > max_cycles_) return nullptr;  // watchdog
+  if (!shard_clocks_allow_locked(t)) return nullptr;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+  shard_publish_top_locked();
+  shard_arm_locked(c);
+  return &c;
+}
+
+bool Engine::shard_try_redispatch_self_locked(CoreCtx& c) {
+  if (c.state != CoreCtx::St::Ready) return false;
+  if (heap_.empty() || heap_.front().second != c.id) return false;
+  if (max_cycles_ != 0 && heap_.front().first > max_cycles_) return false;
+  if (!shard_clocks_allow_locked(heap_.front().first)) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+  shard_publish_top_locked();
+  shard_arm_locked(c);
+  return true;
+}
+
+void Engine::shard_arm_locked(CoreCtx& c) {
+  c.seq = next_seq_++;
+  // The single-thread scheduler's run_until: heap second + slack, capped so
+  // a spinning core still yields and lets the watchdog fire. Entries the
+  // still-running earlier quanta haven't inserted yet arrive as patches.
+  const Cycle second = heap_.empty() ? kNever : heap_.front().first;
+  Cycle aru = second == kNever ? kNever : second + slack_;
+  if (max_cycles_ != 0) aru = std::min(aru, max_cycles_ + 1);
+  c.aru.store(aru, std::memory_order_relaxed);
+  // Every active runner was dispatched before us (we hold the lock and our
+  // slot is still idle), so this scan seeds the skew gate's cached floor:
+  // future insertions by those runners land at >= the minimum clock here.
+  Cycle m = kNever;
+  for (int i = 0; i < shard_count_; ++i) {
+    const ShardRunner& r = runners_[i];
+    if (r.seq.load(std::memory_order_acquire) == kIdleSeq) continue;
+    m = std::min(m, r.clock.load(std::memory_order_acquire));
+  }
+  c.gate_until = m == kNever ? kNever : m + slack_;
+  c.order_clear = m == kNever;
+  // The dispatch of the globally earliest core is the serialized
+  // deterministic point driving the scrubber clock; resil_ attached forces
+  // serialize mode, so these fire in exactly the single-thread order.
+  if (resil_ != nullptr) resil_->on_dispatch(c.time);
+  ShardRunner& r = runners_[c.shard];
+  r.core = &c;
+  r.clock.store(c.time, std::memory_order_relaxed);
+  r.seq.store(c.seq, std::memory_order_release);  // publishes core + clock
+}
+
+void Engine::shard_end_quantum_locked(CoreCtx& c) {
+  if (c.state == CoreCtx::St::Ready) {
+    // Rejoin: the single-thread scheduler had this entry in the heap when it
+    // armed every quantum dispatched after us — deliver the missing cap.
+    push_ready(c);
+    shard_patch_locked(c.seq, c.time);
+  } else if (c.state == CoreCtx::St::Finished) {
+    --unfinished_cores_;
+  }
+  // Blocked cores re-enter the heap via wake(), never here.
+  runners_[c.shard].seq.store(kIdleSeq, std::memory_order_release);
+  runners_[c.shard].core = nullptr;
+  if (cv_waiters_ > 0) shard_cv_.notify_all();
+}
+
+void Engine::shard_patch_locked(std::uint64_t inserter_seq, Cycle at) {
+  const Cycle nu = at >= kNever - slack_ ? kNever : at + slack_;
+  for (int i = 0; i < shard_count_; ++i) {
+    ShardRunner& r = runners_[i];
+    const std::uint64_t rs = r.seq.load(std::memory_order_acquire);
+    if (rs == kIdleSeq || rs <= inserter_seq) continue;
+    // r.core is stable while the slot is non-idle: retirement takes the
+    // same lock we hold.
+    horizon_shrink(r.core->aru, nu);
+  }
+}
+
+void Engine::shard_gate_slow(CoreCtx& c) {
+  int spins = 0;
+  for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) throw AbortRun{};
+    // Min live clock over quanta dispatched before us. Seq is re-checked
+    // after the clock read: seqs are never reused, so an unchanged value
+    // pins the clock to that quantum; a change means the slot turned over
+    // mid-read and the scan must restart.
+    Cycle m = kNever;
+    bool retry = false;
+    for (int i = 0; i < shard_count_; ++i) {
+      const ShardRunner& r = runners_[i];
+      const std::uint64_t rs = r.seq.load(std::memory_order_acquire);
+      if (rs == kIdleSeq || rs >= c.seq) continue;
+      const Cycle clk = r.clock.load(std::memory_order_acquire);
+      if (r.seq.load(std::memory_order_acquire) != rs) {
+        retry = true;
+        break;
+      }
+      m = std::min(m, clk);
+    }
+    if (retry) continue;
+    // The scan acquire-read every slot, so horizon patches from quanta that
+    // already retired are visible in aru now; check it after the scan.
+    if (c.time >= c.aru.load(std::memory_order_acquire)) {
+      yield(c);  // the boundary the single-thread scheduler would have hit
+      spins = 0;
+      continue;
+    }
+    if (c.time < (m == kNever ? kNever : m + slack_)) {
+      // Any future insertion by an earlier quantum patches aru to >= this
+      // floor, so ops below it need no rescan (the inline fast path).
+      c.gate_until = m == kNever ? kNever : m + slack_;
+      if (m == kNever) c.order_clear = true;  // all earlier quanta retired
+      return;
+    }
+    if (++spins >= kGateSpins) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+void Engine::shard_order_gate(CoreCtx& c) {
+  if (!sharded_active_ || c.order_clear) return;
+  int spins = 0;
+  for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) throw AbortRun{};
+    bool earlier = false;
+    for (int i = 0; i < shard_count_; ++i) {
+      const std::uint64_t rs =
+          runners_[i].seq.load(std::memory_order_acquire);
+      if (rs != kIdleSeq && rs < c.seq) {
+        earlier = true;
+        break;
+      }
+    }
+    if (!earlier) {
+      // All earlier quanta retired (their horizon patches are visible via
+      // the acquires above); one final boundary check settles whether the
+      // single-thread scheduler would have ended this quantum first.
+      if (c.time >= c.aru.load(std::memory_order_acquire)) {
+        yield(c);
+        if (c.order_clear) return;  // re-armed with no earlier runners
+        spins = 0;
+        continue;
+      }
+      c.order_clear = true;
+      return;
+    }
+    if (c.time >= c.aru.load(std::memory_order_acquire)) {
+      yield(c);
+      if (c.order_clear) return;
+      spins = 0;
+      continue;
+    }
+    if (++spins >= kGateSpins) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+void Engine::relinquish_sharded(CoreCtx& c) {
+  {
+    std::lock_guard<std::mutex> lk(shard_mu_);
+    shard_end_quantum_locked(c);
+    // Fast path: the yielding core is the heap top and dispatchable —
+    // re-arm in place, zero context switches (the direct scheduler's
+    // pick-self case).
+    if (!abort_.load(std::memory_order_relaxed) &&
+        shard_try_redispatch_self_locked(c))
+      return;
+  }
+  // Park this fiber inside the swap; it resumes right here when its shard's
+  // worker dispatches it again (or unwinds it at teardown).
+  ShardCtx& s = *shardctx_[static_cast<std::size_t>(c.shard)];
+  tsan_switch(s.tsan_fiber);
+  fiber_switch_start(&c.asan_fake, s.stack_bottom, s.stack_size);
+  swapcontext(&c.uctx, &s.main);
+  fiber_switch_finish(c.asan_fake);
+}
+
+}  // namespace hic

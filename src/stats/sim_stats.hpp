@@ -160,6 +160,23 @@ struct OpField {
 };
 [[nodiscard]] std::span<const OpField> op_fields();
 
+/// A private counter sink for one host thread of the sharded engine. Global
+/// counters (OpCounts, TrafficAccount) are pure commutative sums, so each
+/// shard accumulates into its own lane race-free and the engine folds the
+/// lanes into the main account in fixed shard order at the end of the run —
+/// the totals come out identical to a single-thread run. Per-core stall
+/// accounts need no lane: a core is only ever touched by its owning shard.
+struct StatsLane {
+  OpCounts ops;
+  TrafficAccount traffic;
+};
+
+namespace detail {
+/// The calling thread's counter sink (see SimStats::set_thread_lane).
+/// Inline thread_local so the hot ops()/traffic() route stays one TLS load.
+inline thread_local StatsLane* t_stats_lane = nullptr;
+}  // namespace detail
+
 /// Everything a run produces.
 class SimStats {
  public:
@@ -177,11 +194,35 @@ class SimStats {
     return stalls_[static_cast<std::size_t>(c)];
   }
 
-  TrafficAccount& traffic() { return traffic_; }
+  /// Mutators route through the calling thread's lane when one is installed
+  /// (sharded engine workers); everything else lands in the main account.
+  /// Readers always see the main account — merged totals after a sharded
+  /// run, live values otherwise.
+  TrafficAccount& traffic() {
+    StatsLane* l = thread_lane();
+    return l != nullptr ? l->traffic : traffic_;
+  }
   [[nodiscard]] const TrafficAccount& traffic() const { return traffic_; }
 
-  OpCounts& ops() { return ops_; }
+  OpCounts& ops() {
+    StatsLane* l = thread_lane();
+    return l != nullptr ? l->ops : ops_;
+  }
   [[nodiscard]] const OpCounts& ops() const { return ops_; }
+
+  /// Installs `lane` as the calling thread's counter sink (nullptr restores
+  /// the default main-account routing). Thread-local: each sharded-engine
+  /// worker installs its own lane for the duration of the run.
+  static void set_thread_lane(StatsLane* lane) {
+    detail::t_stats_lane = lane;
+  }
+  [[nodiscard]] static StatsLane* thread_lane() {
+    return detail::t_stats_lane;
+  }
+
+  /// Folds a lane's counters into the main account (field-wise sums over
+  /// op_fields() and every traffic kind).
+  void merge_lane(const StatsLane& lane);
 
   /// Cycles of the longest-running core — the run's execution time.
   [[nodiscard]] Cycle exec_cycles() const;

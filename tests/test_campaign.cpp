@@ -156,6 +156,58 @@ TEST(CampaignSpec, InjectSpecsValidateExpandAndKeyTheDigest) {
       CheckFailure);
 }
 
+TEST(CampaignSpec, ShardThreadsIsHostSideAndNotInTheDigest) {
+  auto parse = [](const std::string& text) {
+    return Campaign::parse(Json::parse(text));
+  };
+  const char* unsharded = R"({"name":"x","groups":[{"name":"g",
+      "workloads":["ep"],"configs":["Addr+L"]}],"aggregates":[]})";
+  const char* sharded = R"({"name":"x","groups":[{"name":"g",
+      "workloads":["ep"],"configs":["Addr+L"],"shard_threads":4}],
+      "aggregates":[]})";
+  const Campaign off = parse(unsharded);
+  const Campaign on = parse(sharded);
+  ASSERT_EQ(on.points.size(), 1u);
+  EXPECT_EQ(on.points[0].shard_threads, 4);
+  // Bit-identical simulations must hit the same cache entries: the knob is
+  // a wall-clock choice, never part of the content digest.
+  EXPECT_EQ(off.points[0].digest, on.points[0].digest);
+  EXPECT_EQ(point_digest(on.points[0]), point_digest(off.points[0]));
+  // Range validation fails at parse time, mirroring the CLI flag.
+  EXPECT_THROW(
+      parse(R"({"name":"x","groups":[{"name":"g","workloads":["ep"],
+                "configs":["Addr+L"],"shard_threads":-1}],"aggregates":[]})"),
+      CheckFailure);
+  EXPECT_THROW(
+      parse(R"({"name":"x","groups":[{"name":"g","workloads":["ep"],
+                "configs":["Addr+L"],"shard_threads":65}],"aggregates":[]})"),
+      CheckFailure);
+}
+
+TEST(CampaignRunner, ShardedPointsAggregateByteIdentical) {
+  // The same two-point group run unsharded and with two shard workers must
+  // produce byte-identical aggregated results (the runner feeds the knob to
+  // the Machine; everything downstream is untouched).
+  auto spec = [](int shard_threads) {
+    std::string s = R"({"name":"x","groups":[{"name":"g",
+        "workloads":["ep","jacobi"],"configs":["Addr+L"],
+        "machine":{"preset":"inter","staleness_monitor":false},
+        "shard_threads":)";
+    s += std::to_string(shard_threads);
+    s += R"(}],"aggregates":[{"kind":"summary","group":"g"}]})";
+    return Campaign::parse(Json::parse(s));
+  };
+  const CampaignResults direct = run_campaign(spec(0), {});
+  const CampaignResults sharded = run_campaign(spec(2), {});
+  ASSERT_TRUE(direct.all_verified());
+  ASSERT_TRUE(sharded.all_verified());
+  ASSERT_EQ(direct.by_point.size(), sharded.by_point.size());
+  for (std::size_t i = 0; i < direct.by_point.size(); ++i) {
+    EXPECT_EQ(agg::point_to_json(*direct.by_point[i]).dump(),
+              agg::point_to_json(*sharded.by_point[i]).dump());
+  }
+}
+
 TEST(CampaignRunner, InjectedPointsRunTheFaultPlan) {
   // A timing-only fault keeps verification green while proving the rules
   // actually reach the Machine (the point must still verify and aggregate).

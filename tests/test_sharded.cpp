@@ -1,0 +1,235 @@
+// Sharded-engine equivalence suite: the sharded scheduler promises
+// *bit-identical* simulated results to the single-thread direct-handoff
+// scheduler — same cycles, same SimStats JSON, same per-core stall
+// breakdowns — for every seed workload, with and without the coherence
+// oracle, and under an armed fault plan with recovery. Plus unit coverage
+// of the host-side knobs: worker clamping, serialize fallback, the legacy
+// incompatibility, and hang diagnosis (deadlock/watchdog) across shards.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "fault/fault_plan.hpp"
+#include "runtime/thread.hpp"
+#include "stats/report.hpp"
+#include "verify/oracle.hpp"
+
+namespace hic {
+namespace {
+
+struct RunResult {
+  Cycle cycles = 0;
+  std::string stats_json;   ///< to_json(SimStats): totals, traffic, ops
+  std::string core_stalls;  ///< per-core 5-bucket breakdown
+  bool verified = false;
+};
+
+std::string per_core_stalls(const SimStats& s) {
+  std::ostringstream os;
+  for (CoreId c = 0; c < s.num_cores(); ++c) {
+    os << 'c' << c << ':';
+    for (std::size_t k = 0; k < kStallKinds; ++k)
+      os << s.stalls(c).get(static_cast<StallKind>(k)) << ',';
+  }
+  return os.str();
+}
+
+struct RunOpts {
+  int shard_threads = 0;  ///< 0 = direct single-thread scheduler
+  bool with_oracle = false;
+  bool with_recovered_faults = false;
+};
+
+RunResult run_once(const std::string& app, const RunOpts& o) {
+  auto w = make_workload(app);
+  const Config cfg =
+      w->inter_block() ? Config::InterAddrL : Config::BaseMebIeb;
+  MachineConfig mc = w->inter_block() ? MachineConfig::inter_block()
+                                      : MachineConfig::intra_block();
+  mc.validate();
+  Machine m(mc, cfg);
+  CoherenceOracle oracle;
+  if (o.with_oracle) m.set_oracle(&oracle);
+  if (o.with_recovered_faults) {
+    m.add_fault_rule(parse_fault_rule("drop-wb:p=0.01:seed=7"));
+    m.enable_recovery();
+  }
+  m.set_shard_threads(o.shard_threads);
+  RunResult r;
+  r.cycles = run_workload(*w, m, mc.total_cores());
+  r.stats_json = to_json(m.stats());
+  r.core_stalls = per_core_stalls(m.stats());
+  r.verified = w->verify(m).ok;
+  if (o.with_oracle) {
+    EXPECT_EQ(oracle.total_violations(), 0u)
+        << app << " sharded=" << o.shard_threads << "\n"
+        << oracle.report();
+  }
+  return r;
+}
+
+void expect_identical(const RunResult& direct, const RunResult& sharded,
+                      const std::string& label) {
+  EXPECT_EQ(direct.cycles, sharded.cycles) << label;
+  EXPECT_EQ(direct.stats_json, sharded.stats_json) << label;
+  EXPECT_EQ(direct.core_stalls, sharded.core_stalls) << label;
+  EXPECT_EQ(direct.verified, sharded.verified) << label;
+}
+
+std::vector<std::string> all_seed_workloads() {
+  auto v = intra_workload_names();
+  const auto inter = inter_workload_names();
+  v.insert(v.end(), inter.begin(), inter.end());
+  return v;
+}
+
+class ShardedEquivalenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedEquivalenceTest, ShardedRunsAreBitIdenticalToDirect) {
+  const RunResult direct = run_once(GetParam(), {.shard_threads = 0});
+  // One worker exercises the full sharded machinery (heap replay, gates,
+  // fiber parking) without overlap; four is the paper-machine block count.
+  const RunResult one = run_once(GetParam(), {.shard_threads = 1});
+  const RunResult four = run_once(GetParam(), {.shard_threads = 4});
+  expect_identical(direct, one, GetParam() + " shard=1");
+  expect_identical(direct, four, GetParam() + " shard=4");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeedWorkloads, ShardedEquivalenceTest,
+                         ::testing::ValuesIn(all_seed_workloads()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(ShardedSweeps, OracleAttachedStaysBitIdentical) {
+  // The oracle forces serialize mode; its verdicts and counters must still
+  // match the direct scheduler exactly. One workload per family.
+  for (const char* app : {"fft", "jacobi"}) {
+    const RunResult direct =
+        run_once(app, {.shard_threads = 0, .with_oracle = true});
+    const RunResult sharded =
+        run_once(app, {.shard_threads = 4, .with_oracle = true});
+    expect_identical(direct, sharded, std::string(app) + " +oracle");
+  }
+}
+
+TEST(ShardedSweeps, RecoveredFaultPlanStaysBitIdentical) {
+  // An armed fault plan + recovery subsystem: RNG draws, retransmit
+  // accounting and scrubber clocks all ride the dispatch order, so the
+  // sharded replay must reproduce them bit-for-bit.
+  for (const char* app : {"jacobi", "cg"}) {
+    const RunResult direct =
+        run_once(app, {.shard_threads = 0, .with_recovered_faults = true});
+    const RunResult sharded =
+        run_once(app, {.shard_threads = 4, .with_recovered_faults = true});
+    expect_identical(direct, sharded, std::string(app) + " +recover");
+  }
+}
+
+// --- Host-side knob behavior --------------------------------------------------
+
+TEST(ShardedKnobs, WorkerCountClampsToActiveBlocks) {
+  {
+    // Inter preset: 4 blocks, so 64 requested workers clamp to 4.
+    auto w = make_workload("ep");
+    Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+    m.set_shard_threads(64);
+    run_workload(*w, m, m.machine_config().total_cores());
+    EXPECT_EQ(m.engine().effective_shards(), 4);
+    EXPECT_FALSE(m.engine().shard_serialized());
+  }
+  {
+    // Intra preset: one block — a shard owns whole blocks, so one worker.
+    auto w = make_workload("fft");
+    Machine m(MachineConfig::intra_block(), Config::BaseMebIeb);
+    m.set_shard_threads(64);
+    run_workload(*w, m, m.machine_config().total_cores());
+    EXPECT_EQ(m.engine().effective_shards(), 1);
+  }
+  {
+    // Unsharded run: the knob stays off.
+    auto w = make_workload("ep");
+    Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+    run_workload(*w, m, m.machine_config().total_cores());
+    EXPECT_EQ(m.engine().effective_shards(), 0);
+  }
+}
+
+TEST(ShardedKnobs, ObserversForceSerializeFallback) {
+  auto w = make_workload("ep");
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  CoherenceOracle oracle;
+  m.set_oracle(&oracle);
+  m.set_shard_threads(4);
+  run_workload(*w, m, m.machine_config().total_cores());
+  EXPECT_EQ(m.engine().effective_shards(), 4);
+  EXPECT_TRUE(m.engine().shard_serialized());
+  EXPECT_EQ(oracle.total_violations(), 0u) << oracle.report();
+}
+
+TEST(ShardedKnobs, LegacySchedulerIsIncompatible) {
+  auto w = make_workload("ep");
+  MachineConfig mc = MachineConfig::inter_block();
+  mc.legacy_scheduler = true;
+  mc.validate();
+  Machine m(mc, Config::InterAddrL);
+  m.set_shard_threads(2);
+  EXPECT_THROW(run_workload(*w, m, mc.total_cores()), CheckFailure);
+}
+
+// --- Hang diagnosis across shards ---------------------------------------------
+
+TEST(ShardedHangs, CrossShardAbbaDeadlockIsDiagnosed) {
+  // The two fighting cores live in different blocks (core 0 and core 8 of
+  // the 4x8 inter machine), so with two workers the deadlock spans shards:
+  // detection requires the no-runner + empty-heap condition, and teardown
+  // must unwind fibers on both workers.
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  m.set_shard_threads(2);
+  auto la = m.make_lock();
+  auto lb = m.make_lock();
+  try {
+    m.run(9, [&](Thread& t) {
+      if (t.tid() != 0 && t.tid() != 8) return;
+      const auto first = t.tid() == 0 ? la : lb;
+      const auto second = t.tid() == 0 ? lb : la;
+      t.lock(first);
+      t.compute(5000);  // longer than the slack: acquisitions interleave
+      t.lock(second);
+      t.unlock(second);
+      t.unlock(first);
+    });
+    ADD_FAILURE() << "cross-shard ABBA must deadlock";
+  } catch (const CheckFailure&) {
+    const HangReport& r = m.engine().hang_report();
+    EXPECT_EQ(r.kind, HangReport::Kind::Deadlock);
+    ASSERT_FALSE(r.cycle.empty());
+    EXPECT_EQ(r.cycle.front(), r.cycle.back());
+  }
+}
+
+TEST(ShardedHangs, WatchdogTripsOnSpinningShards) {
+  Machine m(MachineConfig::inter_block(), Config::InterAddrL);
+  m.set_shard_threads(2);
+  m.engine().set_max_cycles(50000);
+  try {
+    m.run(9, [&](Thread& t) {
+      if (t.tid() != 0 && t.tid() != 8) return;
+      for (;;) t.compute(100);  // livelock on both shards
+    });
+    ADD_FAILURE() << "spinning cores must trip the watchdog";
+  } catch (const CheckFailure&) {
+    const HangReport& r = m.engine().hang_report();
+    EXPECT_EQ(r.kind, HangReport::Kind::Watchdog);
+    EXPECT_EQ(r.max_cycles, 50000u);
+  }
+}
+
+}  // namespace
+}  // namespace hic

@@ -10,9 +10,21 @@ files (before/after) as a speedup table:
   tools/bench_host.py --report after.json
   tools/bench_host.py --compare before.json after.json
   tools/bench_host.py --compare before.json after.json --check --min-speedup 1.5
+  tools/bench_host.py --check-sharded after.json
 
 --check exits nonzero unless at least one workload meets --min-speedup AND
 no workload's simulated cycle count moved (the bit-identity canary).
+
+--check-sharded validates one result file's sharded-engine entries
+("name/shardN" next to their direct "name" twin): the simulated cycle
+counts must be bit-identical, every entry must clear a conservative
+cycles-per-second floor (--min-cps-direct / --min-cps-sharded), and — only
+when the recorded host actually had >= --speedup-cpus CPUs *and* as many
+shard workers — the sharded entry must beat direct by --min-shard-speedup.
+On smaller hosts the speedup gate is reported as skipped: shard workers
+time-share one core there, so wall-clock parallel gain is physically
+impossible and only the determinism + floor checks are meaningful.
+
 Stdlib only; no third-party packages.
 """
 
@@ -112,6 +124,62 @@ def compare(before_path: str, after_path: str, check: bool,
     return rc
 
 
+def check_sharded(path: str, min_cps_direct: float, min_cps_sharded: float,
+                  min_shard_speedup: float, speedup_cpus: int) -> int:
+    data = load(path)
+    workloads = data["workloads"]
+    sharded = {n: w for n, w in workloads.items() if "/shard" in n}
+    if not sharded:
+        sys.exit(f"{path}: no sharded entries — rerun bench_host_perf "
+                 "without --legacy-scheduler and with --shard-threads > 0")
+
+    rc = 0
+    host_cpus = data.get("host_cpus", 0)
+    shard_threads = data.get("shard_threads", 0)
+    gate_speedup = host_cpus >= speedup_cpus and shard_threads >= speedup_cpus
+    for name, w in sorted(sharded.items()):
+        base_name = name.rsplit("/shard", 1)[0]
+        base = workloads.get(base_name)
+        if base is None:
+            print(f"FAIL: {name} has no direct twin '{base_name}'",
+                  file=sys.stderr)
+            rc = 1
+            continue
+        if w["cycles"] != base["cycles"]:
+            print(f"FAIL: {name} cycles {w['cycles']} != direct "
+                  f"{base['cycles']} — sharded run is not bit-identical",
+                  file=sys.stderr)
+            rc = 1
+        speedup = w["cycles_per_second"] / base["cycles_per_second"] \
+            if base["cycles_per_second"] > 0 else 0.0
+        print(f"{name:<22} {w['cycles_per_second']:>14,.0f} cyc/s  "
+              f"{speedup:>5.2f}x vs direct")
+        if gate_speedup and speedup < min_shard_speedup:
+            print(f"FAIL: {name} speedup {speedup:.2f}x < required "
+                  f"{min_shard_speedup}x on a {host_cpus}-CPU host",
+                  file=sys.stderr)
+            rc = 1
+
+    # Conservative absolute floors: catastrophic regressions (10-100x) in
+    # either scheduler fail even on slow CI hosts; ordinary host noise does
+    # not. Relative regressions are --compare's job.
+    for name, w in sorted(workloads.items()):
+        floor = min_cps_sharded if "/shard" in name else min_cps_direct
+        if w["cycles_per_second"] < floor:
+            print(f"FAIL: {name} {w['cycles_per_second']:,.0f} cyc/s below "
+                  f"the {floor:,.0f} floor", file=sys.stderr)
+            rc = 1
+
+    if not gate_speedup:
+        print(f"note: speedup gate skipped (host_cpus={host_cpus}, "
+              f"shard_threads={shard_threads}, need >= {speedup_cpus} of "
+              "both); checked determinism + floors only")
+    if rc == 0:
+        print("OK: sharded entries bit-identical and above the cyc/s floors"
+              + (f", >= {min_shard_speedup}x speedup" if gate_speedup else ""))
+    return rc
+
+
 def main() -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--run", metavar="BINARY",
@@ -132,10 +200,25 @@ def main() -> int:
     p.add_argument("--min-speedup", type=float, default=1.5,
                    help="required best-case speedup for --check "
                         "(default %(default)s)")
+    p.add_argument("--check-sharded", metavar="JSON",
+                   help="validate the sharded entries of one result file")
+    p.add_argument("--min-cps-direct", type=float, default=250_000,
+                   help="cycles/s floor for direct entries "
+                        "(default %(default)s)")
+    p.add_argument("--min-cps-sharded", type=float, default=100_000,
+                   help="cycles/s floor for sharded entries "
+                        "(default %(default)s)")
+    p.add_argument("--min-shard-speedup", type=float, default=1.5,
+                   help="required sharded-vs-direct speedup when the host "
+                        "qualifies (default %(default)s)")
+    p.add_argument("--speedup-cpus", type=int, default=4,
+                   help="host CPUs (and shard workers) required before the "
+                        "speedup gate applies (default %(default)s)")
     args = p.parse_args()
 
-    if not (args.run or args.report or args.compare):
-        p.error("nothing to do: give --run, --report, and/or --compare")
+    if not (args.run or args.report or args.compare or args.check_sharded):
+        p.error("nothing to do: give --run, --report, --compare, "
+                "and/or --check-sharded")
 
     if args.run:
         cmd = [args.run, "--out", args.out]
@@ -152,8 +235,15 @@ def main() -> int:
         report(args.report)
 
     if args.compare:
-        return compare(args.compare[0], args.compare[1], args.check,
-                       args.min_speedup)
+        rc = compare(args.compare[0], args.compare[1], args.check,
+                     args.min_speedup)
+        if rc:
+            return rc
+
+    if args.check_sharded:
+        return check_sharded(args.check_sharded, args.min_cps_direct,
+                             args.min_cps_sharded, args.min_shard_speedup,
+                             args.speedup_cpus)
     return 0
 
 

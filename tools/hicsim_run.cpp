@@ -86,6 +86,7 @@ int usage() {
                "                  [--max-cycles N]\n"
                "                  [--time [--repeat N]] [--legacy-scheduler] "
                "[--no-stale-monitor]\n"
+               "                  [--shard-threads N]\n"
                "                  [--trace-out FILE [--trace-filter "
                "stall,op,sync,cache,wbuf,counter]\n"
                "                   [--trace-sample-cycles N]]\n"
@@ -97,6 +98,11 @@ int usage() {
                "(e.g. l1.size_bytes); unknown keys error\n"
                "--verify:     attach the coherence oracle (exit 5 on any "
                "violation)\n"
+               "--shard-threads: run the sharded engine with N host worker "
+               "threads (1..64;\n"
+               "              bit-identical results, host wall-clock only; "
+               "incompatible with\n"
+               "              --legacy-scheduler)\n"
                "inject kinds: drop-wb drop-inv delay-wb delay-inv delay-noc "
                "corrupt-line elide-wb elide-inv\n"
                "inject keys:  p=<prob> seed=<u64> n=<max fires> "
@@ -177,6 +183,7 @@ int main(int argc, char** argv) {
   bool time_mode = false;
   bool legacy_scheduler = false;
   bool no_stale_monitor = false;
+  int shard_threads = 0;  // 0 = single-thread direct handoff
   int repeat = 5;
   int threads = 0;  // 0 = all cores
   int meb = 0, ieb = 0;
@@ -256,6 +263,15 @@ int main(int argc, char** argv) {
       legacy_scheduler = true;
     } else if (arg == "--no-stale-monitor") {
       no_stale_monitor = true;
+    } else if (arg == "--shard-threads") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      shard_threads = std::atoi(v);
+      if (shard_threads < 1 || shard_threads > 64) {
+        std::fprintf(stderr, "--shard-threads must be in 1..64 (got '%s')\n",
+                     v);
+        return kExitUsage;
+      }
     } else if (arg == "--inject") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -311,6 +327,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--verify is incompatible with --time: the oracle's stamp "
                  "tracking perturbs the host-perf measurement\n");
+    return kExitUsage;
+  }
+  if (shard_threads > 0 && legacy_scheduler) {
+    std::fprintf(stderr,
+                 "--shard-threads is incompatible with --legacy-scheduler "
+                 "(sharding builds on the direct-handoff fiber engine)\n");
     return kExitUsage;
   }
 
@@ -374,6 +396,7 @@ int main(int argc, char** argv) {
         for (const auto& spec : inject_specs)
           last->add_fault_rule(parse_fault_rule(spec));
         if (recover) last->enable_recovery(parse_resil_options(resil_spec));
+        last->set_shard_threads(shard_threads);
         const Cycle cy = run_workload(*wr, *last, n);
         w = std::move(wr);  // keep the workload that matches `last`
         return cy;
@@ -410,6 +433,7 @@ int main(int argc, char** argv) {
     for (const auto& spec : inject_specs)
       m.add_fault_rule(parse_fault_rule(spec));
     if (recover) m.enable_recovery(parse_resil_options(resil_spec));
+    m.set_shard_threads(shard_threads);
     std::unique_ptr<Tracer> tracer;
     if (!trace_out.empty()) {
       TraceOptions topts;
