@@ -27,6 +27,7 @@
 #include "apps/workload.hpp"
 #include "stats/host_perf.hpp"
 #include "stats/report.hpp"
+#include "verify/oracle.hpp"
 
 using namespace hic;
 
@@ -46,6 +47,18 @@ constexpr Item kItems[] = {
     {"fft", Config::BaseMebIeb, "B+M+I"},
     {"jacobi", Config::InterAddrL, "Addr+L"},
 };
+
+// Appends host-side execution provenance to a HostPerfResult JSON object so
+// tools/bench_host.py can refuse speedup claims from entries that silently
+// fell back to one-quantum-at-a-time serialize mode.
+std::string with_provenance(std::string entry, int workers, bool serialized) {
+  entry.pop_back();  // strip the closing '}'
+  entry += ",\"shard_workers\":" + std::to_string(workers) +
+           ",\"shard_serialize\":";
+  entry += serialized ? "true" : "false";
+  entry += '}';
+  return entry;
+}
 
 }  // namespace
 
@@ -95,10 +108,15 @@ int main(int argc, char** argv) {
     mc.legacy_scheduler = legacy;
     mc.validate();
 
+    int workers = 0;
+    bool serialized = false;
     const HostPerfResult r = time_runs(repeats, [&]() -> Cycle {
       auto w = make_workload(it.app);
       Machine m(mc, it.cfg);
-      return run_workload(*w, m, mc.total_cores());
+      const Cycle cy = run_workload(*w, m, mc.total_cores());
+      workers = m.engine().effective_shards();
+      serialized = m.engine().shard_serialized();
+      return cy;
     });
 
     std::printf("%-12s %-7s %12llu cycles  %8.3f s median  %10.0f cyc/s\n",
@@ -112,7 +130,7 @@ int main(int argc, char** argv) {
     json += '/';
     json += it.config_name;
     json += "\":";
-    json += to_json(r);
+    json += with_provenance(to_json(r), workers, serialized);
   }
 
   // 16-cluster section: the machine shape the sharded engine targets. The
@@ -120,26 +138,40 @@ int main(int argc, char** argv) {
   // assert bit-identical cycles and compute the shard speedup without a
   // second bench invocation. Skipped under --legacy-scheduler (the legacy
   // scheduler predates sharding and refuses to combine with it).
+  // The oracle-armed pair measures the overlapped --verify path: the oracle
+  // shadows every quantum through deferred per-quantum buffers, so sharding
+  // must still buy wall-clock time with verification on.
   if (!legacy && shard_threads > 0) {
     MachineConfig mc16 = MachineConfig::inter_block();
     mc16.blocks = 16;
     mc16.cores_per_block = 4;
     mc16.staleness_monitor = false;
     mc16.validate();
-    for (const int threads : {0, shard_threads}) {
-      const HostPerfResult r = time_runs(repeats, [&]() -> Cycle {
-        auto w = make_workload("ep");
-        Machine m(mc16, Config::InterAddrL);
-        m.set_shard_threads(threads);
-        return run_workload(*w, m, mc16.total_cores());
-      });
-      const std::string name =
-          threads == 0 ? "ep-16c/Addr+L"
-                       : "ep-16c/Addr+L/shard" + std::to_string(threads);
-      std::printf("%-22s %12llu cycles  %8.3f s median  %10.0f cyc/s\n",
-                  name.c_str(), static_cast<unsigned long long>(r.cycles),
-                  r.median_seconds, r.cycles_per_second);
-      json += ",\"" + name + "\":" + to_json(r);
+    for (const bool verify : {false, true}) {
+      for (const int threads : {0, shard_threads}) {
+        int workers = 0;
+        bool serialized = false;
+        const HostPerfResult r = time_runs(repeats, [&]() -> Cycle {
+          auto w = make_workload("ep");
+          Machine m(mc16, Config::InterAddrL);
+          CoherenceOracle oracle;
+          if (verify) m.set_oracle(&oracle);
+          m.set_shard_threads(threads);
+          const Cycle cy = run_workload(*w, m, mc16.total_cores());
+          workers = m.engine().effective_shards();
+          serialized = m.engine().shard_serialized();
+          return cy;
+        });
+        std::string name = "ep-16c/Addr+L";
+        if (verify) name += "/verify";
+        if (threads != 0)
+          name += (verify ? "-shard" : "/shard") + std::to_string(threads);
+        std::printf("%-26s %12llu cycles  %8.3f s median  %10.0f cyc/s\n",
+                    name.c_str(), static_cast<unsigned long long>(r.cycles),
+                    r.median_seconds, r.cycles_per_second);
+        json += ",\"" + name +
+                "\":" + with_provenance(to_json(r), workers, serialized);
+      }
     }
   }
   json += "}}\n";

@@ -130,6 +130,11 @@ void Engine::run(std::vector<CoreBody> bodies) {
   shard_deadlock_ = false;
   shard_infra_error_ = nullptr;
   last_shard_count_ = 0;
+  shard_serialize_ = false;
+  shard_serialize_reason_.clear();
+  oracle_overlap_ = false;
+  bank_gates_.reset();
+  bank_gate_count_ = 0;
   hang_report_ = HangReport{};
   main_tsan_fiber_ = tsan_current_fiber();
   // An abort teardown leaves one surplus post per released core; drain them
@@ -310,6 +315,10 @@ void Engine::run(std::vector<CoreBody> bodies) {
   }
   finish_time_ = 0;
   for (auto& up : ctxs_) finish_time_ = std::max(finish_time_, up->time);
+  // Execution provenance for the stats JSON ("shard" object, schema v4):
+  // host-side only — simulated counters are identical across modes.
+  stats().set_shard_exec(
+      {shard_threads_req_, last_shard_count_, shard_serialize_});
   // A workload failure outranks the hang report (it usually caused it).
   for (auto& up : ctxs_) {
     if (up->error) std::rethrow_exception(up->error);
@@ -467,7 +476,10 @@ void Engine::fiber_trampoline(unsigned hi, unsigned lo) {
 void Engine::fiber_finish(CoreCtx& c) {
   if (sharded_active_) {
     // Retire the quantum and hand the CPU back to the owning shard's
-    // worker loop. setcontext (not swap): this fiber is dead.
+    // worker loop. setcontext (not swap): this fiber is dead. As in
+    // relinquish_sharded, the oracle buffer must be enqueued before the
+    // runner slot goes idle.
+    if (oracle_overlap_) oracle_->quantum_end();
     {
       std::lock_guard<std::mutex> lk(shard_mu_);
       shard_end_quantum_locked(c);
@@ -829,6 +841,10 @@ void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
 void CoreServices::barrier(SyncId id) {
   auto& c = eng_->ctx(id_);
   eng_->shard_order_gate(c);
+  // Overlapped verification: the inline hooks below mutate shared oracle
+  // state, so the shadow must first catch up to this quantum's position in
+  // the serial order (no memory events occur between here and the hooks).
+  eng_->oracle_sync_point(c);
   c.ring.push(c.time, CoreEventKind::Barrier, id);
   const Cycle start = c.time;
   eng_->drain(c);  // a barrier is a release point: posted data must be out
@@ -865,6 +881,11 @@ void CoreServices::lock(SyncId id) {
   eng_->count_sync_traffic();
   if (!eng_->sync().lock_acquire(id, id_)) {
     eng_->block(c, StallKind::LockStall, id);
+    // Woken in a fresh quantum: the acquire hook below needs oldest-active
+    // status re-established, not just the op-entry gate above.
+    eng_->oracle_resume_sync(c);
+  } else {
+    eng_->oracle_sync_point(c);
   }
   // After the grant (immediate or woken): the previous holder's release has
   // already merged its clock into the lock, so the acquire sees it.
@@ -881,6 +902,7 @@ void CoreServices::unlock(SyncId id) {
   eng_->drain(c);  // release semantics: critical-section WBs must complete
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
+  eng_->oracle_sync_point(c);
   if (auto* o = eng_->oracle()) o->on_lock_release(id_, id);
   const auto next = eng_->sync().lock_release(id, id_);
   if (next.has_value()) {
@@ -901,6 +923,10 @@ void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
   eng_->count_sync_traffic();
   if (!eng_->sync().flag_check(id, id_, expect)) {
     eng_->block(c, StallKind::BarrierStall, id);
+    // Woken in a fresh quantum (see lock()).
+    eng_->oracle_resume_sync(c);
+  } else {
+    eng_->oracle_sync_point(c);
   }
   // After the unblock: the setter's release already reached the flag clock.
   if (auto* o = eng_->oracle()) o->on_flag_wait(id_, id);
@@ -916,6 +942,7 @@ void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   eng_->drain(c);  // the flag publishes data: WBs must be out first
   eng_->charge(c, StallKind::Rest, eng_->sync_latency(c, id));
   eng_->count_sync_traffic();
+  eng_->oracle_sync_point(c);
   if (auto* o = eng_->oracle()) o->on_flag_set(id_, id);
   const auto released = eng_->sync().flag_set(id, value);
   const auto& topo = eng_->hierarchy().topology();
@@ -945,6 +972,7 @@ std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   eng_->count_sync_traffic();
   // A fetch-add is both an acquire (it observes prior adders/setters) and a
   // release (later waiters observe it).
+  eng_->oracle_sync_point(c);
   if (auto* o = eng_->oracle()) o->on_flag_add(id_, id);
   std::uint64_t v = 0;
   const auto released = eng_->sync().flag_add(id, delta, &v);

@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <semaphore>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -163,8 +164,21 @@ class Engine {
   /// Worker threads the last run actually used (0 = unsharded run).
   [[nodiscard]] int effective_shards() const { return last_shard_count_; }
   /// True when the last sharded run fell back to one-quantum-at-a-time
-  /// dispatch (observer attached / coherent hierarchy / fault plan armed).
+  /// dispatch (order-sensitive observer / coherent hierarchy / fault plan
+  /// armed). The oracle no longer forces this: overlapped verification
+  /// buffers its memory hooks per quantum and applies them in dispatch
+  /// order (verify/oracle.hpp).
   [[nodiscard]] bool shard_serialized() const { return shard_serialize_; }
+  /// Human-readable name of the observer that forced serialize mode in the
+  /// last sharded run (empty when the run overlapped or was not sharded).
+  [[nodiscard]] const std::string& shard_serialize_reason() const {
+    return shard_serialize_reason_;
+  }
+  /// Per-bank admission counts of the banked shared-access gate in the last
+  /// sharded run (index = L3 slice / DRAM channel). Admissions happen in
+  /// retirement order, so the per-bank sequences are deterministic: equal
+  /// across worker counts for the same workload. Empty for unsharded runs.
+  [[nodiscard]] std::vector<std::uint64_t> bank_gate_serials() const;
 
   /// Attaches an event tracer (nullptr = off; see obs/tracer.hpp). When set,
   /// every stall charge, op/sync call window and write-buffer drain is
@@ -343,6 +357,24 @@ class Engine {
   /// earlier-dispatched quantum has retired, so such ops execute exactly in
   /// the direct scheduler's quantum order.
   void shard_order_gate(CoreCtx& c);
+  /// The banked variant installed as the hierarchy's shared-access gate:
+  /// the order gate plus a deterministic per-bank admission count for the
+  /// L3 slice / DRAM channel the access targets (kNoBank skips the count).
+  /// Admission stays retirement-ordered — an earlier active quantum's
+  /// future footprint is unknowable, so admitting a later quantum to a
+  /// different bank first would reorder the serial schedule the replay
+  /// promises (docs/performance.md).
+  void shard_bank_gate(CoreCtx& c, int bank);
+  /// Overlapped verification: applies every oracle event buffered by quanta
+  /// dispatched before `c` plus c's own so far, so the inline sync hook the
+  /// caller is about to invoke observes exactly the serialized shadow
+  /// state. No-op unless the oracle runs overlapped. Caller must hold
+  /// oldest-active status (shard_order_gate passed this quantum).
+  void oracle_sync_point(CoreCtx& c);
+  /// Same, for inline hooks that run right after a block() woke the core in
+  /// a fresh quantum (lock grant, flag wait): re-establishes oldest-active
+  /// via the order gate first. No-op unless the oracle runs overlapped.
+  void oracle_resume_sync(CoreCtx& c);
 
   /// Empties the write buffer, charging WB/INV stall appropriately.
   void drain(CoreCtx& c);
@@ -400,6 +432,20 @@ class Engine {
   int shard_threads_req_ = 0;   ///< requested via set_shard_threads
   bool sharded_active_ = false;  ///< true while run_sharded() executes
   bool shard_serialize_ = false;
+  std::string shard_serialize_reason_;
+  /// True while the attached oracle runs in deferred-apply overlap mode
+  /// (sharded, not serialized): memory hooks buffer per quantum; sync hooks
+  /// stay inline behind oracle_sync_point / oracle_resume_sync.
+  bool oracle_overlap_ = false;
+  /// One admission counter per shared-level bank (L3 slice / DRAM channel),
+  /// padded to a cache line: concurrent quanta never contend on a count,
+  /// and the strict admission order makes each sequence deterministic.
+  struct BankGate {
+    std::atomic<std::uint64_t> serial{0};
+    char pad[64 - sizeof(std::atomic<std::uint64_t>)];
+  };
+  std::unique_ptr<BankGate[]> bank_gates_;
+  int bank_gate_count_ = 0;
   int shard_count_ = 0;
   int last_shard_count_ = 0;
   std::unique_ptr<ShardRunner[]> runners_;

@@ -42,10 +42,12 @@
 
 #include "fault/fault_plan.hpp"
 #include "resil/resil.hpp"
+#include "verify/oracle.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <thread>
 
@@ -148,16 +150,37 @@ void Engine::run_sharded() {
   shard_count_ = w;
   last_shard_count_ = w;
 
-  // Observers that consume events in dispatch order (tracer spans, oracle
-  // hooks, the recovery manager's scrubber clock, fault-plan trigger
-  // matching) — and the coherent baseline, whose directory mutates remote
-  // blocks' state on any store — need the full serial order, not just
-  // serialized shared-level access. Fall back to one-quantum-at-a-time
-  // dispatch; results stay bit-identical, only the overlap is lost.
+  // Observers that consume events in dispatch order (tracer spans, the
+  // recovery manager's scrubber clock, fault-plan trigger matching) — and
+  // the coherent baseline, whose directory mutates remote blocks' state on
+  // any store — need the full serial order, not just serialized
+  // shared-level access. Fall back to one-quantum-at-a-time dispatch;
+  // results stay bit-identical, only the overlap is lost. The oracle is NOT
+  // on this list: overlapped verification buffers its memory hooks per
+  // quantum and applies them in dispatch order (verify/oracle.hpp). A
+  // forced fallback used to be silent — a `--verify --shard-threads 4` run
+  // quietly lost its parallelism — so it now names the forcing observer
+  // once on stderr and is recorded in the stats JSON ("shard" object).
   const FaultPlan* fp = hier_->fault_plan();
-  shard_serialize_ = hier_->coherent() || tracer_ != nullptr ||
-                     oracle_ != nullptr || resil_ != nullptr ||
-                     (fp != nullptr && !fp->empty());
+  const char* force = nullptr;
+  if (hier_->coherent()) {
+    force = "the hardware-coherent baseline";
+  } else if (tracer_ != nullptr) {
+    force = "the tracer (--trace-out)";
+  } else if (resil_ != nullptr) {
+    force = "the recovery subsystem (--recover)";
+  } else if (fp != nullptr && !fp->empty()) {
+    force = "the armed fault plan (--inject)";
+  }
+  shard_serialize_ = force != nullptr;
+  shard_serialize_reason_ = force == nullptr ? "" : force;
+  if (force != nullptr) {
+    std::fprintf(stderr,
+                 "hicsim: --shard-threads %d: serialized by %s (one quantum "
+                 "at a time; results unchanged)\n",
+                 shard_threads_req_, force);
+  }
+  oracle_overlap_ = oracle_ != nullptr && !shard_serialize_;
 
   heap_.reserve(ctxs_.size());
   for (auto& up : ctxs_) {
@@ -179,12 +202,18 @@ void Engine::run_sharded() {
     shardctx_.push_back(std::make_unique<ShardCtx>());
 
   // The shared L3 slices and DRAM belong to no shard; the hierarchy calls
-  // this gate before touching them (serialize mode satisfies it trivially).
-  // The acting core comes from the worker's thread-local — the deepest call
-  // sites (eviction cascades) have no CoreId in scope.
-  hier_->set_shared_access_gate([this] {
-    if (CoreCtx* c = t_active_core_) shard_order_gate(*c);
+  // this gate before touching them (serialize mode satisfies it trivially),
+  // passing the bank (L3 slice / DRAM channel) the access targets so the
+  // engine can keep deterministic per-bank admission counts. The acting
+  // core comes from the worker's thread-local — the deepest call sites
+  // (eviction cascades) have no CoreId in scope.
+  bank_gate_count_ = std::max(cfg.multi_block() ? cfg.l3_banks : 4, 1);
+  bank_gates_ = std::make_unique<BankGate[]>(
+      static_cast<std::size_t>(bank_gate_count_));
+  hier_->set_shared_access_gate([this](int bank) {
+    if (CoreCtx* c = t_active_core_) shard_bank_gate(*c, bank);
   });
+  if (oracle_overlap_) oracle_->begin_overlap(next_seq_);
   sharded_active_ = true;
   for (int i = 0; i < w; ++i)
     shardctx_[static_cast<std::size_t>(i)]->thr =
@@ -192,6 +221,10 @@ void Engine::run_sharded() {
   for (auto& s : shardctx_) s->thr.join();
   sharded_active_ = false;
   hier_->set_shared_access_gate(nullptr);
+  if (oracle_overlap_) {
+    oracle_->end_overlap(abort_.load(std::memory_order_relaxed));
+    oracle_overlap_ = false;
+  }
 
   // Folding in fixed shard order keeps even a hypothetical non-commutative
   // future counter deterministic; today's sums are order-blind anyway.
@@ -383,6 +416,10 @@ bool Engine::shard_try_redispatch_self_locked(CoreCtx& c) {
 
 void Engine::shard_arm_locked(CoreCtx& c) {
   c.seq = next_seq_++;
+  // Arm runs on the worker that will execute the quantum (dispatch and
+  // self-redispatch both happen there), so the oracle's thread-local event
+  // buffer opens on the right host thread.
+  if (oracle_overlap_) oracle_->quantum_begin(c.seq);
   // The single-thread scheduler's run_until: heap second + slack, capped so
   // a spinning core still yields and lets the watchdog fire. Entries the
   // still-running earlier quanta haven't inserted yet arrive as patches.
@@ -522,6 +559,10 @@ void Engine::shard_order_gate(CoreCtx& c) {
 }
 
 void Engine::relinquish_sharded(CoreCtx& c) {
+  // Close and enqueue the quantum's oracle buffer BEFORE the runner slot
+  // goes idle below: a later quantum passing the order gate (no earlier
+  // runner slots) must find every earlier buffer already enqueued.
+  if (oracle_overlap_) oracle_->quantum_end();
   {
     std::lock_guard<std::mutex> lk(shard_mu_);
     shard_end_quantum_locked(c);
@@ -539,6 +580,42 @@ void Engine::relinquish_sharded(CoreCtx& c) {
   fiber_switch_start(&c.asan_fake, s.stack_bottom, s.stack_size);
   swapcontext(&c.uctx, &s.main);
   fiber_switch_finish(c.asan_fake);
+}
+
+void Engine::shard_bank_gate(CoreCtx& c, int bank) {
+  // Admission to any shared-level bank is retirement-ordered: an earlier
+  // active quantum can still touch ANY bank later in its quantum, and its
+  // footprint is unknowable up front, so admitting this op before all
+  // earlier quanta retired could reorder the serial schedule even when the
+  // banks differ right now. The bank key's payload is the deterministic
+  // per-bank admission count (and per-slice contention visibility), not a
+  // relaxation of the ordering the replay promises.
+  shard_order_gate(c);
+  if (bank >= 0 && bank < bank_gate_count_)
+    bank_gates_[bank].serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Engine::bank_gate_serials() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(bank_gate_count_));
+  for (int i = 0; i < bank_gate_count_; ++i)
+    out.push_back(bank_gates_[i].serial.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Engine::oracle_sync_point(CoreCtx& c) {
+  if (oracle_overlap_) oracle_->sync_flush(c.seq);
+}
+
+void Engine::oracle_resume_sync(CoreCtx& c) {
+  if (!oracle_overlap_) return;
+  // The core was just woken in a fresh quantum; the inline hook that
+  // follows (lock grant / flag wait acquire edge) must run as the oldest
+  // active quantum, exactly like every other inline sync hook. The extra
+  // gate is overlap-only: serialized and unverified sharded runs keep
+  // today's wake path.
+  shard_order_gate(c);
+  oracle_->sync_flush(c.seq);
 }
 
 }  // namespace hic

@@ -23,7 +23,12 @@ namespace hic {
 ///   v3: added the resil_* recovery counters (corrected / retried /
 ///       quarantined / unrecoverable dispositions plus retransmit, scrubber,
 ///       quarantine and degradation event counts) to the "ops" group.
-inline constexpr int kStatsSchemaVersion = 3;
+///   v4: added the top-level "shard" execution-provenance object (requested
+///       worker threads, effective worker count, and whether an observer
+///       forced the sharded engine to serialize). Host-side only: simulated
+///       counters are bit-identical across scheduler modes, so equivalence
+///       checks compare the JSON with this one object stripped.
+inline constexpr int kStatsSchemaVersion = 4;
 
 /// One scalar counter of the report: its JSON group ("stalls",
 /// "traffic_flits" or "ops"), its stable key, and how to read it.

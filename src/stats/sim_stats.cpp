@@ -108,6 +108,7 @@ void SimStats::clear() {
   for (auto& s : stalls_) s.clear();
   traffic_.clear();
   ops_ = OpCounts{};
+  shard_exec_ = ShardExec{};
 }
 
 }  // namespace hic

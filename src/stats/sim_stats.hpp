@@ -177,6 +177,17 @@ namespace detail {
 inline thread_local StatsLane* t_stats_lane = nullptr;
 }  // namespace detail
 
+/// How the run was executed host-side (schema v4). Purely provenance: the
+/// sharded engine is bit-identical to the direct scheduler, so these fields
+/// never affect simulated results — they exist so campaigns and benches can
+/// assert that a `--shard-threads` run actually overlapped instead of
+/// silently serializing behind an observer.
+struct ShardExec {
+  int requested = 0;        ///< --shard-threads (0 = direct single-thread)
+  int workers = 0;          ///< effective worker count after clamping
+  bool serialized = false;  ///< an observer forced one-quantum-at-a-time
+};
+
 /// Everything a run produces.
 class SimStats {
  public:
@@ -224,6 +235,10 @@ class SimStats {
   /// op_fields() and every traffic kind).
   void merge_lane(const StatsLane& lane);
 
+  /// Host-side execution provenance, stamped by the engine at end of run.
+  void set_shard_exec(const ShardExec& e) { shard_exec_ = e; }
+  [[nodiscard]] const ShardExec& shard_exec() const { return shard_exec_; }
+
   /// Cycles of the longest-running core — the run's execution time.
   [[nodiscard]] Cycle exec_cycles() const;
 
@@ -236,6 +251,7 @@ class SimStats {
   std::vector<StallAccount> stalls_;
   TrafficAccount traffic_;
   OpCounts ops_;
+  ShardExec shard_exec_;
 };
 
 }  // namespace hic

@@ -16,14 +16,18 @@ files (before/after) as a speedup table:
 no workload's simulated cycle count moved (the bit-identity canary).
 
 --check-sharded validates one result file's sharded-engine entries
-("name/shardN" next to their direct "name" twin): the simulated cycle
-counts must be bit-identical, every entry must clear a conservative
-cycles-per-second floor (--min-cps-direct / --min-cps-sharded), and — only
-when the recorded host actually had >= --speedup-cpus CPUs *and* as many
-shard workers — the sharded entry must beat direct by --min-shard-speedup.
-On smaller hosts the speedup gate is reported as skipped: shard workers
-time-share one core there, so wall-clock parallel gain is physically
-impossible and only the determinism + floor checks are meaningful.
+("name/shardN" next to their direct "name" twin, and oracle-armed
+"name/verify-shardN" next to "name/verify"): the simulated cycle counts
+must be bit-identical, no sharded entry may have silently serialized
+(per-entry "shard_serialize" provenance written by bench_host_perf),
+every entry must clear a conservative cycles-per-second floor
+(--min-cps-direct / --min-cps-sharded), and — only when the recorded host
+actually had >= --speedup-cpus CPUs *and* as many shard workers — each
+sharded entry (oracle-armed ones included) must beat its direct twin by
+--min-shard-speedup. On smaller hosts the speedup gate prints SKIPPED:
+shard workers time-share one core there, so wall-clock parallel gain is
+physically impossible and only the determinism + provenance + floor
+checks are meaningful.
 
 Stdlib only; no third-party packages.
 """
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 
@@ -40,7 +45,7 @@ import sys
 # also a warning (the host-timing fields this script reads — cycles,
 # median/min seconds — have been stable across versions), but a *newer*
 # version than this script knows is an error.
-EXPECTED_SCHEMA_VERSION = 3
+EXPECTED_SCHEMA_VERSION = 4
 
 
 def check_schema(path: str, data: dict) -> None:
@@ -124,11 +129,23 @@ def compare(before_path: str, after_path: str, check: bool,
     return rc
 
 
+# A sharded entry name ends in "/shardN" (plain) or "/verify-shardN"
+# (oracle-armed); its direct twin is the name with the shard suffix dropped.
+_SHARD_SUFFIX = re.compile(r"[/-]shard\d+$")
+
+
+def shard_base(name: str):
+    """Direct-twin name for a sharded entry, or None if not sharded."""
+    m = _SHARD_SUFFIX.search(name)
+    return name[:m.start()] if m else None
+
+
 def check_sharded(path: str, min_cps_direct: float, min_cps_sharded: float,
                   min_shard_speedup: float, speedup_cpus: int) -> int:
     data = load(path)
     workloads = data["workloads"]
-    sharded = {n: w for n, w in workloads.items() if "/shard" in n}
+    sharded = {n: w for n, w in workloads.items()
+               if shard_base(n) is not None}
     if not sharded:
         sys.exit(f"{path}: no sharded entries — rerun bench_host_perf "
                  "without --legacy-scheduler and with --shard-threads > 0")
@@ -138,7 +155,7 @@ def check_sharded(path: str, min_cps_direct: float, min_cps_sharded: float,
     shard_threads = data.get("shard_threads", 0)
     gate_speedup = host_cpus >= speedup_cpus and shard_threads >= speedup_cpus
     for name, w in sorted(sharded.items()):
-        base_name = name.rsplit("/shard", 1)[0]
+        base_name = shard_base(name)
         base = workloads.get(base_name)
         if base is None:
             print(f"FAIL: {name} has no direct twin '{base_name}'",
@@ -150,10 +167,20 @@ def check_sharded(path: str, min_cps_direct: float, min_cps_sharded: float,
                   f"{base['cycles']} — sharded run is not bit-identical",
                   file=sys.stderr)
             rc = 1
+        # Execution provenance (schema v4): a sharded benchmark entry that
+        # silently fell back to serialize mode would make any speedup claim
+        # (or SKIPPED verdict) meaningless — fail loudly instead.
+        if w.get("shard_serialize", False):
+            print(f"FAIL: {name} serialized at run time "
+                  f"(shard_workers={w.get('shard_workers', '?')}) — an "
+                  "observer forced the one-quantum fallback", file=sys.stderr)
+            rc = 1
         speedup = w["cycles_per_second"] / base["cycles_per_second"] \
             if base["cycles_per_second"] > 0 else 0.0
-        print(f"{name:<22} {w['cycles_per_second']:>14,.0f} cyc/s  "
-              f"{speedup:>5.2f}x vs direct")
+        workers = w.get("shard_workers")
+        extra = f"  [{workers} workers]" if workers is not None else ""
+        print(f"{name:<26} {w['cycles_per_second']:>14,.0f} cyc/s  "
+              f"{speedup:>5.2f}x vs direct{extra}")
         if gate_speedup and speedup < min_shard_speedup:
             print(f"FAIL: {name} speedup {speedup:.2f}x < required "
                   f"{min_shard_speedup}x on a {host_cpus}-CPU host",
@@ -162,20 +189,23 @@ def check_sharded(path: str, min_cps_direct: float, min_cps_sharded: float,
 
     # Conservative absolute floors: catastrophic regressions (10-100x) in
     # either scheduler fail even on slow CI hosts; ordinary host noise does
-    # not. Relative regressions are --compare's job.
+    # not. Relative regressions are --compare's job. Oracle-armed entries
+    # share the lower floor: stamp tracking costs real host time.
     for name, w in sorted(workloads.items()):
-        floor = min_cps_sharded if "/shard" in name else min_cps_direct
+        slow = shard_base(name) is not None or "/verify" in name
+        floor = min_cps_sharded if slow else min_cps_direct
         if w["cycles_per_second"] < floor:
             print(f"FAIL: {name} {w['cycles_per_second']:,.0f} cyc/s below "
                   f"the {floor:,.0f} floor", file=sys.stderr)
             rc = 1
 
     if not gate_speedup:
-        print(f"note: speedup gate skipped (host_cpus={host_cpus}, "
+        print(f"SKIPPED: speedup gate (host_cpus={host_cpus}, "
               f"shard_threads={shard_threads}, need >= {speedup_cpus} of "
-              "both); checked determinism + floors only")
+              "both); checked determinism + provenance + floors only")
     if rc == 0:
-        print("OK: sharded entries bit-identical and above the cyc/s floors"
+        print("OK: sharded entries bit-identical, overlapped (no serialize "
+              "fallback) and above the cyc/s floors"
               + (f", >= {min_shard_speedup}x speedup" if gate_speedup else ""))
     return rc
 

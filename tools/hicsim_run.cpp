@@ -382,6 +382,14 @@ int main(int argc, char** argv) {
     if (no_stale_monitor) mc.staleness_monitor = false;
     for (const auto& kv : set_overrides) apply_config_set(mc, kv);
     mc.validate();
+    // Re-check after overrides: `--set legacy_scheduler=true` must hit the
+    // same usage error as --legacy-scheduler instead of a CHECK at run time.
+    if (shard_threads > 0 && mc.legacy_scheduler) {
+      std::fprintf(stderr,
+                   "--shard-threads is incompatible with the legacy scheduler "
+                   "(set via --set legacy_scheduler=true)\n");
+      return kExitUsage;
+    }
     const int n = threads > 0 ? threads : mc.total_cores();
 
     if (time_mode) {
