@@ -1,0 +1,188 @@
+// Sharded key-value store: the ownership-transfer serving workload.
+//
+// The store is partitioned into per-thread shards (shard = key mod
+// nthreads); every record is exactly one cache line. A client stream per
+// thread issues open-loop gets and puts against uniformly random keys, so
+// most requests touch a record owned by ANOTHER shard: the request transfers
+// ownership of that line for the duration of the operation and hands it
+// back. On the incoherent hierarchy this handoff is exactly where WB/INV
+// must go — acquire_owned INVs the record range after taking the shard lock
+// (site KvAcquireInv), release_owned WBs it before releasing (KvReleaseWb) —
+// the paper's §IV-A ranged refinement applied to a serving hot path instead
+// of blanket critical-section flushes.
+//
+// Table I: critical (ownership transfer) main; barrier other.
+#include <algorithm>
+#include <vector>
+
+#include "apps/serve/serve.hpp"
+#include "apps/workload.hpp"
+
+namespace hic {
+
+namespace {
+
+/// Words per record: one 64-byte line (value, put count, 6 payload words).
+constexpr std::int64_t kRecWords = 8;
+constexpr std::int64_t kRecBytes = kRecWords * 8;
+constexpr std::int64_t kRecsPerShard = 6;
+
+/// Payload words are a pure function of (key, word): every put writes the
+/// same bytes, so the payload is serially checkable even though puts from
+/// different streams interleave nondeterministically.
+std::uint64_t payload_word(std::uint64_t key, std::int64_t w) {
+  std::uint64_t z = key * 0x9e3779b97f4a7c15ULL +
+                    static_cast<std::uint64_t>(w) * 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 29;
+  return z;
+}
+
+class KvStoreWorkload final : public Workload {
+ public:
+  std::string name() const override { return "kv-store"; }
+  std::string main_patterns() const override {
+    return "critical (ownership transfer)";
+  }
+  std::string other_patterns() const override { return "barrier"; }
+
+  bool set_knob(const std::string& key, std::int64_t value) override {
+    if (key == "requests" && value > 0) { p_.requests = value; return true; }
+    if (key == "gap" && value > 0) { p_.mean_gap = value; return true; }
+    if (key == "work" && value > 0) { p_.mean_work = value; return true; }
+    if (key == "keys" && value > 0) { keys_knob_ = value; return true; }
+    if (key == "puts" && value >= 0 && value <= 100) {
+      put_percent_ = static_cast<std::uint64_t>(value);
+      return true;
+    }
+    return false;
+  }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    p_.key_space = keys_knob_ > 0
+                       ? static_cast<std::uint64_t>(keys_knob_)
+                       : static_cast<std::uint64_t>(nthreads) * kRecsPerShard;
+    const auto recs = static_cast<std::int64_t>(p_.key_space);
+    records_ = m.mem().alloc_array<std::uint64_t>(recs * kRecWords, "kv.recs");
+    for (std::int64_t w = 0; w < recs * kRecWords; ++w)
+      m.mem().init(records_ + static_cast<Addr>(w) * 8, std::uint64_t{0});
+    digests_ = m.mem().alloc_array<std::uint64_t>(nthreads, "kv.digests");
+    for (int t = 0; t < nthreads; ++t)
+      m.mem().init(digests_ + static_cast<Addr>(t) * 8, std::uint64_t{0});
+    bar_ = m.make_barrier(nthreads);
+    locks_.clear();
+    for (int s = 0; s < nthreads; ++s) locks_.push_back(m.make_lock(false));
+    streams_.clear();
+    for (int t = 0; t < nthreads; ++t)
+      streams_.push_back(serve::gen_stream(p_, t));
+    rs_.reset(nthreads);
+  }
+
+  void body(Thread& t) override {
+    t.barrier(bar_);
+    const ThreadId tid = t.tid();
+    const std::vector<serve::ServeRequest>& stream =
+        streams_[static_cast<std::size_t>(tid)];
+    serve::RequestStats::Lane& lane = rs_.lane(tid);
+    const auto nshards = static_cast<std::uint64_t>(nthreads_);
+    std::uint64_t digest = 0;
+
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(stream.size());
+         ++i) {
+      const serve::ServeRequest& req = stream[static_cast<std::size_t>(i)];
+      if (t.now() < req.arrival) t.compute(req.arrival - t.now());
+      ++lane.issued;
+      lane.qdepth_peak = std::max(lane.qdepth_peak,
+                                  serve::backlog_at(stream, t.now(), i));
+
+      const std::uint64_t owner = req.key % nshards;
+      if (owner != static_cast<std::uint64_t>(tid)) ++lane.remote;
+      const Addr rec = records_ + static_cast<Addr>(req.key) * kRecBytes;
+      const AddrRange region{rec, kRecBytes};
+      auto& lk = locks_[static_cast<std::size_t>(owner)];
+
+      t.acquire_owned(lk, region);
+      if (req.kind < put_percent_) {
+        // Put: commutative update (value += work, count += 1) plus the
+        // idempotent payload — order-independent, hence serially checkable.
+        const auto v = t.load<std::uint64_t>(rec);
+        t.store(rec, v + req.work);
+        const auto c = t.load<std::uint64_t>(rec + 8);
+        t.store(rec + 8, c + 1);
+        for (std::int64_t w = 2; w < kRecWords; ++w)
+          t.store(rec + static_cast<Addr>(w) * 8, payload_word(req.key, w));
+      } else {
+        // Get: stream the whole record through this core's cache. The read
+        // values fold into a per-thread digest (published at the final
+        // barrier) — gets have an observable effect, and stale reads are the
+        // oracle's concern since the digest is interleaving-dependent.
+        for (std::int64_t w = 0; w < kRecWords; ++w)
+          digest += t.load<std::uint64_t>(rec + static_cast<Addr>(w) * 8);
+      }
+      t.compute(req.work);
+      t.release_owned(lk, region);
+      lane.latencies.push_back(t.now() - req.arrival);
+    }
+    t.store(digests_ + static_cast<Addr>(tid) * 8, digest);
+    t.barrier(bar_);
+  }
+
+  void finish(Machine& m) override { rs_.publish(m.stats()); }
+
+  WorkloadResult verify(Machine& m) override {
+    // Serial reference: puts are commutative, so per-key (sum of deltas,
+    // put count) over all streams fully determines the final record.
+    std::vector<std::uint64_t> sum(p_.key_space, 0);
+    std::vector<std::uint64_t> puts(p_.key_space, 0);
+    for (const auto& stream : streams_) {
+      for (const serve::ServeRequest& req : stream) {
+        if (req.kind < put_percent_) {
+          sum[req.key] += req.work;
+          ++puts[req.key];
+        }
+      }
+    }
+    VerifyReader rd(m);
+    for (std::uint64_t k = 0; k < p_.key_space; ++k) {
+      const Addr rec = records_ + static_cast<Addr>(k) * kRecBytes;
+      const auto v = rd.read<std::uint64_t>(rec);
+      const auto c = rd.read<std::uint64_t>(rec + 8);
+      if (v != sum[k] || c != puts[k]) {
+        return {false, "kv-store: key " + std::to_string(k) + " value/count " +
+                           std::to_string(v) + "/" + std::to_string(c) +
+                           " want " + std::to_string(sum[k]) + "/" +
+                           std::to_string(puts[k])};
+      }
+      for (std::int64_t w = 2; w < kRecWords; ++w) {
+        const auto pw = rd.read<std::uint64_t>(rec + static_cast<Addr>(w) * 8);
+        const std::uint64_t want = puts[k] > 0 ? payload_word(k, w) : 0;
+        if (pw != want) {
+          return {false, "kv-store: key " + std::to_string(k) + " payload " +
+                             std::to_string(w) + " mismatch"};
+        }
+      }
+    }
+    return {true, ""};
+  }
+
+ private:
+  int nthreads_ = 0;
+  serve::GenParams p_{.seed = 0x5e12e, .requests = 96, .mean_gap = 96,
+                      .key_space = 96, .mean_work = 48};
+  std::uint64_t put_percent_ = 50;
+  std::int64_t keys_knob_ = 0;
+  Addr records_ = 0;
+  Addr digests_ = 0;
+  Machine::Barrier bar_;
+  std::vector<Machine::Lock> locks_;
+  std::vector<std::vector<serve::ServeRequest>> streams_;
+  serve::RequestStats rs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_kvstore() {
+  return std::make_unique<KvStoreWorkload>();
+}
+
+}  // namespace hic

@@ -1,0 +1,91 @@
+#include "apps/serve/serve.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace hic::serve {
+
+namespace {
+
+/// Mixes the family seed with the stream index. The multiplier is odd (a
+/// bijection on u64), so distinct streams land on distinct Rng seeds, and
+/// the Rng constructor's SplitMix64 pass decorrelates neighbors.
+std::uint64_t stream_seed(std::uint64_t seed, int stream) {
+  return seed ^ (0xd1342543de82ef95ULL *
+                 (static_cast<std::uint64_t>(stream) + 1));
+}
+
+/// Uniform integer in [1, 2*mean - 1]: mean `mean`, integer-only (no libm,
+/// bit-identical everywhere).
+Cycle uniform_mean(Rng& rng, Cycle mean) {
+  if (mean <= 1) return 1;
+  return 1 + rng.next_below(2 * mean - 1);
+}
+
+}  // namespace
+
+std::vector<ServeRequest> gen_stream(const GenParams& p, int stream) {
+  HIC_CHECK(p.requests > 0 && p.key_space > 0);
+  Rng rng(stream_seed(p.seed, stream));
+  std::vector<ServeRequest> out;
+  out.reserve(static_cast<std::size_t>(p.requests));
+  Cycle at = 0;
+  for (std::int64_t i = 0; i < p.requests; ++i) {
+    at += uniform_mean(rng, p.mean_gap);
+    ServeRequest r;
+    r.arrival = at;
+    r.key = rng.next_below(p.key_space);
+    r.work = uniform_mean(rng, p.mean_work);
+    r.kind = rng.next_below(100);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::uint64_t backlog_at(const std::vector<ServeRequest>& stream, Cycle now,
+                         std::int64_t served) {
+  const auto arrived = std::upper_bound(
+      stream.begin(), stream.end(), now,
+      [](Cycle t, const ServeRequest& r) { return t < r.arrival; });
+  const auto n = static_cast<std::int64_t>(arrived - stream.begin());
+  return n > served ? static_cast<std::uint64_t>(n - served) : 0;
+}
+
+void RequestStats::reset(int nthreads) {
+  HIC_CHECK(nthreads > 0);
+  lanes_.assign(static_cast<std::size_t>(nthreads), Lane{});
+}
+
+RequestStats::Lane& RequestStats::lane(ThreadId t) {
+  HIC_CHECK(t >= 0 && t < static_cast<ThreadId>(lanes_.size()));
+  return lanes_[static_cast<std::size_t>(t)];
+}
+
+void RequestStats::publish(SimStats& stats) const {
+  OpCounts& o = stats.ops();
+  std::vector<Cycle> lat;
+  for (const Lane& l : lanes_) {
+    o.req_issued += l.issued;
+    o.req_remote += l.remote;
+    o.req_qdepth_peak = std::max(o.req_qdepth_peak, l.qdepth_peak);
+    lat.insert(lat.end(), l.latencies.begin(), l.latencies.end());
+  }
+  o.req_completed += static_cast<std::uint64_t>(lat.size());
+  if (lat.empty()) return;
+  std::sort(lat.begin(), lat.end());
+  const auto rank = [&lat](std::uint64_t pct) {
+    // Nearest-rank: sorted[ceil(pct/100 * N) - 1].
+    const std::uint64_t n = lat.size();
+    std::uint64_t r = (pct * n + 99) / 100;
+    if (r == 0) r = 1;
+    return lat[r - 1];
+  };
+  o.req_lat_p50 = rank(50);
+  o.req_lat_p95 = rank(95);
+  o.req_lat_p99 = rank(99);
+  o.req_lat_max = lat.back();
+}
+
+}  // namespace hic::serve

@@ -1,0 +1,298 @@
+// Pipeline serving workload: parse -> process -> respond stages.
+//
+// Threads form lanes of three stages connected by single-producer /
+// single-consumer rings (one cache line per slot). The stage handoff is the
+// compiler substrate's job: analyze_stage_handoff() emits one WB directive
+// per slot for the producing stage and one INV directive per slot for the
+// consuming stage, and the runtime's flag_set_ranged / flag_wait_ranged
+// translate them into ranged WB/INV at exactly the flag edge (sites
+// PipeProduceWb / PipeConsumeInv). The backward credit flags carry empty
+// directive lists — pure control edges with nothing to annotate — so the
+// only data annotations in the steady state are the per-slot ranged ones.
+//
+// Table I: flag (producer/consumer) main; barrier other.
+#include <algorithm>
+#include <vector>
+
+#include "apps/serve/serve.hpp"
+#include "apps/workload.hpp"
+#include "compiler/analysis.hpp"
+
+namespace hic {
+
+namespace {
+
+constexpr std::int64_t kSlots = 4;     ///< ring depth (slots = cache lines)
+constexpr std::int64_t kSlotWords = 8; ///< one 64-byte line per slot
+
+/// Record layout inside a slot: arrival, key, seq, work, stage values.
+enum SlotWord { kWArrival = 0, kWKey, kWSeq, kWWork, kWStage1, kWStage2 };
+
+std::uint64_t stage1_of(std::uint64_t key, std::uint64_t seq,
+                        std::uint64_t work) {
+  std::uint64_t z = key * 0xbf58476d1ce4e5b9ULL + seq * 977 + work;
+  return z ^ (z >> 27);
+}
+
+std::uint64_t stage2_of(std::uint64_t s1) {
+  std::uint64_t z = s1 * 0x94d049bb133111ebULL + 0x9e3779b97f4a7c15ULL;
+  return z ^ (z >> 31);
+}
+
+/// End-to-end response for request (key, seq, work): what respond writes and
+/// the serial reference verify recomputes.
+std::uint64_t response_of(std::uint64_t key, std::uint64_t seq,
+                          std::uint64_t work) {
+  return stage2_of(stage1_of(key, seq, work)) + key + seq;
+}
+
+/// One parse->process or process->respond edge of a lane.
+struct Edge {
+  Addr ring = 0;
+  Machine::Flag produced;
+  Machine::Flag consumed;
+  StageHandoff handoff;
+};
+
+class PipelineWorkload final : public Workload {
+ public:
+  std::string name() const override { return "pipeline"; }
+  std::string main_patterns() const override {
+    return "flag (producer/consumer)";
+  }
+  std::string other_patterns() const override { return "barrier"; }
+
+  bool set_knob(const std::string& key, std::int64_t value) override {
+    if (key == "requests" && value > 0) { p_.requests = value; return true; }
+    if (key == "gap" && value > 0) { p_.mean_gap = value; return true; }
+    if (key == "work" && value > 0) { p_.mean_work = value; return true; }
+    return false;
+  }
+
+  void setup(Machine& m, int nthreads) override {
+    nthreads_ = nthreads;
+    nlanes_ = nthreads / 3;
+    const int streams = nlanes_ > 0 ? nlanes_ : 1;
+    streams_.clear();
+    for (int l = 0; l < streams; ++l)
+      streams_.push_back(serve::gen_stream(p_, l));
+
+    response_ =
+        m.mem().alloc_array<std::uint64_t>(streams * p_.requests, "pipe.rsp");
+    for (std::int64_t i = 0; i < streams * p_.requests; ++i)
+      m.mem().init(response_ + static_cast<Addr>(i) * 8, std::uint64_t{0});
+    bar_ = m.make_barrier(nthreads);
+
+    edges_.clear();
+    for (int l = 0; l < nlanes_; ++l) {
+      // Stage threads of lane l: parse = l, process = l + nlanes,
+      // respond = l + 2*nlanes.
+      const ThreadId parse_t = l;
+      const ThreadId process_t = l + nlanes_;
+      const ThreadId respond_t = l + 2 * nlanes_;
+      edges_.push_back(
+          make_edge(m, "pipe.ring1." + std::to_string(l), parse_t, process_t));
+      edges_.push_back(make_edge(m, "pipe.ring2." + std::to_string(l),
+                                 process_t, respond_t));
+    }
+    rs_.reset(nthreads);
+  }
+
+  void body(Thread& t) override {
+    t.barrier(bar_);
+    if (nlanes_ == 0) {
+      // Degenerate machine (< 3 threads): thread 0 runs all three stages
+      // inline on stream 0; no rings, no handoffs.
+      if (t.tid() == 0) serve_serial(t);
+    } else {
+      const ThreadId tid = t.tid();
+      const int lane = static_cast<int>(tid) % nlanes_;
+      const int stage = static_cast<int>(tid) / nlanes_;
+      Edge& up = edges_[static_cast<std::size_t>(2 * lane)];
+      Edge& down = edges_[static_cast<std::size_t>(2 * lane + 1)];
+      if (stage == 0) {
+        parse_stage(t, lane, up);
+      } else if (stage == 1) {
+        process_stage(t, up, down);
+      } else if (stage == 2) {
+        respond_stage(t, lane, down);
+      }
+      // Threads beyond 3*nlanes idle at the barriers.
+    }
+    t.barrier(bar_);
+  }
+
+  void finish(Machine& m) override { rs_.publish(m.stats()); }
+
+  WorkloadResult verify(Machine& m) override {
+    VerifyReader rd(m);
+    for (std::size_t l = 0; l < streams_.size(); ++l) {
+      const std::vector<serve::ServeRequest>& stream = streams_[l];
+      for (std::int64_t i = 0; i < p_.requests; ++i) {
+        const serve::ServeRequest& r = stream[static_cast<std::size_t>(i)];
+        const auto v = rd.read<std::uint64_t>(
+            response_ +
+            static_cast<Addr>(static_cast<std::int64_t>(l) * p_.requests + i) *
+                8);
+        const std::uint64_t want = response_of(
+            r.key, static_cast<std::uint64_t>(i),
+            static_cast<std::uint64_t>(r.work));
+        if (v != want) {
+          return {false, "pipeline: response " + std::to_string(l) + "/" +
+                             std::to_string(i) + " mismatch"};
+        }
+      }
+    }
+    return {true, ""};
+  }
+
+ private:
+  Edge make_edge(Machine& m, const std::string& label, ThreadId producer,
+                 ThreadId consumer) {
+    Edge e;
+    e.ring =
+        m.mem().alloc_array<std::uint64_t>(kSlots * kSlotWords, label.c_str());
+    for (std::int64_t w = 0; w < kSlots * kSlotWords; ++w)
+      m.mem().init(e.ring + static_cast<Addr>(w) * 8, std::uint64_t{0});
+    e.produced = m.make_flag(0);
+    e.consumed = m.make_flag(0);
+    const ArrayInfo info{label, e.ring, 8,
+                         static_cast<std::int64_t>(kSlots * kSlotWords)};
+    e.handoff =
+        analyze_stage_handoff(info, kSlots, kSlotWords, producer, consumer);
+    return e;
+  }
+
+  static Addr slot_addr(const Edge& e, std::int64_t i) {
+    return e.ring + static_cast<Addr>((i % kSlots) * kSlotWords) * 8;
+  }
+
+  /// Credit check: slot i is free for rewriting once the consumer has
+  /// retired request i - kSlots (pure control edge, empty directives).
+  static void wait_credit(Thread& t, Edge& e, std::int64_t i) {
+    if (i >= kSlots)
+      t.flag_wait_ranged(e.consumed, static_cast<std::uint64_t>(i - kSlots) + 1,
+                         {});
+  }
+
+  void parse_stage(Thread& t, int lane, Edge& up) {
+    const std::vector<serve::ServeRequest>& stream =
+        streams_[static_cast<std::size_t>(lane)];
+    serve::RequestStats::Lane& ln = rs_.lane(t.tid());
+    for (std::int64_t i = 0; i < p_.requests; ++i) {
+      const serve::ServeRequest& req = stream[static_cast<std::size_t>(i)];
+      if (t.now() < req.arrival) t.compute(req.arrival - t.now());
+      ++ln.issued;
+      ln.qdepth_peak =
+          std::max(ln.qdepth_peak, serve::backlog_at(stream, t.now(), i));
+      wait_credit(t, up, i);
+      const Addr s = slot_addr(up, i);
+      t.store(s + kWArrival * 8, static_cast<std::uint64_t>(req.arrival));
+      t.store(s + kWKey * 8, req.key);
+      t.store(s + kWSeq * 8, static_cast<std::uint64_t>(i));
+      t.store(s + kWWork * 8, static_cast<std::uint64_t>(req.work));
+      t.compute(8);  // parse cost
+      const std::size_t slot = static_cast<std::size_t>(i % kSlots);
+      t.flag_set_ranged(up.produced, static_cast<std::uint64_t>(i) + 1,
+                        {&up.handoff.produce[slot], 1});
+    }
+  }
+
+  void process_stage(Thread& t, Edge& up, Edge& down) {
+    for (std::int64_t i = 0; i < p_.requests; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(i % kSlots);
+      t.flag_wait_ranged(up.produced, static_cast<std::uint64_t>(i) + 1,
+                         {&up.handoff.consume[slot], 1});
+      const Addr s = slot_addr(up, i);
+      const auto arrival = t.load<std::uint64_t>(s + kWArrival * 8);
+      const auto key = t.load<std::uint64_t>(s + kWKey * 8);
+      const auto seq = t.load<std::uint64_t>(s + kWSeq * 8);
+      const auto work = t.load<std::uint64_t>(s + kWWork * 8);
+      // The upstream slot is read in full; hand it back before the heavy
+      // compute so parse can refill it while we work.
+      t.flag_set_ranged(up.consumed, static_cast<std::uint64_t>(i) + 1, {});
+
+      t.compute(work);
+      const std::uint64_t s1 = stage1_of(key, seq, work);
+
+      wait_credit(t, down, i);
+      const Addr d = slot_addr(down, i);
+      t.store(d + kWArrival * 8, arrival);
+      t.store(d + kWKey * 8, key);
+      t.store(d + kWSeq * 8, seq);
+      t.store(d + kWWork * 8, work);
+      t.store(d + kWStage1 * 8, s1);
+      t.flag_set_ranged(down.produced, static_cast<std::uint64_t>(i) + 1,
+                        {&down.handoff.produce[slot], 1});
+    }
+  }
+
+  void respond_stage(Thread& t, int lane, Edge& down) {
+    serve::RequestStats::Lane& ln = rs_.lane(t.tid());
+    for (std::int64_t i = 0; i < p_.requests; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(i % kSlots);
+      t.flag_wait_ranged(down.produced, static_cast<std::uint64_t>(i) + 1,
+                         {&down.handoff.consume[slot], 1});
+      const Addr s = slot_addr(down, i);
+      const auto arrival = t.load<std::uint64_t>(s + kWArrival * 8);
+      const auto key = t.load<std::uint64_t>(s + kWKey * 8);
+      const auto seq = t.load<std::uint64_t>(s + kWSeq * 8);
+      const auto work = t.load<std::uint64_t>(s + kWWork * 8);
+      const auto s1 = t.load<std::uint64_t>(s + kWStage1 * 8);
+      t.flag_set_ranged(down.consumed, static_cast<std::uint64_t>(i) + 1, {});
+
+      // A pre-satisfied flag wait proceeds at the waiter's local clock, so
+      // this core can lag the request's arrival stamp; a request cannot
+      // complete before it arrives, so catch the clock up first.
+      if (t.now() < static_cast<Cycle>(arrival))
+        t.compute(static_cast<Cycle>(arrival) - t.now());
+      t.compute(work / 4 + 1);  // serialization/response cost
+      t.store(response_ +
+                  static_cast<Addr>(static_cast<std::int64_t>(lane) *
+                                        p_.requests +
+                                    i) *
+                      8,
+              stage2_of(s1) + key + seq);
+      ++ln.remote;  // every request crossed two stage handoffs
+      ln.latencies.push_back(t.now() - static_cast<Cycle>(arrival));
+    }
+  }
+
+  /// Single-thread fallback: the three stage functions composed inline.
+  void serve_serial(Thread& t) {
+    const std::vector<serve::ServeRequest>& stream = streams_[0];
+    serve::RequestStats::Lane& ln = rs_.lane(t.tid());
+    for (std::int64_t i = 0; i < p_.requests; ++i) {
+      const serve::ServeRequest& req = stream[static_cast<std::size_t>(i)];
+      if (t.now() < req.arrival) t.compute(req.arrival - t.now());
+      ++ln.issued;
+      ln.qdepth_peak =
+          std::max(ln.qdepth_peak, serve::backlog_at(stream, t.now(), i));
+      t.compute(8);
+      t.compute(req.work);
+      t.compute(req.work / 4 + 1);
+      t.store(response_ + static_cast<Addr>(i) * 8,
+              response_of(req.key, static_cast<std::uint64_t>(i),
+                          static_cast<std::uint64_t>(req.work)));
+      ln.latencies.push_back(t.now() - req.arrival);
+    }
+  }
+
+  int nthreads_ = 0;
+  int nlanes_ = 0;
+  serve::GenParams p_{.seed = 0x919e11e, .requests = 96, .mean_gap = 96,
+                      .key_space = 4096, .mean_work = 48};
+  Addr response_ = 0;
+  Machine::Barrier bar_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<serve::ServeRequest>> streams_;
+  serve::RequestStats rs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_pipeline() {
+  return std::make_unique<PipelineWorkload>();
+}
+
+}  // namespace hic

@@ -1,0 +1,94 @@
+// Request-serving workload family (paper framing: the incoherent hierarchy
+// under latency-sensitive server software rather than batch kernels).
+//
+// Three workloads share this header's substrate:
+//   kv-store  — sharded key-value store; remote gets/puts transfer ownership
+//               of a record line between cores (ranged WB/INV at the handoff,
+//               sites KvReleaseWb / KvAcquireInv);
+//   dispatch  — work-stealing request dispatcher generalizing the raytrace
+//               task-queue pattern (existing critical-section sites);
+//   pipeline  — parse -> process -> respond stages over SPSC rings, with the
+//               per-slot WB/INV directives produced by the compiler substrate
+//               (analyze_stage_handoff; sites PipeProduceWb / PipeConsumeInv).
+//
+// All three are driven by the deterministic load generator below and report
+// the per-request latency surface (req_* counters, stats schema v5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hic {
+
+class SimStats;
+
+namespace serve {
+
+/// Load-generator parameters. Every workload knob maps onto one of these
+/// fields (Workload::set_knob), so a campaign point's request mix is fully
+/// described by five integers.
+struct GenParams {
+  std::uint64_t seed = 0x5e12e;  ///< stream-family seed
+  std::int64_t requests = 96;    ///< requests per client stream
+  Cycle mean_gap = 96;           ///< mean open-loop interarrival (cycles)
+  std::uint64_t key_space = 64;  ///< keys are uniform in [0, key_space)
+  Cycle mean_work = 48;          ///< mean per-request service compute
+};
+
+/// One generated request. `kind` is a uniform percentile in [0, 100) the
+/// workload interprets (e.g. kv-store: kind < put_percent means put).
+struct ServeRequest {
+  Cycle arrival = 0;
+  std::uint64_t key = 0;
+  Cycle work = 0;
+  std::uint64_t kind = 0;
+};
+
+/// Generates client stream `stream` of the family described by `p`:
+/// arrivals are a cumulative sum of integer gaps uniform in
+/// [1, 2*mean_gap - 1] (mean = mean_gap; integer-only so the stream is
+/// bit-identical across platforms), keys and kinds uniform, work uniform in
+/// [1, 2*mean_work - 1]. Each stream draws from its own Rng seeded from
+/// (seed, stream) only — adding a client stream never perturbs the draws of
+/// existing streams.
+[[nodiscard]] std::vector<ServeRequest> gen_stream(const GenParams& p,
+                                                   int stream);
+
+/// Arrived-but-unserved backlog of one stream at time `now`, given that
+/// `served` of its requests are already done: the generator-side queue-depth
+/// probe behind req_qdepth_peak. `stream` must be arrival-sorted (gen_stream
+/// output is).
+[[nodiscard]] std::uint64_t backlog_at(const std::vector<ServeRequest>& stream,
+                                       Cycle now, std::int64_t served);
+
+/// Per-request latency accounting. Each simulated thread records into its
+/// own lane (race-free under the sharded engine: a lane is only ever touched
+/// by its owning thread), and publish() folds the lanes into the req_*
+/// counters of SimStats in fixed tid order — so the aggregate is
+/// bit-identical however the host interleaved the run.
+class RequestStats {
+ public:
+  struct Lane {
+    std::uint64_t issued = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t qdepth_peak = 0;
+    std::vector<Cycle> latencies;
+  };
+
+  void reset(int nthreads);
+  [[nodiscard]] Lane& lane(ThreadId t);
+
+  /// Merges the lanes (tid order), sorts the latency samples, and fills the
+  /// req_* fields of `stats` with nearest-rank percentiles
+  /// (sorted[ceil(p/100 * N) - 1]) over the completed requests.
+  void publish(SimStats& stats) const;
+
+ private:
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace serve
+}  // namespace hic

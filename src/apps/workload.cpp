@@ -16,6 +16,9 @@ std::unique_ptr<Workload> make_ep(bool hierarchical);
 std::unique_ptr<Workload> make_is();
 std::unique_ptr<Workload> make_cg();
 std::unique_ptr<Workload> make_jacobi();
+std::unique_ptr<Workload> make_kvstore();
+std::unique_ptr<Workload> make_dispatch();
+std::unique_ptr<Workload> make_pipeline();
 
 std::vector<std::string> intra_workload_names() {
   return {"fft",      "lu-cont",  "lu-noncont",  "cholesky",
@@ -25,6 +28,10 @@ std::vector<std::string> intra_workload_names() {
 
 std::vector<std::string> inter_workload_names() {
   return {"ep", "is", "cg", "jacobi"};
+}
+
+std::vector<std::string> serving_workload_names() {
+  return {"kv-store", "dispatch", "pipeline"};
 }
 
 std::unique_ptr<Workload> make_workload(const std::string& name) {
@@ -46,6 +53,9 @@ std::unique_ptr<Workload> make_workload(const std::string& name) {
   if (name == "is") return make_is();
   if (name == "cg") return make_cg();
   if (name == "jacobi") return make_jacobi();
+  if (name == "kv-store") return make_kvstore();
+  if (name == "dispatch") return make_dispatch();
+  if (name == "pipeline") return make_pipeline();
   HIC_CHECK_MSG(false, "unknown workload '" << name << "'");
   return nullptr;
 }
@@ -53,6 +63,7 @@ std::unique_ptr<Workload> make_workload(const std::string& name) {
 Cycle run_workload(Workload& w, Machine& m, int nthreads) {
   w.setup(m, nthreads);
   m.run(nthreads, [&w](Thread& t) { w.body(t); });
+  w.finish(m);
   return m.exec_cycles();
 }
 

@@ -38,14 +38,32 @@ class Workload {
   virtual void setup(Machine& m, int nthreads) = 0;
   /// Per-thread body; thread i runs on core i.
   virtual void body(Thread& t) = 0;
+  /// Post-run hook, called by run_workload after the machine finishes (and
+  /// after the sharded engine merged its stat lanes): workloads that keep
+  /// host-side accounting publish it into m.stats() here. The serving family
+  /// uses this for the req_* latency surface; the Table I kernels don't
+  /// override it.
+  virtual void finish(Machine& m) { (void)m; }
   /// Checks results against the serial reference via a VerifyReader.
   [[nodiscard]] virtual WorkloadResult verify(Machine& m) = 0;
+
+  /// Workload-specific integer parameter (CLI --serve-set key=value). Must
+  /// be called before setup(); returns false for an unknown key or
+  /// out-of-range value. The defaults are what campaigns run.
+  virtual bool set_knob(const std::string& key, std::int64_t value) {
+    (void)key;
+    (void)value;
+    return false;
+  }
 };
 
 /// The 11 intra-block runs of Figure 9/10 (SPLASH-2 miniatures).
 [[nodiscard]] std::vector<std::string> intra_workload_names();
 /// The 4 inter-block runs of Figure 11/12 (NAS EP/IS/CG + Jacobi).
 [[nodiscard]] std::vector<std::string> inter_workload_names();
+/// The request-serving family (src/apps/serve): intra-block workloads driven
+/// by the deterministic load generator, reporting the req_* latency surface.
+[[nodiscard]] std::vector<std::string> serving_workload_names();
 
 /// Factory; throws CheckFailure for unknown names.
 [[nodiscard]] std::unique_ptr<Workload> make_workload(const std::string& name);

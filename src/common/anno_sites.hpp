@@ -45,9 +45,14 @@ enum class AnnoSite : std::int32_t {
   EpochConsumeInv = 19,  // inv of the consumed range (epoch_consume)
   EpochProduceAllWb = 20,  // wb_all variant (epoch_produce_all)
   EpochConsumeAllInv = 21, // inv_all variant (epoch_consume_all)
+  // Serving family (src/apps/serve): ownership transfer and stage handoff.
+  KvReleaseWb = 22,    // wb_range of the transferred record before release
+  KvAcquireInv = 23,   // inv_range of the transferred record after acquire
+  PipeProduceWb = 24,  // wb of the produced ring slot before the flag set
+  PipeConsumeInv = 25, // inv of the consumed ring slot after the flag wait
 };
 
-inline constexpr std::int32_t kNumAnnoSites = 22;
+inline constexpr std::int32_t kNumAnnoSites = 26;
 
 /// All real sites in numeric order (excludes kNone).
 [[nodiscard]] inline constexpr std::array<AnnoSite, kNumAnnoSites>
@@ -83,6 +88,10 @@ all_anno_sites() {
     case AnnoSite::EpochConsumeInv: return "epoch-consume-inv";
     case AnnoSite::EpochProduceAllWb: return "epoch-produce-all-wb";
     case AnnoSite::EpochConsumeAllInv: return "epoch-consume-all-inv";
+    case AnnoSite::KvReleaseWb: return "kv-release-wb";
+    case AnnoSite::KvAcquireInv: return "kv-acquire-inv";
+    case AnnoSite::PipeProduceWb: return "pipe-produce-wb";
+    case AnnoSite::PipeConsumeInv: return "pipe-consume-inv";
   }
   return "unknown";
 }
@@ -101,6 +110,8 @@ all_anno_sites() {
     case AnnoSite::RacyStoreWb:
     case AnnoSite::EpochProduceWb:
     case AnnoSite::EpochProduceAllWb:
+    case AnnoSite::KvReleaseWb:
+    case AnnoSite::PipeProduceWb:
       return true;
     default:
       return false;

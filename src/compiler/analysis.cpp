@@ -193,4 +193,21 @@ EpochPlan analyze_producer_consumer(const ProgramGraph& prog, int nthreads) {
   return plan;
 }
 
+StageHandoff analyze_stage_handoff(const ArrayInfo& ring, std::int64_t slots,
+                                   std::int64_t slot_elems, ThreadId producer,
+                                   ThreadId consumer) {
+  HIC_CHECK(slots > 0 && slot_elems > 0);
+  HIC_CHECK(slots * slot_elems <= ring.length);
+  StageHandoff h;
+  h.produce.reserve(static_cast<std::size_t>(slots));
+  h.consume.reserve(static_cast<std::size_t>(slots));
+  for (std::int64_t s = 0; s < slots; ++s) {
+    const ElemInterval slot{s * slot_elems, (s + 1) * slot_elems - 1};
+    const AddrRange r = ring.byte_range(slot);
+    h.produce.push_back({r, consumer});
+    h.consume.push_back({r, producer});
+  }
+  return h;
+}
+
 }  // namespace hic

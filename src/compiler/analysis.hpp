@@ -55,4 +55,21 @@ class EpochPlan {
 ///      as inspector-driven and publish defs globally.
 EpochPlan analyze_producer_consumer(const ProgramGraph& prog, int nthreads);
 
+/// Stage-handoff extraction for streaming pipelines (src/apps/serve): the
+/// SPSC specialization of the loop-pair analysis above. The producing stage
+/// defs every slot of a ring array that the consuming stage uses, and both
+/// peer threads are statically known, so DEF-USE intersection degenerates to
+/// one WB_CONS / INV_PROD directive pair per ring slot — placed on the
+/// producer's flag set and the consumer's flag wait instead of a loop
+/// boundary.
+struct StageHandoff {
+  std::vector<WbDirective> produce;   ///< [slot], for the producing stage
+  std::vector<InvDirective> consume;  ///< [slot], for the consuming stage
+};
+[[nodiscard]] StageHandoff analyze_stage_handoff(const ArrayInfo& ring,
+                                                 std::int64_t slots,
+                                                 std::int64_t slot_elems,
+                                                 ThreadId producer,
+                                                 ThreadId consumer);
+
 }  // namespace hic

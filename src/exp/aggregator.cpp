@@ -93,6 +93,8 @@ std::vector<AggregateOutput> aggregate_campaign(const Campaign& c,
         a.text = agg::render_fig12(g.apps, g.set, csv);
       } else if (spec.kind == "energy") {
         a.text = agg::render_energy(g.apps, g.set, csv);
+      } else if (spec.kind == "serving") {
+        a.text = agg::render_serving(g.apps, g.set, csv);
       } else if (spec.kind == "summary") {
         a.text = agg::render_summary(g.set, csv);
       } else if (spec.kind == "survivability") {

@@ -30,8 +30,9 @@ std::vector<std::string> parse_workloads(const Json& v) {
   if (v.is_string()) {
     if (v.as_string() == "intra") return intra_workload_names();
     if (v.as_string() == "inter") return inter_workload_names();
-    HIC_CHECK_MSG(false, "\"workloads\" must be \"intra\", \"inter\" or a "
-                         "list of workload names (got '"
+    if (v.as_string() == "serving") return serving_workload_names();
+    HIC_CHECK_MSG(false, "\"workloads\" must be \"intra\", \"inter\", "
+                         "\"serving\" or a list of workload names (got '"
                              << v.as_string() << "')");
   }
   std::vector<std::string> names;
@@ -263,7 +264,7 @@ Campaign Campaign::parse(const Json& spec) {
 
   static const std::set<std::string> kKinds = {
       "table1", "fig9",    "fig10",   "fig11",        "fig12",
-      "energy", "storage", "summary", "survivability"};
+      "energy", "storage", "summary", "survivability", "serving"};
   for (const Json& a : spec.at("aggregates").items()) {
     check_keys(a, {"kind", "group"}, "campaign aggregate");
     AggregateSpec as;

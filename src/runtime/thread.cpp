@@ -148,6 +148,50 @@ std::uint64_t Thread::flag_add(Machine::Flag f, std::uint64_t delta) {
   return svc_->flag_add(f.id, delta);
 }
 
+void Thread::acquire_owned(Machine::Lock l, AddrRange region) {
+  ++m_->stats().ops().anno_critical;
+  svc_->lock(l.id);
+  // INV after the acquire: the previous owner may have run on any core, so
+  // this core's private copy of the transferred region is suspect. Ranged —
+  // everything else this thread caches stays valid (the whole point of the
+  // ownership-transfer protocol versus the blanket CS annotations).
+  if (!coherent_ && !region.empty() && !elide_inv(AnnoSite::KvAcquireInv))
+    svc_->inv_range(region, inv_level_);
+}
+
+void Thread::release_owned(Machine::Lock l, AddrRange region) {
+  // WB of exactly the transferred region before the release publishes this
+  // owner's writes for whichever core acquires ownership next.
+  if (!coherent_ && !region.empty() && !elide_wb(AnnoSite::KvReleaseWb))
+    svc_->wb_range(region, wb_level_);
+  svc_->unlock(l.id);
+}
+
+void Thread::flag_set_ranged(Machine::Flag f, std::uint64_t value,
+                             std::span<const WbDirective> produced) {
+  ++m_->stats().ops().anno_flag;
+  // Only consult the mutation harness when there is an annotation to elide:
+  // a directive-free call is a pure control edge (the pipeline's credit
+  // return), and eliding nothing must not count as a fired fault.
+  if (!coherent_ && !produced.empty() &&
+      !elide_wb(AnnoSite::PipeProduceWb)) {
+    for (const WbDirective& d : produced)
+      if (!d.range.empty()) svc_->wb_range(d.range, wb_level_);
+  }
+  svc_->flag_set(f.id, value);
+}
+
+void Thread::flag_wait_ranged(Machine::Flag f, std::uint64_t expect,
+                              std::span<const InvDirective> consumed) {
+  ++m_->stats().ops().anno_flag;
+  svc_->flag_wait(f.id, expect);
+  if (!coherent_ && !consumed.empty() &&
+      !elide_inv(AnnoSite::PipeConsumeInv)) {
+    for (const InvDirective& d : consumed)
+      if (!d.range.empty()) svc_->inv_range(d.range, inv_level_);
+  }
+}
+
 void Thread::epoch_produce(std::span<const WbDirective> dirs) {
   if (policy_ != InterPolicy::NotApplicable &&
       elide_wb(AnnoSite::EpochProduceWb)) {

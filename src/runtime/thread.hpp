@@ -89,6 +89,24 @@ class Thread {
   void flag_wait(Machine::Flag f, std::uint64_t expect);
   std::uint64_t flag_add(Machine::Flag f, std::uint64_t delta);
 
+  // --- Serving family: ownership transfer and stage handoff ----------------
+  /// Lock-based ownership transfer (sharded KV store, docs/serving.md): the
+  /// lock still provides mutual exclusion and the release-acquire edge, but
+  /// the blanket critical-section annotations are replaced by ranged ones
+  /// naming exactly the record region whose ownership moves — the paper's
+  /// §IV-A refinement applied to a request-serving handoff, where per-line
+  /// WB/INV at the transfer point (not bulk flushes) carries correctness.
+  void acquire_owned(Machine::Lock l, AddrRange region);
+  void release_owned(Machine::Lock l, AddrRange region);
+  /// Flag handoff with compiler-substrate directives (pipeline stages): WB
+  /// exactly the produced ranges before the set, INV exactly the consumed
+  /// ranges after a successful wait. Empty directive lists make the op a
+  /// pure control edge (no annotation, nothing to elide).
+  void flag_set_ranged(Machine::Flag f, std::uint64_t value,
+                       std::span<const WbDirective> produced);
+  void flag_wait_ranged(Machine::Flag f, std::uint64_t expect,
+                        std::span<const InvDirective> consumed);
+
   /// Operand-granularity WB/INV (paper §III-B: "byte, half word, word,
   /// double word, or quad word ... they take as an argument the address of
   /// the operand"). Internally line-granular, like all flavors.

@@ -367,6 +367,60 @@ std::string render_summary(const PointSet& ps, bool csv) {
   return out;
 }
 
+std::string render_serving(const std::vector<std::string>& apps,
+                           const PointSet& ps, bool csv) {
+  std::string out =
+      "== Serving: request latency percentiles and throughput ==\n"
+      "(latencies in cycles, nearest-rank; throughput in requests per "
+      "million cycles)\n\n";
+  TextTable table({"app", "config", "completed", "remote", "p50", "p95",
+                   "p99", "max", "qdepth", "req/Mcyc", "p99 vs HCC"});
+  // Configs in first-seen order; p99-vs-HCC ratios pooled per config for
+  // the AVERAGE rows.
+  std::vector<std::string> config_order;
+  std::vector<std::vector<double>> config_norms;
+  for (const std::string& app : apps) {
+    const PointStats* hcc = nullptr;
+    for (const PointStats& p : ps.all())
+      if (p.app == app && p.config == "HCC") hcc = &p;
+    for (const PointStats& p : ps.all()) {
+      if (p.app != app) continue;
+      const double thr =
+          p.exec_cycles > 0
+              ? static_cast<double>(p.ops.req_completed) * 1e6 /
+                    static_cast<double>(p.exec_cycles)
+              : 0.0;
+      std::string ratio = "-";
+      if (hcc != nullptr && hcc->ops.req_lat_p99 > 0) {
+        const double n = static_cast<double>(p.ops.req_lat_p99) /
+                         static_cast<double>(hcc->ops.req_lat_p99);
+        ratio = TextTable::num(n);
+        std::size_t ci = 0;
+        while (ci < config_order.size() && config_order[ci] != p.config) ++ci;
+        if (ci == config_order.size()) {
+          config_order.push_back(p.config);
+          config_norms.emplace_back();
+        }
+        config_norms[ci].push_back(n);
+      }
+      table.add_row({p.app, p.config, std::to_string(p.ops.req_completed),
+                     std::to_string(p.ops.req_remote),
+                     std::to_string(p.ops.req_lat_p50),
+                     std::to_string(p.ops.req_lat_p95),
+                     std::to_string(p.ops.req_lat_p99),
+                     std::to_string(p.ops.req_lat_max),
+                     std::to_string(p.ops.req_qdepth_peak),
+                     TextTable::num(thr), ratio});
+    }
+  }
+  for (std::size_t ci = 0; ci < config_order.size(); ++ci) {
+    table.add_row({"AVERAGE", config_order[ci], "-", "-", "-", "-", "-", "-",
+                   "-", "-", TextTable::num(mean(config_norms[ci]))});
+  }
+  out += table_block(table, csv);
+  return out;
+}
+
 std::string render_survivability(const PointSet& ps, bool csv) {
   std::string out = "== Survivability (recovery under injected faults) ==\n\n";
   TextTable table({"app", "config", "machine", "injected", "corrected",

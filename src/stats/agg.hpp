@@ -99,6 +99,15 @@ class PointSet {
 /// specs list points deterministically).
 [[nodiscard]] std::string render_summary(const PointSet& ps, bool csv);
 
+/// Request-serving comparison (campaigns/serving.json): one row per
+/// (app, config) with the req_* latency surface — completed/remote counts,
+/// nearest-rank p50/p95/p99/max in cycles, peak queue depth, throughput in
+/// requests per million cycles — plus each config's p99 relative to the
+/// app's HCC point when one is in the group. AVERAGE rows mean the p99
+/// ratios per config across apps (the paper's arithmetic-mean convention).
+[[nodiscard]] std::string render_serving(const std::vector<std::string>& apps,
+                                         const PointSet& ps, bool csv);
+
 /// Survivability curve source: one row per point with the recovery
 /// disposition counters (resil_*) and a survived verdict — verified AND
 /// nothing abandoned. Pairs with campaigns/resilience.json's fault-rate

@@ -114,6 +114,14 @@ constexpr std::array kFields = {
                 op<&OpCounts::resil_quarantined_ways>},
     ReportField{"ops", "resil_degraded_blocks",
                 op<&OpCounts::resil_degraded_blocks>},
+    ReportField{"ops", "req_issued", op<&OpCounts::req_issued>},
+    ReportField{"ops", "req_completed", op<&OpCounts::req_completed>},
+    ReportField{"ops", "req_remote", op<&OpCounts::req_remote>},
+    ReportField{"ops", "req_lat_p50", op<&OpCounts::req_lat_p50>},
+    ReportField{"ops", "req_lat_p95", op<&OpCounts::req_lat_p95>},
+    ReportField{"ops", "req_lat_p99", op<&OpCounts::req_lat_p99>},
+    ReportField{"ops", "req_lat_max", op<&OpCounts::req_lat_max>},
+    ReportField{"ops", "req_qdepth_peak", op<&OpCounts::req_qdepth_peak>},
 };
 }  // namespace
 
@@ -158,6 +166,12 @@ std::string summarize(const SimStats& stats) {
     os << '\n';
   }
   const OpCounts& o = stats.ops();
+  if (o.req_completed > 0) {
+    os << "requests: " << o.req_completed << " completed (" << o.req_remote
+       << " remote), latency p50/p95/p99/max = " << o.req_lat_p50 << '/'
+       << o.req_lat_p95 << '/' << o.req_lat_p99 << '/' << o.req_lat_max
+       << " cycles, peak queue depth " << o.req_qdepth_peak << '\n';
+  }
   if (o.injected_faults > 0) {
     os << "injected faults: " << o.injected_faults << " ("
        << o.detected_faults << " detected, " << o.tolerated_faults

@@ -28,7 +28,11 @@ namespace hic {
 ///       forced the sharded engine to serialize). Host-side only: simulated
 ///       counters are bit-identical across scheduler modes, so equivalence
 ///       checks compare the JSON with this one object stripped.
-inline constexpr int kStatsSchemaVersion = 4;
+///   v5: added the request-serving surface (req_issued / req_completed /
+///       req_remote, nearest-rank latency percentiles req_lat_p50/p95/p99/
+///       max in cycles, and req_qdepth_peak) to the "ops" group — published
+///       by the serving workload family (src/apps/serve), zero elsewhere.
+inline constexpr int kStatsSchemaVersion = 5;
 
 /// One scalar counter of the report: its JSON group ("stalls",
 /// "traffic_flits" or "ops"), its stable key, and how to read it.

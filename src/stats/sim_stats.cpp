@@ -55,6 +55,14 @@ constexpr std::array kOpFields = {
     OpField{"resil_scrub_corrections", &OpCounts::resil_scrub_corrections},
     OpField{"resil_quarantined_ways", &OpCounts::resil_quarantined_ways},
     OpField{"resil_degraded_blocks", &OpCounts::resil_degraded_blocks},
+    OpField{"req_issued", &OpCounts::req_issued},
+    OpField{"req_completed", &OpCounts::req_completed},
+    OpField{"req_remote", &OpCounts::req_remote},
+    OpField{"req_lat_p50", &OpCounts::req_lat_p50},
+    OpField{"req_lat_p95", &OpCounts::req_lat_p95},
+    OpField{"req_lat_p99", &OpCounts::req_lat_p99},
+    OpField{"req_lat_max", &OpCounts::req_lat_max},
+    OpField{"req_qdepth_peak", &OpCounts::req_qdepth_peak},
 };
 }  // namespace
 

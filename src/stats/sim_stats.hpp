@@ -147,6 +147,17 @@ struct OpCounts {
   std::uint64_t resil_scrub_corrections = 0;  ///< flips fixed by the scrubber
   std::uint64_t resil_quarantined_ways = 0;   ///< cache ways taken offline
   std::uint64_t resil_degraded_blocks = 0;    ///< blocks over error budget
+  /// Request-serving surface (src/apps/serve) — all zero for the Table I
+  /// kernels. Published post-run by RequestStats from per-request latency
+  /// samples; latencies are nearest-rank percentiles in simulated cycles.
+  std::uint64_t req_issued = 0;      ///< requests admitted by the generator
+  std::uint64_t req_completed = 0;   ///< requests fully served
+  std::uint64_t req_remote = 0;      ///< served across an ownership/stage hop
+  std::uint64_t req_lat_p50 = 0;     ///< median request latency (cycles)
+  std::uint64_t req_lat_p95 = 0;
+  std::uint64_t req_lat_p99 = 0;
+  std::uint64_t req_lat_max = 0;
+  std::uint64_t req_qdepth_peak = 0; ///< peak arrived-but-unserved backlog
 };
 
 /// One OpCounts field with its stable JSON key. op_fields() is the writable

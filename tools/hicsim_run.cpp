@@ -30,6 +30,7 @@
 //   7  recovery was enabled (--recover) but gave up on some transfer: a
 //      reliable WB/INV exhausted its retransmit cap (Recovery::Unrecoverable)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -71,6 +72,33 @@ void list_everything() {
   std::printf("inter-block apps (configs: HCC, Base, Addr, Addr+L):\n");
   for (const auto& n : inter_workload_names())
     std::printf("  %s\n", n.c_str());
+  std::printf("serving apps (intra-block configs; --serve-set knobs):\n");
+  for (const auto& n : serving_workload_names())
+    std::printf("  %s\n", n.c_str());
+}
+
+/// One line per registered workload with its family and Table I pattern
+/// classification (the strings render_table1 reports).
+void list_workloads() {
+  struct Family {
+    const char* label;
+    std::vector<std::string> names;
+  };
+  const Family families[] = {
+      {"intra", intra_workload_names()},
+      {"inter", inter_workload_names()},
+      {"serving", serving_workload_names()},
+      {"hidden", {"ep-hier"}},
+  };
+  for (const Family& f : families) {
+    for (const std::string& n : f.names) {
+      const auto w = make_workload(n);
+      const std::string other = w->other_patterns();
+      std::printf("%-14s %-8s main: %s%s%s\n", n.c_str(), f.label,
+                  w->main_patterns().c_str(), other.empty() ? "" : "; other: ",
+                  other.c_str());
+    }
+  }
 }
 
 int usage() {
@@ -91,13 +119,18 @@ int usage() {
                "stall,op,sync,cache,wbuf,counter]\n"
                "                   [--trace-sample-cycles N]]\n"
                "       hicsim_run --demo deadlock|livelock [--max-cycles N]\n"
-               "       hicsim_run --list\n"
+               "       hicsim_run --list | --list-workloads\n"
                "config files: {\"config\": \"<Table II label>\", "
                "\"machine\": {\"meb_entries\": 4, ...}}\n"
                "--set keys:   canonical dotted machine-config keys "
                "(e.g. l1.size_bytes); unknown keys error\n"
                "--verify:     attach the coherence oracle (exit 5 on any "
                "violation)\n"
+               "--serve-set:  serving-workload knob (key=value, repeatable; "
+               "requests, gap,\n"
+               "              work, and per-app keys — unknown keys error)\n"
+               "--list-workloads: one line per registered workload with its "
+               "Table I patterns\n"
                "--shard-threads: run the sharded engine with N host worker "
                "threads (1..64;\n"
                "              bit-identical results, host wall-clock only; "
@@ -199,6 +232,7 @@ int main(int argc, char** argv) {
   std::string resil_spec;
   std::vector<std::string> inject_specs;
   std::vector<std::string> set_overrides;
+  std::vector<std::pair<std::string, std::int64_t>> serve_knobs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -206,6 +240,10 @@ int main(int argc, char** argv) {
     };
     if (arg == "--list") {
       list_everything();
+      return 0;
+    }
+    if (arg == "--list-workloads") {
+      list_workloads();
       return 0;
     }
     if (arg == "--json") {
@@ -251,6 +289,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       set_overrides.emplace_back(v);
+    } else if (arg == "--serve-set") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const std::string kv = v;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
+        std::fprintf(stderr, "--serve-set expects key=value (got '%s')\n", v);
+        return kExitUsage;
+      }
+      char* end = nullptr;
+      const long long num = std::strtoll(kv.c_str() + eq + 1, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "--serve-set value must be an integer "
+                             "(got '%s')\n", v);
+        return kExitUsage;
+      }
+      serve_knobs.emplace_back(kv.substr(0, eq),
+                               static_cast<std::int64_t>(num));
     } else if (arg == "--no-functional") {
       no_functional = true;
     } else if (arg == "--time") {
@@ -337,7 +393,22 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Knob application is per-instance: --time remakes the workload every
+    // repeat, so the knobs are re-applied to each copy.
+    auto apply_knobs = [&serve_knobs, &app](Workload& wl) -> bool {
+      for (const auto& [key, value] : serve_knobs) {
+        if (!wl.set_knob(key, value)) {
+          std::fprintf(stderr,
+                       "--serve-set: workload '%s' rejected %s=%lld\n",
+                       app.c_str(), key.c_str(),
+                       static_cast<long long>(value));
+          return false;
+        }
+      }
+      return true;
+    };
     auto w = make_workload(app);
+    if (!apply_knobs(*w)) return kExitUsage;
     MachineConfig mc = w->inter_block() ? MachineConfig::inter_block()
                                         : MachineConfig::intra_block();
 
@@ -400,6 +471,7 @@ int main(int argc, char** argv) {
       std::unique_ptr<Machine> last;
       const HostPerfResult hp = time_runs(repeat, [&]() -> Cycle {
         auto wr = make_workload(app);
+        HIC_CHECK_MSG(apply_knobs(*wr), "serve knob re-application failed");
         last = std::make_unique<Machine>(mc, *cfg);
         for (const auto& spec : inject_specs)
           last->add_fault_rule(parse_fault_rule(spec));

@@ -28,7 +28,7 @@ import json
 import sys
 
 # Must match kStatsSchemaVersion in src/stats/report.hpp.
-EXPECTED_SCHEMA_VERSION = 4
+EXPECTED_SCHEMA_VERSION = 5
 
 STALL_KEYS = ("rest", "inv_stall", "wb_stall", "lock_stall", "barrier_stall")
 
