@@ -1,0 +1,67 @@
+// Shared chaos substrate for the serving workloads: knob parsing, the
+// deterministic retry backoff, and the fail-stop-tolerant survivor barrier.
+#include "apps/serve/serve.hpp"
+
+#include "runtime/thread.hpp"
+
+namespace hic::serve {
+
+bool ChaosKnobs::set(const std::string& key, std::int64_t value) {
+  if (key == "deadline" && value >= 0) {
+    deadline = static_cast<Cycle>(value);
+    return true;
+  }
+  if (key == "retries" && value >= 0) {
+    retries = value;
+    return true;
+  }
+  if (key == "backoff" && value >= 0) {
+    backoff = static_cast<Cycle>(value);
+    return true;
+  }
+  if (key == "hedge" && (value == 0 || value == 1)) {
+    hedge = value != 0;
+    return true;
+  }
+  if (key == "closed" && (value == 0 || value == 1)) {
+    closed = value != 0;
+    return true;
+  }
+  return false;
+}
+
+Cycle ChaosKnobs::backoff_delay(std::uint64_t seed, ThreadId tid,
+                                std::int64_t attempt) const {
+  const Cycle base = backoff > 0 ? backoff : 16;
+  const Cycle exp = attempt < 6 ? static_cast<Cycle>(attempt) : 6;
+  // SplitMix64 finalizer over (seed, tid, attempt): the jitter is a pure
+  // function of the point, so reruns back off identically.
+  std::uint64_t z =
+      seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(tid) + 1)) ^
+      (0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(attempt) + 1));
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return (base << exp) + static_cast<Cycle>(z % base);
+}
+
+void survivor_barrier(Thread& t, Machine::Flag f, int nthreads, bool publish) {
+  const bool annotate = publish && t.machine().incoherent() != nullptr;
+  if (annotate) t.services().wb_all();
+  t.flag_add(f, 1);
+  for (;;) {
+    std::uint64_t dead = 0;
+    for (ThreadId p = 0; p < static_cast<ThreadId>(nthreads); ++p)
+      if (t.peer_failed(p)) ++dead;
+    // A dead peer may have arrived before dying, in which case it is counted
+    // on both sides of the inequality — releasing early is fine for a
+    // barrier whose only job is "no live peer is still working".
+    if (t.flag_peek(f) + dead >= static_cast<std::uint64_t>(nthreads)) break;
+    t.compute(32);
+  }
+  if (annotate) t.services().inv_all();
+}
+
+}  // namespace hic::serve

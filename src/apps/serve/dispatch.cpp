@@ -60,7 +60,7 @@ class DispatchWorkload final : public Workload {
     if (key == "requests" && value > 0) { p_.requests = value; return true; }
     if (key == "gap" && value > 0) { p_.mean_gap = value; return true; }
     if (key == "work" && value > 0) { p_.mean_work = value; return true; }
-    return false;
+    return chaos_.set(key, value);
   }
 
   void setup(Machine& m, int nthreads) override {
@@ -98,10 +98,32 @@ class DispatchWorkload final : public Workload {
     locks_.clear();
     for (int q = 0; q < nthreads; ++q) locks_.push_back(m.make_lock(false));
     rs_.reset(nthreads);
+    if (chaos_.armed()) {
+      start_flag_ = m.make_flag(0);
+      done_flag_ = m.make_flag(0);
+      served_by_.assign(static_cast<std::size_t>(nthreads),
+                        std::vector<int>(static_cast<std::size_t>(reqs), -1));
+      abandoned_.assign(
+          static_cast<std::size_t>(nthreads),
+          std::vector<char>(static_cast<std::size_t>(reqs), 0));
+      finished_.assign(static_cast<std::size_t>(nthreads), 0);
+      prog_.assign(static_cast<std::size_t>(nthreads), Progress{});
+      m.set_pre_reconcile([this, &m] { classify_victims(m); });
+    } else {
+      served_by_.clear();
+      abandoned_.clear();
+      finished_.clear();
+      prog_.clear();
+    }
   }
 
   void body(Thread& t) override {
-    t.barrier(bar_);
+    const bool armed = chaos_.armed();
+    if (armed) {
+      serve::survivor_barrier(t, start_flag_, nthreads_, false);
+    } else {
+      t.barrier(bar_);
+    }
     const ThreadId tid = t.tid();
     const int home = static_cast<int>(tid);
     const std::int64_t reqs = p_.requests;
@@ -114,7 +136,9 @@ class DispatchWorkload final : public Workload {
         const int q = (home + k) % nthreads_;
         // Tiny critical section: check the queue head's arrival time and
         // pop it if due. The arrival array is read-only (initialized before
-        // the run); only the cursor is mutable shared state.
+        // the run); only the cursor is mutable shared state. Re-steal after
+        // a fail-stop needs no extra path: a victim's queue keeps draining
+        // through this same sweep, and its lock is auto-released at death.
         auto& lk = locks_[static_cast<std::size_t>(q)];
         t.lock(lk);
         const auto cur =
@@ -124,7 +148,8 @@ class DispatchWorkload final : public Workload {
           all_done = false;
           const auto arrival = t.load<std::uint64_t>(
               arrivals_ + static_cast<Addr>(q * reqs + cur) * 8);
-          if (arrival <= static_cast<std::uint64_t>(t.now())) {
+          if (chaos_.closed ||
+              arrival <= static_cast<std::uint64_t>(t.now())) {
             idx = cur;
             t.store(cursors_ + static_cast<Addr>(q) * 4, cur + 1);
           }
@@ -135,17 +160,39 @@ class DispatchWorkload final : public Workload {
         any_pop = true;
         ++lane.issued;
         if (q != home) ++lane.remote;
-        lane.qdepth_peak = std::max(
-            lane.qdepth_peak,
-            serve::backlog_at(streams_[static_cast<std::size_t>(q)], t.now(),
-                              idx));
+        if (!chaos_.closed)
+          lane.qdepth_peak = std::max(
+              lane.qdepth_peak,
+              serve::backlog_at(streams_[static_cast<std::size_t>(q)], t.now(),
+                                idx));
+
+        const Cycle popped = t.now();
+        const auto at = static_cast<Addr>(q * reqs + idx) * 8;
+        const auto arrival = t.load<std::uint64_t>(arrivals_ + at);
+        const Cycle issue =
+            chaos_.closed ? popped : static_cast<Cycle>(arrival);
+        if (armed) {
+          served_by_[static_cast<std::size_t>(q)]
+                    [static_cast<std::size_t>(idx)] = static_cast<int>(tid);
+          // Already past the deadline at pop time: shed the request instead
+          // of serving a response no one is waiting for.
+          if (chaos_.deadline != 0 && popped >= issue + chaos_.deadline) {
+            abandoned_[static_cast<std::size_t>(q)]
+                      [static_cast<std::size_t>(idx)] = 1;
+            ++lane.timeouts;
+            ++lane.slo_violations;
+            continue;
+          }
+          Progress& prog = prog_[static_cast<std::size_t>(tid)];
+          prog.q = q;
+          prog.idx = idx;
+          prog.active = true;
+        }
 
         // Serve: stream the session working set, compute, write the
         // response word (each response is written exactly once).
-        const auto at = static_cast<Addr>(q * reqs + idx) * 8;
         const auto key = t.load<std::uint64_t>(keys_ + at);
         const auto work = t.load<std::uint64_t>(works_ + at);
-        const auto arrival = t.load<std::uint64_t>(arrivals_ + at);
         std::uint64_t r = key * 0x9e3779b97f4a7c15ULL + work;
         for (int s = 0; s < 4; ++s)
           r += t.load<std::uint64_t>(
@@ -158,23 +205,39 @@ class DispatchWorkload final : public Workload {
         const auto c = t.racy_load<std::int64_t>(served_);
         t.racy_store<std::int64_t>(served_, c + 1);
 
-        lane.latencies.push_back(t.now() - static_cast<Cycle>(arrival));
+        if (armed) {
+          prog_[static_cast<std::size_t>(tid)].active = false;
+          serve::RequestStats::complete(lane, t.now() - issue, chaos_);
+        } else {
+          lane.latencies.push_back(t.now() - static_cast<Cycle>(arrival));
+        }
       }
       if (all_done) break;
       if (!any_pop) t.compute(32);  // idle until the next arrival is due
     }
-    t.barrier(bar_);
+    if (armed) {
+      finished_[static_cast<std::size_t>(tid)] = 1;
+      serve::survivor_barrier(t, done_flag_, nthreads_, true);
+    } else {
+      t.barrier(bar_);
+    }
   }
 
   void finish(Machine& m) override { rs_.publish(m.stats()); }
 
   WorkloadResult verify(Machine& m) override {
+    const bool armed = chaos_.armed();
+    // Any thread that reached all_done observed every cursor at reqs, so
+    // with at least one survivor the queues are fully drained; only a total
+    // outage (every thread killed) leaves a queue short.
+    bool any_finished = !armed;
+    for (const char f : finished_) any_finished = any_finished || f != 0;
     VerifyReader rd(m);
     const std::int64_t reqs = p_.requests;
     for (int q = 0; q < nthreads_; ++q) {
       const auto cur =
           rd.read<std::int32_t>(cursors_ + static_cast<Addr>(q) * 4);
-      if (cur != reqs) {
+      if (cur != reqs && any_finished) {
         return {false, "dispatch: queue " + std::to_string(q) +
                            " not drained (cursor " + std::to_string(cur) +
                            ")"};
@@ -184,7 +247,23 @@ class DispatchWorkload final : public Workload {
             streams_[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)];
         const auto v = rd.read<std::uint64_t>(
             response_ + static_cast<Addr>(q * reqs + i) * 8);
-        if (v != response_of(r.key, static_cast<std::uint64_t>(r.work))) {
+        const std::uint64_t want =
+            response_of(r.key, static_cast<std::uint64_t>(r.work));
+        if (v == want) continue;
+        // Chaos dispositions under which the response word legitimately
+        // never reached memory: shed at the deadline, never popped (total
+        // outage), or written by a victim whose dirty lines died with it.
+        // In every such case the word holds its initial zero.
+        bool excusable = false;
+        if (armed && v == 0) {
+          const int server = served_by_[static_cast<std::size_t>(q)]
+                                       [static_cast<std::size_t>(i)];
+          excusable =
+              abandoned_[static_cast<std::size_t>(q)]
+                        [static_cast<std::size_t>(i)] != 0 ||
+              server < 0 || finished_[static_cast<std::size_t>(server)] == 0;
+        }
+        if (!excusable) {
           return {false, "dispatch: response " + std::to_string(q) + "/" +
                              std::to_string(i) + " mismatch"};
         }
@@ -192,7 +271,7 @@ class DispatchWorkload final : public Workload {
     }
     const auto total = static_cast<std::int64_t>(nthreads_) * reqs;
     const auto count = rd.read<std::int64_t>(served_);
-    if (count <= 0 || count > total) {
+    if (count < 0 || count > total || (count == 0 && !armed)) {
       return {false,
               "dispatch: racy served counter out of range: " +
                   std::to_string(count)};
@@ -201,14 +280,62 @@ class DispatchWorkload final : public Workload {
   }
 
  private:
+  /// Host-side per-thread in-flight marker for the chaos classifier.
+  struct Progress {
+    int q = -1;
+    std::int64_t idx = -1;
+    bool active = false;  ///< popped a request, response not yet written
+  };
+
+  /// Pre-reconcile hook: a victim that died between popping a request and
+  /// writing its response lost that request (it was dequeued, so no
+  /// survivor will re-steal it). Unpopped entries can only remain after a
+  /// total outage; they are charged to the queue's home lane.
+  void classify_victims(Machine& m) {
+    bool any_finished = false;
+    for (const char f : finished_) any_finished = any_finished || f != 0;
+    if (!any_finished) {
+      for (int q = 0; q < nthreads_; ++q) {
+        serve::RequestStats::Lane& lane = rs_.lane(q);
+        for (std::int64_t i = 0; i < p_.requests; ++i) {
+          if (served_by_[static_cast<std::size_t>(q)]
+                        [static_cast<std::size_t>(i)] < 0) {
+            ++lane.failed;
+            ++lane.slo_violations;
+          }
+        }
+      }
+    }
+    for (ThreadId c = 0; c < static_cast<ThreadId>(nthreads_); ++c) {
+      if (m.fail_cycle_of(static_cast<CoreId>(c)) == 0) continue;
+      Progress& prog = prog_[static_cast<std::size_t>(c)];
+      serve::RequestStats::Lane& lane = rs_.lane(c);
+      if (prog.active) {
+        ++lane.failed;
+        ++lane.slo_violations;
+      }
+      m.fault_plan().classify_fail(static_cast<CoreId>(c),
+                                   (prog.active || !any_finished)
+                                       ? FailOutcome::Degraded
+                                       : FailOutcome::Recovered);
+    }
+  }
+
   int nthreads_ = 0;
   serve::GenParams p_{.seed = 0xd15bac4, .requests = 96, .mean_gap = 96,
                       .key_space = 4096, .mean_work = 48};
+  serve::ChaosKnobs chaos_;
   Addr arrivals_ = 0, keys_ = 0, works_ = 0, response_ = 0, session_ = 0;
   Addr cursors_ = 0, served_ = 0;
   Machine::Barrier bar_;
+  Machine::Flag start_flag_;
+  Machine::Flag done_flag_;
   std::vector<Machine::Lock> locks_;
   std::vector<std::vector<serve::ServeRequest>> streams_;
+  std::vector<std::vector<int>> served_by_;   ///< [q][idx] popping tid, -1
+  std::vector<std::vector<char>> abandoned_;  ///< [q][idx] shed at deadline
+  std::vector<char> finished_;                ///< tid reached all_done
+  std::vector<Progress> prog_;
   serve::RequestStats rs_;
 };
 

@@ -13,10 +13,13 @@
 //
 // Table I: critical (ownership transfer) main; barrier other.
 #include <algorithm>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "apps/serve/serve.hpp"
 #include "apps/workload.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace hic {
 
@@ -54,7 +57,7 @@ class KvStoreWorkload final : public Workload {
       put_percent_ = static_cast<std::uint64_t>(value);
       return true;
     }
-    return false;
+    return chaos_.set(key, value);
   }
 
   void setup(Machine& m, int nthreads) override {
@@ -76,9 +79,23 @@ class KvStoreWorkload final : public Workload {
     for (int t = 0; t < nthreads; ++t)
       streams_.push_back(serve::gen_stream(p_, t));
     rs_.reset(nthreads);
+    if (chaos_.armed()) {
+      start_flag_ = m.make_flag(0);
+      done_flag_ = m.make_flag(0);
+      prog_.assign(static_cast<std::size_t>(nthreads), Progress{});
+      for (Progress& pr : prog_)
+        pr.reacquired.assign(static_cast<std::size_t>(nthreads), false);
+      m.set_pre_reconcile([this, &m] { classify_victims(m); });
+    } else {
+      prog_.clear();
+    }
   }
 
   void body(Thread& t) override {
+    if (chaos_.armed()) {
+      body_chaos(t);
+      return;
+    }
     t.barrier(bar_);
     const ThreadId tid = t.tid();
     const std::vector<serve::ServeRequest>& stream =
@@ -127,19 +144,176 @@ class KvStoreWorkload final : public Workload {
     t.barrier(bar_);
   }
 
+  /// Chaos-aware body: survivor barriers instead of blocking ones, bounded
+  /// (try + backoff) shard acquisition with deadline/retry/hedge handling,
+  /// and one-time ranged re-acquisition of a dead owner's key range. The
+  /// Progress record is host-side accounting the classifier and verify read
+  /// after the run — it never touches simulated memory.
+  void body_chaos(Thread& t) {
+    serve::survivor_barrier(t, start_flag_, nthreads_, false);
+    const ThreadId tid = t.tid();
+    const std::vector<serve::ServeRequest>& stream =
+        streams_[static_cast<std::size_t>(tid)];
+    serve::RequestStats::Lane& lane = rs_.lane(tid);
+    Progress& prog = prog_[static_cast<std::size_t>(tid)];
+    const auto nshards = static_cast<std::uint64_t>(nthreads_);
+    std::uint64_t digest = 0;
+    // closed alone changes only the issue discipline; the acquire stays
+    // blocking unless a bounded-wait knob asks otherwise. hedge bounds only
+    // gets (a put has no stale-read fallback to hedge with).
+    const bool bounded_put = chaos_.deadline != 0 || chaos_.retries != 0;
+
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(stream.size());
+         ++i) {
+      const serve::ServeRequest& req = stream[static_cast<std::size_t>(i)];
+      if (!chaos_.closed && t.now() < req.arrival)
+        t.compute(req.arrival - t.now());
+      const Cycle issue = chaos_.closed ? t.now() : req.arrival;
+      ++lane.issued;
+      if (!chaos_.closed)
+        lane.qdepth_peak = std::max(lane.qdepth_peak,
+                                    serve::backlog_at(stream, t.now(), i));
+
+      const std::uint64_t owner = req.key % nshards;
+      if (owner != static_cast<std::uint64_t>(tid)) ++lane.remote;
+      const Addr rec = records_ + static_cast<Addr>(req.key) * kRecBytes;
+      const AddrRange region{rec, kRecBytes};
+      auto& lk = locks_[static_cast<std::size_t>(owner)];
+      const bool is_put = req.kind < put_percent_;
+      const bool bounded = is_put ? bounded_put : (bounded_put || chaos_.hedge);
+
+      bool got = false;
+      bool hedged = false;
+      std::uint64_t hedge_sum = 0;
+      if (!bounded) {
+        t.acquire_owned(lk, region);
+        got = true;
+      } else {
+        for (std::int64_t attempt = 0;; ++attempt) {
+          if (t.try_acquire_owned(lk, region)) {
+            got = true;
+            break;
+          }
+          if (!is_put && chaos_.hedge && !hedged) {
+            // Hedge: answer the get from a stale-allowed racy read while
+            // the locked path keeps retrying; if the lock never comes, the
+            // hedge result serves the request instead of a timeout.
+            hedged = true;
+            ++lane.hedged;
+            for (std::int64_t w = 0; w < kRecWords; ++w)
+              hedge_sum +=
+                  t.racy_load<std::uint64_t>(rec + static_cast<Addr>(w) * 8);
+          }
+          const bool late =
+              chaos_.deadline != 0 && t.now() >= issue + chaos_.deadline;
+          if (late || attempt >= chaos_.retries) break;
+          ++lane.retries;
+          t.compute(chaos_.backoff_delay(p_.seed, tid, attempt));
+        }
+      }
+
+      if (got) {
+        reacquire_if_failed_over(t, owner, lane, prog);
+        if (is_put) {
+          prog.in_put = true;
+          const auto v = t.load<std::uint64_t>(rec);
+          t.store(rec, v + req.work);
+          const auto c = t.load<std::uint64_t>(rec + 8);
+          t.store(rec + 8, c + 1);
+          for (std::int64_t w = 2; w < kRecWords; ++w)
+            t.store(rec + static_cast<Addr>(w) * 8, payload_word(req.key, w));
+          t.compute(req.work);
+          t.release_owned(lk, region);
+          prog.in_put = false;
+        } else {
+          for (std::int64_t w = 0; w < kRecWords; ++w)
+            digest += t.load<std::uint64_t>(rec + static_cast<Addr>(w) * 8);
+          t.compute(req.work);
+          t.release_owned(lk, region);
+        }
+        serve::RequestStats::complete(lane, t.now() - issue, chaos_);
+      } else if (hedged) {
+        digest += hedge_sum;
+        ++lane.hedge_wins;
+        t.compute(req.work);
+        serve::RequestStats::complete(lane, t.now() - issue, chaos_);
+      } else {
+        ++lane.timeouts;
+        ++lane.slo_violations;
+        prog.abandoned.push_back(i);
+      }
+      prog.next = i + 1;
+    }
+    t.store(digests_ + static_cast<Addr>(tid) * 8, digest);
+    serve::survivor_barrier(t, done_flag_, nthreads_, true);
+  }
+
   void finish(Machine& m) override { rs_.publish(m.stats()); }
 
   WorkloadResult verify(Machine& m) override {
     // Serial reference: puts are commutative, so per-key (sum of deltas,
-    // put count) over all streams fully determines the final record.
+    // put count) over the *applied* puts fully determines the final record.
+    // Without chaos knobs every put applies. With them, abandoned
+    // (timed-out) puts never touched the record, a victim's unserved tail
+    // was never issued, and a victim's in-flight put is optional: its
+    // record line was either written back or discarded whole with the
+    // victim's L1, so the key holds exactly one of the two states.
+    //
+    // A cluster-fail additionally discards the shared L2, so even committed
+    // (released and written-back) puts can revert: the record line falls
+    // back to whatever state last reached L3. Single-line records make that
+    // state a *historical* one — the union of some prefix of each thread's
+    // applied puts to the key — so the check walks exactly that state space.
+    bool l2_lost = false;
+    for (const FaultRecord& fr : m.fault_plan().records())
+      if (fr.kind == FaultKind::ClusterFail) l2_lost = true;
     std::vector<std::uint64_t> sum(p_.key_space, 0);
     std::vector<std::uint64_t> puts(p_.key_space, 0);
-    for (const auto& stream : streams_) {
-      for (const serve::ServeRequest& req : stream) {
-        if (req.kind < put_percent_) {
-          sum[req.key] += req.work;
-          ++puts[req.key];
+    // Per-key optional put deltas (one per victim that died mid-put).
+    std::vector<std::vector<std::uint64_t>> optional(p_.key_space);
+    // Per-key applied deltas tagged by stream, in stream order (the
+    // cluster-fail prefix walk needs per-thread ordering, not just sums).
+    std::vector<std::vector<std::pair<int, std::uint64_t>>> applied(
+        l2_lost ? p_.key_space : 0);
+    for (std::size_t s = 0; s < streams_.size(); ++s) {
+      const auto& stream = streams_[s];
+      const Progress* prog = prog_.empty() ? nullptr : &prog_[s];
+      std::size_t abandoned_at = 0;
+      const auto served_until =
+          prog != nullptr ? prog->next
+                          : static_cast<std::int64_t>(stream.size());
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(stream.size());
+           ++i) {
+        const serve::ServeRequest& req = stream[static_cast<std::size_t>(i)];
+        const bool is_put = req.kind < put_percent_;
+        if (prog != nullptr) {
+          // The abandoned cursor must consume every timed-out request —
+          // gets included — before the kind check, or one abandoned get
+          // desynchronizes it and later abandoned puts count as applied.
+          if (abandoned_at < prog->abandoned.size() &&
+              prog->abandoned[abandoned_at] == i) {
+            ++abandoned_at;
+            continue;
+          }
+          if (!is_put) continue;
+          if (prog->in_put && i == prog->next) {
+            if (l2_lost)
+              applied[req.key].emplace_back(
+                  static_cast<int>(s), static_cast<std::uint64_t>(req.work));
+            else
+              optional[req.key].push_back(
+                  static_cast<std::uint64_t>(req.work));
+            continue;
+          }
+          if (i >= served_until) continue;
+        } else if (!is_put) {
+          continue;
         }
+        if (l2_lost)
+          applied[req.key].emplace_back(static_cast<int>(s),
+                                        static_cast<std::uint64_t>(req.work));
+        sum[req.key] += req.work;
+        ++puts[req.key];
       }
     }
     VerifyReader rd(m);
@@ -147,15 +321,20 @@ class KvStoreWorkload final : public Workload {
       const Addr rec = records_ + static_cast<Addr>(k) * kRecBytes;
       const auto v = rd.read<std::uint64_t>(rec);
       const auto c = rd.read<std::uint64_t>(rec + 8);
-      if (v != sum[k] || c != puts[k]) {
+      const bool ok = l2_lost
+                          ? historical_state_possible(v, c, applied[k])
+                          : state_possible(v, c, sum[k], puts[k], optional[k]);
+      if (!ok) {
         return {false, "kv-store: key " + std::to_string(k) + " value/count " +
                            std::to_string(v) + "/" + std::to_string(c) +
                            " want " + std::to_string(sum[k]) + "/" +
-                           std::to_string(puts[k])};
+                           std::to_string(puts[k]) + " (+" +
+                           std::to_string(optional[k].size()) +
+                           " optional puts)"};
       }
       for (std::int64_t w = 2; w < kRecWords; ++w) {
         const auto pw = rd.read<std::uint64_t>(rec + static_cast<Addr>(w) * 8);
-        const std::uint64_t want = puts[k] > 0 ? payload_word(k, w) : 0;
+        const std::uint64_t want = c > 0 ? payload_word(k, w) : 0;
         if (pw != want) {
           return {false, "kv-store: key " + std::to_string(k) + " payload " +
                              std::to_string(w) + " mismatch"};
@@ -166,16 +345,122 @@ class KvStoreWorkload final : public Workload {
   }
 
  private:
+  /// Host-side per-thread progress the chaos classifier and verify read.
+  struct Progress {
+    std::int64_t next = 0;  ///< requests completed or abandoned so far
+    bool in_put = false;    ///< mid-put (acquired, not yet released)
+    std::vector<std::int64_t> abandoned;  ///< timed-out request indices
+    std::vector<bool> reacquired;  ///< dead shards this thread re-acquired
+  };
+
+  /// (v, c) reachable from base (sum, puts) by applying some subset of the
+  /// optional in-flight put deltas?
+  static bool state_possible(std::uint64_t v, std::uint64_t c,
+                             std::uint64_t sum, std::uint64_t puts,
+                             const std::vector<std::uint64_t>& optional) {
+    const auto n = optional.size();
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      std::uint64_t s = sum, p = puts;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (mask & (1ULL << b)) {
+          s += optional[b];
+          ++p;
+        }
+      }
+      if (v == s && c == p) return true;
+    }
+    return false;
+  }
+
+  /// Cluster-fail reachability: with the shared L2 discarded too, the record
+  /// line holds whatever state last reached L3 — some historical state. Puts
+  /// to one key are serialized by the shard lock and each thread issues its
+  /// own puts in stream order, so every historical state is the union of one
+  /// prefix per thread of that thread's applied deltas. The walk folds the
+  /// streams one at a time into the reachable (count, value) set; set sizes
+  /// stay tiny because counts are small and values collapse on collision.
+  static bool historical_state_possible(
+      std::uint64_t v, std::uint64_t c,
+      const std::vector<std::pair<int, std::uint64_t>>& applied) {
+    std::set<std::pair<std::uint64_t, std::uint64_t>> states{{0, 0}};
+    std::size_t i = 0;
+    while (i < applied.size()) {
+      std::size_t end = i;
+      while (end < applied.size() && applied[end].first == applied[i].first)
+        ++end;
+      std::set<std::pair<std::uint64_t, std::uint64_t>> next;
+      for (const auto& [cnt, val] : states) {
+        std::uint64_t cc = cnt, vv = val;
+        next.insert({cc, vv});
+        for (std::size_t j = i; j < end; ++j) {
+          ++cc;
+          vv += applied[j].second;
+          next.insert({cc, vv});
+        }
+      }
+      states = std::move(next);
+      i = end;
+    }
+    return states.count({c, v}) > 0;
+  }
+
+  /// First touch of a dead peer's shard by this thread: re-acquire the dead
+  /// owner's whole key range with the ranged kv-acquire-inv — the failover
+  /// handoff that guarantees no stale copy of the lost owner's records
+  /// survives in the new server's cache.
+  void reacquire_if_failed_over(Thread& t, std::uint64_t owner,
+                                serve::RequestStats::Lane& lane,
+                                Progress& prog) {
+    if (owner == static_cast<std::uint64_t>(t.tid())) return;
+    if (!t.peer_failed(static_cast<ThreadId>(owner))) return;
+    if (prog.reacquired[static_cast<std::size_t>(owner)]) return;
+    prog.reacquired[static_cast<std::size_t>(owner)] = true;
+    const bool annotate = t.machine().incoherent() != nullptr;
+    for (std::uint64_t k = owner; k < p_.key_space;
+         k += static_cast<std::uint64_t>(nthreads_)) {
+      if (annotate)
+        t.services().inv_range(
+            {records_ + static_cast<Addr>(k) * kRecBytes, kRecBytes});
+      ++lane.reacquired;
+    }
+  }
+
+  /// Pre-reconcile hook: disposition every victim from host-side progress.
+  /// A victim that lost an un-acked put or abandoned part of its client
+  /// stream degraded the service; one that had already drained its stream
+  /// when it died cost nothing — the shard failed over cleanly.
+  void classify_victims(Machine& m) {
+    for (ThreadId c = 0; c < static_cast<ThreadId>(nthreads_); ++c) {
+      if (m.fail_cycle_of(static_cast<CoreId>(c)) == 0) continue;
+      Progress& prog = prog_[static_cast<std::size_t>(c)];
+      serve::RequestStats::Lane& lane = rs_.lane(c);
+      const auto total = static_cast<std::int64_t>(
+          streams_[static_cast<std::size_t>(c)].size());
+      const auto tail = static_cast<std::uint64_t>(total - prog.next);
+      lane.failed += tail;
+      lane.slo_violations += tail;
+      if (prog.in_put) ++lane.lost_puts;
+      m.fault_plan().classify_fail(
+          static_cast<CoreId>(c), (prog.in_put || tail > 0)
+                                      ? FailOutcome::Degraded
+                                      : FailOutcome::Recovered);
+    }
+  }
+
   int nthreads_ = 0;
   serve::GenParams p_{.seed = 0x5e12e, .requests = 96, .mean_gap = 96,
                       .key_space = 96, .mean_work = 48};
   std::uint64_t put_percent_ = 50;
   std::int64_t keys_knob_ = 0;
+  serve::ChaosKnobs chaos_;
   Addr records_ = 0;
   Addr digests_ = 0;
   Machine::Barrier bar_;
+  Machine::Flag start_flag_;
+  Machine::Flag done_flag_;
   std::vector<Machine::Lock> locks_;
   std::vector<std::vector<serve::ServeRequest>> streams_;
+  std::vector<Progress> prog_;
   serve::RequestStats rs_;
 };
 

@@ -70,6 +70,14 @@ void RequestStats::publish(SimStats& stats) const {
     o.req_issued += l.issued;
     o.req_remote += l.remote;
     o.req_qdepth_peak = std::max(o.req_qdepth_peak, l.qdepth_peak);
+    o.req_timeouts += l.timeouts;
+    o.req_retries += l.retries;
+    o.req_hedged += l.hedged;
+    o.req_hedge_wins += l.hedge_wins;
+    o.req_failed += l.failed;
+    o.slo_violations += l.slo_violations;
+    o.failover_lost_puts += l.lost_puts;
+    o.failover_reacquired += l.reacquired;
     lat.insert(lat.end(), l.latencies.begin(), l.latencies.end());
   }
   o.req_completed += static_cast<std::uint64_t>(lat.size());

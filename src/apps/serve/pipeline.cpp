@@ -66,7 +66,7 @@ class PipelineWorkload final : public Workload {
     if (key == "requests" && value > 0) { p_.requests = value; return true; }
     if (key == "gap" && value > 0) { p_.mean_gap = value; return true; }
     if (key == "work" && value > 0) { p_.mean_work = value; return true; }
-    return false;
+    return chaos_.set(key, value);
   }
 
   void setup(Machine& m, int nthreads) override {
@@ -96,10 +96,25 @@ class PipelineWorkload final : public Workload {
                                  process_t, respond_t));
     }
     rs_.reset(nthreads);
+    if (chaos_.armed()) {
+      start_flag_ = m.make_flag(0);
+      done_flag_ = m.make_flag(0);
+      completed_.assign(streams_.size(), 0);
+      published_.assign(static_cast<std::size_t>(nthreads), 0);
+      m.set_pre_reconcile([this, &m] { classify_victims(m); });
+    } else {
+      completed_.clear();
+      published_.clear();
+    }
   }
 
   void body(Thread& t) override {
-    t.barrier(bar_);
+    const bool armed = chaos_.armed();
+    if (armed) {
+      serve::survivor_barrier(t, start_flag_, nthreads_, false);
+    } else {
+      t.barrier(bar_);
+    }
     if (nlanes_ == 0) {
       // Degenerate machine (< 3 threads): thread 0 runs all three stages
       // inline on stream 0; no rings, no handoffs.
@@ -113,21 +128,34 @@ class PipelineWorkload final : public Workload {
       if (stage == 0) {
         parse_stage(t, lane, up);
       } else if (stage == 1) {
-        process_stage(t, up, down);
+        process_stage(t, lane, up, down);
       } else if (stage == 2) {
         respond_stage(t, lane, down);
       }
       // Threads beyond 3*nlanes idle at the barriers.
     }
-    t.barrier(bar_);
+    if (armed) {
+      serve::survivor_barrier(t, done_flag_, nthreads_, true);
+      // The barrier's WB ALL has run once it returns: this thread's
+      // responses are durable now even if a later fail cycle kills it.
+      published_[static_cast<std::size_t>(t.tid())] = 1;
+    } else {
+      t.barrier(bar_);
+    }
   }
 
   void finish(Machine& m) override { rs_.publish(m.stats()); }
 
   WorkloadResult verify(Machine& m) override {
+    const bool armed = chaos_.armed();
     VerifyReader rd(m);
     for (std::size_t l = 0; l < streams_.size(); ++l) {
       const std::vector<serve::ServeRequest>& stream = streams_[l];
+      const std::int64_t done = armed ? completed_[l] : p_.requests;
+      const ThreadId respond_t =
+          nlanes_ > 0 ? static_cast<ThreadId>(l) + 2 * nlanes_ : 0;
+      const bool durable =
+          !armed || published_[static_cast<std::size_t>(respond_t)] != 0;
       for (std::int64_t i = 0; i < p_.requests; ++i) {
         const serve::ServeRequest& r = stream[static_cast<std::size_t>(i)];
         const auto v = rd.read<std::uint64_t>(
@@ -137,7 +165,12 @@ class PipelineWorkload final : public Workload {
         const std::uint64_t want = response_of(
             r.key, static_cast<std::uint64_t>(i),
             static_cast<std::uint64_t>(r.work));
-        if (v != want) {
+        // A dead lane strands its tail (never written, still zero); a
+        // respond thread killed before its final WB ALL may have taken any
+        // of its written responses down with its L1.
+        const bool ok = i < done ? (v == want || (!durable && v == 0))
+                                 : v == 0;
+        if (!ok) {
           return {false, "pipeline: response " + std::to_string(l) + "/" +
                              std::to_string(i) + " mismatch"};
         }
@@ -175,19 +208,59 @@ class PipelineWorkload final : public Workload {
                          {});
   }
 
+  /// A lane is dead once ANY of its three stage threads halted — not just
+  /// the waiter's direct peer. Death propagates through survivors: parse
+  /// dying makes process exit early, and respond then waits on a thread
+  /// that is alive but gone, so checking only the adjacent stage livelocks.
+  [[nodiscard]] bool lane_dead(Thread& t, int lane) const {
+    return t.peer_failed(lane) || t.peer_failed(lane + nlanes_) ||
+           t.peer_failed(lane + 2 * nlanes_);
+  }
+
+  /// Chaos-aware flag wait: poll the non-blocking variant (so a survivor
+  /// never parks on an edge of a dead lane) until the handoff fires or any
+  /// stage of the lane provably died. False = dead lane, abandon it.
+  bool wait_or_dead(Thread& t, Machine::Flag f, std::uint64_t expect,
+                    std::span<const InvDirective> consumed, int lane) const {
+    for (;;) {
+      if (t.flag_try_wait_ranged(f, expect, consumed)) return true;
+      if (lane_dead(t, lane)) return false;
+      t.compute(16);
+    }
+  }
+
+  /// Credit check against a possibly-dead lane.
+  bool wait_credit_or_dead(Thread& t, Edge& e, std::int64_t i,
+                           int lane) const {
+    if (i < kSlots) return true;
+    return wait_or_dead(t, e.consumed,
+                        static_cast<std::uint64_t>(i - kSlots) + 1, {}, lane);
+  }
+
   void parse_stage(Thread& t, int lane, Edge& up) {
+    const bool armed = chaos_.armed();
     const std::vector<serve::ServeRequest>& stream =
         streams_[static_cast<std::size_t>(lane)];
     serve::RequestStats::Lane& ln = rs_.lane(t.tid());
     for (std::int64_t i = 0; i < p_.requests; ++i) {
       const serve::ServeRequest& req = stream[static_cast<std::size_t>(i)];
-      if (t.now() < req.arrival) t.compute(req.arrival - t.now());
+      if (!chaos_.closed && t.now() < req.arrival)
+        t.compute(req.arrival - t.now());
       ++ln.issued;
-      ln.qdepth_peak =
-          std::max(ln.qdepth_peak, serve::backlog_at(stream, t.now(), i));
-      wait_credit(t, up, i);
+      if (!chaos_.closed)
+        ln.qdepth_peak =
+            std::max(ln.qdepth_peak, serve::backlog_at(stream, t.now(), i));
+      if (armed) {
+        if (!wait_credit_or_dead(t, up, i, lane)) return;
+      } else {
+        wait_credit(t, up, i);
+      }
       const Addr s = slot_addr(up, i);
-      t.store(s + kWArrival * 8, static_cast<std::uint64_t>(req.arrival));
+      // Closed-loop requests are issued back-to-back; the slot's arrival
+      // word then carries the issue stamp, so downstream latency math is
+      // unchanged.
+      const Cycle issue = chaos_.closed ? t.now() : req.arrival;
+      t.store(s + kWArrival * 8, static_cast<std::uint64_t>(issue));
       t.store(s + kWKey * 8, req.key);
       t.store(s + kWSeq * 8, static_cast<std::uint64_t>(i));
       t.store(s + kWWork * 8, static_cast<std::uint64_t>(req.work));
@@ -198,11 +271,18 @@ class PipelineWorkload final : public Workload {
     }
   }
 
-  void process_stage(Thread& t, Edge& up, Edge& down) {
+  void process_stage(Thread& t, int lane, Edge& up, Edge& down) {
+    const bool armed = chaos_.armed();
     for (std::int64_t i = 0; i < p_.requests; ++i) {
       const std::size_t slot = static_cast<std::size_t>(i % kSlots);
-      t.flag_wait_ranged(up.produced, static_cast<std::uint64_t>(i) + 1,
-                         {&up.handoff.consume[slot], 1});
+      if (armed) {
+        if (!wait_or_dead(t, up.produced, static_cast<std::uint64_t>(i) + 1,
+                          {&up.handoff.consume[slot], 1}, lane))
+          return;
+      } else {
+        t.flag_wait_ranged(up.produced, static_cast<std::uint64_t>(i) + 1,
+                           {&up.handoff.consume[slot], 1});
+      }
       const Addr s = slot_addr(up, i);
       const auto arrival = t.load<std::uint64_t>(s + kWArrival * 8);
       const auto key = t.load<std::uint64_t>(s + kWKey * 8);
@@ -215,7 +295,11 @@ class PipelineWorkload final : public Workload {
       t.compute(work);
       const std::uint64_t s1 = stage1_of(key, seq, work);
 
-      wait_credit(t, down, i);
+      if (armed) {
+        if (!wait_credit_or_dead(t, down, i, lane)) return;
+      } else {
+        wait_credit(t, down, i);
+      }
       const Addr d = slot_addr(down, i);
       t.store(d + kWArrival * 8, arrival);
       t.store(d + kWKey * 8, key);
@@ -228,11 +312,18 @@ class PipelineWorkload final : public Workload {
   }
 
   void respond_stage(Thread& t, int lane, Edge& down) {
+    const bool armed = chaos_.armed();
     serve::RequestStats::Lane& ln = rs_.lane(t.tid());
     for (std::int64_t i = 0; i < p_.requests; ++i) {
       const std::size_t slot = static_cast<std::size_t>(i % kSlots);
-      t.flag_wait_ranged(down.produced, static_cast<std::uint64_t>(i) + 1,
-                         {&down.handoff.consume[slot], 1});
+      if (armed) {
+        if (!wait_or_dead(t, down.produced, static_cast<std::uint64_t>(i) + 1,
+                          {&down.handoff.consume[slot], 1}, lane))
+          return;
+      } else {
+        t.flag_wait_ranged(down.produced, static_cast<std::uint64_t>(i) + 1,
+                           {&down.handoff.consume[slot], 1});
+      }
       const Addr s = slot_addr(down, i);
       const auto arrival = t.load<std::uint64_t>(s + kWArrival * 8);
       const auto key = t.load<std::uint64_t>(s + kWKey * 8);
@@ -254,27 +345,73 @@ class PipelineWorkload final : public Workload {
                       8,
               stage2_of(s1) + key + seq);
       ++ln.remote;  // every request crossed two stage handoffs
-      ln.latencies.push_back(t.now() - static_cast<Cycle>(arrival));
+      if (armed) {
+        completed_[static_cast<std::size_t>(lane)] = i + 1;
+        serve::RequestStats::complete(ln, t.now() - static_cast<Cycle>(arrival),
+                                      chaos_);
+      } else {
+        ln.latencies.push_back(t.now() - static_cast<Cycle>(arrival));
+      }
     }
   }
 
   /// Single-thread fallback: the three stage functions composed inline.
   void serve_serial(Thread& t) {
+    const bool armed = chaos_.armed();
     const std::vector<serve::ServeRequest>& stream = streams_[0];
     serve::RequestStats::Lane& ln = rs_.lane(t.tid());
     for (std::int64_t i = 0; i < p_.requests; ++i) {
       const serve::ServeRequest& req = stream[static_cast<std::size_t>(i)];
-      if (t.now() < req.arrival) t.compute(req.arrival - t.now());
+      if (!chaos_.closed && t.now() < req.arrival)
+        t.compute(req.arrival - t.now());
+      const Cycle issue = chaos_.closed ? t.now() : req.arrival;
       ++ln.issued;
-      ln.qdepth_peak =
-          std::max(ln.qdepth_peak, serve::backlog_at(stream, t.now(), i));
+      if (!chaos_.closed)
+        ln.qdepth_peak =
+            std::max(ln.qdepth_peak, serve::backlog_at(stream, t.now(), i));
       t.compute(8);
       t.compute(req.work);
       t.compute(req.work / 4 + 1);
       t.store(response_ + static_cast<Addr>(i) * 8,
               response_of(req.key, static_cast<std::uint64_t>(i),
                           static_cast<std::uint64_t>(req.work)));
-      ln.latencies.push_back(t.now() - req.arrival);
+      if (armed) {
+        completed_[0] = i + 1;
+        serve::RequestStats::complete(ln, t.now() - issue, chaos_);
+      } else {
+        ln.latencies.push_back(t.now() - req.arrival);
+      }
+    }
+  }
+
+  /// Pre-reconcile hook: a lane with a dead stage strands its remaining
+  /// requests — the survivors of the lane detect the dead peer and abandon
+  /// it, so the stranded tail is charged as failed to the lane's respond
+  /// thread. A victim whose lane still finished everything (it died after
+  /// its last handoff, or it was an idle spare thread) recovered cleanly.
+  void classify_victims(Machine& m) {
+    for (std::size_t l = 0; l < streams_.size(); ++l) {
+      const auto tail =
+          static_cast<std::uint64_t>(p_.requests - completed_[l]);
+      if (tail == 0) continue;
+      const ThreadId respond_t =
+          nlanes_ > 0 ? static_cast<ThreadId>(l) + 2 * nlanes_ : 0;
+      serve::RequestStats::Lane& lane = rs_.lane(respond_t);
+      lane.failed += tail;
+      lane.slo_violations += tail;
+    }
+    for (ThreadId c = 0; c < static_cast<ThreadId>(nthreads_); ++c) {
+      if (m.fail_cycle_of(static_cast<CoreId>(c)) == 0) continue;
+      bool degraded = false;
+      if (nlanes_ == 0) {
+        degraded = c == 0 && completed_[0] < p_.requests;
+      } else if (c < 3 * nlanes_) {
+        const auto l = static_cast<std::size_t>(c % nlanes_);
+        degraded = completed_[l] < p_.requests;
+      }
+      m.fault_plan().classify_fail(static_cast<CoreId>(c),
+                                   degraded ? FailOutcome::Degraded
+                                            : FailOutcome::Recovered);
     }
   }
 
@@ -282,10 +419,15 @@ class PipelineWorkload final : public Workload {
   int nlanes_ = 0;
   serve::GenParams p_{.seed = 0x919e11e, .requests = 96, .mean_gap = 96,
                       .key_space = 4096, .mean_work = 48};
+  serve::ChaosKnobs chaos_;
   Addr response_ = 0;
   Machine::Barrier bar_;
+  Machine::Flag start_flag_;
+  Machine::Flag done_flag_;
   std::vector<Edge> edges_;
   std::vector<std::vector<serve::ServeRequest>> streams_;
+  std::vector<std::int64_t> completed_;  ///< [lane] responses written
+  std::vector<char> published_;          ///< [tid] final WB ALL completed
   serve::RequestStats rs_;
 };
 

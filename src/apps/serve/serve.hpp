@@ -12,18 +12,26 @@
 //               (analyze_stage_handoff; sites PipeProduceWb / PipeConsumeInv).
 //
 // All three are driven by the deterministic load generator below and report
-// the per-request latency surface (req_* counters, stats schema v5).
+// the per-request latency surface (req_* counters, stats schema v6).
+//
+// Chaos mode (docs/robustness.md): the shared ChaosKnobs turn the workloads
+// fail-stop-tolerant — per-request deadlines, backoff retries, hedged kv
+// gets, closed-loop issue — and every knob defaults off, so a run without
+// them is bit-identical to the pre-chaos behavior.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "runtime/machine.hpp"
 
 namespace hic {
 
 class SimStats;
+class Thread;
 
 namespace serve {
 
@@ -64,6 +72,39 @@ struct ServeRequest {
 [[nodiscard]] std::uint64_t backlog_at(const std::vector<ServeRequest>& stream,
                                        Cycle now, std::int64_t served);
 
+/// Chaos/recovery knobs shared by the serving workloads. Every field
+/// defaults off; a workload whose knobs are all off takes exactly the
+/// pre-chaos code path, so healthy golden stats stay bit-identical.
+struct ChaosKnobs {
+  Cycle deadline = 0;        ///< per-request deadline in cycles (0 = none)
+  std::int64_t retries = 0;  ///< max lock-acquire retries before giving up
+  Cycle backoff = 0;         ///< retry backoff base (0 = default 16 cycles)
+  bool hedge = false;        ///< hedged kv gets (stale-read fallback)
+  bool closed = false;       ///< closed-loop issue (next after previous done)
+
+  [[nodiscard]] bool armed() const {
+    return deadline != 0 || retries != 0 || backoff != 0 || hedge || closed;
+  }
+  /// set_knob dispatcher for the chaos keys (deadline / retries / backoff /
+  /// hedge / closed); false = not a chaos key or out of range.
+  bool set(const std::string& key, std::int64_t value);
+  /// Deterministic retry delay for (tid, attempt): base << min(attempt, 6)
+  /// plus a jitter in [0, base) drawn from a SplitMix64 mix of
+  /// (seed, tid, attempt) — seed-derived, so two runs of the same point
+  /// back off identically and distinct threads desynchronize.
+  [[nodiscard]] Cycle backoff_delay(std::uint64_t seed, ThreadId tid,
+                                    std::int64_t attempt) const;
+};
+
+/// Fail-stop-tolerant barrier: arrive on `f` (fetch-add), then poll until
+/// every peer has either arrived or provably died (Thread::peer_failed, the
+/// static-lease failure detector). Terminates because a core that never
+/// arrives halted at a cycle the pollers' clocks eventually pass. When
+/// `publish` is true the arrival is preceded by WB ALL and the exit by
+/// INV ALL — the plain barrier's Figure 4 annotations, so data published
+/// across a survivor barrier is as durable as across a real one.
+void survivor_barrier(Thread& t, Machine::Flag f, int nthreads, bool publish);
+
 /// Per-request latency accounting. Each simulated thread records into its
 /// own lane (race-free under the sharded engine: a lane is only ever touched
 /// by its owning thread), and publish() folds the lanes into the req_*
@@ -75,11 +116,29 @@ class RequestStats {
     std::uint64_t issued = 0;
     std::uint64_t remote = 0;
     std::uint64_t qdepth_peak = 0;
+    std::uint64_t timeouts = 0;    ///< abandoned at the deadline
+    std::uint64_t retries = 0;     ///< backoff retries taken
+    std::uint64_t hedged = 0;      ///< hedge reads issued
+    std::uint64_t hedge_wins = 0;  ///< requests the hedge rescued
+    std::uint64_t failed = 0;      ///< requests that can never complete
+    std::uint64_t slo_violations = 0;  ///< late, timed-out, or failed
+    std::uint64_t lost_puts = 0;   ///< un-acked puts lost with a victim
+    std::uint64_t reacquired = 0;  ///< records re-acquired on failover
+    /// Completed requests only — timed-out and failed requests are counted
+    /// above and never push a sample here, so the latency percentiles are
+    /// never polluted by sentinel values.
     std::vector<Cycle> latencies;
   };
 
   void reset(int nthreads);
   [[nodiscard]] Lane& lane(ThreadId t);
+
+  /// Records a completed request: a latency sample, plus an SLO violation
+  /// when `latency` exceeds the knobs' deadline.
+  static void complete(Lane& lane, Cycle latency, const ChaosKnobs& k) {
+    lane.latencies.push_back(latency);
+    if (k.deadline != 0 && latency > k.deadline) ++lane.slo_violations;
+  }
 
   /// Merges the lanes (tid order), sorts the latency samples, and fills the
   /// req_* fields of `stats` with nearest-rank percentiles

@@ -3,8 +3,9 @@
 // Every tool maps its outcome onto these codes so scripts and CI can
 // distinguish failure classes without parsing stdout.  Documented in
 // docs/robustness.md; asserted by the cli_exit_codes.sh test.  When several
-// apply, the most severe wins: hang > recovery gave up > oracle violation >
-// verification failure > unrecovered injected fault.
+// apply, the most severe wins: hang > SLO budget exhausted > recovery gave
+// up > oracle violation > verification failure > unrecovered injected
+// fault.
 #pragma once
 
 namespace hic {
@@ -19,6 +20,8 @@ enum ExitCode : int {
   kExitFault = 6,        // injected fault neither detected nor tolerated
   kExitUnrecoverable = 7,// recovery attached but gave up on some data
                          // (retransmit cap hit) — Recovery::Unrecoverable
+  kExitSloExhausted = 8, // serving run exceeded its --slo-budget for
+                         // slo_violations (chaos campaigns gate on this)
 };
 
 }  // namespace hic

@@ -523,6 +523,24 @@ std::uint32_t IncoherentHierarchy::degrade_block(BlockId block) {
   return ways;
 }
 
+std::uint64_t IncoherentHierarchy::discard_core_l1(CoreId core) {
+  Cache& l1 = l1_of(core);
+  const std::uint64_t lost = l1.dirty_line_count();
+  l1.invalidate_all();
+  meb_[static_cast<std::size_t>(core)].reset();
+  ieb_[static_cast<std::size_t>(core)].reset();
+  trace_cache("chaos_discard_l1", 0);
+  return lost;
+}
+
+std::uint64_t IncoherentHierarchy::discard_block_l2(BlockId block) {
+  Cache& l2 = l2_of(block);
+  const std::uint64_t lost = l2.dirty_line_count();
+  l2.invalidate_all();
+  trace_cache("chaos_discard_l2", 0);
+  return lost;
+}
+
 Cycle IncoherentHierarchy::wb_line(CoreId core, Addr line, Level to) {
   Cycle lat = 1;  // tag check
   Cache& l1 = l1_of(core);

@@ -103,6 +103,15 @@ class IncoherentHierarchy final : public HierarchyBase {
   /// cluster degradation); returns the number of ways newly quarantined.
   std::uint32_t degrade_block(BlockId block);
 
+  // --- Fail-stop (chaos) callbacks -----------------------------------------
+  /// A core fail-stopped: its entire L1 is invalidated WITHOUT writeback
+  /// (dirty words die with the core) and its MEB/IEB are reset. Returns the
+  /// number of dirty lines lost.
+  std::uint64_t discard_core_l1(CoreId core);
+  /// A whole block fail-stopped (cluster-fail): its shared L2 is likewise
+  /// dropped without writeback. Returns the dirty lines lost.
+  std::uint64_t discard_block_l2(BlockId block);
+
   /// Fault reconciliation: true if the injected fault is still observable —
   /// the value a consumer (or, for dropped INVs / corrupted stores, the
   /// faulted core itself) would read for the line disagrees with the

@@ -42,6 +42,38 @@ GroupPoints collect_group(const Campaign& c, const CampaignResults& r,
   return g;
 }
 
+/// The chaos table spans several groups (a fault-free baseline next to the
+/// injected scenarios), so the machine label is prefixed with the group
+/// name — that is the scenario column, and it keeps otherwise-identical
+/// (app, config, machine) triples from colliding in the PointSet.
+GroupPoints collect_chaos(const Campaign& c, const CampaignResults& r,
+                          const std::string& group_list) {
+  GroupPoints g;
+  for (const std::string& group : split_groups(group_list)) {
+    bool found = false;
+    for (std::size_t i = 0; i < c.points.size(); ++i) {
+      const CampaignPoint& pt = c.points[i];
+      if (pt.group != group) continue;
+      found = true;
+      HIC_CHECK_MSG(r.by_point[i].has_value(),
+                    "aggregate group '" << group << "' is missing the result "
+                                        << "for " << pt.app << "/"
+                                        << pt.config_label << " ("
+                                        << pt.digest << ")");
+      agg::PointStats p = *r.by_point[i];
+      p.machine = pt.group +
+                  (pt.sweep_desc.empty() ? "" : " " + pt.sweep_desc);
+      g.set.add(std::move(p));
+      bool seen = false;
+      for (const std::string& a : g.apps) seen = seen || a == pt.app;
+      if (!seen) g.apps.push_back(pt.app);
+    }
+    HIC_CHECK_MSG(found,
+                  "aggregate references empty group '" << group << "'");
+  }
+  return g;
+}
+
 }  // namespace
 
 std::string render_storage_overhead() {
@@ -79,6 +111,9 @@ std::vector<AggregateOutput> aggregate_campaign(const Campaign& c,
     a.title = spec.kind + (spec.group.empty() ? "" : " (" + spec.group + ")");
     if (spec.kind == "storage") {
       a.text = render_storage_overhead();
+    } else if (spec.kind == "chaos") {
+      const GroupPoints g = collect_chaos(c, r, spec.group);
+      a.text = agg::render_chaos(g.set, csv);
     } else {
       const GroupPoints g = collect_group(c, r, spec.group);
       if (spec.kind == "table1") {

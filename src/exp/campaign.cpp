@@ -72,6 +72,14 @@ std::string point_digest(const CampaignPoint& pt) {
     for (const std::string& spec : pt.inject) arr.push_back(Json::string(spec));
     key.set("inject", arr);
   }
+  if (!pt.serve_set.empty()) {
+    // Same rule: knob-free digests must not move. Spec order preserved —
+    // knobs are applied in order, so order is part of the point's identity.
+    Json arr = Json::array();
+    for (const auto& [k, v] : pt.serve_set)
+      arr.push_back(Json::string(k + "=" + std::to_string(v)));
+    key.set("serve_set", arr);
+  }
   if (pt.recover) {
     // Same rule: recovery-off digests must not move.
     key.set("recover", Json::string(pt.resil_spec));
@@ -80,6 +88,22 @@ std::string point_digest(const CampaignPoint& pt) {
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(fnv1a64(key.dump())));
   return buf;
+}
+
+std::vector<std::string> split_groups(const std::string& list) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = list.find(',', start);
+    const std::string one = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    HIC_CHECK_MSG(!one.empty(),
+                  "empty group name in group list '" << list << "'");
+    names.push_back(one);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return names;
 }
 
 Campaign Campaign::parse(const Json& spec) {
@@ -91,7 +115,7 @@ Campaign Campaign::parse(const Json& spec) {
   for (const Json& g : spec.at("groups").items()) {
     check_keys(g,
                {"name", "workloads", "configs", "machine", "threads", "seed",
-                "repeat", "inject", "recover", "shard_threads"},
+                "repeat", "inject", "recover", "shard_threads", "serve_set"},
                "campaign group");
     const std::string gname = g.at("name").as_string();
     HIC_CHECK_MSG(group_names.insert(gname).second,
@@ -153,6 +177,13 @@ Campaign Campaign::parse(const Json& spec) {
         inject.push_back(spec);
       }
     }
+    std::vector<std::pair<std::string, std::int64_t>> serve_set;
+    if (const Json* sv = g.find("serve_set")) {
+      for (const auto& [key, value] : sv->members())
+        serve_set.emplace_back(key, value.as_i64());
+      HIC_CHECK_MSG(!serve_set.empty(),
+                    "group '" << gname << "': serve_set is empty");
+    }
     bool recover = false;
     std::string resil_spec;
     if (const Json* rv = g.find("recover")) {
@@ -198,6 +229,13 @@ Campaign Campaign::parse(const Json& spec) {
 
       for (const std::string& app : workloads) {
         auto w = make_workload(app);  // validates the name
+        // Validate the serving knobs against this workload now, not
+        // mid-campaign (the throwaway instance absorbs the applications).
+        for (const auto& [key, value] : serve_set)
+          HIC_CHECK_MSG(w->set_knob(key, value),
+                        "group '" << gname << "': workload '" << app
+                                  << "' rejected serve_set knob " << key
+                                  << "=" << value);
         const bool inter = w->inter_block();
         MachineConfig mc =
             !preset.empty()
@@ -236,6 +274,7 @@ Campaign Campaign::parse(const Json& spec) {
           pt.seed = seed;
           pt.repeat = repeat;
           pt.inject = inject;
+          pt.serve_set = serve_set;
           pt.recover = recover;
           pt.resil_spec = resil_spec;
           pt.shard_threads = shard_threads;
@@ -263,8 +302,8 @@ Campaign Campaign::parse(const Json& spec) {
   HIC_CHECK_MSG(!c.points.empty(), "campaign expands to zero points");
 
   static const std::set<std::string> kKinds = {
-      "table1", "fig9",    "fig10",   "fig11",        "fig12",
-      "energy", "storage", "summary", "survivability", "serving"};
+      "table1", "fig9",    "fig10",   "fig11",         "fig12",   "energy",
+      "storage", "summary", "survivability", "serving", "chaos"};
   for (const Json& a : spec.at("aggregates").items()) {
     check_keys(a, {"kind", "group"}, "campaign aggregate");
     AggregateSpec as;
@@ -272,7 +311,16 @@ Campaign Campaign::parse(const Json& spec) {
     HIC_CHECK_MSG(kKinds.count(as.kind) == 1,
                   "unknown aggregate kind '" << as.kind << "'");
     if (const Json* gv = a.find("group")) as.group = gv->as_string();
-    if (as.kind != "storage") {
+    if (as.kind == "chaos") {
+      // Comma-separated list: a chaos table pairs injected scenarios with
+      // their fault-free baseline, which necessarily live in other groups
+      // (inject is a group-level key).
+      for (const std::string& one : split_groups(as.group)) {
+        HIC_CHECK_MSG(group_names.count(one) == 1,
+                      "aggregate 'chaos' references unknown group '" << one
+                                                                     << "'");
+      }
+    } else if (as.kind != "storage") {
       HIC_CHECK_MSG(group_names.count(as.group) == 1,
                     "aggregate '" << as.kind << "' references unknown group '"
                                   << as.group << "'");

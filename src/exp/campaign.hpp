@@ -70,6 +70,11 @@ struct CampaignPoint {
   /// into the digest only when enabled, mirroring `inject`.
   bool recover = false;
   std::string resil_spec;
+  /// Serving-workload knobs ("serve_set": {"deadline": 60000, ...}) applied
+  /// to every run of this point via Workload::set_knob before setup, in
+  /// spec order. Folded into the digest only when non-empty, so knob-free
+  /// campaigns keep their cached results.
+  std::vector<std::pair<std::string, std::int64_t>> serve_set;
   /// Host-side execution knob: sharded-engine worker threads for this
   /// group's runs (0 = single-thread direct scheduler). Simulated results
   /// are bit-identical either way, so it is deliberately NOT part of the
@@ -79,9 +84,12 @@ struct CampaignPoint {
 };
 
 struct AggregateSpec {
-  /// fig9|fig10|fig11|fig12|table1|energy|storage|summary|survivability
+  /// fig9|...|table1|energy|storage|summary|survivability|serving|chaos
   std::string kind;
-  std::string group;  ///< source group ("" for kinds that need no points)
+  /// Source group ("" for kinds that need no points). The "chaos" kind
+  /// accepts a comma-separated group list so injected scenarios can sit in
+  /// one table next to their fault-free baseline group.
+  std::string group;
 };
 
 struct Campaign {
@@ -100,5 +108,9 @@ struct Campaign {
 
 /// Content digest of one point (16 hex digits; see file comment).
 [[nodiscard]] std::string point_digest(const CampaignPoint& pt);
+
+/// Splits an AggregateSpec::group list ("baseline,chaos-early") into names;
+/// empty segments (leading/trailing/double commas) throw CheckFailure.
+[[nodiscard]] std::vector<std::string> split_groups(const std::string& list);
 
 }  // namespace hic::exp

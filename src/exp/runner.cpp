@@ -25,6 +25,10 @@ agg::PointStats execute_point(const CampaignPoint& pt) {
   // canary (same spirit as stats/host_perf.hpp's time_runs).
   for (int r = 0; r < pt.repeat; ++r) {
     w = make_workload(pt.app);
+    for (const auto& [key, value] : pt.serve_set)
+      HIC_CHECK_MSG(w->set_knob(key, value),
+                    "workload '" << pt.app << "' rejected serve knob " << key
+                                 << "=" << value);
     m = std::make_unique<Machine>(pt.machine, pt.config);
     for (const std::string& spec : pt.inject)
       m->add_fault_rule(parse_fault_rule(spec));

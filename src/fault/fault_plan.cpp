@@ -29,6 +29,18 @@ const char* to_string(FaultKind k) {
     case FaultKind::CorruptLine: return "corrupt-line";
     case FaultKind::ElideWb: return "elide-wb";
     case FaultKind::ElideInv: return "elide-inv";
+    case FaultKind::CoreFail: return "core-fail";
+    case FaultKind::ClusterFail: return "cluster-fail";
+  }
+  return "?";
+}
+
+const char* to_string(FailOutcome o) {
+  switch (o) {
+    case FailOutcome::Unresolved: return "unresolved";
+    case FailOutcome::Recovered: return "recovered";
+    case FailOutcome::Degraded: return "degraded";
+    case FailOutcome::Failed: return "failed";
   }
   return "?";
 }
@@ -44,11 +56,13 @@ FaultKind parse_kind(const std::string& s) {
   if (s == "corrupt-line") return FaultKind::CorruptLine;
   if (s == "elide-wb") return FaultKind::ElideWb;
   if (s == "elide-inv") return FaultKind::ElideInv;
+  if (s == "core-fail") return FaultKind::CoreFail;
+  if (s == "cluster-fail") return FaultKind::ClusterFail;
   HIC_CHECK_MSG(false, "unknown fault kind '"
                            << s
                            << "' (expected drop-wb, drop-inv, delay-wb, "
-                              "delay-inv, delay-noc, corrupt-line, elide-wb "
-                              "or elide-inv)");
+                              "delay-inv, delay-noc, corrupt-line, elide-wb, "
+                              "elide-inv, core-fail or cluster-fail)");
   return FaultKind::DropWb;
 }
 
@@ -115,6 +129,16 @@ FaultRule parse_fault_rule(const std::string& spec) {
         r.core = std::stoi(val, &used);
         HIC_CHECK_MSG(used == val.size() && r.core >= 0,
                       "fault spec '" << spec << "': bad core '" << val << "'");
+      } else if (key == "cycle") {
+        r.fail_cycle = std::stoull(val, &used);
+        HIC_CHECK_MSG(used == val.size() && r.fail_cycle > 0,
+                      "fault spec '" << spec << "': bad cycle '" << val
+                                     << "'");
+      } else if (key == "cluster") {
+        r.cluster = std::stoi(val, &used);
+        HIC_CHECK_MSG(used == val.size() && r.cluster >= 0,
+                      "fault spec '" << spec << "': bad cluster '" << val
+                                     << "'");
       } else {
         HIC_CHECK_MSG(false, "fault spec '" << spec << "': unknown key '"
                                             << key << "'");
@@ -142,12 +166,39 @@ FaultRule parse_fault_rule(const std::string& spec) {
                                  << " site; use "
                                  << (anno_site_is_wb(r.site) ? "elide-wb"
                                                              : "elide-inv"));
+  } else if (r.kind == FaultKind::CoreFail) {
+    HIC_CHECK_MSG(r.core != kInvalidCore,
+                  "fault spec '" << spec << "': core-fail requires core=N");
+    HIC_CHECK_MSG(r.fail_cycle > 0,
+                  "fault spec '" << spec << "': core-fail requires cycle=C");
+    HIC_CHECK_MSG(r.site == AnnoSite::kNone && r.cluster < 0,
+                  "fault spec '" << spec
+                                 << "': site=/cluster= do not apply to "
+                                    "core-fail");
+  } else if (r.kind == FaultKind::ClusterFail) {
+    HIC_CHECK_MSG(r.cluster >= 0,
+                  "fault spec '" << spec
+                                 << "': cluster-fail requires cluster=K");
+    HIC_CHECK_MSG(r.fail_cycle > 0,
+                  "fault spec '" << spec
+                                 << "': cluster-fail requires cycle=C");
+    HIC_CHECK_MSG(r.site == AnnoSite::kNone && r.core == kInvalidCore,
+                  "fault spec '" << spec
+                                 << "': site=/core= do not apply to "
+                                    "cluster-fail");
   } else {
     HIC_CHECK_MSG(r.site == AnnoSite::kNone && r.core == kInvalidCore,
                   "fault spec '" << spec
                                  << "': site=/core= only apply to elide-wb / "
                                     "elide-inv");
   }
+  HIC_CHECK_MSG(r.fail_cycle == 0 || is_fail_stop(r.kind),
+                "fault spec '" << spec
+                               << "': cycle= only applies to core-fail / "
+                                  "cluster-fail");
+  HIC_CHECK_MSG(r.cluster < 0 || r.kind == FaultKind::ClusterFail,
+                "fault spec '" << spec
+                               << "': cluster= only applies to cluster-fail");
   HIC_CHECK_MSG(r.bits == 1 || r.kind == FaultKind::CorruptLine,
                 "fault spec '" << spec
                                << "': bits= only applies to corrupt-line");
@@ -269,6 +320,45 @@ bool FaultPlan::should_elide_inv(CoreId core, AnnoSite site) {
   return elided;
 }
 
+std::vector<FaultRule> FaultPlan::rule_configs() const {
+  std::vector<FaultRule> out;
+  out.reserve(rules_.size());
+  for (const auto& a : rules_) out.push_back(a.rule);
+  return out;
+}
+
+void FaultPlan::record_core_fail(FaultKind kind, CoreId core, Cycle cycle,
+                                 std::uint64_t lost_dirty_lines) {
+  HIC_CHECK(is_fail_stop(kind));
+  FaultRecord r;
+  r.kind = kind;
+  r.core = core;
+  r.detected = true;  // a halted core is observable by construction
+  r.fail_cycle = cycle;
+  r.lost_dirty = lost_dirty_lines;
+  records_.push_back(r);
+}
+
+void FaultPlan::add_lost_dirty(std::size_t index, std::uint64_t lines) {
+  HIC_CHECK(index < records_.size());
+  HIC_CHECK(is_fail_stop(records_[index].kind));
+  records_[index].lost_dirty += lines;
+}
+
+void FaultPlan::classify_fail(CoreId core, FailOutcome outcome) {
+  HIC_CHECK(outcome != FailOutcome::Unresolved);
+  for (auto& r : records_) {
+    if (is_fail_stop(r.kind) && r.core == core) r.fail_outcome = outcome;
+  }
+}
+
+std::uint64_t FaultPlan::fail_outcome_count(FailOutcome outcome) const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_)
+    n += (is_fail_stop(r.kind) && r.fail_outcome == outcome) ? 1 : 0;
+  return n;
+}
+
 void FaultPlan::on_stale_read(Addr line) {
   for (auto& r : records_) {
     if (r.line == line && !is_timing_only(r.kind)) r.detected = true;
@@ -300,7 +390,16 @@ void FaultPlan::mark_recovery_at(std::size_t index, Recovery rec) {
 void FaultPlan::reconcile(
     SimStats& stats,
     const std::function<bool(const FaultRecord&)>& still_visible) {
+  std::uint64_t fail_injected = 0;
+  std::uint64_t lost_dirty = 0;
   for (auto& r : records_) {
+    if (is_fail_stop(r.kind)) {
+      // Never silent: a fail-stop nobody classified is a failure.
+      if (r.fail_outcome == FailOutcome::Unresolved)
+        r.fail_outcome = FailOutcome::Failed;
+      ++fail_injected;
+      lost_dirty += r.lost_dirty;
+    }
     if (r.detected || r.tolerated) continue;
     if (still_visible && still_visible(r)) {
       r.detected = true;  // a verification read would observe the fault
@@ -315,6 +414,11 @@ void FaultPlan::reconcile(
   stats.ops().resil_retried = recovered(Recovery::Retried);
   stats.ops().resil_quarantined = recovered(Recovery::Quarantined);
   stats.ops().resil_unrecoverable = recovered(Recovery::Unrecoverable);
+  stats.ops().failover_injected = fail_injected;
+  stats.ops().failover_recovered = fail_outcome_count(FailOutcome::Recovered);
+  stats.ops().failover_degraded = fail_outcome_count(FailOutcome::Degraded);
+  stats.ops().failover_failed = fail_outcome_count(FailOutcome::Failed);
+  stats.ops().failover_lost_dirty_lines = lost_dirty;
 }
 
 std::uint64_t FaultPlan::detected() const {
@@ -336,13 +440,19 @@ std::uint64_t FaultPlan::recovered(Recovery rec) const {
 }
 
 std::string FaultPlan::summary() const {
-  constexpr FaultKind kKinds[] = {FaultKind::DropWb,   FaultKind::DropInv,
-                                  FaultKind::DelayWb,  FaultKind::DelayInv,
-                                  FaultKind::DelayNoc, FaultKind::CorruptLine,
-                                  FaultKind::ElideWb,  FaultKind::ElideInv};
+  constexpr FaultKind kKinds[] = {
+      FaultKind::DropWb,   FaultKind::DropInv,     FaultKind::DelayWb,
+      FaultKind::DelayInv, FaultKind::DelayNoc,    FaultKind::CorruptLine,
+      FaultKind::ElideWb,  FaultKind::ElideInv,    FaultKind::CoreFail,
+      FaultKind::ClusterFail};
   const bool any_recovery = [this] {
     for (const auto& r : records_)
       if (r.recovery != Recovery::None) return true;
+    return false;
+  }();
+  const bool any_fail = [this] {
+    for (const auto& r : records_)
+      if (is_fail_stop(r.kind)) return true;
     return false;
   }();
   std::vector<std::string> head = {"fault", "injected", "detected",
@@ -351,10 +461,16 @@ std::string FaultPlan::summary() const {
     head.insert(head.end(),
                 {"corrected", "retried", "quarantined", "unrecoverable"});
   }
+  if (any_fail) {
+    head.insert(head.end(),
+                {"recovered", "degraded", "failed", "lost dirty"});
+  }
   TextTable t(head);
   auto add = [&](const char* name, auto pred) {
     std::uint64_t inj = 0, det = 0, tol = 0;
     std::uint64_t rec[4] = {0, 0, 0, 0};
+    std::uint64_t fo[3] = {0, 0, 0};
+    std::uint64_t lost_dirty = 0;
     for (const auto& r : records_) {
       if (!pred(r)) continue;
       ++inj;
@@ -370,12 +486,23 @@ std::string FaultPlan::summary() const {
         case Recovery::Unrecoverable: ++rec[3]; break;
         case Recovery::None: break;
       }
+      switch (r.fail_outcome) {
+        case FailOutcome::Recovered: ++fo[0]; break;
+        case FailOutcome::Degraded: ++fo[1]; break;
+        case FailOutcome::Failed: ++fo[2]; break;
+        case FailOutcome::Unresolved: break;
+      }
+      lost_dirty += r.lost_dirty;
     }
     if (inj == 0) return false;
     std::vector<std::string> row = {name, std::to_string(inj),
                                     std::to_string(det), std::to_string(tol)};
     if (any_recovery)
       for (std::uint64_t v : rec) row.push_back(std::to_string(v));
+    if (any_fail) {
+      for (std::uint64_t v : fo) row.push_back(std::to_string(v));
+      row.push_back(std::to_string(lost_dirty));
+    }
     t.add_row(row);
     return true;
   };

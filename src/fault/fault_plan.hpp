@@ -37,6 +37,9 @@ enum class FaultKind : std::uint8_t {
   CorruptLine,  ///< one bit of a just-written cached word flips
   ElideWb,      ///< one annotation site's WB is skipped entirely (mutation)
   ElideInv,     ///< one annotation site's INV is skipped entirely (mutation)
+  CoreFail,     ///< fail-stop: one core halts at an exact cycle, its private
+                ///< dirty lines are lost (chaos injection)
+  ClusterFail,  ///< fail-stop of every core in one block at an exact cycle
 };
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -44,6 +47,11 @@ enum class FaultKind : std::uint8_t {
 [[nodiscard]] constexpr bool is_timing_only(FaultKind k) {
   return k == FaultKind::DelayWb || k == FaultKind::DelayInv ||
          k == FaultKind::DelayNoc;
+}
+
+/// True for the fail-stop (chaos) kinds.
+[[nodiscard]] constexpr bool is_fail_stop(FaultKind k) {
+  return k == FaultKind::CoreFail || k == FaultKind::ClusterFail;
 }
 
 /// One `--inject` clause: fire `kind` with probability `p` per opportunity,
@@ -64,12 +72,18 @@ struct FaultRule {
   /// ElideWb/ElideInv: the annotation site to mutate (required for those).
   AnnoSite site = AnnoSite::kNone;
   /// ElideWb/ElideInv: restrict the mutation to one core (-1 = all cores).
+  /// CoreFail: the victim core (required).
   CoreId core = kInvalidCore;
+  /// CoreFail/ClusterFail: the exact cycle the victim halts (required > 0).
+  Cycle fail_cycle = 0;
+  /// ClusterFail: the victim block/cluster index (required >= 0).
+  int cluster = -1;
 };
 
 /// Parses an `--inject` spec, e.g. "drop-wb:p=0.01:seed=7",
 /// "corrupt-line:p=0.001:seed=3:n=5", "delay-noc:p=0.05:retries=4",
-/// "delay-wb:p=0.1:cycles=500", "elide-wb:site=barrier-wb:core=1".
+/// "delay-wb:p=0.1:cycles=500", "elide-wb:site=barrier-wb:core=1",
+/// "core-fail:core=3:cycle=4000", "cluster-fail:cluster=0:cycle=4000".
 /// Throws CheckFailure naming the bad token.
 [[nodiscard]] FaultRule parse_fault_rule(const std::string& spec);
 
@@ -85,6 +99,18 @@ enum class Recovery : std::uint8_t {
 };
 [[nodiscard]] const char* to_string(Recovery r);
 
+/// How the serving layer disposed of a fail-stopped core. Every fail-stop
+/// record must end the run classified — reconcile() forces anything still
+/// Unresolved to Failed (never silent), so
+/// injected == recovered + degraded + failed always holds.
+enum class FailOutcome : std::uint8_t {
+  Unresolved,  ///< not yet classified (only valid mid-run)
+  Recovered,   ///< survivors absorbed the victim's work with no loss
+  Degraded,    ///< run completed but acknowledged state/work was lost
+  Failed,      ///< the workload could not compensate (or is chaos-unaware)
+};
+[[nodiscard]] const char* to_string(FailOutcome o);
+
 /// One injected fault, kept for reconciliation and reporting.
 struct FaultRecord {
   FaultKind kind;
@@ -95,6 +121,9 @@ struct FaultRecord {
   bool tolerated = false;  ///< provably converged (or timing-only)
   AnnoSite site = AnnoSite::kNone;  ///< elided annotation site (elide-* only)
   Recovery recovery = Recovery::None;  ///< resil disposition (if attached)
+  Cycle fail_cycle = 0;        ///< fail-stop kinds: the halt cycle
+  std::uint64_t lost_dirty = 0;  ///< fail-stop kinds: dirty lines discarded
+  FailOutcome fail_outcome = FailOutcome::Unresolved;  ///< fail-stop kinds
 };
 
 class FaultPlan {
@@ -134,6 +163,28 @@ class FaultPlan {
   /// every matching opportunity (p still applies, default 1.0).
   bool should_elide_wb(CoreId core, AnnoSite site);
   bool should_elide_inv(CoreId core, AnnoSite site);
+
+  // --- Fail-stop (chaos) injection ------------------------------------------
+  /// Armed rule configs in add order. The Machine scans these for the
+  /// fail-stop kinds to derive per-core halt cycles (a core-fail rule names
+  /// its victim; a cluster-fail rule fails every core of its block).
+  [[nodiscard]] std::vector<FaultRule> rule_configs() const;
+  /// Records one fail-stopped core at its halt cycle. Fail-stops are
+  /// observable by construction, so the record is born detected;
+  /// `lost_dirty_lines` counts the private dirty lines discarded with it.
+  /// Called by the Machine's kill hook, once per victim core.
+  void record_core_fail(FaultKind kind, CoreId core, Cycle cycle,
+                        std::uint64_t lost_dirty_lines);
+  /// Serving-layer disposition of one victim core's fail-stop record(s);
+  /// called from the workload's finish() hook. Unclassified records are
+  /// forced to Failed by reconcile() — never silent.
+  void classify_fail(CoreId core, FailOutcome outcome);
+  /// Fail-stop records by outcome (Unresolved counts records not yet
+  /// classified).
+  [[nodiscard]] std::uint64_t fail_outcome_count(FailOutcome outcome) const;
+  /// Adds late-discovered lost dirty lines (a cluster-fail L2 discard that
+  /// had to be deferred past the last kill) to records()[index].
+  void add_lost_dirty(std::size_t index, std::uint64_t lines);
 
   // --- Detection ------------------------------------------------------------
   /// The staleness monitor observed a stale/corrupt read of `line`; marks

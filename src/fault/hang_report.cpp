@@ -62,6 +62,12 @@ std::string HangReport::render() const {
        << " cycles (core clock reached " << at_cycle
        << "); possible livelock\n";
   }
+  if (!victims.empty()) {
+    os << "injected fail-stop victims:";
+    for (const Victim& v : victims)
+      os << " core " << v.core << " (halted at cycle " << v.at << ")";
+    os << "\n";
+  }
 
   TextTable t({"core", "clock", "state", "blocked on", "wbuf", "last events"});
   for (const CoreDump& c : cores) {
@@ -95,6 +101,11 @@ std::string HangReport::render() const {
       os << "core " << cycle[i];
     }
     os << "\n";
+  } else if (!victims.empty()) {
+    os << "diagnosis: the blocked cores are waiting on victims of injected "
+          "failure, not on each other — this hang is the expected shadow of "
+          "the armed fail-stop rules on a chaos-unaware workload, not a "
+          "deadlock cycle\n";
   } else if (kind == Kind::Deadlock) {
     os << "no wait-for cycle among locks/barriers: look for a flag that is "
           "never set or a barrier participant that exited early\n";

@@ -39,11 +39,21 @@ struct HangReport {
     std::string why;  ///< e.g. "lock 3 held by core 1"
   };
 
+  /// A core halted by an injected fail-stop rule (core-fail/cluster-fail).
+  /// A hang whose blocked cores wait on victims is the expected shadow of
+  /// the fault plan — a chaos-unaware workload parked on a dead peer — and
+  /// the report says so instead of hunting for a deadlock cycle.
+  struct Victim {
+    CoreId core = kInvalidCore;
+    Cycle at = 0;  ///< the cycle the fail-stop rule halted it
+  };
+
   Kind kind = Kind::Deadlock;
   Cycle at_cycle = 0;       ///< the most advanced core clock at detection
   Cycle max_cycles = 0;     ///< watchdog limit (Watchdog reports only)
   std::vector<CoreDump> cores;
   std::vector<Edge> edges;
+  std::vector<Victim> victims;  ///< injected fail-stop victims, core order
   /// A wait-for cycle if one exists: c0 -> c1 -> ... -> c0 (c0 repeated).
   std::vector<CoreId> cycle;
 

@@ -88,8 +88,84 @@ Machine::Flag Machine::make_flag(std::uint64_t initial) {
   return Flag{sync_.declare_flag(next_sync_home(), initial)};
 }
 
+void Machine::arm_fail_stop() {
+  std::vector<Cycle> cycles(static_cast<std::size_t>(mc_.total_cores()), 0);
+  bool any = false;
+  for (const FaultRule& r : fault_plan_.rule_configs()) {
+    if (!is_fail_stop(r.kind)) continue;
+    any = true;
+    auto arm = [&](CoreId victim) {
+      Cycle& at = cycles[static_cast<std::size_t>(victim)];
+      at = at == 0 ? r.fail_cycle : std::min(at, r.fail_cycle);
+    };
+    if (r.kind == FaultKind::CoreFail) {
+      HIC_CHECK_MSG(r.core < mc_.total_cores(),
+                    "core-fail victim " << r.core
+                                        << " out of range (machine has "
+                                        << mc_.total_cores() << " cores)");
+      arm(r.core);
+    } else {
+      HIC_CHECK_MSG(r.cluster < mc_.blocks,
+                    "cluster-fail victim " << r.cluster
+                                           << " out of range (machine has "
+                                           << mc_.blocks << " blocks)");
+      const CoreId lo = r.cluster * mc_.cores_per_block;
+      for (CoreId c = lo; c < lo + mc_.cores_per_block; ++c) arm(c);
+    }
+  }
+  if (!any) return;
+  l2_discarded_.assign(static_cast<std::size_t>(mc_.blocks), false);
+  l2_cluster_armed_.assign(static_cast<std::size_t>(mc_.blocks), false);
+  l2_pending_.assign(static_cast<std::size_t>(mc_.blocks), 0);
+  for (const FaultRule& r : fault_plan_.rule_configs())
+    if (r.kind == FaultKind::ClusterFail)
+      l2_cluster_armed_[static_cast<std::size_t>(r.cluster)] = true;
+  for (CoreId c = 0; c < mc_.total_cores(); ++c)
+    if (cycles[static_cast<std::size_t>(c)] != 0)
+      ++l2_pending_[static_cast<std::size_t>(mc_.block_of(c))];
+  engine_.set_fail_cycles(std::move(cycles));
+  engine_.set_fail_callback(
+      [this](CoreId core, Cycle cycle) { on_core_failed(core, cycle); });
+}
+
+void Machine::on_core_failed(CoreId core, Cycle cycle) {
+  // Attribute the kill to the rule that armed this core's (earliest) halt
+  // cycle; a tie between a core-fail and a cluster-fail rule goes to the
+  // first in add order.
+  FaultKind kind = FaultKind::CoreFail;
+  Cycle best = 0;
+  for (const FaultRule& r : fault_plan_.rule_configs()) {
+    const bool covers =
+        (r.kind == FaultKind::CoreFail && r.core == core) ||
+        (r.kind == FaultKind::ClusterFail && r.cluster == mc_.block_of(core));
+    if (!covers) continue;
+    if (best == 0 || r.fail_cycle < best) {
+      best = r.fail_cycle;
+      kind = r.kind;
+    }
+  }
+  std::uint64_t lost = 0;
+  // HCC baseline: the hardware protocol owns the dirty lines, so a victim's
+  // private state is not lost (lost_dirty stays 0); only the incoherent
+  // hierarchy physically drops data with the core.
+  if (IncoherentHierarchy* inc = incoherent()) {
+    lost = inc->discard_core_l1(core);
+    // The shared L2 is discarded only with the block's LAST armed victim:
+    // until every victim is dead, cores logically before the fail cycle are
+    // still writing back, and those writes belong to the pre-failure L2.
+    const auto block = static_cast<std::size_t>(mc_.block_of(core));
+    if (--l2_pending_[block] == 0 && l2_cluster_armed_[block] &&
+        !l2_discarded_[block]) {
+      l2_discarded_[block] = true;
+      lost += inc->discard_block_l2(mc_.block_of(core));
+    }
+  }
+  fault_plan_.record_core_fail(kind, core, cycle, lost);
+}
+
 void Machine::run(int nthreads, const std::function<void(Thread&)>& body) {
   HIC_CHECK(nthreads > 0 && nthreads <= mc_.total_cores());
+  arm_fail_stop();
   for (ThreadId t = 0; t < nthreads; ++t)
     hier_->map_thread(t, static_cast<CoreId>(t));
 
@@ -103,7 +179,32 @@ void Machine::run(int nthreads, const std::function<void(Thread&)>& body) {
   }
   engine_.run(std::move(bodies));
 
+  // A cluster-armed block can finish the run with its L2 discard still
+  // deferred when some armed victim completed its body before the fail
+  // cycle (it was never killed, so l2_pending_ never drained). Every core
+  // has stopped by now, so this flush point is logically after the failure;
+  // the loss is attributed to the block's newest victim record. A block
+  // with no victim record at all never saw its rule fire — leave it alone.
+  if (IncoherentHierarchy* inc = incoherent()) {
+    for (std::size_t b = 0; b < l2_cluster_armed_.size(); ++b) {
+      if (!l2_cluster_armed_[b] || l2_discarded_[b]) continue;
+      const auto& recs = fault_plan_.records();
+      std::size_t last = recs.size();
+      for (std::size_t i = 0; i < recs.size(); ++i)
+        if (is_fail_stop(recs[i].kind) &&
+            static_cast<std::size_t>(mc_.block_of(recs[i].core)) == b)
+          last = i;
+      if (last == recs.size()) continue;
+      l2_discarded_[b] = true;
+      fault_plan_.add_lost_dirty(
+          last, inc->discard_block_l2(static_cast<int>(b)));
+    }
+  }
+
   if (resil_ != nullptr) resil_->flush(stats_);
+  // Chaos-aware workloads classify each fail-stop victim's outcome from
+  // host-side accounting before reconcile rules on the records.
+  if (pre_reconcile_) pre_reconcile_();
   if (!fault_plan_.empty()) {
     // Classify every injected fault that was not already caught as a stale
     // read: still visible somewhere in the hierarchy -> detected; repaired

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "fault/fault_plan.hpp"
 #include "mem/global_memory.hpp"
@@ -67,6 +68,23 @@ class Machine {
   [[nodiscard]] FaultPlan& fault_plan() { return fault_plan_; }
   void add_fault_rule(const FaultRule& rule) { fault_plan_.add_rule(rule); }
 
+  /// The armed fail-stop halt cycle of `core` (0 = none). This is the
+  /// serving layer's failure detector: deterministic static config that
+  /// models lease expiry with zero hidden state (`fail_cycle_of(c) != 0 &&
+  /// now >= fail_cycle_of(c)` means the peer is dead). Valid once run() has
+  /// armed the engine; before that it returns 0.
+  [[nodiscard]] Cycle fail_cycle_of(CoreId core) const {
+    return engine_.fail_cycle_of(core);
+  }
+
+  /// Hook run after the engine finishes but before fault reconciliation.
+  /// Chaos-aware workloads classify each victim's FailOutcome here (from
+  /// host-side accounting); reconcile forces anything unclassified to
+  /// Failed, never silent.
+  void set_pre_reconcile(std::function<void()> hook) {
+    pre_reconcile_ = std::move(hook);
+  }
+
   /// The incoherent hierarchy, or nullptr under HCC.
   [[nodiscard]] IncoherentHierarchy* incoherent();
 
@@ -106,6 +124,12 @@ class Machine {
 
  private:
   [[nodiscard]] NodeId next_sync_home();
+  /// Scans the fault plan for core-fail / cluster-fail rules and arms the
+  /// engine's per-core halt cycles + kill callback. Called by run().
+  void arm_fail_stop();
+  /// Kill callback (runs on the victim's fiber): discards the victim's
+  /// dirty lines and records the fault.
+  void on_core_failed(CoreId core, Cycle cycle);
 
   MachineConfig mc_;
   Config cfg_;
@@ -117,6 +141,16 @@ class Machine {
   SyncController sync_;
   Engine engine_;
   int sync_homes_issued_ = 0;
+  std::function<void()> pre_reconcile_;
+  /// Blocks whose L2 was already discarded by a cluster-fail kill. The
+  /// discard is deferred to the block's LAST armed victim: the engine kills
+  /// victims in wall order, so an eager discard at the first kill would drop
+  /// state that cores still executing at sim cycles BEFORE the fail cycle
+  /// write back afterwards — a logically-pre-failure put would then land in
+  /// a post-failure L2 and read back as a state that never existed.
+  std::vector<bool> l2_discarded_;
+  std::vector<bool> l2_cluster_armed_;  ///< block has a cluster-fail rule
+  std::vector<int> l2_pending_;  ///< armed victims of the block not yet killed
 };
 
 /// Reads results through the hierarchy after a run, the way a verification

@@ -167,6 +167,28 @@ void Thread::release_owned(Machine::Lock l, AddrRange region) {
   svc_->unlock(l.id);
 }
 
+bool Thread::try_acquire_owned(Machine::Lock l, AddrRange region) {
+  if (!svc_->try_lock(l.id)) return false;
+  ++m_->stats().ops().anno_critical;
+  // Same ranged INV as acquire_owned: the previous owner may have run on
+  // any core, so the private copy of the transferred region is suspect.
+  if (!coherent_ && !region.empty() && !elide_inv(AnnoSite::KvAcquireInv))
+    svc_->inv_range(region, inv_level_);
+  return true;
+}
+
+bool Thread::flag_try_wait_ranged(Machine::Flag f, std::uint64_t expect,
+                                  std::span<const InvDirective> consumed) {
+  if (!svc_->flag_try_wait(f.id, expect)) return false;
+  ++m_->stats().ops().anno_flag;
+  if (!coherent_ && !consumed.empty() &&
+      !elide_inv(AnnoSite::PipeConsumeInv)) {
+    for (const InvDirective& d : consumed)
+      if (!d.range.empty()) svc_->inv_range(d.range, inv_level_);
+  }
+  return true;
+}
+
 void Thread::flag_set_ranged(Machine::Flag f, std::uint64_t value,
                              std::span<const WbDirective> produced) {
   ++m_->stats().ops().anno_flag;

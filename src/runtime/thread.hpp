@@ -98,6 +98,29 @@ class Thread {
   /// WB/INV at the transfer point (not bulk flushes) carries correctness.
   void acquire_owned(Machine::Lock l, AddrRange region);
   void release_owned(Machine::Lock l, AddrRange region);
+  /// Non-blocking acquire_owned: true = the lock was free and ownership
+  /// (with the ranged INV) transferred; false = held elsewhere, nothing
+  /// queued, no annotation issued. The chaos-recovery paths use it so a
+  /// survivor probing a dead peer's shard never parks on a lock whose
+  /// holder will not return.
+  [[nodiscard]] bool try_acquire_owned(Machine::Lock l, AddrRange region);
+  /// Non-blocking flag_wait_ranged: true when `value >= expect` already
+  /// holds — the consumed INVs are applied exactly as flag_wait_ranged
+  /// would. False: no waiter registered, no annotation.
+  [[nodiscard]] bool flag_try_wait_ranged(Machine::Flag f,
+                                          std::uint64_t expect,
+                                          std::span<const InvDirective> consumed);
+  /// Polling read of a flag's value (no waiter, no happens-before edge).
+  [[nodiscard]] std::uint64_t flag_peek(Machine::Flag f) {
+    return svc_->flag_peek(f.id);
+  }
+  /// True once `peer` (a thread pinned to core `peer`) has reached its
+  /// injected fail-stop cycle: the serving layer's failure detector (static
+  /// lease expiry — deterministic, no hidden state).
+  [[nodiscard]] bool peer_failed(ThreadId peer) const {
+    const Cycle at = m_->fail_cycle_of(static_cast<CoreId>(peer));
+    return at != 0 && svc_->now() >= at;
+  }
   /// Flag handoff with compiler-substrate directives (pipeline stages): WB
   /// exactly the produced ranges before the set, INV exactly the consumed
   /// ranges after a successful wait. Empty directive lists make the op a

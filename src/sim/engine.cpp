@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
@@ -122,7 +123,17 @@ void Engine::run(std::vector<CoreBody> bodies) {
                 "--shard-threads is incompatible with the legacy scheduler "
                 "(sharding builds on the direct-handoff fiber engine)");
   const auto& cfg = hier_->config();
-  const bool sharded = !legacy_ && shard_threads_req_ > 0;
+  // Fail-stop injection pins the direct scheduler: the kill must land at the
+  // exact operation boundary in the global dispatch order, and armed fault
+  // plans force the sharded engine to serialize anyway. Loud, like the
+  // sharded serialize fallback.
+  if (shard_threads_req_ > 0 && fail_armed_) {
+    std::fprintf(stderr,
+                 "hicsim: fail-stop injection armed: ignoring --shard-threads "
+                 "%d (chaos runs use the direct scheduler)\n",
+                 shard_threads_req_);
+  }
+  const bool sharded = !legacy_ && shard_threads_req_ > 0 && !fail_armed_;
   ctxs_.clear();
   heap_.clear();
   abort_ = false;
@@ -149,6 +160,8 @@ void Engine::run(std::vector<CoreBody> bodies) {
     c.svc.eng_ = this;
     c.svc.id_ = c.id;
     c.wbuf.set_tracer(tracer_, c.id);
+    c.fail_at = fail_cycle_of(c.id) == 0 ? kNever : fail_cycle_of(c.id);
+    c.killed = false;
   }
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     CoreCtx& c = *ctxs_[i];
@@ -161,6 +174,8 @@ void Engine::run(std::vector<CoreBody> bodies) {
             c.body(c.svc);
           } catch (const AbortRun&) {
             // engine-initiated teardown
+          } catch (const CoreKilled&) {
+            // injected fail-stop: the victim halts, the run continues
           } catch (...) {
             // A failure inside a simulated core (e.g. a sync-misuse check)
             // must fail the run, not terminate the process. Abort the other
@@ -209,6 +224,10 @@ void Engine::run(std::vector<CoreBody> bodies) {
       }
       if (unfinished == 0) break;
       if (best == nullptr) {
+        // Global stall: blocked cores with a pending fail-stop will never be
+        // woken — revive them so they self-kill, then rescan (the legacy
+        // loop re-reads states, so no ready-queue surgery is needed).
+        if (revive_fail_victims()) continue;
         deadlock = true;
         break;
       }
@@ -253,22 +272,32 @@ void Engine::run(std::vector<CoreBody> bodies) {
       main_stack_size_ = size;
     }
 #endif
-    CoreCtx* first = pick_next();
-    if (first != nullptr) {
-      running_ = first;
-      tsan_switch(first->tsan_fiber);
-      fiber_switch_start(&main_asan_fake_, first->stack.get(),
-                         kFiberStackBytes);
-      swapcontext(&main_ctx_, &first->uctx);
-      fiber_switch_finish(main_asan_fake_);
-      running_ = nullptr;
-    }
-    watchdog = watchdog_tripped_ && !abort_;
-    if (!abort_ && !watchdog) {
-      int unfinished = 0;
-      for (auto& up : ctxs_)
-        if (up->state != CoreCtx::St::Finished) ++unfinished;
-      deadlock = unfinished > 0;
+    for (;;) {
+      CoreCtx* first = pick_next();
+      if (first != nullptr) {
+        running_ = first;
+        tsan_switch(first->tsan_fiber);
+        fiber_switch_start(&main_asan_fake_, first->stack.get(),
+                           kFiberStackBytes);
+        swapcontext(&main_ctx_, &first->uctx);
+        fiber_switch_finish(main_asan_fake_);
+        running_ = nullptr;
+      }
+      watchdog = watchdog_tripped_ && !abort_;
+      if (!abort_ && !watchdog) {
+        int unfinished = 0;
+        for (auto& up : ctxs_)
+          if (up->state != CoreCtx::St::Finished) ++unfinished;
+        deadlock = unfinished > 0;
+      }
+      // A would-be deadlock with fail-stop victims still pending is not a
+      // hang: their wake will never come. Make them Ready so the next
+      // dispatch round lets each one self-kill at its fail cycle.
+      if (deadlock && revive_fail_victims()) {
+        deadlock = false;
+        continue;
+      }
+      break;
     }
   }
 
@@ -342,6 +371,10 @@ HangReport Engine::build_hang_report(HangReport::Kind kind, Cycle at) const {
       case CoreCtx::St::Blocked: d.state = "blocked"; break;
       case CoreCtx::St::Finished: d.state = "finished"; break;
     }
+    if (c.killed) {
+      d.state = "killed (injected fail-stop)";
+      r.victims.push_back({c.id, c.fail_at});
+    }
     if (c.state == CoreCtx::St::Blocked && c.blocked_on >= 0) {
       d.blocked_on = c.blocked_on;
       switch (sync_->kind_of(c.blocked_on)) {
@@ -375,9 +408,16 @@ HangReport Engine::build_hang_report(HangReport::Kind kind, Cycle at) const {
             << sync_->barrier_participants(id) << " arrived)";
         for (const auto& other : ctxs_) {
           const CoreCtx& o = *other;
-          if (o.id == c.id || o.state == CoreCtx::St::Finished) continue;
+          if (o.id == c.id) continue;
+          // A killed participant will never arrive: surface that edge with
+          // the victim diagnosis instead of hiding it as "finished".
+          if (o.state == CoreCtx::St::Finished && !o.killed) continue;
           if (o.state == CoreCtx::St::Blocked && o.blocked_on == id) continue;
-          r.edges.push_back({c.id, o.id, id, why.str()});
+          std::string w = why.str();
+          if (o.killed)
+            w += "; core " + std::to_string(o.id) +
+                 " is a victim of injected failure";
+          r.edges.push_back({c.id, o.id, id, std::move(w)});
         }
         break;
       }
@@ -461,6 +501,8 @@ void Engine::fiber_trampoline(unsigned hi, unsigned lo) {
       c->body(c->svc);
     } catch (const AbortRun&) {
       // engine-initiated teardown
+    } catch (const CoreKilled&) {
+      // injected fail-stop: the victim halts, the run continues
     } catch (...) {
       // A failure inside a simulated core (e.g. a sync-misuse check) must
       // fail the run, not terminate the process. Abort the other cores and
@@ -514,6 +556,10 @@ void Engine::yield(CoreCtx& c) {
     relinquish(c);
   }
   if (abort_) throw AbortRun{};
+  // A core woken past its fail cycle dies here, before the op that parked it
+  // resumes (e.g. before a woken lock() runs its acquire hooks) — the sync
+  // cleanup in fail_check then passes the just-granted lock on consistently.
+  fail_point(c);
 }
 
 void Engine::maybe_yield(CoreCtx& c) {
@@ -569,6 +615,41 @@ void Engine::wake(CoreCtx& waker, CoreId target, Cycle at) {
     running_->run_until = t.time + slack_;
 }
 
+void Engine::set_fail_cycles(std::vector<Cycle> cycles) {
+  fail_cycles_ = std::move(cycles);
+  fail_armed_ = std::any_of(fail_cycles_.begin(), fail_cycles_.end(),
+                            [](Cycle c) { return c != 0; });
+}
+
+void Engine::fail_check(CoreCtx& c) {
+  c.killed = true;
+  // The callback runs on the victim's fiber, before sync cleanup: the
+  // Machine records the fault and discards the victim's dirty lines while
+  // its caches are still untouched by anyone else.
+  if (fail_cb_) fail_cb_(c.id, c.fail_at);
+  // Held locks pass to their FIFO successors at the victim's death time,
+  // so the handoff is as deterministic as a normal unlock.
+  const auto granted = sync_->on_core_failed(c.id);
+  for (CoreId g : granted) wake(c, g, c.time);
+  throw CoreKilled{};
+}
+
+bool Engine::revive_fail_victims() {
+  bool any = false;
+  for (auto& up : ctxs_) {
+    CoreCtx& c = *up;
+    if (c.state != CoreCtx::St::Blocked || c.killed || c.fail_at == kNever)
+      continue;
+    // The wake it blocks on will never come; advance it to its fail cycle
+    // and let the next dispatch round run it straight into fail_check.
+    c.state = CoreCtx::St::Ready;
+    c.time = std::max(c.time, c.fail_at);
+    if (!legacy_) push_ready(c);
+    any = true;
+  }
+  return any;
+}
+
 void Engine::drain(CoreCtx& c) {
   const auto wait = c.wbuf.drain_wait(c.time);
   charge(c, StallKind::WbStall, wait.wb_wait);
@@ -617,6 +698,7 @@ SimStats& CoreServices::stats() { return eng_->stats(); }
 
 void CoreServices::compute(Cycle cycles) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Compute);
   eng_->charge(c, StallKind::Rest, cycles);
@@ -625,6 +707,7 @@ void CoreServices::compute(Cycle cycles) {
 
 AccessOutcome CoreServices::load(Addr a, std::uint32_t bytes, void* out) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
   c.ring.push(c.time, CoreEventKind::Load, static_cast<std::int64_t>(a));
@@ -642,6 +725,7 @@ AccessOutcome CoreServices::load(Addr a, std::uint32_t bytes, void* out) {
 AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
                                   const void* in) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   const Addr line = align_down(a, eng_->hierarchy().config().l1.line_bytes);
   c.ring.push(c.time, CoreEventKind::Store, static_cast<std::int64_t>(a));
@@ -660,6 +744,7 @@ AccessOutcome CoreServices::store(Addr a, std::uint32_t bytes,
 
 void CoreServices::wb_range(AddrRange r, Level to) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
@@ -675,6 +760,7 @@ void CoreServices::wb_range(AddrRange r, Level to) {
 
 void CoreServices::wb_all(Level to) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb);
   const Cycle start = c.time;
@@ -689,6 +775,7 @@ void CoreServices::wb_all(Level to) {
 
 void CoreServices::inv_range(AddrRange r, Level from) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
@@ -703,6 +790,7 @@ void CoreServices::inv_range(AddrRange r, Level from) {
 
 void CoreServices::inv_all(Level from) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv);
   const Cycle start = c.time;
@@ -717,6 +805,7 @@ void CoreServices::inv_all(Level from) {
 
 void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
@@ -731,6 +820,7 @@ void CoreServices::wb_cons(AddrRange r, ThreadId consumer) {
 
 void CoreServices::wb_cons_all(ThreadId consumer) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Wb);
   const Cycle start = c.time;
@@ -745,6 +835,7 @@ void CoreServices::wb_cons_all(ThreadId consumer) {
 
 void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv, static_cast<std::int64_t>(r.base));
   const Cycle start = c.time;
@@ -759,6 +850,7 @@ void CoreServices::inv_prod(AddrRange r, ThreadId producer) {
 
 void CoreServices::inv_prod_all(ThreadId producer) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Inv);
   const Cycle start = c.time;
@@ -773,6 +865,7 @@ void CoreServices::inv_prod_all(ThreadId producer) {
 
 void CoreServices::cs_enter() {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::CsEnter);
   const Cycle start = c.time;
@@ -787,6 +880,7 @@ void CoreServices::cs_enter() {
 
 void CoreServices::cs_exit() {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::CsExit);
   const Cycle start = c.time;
@@ -801,6 +895,7 @@ void CoreServices::cs_exit() {
 
 void CoreServices::drain_write_buffer() {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_gate(c);
   c.ring.push(c.time, CoreEventKind::Drain);
   const Cycle start = c.time;
@@ -812,6 +907,7 @@ void CoreServices::drain_write_buffer() {
 void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
                             Addr dst, std::uint64_t bytes) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   // A DMA mutates a remote block's L2 behind the owning shard's back; only
   // the serialized sharded mode (one quantum at a time) can replay it
   // exactly. No workload in the suite combines DMA with parallel sharding.
@@ -840,6 +936,7 @@ void CoreServices::dma_copy(BlockId src_block, Addr src, BlockId dst_block,
 
 void CoreServices::barrier(SyncId id) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_order_gate(c);
   // Overlapped verification: the inline hooks below mutate shared oracle
   // state, so the shadow must first catch up to this quantum's position in
@@ -874,6 +971,7 @@ void CoreServices::barrier(SyncId id) {
 
 void CoreServices::lock(SyncId id) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::Lock, id);
   const Cycle start = c.time;
@@ -896,6 +994,7 @@ void CoreServices::lock(SyncId id) {
 
 void CoreServices::unlock(SyncId id) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::Unlock, id);
   const Cycle start = c.time;
@@ -916,6 +1015,7 @@ void CoreServices::unlock(SyncId id) {
 
 void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::FlagWait, id);
   const Cycle start = c.time;
@@ -936,6 +1036,7 @@ void CoreServices::flag_wait(SyncId id, std::uint64_t expect) {
 
 void CoreServices::flag_set(SyncId id, std::uint64_t value) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::FlagSet, id);
   const Cycle start = c.time;
@@ -958,12 +1059,14 @@ void CoreServices::oracle_mark_racy() {
   // monitor's verdict, the oracle's race accounting) depends on cross-core
   // access order. Serializing them on global dispatch order makes that order
   // — and therefore every counter — identical to the single-thread engine.
+  eng_->fail_point(eng_->ctx(id_));
   eng_->shard_order_gate(eng_->ctx(id_));
   if (auto* o = eng_->oracle()) o->mark_racy_next(id_);
 }
 
 std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
   eng_->shard_order_gate(c);
   c.ring.push(c.time, CoreEventKind::FlagAdd, id);
   const Cycle start = c.time;
@@ -983,6 +1086,61 @@ std::uint64_t CoreServices::flag_add(SyncId id, std::uint64_t delta) {
   eng_->trace_sync(c, start, "flag_add", id);
   eng_->maybe_yield(c);
   return v;
+}
+
+bool CoreServices::try_lock(SyncId id) {
+  auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
+  eng_->shard_order_gate(c);
+  c.ring.push(c.time, CoreEventKind::Lock, id);
+  const Cycle start = c.time;
+  // Win or lose, the request is a full round trip to the controller.
+  eng_->charge(c, StallKind::LockStall, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  const bool got = eng_->sync().lock_try_acquire(id, id_);
+  if (got) {
+    eng_->oracle_sync_point(c);
+    // Same acquire edge as a blocking lock(): the previous holder's release
+    // already merged its clock into the lock.
+    if (auto* o = eng_->oracle()) o->on_lock_acquire(id_, id);
+  }
+  eng_->trace_sync(c, start, "try_lock", id);
+  eng_->maybe_yield(c);
+  return got;
+}
+
+std::uint64_t CoreServices::flag_peek(SyncId id) {
+  auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
+  eng_->shard_order_gate(c);
+  c.ring.push(c.time, CoreEventKind::FlagWait, id);
+  const Cycle start = c.time;
+  eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  // Polling read: no waiter registered, no happens-before edge established.
+  const std::uint64_t v = eng_->sync().flag_value(id);
+  eng_->trace_sync(c, start, "flag_peek", id);
+  eng_->maybe_yield(c);
+  return v;
+}
+
+bool CoreServices::flag_try_wait(SyncId id, std::uint64_t expect) {
+  auto& c = eng_->ctx(id_);
+  eng_->fail_point(c);
+  eng_->shard_order_gate(c);
+  c.ring.push(c.time, CoreEventKind::FlagWait, id);
+  const Cycle start = c.time;
+  eng_->charge(c, StallKind::BarrierStall, eng_->sync_latency(c, id));
+  eng_->count_sync_traffic();
+  const bool ok = eng_->sync().flag_value(id) >= expect;
+  if (ok) {
+    eng_->oracle_sync_point(c);
+    // The satisfied wait acquires exactly as flag_wait's success path does.
+    if (auto* o = eng_->oracle()) o->on_flag_wait(id_, id);
+  }
+  eng_->trace_sync(c, start, "flag_try_wait", id);
+  eng_->maybe_yield(c);
+  return ok;
 }
 
 }  // namespace hic

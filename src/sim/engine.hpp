@@ -56,6 +56,12 @@ class Tracer;
 /// Thrown inside workload bodies when the engine aborts the run (deadlock).
 struct AbortRun {};
 
+/// Thrown inside a workload body when its core reaches an injected fail-stop
+/// cycle (core-fail / cluster-fail). Unwinds the victim's fiber to Finished;
+/// unlike AbortRun it is NOT an error — the rest of the machine keeps
+/// running.
+struct CoreKilled {};
+
 /// The per-core interface workload code runs against.
 class CoreServices {
  public:
@@ -96,6 +102,18 @@ class CoreServices {
   void flag_wait(SyncId id, std::uint64_t expect);
   void flag_set(SyncId id, std::uint64_t value);
   std::uint64_t flag_add(SyncId id, std::uint64_t delta);
+
+  // --- Non-blocking synchronization (chaos/failover paths) ----------------
+  /// True: the lock was free and is now held. False: held elsewhere; the
+  /// core is NOT queued and pays only the round trip (retry with backoff).
+  [[nodiscard]] bool try_lock(SyncId id);
+  /// Reads a flag's value without blocking or registering a waiter. Charges
+  /// the round trip; establishes no happens-before edge (polling only).
+  [[nodiscard]] std::uint64_t flag_peek(SyncId id);
+  /// Non-blocking flag_wait: true when `value >= expect` already holds (the
+  /// acquire edge is established exactly as flag_wait's); false otherwise
+  /// (no waiter registered, no edge).
+  [[nodiscard]] bool flag_try_wait(SyncId id, std::uint64_t expect);
 
   /// Marks the next load/store of this core as a declared racy access
   /// (Thread::racy_load/racy_store), exempting it from the coherence
@@ -201,6 +219,27 @@ class Engine {
   void set_resil(ResilienceManager* r) { resil_ = r; }
   [[nodiscard]] ResilienceManager* resil() const { return resil_; }
 
+  /// Arms fail-stop (chaos) injection: core i halts at the first operation
+  /// boundary at or after cycles[i] (0 = never). The victim's fiber unwinds
+  /// via CoreKilled, its sync-controller state is cleaned up (held locks
+  /// pass to their FIFO successors, queue/waiter entries vanish), and the
+  /// fail callback below runs first on the victim's own fiber. Fail-armed
+  /// runs never shard: the direct scheduler is used regardless of
+  /// set_shard_threads (armed fault plans already serialize sharded runs).
+  void set_fail_cycles(std::vector<Cycle> cycles);
+  /// Invoked on the victim's fiber at kill time, before sync cleanup —
+  /// the Machine records the fault and discards the victim's dirty lines.
+  void set_fail_callback(std::function<void(CoreId, Cycle)> cb) {
+    fail_cb_ = std::move(cb);
+  }
+  /// The armed halt cycle of one core (0 = none). Deterministic static
+  /// config: serving layers use `fail_cycle_of(c) != 0 && now >= it` as
+  /// their failure detector (models lease expiry with zero hidden state).
+  [[nodiscard]] Cycle fail_cycle_of(CoreId core) const {
+    const auto i = static_cast<std::size_t>(core);
+    return i < fail_cycles_.size() ? fail_cycles_[i] : 0;
+  }
+
  private:
   friend class CoreServices;
 
@@ -226,6 +265,9 @@ class Engine {
     /// Sync variable the core is parked on while Blocked (-1 otherwise).
     /// Survives an abort teardown, so hang diagnosis can read it.
     SyncId blocked_on = -1;
+    /// Injected fail-stop cycle (max() = none) and whether the kill fired.
+    Cycle fail_at = std::numeric_limits<Cycle>::max();
+    bool killed = false;
     // --- Sharded mode only (engine_sharded.cpp) ---------------------------
     /// Owning shard (fixed block partition; the core's fiber only ever runs
     /// on that shard's worker thread).
@@ -284,6 +326,19 @@ class Engine {
   /// Marks a blocked core runnable no earlier than `at`. `waker` is the
   /// core performing the wake (the currently running one).
   void wake(CoreCtx& waker, CoreId target, Cycle at);
+
+  /// Hot-path fail-stop check at every op boundary: one predictable branch
+  /// when no fail rule is armed, so golden runs stay bit-identical.
+  void fail_point(CoreCtx& c) {
+    if (fail_armed_ && !c.killed && c.time >= c.fail_at) fail_check(c);
+  }
+  /// The kill itself: runs on the victim's fiber. Invokes the fail
+  /// callback, cleans up the sync controller (waking lock successors), and
+  /// throws CoreKilled to unwind the body. [[noreturn]] in effect.
+  void fail_check(CoreCtx& c);
+  /// At a global stall, revives blocked cores with a pending fail-stop so
+  /// they can self-kill (their wake will never come); true if any revived.
+  bool revive_fail_victims();
 
   // --- Sharded execution (engine_sharded.cpp) -----------------------------
   static constexpr std::uint64_t kIdleSeq =
@@ -419,6 +474,10 @@ class Engine {
   Tracer* tracer_ = nullptr;
   CoherenceOracle* oracle_ = nullptr;
   ResilienceManager* resil_ = nullptr;
+  /// Fail-stop config (set_fail_cycles): per-core halt cycles, 0 = never.
+  std::vector<Cycle> fail_cycles_;
+  bool fail_armed_ = false;
+  std::function<void(CoreId, Cycle)> fail_cb_;
   bool legacy_ = false;
   /// Atomic: sharded workers and their fibers poll it lock-free; plain
   /// loads/stores elsewhere keep the single-thread paths unchanged.

@@ -455,4 +455,105 @@ std::string render_survivability(const PointSet& ps, bool csv) {
   return out;
 }
 
+std::string render_chaos(const PointSet& ps, bool csv) {
+  std::string out =
+      "== Chaos serving: fail-stop injection and SLO accounting ==\n"
+      "(scenario = campaign group; latencies in cycles over completed "
+      "requests only)\n\n";
+
+  // Disposition: every injected failure must land in exactly one of
+  // recovered / degraded / failed — the "accounted" column is the campaign's
+  // never-silent invariant, checked per row.
+  TextTable disp({"app", "config", "scenario", "injected", "recovered",
+                  "degraded", "failed", "lost dirty", "lost puts",
+                  "reacquired", "accounted"});
+  std::uint64_t rows = 0, accounted_rows = 0;
+  std::uint64_t injected = 0, recovered = 0, degraded = 0, failed = 0;
+  for (const PointStats& p : ps.all()) {
+    const OpCounts& o = p.ops;
+    const bool accounted = o.failover_injected == o.failover_recovered +
+                                                      o.failover_degraded +
+                                                      o.failover_failed;
+    ++rows;
+    if (accounted) ++accounted_rows;
+    injected += o.failover_injected;
+    recovered += o.failover_recovered;
+    degraded += o.failover_degraded;
+    failed += o.failover_failed;
+    disp.add_row({p.app, p.config, p.machine,
+                  std::to_string(o.failover_injected),
+                  std::to_string(o.failover_recovered),
+                  std::to_string(o.failover_degraded),
+                  std::to_string(o.failover_failed),
+                  std::to_string(o.failover_lost_dirty_lines),
+                  std::to_string(o.failover_lost_puts),
+                  std::to_string(o.failover_reacquired),
+                  accounted ? "yes" : "NO"});
+  }
+  if (!csv) out += "-- failure disposition --\n";
+  out += table_block(disp, csv);
+
+  // SLO surface: the degraded columns compare each injected point against
+  // the healthy baseline point (failover_injected == 0) with the same
+  // (app, config); "-" when the campaign ran no baseline for the pair.
+  TextTable slo({"app", "config", "scenario", "completed", "timeouts",
+                 "retries", "hedged", "hedge wins", "failed", "slo viol",
+                 "p99", "req/Mcyc", "p99 vs healthy", "goodput vs healthy"});
+  for (const PointStats& p : ps.all()) {
+    const OpCounts& o = p.ops;
+    const double thr =
+        p.exec_cycles > 0 ? static_cast<double>(o.req_completed) * 1e6 /
+                                static_cast<double>(p.exec_cycles)
+                          : 0.0;
+    std::string p99_ratio = "-";
+    std::string thr_ratio = "-";
+    if (o.failover_injected > 0) {
+      const PointStats* base = nullptr;
+      for (const PointStats& q : ps.all())
+        if (q.app == p.app && q.config == p.config &&
+            q.ops.failover_injected == 0 && base == nullptr)
+          base = &q;
+      if (base != nullptr) {
+        if (base->ops.req_lat_p99 > 0)
+          p99_ratio = TextTable::num(
+              static_cast<double>(o.req_lat_p99) /
+              static_cast<double>(base->ops.req_lat_p99));
+        const double base_thr =
+            base->exec_cycles > 0
+                ? static_cast<double>(base->ops.req_completed) * 1e6 /
+                      static_cast<double>(base->exec_cycles)
+                : 0.0;
+        if (base_thr > 0) thr_ratio = TextTable::num(thr / base_thr);
+      }
+    }
+    slo.add_row({p.app, p.config, p.machine, std::to_string(o.req_completed),
+                 std::to_string(o.req_timeouts), std::to_string(o.req_retries),
+                 std::to_string(o.req_hedged),
+                 std::to_string(o.req_hedge_wins),
+                 std::to_string(o.req_failed),
+                 std::to_string(o.slo_violations),
+                 std::to_string(o.req_lat_p99), TextTable::num(thr),
+                 p99_ratio, thr_ratio});
+  }
+  if (!csv) out += "-- SLO surface --\n";
+  out += table_block(slo, csv);
+
+  if (!csv) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "accounting: %llu injected = %llu recovered + %llu degraded "
+                  "+ %llu failed — %s (%llu/%llu rows)\n",
+                  static_cast<unsigned long long>(injected),
+                  static_cast<unsigned long long>(recovered),
+                  static_cast<unsigned long long>(degraded),
+                  static_cast<unsigned long long>(failed),
+                  accounted_rows == rows ? "fully accounted"
+                                         : "UNACCOUNTED VICTIMS",
+                  static_cast<unsigned long long>(accounted_rows),
+                  static_cast<unsigned long long>(rows));
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace hic::agg

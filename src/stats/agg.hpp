@@ -114,4 +114,16 @@ class PointSet {
 /// sweep to plot injected faults vs surviving runs.
 [[nodiscard]] std::string render_survivability(const PointSet& ps, bool csv);
 
+/// Chaos-serving survivability (campaigns/chaos_serving.json): one row per
+/// point with the fail-stop disposition counters (failover_*) and the SLO
+/// surface under injection (timeouts, retries, hedges, slo_violations,
+/// completed-request p99 and goodput). The machine column is the scenario
+/// label (campaign group name). Rows whose point recorded no injection are
+/// the healthy baseline: degraded p99/goodput are reported relative to the
+/// baseline row with the same (app, config) when one exists. The accounting
+/// verdict checks injected == recovered + degraded + failed on every row —
+/// a failure means a victim slipped through classification, which the
+/// footer calls out loudly.
+[[nodiscard]] std::string render_chaos(const PointSet& ps, bool csv);
+
 }  // namespace hic::agg

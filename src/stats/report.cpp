@@ -122,6 +122,23 @@ constexpr std::array kFields = {
     ReportField{"ops", "req_lat_p99", op<&OpCounts::req_lat_p99>},
     ReportField{"ops", "req_lat_max", op<&OpCounts::req_lat_max>},
     ReportField{"ops", "req_qdepth_peak", op<&OpCounts::req_qdepth_peak>},
+    ReportField{"ops", "req_timeouts", op<&OpCounts::req_timeouts>},
+    ReportField{"ops", "req_retries", op<&OpCounts::req_retries>},
+    ReportField{"ops", "req_hedged", op<&OpCounts::req_hedged>},
+    ReportField{"ops", "req_hedge_wins", op<&OpCounts::req_hedge_wins>},
+    ReportField{"ops", "req_failed", op<&OpCounts::req_failed>},
+    ReportField{"ops", "slo_violations", op<&OpCounts::slo_violations>},
+    ReportField{"ops", "failover_injected", op<&OpCounts::failover_injected>},
+    ReportField{"ops", "failover_recovered",
+                op<&OpCounts::failover_recovered>},
+    ReportField{"ops", "failover_degraded", op<&OpCounts::failover_degraded>},
+    ReportField{"ops", "failover_failed", op<&OpCounts::failover_failed>},
+    ReportField{"ops", "failover_lost_dirty_lines",
+                op<&OpCounts::failover_lost_dirty_lines>},
+    ReportField{"ops", "failover_lost_puts",
+                op<&OpCounts::failover_lost_puts>},
+    ReportField{"ops", "failover_reacquired",
+                op<&OpCounts::failover_reacquired>},
 };
 }  // namespace
 
@@ -171,6 +188,23 @@ std::string summarize(const SimStats& stats) {
        << " remote), latency p50/p95/p99/max = " << o.req_lat_p50 << '/'
        << o.req_lat_p95 << '/' << o.req_lat_p99 << '/' << o.req_lat_max
        << " cycles, peak queue depth " << o.req_qdepth_peak << '\n';
+  }
+  if (o.req_timeouts + o.req_failed + o.req_retries + o.req_hedged +
+          o.slo_violations >
+      0) {
+    os << "request dispositions: " << o.req_timeouts << " timed out, "
+       << o.req_failed << " failed, " << o.req_retries << " retries, "
+       << o.req_hedged << " hedged (" << o.req_hedge_wins << " hedge wins), "
+       << o.slo_violations << " SLO violations\n";
+  }
+  if (o.failover_injected > 0) {
+    os << "failover: " << o.failover_injected << " fail-stopped core"
+       << (o.failover_injected == 1 ? "" : "s") << " -> "
+       << o.failover_recovered << " recovered, " << o.failover_degraded
+       << " degraded, " << o.failover_failed << " failed; lost "
+       << o.failover_lost_dirty_lines << " dirty lines, "
+       << o.failover_lost_puts << " un-acked puts; "
+       << o.failover_reacquired << " shard ranges re-acquired\n";
   }
   if (o.injected_faults > 0) {
     os << "injected faults: " << o.injected_faults << " ("

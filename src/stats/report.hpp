@@ -32,7 +32,13 @@ namespace hic {
 ///       req_remote, nearest-rank latency percentiles req_lat_p50/p95/p99/
 ///       max in cycles, and req_qdepth_peak) to the "ops" group — published
 ///       by the serving workload family (src/apps/serve), zero elsewhere.
-inline constexpr int kStatsSchemaVersion = 5;
+///   v6: added the chaos-serving surface (req_timeouts / req_retries /
+///       req_hedged / req_hedge_wins / req_failed / slo_violations) and the
+///       fail-stop failover counters (failover_injected / recovered /
+///       degraded / failed / lost_dirty_lines / lost_puts / reacquired) to
+///       the "ops" group — published under core-fail / cluster-fail
+///       injection, zero elsewhere.
+inline constexpr int kStatsSchemaVersion = 6;
 
 /// One scalar counter of the report: its JSON group ("stalls",
 /// "traffic_flits" or "ops"), its stable key, and how to read it.

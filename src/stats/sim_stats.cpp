@@ -63,6 +63,19 @@ constexpr std::array kOpFields = {
     OpField{"req_lat_p99", &OpCounts::req_lat_p99},
     OpField{"req_lat_max", &OpCounts::req_lat_max},
     OpField{"req_qdepth_peak", &OpCounts::req_qdepth_peak},
+    OpField{"req_timeouts", &OpCounts::req_timeouts},
+    OpField{"req_retries", &OpCounts::req_retries},
+    OpField{"req_hedged", &OpCounts::req_hedged},
+    OpField{"req_hedge_wins", &OpCounts::req_hedge_wins},
+    OpField{"req_failed", &OpCounts::req_failed},
+    OpField{"slo_violations", &OpCounts::slo_violations},
+    OpField{"failover_injected", &OpCounts::failover_injected},
+    OpField{"failover_recovered", &OpCounts::failover_recovered},
+    OpField{"failover_degraded", &OpCounts::failover_degraded},
+    OpField{"failover_failed", &OpCounts::failover_failed},
+    OpField{"failover_lost_dirty_lines", &OpCounts::failover_lost_dirty_lines},
+    OpField{"failover_lost_puts", &OpCounts::failover_lost_puts},
+    OpField{"failover_reacquired", &OpCounts::failover_reacquired},
 };
 }  // namespace
 

@@ -158,6 +158,27 @@ struct OpCounts {
   std::uint64_t req_lat_p99 = 0;
   std::uint64_t req_lat_max = 0;
   std::uint64_t req_qdepth_peak = 0; ///< peak arrived-but-unserved backlog
+  /// Chaos-serving surface (schema v6) — request dispositions under
+  /// fail-stop injection. Latency percentiles above cover *completed*
+  /// requests only; timed-out/failed requests are counted here and never
+  /// contribute sentinel latencies.
+  std::uint64_t req_timeouts = 0;    ///< abandoned at their deadline
+  std::uint64_t req_retries = 0;     ///< backoff re-attempts issued
+  std::uint64_t req_hedged = 0;      ///< hedged (duplicate) attempts fired
+  std::uint64_t req_hedge_wins = 0;  ///< hedge result used for the reply
+  std::uint64_t req_failed = 0;      ///< gave up (victim-owned, no recovery)
+  std::uint64_t slo_violations = 0;  ///< completed late or not at all
+  /// Fail-stop failover accounting (filled by FaultPlan::reconcile and the
+  /// serving workloads' finish() hooks). The invariant
+  /// failover_injected == failover_recovered + failover_degraded +
+  /// failover_failed holds on every run.
+  std::uint64_t failover_injected = 0;   ///< fail-stopped cores
+  std::uint64_t failover_recovered = 0;  ///< absorbed with no loss
+  std::uint64_t failover_degraded = 0;   ///< completed with counted loss
+  std::uint64_t failover_failed = 0;     ///< not compensated
+  std::uint64_t failover_lost_dirty_lines = 0;  ///< dirty lines discarded
+  std::uint64_t failover_lost_puts = 0;  ///< un-acked puts lost with victims
+  std::uint64_t failover_reacquired = 0; ///< shard ranges re-acquired
 };
 
 /// One OpCounts field with its stable JSON key. op_fields() is the writable

@@ -81,6 +81,15 @@ bool SyncController::lock_acquire(SyncId id, CoreId core) {
   return false;
 }
 
+bool SyncController::lock_try_acquire(SyncId id, CoreId core) {
+  auto& l = var(id, SyncKind::Lock).lock;
+  HIC_CHECK_MSG(l.holder != core, "core " << core
+                                          << " re-acquired lock " << id);
+  if (l.holder != kInvalidCore) return false;
+  l.holder = core;
+  return true;
+}
+
 std::optional<CoreId> SyncController::lock_release(SyncId id, CoreId core) {
   auto& l = var(id, SyncKind::Lock).lock;
   HIC_CHECK_MSG(l.holder == core,
@@ -166,6 +175,35 @@ int SyncController::barrier_arrived(SyncId id) const {
 
 int SyncController::barrier_participants(SyncId id) const {
   return var(id, SyncKind::Barrier).barrier.participants;
+}
+
+std::vector<CoreId> SyncController::on_core_failed(CoreId core) {
+  std::vector<CoreId> granted;
+  for (Var& v : vars_) {
+    switch (v.kind) {
+      case SyncKind::Lock: {
+        std::erase(v.lock.queue, core);
+        if (v.lock.holder == core) {
+          if (v.lock.queue.empty()) {
+            v.lock.holder = kInvalidCore;
+          } else {
+            v.lock.holder = v.lock.queue.front();
+            v.lock.queue.pop_front();
+            granted.push_back(v.lock.holder);
+          }
+        }
+        break;
+      }
+      case SyncKind::Flag:
+        std::erase_if(v.flag.waiting,
+                      [core](const auto& e) { return e.first == core; });
+        break;
+      case SyncKind::Barrier:
+        std::erase(v.barrier.waiting, core);
+        break;
+    }
+  }
+  return granted;
 }
 
 }  // namespace hic

@@ -52,6 +52,9 @@ class SyncController {
   // --- Lock -----------------------------------------------------------------
   /// True: the lock was free and `core` now holds it. False: queued (FIFO).
   [[nodiscard]] bool lock_acquire(SyncId id, CoreId core);
+  /// Non-blocking flavor: true = the lock was free and `core` now holds it;
+  /// false = held elsewhere and `core` is NOT queued (it may retry later).
+  [[nodiscard]] bool lock_try_acquire(SyncId id, CoreId core);
   /// Releases; returns the next holder if a core was queued.
   std::optional<CoreId> lock_release(SyncId id, CoreId core);
   [[nodiscard]] bool lock_held_by(SyncId id, CoreId core) const;
@@ -80,6 +83,14 @@ class SyncController {
       SyncId id) const;
   [[nodiscard]] int barrier_arrived(SyncId id) const;
   [[nodiscard]] int barrier_participants(SyncId id) const;
+
+  // --- Fail-stop (chaos) handling ------------------------------------------
+  /// A core fail-stopped: releases every lock it holds (FIFO successors are
+  /// returned so the engine can wake them), drops it from all lock queues
+  /// and flag waiter lists, and removes it from barrier waiting sets
+  /// (arrived counts are kept — the core arrived, then died). The victim
+  /// never runs again, so nothing is queued on its behalf afterwards.
+  std::vector<CoreId> on_core_failed(CoreId core);
 
  private:
   struct BarrierState {

@@ -1,0 +1,231 @@
+// Chaos-serving suite: deterministic fail-stop injection on the serving
+// family, end to end. Covers the ChaosKnobs surface (set dispatch, the
+// seed-derived jittered backoff), the completed-only latency percentile
+// contract (timeouts and failures never push samples), twice-run
+// bit-identity of injected runs on all three serving workloads, the
+// accounting invariant injected == recovered + degraded + failed for both
+// core-fail and cluster-fail, the static-lease failure detector
+// (Machine::fail_cycle_of), and the closed-loop issue mode.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/serve/serve.hpp"
+#include "apps/workload.hpp"
+#include "fault/fault_plan.hpp"
+#include "runtime/machine.hpp"
+#include "stats/report.hpp"
+#include "stats/sim_stats.hpp"
+
+namespace hic {
+namespace {
+
+// --- ChaosKnobs --------------------------------------------------------------
+
+TEST(ChaosKnobs, SetDispatchesTheChaosKeysAndRejectsTheRest) {
+  serve::ChaosKnobs k;
+  EXPECT_FALSE(k.armed());
+  EXPECT_TRUE(k.set("deadline", 6000));
+  EXPECT_TRUE(k.set("retries", 3));
+  EXPECT_TRUE(k.set("backoff", 32));
+  EXPECT_TRUE(k.set("hedge", 1));
+  EXPECT_TRUE(k.set("closed", 1));
+  EXPECT_TRUE(k.armed());
+  EXPECT_EQ(k.deadline, 6000u);
+  EXPECT_EQ(k.retries, 3);
+  EXPECT_EQ(k.backoff, 32u);
+  EXPECT_TRUE(k.hedge);
+  EXPECT_TRUE(k.closed);
+  // Out-of-range and unknown keys are rejected without mutating anything.
+  EXPECT_FALSE(k.set("deadline", -1));
+  EXPECT_FALSE(k.set("hedge", 2));
+  EXPECT_FALSE(k.set("closed", -1));
+  EXPECT_FALSE(k.set("bogus", 1));
+  EXPECT_EQ(k.deadline, 6000u);
+}
+
+TEST(ChaosKnobs, BackoffDelayIsDeterministicJitteredExponential) {
+  serve::ChaosKnobs k;
+  ASSERT_TRUE(k.set("backoff", 32));
+  for (std::int64_t attempt = 0; attempt < 10; ++attempt) {
+    const Cycle d = k.backoff_delay(0x5e12e, 3, attempt);
+    EXPECT_EQ(d, k.backoff_delay(0x5e12e, 3, attempt)) << attempt;
+    // base << min(attempt, 6) plus a jitter in [0, base).
+    const Cycle floor = 32u << (attempt < 6 ? attempt : 6);
+    EXPECT_GE(d, floor) << attempt;
+    EXPECT_LT(d, floor + 32) << attempt;
+  }
+  // Distinct threads desynchronize: identical delays on every attempt would
+  // mean the (seed, tid, attempt) mix collapsed.
+  bool any_differs = false;
+  for (std::int64_t attempt = 0; attempt < 10; ++attempt)
+    any_differs = any_differs || k.backoff_delay(0x5e12e, 3, attempt) !=
+                                     k.backoff_delay(0x5e12e, 4, attempt);
+  EXPECT_TRUE(any_differs);
+  // backoff=0 falls back to the default base of 16.
+  serve::ChaosKnobs d;
+  EXPECT_GE(d.backoff_delay(1, 0, 0), 16u);
+  EXPECT_LT(d.backoff_delay(1, 0, 0), 32u);
+}
+
+// --- RequestStats under chaos ------------------------------------------------
+
+TEST(ChaosRequestStats, TimeoutsAndFailuresStayOutOfThePercentiles) {
+  serve::RequestStats rs;
+  rs.reset(2);
+  serve::ChaosKnobs k;
+  ASSERT_TRUE(k.set("deadline", 100));
+  serve::RequestStats::complete(rs.lane(0), 50, k);
+  serve::RequestStats::complete(rs.lane(0), 150, k);  // late -> SLO violation
+  rs.lane(1).timeouts = 3;  // abandoned requests push no latency sample
+  rs.lane(1).failed = 2;
+  rs.lane(1).slo_violations = 5;
+  rs.lane(1).retries = 4;
+  rs.lane(1).hedged = 2;
+  rs.lane(1).hedge_wins = 1;
+  rs.lane(1).lost_puts = 1;
+  rs.lane(1).reacquired = 6;
+  SimStats stats(1);
+  rs.publish(stats);
+  const OpCounts& o = stats.ops();
+  // Percentiles cover the two completed requests only; no timeout sentinel
+  // value inflates the tail.
+  EXPECT_EQ(o.req_completed, 2u);
+  EXPECT_EQ(o.req_lat_p50, 50u);
+  EXPECT_EQ(o.req_lat_max, 150u);
+  EXPECT_EQ(o.req_timeouts, 3u);
+  EXPECT_EQ(o.req_failed, 2u);
+  EXPECT_EQ(o.slo_violations, 6u);  // the late completion plus lane 1's five
+  EXPECT_EQ(o.req_retries, 4u);
+  EXPECT_EQ(o.req_hedged, 2u);
+  EXPECT_EQ(o.req_hedge_wins, 1u);
+  EXPECT_EQ(o.failover_lost_puts, 1u);
+  EXPECT_EQ(o.failover_reacquired, 6u);
+}
+
+// --- Serving workloads under fail-stop injection -----------------------------
+
+struct ChaosRun {
+  Cycle cycles = 0;
+  std::string stats_json;
+  bool verified = false;
+  OpCounts ops;
+  Cycle victim_fail_cycle = 0;  ///< fail_cycle_of(3) after the run
+  Cycle bystander_fail_cycle = 0;  ///< fail_cycle_of(0) after the run
+};
+
+const std::vector<std::pair<std::string, std::int64_t>> kFullChaosKnobs = {
+    {"closed", 1}, {"deadline", 6000}, {"retries", 3},
+    {"backoff", 32}, {"hedge", 1}};
+
+ChaosRun run_chaos(const std::string& app,
+                   const std::vector<std::string>& rules,
+                   const std::vector<std::pair<std::string, std::int64_t>>&
+                       knobs = kFullChaosKnobs) {
+  auto w = make_workload(app);
+  for (const auto& [key, value] : knobs)
+    EXPECT_TRUE(w->set_knob(key, value)) << app << " " << key;
+  MachineConfig mc = MachineConfig::intra_block();
+  mc.staleness_monitor = false;
+  mc.validate();
+  Machine m(mc, Config::BaseMebIeb);
+  for (const std::string& r : rules)
+    m.add_fault_rule(parse_fault_rule(r));
+  ChaosRun res;
+  res.cycles = run_workload(*w, m, mc.total_cores());
+  res.stats_json = to_json(m.stats());
+  res.verified = w->verify(m).ok;
+  res.ops = m.stats().ops();
+  res.victim_fail_cycle = m.fail_cycle_of(3);
+  res.bystander_fail_cycle = m.fail_cycle_of(0);
+  EXPECT_TRUE(res.verified) << app;
+  return res;
+}
+
+class ChaosServingTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ChaosServingTest, InjectedRunIsBitIdenticalTwice) {
+  const std::vector<std::string> rule = {"core-fail:core=3:cycle=8000"};
+  const ChaosRun a = run_chaos(GetParam(), rule);
+  const ChaosRun b = run_chaos(GetParam(), rule);
+  EXPECT_EQ(a.cycles, b.cycles) << GetParam();
+  EXPECT_EQ(a.stats_json, b.stats_json) << GetParam();
+}
+
+TEST_P(ChaosServingTest, CoreFailIsFullyAccounted) {
+  const ChaosRun r = run_chaos(GetParam(), {"core-fail:core=3:cycle=8000"});
+  EXPECT_EQ(r.ops.failover_injected, 1u) << GetParam();
+  EXPECT_EQ(r.ops.failover_injected,
+            r.ops.failover_recovered + r.ops.failover_degraded +
+                r.ops.failover_failed)
+      << GetParam();
+  // Nothing slipped past classification into the "never resolved" bucket.
+  EXPECT_EQ(r.ops.failover_failed, 0u) << GetParam();
+  // The static lease the survivors consulted is exactly the armed rule.
+  EXPECT_EQ(r.victim_fail_cycle, 8000u) << GetParam();
+  EXPECT_EQ(r.bystander_fail_cycle, 0u) << GetParam();
+  // The survivors still served: the run completes with real latency samples.
+  EXPECT_GT(r.ops.req_completed, 0u) << GetParam();
+}
+
+TEST_P(ChaosServingTest, ClusterFailKillsEveryCoreAndStaysAccounted) {
+  // intra_block is a single 16-core block, so cluster 0 takes down the whole
+  // machine mid-run; classification and verification are host-side and must
+  // still account for every victim against the surviving (L3-era) state.
+  const ChaosRun r = run_chaos(GetParam(), {"cluster-fail:cluster=0:cycle=8000"});
+  EXPECT_EQ(r.ops.failover_injected, 16u) << GetParam();
+  EXPECT_EQ(r.ops.failover_injected,
+            r.ops.failover_recovered + r.ops.failover_degraded +
+                r.ops.failover_failed)
+      << GetParam();
+  const ChaosRun again =
+      run_chaos(GetParam(), {"cluster-fail:cluster=0:cycle=8000"});
+  EXPECT_EQ(r.stats_json, again.stats_json) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ServingFamily, ChaosServingTest,
+                         ::testing::ValuesIn(serving_workload_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// --- Closed-loop issue mode --------------------------------------------------
+
+TEST(ChaosClosedLoop, ClosedKnobChangesTheScheduleDeterministically) {
+  const std::vector<std::pair<std::string, std::int64_t>> closed = {
+      {"closed", 1}};
+  const ChaosRun a = run_chaos("kv-store", {}, closed);
+  const ChaosRun b = run_chaos("kv-store", {}, closed);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  // Closed-loop issue (next request after the previous reply) really is a
+  // different schedule from open-loop arrival times.
+  const ChaosRun open = run_chaos("kv-store", {}, {});
+  EXPECT_NE(a.cycles, open.cycles);
+  // Healthy closed-loop run: every request completes, nothing fails over.
+  EXPECT_EQ(a.ops.failover_injected, 0u);
+  EXPECT_EQ(a.ops.req_failed, 0u);
+  EXPECT_GT(a.ops.req_completed, 0u);
+}
+
+// --- Workload knob surface ---------------------------------------------------
+
+TEST(ChaosKnobSurface, ServingWorkloadsAcceptTheChaosKeys) {
+  for (const std::string& app : serving_workload_names()) {
+    auto w = make_workload(app);
+    for (const auto& [key, value] : kFullChaosKnobs)
+      EXPECT_TRUE(w->set_knob(key, value)) << app << " " << key;
+    EXPECT_FALSE(w->set_knob("deadline", -1)) << app;
+  }
+  // Non-serving workloads take no chaos knobs.
+  EXPECT_FALSE(make_workload("fft")->set_knob("deadline", 6000));
+  EXPECT_FALSE(make_workload("fft")->set_knob("closed", 1));
+}
+
+}  // namespace
+}  // namespace hic

@@ -45,7 +45,7 @@ import sys
 # also a warning (the host-timing fields this script reads — cycles,
 # median/min seconds — have been stable across versions), but a *newer*
 # version than this script knows is an error.
-EXPECTED_SCHEMA_VERSION = 5
+EXPECTED_SCHEMA_VERSION = 6
 
 
 def check_schema(path: str, data: dict) -> None:

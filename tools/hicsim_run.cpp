@@ -29,6 +29,10 @@
 //      value check that would have judged it
 //   7  recovery was enabled (--recover) but gave up on some transfer: a
 //      reliable WB/INV exhausted its retransmit cap (Recovery::Unrecoverable)
+//   8  the SLO budget was exhausted: --slo-budget N was given and the run
+//      recorded more than N slo_violations (chaos campaigns assert on this;
+//      outranked by 3/5/6/7, which name more fundamental damage)
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,7 +115,7 @@ int usage() {
                "[--no-functional]\n"
                "                  [--inject <kind:k=v:...>]... "
                "[--recover] [--resil <k=v:...>]\n"
-               "                  [--max-cycles N]\n"
+               "                  [--max-cycles N] [--slo-budget N]\n"
                "                  [--time [--repeat N]] [--legacy-scheduler] "
                "[--no-stale-monitor]\n"
                "                  [--shard-threads N]\n"
@@ -129,6 +133,10 @@ int usage() {
                "--serve-set:  serving-workload knob (key=value, repeatable; "
                "requests, gap,\n"
                "              work, and per-app keys — unknown keys error)\n"
+               "--slo-budget: exit 8 when the run records more than N "
+               "slo_violations\n"
+               "              (serving workloads with a deadline knob; "
+               "default: no budget)\n"
                "--list-workloads: one line per registered workload with its "
                "Table I patterns\n"
                "--shard-threads: run the sharded engine with N host worker "
@@ -154,7 +162,8 @@ int usage() {
                "exit codes:   0 ok, 1 error, 2 usage, 3 verify failed, "
                "4 hang, 5 oracle violation,\n"
                "              6 unrecovered fault, 7 recovery gave up "
-               "(retransmit cap)\n");
+               "(retransmit cap),\n"
+               "              8 SLO budget exhausted (--slo-budget)\n");
   return kExitUsage;
 }
 
@@ -222,6 +231,7 @@ int main(int argc, char** argv) {
   int meb = 0, ieb = 0;
   long slack = 0;
   long max_cycles = 0;
+  long slo_budget = -1;  // -1 = no budget armed
   bool oracle_on = false;
   std::string verify_out;
   std::string demo;
@@ -355,6 +365,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       max_cycles = std::atol(v);
+    } else if (arg == "--slo-budget") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      slo_budget = std::atol(v);
+      if (slo_budget < 0) {
+        std::fprintf(stderr, "--slo-budget must be >= 0 (got '%s')\n", v);
+        return kExitUsage;
+      }
     } else if (arg == "--demo") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -497,6 +515,9 @@ int main(int argc, char** argv) {
                     hp.cycles_per_second);
       }
       int trc = kExitOk;
+      if (slo_budget >= 0 && last->stats().ops().slo_violations >
+                                 static_cast<std::uint64_t>(slo_budget))
+        trc = kExitSloExhausted;
       if (verify) {
         const WorkloadResult r = w->verify(*last);
         if (!json)
@@ -562,6 +583,13 @@ int main(int argc, char** argv) {
         std::printf("\n%s", m.fault_plan().summary().c_str());
     }
     int rc = kExitOk;
+    // The SLO budget is judged first so the more fundamental conditions below
+    // (wrong values, oracle violations, unrecovered damage) overwrite it when
+    // both apply: a run that missed its SLO *and* corrupted data should exit
+    // with the corruption code, not the latency code.
+    if (slo_budget >= 0 && m.stats().ops().slo_violations >
+                               static_cast<std::uint64_t>(slo_budget))
+      rc = kExitSloExhausted;
     if (verify) {
       // Note the order: the workload's value verification reads results
       // through the hierarchy, so with the oracle attached it doubles as a

@@ -28,7 +28,7 @@ import json
 import sys
 
 # Must match kStatsSchemaVersion in src/stats/report.hpp.
-EXPECTED_SCHEMA_VERSION = 5
+EXPECTED_SCHEMA_VERSION = 6
 
 STALL_KEYS = ("rest", "inv_stall", "wb_stall", "lock_stall", "barrier_stall")
 
